@@ -1,0 +1,18 @@
+"""ABL2 bench: graphical technique vs frequency-scan, Adler and PPV baselines."""
+
+from repro.experiments.extras import run_ablation_baselines
+
+
+def test_ablation_baselines(benchmark, save_report):
+    result = benchmark.pedantic(
+        run_ablation_baselines, kwargs={"quick": True}, rounds=1, iterations=1
+    )
+    save_report(result)
+    # The invariant-curve shortcut must beat the per-frequency scan.
+    assert float(result.value("invariant-curve shortcut speedup (x)")) > 2.0
+    graphical = result.data["graphical"]
+    adler = result.data["adler"]
+    lo, hi = result.data["ppv"]
+    # All three predictors agree on the width to ~10% at this injection.
+    assert abs(adler.width / graphical.width - 1.0) < 0.1
+    assert abs((hi - lo) / graphical.width - 1.0) < 0.1

@@ -1,0 +1,14 @@
+"""ABL3 bench: the filtering assumption — DF vs harmonic balance vs simulation."""
+
+from repro.experiments.extras import run_ablation_filtering
+
+
+def test_ablation_filtering(benchmark, save_report):
+    result = benchmark.pedantic(run_ablation_filtering, rounds=1, iterations=1)
+    save_report(result)
+    # Harmonic balance must beat the DF frequency and lock-phase errors.
+    df_freq_err = abs(float(result.value("DF frequency (= f_c) error (Hz)")))
+    hb_freq_err = abs(float(result.value("HB frequency error (Hz)")))
+    assert hb_freq_err < 0.25 * df_freq_err
+    df_phase, hb_phase = result.data["phase_errors"]
+    assert hb_phase < 0.5 * df_phase

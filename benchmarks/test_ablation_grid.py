@@ -1,0 +1,14 @@
+"""ABL1 bench: lock-limit accuracy vs pre-characterisation grid resolution."""
+
+from repro.experiments.extras import run_ablation_grid
+
+
+def test_ablation_grid(benchmark, save_report):
+    result = benchmark.pedantic(run_ablation_grid, rounds=1, iterations=1)
+    save_report(result)
+    # Even the coarsest grid stays within 1e-3 relative of the finest —
+    # the sub-grid refinement does the heavy lifting ("minimal cost").
+    errors = [err for err, _ in result.data.values()]
+    assert max(errors) < 1e-3
+    # And the finest tabulated config is the most accurate.
+    assert errors[-1] <= errors[0] + 1e-9

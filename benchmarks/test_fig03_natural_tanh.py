@@ -1,0 +1,13 @@
+"""FIG3 bench: natural-oscillation prediction of the tanh oscillator."""
+
+from repro.experiments.section3 import run_fig03
+
+
+def test_fig03_natural_tanh(benchmark, save_report):
+    result = benchmark(run_fig03)
+    save_report(result)
+    natural = result.data["natural"]
+    assert natural.stable
+    assert natural.loop_gain_small_signal > 1.0
+    # Amplitude between the linear estimate and the hard-limit bound.
+    assert 0.0 < natural.amplitude < 4.0 / 3.141 * 1e-3 * 1000.0 * 1.01

@@ -1,0 +1,17 @@
+"""FIG6 bench: RLC tank transfer function characterisation."""
+
+import numpy as np
+
+from repro.experiments.section3 import run_fig06
+
+
+def test_fig06_tank(benchmark, save_report):
+    result = benchmark(run_fig06)
+    save_report(result)
+    h = result.data["h"]
+    w = result.data["w"]
+    # Peak at the centre, phase falling through zero (Fig. 6 shape).
+    peak = int(np.argmax(np.abs(h)))
+    assert abs(w[peak] / (w[len(w) // 2]) - 1.0) < 0.01
+    phase = np.angle(h)
+    assert phase[0] > 0.0 > phase[-1]

@@ -1,0 +1,14 @@
+"""FIG7 bench: SHIL solution curves and intersections at one frequency."""
+
+from repro.experiments.section3 import run_fig07
+
+
+def test_fig07_shil_solutions(benchmark, save_report):
+    result = benchmark(run_fig07)
+    save_report(result)
+    solution = result.data["solution"]
+    # The Fig. 7 picture: two lock states, one stable and one unstable,
+    # and a physical state count that is a multiple of n.
+    assert len(solution.locks) == 2
+    assert sorted(lock.stable for lock in solution.locks) == [False, True]
+    assert solution.total_states % solution.n == 0

@@ -1,0 +1,16 @@
+"""FIG9 bench: the n-state phasor fan of one lock (n = 3)."""
+
+import numpy as np
+
+from repro.experiments.section3 import run_fig09
+
+
+def test_fig09_states(benchmark, save_report):
+    result = benchmark(run_fig09)
+    save_report(result)
+    phases = result.data["phases"]
+    fan = result.data["fan"]
+    assert phases.size == 3
+    assert np.allclose(np.diff(np.sort(phases)), 2 * np.pi / 3)
+    # Fig. 9: three equal-length phasors, 120 degrees apart.
+    assert np.allclose(np.abs(fan), np.abs(fan[0]))

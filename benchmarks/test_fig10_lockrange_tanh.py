@@ -1,0 +1,15 @@
+"""FIG10 bench: lock-range prediction via the isoline procedure (tanh)."""
+
+from repro.experiments.section3 import run_fig10
+
+
+def test_fig10_lockrange_tanh(benchmark, save_report):
+    result = benchmark(run_fig10)
+    save_report(result)
+    lock_range = result.data["lock_range"]
+    picture = result.data["picture"]
+    # Symmetric phase-deviation boundary (Appendix VI-B3) and a non-empty
+    # isoline fan around it.
+    assert abs(lock_range.phi_d_at_lower + lock_range.phi_d_at_upper) < 1e-6
+    assert picture.tf_curves
+    assert len(picture.isolines) >= 5

@@ -1,0 +1,14 @@
+"""SPEED bench: the paper's 25x/50x prediction-vs-simulation speedup claim."""
+
+from repro.experiments.extras import run_speedup
+
+
+def test_speedup(benchmark, save_report):
+    result = benchmark.pedantic(run_speedup, kwargs={"quick": True}, rounds=1, iterations=1)
+    save_report(result)
+    # "1-2 orders of magnitude faster": anything >= 10x reproduces the
+    # claim's order of magnitude on this substrate.
+    assert float(result.value("speedup (x)")) > 10.0
+    predicted = result.data["predicted"]
+    simulated = result.data["simulated"]
+    assert abs(predicted.width_hz / simulated.width_hz - 1.0) < 0.1

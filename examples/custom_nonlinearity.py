@@ -1,0 +1,83 @@
+"""Analysing a user-defined nonlinearity — the "any nonlinearity" claim.
+
+The paper's selling point is that the technique handles *arbitrary*
+memoryless nonlinearities by pre-characterising them computationally.
+This example defines an asymmetric exponential-limited negative
+resistance that none of the classic closed forms cover, wraps it in a
+``FunctionNonlinearity``, and runs the whole analysis stack on it —
+including cross-checking the lock range against transient simulation.
+
+Run:  python examples/custom_nonlinearity.py       (~1 min)
+"""
+
+import numpy as np
+
+from repro import FunctionNonlinearity, ParallelRLC
+from repro.core import (
+    predict_lock_range,
+    predict_natural_oscillation,
+    solve_lock_states,
+)
+from repro.measure import simulate_lock_range
+
+
+def main() -> None:
+    # An asymmetric negative resistance: tanh-like for v > 0 but with a
+    # softer exponential recovery for v < 0 (e.g. a single-ended stage).
+    def law(v):
+        v = np.asarray(v, dtype=float)
+        return -1.5e-3 * np.tanh(3.0 * v) + 0.4e-3 * (np.exp(np.minimum(v, 1.0)) - 1.0 - v)
+
+    device = FunctionNonlinearity(law, name="asymmetric-ndr")
+    tank = ParallelRLC(r=1200.0, l=50e-6, c=20e-9)
+    print(f"custom device: f'(0) = {device.small_signal_conductance():.3e} S, "
+          f"negative resistance: {device.is_negative_resistance()}")
+    print(f"tank: f_c = {tank.center_frequency_hz / 1e3:.1f} kHz, "
+          f"Q = {tank.quality_factor:.1f}")
+
+    natural = predict_natural_oscillation(device, tank)
+    print(f"natural oscillation: A = {natural.amplitude:.4f} V")
+
+    # Asymmetric f => even harmonics exist; the DC component and the
+    # second harmonic of the current are nonzero.
+    from repro.core.describing_function import harmonic_coefficients
+
+    harmonics = harmonic_coefficients(device, natural.amplitude, k_max=5)
+    print("current harmonics |I_k| (A):",
+          ", ".join(f"k={k}: {abs(harmonics.harmonic(k)):.2e}" for k in range(5)))
+
+    v_i, n = 0.05, 3
+    solution = solve_lock_states(
+        device, tank, v_i=v_i, w_injection=n * tank.center_frequency, n=n
+    )
+    print(f"\nlock states at centre (V_i = {v_i} V, n = {n}):")
+    for lock in solution.locks:
+        tag = "stable" if lock.stable else "unstable"
+        print(f"  phi = {lock.phi:.4f} rad, A = {lock.amplitude:.4f} V ({tag})")
+
+    predicted = predict_lock_range(device, tank, v_i=v_i, n=n)
+    print(f"predicted lock range: [{predicted.injection_lower_hz / 1e3:.2f}, "
+          f"{predicted.injection_upper_hz / 1e3:.2f}] kHz "
+          f"(width {predicted.width_hz:.1f} Hz)")
+
+    print("cross-checking against transient simulation...")
+    simulated = simulate_lock_range(
+        device, tank, v_i=v_i, n=n,
+        scan_rel_span=3.0 * predicted.width / (2 * predicted.injection_lower),
+        batch=10, rounds=2,
+        settle_cycles=250.0, acquire_cycles=450.0, observe_cycles=250.0,
+    )
+    print(f"simulated lock range: [{simulated.injection_lower_hz / 1e3:.2f}, "
+          f"{simulated.injection_upper_hz / 1e3:.2f}] kHz")
+    err_lo = abs(predicted.injection_lower - simulated.injection_lower) / simulated.injection_lower
+    err_hi = abs(predicted.injection_upper - simulated.injection_upper) / simulated.injection_upper
+    print(f"edge agreement: {err_lo:.2e} / {err_hi:.2e} relative")
+    print(f"width: predicted {predicted.width_hz:.0f} Hz vs simulated "
+          f"{simulated.width_hz:.0f} Hz — strongly asymmetric nonlinearities "
+          f"put energy in even harmonics the fundamental-only analysis drops; "
+          f"the harmonic-balance refinement (repro.core.harmonic_balance) "
+          f"recovers that physics when the discrepancy matters.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Design insight: inverse design and phase-noise suppression under lock.
+
+The paper's pitch is that the graphical method gives *design* leverage —
+it is fast and transparent enough to answer designer questions, not just
+verify a finished circuit.  This example asks three of them on the tanh
+demo oscillator:
+
+1. how much injection do I need for a 2 kHz lock range?
+2. how does the width trade against injection strength and tank Q?
+3. what does the lock buy me in phase noise — and how does that degrade
+   toward the lock-range edge?
+
+Run:  python examples/design_insight.py   (~1 min)
+"""
+
+import numpy as np
+
+from repro.core import (
+    injection_for_lock_range,
+    lock_range_sensitivity,
+    phase_noise_suppression,
+    predict_lock_range,
+)
+from repro.experiments.circuits import tanh_oscillator
+
+
+def main() -> None:
+    setup = tanh_oscillator()
+    device, tank = setup.nonlinearity, setup.tank
+    print(f"oscillator: f_c = {tank.center_frequency_hz / 1e3:.1f} kHz, "
+          f"Q = {tank.quality_factor:.0f}\n")
+
+    # 1. Inverse design: V_i for a 2 kHz 3rd-SHIL lock range.
+    target = 2000.0
+    v_i, lock_range = injection_for_lock_range(
+        device, tank, n=3, target_width_hz=target
+    )
+    print(f"for a {target:.0f} Hz lock range at n = 3: V_i = {v_i * 1e3:.2f} mV "
+          f"(achieved {lock_range.width_hz:.1f} Hz)")
+
+    # 2. Local trade-offs around that operating point.
+    s = lock_range_sensitivity(device, tank, v_i=v_i, n=3)
+    print(f"sensitivities: d log W / d log V_i = {s['dlogW_dlogVi']:+.2f}, "
+          f"d log W / d log Q = {s.get('dlogW_dlogQ', float('nan')):+.2f}")
+    print("  (double the injection ~ double the range; raising Q narrows it)\n")
+
+    # 3. Phase-noise suppression across the lock range.
+    lr = predict_lock_range(device, tank, v_i=v_i, n=3)
+    w_center = 3 * tank.center_frequency
+    print("lock point          relock corner   suppression at 100 Hz offset")
+    for frac, label in ((0.0, "centre"), (0.6, "60% out"), (0.95, "95% out")):
+        w_inj = w_center + frac * (lr.injection_upper - w_center)
+        model = phase_noise_suppression(
+            device, tank, v_i=v_i, w_injection=w_inj, n=3
+        )
+        supp_db = 10 * np.log10(model.oscillator_noise_transfer(np.array([100.0]))[0])
+        print(f"  {label:<16}  {model.corner_hz:9.1f} Hz   {supp_db:+7.1f} dB")
+    print("\nLocks near the edge re-lock slowly: the suppression corner "
+          "collapses, so a divider biased at the edge of its lock range is "
+          "noisy — quantitative backing for centring the injection.")
+
+
+if __name__ == "__main__":
+    main()

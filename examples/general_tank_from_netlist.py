@@ -1,0 +1,72 @@
+"""Pre-characterising a complex tank from a netlist — the GeneralTank flow.
+
+The paper notes that for complex LC tank topologies the filter response
+"can be pre-characterized computationally".  This example builds a tank
+with a lossy inductor (series coil resistance — a topology whose
+transimpedance is *not* the textbook parallel-RLC form) as a SPICE
+netlist, characterises
+``H(jw)`` with the MNA simulator's AC analysis, wraps the samples in a
+:class:`repro.tank.GeneralTank`, and runs the full SHIL analysis on it —
+no closed-form tank model anywhere in the loop.
+
+Run:  python examples/general_tank_from_netlist.py   (~30 s)
+"""
+
+import numpy as np
+
+from repro.core import predict_lock_range, predict_natural_oscillation
+from repro.nonlin import NegativeTanh
+from repro.spice import ac_analysis, parse_netlist
+from repro.tank import GeneralTank
+
+TANK_NETLIST = """* lossy-inductor tank (series coil resistance, driven at the device port)
+Iin 0 port DC 0
+C1  port 0   30n
+Rp  port 0   8k
+L1  port mid 66u
+RL  mid  0   5
+.ac lin 4001 80k 160k
+.end
+"""
+
+
+def main() -> None:
+    parsed = parse_netlist(TANK_NETLIST)
+    card = parsed.analyses[0].params
+    freqs = np.linspace(card["fstart"], card["fstop"], card["n"])
+    w = 2 * np.pi * freqs
+
+    # 1. AC-characterise the transimpedance seen at the device port.
+    ac = ac_analysis(parsed.circuit, "Iin", w)
+    h = ac.voltage("port")
+    tank = GeneralTank(w, h)
+    print(f"characterised tank: f_c = {tank.center_frequency / (2 * np.pi) / 1e3:.2f} kHz, "
+          f"R_peak = {tank.peak_resistance:.1f} Ohm, "
+          f"C_eff = {tank.effective_capacitance() * 1e9:.2f} nF")
+
+    # 2. Full SHIL analysis against the sampled tank.
+    device = NegativeTanh(gm=6e-3, i_sat=1e-3)
+    natural = predict_natural_oscillation(device, tank)
+    print(f"natural oscillation: A = {natural.amplitude:.4f} V at "
+          f"{natural.frequency_hz / 1e3:.2f} kHz "
+          f"(loop gain {natural.loop_gain_small_signal:.2f})")
+
+    lock_range = predict_lock_range(device, tank, v_i=0.03, n=3)
+    print(f"3rd-SHIL lock range: [{lock_range.injection_lower_hz / 1e3:.2f}, "
+          f"{lock_range.injection_upper_hz / 1e3:.2f}] kHz "
+          f"(width {lock_range.width_hz:.1f} Hz, "
+          f"boundary phi_d = {lock_range.phi_d_at_lower:+.4f} rad)")
+
+    # 3. Show the asymmetry the coil loss introduces: the series-RL
+    #    branch skews |H| around resonance, which the sampled phase map
+    #    carries into slightly asymmetric frequency limits.
+    low_off = tank.center_frequency - lock_range.injection_lower / 3
+    high_off = lock_range.injection_upper / 3 - tank.center_frequency
+    print(f"frequency-offset asymmetry: {low_off / (2 * np.pi):.2f} Hz below vs "
+          f"{high_off / (2 * np.pi):.2f} Hz above the centre "
+          f"(phase-symmetric per the paper's VI-B3, frequency-asymmetric "
+          f"through the tank's phase map)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Design-space exploration: lock range vs injection strength and order.
+
+The graphical method's one-pass speed is what makes design sweeps
+practical.  This example maps the 3rd-SHIL lock range of the tanh demo
+oscillator across injection amplitudes (the "how much injection do I need
+for this lock range" question an RFIC designer actually asks), and
+compares sub-harmonic orders n = 1..5 at fixed injection, printing a
+small design table plus an ASCII trend plot.
+
+Run:  python examples/lock_range_design_sweep.py   (~1 min)
+"""
+
+import numpy as np
+
+from repro.core import predict_lock_range, predict_natural_oscillation
+from repro.core.lockrange import NoLockError
+from repro.experiments.circuits import tanh_oscillator
+from repro.viz.ascii import AsciiCanvas
+
+
+def main() -> None:
+    setup = tanh_oscillator()
+    nonlinearity, tank = setup.nonlinearity, setup.tank
+    natural = predict_natural_oscillation(nonlinearity, tank)
+    print(f"oscillator: A0 = {natural.amplitude:.3f} V at "
+          f"{tank.center_frequency_hz / 1e3:.1f} kHz (Q = {tank.quality_factor:.0f})\n")
+
+    # Sweep 1: lock-range width vs injection amplitude at n = 3.
+    v_i_values = np.linspace(0.005, 0.08, 12)
+    widths = []
+    print("V_i (V)   width (Hz)   phi_d boundary (rad)   A at edge (V)")
+    for v_i in v_i_values:
+        lr = predict_lock_range(nonlinearity, tank, v_i=float(v_i), n=3)
+        widths.append(lr.width_hz)
+        print(f"{v_i:7.3f}   {lr.width_hz:10.1f}   {lr.phi_d_at_lower:20.4f}"
+              f"   {lr.amplitude_at_lower:13.4f}")
+    canvas = AsciiCanvas(
+        70, 18,
+        x_range=(float(v_i_values[0]), float(v_i_values[-1])),
+        y_range=(0.0, max(widths) * 1.05),
+    )
+    canvas.plot_polyline(v_i_values, np.asarray(widths), "*")
+    print(canvas.render(title="3rd-SHIL lock-range width vs V_i",
+                        x_label="V_i (V)", y_label="width (Hz)"))
+
+    # Sweep 2: order dependence at fixed V_i.  For an odd nonlinearity
+    # the even orders (n = 2, 4) couple only at second order in V_i and
+    # lock over ranges ~40x narrower than the odd orders — the classic
+    # even-mode suppression of differential oscillators, falling out of
+    # the two-tone describing function with no special casing.
+    print("\nn    injection near    width (Hz)")
+    for n in range(1, 6):
+        try:
+            lr = predict_lock_range(nonlinearity, tank, v_i=0.03, n=n)
+            f_center = n * tank.center_frequency_hz
+            print(f"{n}    {f_center / 1e3:10.1f} kHz   {lr.width_hz:10.1f}")
+        except NoLockError:
+            print(f"{n}    {'-':>14}   no stable lock at V_i = 0.03 V")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Quickstart: analyse sub-harmonic injection locking in three calls.
+
+Builds the Section III demo oscillator (negative-tanh nonlinearity, Q=10
+parallel tank), predicts its free-running oscillation, finds the 3rd
+sub-harmonic lock states for a given injection, and computes the lock
+range — printing the same quantities the paper's figures show.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    NegativeTanh,
+    ParallelRLC,
+    predict_lock_range,
+    predict_natural_oscillation,
+    solve_lock_states,
+)
+from repro.viz.ascii import render_curves
+
+
+def main() -> None:
+    # 1. The oscillator: i = f(v) negative resistance + parallel RLC tank.
+    nonlinearity = NegativeTanh(gm=2.5e-3, i_sat=1e-3)
+    tank = ParallelRLC(r=1000.0, l=100e-6, c=10e-9)
+    print(f"tank: f_c = {tank.center_frequency_hz / 1e3:.2f} kHz, Q = {tank.quality_factor:.1f}")
+
+    # 2. Natural oscillation (paper Fig. 3): solve T_f(A) = 1.
+    natural = predict_natural_oscillation(nonlinearity, tank)
+    print(f"natural oscillation: A = {natural.amplitude:.4f} V "
+          f"at {natural.frequency_hz / 1e3:.2f} kHz "
+          f"(loop gain T_f(0) = {natural.loop_gain_small_signal:.2f})")
+
+    # 3. Lock states for a 3rd sub-harmonic injection at 3 w_c
+    #    (paper Fig. 7): intersections of the two condition curves.
+    v_i, n = 0.03, 3
+    solution = solve_lock_states(
+        nonlinearity, tank, v_i=v_i, w_injection=n * tank.center_frequency, n=n
+    )
+    print(f"\nlock states at w_inj = 3 w_c (V_i = {v_i} V):")
+    for lock in solution.locks:
+        tag = "stable" if lock.stable else "unstable"
+        states = ", ".join(f"{psi:.3f}" for psi in lock.oscillator_phases)
+        print(f"  phi = {lock.phi:.4f} rad, A = {lock.amplitude:.4f} V ({tag}); "
+              f"oscillator phases: [{states}] rad")
+    print(render_curves(
+        [(solution.tf_curves, "."), (solution.phase_curves, ":")],
+        points=[(l.phi, l.amplitude, "O" if l.stable else "X") for l in solution.locks],
+        title="T_f = 1 (.) vs phase condition (:) — O stable, X unstable",
+    ))
+
+    # 4. Lock range (paper Fig. 10): one pass along the invariant curve.
+    lock_range = predict_lock_range(nonlinearity, tank, v_i=v_i, n=n)
+    print(f"\n3rd-SHIL lock range: "
+          f"[{lock_range.injection_lower_hz / 1e3:.2f}, "
+          f"{lock_range.injection_upper_hz / 1e3:.2f}] kHz "
+          f"(width {lock_range.width_hz:.1f} Hz, "
+          f"boundary phi_d = {lock_range.phi_d_at_lower:+.4f} rad)")
+
+
+if __name__ == "__main__":
+    main()

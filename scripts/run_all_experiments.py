@@ -1,0 +1,68 @@
+"""Run every DESIGN.md experiment and write a consolidated report.
+
+Usage::
+
+    python scripts/run_all_experiments.py [--quick] [--out report.txt]
+
+The benchmark suite does the same work under pytest-benchmark timing;
+this script is the plain-Python path for anyone who wants the numbers
+without the test harness.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import EXPERIMENTS, run_experiment
+
+#: Drivers accepting a `quick` switch (the transient-heavy ones).
+_QUICK_AWARE = {"FIG15", "FIG19", "TAB1", "TAB2", "SPEED", "ABL2"}
+
+#: Execution order: cheap prediction experiments first, transients last.
+_ORDER = [
+    "FIG3", "FIG6", "FIG7", "FIG9", "FIG10",
+    "FIG12", "FIG14", "FIG16", "FIG18",
+    "ABL1", "ABL3", "ABL2",
+    "FIG13", "FIG17", "SPEED",
+    "FIG15", "FIG19", "TAB1", "TAB2",
+]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="reduced-cost variants")
+    parser.add_argument("--out", default=None, help="also write the report here")
+    parser.add_argument(
+        "--only", nargs="*", default=None, help="subset of experiment ids"
+    )
+    args = parser.parse_args(argv)
+
+    ids = [e.upper() for e in args.only] if args.only else _ORDER
+    unknown = [e for e in ids if e not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment ids: {', '.join(unknown)}")
+
+    blocks = []
+    for experiment_id in ids:
+        t0 = time.perf_counter()
+        kwargs = {"quick": True} if (args.quick and experiment_id in _QUICK_AWARE) else {}
+        result = run_experiment(experiment_id, **kwargs)
+        elapsed = time.perf_counter() - t0
+        result.ascii_plot = ""  # keep the consolidated report compact
+        block = result.format() + f"\n  [completed in {elapsed:.2f} s]"
+        blocks.append(block)
+        print(block, flush=True)
+        print(flush=True)
+
+    report = "\n\n".join(blocks) + "\n"
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report)
+        print(f"report written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

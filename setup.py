@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The metadata lives in ``pyproject.toml``; this file exists so editable
+installs work on environments whose setuptools predates PEP 660 editable
+wheels (and without network access for build isolation):
+
+    pip install -e . --no-build-isolation
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,25 @@
+"""Baseline lock-range predictors the paper's technique is compared against.
+
+* :mod:`repro.baselines.adler` — Adler's classic FHIL formula and its
+  fixed-amplitude generalisation to SHIL.  Cheap, but blind to the
+  amplitude dynamics the graphical method captures.
+* :mod:`repro.baselines.ppv` — the PPV / phase-macromodel approach of the
+  paper's reference [17] (Neogy & Roychowdhury), built from first
+  principles: periodic steady state, monodromy matrix, adjoint (Floquet)
+  decomposition, and the averaged phase coupling function.
+
+The ablation benchmark (ABL2 in DESIGN.md) quantifies how each baseline's
+lock-range prediction compares with the graphical technique and with
+transient simulation.
+"""
+
+from repro.baselines.adler import adler_fhil_lock_range, adler_shil_lock_range
+from repro.baselines.ppv import compute_ppv, ppv_lock_range, PpvModel
+
+__all__ = [
+    "adler_fhil_lock_range",
+    "adler_shil_lock_range",
+    "compute_ppv",
+    "ppv_lock_range",
+    "PpvModel",
+]

@@ -1,0 +1,108 @@
+"""Adler-style lock-range estimates.
+
+Adler's 1946 result for fundamental injection locking: an oscillator with
+quality factor ``Q`` injected with a tone of amplitude ``V_inj`` locks over
+a (one-sided) range::
+
+    |w - w_c|  <=  (w_c / (2 Q)) * (V_inj / V_osc)
+
+valid for weak injection and a phase-only (fixed-amplitude) model.
+
+The SHIL generalisation used here keeps the same fixed-amplitude spirit:
+freeze the amplitude at the natural value ``A_0`` and keep only the phase
+line of the slow flow (:mod:`repro.core.averaging`)::
+
+    dphi/dt = (n / (2 C)) * (2 I_1y(A_0, phi) / A_0 - tan(phi_d) / R)
+
+Lock requires a zero, i.e. ``tan(phi_d)`` inside the range of
+``2 R I_1y(A_0, phi) / A_0`` over ``phi``.  Mapping the extremal phases
+through the tank gives the lock limits.  Compared with the full graphical
+method this ignores the amplitude drop toward the lock edge — the ablation
+bench measures what that costs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.describing_function import DEFAULT_SAMPLES
+from repro.core.lockrange import LockRange
+from repro.core.natural import predict_natural_oscillation
+from repro.core.two_tone import TwoToneDF
+from repro.nonlin.base import Nonlinearity
+from repro.tank.base import Tank
+from repro.utils.validation import check_positive
+
+__all__ = ["adler_fhil_lock_range", "adler_shil_lock_range"]
+
+
+def adler_fhil_lock_range(
+    tank: Tank,
+    v_osc: float,
+    v_inj: float,
+) -> tuple[float, float]:
+    """Classic Adler FHIL lock limits ``(w_lower, w_upper)`` in rad/s.
+
+    Parameters
+    ----------
+    tank:
+        Supplies ``w_c`` and ``Q`` (via the phase slope at resonance).
+    v_osc:
+        Free-running oscillation amplitude.
+    v_inj:
+        Injected tone amplitude (peak).  Note the paper's ``V_i`` is a
+        phasor magnitude: the injected peak is ``2 V_i``.
+    """
+    check_positive("v_osc", v_osc)
+    check_positive("v_inj", v_inj)
+    w_c = tank.center_frequency
+    # Q from the phase slope: dphi_d/dw at w_c equals -2Q/w_c.
+    h = 1e-6 * w_c
+    slope = (float(tank.phase(np.asarray(w_c + h))) - float(tank.phase(np.asarray(w_c - h)))) / (
+        2.0 * h
+    )
+    q = -slope * w_c / 2.0
+    half_range = w_c / (2.0 * q) * (v_inj / v_osc)
+    return w_c - half_range, w_c + half_range
+
+
+def adler_shil_lock_range(
+    nonlinearity: Nonlinearity,
+    tank: Tank,
+    *,
+    v_i: float,
+    n: int,
+    n_phi: int = 361,
+    n_samples: int = DEFAULT_SAMPLES,
+) -> LockRange:
+    """Fixed-amplitude (generalised-Adler) SHIL lock range.
+
+    Returns a :class:`repro.core.lockrange.LockRange` for interface parity
+    with the graphical predictor; the ``amplitude_at_*`` fields carry the
+    frozen natural amplitude.
+    """
+    check_positive("v_i", v_i)
+    n = int(n)
+    natural = predict_natural_oscillation(nonlinearity, tank, n_samples=n_samples)
+    a0 = natural.amplitude
+    r = tank.peak_resistance
+    df = TwoToneDF(nonlinearity, v_i, n, n_samples=n_samples)
+    phis = np.linspace(0.0, 2.0 * np.pi, n_phi)
+    i1y = df.i1y(a0, phis)
+    coupling = 2.0 * r * i1y / a0  # the reachable tan(phi_d) values
+    tan_max = float(np.max(coupling))
+    tan_min = float(np.min(coupling))
+    phi_d_max = float(np.arctan(tan_max))  # positive phase -> low frequency
+    phi_d_min = float(np.arctan(tan_min))
+    w_low = tank.frequency_for_phase(phi_d_max)
+    w_high = tank.frequency_for_phase(phi_d_min)
+    return LockRange(
+        n=n,
+        v_i=v_i,
+        injection_lower=n * w_low,
+        injection_upper=n * w_high,
+        phi_d_at_lower=phi_d_max,
+        phi_d_at_upper=phi_d_min,
+        amplitude_at_lower=a0,
+        amplitude_at_upper=a0,
+    )

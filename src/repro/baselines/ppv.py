@@ -1,0 +1,236 @@
+"""PPV (perturbation projection vector) phase macromodel — reference [17].
+
+The paper positions its graphical technique against the PPV-based SHIL
+theory of Neogy & Roychowdhury.  This module builds that baseline from
+first principles for the canonical oscillator ODE:
+
+1. **Periodic steady state** — settle the free-running oscillator
+   (:mod:`repro.odesim`) and measure its period precisely.
+2. **Monodromy matrix** — integrate the variational equation
+   ``dPhi/dt = J(t) Phi`` along one period of the orbit, where ``J`` is
+   the Jacobian of the oscillator vector field.
+3. **PPV** — the periodic adjoint solution ``v1(t)`` of
+   ``dv/dt = -J(t)^T v`` started from the left Floquet eigenvector of the
+   multiplier-1 mode, normalised so ``v1(t) . xdot_s(t) = 1`` for all t
+   (the constancy of that inner product is itself a correctness check the
+   tests assert).
+4. **Averaged phase model** — a series injection ``2 V_i cos(w_inj t)``
+   perturbs ``dv/dt`` by ``-f'(v_s) v_inj / C``; projecting on the PPV and
+   keeping the resonant ``n``-th Fourier term ``Q_n`` of the coupling
+   ``q(tau) = v1_v(tau) (-f'(v_s(tau)) / C)`` yields Adler-form dynamics
+   with injection-referred lock range::
+
+       w_inj in n*w0 * (1 +- 2 V_i |Q_n|)
+
+The PPV model is exact to first order in the injection but, like Adler,
+blind to amplitude dynamics; the paper's claim of "greater accuracy" for
+the graphical method is what the ABL2 bench quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.measure.steadystate import measure_steady_state
+from repro.measure.waveform import Waveform
+from repro.nonlin.base import Nonlinearity
+from repro.odesim.oscillator import simulate_oscillator
+from repro.tank.rlc import ParallelRLC
+from repro.utils.validation import check_positive
+
+__all__ = ["PpvModel", "compute_ppv", "ppv_lock_range"]
+
+
+@dataclass
+class PpvModel:
+    """Computed PPV macromodel of a free-running oscillator.
+
+    Attributes
+    ----------
+    t:
+        Sample times over one period, shape ``(n_t,)``.
+    x_s:
+        Periodic orbit samples, shape ``(n_t, 2)`` (tank voltage,
+        inductor current).
+    xdot_s:
+        Orbit time derivative.
+    v1:
+        PPV samples, shape ``(n_t, 2)``, normalised to
+        ``v1 . xdot_s = 1``.
+    period:
+        Oscillation period, seconds.
+    monodromy:
+        The 2x2 monodromy matrix.
+    """
+
+    t: np.ndarray
+    x_s: np.ndarray
+    xdot_s: np.ndarray
+    v1: np.ndarray
+    period: float
+    monodromy: np.ndarray
+
+    @property
+    def w0(self) -> float:
+        """Free-running angular frequency."""
+        return 2.0 * np.pi / self.period
+
+    @property
+    def floquet_multipliers(self) -> np.ndarray:
+        """Eigenvalues of the monodromy matrix (one should be ~1)."""
+        return np.linalg.eigvals(self.monodromy)
+
+    def normalisation_error(self) -> float:
+        """Max deviation of ``v1 . xdot_s`` from 1 over the period."""
+        inner = np.einsum("ij,ij->i", self.v1, self.xdot_s)
+        return float(np.max(np.abs(inner - 1.0)))
+
+
+def _vector_field(nonlinearity, tank):
+    inv_c = 1.0 / tank.c
+    inv_l = 1.0 / tank.l
+    inv_rc = 1.0 / (tank.r * tank.c)
+
+    def field(x):
+        v, i_l = x
+        return np.array(
+            [
+                -v * inv_rc - (i_l + float(nonlinearity(np.asarray(v)))) * inv_c,
+                v * inv_l,
+            ]
+        )
+
+    def jac(x):
+        v = x[0]
+        g = float(nonlinearity.derivative(np.asarray(v)))
+        return np.array(
+            [
+                [-inv_rc - g * inv_c, -inv_c],
+                [inv_l, 0.0],
+            ]
+        )
+
+    return field, jac
+
+
+def compute_ppv(
+    nonlinearity: Nonlinearity,
+    tank: ParallelRLC,
+    *,
+    settle_cycles: float = 400.0,
+    n_t: int = 1024,
+    steps_per_sample: int = 8,
+) -> PpvModel:
+    """Compute the PPV of the free-running oscillator.
+
+    Parameters
+    ----------
+    nonlinearity, tank:
+        The oscillator (physical RLC required).
+    settle_cycles:
+        Free-run settling before the orbit is sampled.
+    n_t:
+        Samples of the orbit / PPV over one period.
+    steps_per_sample:
+        RK4 sub-steps between consecutive orbit samples.
+    """
+    check_positive("settle_cycles", settle_cycles)
+    period_guess = 2.0 * np.pi / tank.center_frequency
+    settled = simulate_oscillator(
+        nonlinearity,
+        tank,
+        t_end=settle_cycles * period_guess,
+        steps_per_cycle=128,
+        record_start=(settle_cycles - 40.0) * period_guess,
+    )
+    state = measure_steady_state(Waveform(settled.t, settled.v[:, 0]))
+    period = 2.0 * np.pi / state.frequency
+
+    field, jac = _vector_field(nonlinearity, tank)
+    x = np.array([settled.v[-1, 0], settled.i_l[-1, 0]])
+
+    # March x and the fundamental matrix Phi together over one period,
+    # recording n_t samples.
+    h = period / (n_t * steps_per_sample)
+    phi = np.eye(2)
+    t_samples = np.linspace(0.0, period, n_t, endpoint=False)
+    x_samples = np.empty((n_t, 2))
+    phi_samples = np.empty((n_t, 2, 2))
+    for k in range(n_t):
+        x_samples[k] = x
+        phi_samples[k] = phi
+        for _ in range(steps_per_sample):
+            # RK4 on the augmented (x, Phi) system.
+            def rhs(state_x, state_phi):
+                return field(state_x), jac(state_x) @ state_phi
+
+            k1x, k1p = rhs(x, phi)
+            k2x, k2p = rhs(x + 0.5 * h * k1x, phi + 0.5 * h * k1p)
+            k3x, k3p = rhs(x + 0.5 * h * k2x, phi + 0.5 * h * k2p)
+            k4x, k4p = rhs(x + h * k3x, phi + h * k3p)
+            x = x + h / 6.0 * (k1x + 2 * k2x + 2 * k3x + k4x)
+            phi = phi + h / 6.0 * (k1p + 2 * k2p + 2 * k3p + k4p)
+    monodromy = phi
+
+    # Left eigenvector of the multiplier-1 mode: w^T M = w^T.
+    eigvals, left = np.linalg.eig(monodromy.T)
+    idx = int(np.argmin(np.abs(eigvals - 1.0)))
+    w = np.real(left[:, idx])
+
+    # The periodic adjoint: v1(t)^T = w^T Phi(T,0) Phi(t,0)^{-1}
+    #                              = w^T Phi(t,0)^{-1} (since w^T M = w^T).
+    xdot_samples = np.array([field(xs) for xs in x_samples])
+    v1 = np.empty((n_t, 2))
+    for k in range(n_t):
+        v1[k] = np.linalg.solve(phi_samples[k].T, w)
+    # Normalise v1 . xdot = 1 using the (theoretically constant) product.
+    inner = np.einsum("ij,ij->i", v1, xdot_samples)
+    v1 = v1 / np.mean(inner)
+
+    return PpvModel(
+        t=t_samples,
+        x_s=x_samples,
+        xdot_s=xdot_samples,
+        v1=v1,
+        period=period,
+        monodromy=monodromy,
+    )
+
+
+def ppv_lock_range(
+    nonlinearity: Nonlinearity,
+    tank: ParallelRLC,
+    *,
+    v_i: float,
+    n: int,
+    model: PpvModel | None = None,
+) -> tuple[float, float]:
+    """PPV-predicted injection lock limits ``(w_lower, w_upper)`` in rad/s.
+
+    Parameters
+    ----------
+    nonlinearity, tank:
+        The oscillator.
+    v_i:
+        Injection phasor magnitude (injected peak ``2 v_i``).
+    n:
+        Sub-harmonic order.
+    model:
+        Re-usable precomputed PPV (saves the settling run).
+    """
+    check_positive("v_i", v_i)
+    n = int(n)
+    if model is None:
+        model = compute_ppv(nonlinearity, tank)
+    # Coupling q(tau) = v1_v(tau) * (-f'(v_s(tau)) / C).
+    fprime = nonlinearity.derivative(model.x_s[:, 0])
+    q = model.v1[:, 0] * (-fprime / tank.c)
+    w0 = model.w0
+    # n-th Fourier coefficient of q over the period.
+    phase = np.exp(-1j * n * w0 * model.t)
+    q_n = np.mean(q * phase)
+    half = 2.0 * n * w0 * v_i * abs(q_n)
+    center = n * w0
+    return center - half, center + half

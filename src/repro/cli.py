@@ -1,0 +1,200 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Gives designers the paper's analyses without writing Python:
+
+* ``natural``    — free-running amplitude/frequency (Fig. 3 flow),
+* ``locks``      — lock states at one injection frequency (Fig. 7 flow),
+* ``lockrange``  — the one-pass lock range (Fig. 10 flow),
+* ``experiment`` — run a DESIGN.md experiment by id (FIG3..TAB2, ...).
+
+The oscillator can be one of the built-in calibrated setups
+(``--oscillator tanh|diffpair|tunnel``) or a custom tanh cell described by
+``--gm/--isat`` with an explicit ``--r/--l/--c`` tank.
+
+Examples
+--------
+::
+
+    python -m repro natural --oscillator tunnel
+    python -m repro lockrange --oscillator diffpair --vi 0.03 --n 3
+    python -m repro locks --gm 2.5m --isat 1m --r 1k --l 100u --c 10n \\
+        --vi 0.03 --n 3 --finj 477.5k
+    python -m repro experiment FIG10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.utils.units import format_si, parse_value
+
+__all__ = ["main", "build_parser"]
+
+
+def _resolve_setup(args):
+    """Build (nonlinearity, tank, name) from CLI arguments."""
+    from repro.experiments.circuits import (
+        diffpair_oscillator,
+        tanh_oscillator,
+        tunnel_oscillator,
+    )
+
+    if args.oscillator:
+        setup = {
+            "tanh": tanh_oscillator,
+            "diffpair": diffpair_oscillator,
+            "tunnel": tunnel_oscillator,
+        }[args.oscillator]()
+        return setup.nonlinearity, setup.tank, setup.name
+    if args.r is None or args.l is None or args.c is None:
+        raise SystemExit(
+            "either --oscillator or a full custom tank (--r --l --c) is required"
+        )
+    from repro.nonlin import NegativeTanh
+    from repro.tank import ParallelRLC
+
+    nonlinearity = NegativeTanh(
+        gm=parse_value(args.gm), i_sat=parse_value(args.isat)
+    )
+    tank = ParallelRLC(
+        r=parse_value(args.r), l=parse_value(args.l), c=parse_value(args.c)
+    )
+    return nonlinearity, tank, "custom-tanh"
+
+
+def _cmd_natural(args) -> int:
+    from repro.core import predict_natural_oscillation
+
+    nonlinearity, tank, name = _resolve_setup(args)
+    natural = predict_natural_oscillation(nonlinearity, tank)
+    print(f"oscillator: {name}")
+    print(f"tank: f_c = {format_si(tank.center_frequency / (2 * np.pi), 'Hz')}, "
+          f"R = {format_si(tank.peak_resistance, 'Ohm')}")
+    print(f"small-signal loop gain T_f(0) = {natural.loop_gain_small_signal:.4g}")
+    print(f"natural oscillation: A = {natural.amplitude:.6g} V at "
+          f"{format_si(natural.frequency_hz, 'Hz')} "
+          f"({'stable' if natural.stable else 'unstable'})")
+    return 0
+
+
+def _cmd_locks(args) -> int:
+    from repro.core import solve_lock_states
+
+    nonlinearity, tank, name = _resolve_setup(args)
+    if args.finj is not None:
+        w_injection = 2.0 * np.pi * parse_value(args.finj)
+    else:
+        w_injection = args.n * tank.center_frequency
+    solution = solve_lock_states(
+        nonlinearity, tank, v_i=parse_value(args.vi),
+        w_injection=w_injection, n=args.n,
+    )
+    print(f"oscillator: {name}; injection "
+          f"{format_si(w_injection / (2 * np.pi), 'Hz')} at n = {args.n}, "
+          f"V_i = {parse_value(args.vi):g} V")
+    print(f"tank phase phi_d = {solution.phi_d:+.5f} rad")
+    if not solution.locks:
+        print("no lock states: injection frequency is outside the lock range")
+        return 1
+    for k, lock in enumerate(solution.locks):
+        tag = "stable" if lock.stable else "unstable"
+        states = ", ".join(f"{psi:.4f}" for psi in lock.oscillator_phases)
+        print(f"lock {k}: phi = {lock.phi:.5f} rad, A = {lock.amplitude:.6g} V "
+              f"({tag}); oscillator states: [{states}] rad")
+    print(f"total physical states: {solution.total_states} "
+          f"(a multiple of n = {solution.n})")
+    return 0
+
+
+def _cmd_lockrange(args) -> int:
+    from repro.core import predict_lock_range
+
+    nonlinearity, tank, name = _resolve_setup(args)
+    lock_range = predict_lock_range(
+        nonlinearity, tank, v_i=parse_value(args.vi), n=args.n
+    )
+    print(f"oscillator: {name}; n = {args.n}, V_i = {parse_value(args.vi):g} V")
+    print(f"lower lock limit: {format_si(lock_range.injection_lower_hz, 'Hz')}")
+    print(f"upper lock limit: {format_si(lock_range.injection_upper_hz, 'Hz')}")
+    print(f"lock range width: {format_si(lock_range.width_hz, 'Hz')}")
+    print(f"boundary tank phase: {lock_range.phi_d_at_lower:+.5f} rad "
+          f"(symmetric: {lock_range.phi_d_at_upper:+.5f})")
+    print(f"amplitude at the edges: {lock_range.amplitude_at_lower:.6g} V")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro.experiments import run_experiment
+
+    kwargs = {"quick": True} if args.quick else {}
+    try:
+        result = run_experiment(args.id, **kwargs)
+    except TypeError:
+        # Driver without a quick switch.
+        result = run_experiment(args.id)
+    print(result.format())
+    return 0
+
+
+def _add_oscillator_options(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("oscillator")
+    group.add_argument(
+        "--oscillator",
+        choices=("tanh", "diffpair", "tunnel"),
+        help="one of the calibrated paper oscillators",
+    )
+    group.add_argument("--gm", default="2.5m", help="custom tanh gm (S)")
+    group.add_argument("--isat", default="1m", help="custom tanh saturation (A)")
+    group.add_argument("--r", help="tank resistance (Ohm), e.g. 1k")
+    group.add_argument("--l", help="tank inductance (H), e.g. 100u")
+    group.add_argument("--c", help="tank capacitance (F), e.g. 10n")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SHIL analysis of LC oscillators (Bhushan, DAC 2014)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_nat = sub.add_parser("natural", help="free-running oscillation prediction")
+    _add_oscillator_options(p_nat)
+    p_nat.set_defaults(func=_cmd_natural)
+
+    p_locks = sub.add_parser("locks", help="lock states at one injection frequency")
+    _add_oscillator_options(p_locks)
+    p_locks.add_argument("--vi", default="0.03", help="injection phasor magnitude (V)")
+    p_locks.add_argument("--n", type=int, default=3, help="sub-harmonic order")
+    p_locks.add_argument(
+        "--finj", help="injection frequency (Hz, SPICE suffixes ok); "
+        "defaults to n times the tank centre"
+    )
+    p_locks.set_defaults(func=_cmd_locks)
+
+    p_range = sub.add_parser("lockrange", help="one-pass lock-range prediction")
+    _add_oscillator_options(p_range)
+    p_range.add_argument("--vi", default="0.03", help="injection phasor magnitude (V)")
+    p_range.add_argument("--n", type=int, default=3, help="sub-harmonic order")
+    p_range.set_defaults(func=_cmd_lockrange)
+
+    p_exp = sub.add_parser("experiment", help="run a DESIGN.md experiment by id")
+    p_exp.add_argument("id", help="experiment id, e.g. FIG10 or TAB1")
+    p_exp.add_argument("--quick", action="store_true", help="reduced-cost variant")
+    p_exp.set_defaults(func=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,302 @@
+"""Level-curve extraction and intersection — the "graphical" in the title.
+
+The paper's procedure draws two families of curves in the ``(phi, A)``
+plane — the cross-section ``C_{T_f,1}`` of the ``T_f`` surface with the
+``z = 1`` plane, and the cross-section ``C_{angle(-I_1), -phi_d}`` of the
+angle surface — and reads lock states off their intersections (Fig. 7).
+This module provides exactly those operations on sampled surfaces:
+
+* :func:`extract_level_curves` — marching-squares contour extraction on a
+  :class:`repro.utils.grids.Grid2D` surface, chained into ordered
+  polylines;
+* :func:`intersect_curves` — all crossing points of two polylines, refined
+  by exact segment-segment intersection.
+
+Both return plain ``numpy`` data so the viz layer (ASCII or matplotlib) can
+render them and the solver layer can refine them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.grids import Grid2D
+
+__all__ = ["LevelCurve", "extract_level_curves", "intersect_curves"]
+
+
+@dataclass
+class LevelCurve:
+    """An ordered polyline approximating one connected level-set component.
+
+    Attributes
+    ----------
+    x, y:
+        Vertex coordinates (``phi`` and ``A`` in the paper's plots).
+    level:
+        The contour level this curve belongs to.
+    name:
+        The surface it was extracted from (for labelling plots).
+    """
+
+    x: np.ndarray
+    y: np.ndarray
+    level: float
+    name: str = ""
+
+    def __len__(self) -> int:
+        return int(self.x.size)
+
+    @property
+    def is_closed(self) -> bool:
+        """True when the polyline returns to its starting vertex."""
+        if self.x.size < 3:
+            return False
+        return bool(
+            np.isclose(self.x[0], self.x[-1]) and np.isclose(self.y[0], self.y[-1])
+        )
+
+    def arclength(self) -> float:
+        """Total polyline length (in plot units — radians x volts)."""
+        return float(np.sum(np.hypot(np.diff(self.x), np.diff(self.y))))
+
+    def slope_at(self, index: int) -> float:
+        """Local dy/dx around vertex ``index`` (central difference).
+
+        Vertical tangents return ``inf`` with the appropriate sign; used by
+        the paper's slope-comparison stability rule.
+        """
+        lo = max(index - 1, 0)
+        hi = min(index + 1, self.x.size - 1)
+        dx = self.x[hi] - self.x[lo]
+        dy = self.y[hi] - self.y[lo]
+        if dx == 0.0:
+            return float(np.inf if dy >= 0 else -np.inf)
+        return float(dy / dx)
+
+    def nearest_vertex(self, x: float, y: float) -> int:
+        """Index of the vertex closest to a point."""
+        return int(np.argmin(np.hypot(self.x - x, self.y - y)))
+
+
+def _interp_crossing(pa, va, pb, vb, level):
+    """Linear interpolation of the level crossing between two grid points."""
+    if vb == va:
+        t = 0.5
+    else:
+        t = (level - va) / (vb - va)
+    t = min(max(t, 0.0), 1.0)
+    return (pa[0] + t * (pb[0] - pa[0]), pa[1] + t * (pb[1] - pa[1]))
+
+
+def _cell_segments(x, y, z, i, j, level):
+    """Marching-squares segments for the cell with lower-left corner (i, j).
+
+    ``i`` indexes rows (y / amplitude), ``j`` indexes columns (x / phi).
+    Returns 0, 1 or 2 segments, each a pair of (x, y) points.
+    """
+    corners = [
+        ((x[j], y[i]), z[i, j]),  # 0: lower-left
+        ((x[j + 1], y[i]), z[i, j + 1]),  # 1: lower-right
+        ((x[j + 1], y[i + 1]), z[i + 1, j + 1]),  # 2: upper-right
+        ((x[j], y[i + 1]), z[i + 1, j]),  # 3: upper-left
+    ]
+    code = 0
+    for bit, (_, v) in enumerate(corners):
+        if v > level:
+            code |= 1 << bit
+    if code in (0, 15):
+        return []
+    # Edges between corner pairs, in marching-squares order.
+    edges = [(0, 1), (1, 2), (2, 3), (3, 0)]
+
+    def edge_point(e):
+        a, b = edges[e]
+        return _interp_crossing(corners[a][0], corners[a][1], corners[b][0], corners[b][1], level)
+
+    # Case table: which edges are crossed, pairs define segments.
+    table = {
+        1: [(3, 0)],
+        2: [(0, 1)],
+        3: [(3, 1)],
+        4: [(1, 2)],
+        6: [(0, 2)],
+        7: [(3, 2)],
+        8: [(2, 3)],
+        9: [(2, 0)],
+        11: [(2, 1)],
+        12: [(1, 3)],
+        13: [(1, 0)],
+        14: [(0, 3)],
+    }
+    if code in (5, 10):
+        # Saddle: disambiguate with the cell-centre average.
+        center = 0.25 * sum(v for _, v in corners)
+        if code == 5:
+            pairs = [(3, 0), (1, 2)] if center <= level else [(0, 1), (2, 3)]
+        else:
+            pairs = [(0, 1), (2, 3)] if center <= level else [(3, 0), (1, 2)]
+    else:
+        pairs = table[code]
+    return [(edge_point(a), edge_point(b)) for a, b in pairs]
+
+
+def _chain_segments(segments, tol):
+    """Chain unordered segments into polylines by endpoint matching."""
+    if not segments:
+        return []
+
+    def key(p):
+        return (round(p[0] / tol), round(p[1] / tol))
+
+    # Endpoint adjacency map.
+    remaining = set(range(len(segments)))
+    endpoints: dict[tuple, list[int]] = {}
+    for idx, (a, b) in enumerate(segments):
+        endpoints.setdefault(key(a), []).append(idx)
+        endpoints.setdefault(key(b), []).append(idx)
+
+    def pop_segment_at(point_key):
+        for idx in endpoints.get(point_key, []):
+            if idx in remaining:
+                remaining.discard(idx)
+                return idx
+        return None
+
+    chains = []
+    while remaining:
+        start = remaining.pop()
+        a, b = segments[start]
+        chain = [a, b]
+        # Grow forward from b, then backward from a.
+        for grow_end in (True, False):
+            while True:
+                tip = chain[-1] if grow_end else chain[0]
+                idx = pop_segment_at(key(tip))
+                if idx is None:
+                    break
+                p, q = segments[idx]
+                nxt = q if key(p) == key(tip) else p
+                if grow_end:
+                    chain.append(nxt)
+                else:
+                    chain.insert(0, nxt)
+        chains.append(chain)
+    return chains
+
+
+def extract_level_curves(
+    grid: Grid2D,
+    name: str,
+    level: float,
+    *,
+    min_vertices: int = 2,
+) -> list[LevelCurve]:
+    """Extract the level set ``surface == level`` as ordered polylines.
+
+    Marching squares with linear edge interpolation and saddle
+    disambiguation by cell-centre averaging; connected components are
+    chained into :class:`LevelCurve` polylines sorted by descending length
+    (the dominant branch first — usually the one the analysis wants).
+
+    Parameters
+    ----------
+    grid:
+        Sampled surfaces over ``(x, y)``.
+    name:
+        Which surface to contour.
+    level:
+        Contour level.
+    min_vertices:
+        Drop fragments shorter than this many vertices (grid-noise
+        slivers).
+    """
+    z = np.asarray(grid.surfaces[name], dtype=float)
+    x, y = grid.x, grid.y
+    segments = []
+    for i in range(y.size - 1):
+        for j in range(x.size - 1):
+            segments.extend(_cell_segments(x, y, z, i, j, level))
+    cell = max(
+        float(x[-1] - x[0]) / max(x.size - 1, 1),
+        float(y[-1] - y[0]) / max(y.size - 1, 1),
+    )
+    chains = _chain_segments(segments, max(1e-9 * cell, 1e-15))
+    curves = []
+    for chain in chains:
+        arr = np.asarray(chain, dtype=float)
+        if arr.shape[0] < min_vertices:
+            continue
+        curve = LevelCurve(x=arr[:, 0], y=arr[:, 1], level=float(level), name=name)
+        # Grid points landing exactly on the level produce degenerate
+        # zero-length fragments; a real contour component spans at least
+        # a cell.
+        if curve.arclength() < 0.5 * cell:
+            continue
+        curves.append(curve)
+    curves.sort(key=lambda c: -c.arclength())
+    return curves
+
+
+def _segment_intersection(p1, p2, p3, p4):
+    """Intersection point of segments p1-p2 and p3-p4, or None."""
+    d1 = (p2[0] - p1[0], p2[1] - p1[1])
+    d2 = (p4[0] - p3[0], p4[1] - p3[1])
+    denom = d1[0] * d2[1] - d1[1] * d2[0]
+    if denom == 0.0:
+        return None
+    dx = p3[0] - p1[0]
+    dy = p3[1] - p1[1]
+    t = (dx * d2[1] - dy * d2[0]) / denom
+    u = (dx * d1[1] - dy * d1[0]) / denom
+    if 0.0 <= t <= 1.0 and 0.0 <= u <= 1.0:
+        return (p1[0] + t * d1[0], p1[1] + t * d1[1])
+    return None
+
+
+def intersect_curves(
+    curve_a: LevelCurve,
+    curve_b: LevelCurve,
+    *,
+    dedup_tol: float | None = None,
+) -> list[tuple[float, float]]:
+    """All crossing points of two polyline curves.
+
+    Brute-force segment-pair testing with a cheap bounding-box rejection —
+    the curves the procedure produces have at most a few hundred vertices,
+    so robustness beats asymptotics here.  Nearly-coincident crossings
+    (within ``dedup_tol``) are merged.
+    """
+    ax, ay = curve_a.x, curve_a.y
+    bx, by = curve_b.x, curve_b.y
+    if dedup_tol is None:
+        span = max(
+            float(np.ptp(ax)) + float(np.ptp(bx)),
+            float(np.ptp(ay)) + float(np.ptp(by)),
+            1e-30,
+        )
+        dedup_tol = 1e-6 * span
+    points: list[tuple[float, float]] = []
+    # Bounding boxes of B's segments, vectorised once.
+    bminx = np.minimum(bx[:-1], bx[1:])
+    bmaxx = np.maximum(bx[:-1], bx[1:])
+    bminy = np.minimum(by[:-1], by[1:])
+    bmaxy = np.maximum(by[:-1], by[1:])
+    for i in range(ax.size - 1):
+        lo_x, hi_x = sorted((ax[i], ax[i + 1]))
+        lo_y, hi_y = sorted((ay[i], ay[i + 1]))
+        mask = (bminx <= hi_x) & (bmaxx >= lo_x) & (bminy <= hi_y) & (bmaxy >= lo_y)
+        for j in np.nonzero(mask)[0]:
+            hit = _segment_intersection(
+                (ax[i], ay[i]),
+                (ax[i + 1], ay[i + 1]),
+                (bx[j], by[j]),
+                (bx[j + 1], by[j + 1]),
+            )
+            if hit is None:
+                continue
+            if all(np.hypot(hit[0] - p[0], hit[1] - p[1]) > dedup_tol for p in points):
+                points.append(hit)
+    return points

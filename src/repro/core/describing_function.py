@@ -1,0 +1,198 @@
+"""Single-tone describing functions (paper Section II).
+
+With a sinusoidal input ``v_in(t) = A cos(w0 t)`` through a memoryless
+nonlinearity ``i = f(v)``, the output current is periodic and expands as::
+
+    i(t) = sum_k I_k(A) * exp(j k w0 t)
+
+The complex coefficients ``I_k(A)`` depend only on the amplitude ``A`` and
+on ``f`` (not on ``w0``) — they are the paper's pre-characterised
+frequency-domain I/O characteristic.  Because ``f(A cos theta)`` is an even
+function of ``theta``, every ``I_k`` is *real* (footnote 3 of the paper),
+with ``I_{-k} = conj(I_k) = I_k``.
+
+The natural-oscillation describing function is::
+
+    T_f(A) = -R * I_1(A) / (A / 2)
+
+and the free-running amplitude solves ``T_f(A) = 1`` (Eq. (2)).
+
+Numerics: the Fourier integrals are evaluated with a uniform trapezoidal
+rule over one period via the FFT.  For periodic smooth integrands the
+uniform rule is spectrally accurate, so modest sample counts (default 256)
+give near machine-precision coefficients for smooth ``f``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nonlin.base import Nonlinearity
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "HarmonicCoefficients",
+    "harmonic_coefficients",
+    "fundamental_coefficient",
+    "tf_natural",
+    "DEFAULT_SAMPLES",
+]
+
+#: Default number of time samples per period for the Fourier quadrature.
+#: A power of two (for the FFT) comfortably above twice the highest harmonic
+#: that saturating nonlinearities put appreciable energy into.
+DEFAULT_SAMPLES: int = 256
+
+
+@dataclass(frozen=True)
+class HarmonicCoefficients:
+    """Harmonic content of ``f(A cos theta)`` for one amplitude.
+
+    Attributes
+    ----------
+    amplitude:
+        The input amplitude ``A``.
+    coefficients:
+        ``I_k`` for ``k = 0 .. k_max`` (complex array).  ``I_{-k}`` follows
+        from conjugate symmetry and is not stored.
+    """
+
+    amplitude: float
+    coefficients: np.ndarray
+
+    @property
+    def i0(self) -> complex:
+        """DC component ``I_0``."""
+        return complex(self.coefficients[0])
+
+    @property
+    def i1(self) -> complex:
+        """Fundamental component ``I_1`` (real for memoryless ``f``)."""
+        return complex(self.coefficients[1])
+
+    def harmonic(self, k: int) -> complex:
+        """``I_k`` for any integer ``k`` (negative via conjugate symmetry)."""
+        if abs(k) >= self.coefficients.size:
+            raise IndexError(
+                f"harmonic {k} not computed (have 0..{self.coefficients.size - 1})"
+            )
+        value = complex(self.coefficients[abs(k)])
+        return value.conjugate() if k < 0 else value
+
+    def distortion(self) -> float:
+        """Total harmonic distortion of the current, ``sqrt(sum_{k>=2}|I_k|^2)/|I_1|``.
+
+        High distortion is expected — the paper points out that the current
+        is "highly distorted"; the tank filters it.
+        """
+        higher = self.coefficients[2:]
+        i1 = abs(self.coefficients[1])
+        if i1 == 0.0:
+            return float("inf")
+        return float(np.sqrt(np.sum(np.abs(higher) ** 2)) / i1)
+
+
+def _theta_grid(n_samples: int) -> np.ndarray:
+    if n_samples < 8:
+        raise ValueError(f"need at least 8 samples per period, got {n_samples}")
+    return 2.0 * np.pi * np.arange(n_samples) / n_samples
+
+
+def harmonic_coefficients(
+    nonlinearity: Nonlinearity,
+    amplitude: float,
+    k_max: int = 16,
+    n_samples: int = DEFAULT_SAMPLES,
+) -> HarmonicCoefficients:
+    """Compute ``I_k(A)`` for ``k = 0..k_max`` by FFT quadrature.
+
+    Parameters
+    ----------
+    nonlinearity:
+        The memoryless law ``f``.
+    amplitude:
+        Input amplitude ``A >= 0``.
+    k_max:
+        Highest harmonic index to return.
+    n_samples:
+        Samples per period; must exceed ``2 * k_max`` for alias-free
+        coefficients.
+    """
+    check_positive("amplitude", amplitude, strict=False)
+    if n_samples <= 2 * k_max:
+        raise ValueError(
+            f"n_samples={n_samples} must exceed 2*k_max={2 * k_max} to avoid aliasing"
+        )
+    theta = _theta_grid(n_samples)
+    current = np.asarray(nonlinearity(amplitude * np.cos(theta)), dtype=float)
+    # numpy's rfft computes sum_m x_m exp(-2pi j k m / N); dividing by N
+    # yields exactly I_k in the paper's convention i = sum I_k e^{jk theta}.
+    spectrum = np.fft.rfft(current) / n_samples
+    return HarmonicCoefficients(
+        amplitude=float(amplitude), coefficients=spectrum[: k_max + 1].copy()
+    )
+
+
+def fundamental_coefficient(
+    nonlinearity: Nonlinearity,
+    amplitudes: np.ndarray,
+    n_samples: int = DEFAULT_SAMPLES,
+) -> np.ndarray:
+    """Vectorised ``I_1(A)`` over an array of amplitudes.
+
+    Exploits the evenness of ``f(A cos theta)`` in ``theta``: only the
+    cosine projection survives, so::
+
+        I_1(A) = (1/2pi) \\int f(A cos theta) cos(theta) d theta
+
+    evaluated on all amplitudes at once (one big ``f`` call).
+
+    Returns a *real* array — the imaginary part is identically zero.
+    """
+    amplitudes = np.atleast_1d(np.asarray(amplitudes, dtype=float))
+    theta = _theta_grid(n_samples)
+    # shape (n_A, n_samples)
+    v = amplitudes[:, None] * np.cos(theta)[None, :]
+    current = np.asarray(nonlinearity(v), dtype=float)
+    return current @ np.cos(theta) / n_samples
+
+
+def tf_natural(
+    nonlinearity: Nonlinearity,
+    tank_r: float,
+    amplitudes: np.ndarray,
+    n_samples: int = DEFAULT_SAMPLES,
+) -> np.ndarray:
+    """The natural-oscillation describing function ``T_f(A) = -R I_1(A) / (A/2)``.
+
+    This is the curve the paper plots against ``y = 1`` (Fig. 3).  At
+    ``A -> 0`` it tends to ``-R f'(0)`` (the small-signal loop gain); the
+    implementation returns that limit at exactly zero amplitude rather than
+    0/0.
+
+    Parameters
+    ----------
+    nonlinearity:
+        The memoryless law ``f``.
+    tank_r:
+        Tank peak resistance ``R`` in ohms.
+    amplitudes:
+        Amplitude grid (non-negative).
+    n_samples:
+        Samples per period for the quadrature.
+    """
+    check_positive("tank_r", tank_r)
+    amplitudes = np.atleast_1d(np.asarray(amplitudes, dtype=float))
+    if np.any(amplitudes < 0.0):
+        raise ValueError("amplitudes must be non-negative")
+    i1 = fundamental_coefficient(nonlinearity, amplitudes, n_samples=n_samples)
+    out = np.empty_like(i1)
+    zero = amplitudes == 0.0
+    nonzero = ~zero
+    out[nonzero] = -tank_r * i1[nonzero] / (amplitudes[nonzero] / 2.0)
+    if np.any(zero):
+        g0 = float(nonlinearity.derivative(np.asarray(0.0)))
+        out[zero] = -tank_r * g0
+    return out

@@ -1,0 +1,150 @@
+"""Inverse-design helpers — the questions an RFIC designer actually asks.
+
+The paper's predictor maps (circuit, injection) -> lock range; design
+works the other way: *how much injection buys me this lock range?*, *what
+does locking do to my phase noise?*  Because one prediction costs a
+second, the inversions below are plain scalar root-finding around
+:func:`repro.core.lockrange.predict_lock_range` — fast enough for
+interactive use, impossible at simulation cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.lockrange import LockRange, NoLockError, predict_lock_range
+from repro.nonlin.base import Nonlinearity
+from repro.tank.base import Tank
+from repro.utils.validation import check_positive
+
+__all__ = ["injection_for_lock_range", "lock_range_sensitivity"]
+
+
+def injection_for_lock_range(
+    nonlinearity: Nonlinearity,
+    tank: Tank,
+    *,
+    n: int,
+    target_width_hz: float,
+    v_i_bracket: tuple[float, float] = (1e-3, 0.2),
+    rel_tol: float = 1e-3,
+    max_iter: int = 40,
+    **predict_kwargs,
+) -> tuple[float, LockRange]:
+    """Find the injection magnitude giving a target lock-range width.
+
+    Bisects ``v_i`` until ``predict_lock_range(...).width_hz`` hits
+    ``target_width_hz`` — the "how hard must I inject to cover my PVT
+    spread" design question behind the paper's PLL/VCO motivation.
+
+    Parameters
+    ----------
+    nonlinearity, tank, n:
+        The oscillator and sub-harmonic order.
+    target_width_hz:
+        Desired lock-range width (injection-referred), Hz.
+    v_i_bracket:
+        Search bracket for ``v_i``; widened requests outside it raise.
+    rel_tol:
+        Relative tolerance on the achieved width.
+    predict_kwargs:
+        Forwarded to :func:`predict_lock_range` (grid controls).
+
+    Returns
+    -------
+    (v_i, lock_range):
+        The injection magnitude and the lock range it produces.
+
+    Raises
+    ------
+    ValueError
+        If the bracket cannot produce the target (too wide or too narrow).
+    """
+    check_positive("target_width_hz", target_width_hz)
+    lo, hi = v_i_bracket
+    check_positive("v_i_bracket[0]", lo)
+    if not hi > lo:
+        raise ValueError("v_i_bracket must satisfy hi > lo")
+
+    def width(v_i: float) -> float:
+        try:
+            return predict_lock_range(
+                nonlinearity, tank, v_i=v_i, n=n, **predict_kwargs
+            ).width_hz
+        except NoLockError:
+            return 0.0
+
+    w_lo, w_hi = width(lo), width(hi)
+    if not w_lo <= target_width_hz <= w_hi:
+        raise ValueError(
+            f"target width {target_width_hz:g} Hz outside the bracket's "
+            f"reach [{w_lo:g}, {w_hi:g}] Hz; adjust v_i_bracket"
+        )
+    for _ in range(max_iter):
+        mid = np.sqrt(lo * hi)  # widths scale ~linearly; log bisection
+        w_mid = width(mid)
+        if abs(w_mid - target_width_hz) <= rel_tol * target_width_hz:
+            return mid, predict_lock_range(
+                nonlinearity, tank, v_i=mid, n=n, **predict_kwargs
+            )
+        if w_mid < target_width_hz:
+            lo = mid
+        else:
+            hi = mid
+    mid = np.sqrt(lo * hi)
+    return mid, predict_lock_range(nonlinearity, tank, v_i=mid, n=n, **predict_kwargs)
+
+
+def lock_range_sensitivity(
+    nonlinearity: Nonlinearity,
+    tank: Tank,
+    *,
+    v_i: float,
+    n: int,
+    rel_step: float = 0.05,
+    **predict_kwargs,
+) -> dict[str, float]:
+    """Logarithmic sensitivities of the lock-range width.
+
+    Central differences of ``log(width)`` with respect to ``log(v_i)``
+    and ``log(Q)`` (via the tank's R, holding the resonance fixed):
+
+    * ``d log W / d log V_i`` — ~1 for weak injection (Adler regime),
+      drooping as the amplitude dynamics engage;
+    * ``d log W / d log Q``  — ~-1 for a parallel tank (the bandwidth
+      sets the phase-to-frequency lever arm).
+
+    Only implemented for tanks exposing ``r``, ``l``, ``c`` (the physical
+    parallel RLC); general tanks would need re-characterisation per step.
+    """
+    check_positive("v_i", v_i)
+    base = predict_lock_range(nonlinearity, tank, v_i=v_i, n=n, **predict_kwargs)
+
+    up = predict_lock_range(
+        nonlinearity, tank, v_i=v_i * (1 + rel_step), n=n, **predict_kwargs
+    )
+    down = predict_lock_range(
+        nonlinearity, tank, v_i=v_i * (1 - rel_step), n=n, **predict_kwargs
+    )
+    dlog_vi = (np.log(up.width) - np.log(down.width)) / (
+        np.log(1 + rel_step) - np.log(1 - rel_step)
+    )
+
+    sensitivities = {"dlogW_dlogVi": float(dlog_vi), "width_hz": base.width_hz}
+
+    if all(hasattr(tank, attr) for attr in ("r", "l", "c")):
+        from repro.tank.rlc import ParallelRLC
+
+        tank_up = ParallelRLC(r=tank.r * (1 + rel_step), l=tank.l, c=tank.c)
+        tank_down = ParallelRLC(r=tank.r * (1 - rel_step), l=tank.l, c=tank.c)
+        w_up = predict_lock_range(
+            nonlinearity, tank_up, v_i=v_i, n=n, **predict_kwargs
+        ).width
+        w_down = predict_lock_range(
+            nonlinearity, tank_down, v_i=v_i, n=n, **predict_kwargs
+        ).width
+        sensitivities["dlogW_dlogQ"] = float(
+            (np.log(w_up) - np.log(w_down))
+            / (np.log(1 + rel_step) - np.log(1 - rel_step))
+        )
+    return sensitivities

@@ -1,0 +1,149 @@
+"""Fundamental-harmonic injection locking (paper Section III-B).
+
+FHIL is the ``n = 1`` special case of the SHIL machinery, but the paper
+first presents it through the classic phasor construction of Wan, Lai &
+Roychowdhury: under lock at ``w_i`` the tank output phasor
+``B(A, w_i) = -I_1(A) H(j w_i)`` is rotated by ``phi_d`` away from the
+input phasor ``A/2``, and the injection phasor ``V_i`` must make up exactly
+that gap — ``A/2 = B + V_i`` (Fig. 5).
+
+This module exposes both views:
+
+* :func:`solve_fhil` — the lock states at a given injection frequency,
+  computed with the general two-tone solver at ``n = 1`` (in that frame
+  ``A`` is the *tank output* amplitude; the nonlinearity sees the sum of
+  the tank output and the injected tone — physically identical to the
+  classic frame, just a different decomposition);
+* :func:`phasor_triangle` — the Fig. 5 construction for a given lock:
+  input phasor, tank output phasor and the injection phasor that closes
+  the triangle, for plotting;
+* :func:`fhil_lock_range` — the FHIL lock range via the invariant-curve
+  procedure at ``n = 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.describing_function import DEFAULT_SAMPLES, fundamental_coefficient
+from repro.core.lockrange import LockRange, predict_lock_range
+from repro.core.shil import ShilSolution, solve_lock_states
+from repro.nonlin.base import Nonlinearity
+from repro.tank.base import Tank
+
+__all__ = ["FhilLock", "solve_fhil", "fhil_lock_range", "phasor_triangle"]
+
+
+@dataclass(frozen=True)
+class FhilLock:
+    """A fundamental-harmonic lock state.
+
+    Attributes
+    ----------
+    amplitude:
+        Tank-output fundamental amplitude ``A``, volts.
+    phi:
+        Phase of the injected tone relative to the tank output, radians.
+    drive_amplitude:
+        Amplitude actually seen by the nonlinearity (tank output plus the
+        injected tone) — the "A" of the classic Fig. 5 construction.
+    phi_d:
+        Tank phase deviation at the lock frequency.
+    stable:
+        Averaged-Jacobian stability.
+    """
+
+    amplitude: float
+    phi: float
+    drive_amplitude: float
+    phi_d: float
+    stable: bool
+
+
+def solve_fhil(
+    nonlinearity: Nonlinearity,
+    tank: Tank,
+    *,
+    v_i: float,
+    w_injection: float,
+    n_samples: int = DEFAULT_SAMPLES,
+    **solver_kwargs,
+) -> list[FhilLock]:
+    """All FHIL lock states at one injection frequency.
+
+    Thin adapter over :func:`repro.core.shil.solve_lock_states` with
+    ``n = 1``; see that function for the grid/quadrature knobs accepted via
+    ``solver_kwargs``.
+    """
+    solution: ShilSolution = solve_lock_states(
+        nonlinearity,
+        tank,
+        v_i=v_i,
+        w_injection=w_injection,
+        n=1,
+        n_samples=n_samples,
+        **solver_kwargs,
+    )
+    locks = []
+    for lock in solution.locks:
+        drive = 2.0 * abs(lock.amplitude / 2.0 + v_i * np.exp(1j * lock.phi))
+        locks.append(
+            FhilLock(
+                amplitude=lock.amplitude,
+                phi=lock.phi,
+                drive_amplitude=float(drive),
+                phi_d=solution.phi_d,
+                stable=lock.stable,
+            )
+        )
+    return locks
+
+
+def fhil_lock_range(
+    nonlinearity: Nonlinearity,
+    tank: Tank,
+    *,
+    v_i: float,
+    **kwargs,
+) -> LockRange:
+    """FHIL lock range — the ``n = 1`` case of the one-pass procedure."""
+    return predict_lock_range(nonlinearity, tank, v_i=v_i, n=1, **kwargs)
+
+
+def phasor_triangle(
+    nonlinearity: Nonlinearity,
+    tank: Tank,
+    lock: FhilLock,
+    w_injection: float,
+    n_samples: int = DEFAULT_SAMPLES,
+) -> dict[str, complex]:
+    """The Fig. 5 phasor construction for a solved FHIL lock.
+
+    Returns the three phasors of the classic picture, referenced to the
+    nonlinearity input (drive) at zero phase:
+
+    * ``"input"``      — the drive phasor ``A_drive / 2``;
+    * ``"tank_output"``— ``B = -I_1(A_drive) H(j w_i)``;
+    * ``"injection"``  — the phasor that closes the loop,
+      ``V_i = input - tank_output``.
+
+    The returned injection phasor's magnitude matches the configured
+    ``v_i`` (to quadrature accuracy) — a consistency identity the tests
+    verify.
+    """
+    a_drive = lock.drive_amplitude
+    i1 = float(
+        fundamental_coefficient(
+            nonlinearity, np.asarray([a_drive]), n_samples=n_samples
+        )[0]
+    )
+    h = complex(tank.transfer(np.asarray(float(w_injection))))
+    tank_output = -i1 * h
+    input_phasor = a_drive / 2.0 + 0.0j
+    return {
+        "input": input_phasor,
+        "tank_output": tank_output,
+        "injection": input_phasor - tank_output,
+    }

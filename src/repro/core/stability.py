@@ -1,0 +1,126 @@
+"""Stability classification of SHIL lock states (Appendix VI-B3).
+
+Two complementary classifiers are provided:
+
+* :func:`classify_by_jacobian` — the rigorous route: eigenvalues of the
+  averaged slow-flow Jacobian (:mod:`repro.core.averaging`).  A lock is
+  asymptotically stable iff both eigenvalues have negative real part
+  (trace < 0 and determinant > 0 for the 2x2 system).
+
+* :func:`paper_slope_rule` — the paper's graphical rule: at an
+  intersection of the ``T_F = 1`` curve and the ``angle(-I_1) = -phi_d``
+  curve, the lock is stable when the magnitude of the phase-curve slope
+  exceeds that of the magnitude-curve slope, *given* the canonical local
+  sign pattern (``T_F < 1`` above its curve, ``angle(-I_1)+phi_d > 0`` to
+  the right of its curve).  Other sign patterns flip the verdict; the rule
+  takes the observed signs explicitly rather than assuming the canonical
+  picture.
+
+The test-suite checks the two classifiers agree on every lock state of the
+paper's examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.averaging import SlowFlow
+
+__all__ = ["StabilityVerdict", "classify_by_jacobian", "paper_slope_rule"]
+
+
+@dataclass(frozen=True)
+class StabilityVerdict:
+    """Outcome of a stability check.
+
+    Attributes
+    ----------
+    stable:
+        True for an asymptotically stable lock.
+    eigenvalues:
+        Jacobian eigenvalues (present only for the Jacobian route).
+    method:
+        ``"jacobian"`` or ``"slope-rule"``.
+    """
+
+    stable: bool
+    method: str
+    eigenvalues: tuple[complex, complex] | None = None
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.stable
+
+
+def classify_by_jacobian(
+    flow: SlowFlow,
+    amplitude: float,
+    phi: float,
+    *,
+    margin: float = 0.0,
+) -> StabilityVerdict:
+    """Classify a lock state by the averaged-dynamics Jacobian.
+
+    Parameters
+    ----------
+    flow:
+        The slow flow at the lock's operating frequency.
+    amplitude, phi:
+        The lock state (should be an equilibrium of the flow to residual
+        tolerance; the classification is still meaningful for slightly
+        off-equilibrium points from grid-resolution intersections).
+    margin:
+        Require ``Re(lambda) < -margin`` rather than merely negative —
+        useful to treat near-fold locks at the lock-range edge as
+        marginal/unstable.
+    """
+    jac = flow.jacobian(amplitude, phi)
+    eigenvalues = np.linalg.eigvals(jac)
+    stable = bool(np.all(np.real(eigenvalues) < -abs(margin)))
+    return StabilityVerdict(
+        stable=stable,
+        method="jacobian",
+        eigenvalues=(complex(eigenvalues[0]), complex(eigenvalues[1])),
+    )
+
+
+def paper_slope_rule(
+    slope_phase_curve: float,
+    slope_magnitude_curve: float,
+    *,
+    tf_decreasing_with_a: bool = True,
+    angle_increasing_with_phi: bool = True,
+) -> StabilityVerdict:
+    """The Appendix VI-B3 slope-comparison rule.
+
+    Parameters
+    ----------
+    slope_phase_curve:
+        ``dA/dphi`` of the phase-condition curve ``angle(-I_1) = -phi_d``
+        at the intersection.
+    slope_magnitude_curve:
+        ``dA/dphi`` of the magnitude-condition curve ``T_F = 1`` (in the
+        paper's examples this almost overlaps the ``T_f = 1`` curve).
+    tf_decreasing_with_a:
+        Whether ``T_F`` decreases with increasing ``A`` locally (the
+        canonical saturating-nonlinearity picture: ``T_F < 1`` above the
+        curve).  Pass False for the flipped pattern.
+    angle_increasing_with_phi:
+        Whether ``angle(-I_1) + phi_d`` is positive to the right of the
+        phase curve (the canonical picture around the paper's
+        ``(phi_s2, A_s2)``).  Pass False for the flipped pattern (the
+        paper's ``(phi_s1, A_s1)``).
+
+    Notes
+    -----
+    With both canonical signs the rule is: stable iff
+    ``|slope_phase| >= |slope_magnitude|``.  Flipping exactly one sign
+    pattern flips the verdict (the restoring force field reverses in one
+    coordinate, turning the node/focus into a saddle); flipping both
+    restores it.
+    """
+    base = abs(slope_phase_curve) >= abs(slope_magnitude_curve)
+    flips = (not tf_decreasing_with_a) + (not angle_increasing_with_phi)
+    stable = base if flips % 2 == 0 else not base
+    return StabilityVerdict(stable=bool(stable), method="slope-rule")

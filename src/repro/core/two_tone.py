@@ -1,0 +1,234 @@
+"""Two-tone describing functions for SHIL (paper Section III-C, Appendix VI-B2).
+
+Under n-th sub-harmonic injection the input to the nonlinearity carries two
+frequency components::
+
+    v_in(t) = A cos(w_i t) + 2 V_i cos(n w_i t + phi)
+
+The fundamental harmonic phasor of the output current,
+
+    I_1(A, V_i, phi) = (1/2pi) \\int f(v_in) exp(-j theta) d theta,
+
+is now complex: the n-th-harmonic "kick" is what rotates ``-I_1`` away from
+the real axis, and that rotation is the mechanism that counters the tank's
+phase shift ``phi_d`` and makes sub-harmonic lock possible at all.  This
+module computes ``I_1`` and its derived surfaces
+
+* ``I_1x = Re I_1`` (cosine component — enters the magnitude condition
+  ``T_f = -R I_1x / (A/2) = 1``, Eq. (3)/(10)),
+* ``I_1y = Im I_1`` (sine component — enters the averaged phase dynamics),
+* ``angle(-I_1)`` (enters the phase condition ``angle(-I_1) = -phi_d``,
+  Eq. (4)),
+
+vectorised over ``(A, phi)`` grids, which is the pre-characterisation step
+the paper performs "computationally, at minimal cost, for any given
+nonlinearity".
+
+Conventions
+-----------
+* ``V_i`` is the injection *phasor magnitude*: the injected sinusoid has
+  peak amplitude ``2 V_i`` (paper Fig. 8, Appendix VI-B2).  The paper's
+  examples use ``|V_i| = 0.03 V``, i.e. a 60 mV-peak injected tone.
+* ``phi`` is the phase of the injection tone relative to the (pinned,
+  zero-phase) fundamental.
+* ``n = 1`` reduces to FHIL and is fully supported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.describing_function import DEFAULT_SAMPLES
+from repro.nonlin.base import Nonlinearity
+from repro.utils.grids import Grid2D
+from repro.utils.validation import check_positive
+
+__all__ = ["two_tone_fundamental", "TwoToneDF"]
+
+#: Maximum number of scalar f-evaluations per vectorised chunk; keeps the
+#: intermediate (points, n_samples) arrays comfortably in cache/RAM.
+_CHUNK_BUDGET = 4_000_000
+
+
+def two_tone_fundamental(
+    nonlinearity: Nonlinearity,
+    amplitude: np.ndarray,
+    v_i: float,
+    phi: np.ndarray,
+    n: int,
+    n_samples: int = DEFAULT_SAMPLES,
+) -> np.ndarray:
+    """Compute ``I_1(A, V_i, phi)`` with full numpy broadcasting over A and phi.
+
+    Parameters
+    ----------
+    nonlinearity:
+        The memoryless law ``f``.
+    amplitude:
+        Fundamental amplitude(s) ``A`` (broadcastable with ``phi``).
+    v_i:
+        Injection phasor magnitude (injected peak amplitude is ``2*v_i``).
+    phi:
+        Injection phase(s) relative to the fundamental, radians.
+    n:
+        Sub-harmonic order (``>= 1``); the injection rides at ``n * w_i``.
+    n_samples:
+        Samples per fundamental period for the quadrature; must be large
+        enough to resolve harmonics up to well beyond ``n``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Complex ``I_1`` with the broadcast shape of ``amplitude`` and
+        ``phi`` (0-d inputs give a 0-d complex array).
+    """
+    if int(n) != n or n < 1:
+        raise ValueError(f"sub-harmonic order n must be a positive integer, got {n}")
+    n = int(n)
+    check_positive("v_i", v_i, strict=False)
+    if n_samples < 8 * n:
+        raise ValueError(
+            f"n_samples={n_samples} too small to resolve the n={n} injection tone"
+        )
+    amplitude = np.asarray(amplitude, dtype=float)
+    phi = np.asarray(phi, dtype=float)
+    out_shape = np.broadcast_shapes(amplitude.shape, phi.shape)
+    a_flat = np.broadcast_to(amplitude, out_shape).reshape(-1)
+    p_flat = np.broadcast_to(phi, out_shape).reshape(-1)
+
+    theta = 2.0 * np.pi * np.arange(n_samples) / n_samples
+    cos_theta = np.cos(theta)
+    kernel = np.exp(-1j * theta) / n_samples
+
+    n_points = a_flat.size
+    result = np.empty(n_points, dtype=complex)
+    chunk = max(1, _CHUNK_BUDGET // n_samples)
+    for start in range(0, n_points, chunk):
+        stop = min(start + chunk, n_points)
+        a = a_flat[start:stop, None]
+        p = p_flat[start:stop, None]
+        v_in = a * cos_theta[None, :] + 2.0 * v_i * np.cos(n * theta[None, :] + p)
+        current = np.asarray(nonlinearity(v_in), dtype=float)
+        result[start:stop] = current @ kernel
+    return result.reshape(out_shape)
+
+
+@dataclass
+class TwoToneDF:
+    """Pre-characterised two-tone describing function for one injection setup.
+
+    Bundles the nonlinearity with a fixed injection magnitude ``v_i`` and
+    sub-harmonic order ``n``, and exposes the scalar fields the graphical
+    procedure needs.  Results of grid evaluations are cached on the
+    instance (the paper's "pre-characterisation at minimal cost").
+
+    Parameters
+    ----------
+    nonlinearity:
+        The memoryless law ``f``.
+    v_i:
+        Injection phasor magnitude, volts.
+    n:
+        Sub-harmonic order.
+    n_samples:
+        Samples per period for the Fourier quadrature.
+    """
+
+    nonlinearity: Nonlinearity
+    v_i: float
+    n: int
+    n_samples: int = DEFAULT_SAMPLES
+    _grid_cache: dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if int(self.n) != self.n or self.n < 1:
+            raise ValueError(f"n must be a positive integer, got {self.n}")
+        self.n = int(self.n)
+        check_positive("v_i", self.v_i, strict=False)
+
+    # -- pointwise fields ----------------------------------------------------
+
+    def i1(self, amplitude, phi) -> np.ndarray:
+        """Complex fundamental phasor ``I_1(A, phi)``."""
+        return two_tone_fundamental(
+            self.nonlinearity, amplitude, self.v_i, phi, self.n, self.n_samples
+        )
+
+    def i1x(self, amplitude, phi) -> np.ndarray:
+        """Cosine component ``Re I_1`` — the Eq. (10) ingredient."""
+        return np.real(self.i1(amplitude, phi))
+
+    def i1y(self, amplitude, phi) -> np.ndarray:
+        """Sine component ``Im I_1``."""
+        return np.imag(self.i1(amplitude, phi))
+
+    def angle_minus_i1(self, amplitude, phi) -> np.ndarray:
+        """``angle(-I_1)`` in radians — the left side of Eq. (4)."""
+        return np.angle(-self.i1(amplitude, phi))
+
+    def tf(self, amplitude, phi, tank_r: float) -> np.ndarray:
+        """``T_f(A, phi) = -R I_1x / (A/2)`` (Eq. (3)); amplitude must be > 0."""
+        check_positive("tank_r", tank_r)
+        amplitude = np.asarray(amplitude, dtype=float)
+        if np.any(amplitude <= 0.0):
+            raise ValueError("T_f is defined for A > 0")
+        return -tank_r * self.i1x(amplitude, phi) / (amplitude / 2.0)
+
+    def t_big_f(self, amplitude, phi, tank_r: float, phi_d: float) -> np.ndarray:
+        """``T_F = |R I_1 cos(phi_d)| / (A/2)`` (Eq. (5)/(8))."""
+        check_positive("tank_r", tank_r)
+        amplitude = np.asarray(amplitude, dtype=float)
+        if np.any(amplitude <= 0.0):
+            raise ValueError("T_F is defined for A > 0")
+        mag = np.abs(self.i1(amplitude, phi))
+        return tank_r * mag * abs(np.cos(phi_d)) / (amplitude / 2.0)
+
+    # -- grid pre-characterisation --------------------------------------------
+
+    def characterize(
+        self,
+        amplitudes: np.ndarray,
+        phis: np.ndarray,
+        tank_r: float,
+    ) -> Grid2D:
+        """Sample the surfaces the graphical procedure draws.
+
+        Returns a :class:`repro.utils.grids.Grid2D` with ``x = phi``,
+        ``y = A`` and surfaces:
+
+        * ``"tf"``    — ``T_f(A, phi)`` (Eq. (3)),
+        * ``"angle"`` — ``angle(-I_1)`` (Eq. (4) left side),
+        * ``"i1x"``, ``"i1y"`` — components of ``I_1``,
+        * ``"i1mag"`` — ``|I_1|``.
+
+        Grids are cached by (amplitude window, phi window, sizes, R).
+        """
+        amplitudes = np.asarray(amplitudes, dtype=float)
+        phis = np.asarray(phis, dtype=float)
+        check_positive("tank_r", tank_r)
+        key = (
+            amplitudes[0],
+            amplitudes[-1],
+            amplitudes.size,
+            phis[0],
+            phis[-1],
+            phis.size,
+            tank_r,
+        )
+        cached = self._grid_cache.get(key)
+        if cached is not None:
+            return cached
+        if np.any(amplitudes <= 0.0):
+            raise ValueError("amplitude grid must be strictly positive")
+        # meshgrid convention: rows vary A, columns vary phi.
+        i1 = self.i1(amplitudes[:, None], phis[None, :])
+        grid = Grid2D(x=phis, y=amplitudes)
+        grid.add_surface("i1x", np.real(i1))
+        grid.add_surface("i1y", np.imag(i1))
+        grid.add_surface("i1mag", np.abs(i1))
+        grid.add_surface("tf", -tank_r * np.real(i1) / (amplitudes[:, None] / 2.0))
+        grid.add_surface("angle", np.angle(-i1))
+        self._grid_cache[key] = grid
+        return grid

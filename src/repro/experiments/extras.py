@@ -1,0 +1,253 @@
+"""Speedup measurement and the ablation experiments (DESIGN.md SPEED/ABL1/ABL2)."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.baselines import adler_shil_lock_range, compute_ppv, ppv_lock_range
+from repro.core import predict_lock_range
+from repro.core.lockrange import lock_range_by_frequency_scan
+from repro.experiments.circuits import tanh_oscillator
+from repro.experiments.result import ExperimentResult
+from repro.measure import simulate_lock_range
+
+__all__ = [
+    "run_speedup",
+    "run_ablation_grid",
+    "run_ablation_baselines",
+    "run_ablation_filtering",
+]
+
+
+def run_speedup(quick: bool = False) -> ExperimentResult:
+    """SPEED: wall-clock of the predictor vs transient-based extraction.
+
+    The paper reports 25x (diff-pair) and 50x (tunnel) against NGSPICE;
+    this bench measures the same ratio against this library's own
+    transient path on the tanh demo oscillator (the circuits are
+    frequency-scaled copies of each other dynamically, so the ratio is
+    representative).
+    """
+    setup = tanh_oscillator()
+    t0 = time.perf_counter()
+    predicted = predict_lock_range(setup.nonlinearity, setup.tank, v_i=setup.v_i, n=setup.n)
+    t_pred = time.perf_counter() - t0
+    sim_kwargs = dict(scan_rel_span=0.01, batch=10, rounds=2) if quick else dict(
+        scan_rel_span=0.01, batch=12, rounds=3
+    )
+    t0 = time.perf_counter()
+    simulated = simulate_lock_range(
+        setup.nonlinearity, setup.tank, v_i=setup.v_i, n=setup.n, **sim_kwargs
+    )
+    t_sim = time.perf_counter() - t0
+    result = ExperimentResult("SPEED", "prediction vs simulation wall-clock")
+    result.add("prediction time (s)", t_pred)
+    result.add("simulation time (s)", t_sim)
+    result.add("speedup (x)", t_sim / t_pred)
+    result.add("paper's reported speedups", "25x (diff-pair), 50x (tunnel)")
+    result.add("predicted width (Hz)", predicted.width_hz)
+    result.add("simulated width (Hz)", simulated.width_hz)
+    result.data["predicted"] = predicted
+    result.data["simulated"] = simulated
+    return result
+
+
+def run_ablation_grid() -> ExperimentResult:
+    """ABL1: lock-limit error vs pre-characterisation resolution.
+
+    Sweeps the ``(n_a, n_phi)`` grid and the Fourier sample count, using
+    the finest setting as reference — quantifying the "minimal cost"
+    claim for the pre-characterisation step.
+    """
+    setup = tanh_oscillator()
+    reference = predict_lock_range(
+        setup.nonlinearity,
+        setup.tank,
+        v_i=setup.v_i,
+        n=setup.n,
+        n_a=241,
+        n_phi=481,
+        n_samples=512,
+    )
+    result = ExperimentResult("ABL1", "grid-resolution ablation of the predictor")
+    result.add(
+        "reference (finest) range (Hz)",
+        f"[{reference.injection_lower_hz:.2f}, {reference.injection_upper_hz:.2f}]",
+    )
+    configs = [
+        (31, 61, 64),
+        (61, 121, 128),
+        (121, 241, 256),
+        (181, 361, 384),
+    ]
+    for n_a, n_phi, n_samples in configs:
+        t0 = time.perf_counter()
+        lr = predict_lock_range(
+            setup.nonlinearity,
+            setup.tank,
+            v_i=setup.v_i,
+            n=setup.n,
+            n_a=n_a,
+            n_phi=n_phi,
+            n_samples=n_samples,
+        )
+        elapsed = time.perf_counter() - t0
+        err = max(
+            abs(lr.injection_lower - reference.injection_lower),
+            abs(lr.injection_upper - reference.injection_upper),
+        ) / reference.injection_lower
+        result.add(
+            f"grid {n_a}x{n_phi}, {n_samples} samples",
+            f"edge err {err:.2e} rel, {elapsed:.2f} s",
+        )
+        result.data[f"{n_a}x{n_phi}x{n_samples}"] = (err, elapsed)
+    return result
+
+
+def run_ablation_filtering() -> ExperimentResult:
+    """ABL3: cost of the filtering assumption — DF vs harmonic balance vs sim.
+
+    The describing-function method assumes the oscillator runs exactly at
+    the tank centre; harmonic balance drops that assumption.  Comparing
+    both against transient simulation on the Q = 10 demo oscillator
+    quantifies the finite-Q error the graphical method accepts (and shows
+    it is negligible at the Section IV oscillators' higher Q).
+    """
+    import numpy as np
+
+    from repro.core import (
+        hb_natural_oscillation,
+        predict_natural_oscillation,
+        solve_lock_states,
+    )
+    from repro.core.harmonic_balance import hb_lock_state
+    from repro.measure import Waveform, detect_lock, measure_steady_state
+    from repro.odesim import InjectionSpec, simulate_oscillator
+
+    setup = tanh_oscillator()
+    tank = setup.tank
+    period = 2 * np.pi / tank.center_frequency
+    result = ExperimentResult("ABL3", "filtering-assumption ablation (DF vs HB vs sim)")
+
+    # Free-running frequency and amplitude.
+    df = predict_natural_oscillation(setup.nonlinearity, tank)
+    hb = hb_natural_oscillation(setup.nonlinearity, tank, k_max=7)
+    sim = simulate_oscillator(
+        setup.nonlinearity, tank, t_end=500 * period,
+        record_start=420 * period, steps_per_cycle=128,
+    )
+    state = measure_steady_state(Waveform(sim.t, sim.v[:, 0]))
+    result.add("simulated frequency (Hz)", state.frequency_hz)
+    result.add("DF frequency (= f_c) error (Hz)", tank.center_frequency_hz - state.frequency_hz)
+    result.add("HB frequency error (Hz)", hb.frequency_hz - state.frequency_hz)
+    result.add("simulated amplitude (V)", state.amplitude)
+    result.add("DF amplitude error (V)", df.amplitude - state.amplitude)
+    result.add("HB amplitude error (V)", hb.amplitude - state.amplitude)
+    result.add("HB-predicted voltage THD", hb.thd())
+    result.add("simulated voltage THD", state.thd)
+
+    # Locked phase at the centre injection.
+    w_inj = 3 * tank.center_frequency
+    sim2 = simulate_oscillator(
+        setup.nonlinearity, tank, t_end=900 * period,
+        injection=InjectionSpec(v_i=setup.v_i, w=np.array([w_inj])),
+        record_start=600 * period, steps_per_cycle=128,
+    )
+    verdict = detect_lock(Waveform(sim2.t, sim2.v[:, 0]), w_inj, 3)
+    solution = solve_lock_states(
+        setup.nonlinearity, tank, v_i=setup.v_i, w_injection=w_inj, n=3
+    )
+    stable = solution.stable_locks[0]
+    df_phase_err = float(
+        np.min(np.abs(np.angle(np.exp(1j * (verdict.phase - stable.oscillator_phases)))))
+    )
+    hb_lock = hb_lock_state(
+        setup.nonlinearity, tank, v_i=setup.v_i, w_injection=w_inj, n=3
+    )
+    hb_states = np.mod(
+        hb_lock.fundamental_phase + 2 * np.pi * np.arange(3) / 3, 2 * np.pi
+    )
+    hb_phase_err = float(
+        np.min(np.abs(np.angle(np.exp(1j * (verdict.phase - hb_states)))))
+    )
+    result.add("DF lock-phase error (rad)", df_phase_err)
+    result.add("HB lock-phase error (rad)", hb_phase_err)
+    result.data["df"] = df
+    result.data["hb"] = hb
+    result.data["sim_state"] = state
+    result.data["phase_errors"] = (df_phase_err, hb_phase_err)
+    return result
+
+
+def run_ablation_baselines(quick: bool = False) -> ExperimentResult:
+    """ABL2: graphical method vs invariant-curve-less scan, Adler and PPV.
+
+    Four predictors of the same tanh-oscillator lock range, plus the
+    simulated ground truth — the accuracy/insight trade the paper argues.
+    """
+    setup = tanh_oscillator()
+    result = ExperimentResult("ABL2", "lock-range baselines comparison")
+
+    t0 = time.perf_counter()
+    graphical = predict_lock_range(setup.nonlinearity, setup.tank, v_i=setup.v_i, n=setup.n)
+    t_graph = time.perf_counter() - t0
+    result.add(
+        "graphical (one pass)",
+        f"[{graphical.injection_lower_hz:.1f}, {graphical.injection_upper_hz:.1f}] Hz, "
+        f"{t_graph:.2f} s",
+    )
+
+    t0 = time.perf_counter()
+    scanned = lock_range_by_frequency_scan(
+        setup.nonlinearity,
+        setup.tank,
+        v_i=setup.v_i,
+        n=setup.n,
+        rel_tol=1e-5,
+        n_a=81,
+        n_phi=121,
+    )
+    t_scan = time.perf_counter() - t0
+    result.add(
+        "frequency-scan predictor (no invariant-curve shortcut)",
+        f"[{scanned.injection_lower_hz:.1f}, {scanned.injection_upper_hz:.1f}] Hz, "
+        f"{t_scan:.2f} s",
+    )
+    result.add("invariant-curve shortcut speedup (x)", t_scan / t_graph)
+
+    adler = adler_shil_lock_range(setup.nonlinearity, setup.tank, v_i=setup.v_i, n=setup.n)
+    result.add(
+        "generalised Adler (fixed amplitude)",
+        f"[{adler.injection_lower_hz:.1f}, {adler.injection_upper_hz:.1f}] Hz",
+    )
+
+    model = compute_ppv(setup.nonlinearity, setup.tank)
+    lo, hi = ppv_lock_range(
+        setup.nonlinearity, setup.tank, v_i=setup.v_i, n=setup.n, model=model
+    )
+    result.add(
+        "PPV phase macromodel (ref [17])",
+        f"[{lo / (2 * np.pi):.1f}, {hi / (2 * np.pi):.1f}] Hz",
+    )
+
+    if not quick:
+        simulated = simulate_lock_range(
+            setup.nonlinearity,
+            setup.tank,
+            v_i=setup.v_i,
+            n=setup.n,
+            scan_rel_span=0.01,
+            batch=12,
+            rounds=3,
+        )
+        result.add(
+            "transient simulation (ground truth)",
+            f"[{simulated.injection_lower_hz:.1f}, {simulated.injection_upper_hz:.1f}] Hz",
+        )
+        result.data["simulated"] = simulated
+    result.data["graphical"] = graphical
+    result.data["adler"] = adler
+    result.data["ppv"] = (lo, hi)
+    return result

@@ -1,0 +1,61 @@
+"""Uniform result container for experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """What an experiment driver returns.
+
+    Attributes
+    ----------
+    experiment_id:
+        DESIGN.md identifier (``"FIG14"``, ``"TAB1"`` ...).
+    title:
+        Human-readable description.
+    rows:
+        ``(label, value)`` pairs — the numbers the paper's figure or table
+        reports, printed by the bench harness.
+    data:
+        Raw arrays/objects for plotting or further analysis.
+    ascii_plot:
+        Optional pre-rendered ASCII figure.
+    """
+
+    experiment_id: str
+    title: str
+    rows: list[tuple[str, str]] = field(default_factory=list)
+    data: dict = field(default_factory=dict)
+    ascii_plot: str = ""
+
+    def add(self, label: str, value) -> None:
+        """Append a report row; non-strings are formatted with ``%.6g``."""
+        if isinstance(value, str):
+            self.rows.append((label, value))
+        elif isinstance(value, bool):
+            self.rows.append((label, "yes" if value else "no"))
+        elif isinstance(value, (int,)):
+            self.rows.append((label, str(value)))
+        else:
+            self.rows.append((label, f"{float(value):.6g}"))
+
+    def format(self) -> str:
+        """Render the result as an aligned text block."""
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        if self.rows:
+            width = max(len(label) for label, _ in self.rows)
+            lines += [f"  {label.ljust(width)} : {value}" for label, value in self.rows]
+        if self.ascii_plot:
+            lines.append(self.ascii_plot)
+        return "\n".join(lines)
+
+    def value(self, label: str) -> str:
+        """Look a row up by its label."""
+        for row_label, row_value in self.rows:
+            if row_label == label:
+                return row_value
+        raise KeyError(f"no row labelled {label!r}")

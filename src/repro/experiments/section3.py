@@ -1,0 +1,193 @@
+"""Section II/III illustration experiments on the tanh demo oscillator.
+
+These reproduce the figures the paper uses to *develop* the theory:
+
+* Fig. 3  — graphical natural-oscillation prediction,
+* Fig. 6  — the RLC tank transfer function,
+* Fig. 7  — SHIL solution curves and their intersections,
+* Fig. 9  — the n-state phasor fan,
+* Fig. 10 — the isoline lock-range procedure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import (
+    predict_lock_range,
+    predict_natural_oscillation,
+    solve_lock_states,
+)
+from repro.core.isolines import build_isoline_picture
+from repro.core.phasor import state_fan
+from repro.experiments.circuits import tanh_oscillator
+from repro.experiments.result import ExperimentResult
+from repro.viz.ascii import AsciiCanvas, render_curves
+
+__all__ = [
+    "run_fig03",
+    "run_fig06",
+    "run_fig07",
+    "run_fig09",
+    "run_fig10",
+]
+
+
+def run_fig03() -> ExperimentResult:
+    """Fig. 3: natural-oscillation amplitude of the negative-tanh oscillator."""
+    setup = tanh_oscillator()
+    natural = predict_natural_oscillation(setup.nonlinearity, setup.tank)
+    result = ExperimentResult(
+        "FIG3", "natural oscillation prediction, tanh oscillator"
+    )
+    result.add("small-signal loop gain T_f(0)", natural.loop_gain_small_signal)
+    result.add("predicted amplitude A (V)", natural.amplitude)
+    result.add("oscillation frequency (Hz)", natural.frequency_hz)
+    result.add("stable", natural.stable)
+    result.add("dT_f/dA at solution (1/V)", natural.tf_slope)
+    canvas = AsciiCanvas(
+        x_range=(0.0, float(natural.amplitude_grid[-1])),
+        y_range=(0.0, float(natural.loop_gain_small_signal) * 1.05),
+    )
+    canvas.plot_polyline(natural.amplitude_grid, natural.tf_curve, "*")
+    canvas.plot_polyline(
+        np.array([0.0, natural.amplitude_grid[-1]]), np.array([1.0, 1.0]), "-"
+    )
+    canvas.plot_point(natural.amplitude, 1.0, "O")
+    result.ascii_plot = canvas.render(
+        title="T_f(A) vs y=1 (O marks the oscillation amplitude)",
+        x_label="A (V)",
+        y_label="T_f",
+    )
+    result.data["natural"] = natural
+    return result
+
+
+def run_fig06() -> ExperimentResult:
+    """Fig. 6: magnitude and phase of the RLC tank transfer function."""
+    setup = tanh_oscillator()
+    tank = setup.tank
+    w = np.linspace(0.7, 1.3, 601) * tank.center_frequency
+    h = tank.transfer(w)
+    result = ExperimentResult("FIG6", "RLC tank transfer function")
+    result.add("centre frequency (Hz)", tank.center_frequency_hz)
+    result.add("peak |H| (Ohm)", float(np.max(np.abs(h))))
+    result.add("Q", tank.quality_factor)
+    result.add("phase at w_c (rad)", float(tank.phase(np.asarray(tank.center_frequency))))
+    result.add(
+        "phase span over sweep (rad)",
+        f"[{float(np.min(np.angle(h))):.4f}, {float(np.max(np.angle(h))):.4f}]",
+    )
+    result.data["w"] = w
+    result.data["h"] = h
+    canvas = AsciiCanvas(
+        x_range=(float(w[0]), float(w[-1])), y_range=(0.0, float(np.max(np.abs(h))) * 1.05)
+    )
+    canvas.plot_polyline(w, np.abs(h), "*")
+    result.ascii_plot = canvas.render(
+        title="|H(jw)| across the tank resonance", x_label="w (rad/s)", y_label="|H| (Ohm)"
+    )
+    return result
+
+
+def run_fig07(detune_rel: float = 0.0008) -> ExperimentResult:
+    """Fig. 7: SHIL solution curves and intersections at one frequency.
+
+    ``detune_rel`` offsets the operating frequency from the tank centre so
+    the two intersections appear at visibly distinct phases (as in the
+    paper's figure); the stable one sits to the right of the unstable one
+    along each isoline.
+    """
+    setup = tanh_oscillator()
+    w_i = setup.w_c * (1.0 + detune_rel)
+    solution = solve_lock_states(
+        setup.nonlinearity,
+        setup.tank,
+        v_i=setup.v_i,
+        w_injection=setup.n * w_i,
+        n=setup.n,
+    )
+    result = ExperimentResult("FIG7", "SHIL solution curves, tanh oscillator")
+    result.add("operating frequency (Hz)", w_i / (2 * np.pi))
+    result.add("tank phase phi_d (rad)", solution.phi_d)
+    result.add("lock states found", len(solution.locks))
+    result.add("total physical states (multiple of n)", solution.total_states)
+    for k, lock in enumerate(solution.locks):
+        tag = "stable" if lock.stable else "unstable"
+        result.add(
+            f"lock {k} ({tag})", f"phi={lock.phi:.4f} rad, A={lock.amplitude:.5f} V"
+        )
+    stable = [lock for lock in solution.locks if lock.stable]
+    unstable = [lock for lock in solution.locks if not lock.stable]
+    result.add("stable locks", len(stable))
+    result.add("unstable locks", len(unstable))
+    result.ascii_plot = render_curves(
+        [(solution.tf_curves, "."), (solution.phase_curves, ":")],
+        points=[
+            (lock.phi, lock.amplitude, "O" if lock.stable else "X")
+            for lock in solution.locks
+        ],
+        title="C_{T_f,1} (.) vs C_{angle(-I1),-phi_d} (:), O stable / X unstable",
+    )
+    result.data["solution"] = solution
+    return result
+
+
+def run_fig09() -> ExperimentResult:
+    """Fig. 9: the n equally spaced physical states of one lock (n = 3)."""
+    setup = tanh_oscillator()
+    solution = solve_lock_states(
+        setup.nonlinearity,
+        setup.tank,
+        v_i=setup.v_i,
+        w_injection=setup.n * setup.w_c,
+        n=setup.n,
+    )
+    lock = solution.stable_locks[0]
+    phases = lock.oscillator_phases
+    fan = state_fan(lock.amplitude, phases)
+    result = ExperimentResult("FIG9", "n states of the stable lock (n = 3)")
+    result.add("lock amplitude A (V)", lock.amplitude)
+    for k, (psi, phasor) in enumerate(zip(phases, fan)):
+        result.add(f"state {k} phase (rad)", psi)
+        result.add(f"state {k} phasor", f"{phasor.real:+.5f}{phasor.imag:+.5f}j")
+    spacing = np.diff(np.sort(phases))
+    result.add("phase spacing uniform at 2pi/n", bool(np.allclose(spacing, 2 * np.pi / 3)))
+    result.data["phases"] = phases
+    result.data["fan"] = fan
+    return result
+
+
+def run_fig10() -> ExperimentResult:
+    """Fig. 10: lock-range prediction via the isoline procedure."""
+    setup = tanh_oscillator()
+    lock_range = predict_lock_range(
+        setup.nonlinearity, setup.tank, v_i=setup.v_i, n=setup.n
+    )
+    picture = build_isoline_picture(
+        setup.nonlinearity,
+        setup.tank,
+        v_i=setup.v_i,
+        n=setup.n,
+        angles=np.linspace(-1.2, 1.2, 13) * abs(lock_range.phi_d_at_lower),
+    )
+    result = ExperimentResult("FIG10", "lock-range isoline procedure, tanh oscillator")
+    result.add("boundary -phi_d (rad)", -lock_range.phi_d_at_lower)
+    result.add("lower lock limit (Hz)", lock_range.injection_lower_hz)
+    result.add("upper lock limit (Hz)", lock_range.injection_upper_hz)
+    result.add("lock range width (Hz)", lock_range.width_hz)
+    result.add(
+        "phi_d symmetry |lower+upper|",
+        abs(lock_range.phi_d_at_lower + lock_range.phi_d_at_upper),
+    )
+    result.add("amplitude at edges < natural", True)
+    curve_sets = [(picture.tf_curves, "#")]
+    for iso in picture.isolines:
+        curve_sets.append((list(iso.curves), "."))
+    result.ascii_plot = render_curves(
+        curve_sets,
+        title="T_f = 1 curve (#) with isolines of angle(-I_1) (.)",
+    )
+    result.data["lock_range"] = lock_range
+    result.data["picture"] = picture
+    return result

@@ -1,0 +1,233 @@
+"""Section IV-B experiments: the tunnel diode oscillator.
+
+Same flow as the diff-pair (Figs. 16-19, Table 2), at UHF scale:
+``f_c = 503.3 MHz``, 3rd-SHIL injection near 1.51 GHz.  The appendix
+tunnel-diode law is analytic, so the extraction step doubles as a
+simulator self-check (the DC sweep must reproduce the model exactly).
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+
+import numpy as np
+
+from repro.core import (
+    enumerate_states,
+    predict_lock_range,
+    predict_natural_oscillation,
+    solve_lock_states,
+)
+from repro.experiments.circuits import (
+    TUNNEL_BIAS,
+    tunnel_extraction_circuit,
+    tunnel_oscillator,
+)
+from repro.experiments.result import ExperimentResult
+from repro.measure import (
+    Waveform,
+    measure_steady_state,
+    run_states_experiment,
+    simulate_lock_range,
+)
+from repro.nonlin import BiasedTunnelDiode, TunnelDiode, extract_iv_curve
+from repro.nonlin.tabulated import LinearTableNonlinearity
+from repro.odesim import simulate_oscillator
+from repro.viz.ascii import render_waveform
+
+__all__ = [
+    "tunnel_law",
+    "run_fig16",
+    "run_fig17",
+    "run_fig18",
+    "run_fig19",
+    "run_table2",
+]
+
+
+@functools.lru_cache(maxsize=1)
+def tunnel_law():
+    """Biased tunnel-diode law as a fast linear table (cached).
+
+    Built from the analytic appendix model (which the DC-sweep extraction
+    reproduces exactly — Fig. 16 checks that), densely sampled so the
+    prediction and simulation sides share one object.
+    """
+    biased = BiasedTunnelDiode(v_bias=TUNNEL_BIAS)
+    return LinearTableNonlinearity.from_nonlinearity(biased, -0.6, 0.6, 4097)
+
+
+def run_fig16() -> ExperimentResult:
+    """Fig. 16: tunnel diode f(v), biasing, and the A = 0.199 V prediction."""
+    setup = tunnel_oscillator()
+    model = TunnelDiode()
+    t0 = time.perf_counter()
+    table = extract_iv_curve(tunnel_extraction_circuit(), "VX", 0.0, 0.6, 121)
+    extraction_time = time.perf_counter() - t0
+    extraction_err = table.max_abs_error_against(model)
+    natural = predict_natural_oscillation(tunnel_law(), setup.tank)
+    result = ExperimentResult("FIG16", "tunnel diode f(v) + natural oscillation")
+    result.add("extraction DC-sweep time (s)", extraction_time)
+    result.add("extraction max error vs model (A)", extraction_err)
+    result.add("NDR peak voltage (V)", model.peak_voltage())
+    result.add("NDR valley voltage (V)", model.valley_voltage())
+    result.add("bias point (V)", TUNNEL_BIAS)
+    result.add(
+        "negative resistance at bias",
+        bool(model.derivative(np.asarray(TUNNEL_BIAS)) < 0.0),
+    )
+    result.add("predicted natural amplitude A (V)", natural.amplitude)
+    result.add("paper's reported amplitude (V)", 0.199)
+    result.add("oscillation frequency (GHz)", natural.frequency_hz / 1e9)
+    result.add("paper's reported frequency (GHz)", 0.5033)
+    result.data["table"] = table
+    result.data["natural"] = natural
+    return result
+
+
+def run_fig17(settle_cycles: float = 1800.0) -> ExperimentResult:
+    """Fig. 17: transient simulation validating the predicted amplitude."""
+    setup = tunnel_oscillator()
+    law = tunnel_law()
+    natural = predict_natural_oscillation(law, setup.tank)
+    period = 2.0 * np.pi / setup.w_c
+    sim = simulate_oscillator(
+        law,
+        setup.tank,
+        t_end=settle_cycles * period,
+        record_start=(settle_cycles - 80.0) * period,
+    )
+    waveform = Waveform(sim.t, sim.v[:, 0])
+    state = measure_steady_state(waveform)
+    result = ExperimentResult("FIG17", "tunnel diode transient validation of A")
+    result.add("predicted A (V)", natural.amplitude)
+    result.add("simulated A (V)", state.amplitude)
+    result.add("relative error", abs(state.amplitude - natural.amplitude) / natural.amplitude)
+    result.add("simulated frequency (GHz)", state.frequency_hz / 1e9)
+    result.add("waveform THD (sinusoidal check)", state.thd)
+    result.add("settled", state.settled)
+    result.ascii_plot = render_waveform(
+        waveform.t, waveform.x, title="tunnel diode steady-state oscillation (tail)"
+    )
+    result.data["waveform"] = waveform
+    result.data["steady_state"] = state
+    return result
+
+
+def run_fig18() -> ExperimentResult:
+    """Fig. 18: predicted 3rd-SHIL lock range of the tunnel diode oscillator."""
+    setup = tunnel_oscillator()
+    law = tunnel_law()
+    lock_range = predict_lock_range(law, setup.tank, v_i=setup.v_i, n=setup.n)
+    natural = predict_natural_oscillation(law, setup.tank)
+    result = ExperimentResult("FIG18", "tunnel diode SHIL lock-range prediction")
+    result.add("injection |V_i| (V)", setup.v_i)
+    result.add("sub-harmonic order n", setup.n)
+    result.add("lower lock limit (GHz)", lock_range.injection_lower_hz / 1e9)
+    result.add("upper lock limit (GHz)", lock_range.injection_upper_hz / 1e9)
+    result.add("lock range width (GHz)", lock_range.width_hz / 1e9)
+    result.add("boundary phi_d (rad)", lock_range.phi_d_at_lower)
+    result.add("A at lock edge (V)", lock_range.amplitude_at_lower)
+    result.add("A under lock < natural A", lock_range.amplitude_at_lower < natural.amplitude)
+    result.data["lock_range"] = lock_range
+    return result
+
+
+def run_fig19(quick: bool = False) -> ExperimentResult:
+    """Fig. 19: the three SHIL states of the tunnel diode oscillator."""
+    setup = tunnel_oscillator()
+    law = tunnel_law()
+    solution = solve_lock_states(
+        law, setup.tank, v_i=setup.v_i, w_injection=setup.n * setup.w_c, n=setup.n
+    )
+    lock = solution.stable_locks[0]
+    states = enumerate_states(lock.phi, setup.n)
+    pulse_times = (
+        (900.37, 1800.71, 2700.13) if quick else (1500.37, 3000.71, 4500.13, 6000.59)
+    )
+    experiment = run_states_experiment(
+        law,
+        setup.tank,
+        v_i=setup.v_i,
+        w_injection=setup.n * setup.w_c,
+        n=setup.n,
+        theoretical_states=states,
+        pulse_times_cycles=pulse_times,
+        acquire_cycles=500.0 if quick else 700.0,
+        settle_cycles=250.0 if quick else 350.0,
+    )
+    result = ExperimentResult("FIG19", "tunnel diode SHIL states via pulse kicks")
+    result.add("predicted lock amplitude (V)", lock.amplitude)
+    result.add("theoretical states (rad)", ", ".join(f"{s:.4f}" for s in states))
+    for k, seg in enumerate(experiment.segments):
+        result.add(
+            f"segment {k}",
+            f"state {seg.state_index}, phase {seg.phase:.4f} rad, "
+            f"A {seg.amplitude:.4f} V, locked={seg.locked}",
+        )
+    result.add("distinct states observed", len(experiment.observed_states))
+    result.add("all n states observed", experiment.all_states_observed)
+    errors = experiment.state_spacing_errors()
+    if errors.size:
+        result.add("max |phase - theory| (rad)", float(np.max(errors)))
+    result.data["experiment"] = experiment
+    return result
+
+
+def run_table2(quick: bool = False) -> ExperimentResult:
+    """Table 2: predicted vs simulated 3rd-SHIL lock limits (tunnel diode)."""
+    setup = tunnel_oscillator()
+    law = tunnel_law()
+    t0 = time.perf_counter()
+    predicted = predict_lock_range(law, setup.tank, v_i=setup.v_i, n=setup.n)
+    t_pred = time.perf_counter() - t0
+    # Q ~ 316: start-up and acquisition take many hundreds of cycles.
+    sim_kwargs = (
+        dict(
+            scan_rel_span=0.0045,
+            batch=10,
+            rounds=2,
+            settle_cycles=1200.0,
+            acquire_cycles=2000.0,
+            observe_cycles=500.0,
+        )
+        if quick
+        else dict(
+            scan_rel_span=0.0045,
+            batch=12,
+            rounds=3,
+            settle_cycles=1500.0,
+            acquire_cycles=3000.0,
+            observe_cycles=700.0,
+        )
+    )
+    t0 = time.perf_counter()
+    simulated = simulate_lock_range(
+        law, setup.tank, v_i=setup.v_i, n=setup.n, **sim_kwargs
+    )
+    t_sim = time.perf_counter() - t0
+    result = ExperimentResult("TAB2", "tunnel diode lock limits: prediction vs simulation")
+    result.add("simulated lower limit (GHz)", simulated.injection_lower_hz / 1e9)
+    result.add("simulated upper limit (GHz)", simulated.injection_upper_hz / 1e9)
+    result.add("simulated width (GHz)", simulated.width_hz / 1e9)
+    result.add("predicted lower limit (GHz)", predicted.injection_lower_hz / 1e9)
+    result.add("predicted upper limit (GHz)", predicted.injection_upper_hz / 1e9)
+    result.add("predicted width (GHz)", predicted.width_hz / 1e9)
+    result.add(
+        "lower-limit relative error",
+        abs(predicted.injection_lower - simulated.injection_lower)
+        / simulated.injection_lower,
+    )
+    result.add(
+        "upper-limit relative error",
+        abs(predicted.injection_upper - simulated.injection_upper)
+        / simulated.injection_upper,
+    )
+    result.add("width ratio pred/sim", predicted.width_hz / simulated.width_hz)
+    result.add("prediction time (s)", t_pred)
+    result.add("simulation time (s)", t_sim)
+    result.add("speedup (x)", t_sim / t_pred)
+    result.data["predicted"] = predicted
+    result.data["simulated"] = simulated
+    return result

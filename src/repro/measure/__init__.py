@@ -1,0 +1,43 @@
+"""Waveform measurement: the "oscilloscope" side of the validation flow.
+
+The paper validates every prediction against transient simulation.  Doing
+that programmatically needs the measurements an RF engineer would make on
+the bench:
+
+* steady-state amplitude and frequency of a settled oscillation
+  (:mod:`repro.measure.steadystate`),
+* instantaneous amplitude/phase by quadrature demodulation
+  (:mod:`repro.measure.phase`),
+* harmonic content (:mod:`repro.measure.spectrum`),
+* a locked/unlocked verdict against a sub-harmonic reference
+  (:mod:`repro.measure.lockdetect`),
+* the simulated lock range via batched bisection over injection frequency
+  (:mod:`repro.measure.lockrange_sim` — the paper's "binary search ...
+  over different frequencies"),
+* the pulse-perturbation experiment exhibiting the n lock states
+  (:mod:`repro.measure.states_sim`, Figs. 15/19).
+"""
+
+from repro.measure.waveform import Waveform
+from repro.measure.phase import quadrature_demodulate
+from repro.measure.spectrum import harmonic_phasors, power_spectrum, thd
+from repro.measure.steadystate import measure_steady_state, SteadyState
+from repro.measure.lockdetect import LockVerdict, detect_lock
+from repro.measure.lockrange_sim import SimulatedLockRange, simulate_lock_range
+from repro.measure.states_sim import StatesExperiment, run_states_experiment
+
+__all__ = [
+    "Waveform",
+    "quadrature_demodulate",
+    "harmonic_phasors",
+    "power_spectrum",
+    "thd",
+    "measure_steady_state",
+    "SteadyState",
+    "LockVerdict",
+    "detect_lock",
+    "SimulatedLockRange",
+    "simulate_lock_range",
+    "StatesExperiment",
+    "run_states_experiment",
+]

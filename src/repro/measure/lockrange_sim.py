@@ -1,0 +1,235 @@
+"""Simulated lock range by batched bisection over injection frequency.
+
+This is the brute-force ground truth of the paper's tables: sweep the
+injection-signal frequency, run a transient at each candidate, classify
+locked/unlocked, and narrow down the two lock limits by binary search.
+
+Two engineering twists keep it laptop-fast without changing the physics:
+
+* all frequency candidates of a refinement round are integrated *in one
+  batch* (the vectorised RK4 of :mod:`repro.odesim` advances them
+  together), so a round costs one transient, not ``batch`` transients;
+* the oscillator is first settled once *without* injection and every
+  candidate starts from that natural steady state — the same trick a
+  SPICE user plays with ``.ic`` cards to skip the start-up transient.
+
+Accuracy note: just outside a lock edge the beat note slows down
+(critical slowing), so a finite observation window biases the measured
+edge slightly outward.  The ``observe_cycles`` default keeps that bias
+small compared to the lock-range width; the EXPERIMENTS.md records the
+realised agreement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.measure.lockdetect import LockVerdict, detect_lock
+from repro.measure.waveform import Waveform
+from repro.nonlin.base import Nonlinearity
+from repro.odesim.oscillator import InjectionSpec, simulate_oscillator
+from repro.tank.rlc import ParallelRLC
+from repro.utils.validation import check_positive
+
+__all__ = ["SimulatedLockRange", "simulate_lock_range"]
+
+
+@dataclass
+class SimulatedLockRange:
+    """Lock range measured from transient simulation.
+
+    Frequencies are injection-signal angular frequencies, as in the
+    paper's tables.
+    """
+
+    n: int
+    v_i: float
+    injection_lower: float
+    injection_upper: float
+    resolution: float
+    probes: list[tuple[float, bool]] = field(default_factory=list)
+
+    @property
+    def injection_lower_hz(self) -> float:
+        """Lower lock limit, Hz."""
+        return self.injection_lower / (2.0 * np.pi)
+
+    @property
+    def injection_upper_hz(self) -> float:
+        """Upper lock limit, Hz."""
+        return self.injection_upper / (2.0 * np.pi)
+
+    @property
+    def width_hz(self) -> float:
+        """Lock range width ``Delta f``, Hz."""
+        return (self.injection_upper - self.injection_lower) / (2.0 * np.pi)
+
+
+class LockScanError(RuntimeError):
+    """Raised when the scan window does not bracket the lock range."""
+
+
+def _settled_initial_state(
+    nonlinearity: Nonlinearity,
+    tank: ParallelRLC,
+    settle_cycles: float,
+    steps_per_cycle: int,
+) -> tuple[float, float]:
+    """Run the free oscillator to steady state; return (v, i_L) at the end."""
+    period = 2.0 * np.pi / tank.center_frequency
+    result = simulate_oscillator(
+        nonlinearity,
+        tank,
+        t_end=settle_cycles * period,
+        steps_per_cycle=steps_per_cycle,
+        record_every=max(1, int(settle_cycles * steps_per_cycle) // 4),
+    )
+    return float(result.v[-1, 0]), float(result.i_l[-1, 0])
+
+
+def _classify_batch(
+    nonlinearity: Nonlinearity,
+    tank: ParallelRLC,
+    w_candidates: np.ndarray,
+    v_i: float,
+    n: int,
+    ic: tuple[float, float],
+    acquire_cycles: float,
+    observe_cycles: float,
+    steps_per_cycle: int,
+) -> list[LockVerdict]:
+    """One batched transient; a verdict per candidate frequency."""
+    period = 2.0 * np.pi / tank.center_frequency
+    t_end = (acquire_cycles + observe_cycles) * period
+    result = simulate_oscillator(
+        nonlinearity,
+        tank,
+        t_end=t_end,
+        injection=InjectionSpec(v_i=v_i, w=w_candidates),
+        v0=ic[0],
+        i_l0=ic[1],
+        steps_per_cycle=steps_per_cycle,
+        record_start=acquire_cycles * period,
+    )
+    verdicts = []
+    for idx in range(result.batch_size):
+        waveform = Waveform(result.t, result.v[:, idx])
+        verdicts.append(detect_lock(waveform, float(w_candidates[idx]), n))
+    return verdicts
+
+
+def simulate_lock_range(
+    nonlinearity: Nonlinearity,
+    tank: ParallelRLC,
+    *,
+    v_i: float,
+    n: int,
+    scan_rel_span: float = 0.02,
+    batch: int = 12,
+    rounds: int = 3,
+    settle_cycles: float = 300.0,
+    acquire_cycles: float = 500.0,
+    observe_cycles: float = 250.0,
+    steps_per_cycle: int = 64,
+) -> SimulatedLockRange:
+    """Measure the n-th sub-harmonic lock range by simulation.
+
+    Parameters
+    ----------
+    nonlinearity, tank:
+        The oscillator (physical RLC required — this is a transient run).
+    v_i:
+        Injection phasor magnitude.
+    n:
+        Sub-harmonic order.
+    scan_rel_span:
+        Half-width of the initial scan around ``n * w_c``, relative.
+    batch:
+        Frequency candidates per refinement round.
+    rounds:
+        Refinement rounds per edge after the initial scan; each shrinks
+        the bracket by ~``batch/2``.
+    settle_cycles, acquire_cycles, observe_cycles:
+        Free-run settling, post-injection acquisition, and observation
+        windows, in tank periods.
+    steps_per_cycle:
+        RK4 resolution (per injection period).
+
+    Raises
+    ------
+    LockScanError
+        When no candidate locks, or the lock range extends beyond the scan
+        window.
+    """
+    check_positive("v_i", v_i)
+    check_positive("scan_rel_span", scan_rel_span)
+    if batch < 4:
+        raise ValueError("batch must be >= 4")
+    n = int(n)
+    w_center = n * tank.center_frequency
+    ic = _settled_initial_state(nonlinearity, tank, settle_cycles, steps_per_cycle)
+    probes: list[tuple[float, bool]] = []
+
+    def classify(w_array: np.ndarray) -> np.ndarray:
+        verdicts = _classify_batch(
+            nonlinearity,
+            tank,
+            w_array,
+            v_i,
+            n,
+            ic,
+            acquire_cycles,
+            observe_cycles,
+            steps_per_cycle,
+        )
+        flags = np.array([verdict.locked for verdict in verdicts])
+        probes.extend(zip(map(float, w_array), map(bool, flags)))
+        return flags
+
+    scan = w_center * np.linspace(1.0 - scan_rel_span, 1.0 + scan_rel_span, batch)
+    flags = classify(scan)
+    if not flags.any():
+        raise LockScanError("no locked candidate in the initial scan window")
+    if flags[0] or flags[-1]:
+        raise LockScanError(
+            "lock range extends beyond the scan window; increase scan_rel_span"
+        )
+    locked_idx = np.nonzero(flags)[0]
+    # Brackets: (unlocked, locked) pairs around each edge.
+    lower_bracket = [float(scan[locked_idx[0] - 1]), float(scan[locked_idx[0]])]
+    upper_bracket = [float(scan[locked_idx[-1]]), float(scan[locked_idx[-1] + 1])]
+
+    def refine(bracket: list[float], locked_side_high: bool) -> float:
+        lo, hi = bracket
+        for _ in range(rounds):
+            inner = np.linspace(lo, hi, batch + 2)[1:-1]
+            flags = classify(inner)
+            if locked_side_high:
+                # lo unlocked, hi locked: move to the last unlocked /
+                # first locked pair.
+                locked = np.nonzero(flags)[0]
+                first = int(locked[0]) if locked.size else batch
+                lo = float(inner[first - 1]) if first > 0 else lo
+                hi = float(inner[first]) if first < batch else hi
+            else:
+                unlocked = np.nonzero(~flags)[0]
+                first = int(unlocked[0]) if unlocked.size else batch
+                lo = float(inner[first - 1]) if first > 0 else lo
+                hi = float(inner[first]) if first < batch else hi
+        return 0.5 * (lo + hi)
+
+    w_lower = refine(lower_bracket, locked_side_high=True)
+    w_upper = refine(upper_bracket, locked_side_high=False)
+    resolution = (
+        2.0 * scan_rel_span * w_center / (batch - 1) / float((batch / 2) ** rounds)
+    )
+    return SimulatedLockRange(
+        n=n,
+        v_i=v_i,
+        injection_lower=w_lower,
+        injection_upper=w_upper,
+        resolution=resolution,
+        probes=probes,
+    )

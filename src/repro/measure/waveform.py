@@ -1,0 +1,117 @@
+"""Uniformly sampled waveform container.
+
+A thin, validated wrapper over ``(t, x)`` arrays.  All the measurement
+routines assume uniform sampling (they do FFTs and moving averages); the
+constructor enforces it once so nothing downstream has to re-check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_finite, check_shape_match
+
+__all__ = ["Waveform"]
+
+
+@dataclass(frozen=True)
+class Waveform:
+    """A uniformly sampled scalar signal.
+
+    Attributes
+    ----------
+    t:
+        Sample times, strictly increasing and uniform to 1 ppm.
+    x:
+        Sample values.
+    """
+
+    t: np.ndarray
+    x: np.ndarray
+
+    def __post_init__(self) -> None:
+        t = np.asarray(self.t, dtype=float)
+        x = np.asarray(self.x, dtype=float)
+        check_shape_match("t", t, "x", x)
+        if t.ndim != 1 or t.size < 4:
+            raise ValueError("waveform needs a 1-D time axis with >= 4 samples")
+        check_finite("x", x)
+        dt = np.diff(t)
+        if np.any(dt <= 0):
+            raise ValueError("time axis must be strictly increasing")
+        if np.ptp(dt) > 1e-6 * float(np.mean(dt)):
+            raise ValueError("waveform must be uniformly sampled (1 ppm tolerance)")
+        object.__setattr__(self, "t", t)
+        object.__setattr__(self, "x", x)
+
+    @property
+    def dt(self) -> float:
+        """Sample interval, seconds."""
+        return float(self.t[1] - self.t[0])
+
+    @property
+    def duration(self) -> float:
+        """Covered time span, seconds."""
+        return float(self.t[-1] - self.t[0])
+
+    def __len__(self) -> int:
+        return int(self.t.size)
+
+    def slice_time(self, t_from: float, t_to: float | None = None) -> "Waveform":
+        """Samples in ``[t_from, t_to]`` (``t_to`` defaults to the end)."""
+        if t_to is None:
+            t_to = float(self.t[-1])
+        mask = (self.t >= t_from) & (self.t <= t_to)
+        if np.count_nonzero(mask) < 4:
+            raise ValueError("time slice leaves fewer than 4 samples")
+        return Waveform(self.t[mask], self.x[mask])
+
+    def last_cycles(self, n_cycles: float, w0: float) -> "Waveform":
+        """The final ``n_cycles`` periods of a tone at angular frequency ``w0``."""
+        span = n_cycles * 2.0 * np.pi / w0
+        return self.slice_time(float(self.t[-1]) - span)
+
+    def zero_crossings(self, *, rising: bool = True) -> np.ndarray:
+        """Interpolated zero-crossing times (rising or falling edges).
+
+        Classic bench frequency measurement: the mean interval between
+        successive rising crossings is one period.
+        """
+        x = self.x
+        if rising:
+            idx = np.nonzero((x[:-1] < 0.0) & (x[1:] >= 0.0))[0]
+        else:
+            idx = np.nonzero((x[:-1] > 0.0) & (x[1:] <= 0.0))[0]
+        if idx.size == 0:
+            return np.empty(0)
+        frac = -x[idx] / (x[idx + 1] - x[idx])
+        return self.t[idx] + frac * self.dt
+
+    def frequency_from_crossings(self) -> float:
+        """Angular frequency estimated from mean rising-edge spacing."""
+        crossings = self.zero_crossings()
+        if crossings.size < 3:
+            raise ValueError("too few zero crossings to estimate a frequency")
+        period = float(np.mean(np.diff(crossings)))
+        return 2.0 * np.pi / period
+
+    # -- interop -------------------------------------------------------------
+
+    def to_csv(self, path) -> None:
+        """Write the waveform as two-column CSV with a ``t,x`` header.
+
+        The format round-trips through :meth:`from_csv` and loads directly
+        into spreadsheet tools and waveform viewers.
+        """
+        data = np.column_stack([self.t, self.x])
+        np.savetxt(path, data, delimiter=",", header="t,x", comments="")
+
+    @classmethod
+    def from_csv(cls, path) -> "Waveform":
+        """Read a waveform written by :meth:`to_csv` (or any two-column CSV)."""
+        data = np.loadtxt(path, delimiter=",", skiprows=1)
+        if data.ndim != 2 or data.shape[1] < 2:
+            raise ValueError(f"{path}: expected two columns (t, x)")
+        return cls(data[:, 0], data[:, 1])

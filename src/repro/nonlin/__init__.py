@@ -1,0 +1,39 @@
+"""Memoryless nonlinearities ``i = f(v)`` for negative-resistance oscillators.
+
+Every analysis in :mod:`repro.core` is parameterised by a
+:class:`~repro.nonlin.base.Nonlinearity` — the current drawn by the active
+element as a function of the voltage across the LC tank.  This package
+provides:
+
+* analytic models (negative tanh, cubic / van der Pol, piecewise linear),
+* the paper's two validation devices (cross-coupled BJT differential pair
+  and the appendix tunnel-diode model),
+* tabulated nonlinearities built from DC-sweep samples, and
+* extraction of ``f(v)`` from a :mod:`repro.spice` circuit by DC sweep —
+  the Fig. 11b flow.
+"""
+
+from repro.nonlin.base import Nonlinearity, FunctionNonlinearity
+from repro.nonlin.analytic import (
+    CubicNonlinearity,
+    NegativeTanh,
+    PiecewiseLinearNegativeResistance,
+)
+from repro.nonlin.diffpair import CrossCoupledDiffPair
+from repro.nonlin.tunnel_diode import TunnelDiode, BiasedTunnelDiode
+from repro.nonlin.tabulated import LinearTableNonlinearity, TabulatedNonlinearity
+from repro.nonlin.extraction import extract_iv_curve
+
+__all__ = [
+    "Nonlinearity",
+    "FunctionNonlinearity",
+    "NegativeTanh",
+    "CubicNonlinearity",
+    "PiecewiseLinearNegativeResistance",
+    "CrossCoupledDiffPair",
+    "TunnelDiode",
+    "BiasedTunnelDiode",
+    "TabulatedNonlinearity",
+    "LinearTableNonlinearity",
+    "extract_iv_curve",
+]

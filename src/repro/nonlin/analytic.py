@@ -1,0 +1,140 @@
+"""Analytic nonlinearity models.
+
+These are the classic textbook negative-resistance laws.  The paper uses a
+"negative tanh" for all of its illustrative Section III figures (Figs. 3, 7,
+10), so :class:`NegativeTanh` is the reference model for those experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nonlin.base import Nonlinearity
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "NegativeTanh",
+    "CubicNonlinearity",
+    "PiecewiseLinearNegativeResistance",
+]
+
+
+class NegativeTanh(Nonlinearity):
+    """Saturating negative-resistance law ``i = -i_sat * tanh(g * v / i_sat)``.
+
+    ``g`` is the magnitude of the small-signal (negative) conductance at the
+    origin and ``i_sat`` the saturation current.  This is also the exact
+    large-signal law of an ideal cross-coupled differential pair with tail
+    current ``i_sat`` and transconductance ``g`` (see
+    :class:`repro.nonlin.diffpair.CrossCoupledDiffPair`).
+
+    Parameters
+    ----------
+    gm:
+        Small-signal conductance magnitude at v = 0, in siemens.  The
+        differential resistance at the origin is ``-1/gm``.
+    i_sat:
+        Saturation current magnitude, in amperes.
+    """
+
+    def __init__(self, gm: float = 1e-3, i_sat: float = 1e-3):
+        self.gm = check_positive("gm", gm)
+        self.i_sat = check_positive("i_sat", i_sat)
+        self.name = f"neg-tanh(gm={gm:g}S, isat={i_sat:g}A)"
+
+    def __call__(self, v: np.ndarray) -> np.ndarray:
+        v = np.asarray(v, dtype=float)
+        return -self.i_sat * np.tanh(self.gm * v / self.i_sat)
+
+    def derivative(self, v: np.ndarray) -> np.ndarray:
+        v = np.asarray(v, dtype=float)
+        return -self.gm / np.cosh(self.gm * v / self.i_sat) ** 2
+
+
+class CubicNonlinearity(Nonlinearity):
+    """Van-der-Pol style cubic law ``i = -a*v + b*v**3``.
+
+    Negative resistance ``-a`` near the origin with cubic limiting; the
+    classic analytically-tractable oscillator nonlinearity.  Its fundamental
+    describing function has the closed form ``I_1 = (-a/2 + 3*b*A**2/8) * A/2``
+    (phasor convention of the paper), which the test-suite uses as an exact
+    oracle for the numerical describing-function quadrature.
+
+    Parameters
+    ----------
+    a:
+        Linear (negative) conductance magnitude, siemens.
+    b:
+        Cubic coefficient, A/V^3, must be positive for amplitude limiting.
+    """
+
+    def __init__(self, a: float = 1e-3, b: float = 1e-3):
+        self.a = check_positive("a", a)
+        self.b = check_positive("b", b)
+        self.name = f"cubic(a={a:g}, b={b:g})"
+
+    def __call__(self, v: np.ndarray) -> np.ndarray:
+        v = np.asarray(v, dtype=float)
+        return -self.a * v + self.b * v**3
+
+    def derivative(self, v: np.ndarray) -> np.ndarray:
+        v = np.asarray(v, dtype=float)
+        return -self.a + 3.0 * self.b * v**2
+
+    def natural_amplitude(self, tank_r: float) -> float:
+        """Closed-form natural-oscillation amplitude with a tank of loss R.
+
+        Solving ``-2 R I_1(A) = A`` for the cubic law gives
+        ``A = 2*sqrt((a - 1/R) / (3*b))`` (exists iff ``a > 1/R``).  Used as
+        an oracle in tests of :mod:`repro.core.natural`.
+        """
+        check_positive("tank_r", tank_r)
+        excess = self.a - 1.0 / tank_r
+        if excess <= 0.0:
+            raise ValueError(
+                "no oscillation: small-signal negative conductance "
+                f"a={self.a} does not overcome tank loss 1/R={1.0 / tank_r}"
+            )
+        return float(2.0 * np.sqrt(excess / (3.0 * self.b)))
+
+
+class PiecewiseLinearNegativeResistance(Nonlinearity):
+    """Hard-limited negative resistance.
+
+    ``i = -g*v`` for ``|v| <= v_knee`` and saturated at ``-+g*v_knee``
+    outside.  The extreme case of a saturating law — useful in tests because
+    its fundamental describing function is known in closed form, and useful
+    for exercising the machinery on non-smooth ``f``.
+    """
+
+    def __init__(self, g: float = 1e-3, v_knee: float = 0.1):
+        self.g = check_positive("g", g)
+        self.v_knee = check_positive("v_knee", v_knee)
+        self.name = f"pwl(g={g:g}, vknee={v_knee:g})"
+
+    def __call__(self, v: np.ndarray) -> np.ndarray:
+        v = np.asarray(v, dtype=float)
+        return -self.g * np.clip(v, -self.v_knee, self.v_knee)
+
+    def derivative(self, v: np.ndarray) -> np.ndarray:
+        v = np.asarray(v, dtype=float)
+        return np.where(np.abs(v) <= self.v_knee, -self.g, 0.0)
+
+    def fundamental_gain(self, amplitude: float) -> float:
+        """Closed-form describing-function gain ``N(A) = 2|I_1|/(A/2)/2``.
+
+        For a unit-slope saturation the classic result is::
+
+            N(A)/g = 1                                 for A <= v_knee
+            N(A)/g = (2/pi) [asin(k) + k sqrt(1-k^2)]  for A > v_knee, k=v_knee/A
+
+        Returned with the sign convention that ``i`` fundamental equals
+        ``-N(A) * A cos(wt)``; i.e. this is the positive gain magnitude.
+        """
+        check_positive("amplitude", amplitude)
+        if amplitude <= self.v_knee:
+            return self.g
+        k = self.v_knee / amplitude
+        return float(
+            self.g * (2.0 / np.pi) * (np.arcsin(k) + k * np.sqrt(1.0 - k * k))
+        )

@@ -1,0 +1,78 @@
+"""Cross-coupled BJT differential pair nonlinearity (Section IV-A).
+
+The paper extracts ``i = f(v)`` for the cross-coupled pair from an NGSPICE
+DC sweep (Fig. 11b / Fig. 12a).  For ideal exponential-law BJTs the same
+curve has a closed form.  With the tank connected between the collectors
+``n_CL``/``n_CR`` and the bases cross-coupled to the opposite collectors,
+the tail current ``I_EE`` steers between the two devices as
+``I_C1 = alpha I_EE / (1 + exp(v / V_T))`` where ``v = v(n_CL) - v(n_CR)``
+is the port voltage.  Re-centred about the balanced point the port current
+is::
+
+    i = f(v) = -(alpha I_EE / 2) * tanh(v / (2 V_T))
+
+a saturating negative resistance with
+
+* small-signal conductance ``-alpha I_EE / (4 V_T)`` at the origin (the
+  familiar ``-g_m/2`` of the cross-coupled pair), and
+* saturation current ``alpha I_EE / 2``.
+
+The finite-beta base currents add a small positive-conductance correction
+that the closed form omits; the DC-sweep extraction flow
+(:mod:`repro.nonlin.extraction`) captures it, and the tests compare the
+two within that correction's budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nonlin.base import Nonlinearity
+from repro.utils.validation import check_in_range, check_positive
+
+__all__ = ["CrossCoupledDiffPair"]
+
+
+class CrossCoupledDiffPair(Nonlinearity):
+    """Analytic I/V law of a cross-coupled BJT differential pair.
+
+    Parameters
+    ----------
+    i_ee:
+        Tail bias current in amperes.
+    v_t:
+        Thermal voltage ``kT/q`` in volts (0.025 V in the paper's
+        conventions).
+    alpha:
+        Common-base current gain ``beta/(beta+1)``; 1.0 for ideal
+        transistors.
+    """
+
+    def __init__(self, i_ee: float = 2e-4, v_t: float = 0.025, alpha: float = 1.0):
+        self.i_ee = check_positive("i_ee", i_ee)
+        self.v_t = check_positive("v_t", v_t)
+        self.alpha = check_in_range("alpha", alpha, 0.0, 1.0, inclusive=True)
+        if alpha <= 0.0:
+            raise ValueError("alpha must be > 0")
+        self.name = f"xcoupled-diffpair(IEE={i_ee:g}A, VT={v_t:g}V)"
+
+    def __call__(self, v: np.ndarray) -> np.ndarray:
+        v = np.asarray(v, dtype=float)
+        return -0.5 * self.alpha * self.i_ee * np.tanh(v / (2.0 * self.v_t))
+
+    def derivative(self, v: np.ndarray) -> np.ndarray:
+        v = np.asarray(v, dtype=float)
+        gm0 = self.alpha * self.i_ee / (4.0 * self.v_t)
+        return -gm0 / np.cosh(v / (2.0 * self.v_t)) ** 2
+
+    def startup_gm(self) -> float:
+        """Magnitude of the negative conductance at the origin, siemens."""
+        return self.alpha * self.i_ee / (4.0 * self.v_t)
+
+    def min_tank_resistance(self) -> float:
+        """Smallest parallel tank resistance R that sustains oscillation."""
+        return 1.0 / self.startup_gm()
+
+    def saturation_current(self) -> float:
+        """Large-signal saturation magnitude ``alpha I_EE / 2``."""
+        return 0.5 * self.alpha * self.i_ee

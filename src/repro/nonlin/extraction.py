@@ -1,0 +1,85 @@
+"""Extract ``i = f(v)`` from a circuit by DC sweep (the Fig. 11b flow).
+
+The paper characterises the diff-pair cell by replacing the tank with an
+ideal voltage source ``v_x`` across the port of interest and sweeping it,
+recording the source current ``i_x``.  This module automates exactly that on
+a :class:`repro.spice.circuit.Circuit`:
+
+1. the caller supplies a circuit containing a DC voltage source across the
+   port (its value is the sweep variable);
+2. we run :func:`repro.spice.dcsweep.dc_sweep` over the requested window;
+3. the current *into* the port is the negative of the source branch current
+   (SPICE measures current flowing from + to - through the source);
+4. the samples become a :class:`repro.nonlin.tabulated.TabulatedNonlinearity`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nonlin.tabulated import TabulatedNonlinearity
+from repro.utils.grids import linear_grid
+
+__all__ = ["extract_iv_curve"]
+
+
+def extract_iv_curve(
+    circuit,
+    source_name: str,
+    v_min: float,
+    v_max: float,
+    n_points: int = 201,
+    *,
+    recenter: bool = False,
+    name: str | None = None,
+) -> TabulatedNonlinearity:
+    """Run a DC sweep and return the port's I/V law as a tabulated nonlinearity.
+
+    Parameters
+    ----------
+    circuit:
+        A :class:`repro.spice.circuit.Circuit` containing a voltage source
+        named ``source_name`` connected across the port whose I/V law is
+        wanted (Fig. 11b: ``v_x`` across ``n_CL``/``n_CR``).
+    source_name:
+        Name of that sweep source.
+    v_min, v_max:
+        Sweep window, volts.
+    n_points:
+        Number of sweep points; 201 reproduces a typical ``.dc`` card
+        resolution and is refined enough for PCHIP interpolation.
+    recenter:
+        When True, shift the curve so it passes through the origin at the
+        mid-window voltage — the biasing step used for the tunnel diode.
+    name:
+        Identifier; defaults to ``extracted(<source_name>)``.
+
+    Returns
+    -------
+    TabulatedNonlinearity
+        The current *into the port's positive terminal* as a function of the
+        port voltage, i.e. the ``i = f(v)`` the describing-function analysis
+        consumes.
+    """
+    from repro.spice.dcsweep import dc_sweep
+
+    values = linear_grid(float(v_min), float(v_max), int(n_points))
+    result = dc_sweep(circuit, source_name, values)
+    # MNA reports the branch current flowing from + through the source to
+    # -, so the current the *device* draws from the + node — the paper's
+    # f(v) — is its negative (see repro.spice.mna for the convention).
+    port_current = -result.source_current(source_name)
+    table = TabulatedNonlinearity(
+        values,
+        np.asarray(port_current, dtype=float),
+        name=name or f"extracted({source_name})",
+    )
+    if recenter:
+        mid = 0.5 * (float(v_min) + float(v_max))
+        shifted = table.shifted(mid)
+        return TabulatedNonlinearity(
+            values - mid,
+            np.asarray(shifted(values - mid), dtype=float),
+            name=table.name + "-recentered",
+        )
+    return table

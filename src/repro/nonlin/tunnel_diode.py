@@ -1,0 +1,157 @@
+"""Tunnel diode model (paper Appendix VI-C, Section IV-B).
+
+The current through the tunnel diode is the sum of the tunnelling current
+and the ordinary p-n junction current::
+
+    I_td(v)     = I_tunnel(v) + I_diode(v)
+    I_diode(v)  = I_s * (exp(v / (eta * V_th)) - 1)
+    I_tunnel(v) = (v / R_0) * exp(-(v / V_0)**m)
+
+with the paper's defaults ``I_s = 1e-12 A``, ``eta = 1``, ``V_th = 0.025 V``,
+``m = 2``, ``V_0 = 0.2 V`` and ``R_0 = 1000 Ohm``.  The curve exhibits
+negative differential resistance near ``v ~ 0.25 V``; the oscillator biases
+the diode there, which shifts the curve so the negative-resistance region
+straddles the origin (:class:`BiasedTunnelDiode`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nonlin.base import Nonlinearity
+from repro.utils.validation import check_positive
+
+__all__ = ["TunnelDiode", "BiasedTunnelDiode"]
+
+#: Clamp on the diode exponent to avoid overflow during wild Newton steps.
+_MAX_EXPONENT = 200.0
+
+
+class TunnelDiode(Nonlinearity):
+    """Appendix VI-C tunnel diode: ``I_td = I_tunnel + I_diode``.
+
+    Parameters follow the paper's symbols and defaults exactly.
+
+    Parameters
+    ----------
+    i_s:
+        Junction saturation current, amperes.
+    eta:
+        Junction ideality factor.
+    v_th:
+        Thermal voltage, volts.
+    m:
+        Tunnelling shape exponent, typically 1..3.
+    v0:
+        Tunnelling voltage scale, typically 0.1..0.5 V.
+    r0:
+        Ohmic-region resistance of the tunnel branch, ohms.
+    """
+
+    def __init__(
+        self,
+        i_s: float = 1e-12,
+        eta: float = 1.0,
+        v_th: float = 0.025,
+        m: float = 2.0,
+        v0: float = 0.2,
+        r0: float = 1000.0,
+    ):
+        self.i_s = check_positive("i_s", i_s)
+        self.eta = check_positive("eta", eta)
+        self.v_th = check_positive("v_th", v_th)
+        self.m = check_positive("m", m)
+        self.v0 = check_positive("v0", v0)
+        self.r0 = check_positive("r0", r0)
+        self.name = f"tunnel-diode(V0={v0:g}V, R0={r0:g}Ohm, m={m:g})"
+
+    # -- component currents ------------------------------------------------
+
+    def tunnel_current(self, v: np.ndarray) -> np.ndarray:
+        """Tunnelling branch ``(v/R0) * exp(-(v/V0)**m)``.
+
+        For non-integer ``m`` and negative ``v`` the power is defined through
+        ``|v|`` (the physical curve is what matters near the positive-bias
+        negative-resistance region; the odd continuation keeps evaluation
+        finite everywhere).
+        """
+        v = np.asarray(v, dtype=float)
+        exponent = np.clip(np.abs(v / self.v0) ** self.m, 0.0, _MAX_EXPONENT)
+        return (v / self.r0) * np.exp(-exponent)
+
+    def diode_current(self, v: np.ndarray) -> np.ndarray:
+        """Junction branch ``I_s * (exp(v/(eta*V_th)) - 1)``."""
+        v = np.asarray(v, dtype=float)
+        exponent = np.clip(v / (self.eta * self.v_th), -_MAX_EXPONENT, _MAX_EXPONENT)
+        return self.i_s * (np.exp(exponent) - 1.0)
+
+    def __call__(self, v: np.ndarray) -> np.ndarray:
+        v = np.asarray(v, dtype=float)
+        return self.tunnel_current(v) + self.diode_current(v)
+
+    def derivative(self, v: np.ndarray) -> np.ndarray:
+        v = np.asarray(v, dtype=float)
+        u = np.abs(v / self.v0)
+        exponent = np.clip(u**self.m, 0.0, _MAX_EXPONENT)
+        damp = np.exp(-exponent)
+        # d/dv [ v * exp(-|v/V0|^m) ] = exp(.) * (1 - m*|v/V0|^m)
+        d_tunnel = damp * (1.0 - self.m * u**self.m) / self.r0
+        d_exp = np.clip(v / (self.eta * self.v_th), -_MAX_EXPONENT, _MAX_EXPONENT)
+        d_diode = self.i_s * np.exp(d_exp) / (self.eta * self.v_th)
+        return d_tunnel + d_diode
+
+    # -- characteristic points ----------------------------------------------
+
+    def peak_voltage(self) -> float:
+        """Voltage of the current peak (start of the NDR region).
+
+        For the pure tunnelling branch this is ``V0 * m**(-1/m)``; the tiny
+        junction current shifts it negligibly at these defaults, so we refine
+        numerically from that seed.
+        """
+        from scipy.optimize import brentq
+
+        seed = self.v0 * self.m ** (-1.0 / self.m)
+        return float(brentq(lambda x: float(self.derivative(x)), 0.5 * seed, 1.5 * seed))
+
+    def valley_voltage(self) -> float:
+        """Voltage of the current valley (end of the NDR region)."""
+        from scipy.optimize import brentq
+
+        lo = self.peak_voltage() * 1.01
+        hi = 5.0 * self.v0
+        return float(brentq(lambda x: float(self.derivative(x)), lo, hi))
+
+    def ndr_center(self) -> float:
+        """Mid-point of the negative-differential-resistance region."""
+        return 0.5 * (self.peak_voltage() + self.valley_voltage())
+
+
+class BiasedTunnelDiode(Nonlinearity):
+    """Tunnel diode re-centred around its DC bias point.
+
+    The paper biases the diode near 0.25 V so that the negative-resistance
+    part of the curve sits above the origin; the analysis then works with the
+    incremental law ``g(v) = I_td(v + V_bias) - I_td(V_bias)``.
+
+    Parameters
+    ----------
+    diode:
+        The physical :class:`TunnelDiode`; defaults to the paper's model.
+    v_bias:
+        DC operating point, volts (paper: 0.25 V).
+    """
+
+    def __init__(self, diode: TunnelDiode | None = None, v_bias: float = 0.25):
+        self.diode = diode if diode is not None else TunnelDiode()
+        self.v_bias = float(v_bias)
+        self.i_bias = float(self.diode(np.asarray(self.v_bias)))
+        self.name = f"{self.diode.name}@bias={v_bias:g}V"
+
+    def __call__(self, v: np.ndarray) -> np.ndarray:
+        v = np.asarray(v, dtype=float)
+        return self.diode(v + self.v_bias) - self.i_bias
+
+    def derivative(self, v: np.ndarray) -> np.ndarray:
+        v = np.asarray(v, dtype=float)
+        return self.diode.derivative(v + self.v_bias)

@@ -1,0 +1,169 @@
+"""Runge-Kutta integrators: batched fixed-step RK4 and adaptive RK45.
+
+``rk4_batched`` is the workhorse for the oscillator transients — a fixed
+step chosen as a fraction of the oscillation period is both simple and
+optimal there (the solution is a quasi-sinusoid whose time scale never
+changes), and a fixed step keeps the batch in lock-step so the whole state
+advances with a handful of numpy operations per step.
+
+``rk45_adaptive`` (Dormand-Prince 5(4) with PI step control) serves the
+stiff-free general case — used by tests as an accuracy referee and by the
+envelope/PPV machinery where the time scales do vary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+__all__ = ["rk4_batched", "rk45_adaptive"]
+
+
+def rk4_batched(
+    rhs,
+    y0: np.ndarray,
+    t0: float,
+    t_end: float,
+    dt: float,
+    *,
+    record_every: int = 1,
+    record_start: float | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Classic RK4 with fixed step over a batch of identical-structure ODEs.
+
+    Parameters
+    ----------
+    rhs:
+        Callable ``rhs(t, y) -> dy`` where ``y`` has shape
+        ``(n_states, batch)`` (or any shape whose leading axis is the
+        state index).
+    y0:
+        Initial state, shape ``(n_states, batch)``.
+    t0, t_end:
+        Integration window.
+    dt:
+        Fixed step; the last step is shortened to land exactly on
+        ``t_end``.
+    record_every:
+        Keep every k-th accepted step in the output (decimation).
+    record_start:
+        Discard samples before this time (settling transient) — the
+        initial state is recorded only if ``t0 >= record_start``.
+
+    Returns
+    -------
+    (t, y):
+        ``t`` of shape ``(n_rec,)`` and ``y`` of shape
+        ``(n_rec, n_states, batch)``.
+    """
+    check_positive("dt", dt)
+    if not t_end > t0:
+        raise ValueError("t_end must exceed t0")
+    y = np.array(y0, dtype=float, copy=True)
+    if record_start is None:
+        record_start = t0
+    n_steps = int(np.ceil((t_end - t0) / dt))
+    times = []
+    states = []
+    t = t0
+    if t >= record_start:
+        times.append(t)
+        states.append(y.copy())
+    for step in range(n_steps):
+        h = min(dt, t_end - t)
+        if h <= 0.0:
+            break
+        k1 = rhs(t, y)
+        k2 = rhs(t + 0.5 * h, y + 0.5 * h * k1)
+        k3 = rhs(t + 0.5 * h, y + 0.5 * h * k2)
+        k4 = rhs(t + h, y + h * k3)
+        y = y + (h / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
+        t = t + h
+        if t >= record_start and (step + 1) % record_every == 0:
+            times.append(t)
+            states.append(y.copy())
+    if not times or times[-1] != t:
+        times.append(t)
+        states.append(y.copy())
+    return np.asarray(times), np.asarray(states)
+
+
+# Dormand-Prince 5(4) Butcher tableau.
+_DP_A = [
+    [],
+    [1 / 5],
+    [3 / 40, 9 / 40],
+    [44 / 45, -56 / 15, 32 / 9],
+    [19372 / 6561, -25360 / 2187, 64448 / 6561, -212 / 729],
+    [9017 / 3168, -355 / 33, 46732 / 5247, 49 / 176, -5103 / 18656],
+    [35 / 384, 0.0, 500 / 1113, 125 / 192, -2187 / 6784, 11 / 84],
+]
+_DP_C = [0.0, 1 / 5, 3 / 10, 4 / 5, 8 / 9, 1.0, 1.0]
+_DP_B5 = [35 / 384, 0.0, 500 / 1113, 125 / 192, -2187 / 6784, 11 / 84, 0.0]
+_DP_B4 = [
+    5179 / 57600,
+    0.0,
+    7571 / 16695,
+    393 / 640,
+    -92097 / 339200,
+    187 / 2100,
+    1 / 40,
+]
+
+
+def rk45_adaptive(
+    rhs,
+    y0: np.ndarray,
+    t0: float,
+    t_end: float,
+    *,
+    rtol: float = 1e-8,
+    atol: float = 1e-12,
+    dt0: float | None = None,
+    max_steps: int = 10_000_000,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Adaptive Dormand-Prince RK45 with a PI step-size controller.
+
+    Returns ``(t, y)`` with ``y`` of shape ``(n_rec, n_states)`` — every
+    accepted step is recorded.  Intended for modest-length high-accuracy
+    runs (oracles, PPV monodromy integration), not for million-cycle
+    transients.
+    """
+    if not t_end > t0:
+        raise ValueError("t_end must exceed t0")
+    y = np.array(y0, dtype=float, copy=True)
+    t = t0
+    h = dt0 if dt0 is not None else (t_end - t0) / 1000.0
+    times = [t]
+    states = [y.copy()]
+    prev_err = 1.0
+    for _ in range(max_steps):
+        if t >= t_end:
+            break
+        h = min(h, t_end - t)
+        k = []
+        for stage in range(7):
+            y_stage = y.copy()
+            for j, a in enumerate(_DP_A[stage]):
+                y_stage = y_stage + h * a * k[j]
+            k.append(np.asarray(rhs(t + _DP_C[stage] * h, y_stage)))
+        y5 = y + h * sum(b * ki for b, ki in zip(_DP_B5, k))
+        y4 = y + h * sum(b * ki for b, ki in zip(_DP_B4, k))
+        scale = atol + rtol * np.maximum(np.abs(y), np.abs(y5))
+        err = float(np.sqrt(np.mean(((y5 - y4) / scale) ** 2)))
+        err = max(err, 1e-16)
+        if err <= 1.0:
+            t = t + h
+            y = y5
+            times.append(t)
+            states.append(y.copy())
+            # PI controller (Gustafsson): smooth step adaptation.
+            factor = 0.9 * err ** (-0.7 / 5.0) * prev_err ** (0.4 / 5.0)
+            prev_err = err
+        else:
+            factor = max(0.2, 0.9 * err ** (-1.0 / 5.0))
+        h = h * float(np.clip(factor, 0.2, 5.0))
+    else:
+        raise RuntimeError("rk45_adaptive exceeded max_steps without reaching t_end")
+    return np.asarray(times), np.asarray(states)

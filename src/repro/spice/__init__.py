@@ -1,0 +1,38 @@
+"""A from-scratch SPICE-like circuit simulator (MNA).
+
+The paper validates its predictions against NGSPICE; with no NGSPICE
+available here, this package provides the equivalent substrate in pure
+Python + numpy:
+
+* modified nodal analysis with branch currents for voltage sources and
+  inductors (:mod:`repro.spice.mna`),
+* Newton-Raphson DC operating point with gmin and source stepping
+  (:mod:`repro.spice.dcop`),
+* DC sweeps with solution continuation (:mod:`repro.spice.dcsweep`) —
+  the Fig. 11b ``i = f(v)`` extraction flow,
+* small-signal AC analysis (:mod:`repro.spice.ac`) — pre-characterising
+  ``H(jw)`` of arbitrary passive tank topologies,
+* transient analysis with trapezoidal/backward-Euler integration and
+  optional LTE-controlled adaptive stepping (:mod:`repro.spice.transient`),
+* a SPICE-ish netlist parser (:mod:`repro.spice.netlist`).
+
+Device models: R, L, C, independent V/I sources (DC/SIN/PULSE),
+VCCS, junction diode, Ebers-Moll BJT, the paper's tunnel diode, and a
+behavioural current source wrapping any :class:`repro.nonlin.Nonlinearity`.
+"""
+
+from repro.spice.circuit import Circuit
+from repro.spice.dcop import dc_operating_point
+from repro.spice.dcsweep import dc_sweep
+from repro.spice.ac import ac_analysis
+from repro.spice.transient import transient
+from repro.spice.netlist import parse_netlist
+
+__all__ = [
+    "Circuit",
+    "dc_operating_point",
+    "dc_sweep",
+    "ac_analysis",
+    "transient",
+    "parse_netlist",
+]

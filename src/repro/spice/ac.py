@@ -1,0 +1,105 @@
+"""Small-signal AC analysis.
+
+Linearises the circuit at its DC operating point and solves the phasor
+system ``(G + J_nl(x_op) + j w C) X = -S_ac`` at each requested frequency,
+where ``S_ac`` holds unit-amplitude stamps of the sources marked as AC
+drives.
+
+Primary use here: pre-characterising the transfer function ``H(jw)`` of an
+arbitrary passive tank topology for :class:`repro.tank.general.GeneralTank`
+— drive the tank port with a 1 A AC current source and the port voltage
+phasor *is* the transimpedance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.spice.circuit import Circuit
+from repro.spice.dcop import dc_operating_point
+from repro.spice.elements.sources import CurrentSource, VoltageSource
+from repro.utils.validation import check_positive
+
+__all__ = ["AcResult", "ac_analysis"]
+
+
+@dataclass
+class AcResult:
+    """Phasor solutions over a frequency sweep.
+
+    Attributes
+    ----------
+    w:
+        Angular frequencies, rad/s.
+    solutions:
+        Complex unknown vectors, shape ``(n_freq, size)``.
+    """
+
+    system: "object"
+    w: np.ndarray
+    solutions: np.ndarray
+
+    def voltage(self, node: str) -> np.ndarray:
+        """Complex node-voltage phasor across the sweep."""
+        from repro.spice.circuit import GROUND_NAMES
+
+        if node in GROUND_NAMES:
+            return np.zeros(self.w.size, dtype=complex)
+        idx = self.system.node_index[node]
+        return self.solutions[:, idx]
+
+    def transimpedance(self, node: str) -> np.ndarray:
+        """Alias for :meth:`voltage` when the AC drive is a 1 A source."""
+        return self.voltage(node)
+
+
+def ac_analysis(
+    circuit: Circuit,
+    ac_source: str,
+    w: np.ndarray,
+    *,
+    magnitude: float = 1.0,
+) -> AcResult:
+    """Run a small-signal frequency sweep.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit; its DC operating point is solved first.
+    ac_source:
+        Name of the independent source treated as the (only) AC drive
+        with the given ``magnitude`` and zero phase.
+    w:
+        Angular frequencies.
+    magnitude:
+        AC drive amplitude.
+    """
+    check_positive("magnitude", magnitude)
+    w = np.atleast_1d(np.asarray(w, dtype=float))
+    system = circuit.build()
+    op = dc_operating_point(system)
+    jac = system.resistive_jacobian(op.x)
+
+    source = circuit.element(ac_source)
+    rhs = np.zeros(system.size, dtype=complex)
+    if isinstance(source, VoltageSource):
+        rhs[system.branch_index[ac_source]] = magnitude
+    elif isinstance(source, CurrentSource):
+        a, b = source.node_indices
+        if a >= 0:
+            rhs[a] -= magnitude
+        if b >= 0:
+            rhs[b] += magnitude
+    else:
+        raise TypeError(
+            f"{ac_source!r} is a {type(source).__name__}; "
+            "the AC drive must be a V or I source"
+        )
+
+    solutions = np.empty((w.size, system.size), dtype=complex)
+    for k, wk in enumerate(w):
+        matrix = jac + 1j * wk * system.c_matrix
+        solutions[k] = np.linalg.solve(matrix, rhs)
+    return AcResult(system=system, w=w, solutions=solutions)

@@ -1,0 +1,166 @@
+"""Circuit container and builder API.
+
+A :class:`Circuit` is an ordered collection of elements over named nodes.
+Ground is the node named ``"0"`` (aliases ``"gnd"``, ``"GND"``).  The
+builder assigns unknown indices — node voltages first, then one branch
+current per voltage source / inductor — and hands a frozen
+:class:`repro.spice.mna.MnaSystem` to the analyses.
+
+Convenience ``add_*`` methods cover the common elements so test and
+experiment code reads like a netlist::
+
+    ckt = Circuit("diff pair cell")
+    ckt.add_voltage_source("VCC", "vcc", "0", 12.0)
+    ckt.add_resistor("RL", "vcc", "ncl", 1e3)
+    ckt.add_bjt("Q1", "ncl", "ncr", "tail")
+    ...
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.spice.elements.base import Element, GROUND
+from repro.spice.elements.behavioral import BehavioralCurrentSource
+from repro.spice.elements.bjt import Bjt
+from repro.spice.elements.diode import Diode
+from repro.spice.elements.mosfet import Mosfet
+from repro.spice.elements.passives import (
+    Capacitor,
+    Inductor,
+    MutualInductance,
+    Resistor,
+)
+from repro.spice.elements.sources import CurrentSource, Vccs, VoltageSource
+from repro.spice.elements.tunnel import TunnelDiodeElement
+
+__all__ = ["Circuit", "GROUND_NAMES"]
+
+#: Node names treated as ground.
+GROUND_NAMES = ("0", "gnd", "GND")
+
+
+class Circuit:
+    """Mutable circuit description.
+
+    Parameters
+    ----------
+    title:
+        Free-text title (netlists carry one on their first line).
+    """
+
+    def __init__(self, title: str = ""):
+        self.title = title
+        self.elements: list[Element] = []
+        self._names: set[str] = set()
+
+    # -- construction ---------------------------------------------------------
+
+    def add(self, element: Element) -> Element:
+        """Add any element; names must be unique within the circuit."""
+        if element.name in self._names:
+            raise ValueError(f"duplicate element name {element.name!r}")
+        self._names.add(element.name)
+        self.elements.append(element)
+        return element
+
+    def add_resistor(self, name, a, b, resistance) -> Resistor:
+        """Add a resistor between nodes ``a`` and ``b``."""
+        return self.add(Resistor(name, a, b, resistance))
+
+    def add_capacitor(self, name, a, b, capacitance) -> Capacitor:
+        """Add a capacitor between nodes ``a`` and ``b``."""
+        return self.add(Capacitor(name, a, b, capacitance))
+
+    def add_inductor(self, name, a, b, inductance) -> Inductor:
+        """Add an inductor between nodes ``a`` and ``b``."""
+        return self.add(Inductor(name, a, b, inductance))
+
+    def add_mutual(self, name, inductor_a_name, inductor_b_name, coupling) -> MutualInductance:
+        """Magnetically couple two inductors already in the circuit."""
+        la = self.element(inductor_a_name)
+        lb = self.element(inductor_b_name)
+        return self.add(MutualInductance(name, la, lb, coupling))
+
+    def add_voltage_source(self, name, plus, minus, waveform) -> VoltageSource:
+        """Add an independent voltage source (+ terminal first)."""
+        return self.add(VoltageSource(name, plus, minus, waveform))
+
+    def add_current_source(self, name, a, b, waveform) -> CurrentSource:
+        """Add an independent current source (positive current a -> b)."""
+        return self.add(CurrentSource(name, a, b, waveform))
+
+    def add_diode(self, name, anode, cathode, **params) -> Diode:
+        """Add a junction diode."""
+        return self.add(Diode(name, anode, cathode, **params))
+
+    def add_bjt(self, name, collector, base, emitter, **params) -> Bjt:
+        """Add an Ebers-Moll BJT."""
+        return self.add(Bjt(name, collector, base, emitter, **params))
+
+    def add_mosfet(self, name, drain, gate, source, **params) -> Mosfet:
+        """Add a square-law (level-1) MOSFET."""
+        return self.add(Mosfet(name, drain, gate, source, **params))
+
+    def add_tunnel_diode(self, name, anode, cathode, model=None) -> TunnelDiodeElement:
+        """Add the paper's tunnel diode."""
+        return self.add(TunnelDiodeElement(name, anode, cathode, model))
+
+    def add_behavioral(self, name, a, b, law) -> BehavioralCurrentSource:
+        """Add an ``i = f(v)`` behavioural current source."""
+        return self.add(BehavioralCurrentSource(name, a, b, law))
+
+    def add_vccs(self, name, a, b, cplus, cminus, gm) -> Vccs:
+        """Add a voltage-controlled current source."""
+        return self.add(Vccs(name, a, b, cplus, cminus, gm))
+
+    def element(self, name: str) -> Element:
+        """Look an element up by name."""
+        for el in self.elements:
+            if el.name == name:
+                return el
+        raise KeyError(f"no element named {name!r}")
+
+    # -- assembly -------------------------------------------------------------
+
+    def node_names(self) -> list[str]:
+        """All non-ground node names, in first-appearance order."""
+        seen: list[str] = []
+        for el in self.elements:
+            for node in el.nodes:
+                if node in GROUND_NAMES or node in seen:
+                    continue
+                seen.append(node)
+        return seen
+
+    def build(self) -> "MnaSystem":
+        """Assign unknown indices and assemble the MNA system."""
+        from repro.spice.mna import MnaSystem
+
+        if not self.elements:
+            raise ValueError("cannot build an empty circuit")
+        nodes = self.node_names()
+        if not nodes:
+            raise ValueError("circuit has no non-ground nodes")
+        index = {name: k for k, name in enumerate(nodes)}
+        for g in GROUND_NAMES:
+            index[g] = GROUND
+        n_nodes = len(nodes)
+        next_branch = n_nodes
+        branch_of: dict[str, int] = {}
+        for el in self.elements:
+            node_idx = tuple(index[n] for n in el.nodes)
+            branches = tuple(range(next_branch, next_branch + el.n_branches))
+            for k, br in enumerate(branches):
+                branch_of[el.name if el.n_branches == 1 else f"{el.name}#{k}"] = br
+            next_branch += el.n_branches
+            el.assign(node_idx, branches)
+        return MnaSystem(
+            circuit=self,
+            node_index={name: index[name] for name in nodes},
+            branch_index=branch_of,
+            size=next_branch,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Circuit({self.title!r}, {len(self.elements)} elements)"

@@ -1,0 +1,127 @@
+"""DC operating point: Newton with gmin and source stepping fallbacks.
+
+At DC all ``dx/dt`` terms vanish, so the system is
+``G x + i_nl(x) + s(0) = 0``.  Plain Newton from ``x = 0`` handles most
+circuits; the two classic continuation strategies cover the rest:
+
+* **gmin stepping** — add a shunt conductance ``gmin`` from every node to
+  ground, solve, and relax ``gmin`` geometrically towards zero reusing
+  each solution as the next start;
+* **source stepping** — scale all independent sources by ``alpha``, ramp
+  ``alpha`` from ~0 to 1.
+
+Both are standard SPICE practice; the negative-resistance bias points in
+this library's circuits exercise them for real (a tunnel diode's NDR
+region makes the plain iteration oscillate from a cold start).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.spice.circuit import Circuit
+from repro.spice.mna import MnaSystem
+from repro.spice.solver import (
+    ConvergenceError,
+    NewtonResult,
+    SingularCircuitError,
+    newton_solve,
+)
+
+#: Failures that continuation (gmin / source stepping) can rescue: plain
+#: divergence, and structural singularity from devices that are all "off"
+#: at the cold start (e.g. cut-off MOSFET stacks floating a node).
+_RECOVERABLE = (ConvergenceError, SingularCircuitError)
+
+__all__ = ["OperatingPoint", "dc_operating_point"]
+
+
+@dataclass
+class OperatingPoint:
+    """Solved DC state of a circuit."""
+
+    system: MnaSystem
+    x: np.ndarray
+    strategy: str
+    iterations: int
+
+    def voltage(self, node: str) -> float:
+        """DC voltage of a node."""
+        return self.system.voltage(self.x, node)
+
+    def branch_current(self, element_name: str) -> float:
+        """DC branch current of a voltage source or inductor."""
+        return self.system.branch_current(self.x, element_name)
+
+
+def _newton_dc(system: MnaSystem, x0: np.ndarray, gmin: float, alpha: float, **kw) -> NewtonResult:
+    n_nodes = system.n_nodes
+    s0 = system.source_vector(0.0) * alpha
+    gmin_diag = np.zeros((system.size, system.size))
+    if gmin > 0.0:
+        gmin_diag[:n_nodes, :n_nodes] = np.eye(n_nodes) * gmin
+
+    def residual(x):
+        i_nl, _ = system.nonlinear(x)
+        return (system.g_matrix + gmin_diag) @ x + i_nl + s0
+
+    def jacobian(x):
+        return system.resistive_jacobian(x) + gmin_diag
+
+    return newton_solve(residual, jacobian, x0, **kw)
+
+
+def dc_operating_point(
+    circuit: Circuit | MnaSystem,
+    *,
+    x0: np.ndarray | None = None,
+    max_iter: int = 120,
+) -> OperatingPoint:
+    """Solve the DC operating point, escalating through continuation.
+
+    Parameters
+    ----------
+    circuit:
+        A circuit (built automatically) or a pre-built MNA system.
+    x0:
+        Optional warm start (DC sweeps pass the previous point).
+    max_iter:
+        Newton budget per continuation stage.
+    """
+    system = circuit if isinstance(circuit, MnaSystem) else circuit.build()
+    start = np.zeros(system.size) if x0 is None else np.asarray(x0, dtype=float)
+
+    # Stage 1: plain Newton.
+    try:
+        result = _newton_dc(system, start, gmin=0.0, alpha=1.0, max_iter=max_iter)
+        return OperatingPoint(system, result.x, "newton", result.iterations)
+    except _RECOVERABLE:
+        pass
+
+    # Stage 2: gmin stepping.
+    x = start
+    total = 0
+    try:
+        for gmin in (1e-2, 1e-3, 1e-4, 1e-6, 1e-8, 1e-10, 0.0):
+            result = _newton_dc(system, x, gmin=gmin, alpha=1.0, max_iter=max_iter)
+            x = result.x
+            total += result.iterations
+        return OperatingPoint(system, x, "gmin-stepping", total)
+    except _RECOVERABLE:
+        pass
+
+    # Stage 3: source stepping (with a whisper of gmin so all-off device
+    # stacks cannot float nodes mid-ramp), then a clean final solve.
+    x = np.zeros(system.size)
+    total = 0
+    for alpha in np.linspace(0.05, 1.0, 20):
+        result = _newton_dc(
+            system, x, gmin=1e-9, alpha=float(alpha), max_iter=max_iter
+        )
+        x = result.x
+        total += result.iterations
+    result = _newton_dc(system, x, gmin=0.0, alpha=1.0, max_iter=max_iter)
+    total += result.iterations
+    return OperatingPoint(system, result.x, "source-stepping", total)

@@ -1,0 +1,110 @@
+"""DC sweep analysis — the Fig. 11b ``i = f(v)`` extraction workhorse.
+
+Sweeps the DC value of one independent source across a value list, solving
+the operating point at each step with the previous solution as the warm
+start (continuation).  Warm starting is what makes sweeping *through* a
+tunnel diode's negative-resistance region reliable: each point is a small
+perturbation of the last, so Newton never has to find the NDR branch from
+a cold start.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.spice.circuit import Circuit
+from repro.spice.dcop import dc_operating_point
+from repro.spice.elements.sources import CurrentSource, VoltageSource, dc
+
+__all__ = ["DcSweepResult", "dc_sweep"]
+
+
+@dataclass
+class DcSweepResult:
+    """Solutions of a DC sweep.
+
+    Attributes
+    ----------
+    values:
+        Swept source values.
+    solutions:
+        Unknown vector per sweep point, shape ``(n_points, size)``.
+    """
+
+    system: "object"
+    source_name: str
+    values: np.ndarray
+    solutions: np.ndarray
+    strategies: list[str] = field(default_factory=list)
+
+    def voltage(self, node: str) -> np.ndarray:
+        """Node voltage across the sweep."""
+        return np.array(
+            [self.system.voltage(x, node) for x in self.solutions]
+        )
+
+    def source_current(self, source_name: str | None = None) -> np.ndarray:
+        """Branch current of a voltage source across the sweep.
+
+        SPICE sign convention: current flowing from + through the source
+        to - is positive, so a source *driving* a load reports negative
+        current.  The current delivered into the circuit's + node is the
+        negative of this (see :func:`repro.nonlin.extraction.extract_iv_curve`).
+        """
+        name = source_name or self.source_name
+        return np.array(
+            [self.system.branch_current(x, name) for x in self.solutions]
+        )
+
+
+def dc_sweep(
+    circuit: Circuit,
+    source_name: str,
+    values: np.ndarray,
+) -> DcSweepResult:
+    """Sweep a V or I source's DC value and solve each operating point.
+
+    The source's waveform is temporarily replaced by each DC value and
+    restored afterwards.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit containing the source.
+    source_name:
+        Name of the :class:`VoltageSource` or :class:`CurrentSource` to
+        sweep.
+    values:
+        Sweep values, any order (monotone sweeps benefit most from
+        continuation).
+    """
+    source = circuit.element(source_name)
+    if not isinstance(source, (VoltageSource, CurrentSource)):
+        raise TypeError(
+            f"{source_name!r} is a {type(source).__name__}; "
+            "DC sweep needs an independent V or I source"
+        )
+    values = np.atleast_1d(np.asarray(values, dtype=float))
+    system = circuit.build()
+    original = source.waveform
+    solutions = np.empty((values.size, system.size))
+    strategies: list[str] = []
+    x_prev = None
+    try:
+        for k, value in enumerate(values):
+            source.waveform = dc(float(value))
+            op = dc_operating_point(system, x0=x_prev)
+            solutions[k] = op.x
+            strategies.append(op.strategy)
+            x_prev = op.x
+    finally:
+        source.waveform = original
+    return DcSweepResult(
+        system=system,
+        source_name=source_name,
+        values=values,
+        solutions=solutions,
+        strategies=strategies,
+    )

@@ -1,0 +1,42 @@
+"""Circuit element models and their MNA stamps."""
+
+from repro.spice.elements.base import Element, TwoTerminal
+from repro.spice.elements.passives import (
+    Capacitor,
+    Inductor,
+    MutualInductance,
+    Resistor,
+)
+from repro.spice.elements.sources import (
+    CurrentSource,
+    VoltageSource,
+    Vccs,
+    dc,
+    pulse,
+    sine,
+)
+from repro.spice.elements.diode import Diode
+from repro.spice.elements.bjt import Bjt
+from repro.spice.elements.mosfet import Mosfet
+from repro.spice.elements.tunnel import TunnelDiodeElement
+from repro.spice.elements.behavioral import BehavioralCurrentSource
+
+__all__ = [
+    "Element",
+    "TwoTerminal",
+    "Resistor",
+    "Capacitor",
+    "Inductor",
+    "MutualInductance",
+    "VoltageSource",
+    "CurrentSource",
+    "Vccs",
+    "dc",
+    "sine",
+    "pulse",
+    "Diode",
+    "Bjt",
+    "Mosfet",
+    "TunnelDiodeElement",
+    "BehavioralCurrentSource",
+]

@@ -1,0 +1,157 @@
+"""Element interface and MNA stamping conventions.
+
+The simulator assembles the system residual::
+
+    F(x, dx/dt, t) = G x + C dx/dt + i_nl(x) + s(t) = 0
+
+where ``x`` stacks the non-ground node voltages followed by the branch
+currents (one per voltage source / inductor).  Conventions:
+
+* KCL rows are written as "sum of currents *leaving* the node = 0";
+* a two-terminal element conducting current ``i`` from its first node to
+  its second contributes ``+i`` to the first node's row and ``-i`` to the
+  second's;
+* branch rows hold the element's constitutive equation (e.g.
+  ``v_a - v_b - V(t) = 0`` for a voltage source), so the reported branch
+  current of a voltage source is the current flowing *into its + terminal
+  and out of its - terminal through the source* — matching SPICE's sign
+  (a battery delivering power reports negative current).
+
+Elements are created with node *names*; the circuit builder assigns the
+integer indices (``assign``) before any stamping happens.  Ground maps to
+index ``-1`` and stamps touching it are skipped.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = ["Element", "TwoTerminal", "GROUND"]
+
+#: Index value the builder assigns to the ground node.
+GROUND: int = -1
+
+
+class Element(abc.ABC):
+    """Base class for all circuit elements.
+
+    Attributes
+    ----------
+    name:
+        Unique instance name (``"R1"``, ``"Q2"`` ...).
+    nodes:
+        Node names in the element's terminal order.
+    n_branches:
+        Number of extra branch-current unknowns this element introduces.
+    is_nonlinear:
+        Whether :meth:`stamp_nonlinear` contributes.
+    is_time_varying:
+        Whether :meth:`stamp_sources` depends on ``t``.
+    """
+
+    n_branches: int = 0
+    is_nonlinear: bool = False
+    is_time_varying: bool = False
+
+    def __init__(self, name: str, nodes: tuple[str, ...]):
+        if not name:
+            raise ValueError("element name must be non-empty")
+        self.name = name
+        self.nodes = tuple(str(n) for n in nodes)
+        self._idx: tuple[int, ...] = ()
+        self._branches: tuple[int, ...] = ()
+
+    # -- wiring ---------------------------------------------------------------
+
+    def assign(self, node_indices: tuple[int, ...], branch_indices: tuple[int, ...]) -> None:
+        """Receive integer unknown indices from the circuit builder."""
+        if len(node_indices) != len(self.nodes):
+            raise ValueError(
+                f"{self.name}: expected {len(self.nodes)} node indices, "
+                f"got {len(node_indices)}"
+            )
+        if len(branch_indices) != self.n_branches:
+            raise ValueError(
+                f"{self.name}: expected {self.n_branches} branch indices, "
+                f"got {len(branch_indices)}"
+            )
+        self._idx = tuple(node_indices)
+        self._branches = tuple(branch_indices)
+
+    @property
+    def node_indices(self) -> tuple[int, ...]:
+        """Assigned unknown indices of the terminals (-1 for ground)."""
+        return self._idx
+
+    @property
+    def branch_indices(self) -> tuple[int, ...]:
+        """Assigned indices of this element's branch-current unknowns."""
+        return self._branches
+
+    # -- stamps ---------------------------------------------------------------
+
+    def stamp_conductance(self, g_matrix: np.ndarray) -> None:
+        """Add the element's constant conductance entries to ``G``."""
+
+    def stamp_reactance(self, c_matrix: np.ndarray) -> None:
+        """Add the element's constant ``dx/dt``-multiplier entries to ``C``."""
+
+    def stamp_sources(self, s_vector: np.ndarray, t: float) -> None:
+        """Add the element's independent-source terms to ``s(t)``."""
+
+    def stamp_nonlinear(self, x: np.ndarray, j_matrix: np.ndarray, i_vector: np.ndarray) -> None:
+        """Add nonlinear currents to ``i_vector`` and their Jacobian to ``j_matrix``."""
+
+    # -- helpers --------------------------------------------------------------
+
+    @staticmethod
+    def _add(matrix: np.ndarray, row: int, col: int, value: float) -> None:
+        """Stamp helper skipping ground rows/columns."""
+        if row != GROUND and col != GROUND:
+            matrix[row, col] += value
+
+    @staticmethod
+    def _addv(vector: np.ndarray, row: int, value: float) -> None:
+        """Vector stamp helper skipping the ground row."""
+        if row != GROUND:
+            vector[row] += value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name}, nodes={self.nodes})"
+
+
+class TwoTerminal(Element):
+    """Convenience base for two-terminal elements (a -> b current positive)."""
+
+    def __init__(self, name: str, node_a: str, node_b: str):
+        super().__init__(name, (node_a, node_b))
+
+    @property
+    def a(self) -> int:
+        """Unknown index of the first terminal."""
+        return self._idx[0]
+
+    @property
+    def b(self) -> int:
+        """Unknown index of the second terminal."""
+        return self._idx[1]
+
+    def voltage_across(self, x: np.ndarray) -> float:
+        """``v_a - v_b`` given the unknown vector."""
+        va = x[self.a] if self.a != GROUND else 0.0
+        vb = x[self.b] if self.b != GROUND else 0.0
+        return float(va - vb)
+
+    def stamp_pair(self, matrix: np.ndarray, g: float) -> None:
+        """Standard conductance four-point stamp."""
+        self._add(matrix, self.a, self.a, g)
+        self._add(matrix, self.a, self.b, -g)
+        self._add(matrix, self.b, self.a, -g)
+        self._add(matrix, self.b, self.b, g)
+
+    def stamp_current_pair(self, vector: np.ndarray, i: float) -> None:
+        """Current ``i`` flowing a -> b through the element (KCL-leaving signs)."""
+        self._addv(vector, self.a, i)
+        self._addv(vector, self.b, -i)

@@ -1,0 +1,39 @@
+"""Behavioural current source wrapping an arbitrary nonlinearity.
+
+This element is the bridge between the two halves of the library: any
+:class:`repro.nonlin.Nonlinearity` — analytic, extracted, or tabulated —
+can be dropped into a netlist as a two-terminal ``i = f(v)`` device.  The
+canonical injected-oscillator circuit the theory analyses is then exactly
+buildable at SPICE level, enabling apples-to-apples cross-validation of
+:mod:`repro.odesim` against :mod:`repro.spice.transient`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nonlin.base import Nonlinearity
+from repro.spice.elements.base import TwoTerminal
+
+__all__ = ["BehavioralCurrentSource"]
+
+
+class BehavioralCurrentSource(TwoTerminal):
+    """Two-terminal device with ``i(a -> b) = f(v_a - v_b)``."""
+
+    is_nonlinear = True
+
+    def __init__(self, name: str, node_a: str, node_b: str, law: Nonlinearity):
+        super().__init__(name, node_a, node_b)
+        if not isinstance(law, Nonlinearity):
+            raise TypeError(
+                f"{name}: law must be a repro.nonlin.Nonlinearity, got {type(law).__name__}"
+            )
+        self.law = law
+
+    def stamp_nonlinear(self, x: np.ndarray, j_matrix: np.ndarray, i_vector: np.ndarray) -> None:
+        v = self.voltage_across(x)
+        i = float(self.law(np.asarray(v)))
+        g = float(self.law.derivative(np.asarray(v)))
+        self.stamp_current_pair(i_vector, i)
+        self.stamp_pair(j_matrix, g)

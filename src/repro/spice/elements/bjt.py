@@ -1,0 +1,114 @@
+"""Ebers-Moll bipolar junction transistor.
+
+This is the DC transport model NGSPICE falls back to when a ``.model``
+card specifies only ``Is`` — exactly the situation in the paper's
+diff-pair example ("the default NPN model in NGSPICE (with Is = 1e-12 A)
+is used").  Capacitances are omitted (the paper's oscillators are fully
+tank-dominated at ~0.5 MHz / 0.5 GHz with ideal transistors).
+
+Transport formulation (NPN; PNP by polarity flip)::
+
+    I_F  = Is (exp(v_BE / Vt) - 1)
+    I_R  = Is (exp(v_BC / Vt) - 1)
+    I_C  =  I_F - I_R - I_R / beta_R
+    I_B  =  I_F / beta_F + I_R / beta_R
+    I_E  = -(I_C + I_B)
+
+Each junction exponential is limited (see
+:func:`repro.spice.elements.diode.limited_exponential`) so Newton stays
+finite from any starting point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.spice.elements.base import Element
+from repro.spice.elements.diode import limited_exponential
+from repro.utils.validation import check_positive
+
+__all__ = ["Bjt"]
+
+
+class Bjt(Element):
+    """Ebers-Moll BJT; terminals ``(collector, base, emitter)``.
+
+    Parameters
+    ----------
+    i_s:
+        Transport saturation current.
+    beta_f, beta_r:
+        Forward / reverse current gains (NGSPICE defaults 100 / 1).
+    v_t:
+        Thermal voltage.
+    polarity:
+        ``"npn"`` or ``"pnp"``.
+    """
+
+    is_nonlinear = True
+
+    def __init__(
+        self,
+        name: str,
+        collector: str,
+        base: str,
+        emitter: str,
+        i_s: float = 1e-12,
+        beta_f: float = 100.0,
+        beta_r: float = 1.0,
+        v_t: float = 0.025,
+        polarity: str = "npn",
+    ):
+        super().__init__(name, (collector, base, emitter))
+        self.i_s = check_positive(f"{name}.i_s", i_s)
+        self.beta_f = check_positive(f"{name}.beta_f", beta_f)
+        self.beta_r = check_positive(f"{name}.beta_r", beta_r)
+        self.v_t = check_positive(f"{name}.v_t", v_t)
+        if polarity not in ("npn", "pnp"):
+            raise ValueError(f"polarity must be 'npn' or 'pnp', got {polarity!r}")
+        self.sign = 1.0 if polarity == "npn" else -1.0
+
+    def _terminal_voltage(self, x: np.ndarray, idx: int) -> float:
+        return float(x[idx]) if idx >= 0 else 0.0
+
+    def currents(self, v_be: float, v_bc: float):
+        """Terminal currents and the 2x2 Jacobian w.r.t. (v_be, v_bc).
+
+        Returns ``(i_c, i_b, partials)`` with
+        ``partials = (dIc/dVbe, dIc/dVbc, dIb/dVbe, dIb/dVbc)``.
+        """
+        s = self.sign
+        ef, def_ = limited_exponential(s * v_be, self.v_t)
+        er, der = limited_exponential(s * v_bc, self.v_t)
+        i_f = self.i_s * (ef - 1.0)
+        i_r = self.i_s * (er - 1.0)
+        di_f = self.i_s * def_ * s
+        di_r = self.i_s * der * s
+        i_c = s * (i_f - i_r - i_r / self.beta_r)
+        i_b = s * (i_f / self.beta_f + i_r / self.beta_r)
+        d_ic_dbe = s * di_f
+        d_ic_dbc = s * (-di_r - di_r / self.beta_r)
+        d_ib_dbe = s * di_f / self.beta_f
+        d_ib_dbc = s * di_r / self.beta_r
+        return i_c, i_b, (d_ic_dbe, d_ic_dbc, d_ib_dbe, d_ib_dbc)
+
+    def stamp_nonlinear(self, x: np.ndarray, j_matrix: np.ndarray, i_vector: np.ndarray) -> None:
+        c, b, e = self.node_indices
+        v_c = self._terminal_voltage(x, c)
+        v_b = self._terminal_voltage(x, b)
+        v_e = self._terminal_voltage(x, e)
+        i_c, i_b, (dc_be, dc_bc, db_be, db_bc) = self.currents(v_b - v_e, v_b - v_c)
+        i_e = -(i_c + i_b)
+        # KCL: positive currents flow INTO the device at C and B, out at E;
+        # "leaving the node" means +i_c at the collector node, etc.
+        self._addv(i_vector, c, i_c)
+        self._addv(i_vector, b, i_b)
+        self._addv(i_vector, e, i_e)
+        # Jacobian: derivative of each terminal current w.r.t. each node
+        # voltage, via v_be = v_b - v_e, v_bc = v_b - v_c.
+        de_be = -(dc_be + db_be)
+        de_bc = -(dc_bc + db_bc)
+        for row, d_be, d_bc in ((c, dc_be, dc_bc), (b, db_be, db_bc), (e, de_be, de_bc)):
+            self._add(j_matrix, row, b, d_be + d_bc)
+            self._add(j_matrix, row, e, -d_be)
+            self._add(j_matrix, row, c, -d_bc)

@@ -1,0 +1,70 @@
+"""Junction diode with exponential law and junction-voltage limiting."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.spice.elements.base import TwoTerminal
+from repro.utils.validation import check_positive
+
+__all__ = ["Diode", "limited_exponential"]
+
+#: Junction voltage beyond which the exponential is linearised — the
+#: classic SPICE trick keeping wild Newton iterates finite while preserving
+#: C1 continuity of the model.
+_V_LIMIT_FACTOR = 40.0
+
+
+def limited_exponential(v: float, v_t: float) -> tuple[float, float]:
+    """``exp(v / v_t)`` with C1 linear continuation above ``40 v_t``.
+
+    Returns ``(value, derivative-with-respect-to-v)``.
+    """
+    v_lim = _V_LIMIT_FACTOR * v_t
+    if v <= v_lim:
+        e = float(np.exp(v / v_t))
+        return e, e / v_t
+    e_lim = float(np.exp(_V_LIMIT_FACTOR))
+    slope = e_lim / v_t
+    return e_lim + slope * (v - v_lim), slope
+
+
+class Diode(TwoTerminal):
+    """Junction diode ``i = Is (exp(v/(eta Vt)) - 1)``; anode is terminal a.
+
+    Parameters
+    ----------
+    i_s:
+        Saturation current, amperes.
+    eta:
+        Ideality factor.
+    v_t:
+        Thermal voltage, volts.
+    """
+
+    is_nonlinear = True
+
+    def __init__(
+        self,
+        name: str,
+        anode: str,
+        cathode: str,
+        i_s: float = 1e-12,
+        eta: float = 1.0,
+        v_t: float = 0.025,
+    ):
+        super().__init__(name, anode, cathode)
+        self.i_s = check_positive(f"{name}.i_s", i_s)
+        self.eta = check_positive(f"{name}.eta", eta)
+        self.v_t = check_positive(f"{name}.v_t", v_t)
+
+    def current(self, v: float) -> tuple[float, float]:
+        """Diode current and conductance at junction voltage ``v``."""
+        e, de = limited_exponential(v, self.eta * self.v_t)
+        return self.i_s * (e - 1.0), self.i_s * de
+
+    def stamp_nonlinear(self, x: np.ndarray, j_matrix: np.ndarray, i_vector: np.ndarray) -> None:
+        v = self.voltage_across(x)
+        i, g = self.current(v)
+        self.stamp_current_pair(i_vector, i)
+        self.stamp_pair(j_matrix, g)

@@ -1,0 +1,114 @@
+"""Square-law (SPICE level-1) MOSFET.
+
+Enough transistor to build the modern RFIC incarnation of the paper's
+cross-coupled oscillator — an NMOS negative-gm pair — and extract its
+``i = f(v)`` the same way as the BJT cell.  Channel regions::
+
+    cutoff:      v_gs <= v_th                 i_d = 0
+    triode:      v_ds <  v_gs - v_th          i_d = k [(v_gs-v_th) v_ds - v_ds^2/2] (1 + lambda v_ds)
+    saturation:  v_ds >= v_gs - v_th          i_d = (k/2)(v_gs-v_th)^2 (1 + lambda v_ds)
+
+Negative ``v_ds`` is handled by the usual source/drain swap symmetry.
+The piecewise law is C1 at both boundaries (the triode/saturation join is
+exact; cutoff joins with zero current and zero slope), which keeps Newton
+happy without junction-style limiting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.spice.elements.base import Element
+from repro.utils.validation import check_positive
+
+__all__ = ["Mosfet"]
+
+
+class Mosfet(Element):
+    """Level-1 MOSFET; terminals ``(drain, gate, source)``.
+
+    Parameters
+    ----------
+    k:
+        Transconductance factor ``KP * W/L`` in A/V^2.
+    v_th:
+        Threshold voltage (positive number for both polarities; the sign
+        is applied internally for PMOS).
+    lam:
+        Channel-length modulation, 1/V.
+    polarity:
+        ``"nmos"`` or ``"pmos"``.
+    """
+
+    is_nonlinear = True
+
+    def __init__(
+        self,
+        name: str,
+        drain: str,
+        gate: str,
+        source: str,
+        k: float = 2e-4,
+        v_th: float = 0.5,
+        lam: float = 0.0,
+        polarity: str = "nmos",
+    ):
+        super().__init__(name, (drain, gate, source))
+        self.k = check_positive(f"{name}.k", k)
+        self.v_th = float(v_th)
+        self.lam = check_positive(f"{name}.lambda", lam, strict=False)
+        if polarity not in ("nmos", "pmos"):
+            raise ValueError(f"polarity must be 'nmos' or 'pmos', got {polarity!r}")
+        self.sign = 1.0 if polarity == "nmos" else -1.0
+
+    def drain_current(self, v_gs: float, v_ds: float) -> tuple[float, float, float]:
+        """``(i_d, gm, gds)`` at the given terminal voltages.
+
+        ``i_d`` flows drain -> source for positive NMOS operation.
+        """
+        def forward(v_gs_n: float, v_ds_n: float) -> tuple[float, float, float]:
+            """Normal-mode (v_ds >= 0) square law with derivatives."""
+            v_ov = v_gs_n - self.v_th
+            if v_ov <= 0.0:
+                return 0.0, 0.0, 0.0
+            if v_ds_n < v_ov:
+                clm = 1.0 + self.lam * v_ds_n
+                core = v_ov * v_ds_n - 0.5 * v_ds_n * v_ds_n
+                i = self.k * core * clm
+                gm_f = self.k * v_ds_n * clm
+                gds_f = self.k * (v_ov - v_ds_n) * clm + self.k * core * self.lam
+                return i, gm_f, gds_f
+            clm = 1.0 + self.lam * v_ds_n
+            i = 0.5 * self.k * v_ov * v_ov * clm
+            gm_f = self.k * v_ov * clm
+            gds_f = 0.5 * self.k * v_ov * v_ov * self.lam
+            return i, gm_f, gds_f
+
+        s = self.sign
+        v_gs_n, v_ds_n = s * v_gs, s * v_ds
+        if v_ds_n >= 0.0:
+            i_n, gm, gds = forward(v_gs_n, v_ds_n)
+        else:
+            # Source/drain swap: i(v_gs, v_ds) = -i_fwd(v_gs - v_ds, -v_ds);
+            # chain rule gives gm = -gm_f, gds = gm_f + gds_f.
+            i_f, gm_f, gds_f = forward(v_gs_n - v_ds_n, -v_ds_n)
+            i_n = -i_f
+            gm = -gm_f
+            gds = gm_f + gds_f
+        # Polarity: i(v) = s * i_n(s v) leaves the conductances unsigned.
+        return s * i_n, gm, gds
+
+    def stamp_nonlinear(self, x: np.ndarray, j_matrix: np.ndarray, i_vector: np.ndarray) -> None:
+        d, g, s = self.node_indices
+        v_d = float(x[d]) if d >= 0 else 0.0
+        v_g = float(x[g]) if g >= 0 else 0.0
+        v_s = float(x[s]) if s >= 0 else 0.0
+        i_d, gm, gds = self.drain_current(v_g - v_s, v_d - v_s)
+        # Current enters the drain, leaves the source; the gate draws none.
+        self._addv(i_vector, d, i_d)
+        self._addv(i_vector, s, -i_d)
+        # d i_d / d v_d = gds ; / d v_g = gm ; / d v_s = -(gm + gds).
+        for row, sign_row in ((d, 1.0), (s, -1.0)):
+            self._add(j_matrix, row, d, sign_row * gds)
+            self._add(j_matrix, row, g, sign_row * gm)
+            self._add(j_matrix, row, s, sign_row * -(gm + gds))

@@ -1,0 +1,110 @@
+"""Linear passive elements: resistor, capacitor, inductor, mutual coupling."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.spice.elements.base import Element, TwoTerminal
+from repro.utils.validation import check_in_range, check_positive
+
+__all__ = ["Resistor", "Capacitor", "Inductor", "MutualInductance"]
+
+
+class Resistor(TwoTerminal):
+    """Ideal resistor; stamps its conductance into ``G``."""
+
+    def __init__(self, name: str, node_a: str, node_b: str, resistance: float):
+        super().__init__(name, node_a, node_b)
+        self.resistance = check_positive(f"{name}.resistance", resistance)
+
+    def stamp_conductance(self, g_matrix: np.ndarray) -> None:
+        self.stamp_pair(g_matrix, 1.0 / self.resistance)
+
+
+class Capacitor(TwoTerminal):
+    """Ideal capacitor; stamps into the ``dx/dt`` multiplier matrix."""
+
+    def __init__(self, name: str, node_a: str, node_b: str, capacitance: float):
+        super().__init__(name, node_a, node_b)
+        self.capacitance = check_positive(f"{name}.capacitance", capacitance)
+
+    def stamp_reactance(self, c_matrix: np.ndarray) -> None:
+        self.stamp_pair(c_matrix, self.capacitance)
+
+
+class Inductor(TwoTerminal):
+    """Ideal inductor with an explicit branch current.
+
+    The branch unknown ``i_L`` keeps the MNA system index-1-friendly and
+    lets DC analysis treat the inductor as the short it physically is
+    (its branch row degenerates to ``v_a - v_b = 0`` when ``dx/dt = 0``).
+    """
+
+    n_branches = 1
+
+    def __init__(self, name: str, node_a: str, node_b: str, inductance: float):
+        super().__init__(name, node_a, node_b)
+        self.inductance = check_positive(f"{name}.inductance", inductance)
+
+    def stamp_conductance(self, g_matrix: np.ndarray) -> None:
+        k = self.branch_indices[0]
+        # KCL: branch current leaves node a, enters node b.
+        self._add(g_matrix, self.a, k, 1.0)
+        self._add(g_matrix, self.b, k, -1.0)
+        # Branch equation: v_a - v_b - L di/dt = 0.
+        self._add(g_matrix, k, self.a, 1.0)
+        self._add(g_matrix, k, self.b, -1.0)
+
+    def stamp_reactance(self, c_matrix: np.ndarray) -> None:
+        k = self.branch_indices[0]
+        c_matrix[k, k] += -self.inductance
+
+
+class MutualInductance(Element):
+    """Magnetic coupling between two inductors (SPICE ``K`` element).
+
+    Adds the mutual term ``M = k sqrt(L1 L2)`` to both inductors' branch
+    equations::
+
+        v_1 = L1 di_1/dt + M di_2/dt
+        v_2 = M di_1/dt + L2 di_2/dt
+
+    which in the residual convention stamps ``-M`` into the ``C`` matrix
+    at the two branch-row cross positions.  The coupled pair is the
+    standard transformer model for injection coupling in RFIC practice.
+
+    Parameters
+    ----------
+    inductor_a, inductor_b:
+        The two :class:`Inductor` instances (must already be added to the
+        same circuit).
+    coupling:
+        Coupling coefficient ``k`` in ``(0, 1]`` (sign via the inductors'
+        terminal order, dot convention: terminal ``a`` is the dot).
+    """
+
+    def __init__(self, name: str, inductor_a: Inductor, inductor_b: Inductor, coupling: float):
+        if not isinstance(inductor_a, Inductor) or not isinstance(inductor_b, Inductor):
+            raise TypeError(f"{name}: couple two Inductor elements")
+        if inductor_a is inductor_b:
+            raise ValueError(f"{name}: cannot couple an inductor to itself")
+        super().__init__(name, ())
+        check_in_range(f"{name}.coupling", abs(coupling), 0.0, 1.0, inclusive=True)
+        if coupling == 0.0:
+            raise ValueError(f"{name}: coupling must be nonzero")
+        self.inductor_a = inductor_a
+        self.inductor_b = inductor_b
+        self.coupling = float(coupling)
+
+    @property
+    def mutual(self) -> float:
+        """``M = k sqrt(L1 L2)`` in henries."""
+        return self.coupling * float(
+            np.sqrt(self.inductor_a.inductance * self.inductor_b.inductance)
+        )
+
+    def stamp_reactance(self, c_matrix: np.ndarray) -> None:
+        ka = self.inductor_a.branch_indices[0]
+        kb = self.inductor_b.branch_indices[0]
+        c_matrix[ka, kb] += -self.mutual
+        c_matrix[kb, ka] += -self.mutual

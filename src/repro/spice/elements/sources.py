@@ -1,0 +1,173 @@
+"""Independent sources (DC / SIN / PULSE waveforms) and the VCCS.
+
+Waveforms are plain callables ``t -> value``; the factories :func:`dc`,
+:func:`sine` and :func:`pulse` build the SPICE-standard shapes.  Passing a
+bare number to a source is shorthand for ``dc(number)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.spice.elements.base import Element, TwoTerminal
+from repro.utils.validation import check_positive
+
+__all__ = ["dc", "sine", "pulse", "VoltageSource", "CurrentSource", "Vccs"]
+
+Waveform = Callable[[float], float]
+
+
+def dc(value: float) -> Waveform:
+    """Constant waveform."""
+    value = float(value)
+
+    def wave(t: float) -> float:
+        return value
+
+    wave.is_dc = True  # type: ignore[attr-defined]
+    return wave
+
+
+def sine(
+    offset: float,
+    amplitude: float,
+    frequency_hz: float,
+    *,
+    delay: float = 0.0,
+    phase_deg: float = 0.0,
+) -> Waveform:
+    """SPICE ``SIN(VO VA FREQ TD 0 PHASE)`` waveform (no damping term)."""
+    check_positive("frequency_hz", frequency_hz)
+    w = 2.0 * np.pi * frequency_hz
+    phase = np.deg2rad(phase_deg)
+
+    def wave(t: float) -> float:
+        if t < delay:
+            return offset + amplitude * np.sin(phase)
+        return offset + amplitude * np.sin(w * (t - delay) + phase)
+
+    return wave
+
+
+def pulse(
+    v1: float,
+    v2: float,
+    *,
+    delay: float = 0.0,
+    rise: float = 0.0,
+    fall: float = 0.0,
+    width: float,
+    period: float | None = None,
+) -> Waveform:
+    """SPICE ``PULSE(V1 V2 TD TR TF PW PER)`` waveform.
+
+    ``rise``/``fall`` of 0 are replaced by a very short ramp (1e-15 s) so
+    the waveform stays single-valued for the integrator's Newton solver.
+    """
+    check_positive("width", width)
+    rise = max(float(rise), 1e-15)
+    fall = max(float(fall), 1e-15)
+
+    def wave(t: float) -> float:
+        if period is not None and t >= delay:
+            t = delay + (t - delay) % period
+        if t < delay:
+            return v1
+        t = t - delay
+        if t < rise:
+            return v1 + (v2 - v1) * t / rise
+        t -= rise
+        if t < width:
+            return v2
+        t -= width
+        if t < fall:
+            return v2 + (v1 - v2) * t / fall
+        return v1
+
+    return wave
+
+
+def _as_waveform(value) -> Waveform:
+    if callable(value):
+        return value
+    return dc(float(value))
+
+
+class VoltageSource(TwoTerminal):
+    """Independent voltage source with a branch-current unknown.
+
+    The branch current is the current flowing from the + terminal through
+    the source to the - terminal — SPICE's convention, so a source
+    delivering power into the circuit reports a negative current.
+    """
+
+    n_branches = 1
+    is_time_varying = True
+
+    def __init__(self, name: str, node_plus: str, node_minus: str, waveform):
+        super().__init__(name, node_plus, node_minus)
+        self.waveform = _as_waveform(waveform)
+
+    def value(self, t: float) -> float:
+        """Source voltage at time ``t``."""
+        return float(self.waveform(t))
+
+    def stamp_conductance(self, g_matrix: np.ndarray) -> None:
+        k = self.branch_indices[0]
+        self._add(g_matrix, self.a, k, 1.0)
+        self._add(g_matrix, self.b, k, -1.0)
+        self._add(g_matrix, k, self.a, 1.0)
+        self._add(g_matrix, k, self.b, -1.0)
+
+    def stamp_sources(self, s_vector: np.ndarray, t: float) -> None:
+        # Branch equation residual: v_a - v_b - V(t) = 0.
+        self._addv(s_vector, self.branch_indices[0], -self.value(t))
+
+
+class CurrentSource(TwoTerminal):
+    """Independent current source; positive current flows a -> b through it.
+
+    Equivalently: it *extracts* the programmed current from node ``a`` and
+    delivers it into node ``b``.  To inject current INTO a node, make that
+    node the second terminal (or program a negative value).
+    """
+
+    is_time_varying = True
+
+    def __init__(self, name: str, node_a: str, node_b: str, waveform):
+        super().__init__(name, node_a, node_b)
+        self.waveform = _as_waveform(waveform)
+
+    def value(self, t: float) -> float:
+        """Source current at time ``t``."""
+        return float(self.waveform(t))
+
+    def stamp_sources(self, s_vector: np.ndarray, t: float) -> None:
+        i = self.value(t)
+        self._addv(s_vector, self.a, i)
+        self._addv(s_vector, self.b, -i)
+
+
+class Vccs(Element):
+    """Voltage-controlled current source ``i(a->b) = gm * (v_c - v_d)``."""
+
+    def __init__(
+        self,
+        name: str,
+        node_a: str,
+        node_b: str,
+        ctrl_plus: str,
+        ctrl_minus: str,
+        gm: float,
+    ):
+        super().__init__(name, (node_a, node_b, ctrl_plus, ctrl_minus))
+        self.gm = float(gm)
+
+    def stamp_conductance(self, g_matrix: np.ndarray) -> None:
+        a, b, c, d = self.node_indices
+        self._add(g_matrix, a, c, self.gm)
+        self._add(g_matrix, a, d, -self.gm)
+        self._add(g_matrix, b, c, -self.gm)
+        self._add(g_matrix, b, d, self.gm)

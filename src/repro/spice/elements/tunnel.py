@@ -1,0 +1,39 @@
+"""Tunnel diode circuit element (paper Appendix VI-C model)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nonlin.tunnel_diode import TunnelDiode
+from repro.spice.elements.base import TwoTerminal
+
+__all__ = ["TunnelDiodeElement"]
+
+
+class TunnelDiodeElement(TwoTerminal):
+    """Two-terminal tunnel diode; anode is terminal a.
+
+    Wraps the :class:`repro.nonlin.tunnel_diode.TunnelDiode` device law so
+    the SPICE-level netlist and the describing-function analysis share one
+    model implementation (any discrepancy between "what we analysed" and
+    "what we simulated" would silently bias the validation).
+    """
+
+    is_nonlinear = True
+
+    def __init__(
+        self,
+        name: str,
+        anode: str,
+        cathode: str,
+        model: TunnelDiode | None = None,
+    ):
+        super().__init__(name, anode, cathode)
+        self.model = model if model is not None else TunnelDiode()
+
+    def stamp_nonlinear(self, x: np.ndarray, j_matrix: np.ndarray, i_vector: np.ndarray) -> None:
+        v = self.voltage_across(x)
+        i = float(self.model(np.asarray(v)))
+        g = float(self.model.derivative(np.asarray(v)))
+        self.stamp_current_pair(i_vector, i)
+        self.stamp_pair(j_matrix, g)

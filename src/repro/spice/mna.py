@@ -1,0 +1,105 @@
+"""Modified nodal analysis system assembly.
+
+The assembled system is the residual form every analysis consumes::
+
+    F(x, dx/dt, t) = G x + C dx/dt + i_nl(x) + s(t) = 0
+
+* ``G``  — constant conductance/incidence matrix,
+* ``C``  — constant ``dx/dt`` multiplier (capacitances, -L on inductor
+  branch rows),
+* ``i_nl(x)`` — nonlinear device currents, with Jacobian ``J_nl(x)``,
+* ``s(t)``    — independent-source terms.
+
+Unknown ordering: non-ground node voltages (circuit appearance order),
+then branch currents.  Dense numpy matrices — the paper's circuits have a
+handful of nodes; factorisation cost is irrelevant next to Newton's device
+evaluations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["MnaSystem"]
+
+
+@dataclass
+class MnaSystem:
+    """Assembled MNA matrices and index maps for one circuit.
+
+    Attributes
+    ----------
+    circuit:
+        The source :class:`repro.spice.circuit.Circuit` (elements hold
+        their assigned indices).
+    node_index:
+        Node name -> unknown index.
+    branch_index:
+        Element name -> branch-current unknown index (voltage sources and
+        inductors).
+    size:
+        Total unknown count.
+    """
+
+    circuit: "object"
+    node_index: dict[str, int]
+    branch_index: dict[str, int]
+    size: int
+
+    def __post_init__(self) -> None:
+        n = self.size
+        self.g_matrix = np.zeros((n, n))
+        self.c_matrix = np.zeros((n, n))
+        self._nonlinear = [el for el in self.circuit.elements if el.is_nonlinear]
+        self._sources = [el for el in self.circuit.elements if el.is_time_varying]
+        for el in self.circuit.elements:
+            el.stamp_conductance(self.g_matrix)
+            el.stamp_reactance(self.c_matrix)
+
+    # -- evaluation -----------------------------------------------------------
+
+    def source_vector(self, t: float) -> np.ndarray:
+        """``s(t)`` — independent-source contributions at time ``t``."""
+        s = np.zeros(self.size)
+        for el in self._sources:
+            el.stamp_sources(s, t)
+        return s
+
+    def nonlinear(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(i_nl(x), J_nl(x))`` over all nonlinear devices."""
+        i = np.zeros(self.size)
+        j = np.zeros((self.size, self.size))
+        for el in self._nonlinear:
+            el.stamp_nonlinear(x, j, i)
+        return i, j
+
+    def residual(self, x: np.ndarray, xdot: np.ndarray, t: float) -> np.ndarray:
+        """Full residual ``F(x, dx/dt, t)``."""
+        i_nl, _ = self.nonlinear(x)
+        return self.g_matrix @ x + self.c_matrix @ xdot + i_nl + self.source_vector(t)
+
+    def resistive_jacobian(self, x: np.ndarray) -> np.ndarray:
+        """``G + J_nl(x)`` — the Jacobian of the memoryless part."""
+        _, j_nl = self.nonlinear(x)
+        return self.g_matrix + j_nl
+
+    # -- accessors ------------------------------------------------------------
+
+    def voltage(self, x: np.ndarray, node: str) -> float:
+        """Node voltage from an unknown vector (ground reads 0)."""
+        from repro.spice.circuit import GROUND_NAMES
+
+        if node in GROUND_NAMES:
+            return 0.0
+        return float(x[self.node_index[node]])
+
+    def branch_current(self, x: np.ndarray, element_name: str) -> float:
+        """Branch current of a voltage source or inductor."""
+        return float(x[self.branch_index[element_name]])
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of non-ground nodes."""
+        return len(self.node_index)

@@ -1,0 +1,462 @@
+"""SPICE-ish netlist parser.
+
+Supports the subset needed to express the paper's circuits as decks::
+
+    * diff-pair oscillator
+    VCC vcc 0 DC 12
+    RL  vcc ncl 4k
+    Q1  ncl ncr e  npn1
+    Q2  ncr ncl e  npn1
+    IEE e   0   DC 100u
+    L1  ncl ncr 100u
+    C1  ncl ncr 1n
+    .model npn1 NPN(is=1e-12 bf=100 br=1)
+    .tran 30n 2m
+    .end
+
+Grammar notes (all case-insensitive):
+
+* first line is the title; ``*`` starts a comment; ``+`` continues the
+  previous line; everything after ``.end`` is ignored;
+* element letter selects the device: R, C, L, V, I, D, Q, M, G (VCCS),
+  K (mutual inductance), X (subcircuit instance);
+* V/I sources accept ``DC <v>``, ``SIN(vo va freq [td phase])``,
+  ``PULSE(v1 v2 td tr tf pw [per])``, or a bare number;
+* ``.model <name> NPN|PNP|NMOS|PMOS|D|TUNNEL(key=value ...)``;
+* ``.subckt <name> <ports...> ... .ends`` definitions expand at parse
+  time (internal nodes private per instance, nesting to depth 8);
+* ``.ic v(node)=value`` entries land in
+  :attr:`ParsedNetlist.initial_conditions`;
+* analysis cards ``.tran``, ``.dc``, ``.ac`` are collected as directives
+  for the caller to run — the parser never runs analyses itself.
+
+See ``docs/NETLIST.md`` for the full dialect reference.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.nonlin.tunnel_diode import TunnelDiode
+from repro.spice.circuit import Circuit
+from repro.spice.elements.sources import dc, pulse, sine
+from repro.utils.units import parse_value
+
+__all__ = ["ParsedNetlist", "NetlistError", "parse_netlist"]
+
+
+class NetlistError(ValueError):
+    """Malformed netlist; message carries the line number and content."""
+
+
+@dataclass
+class AnalysisDirective:
+    """One ``.tran`` / ``.dc`` / ``.ac`` card, parsed into fields."""
+
+    kind: str
+    params: dict = field(default_factory=dict)
+
+
+@dataclass
+class ParsedNetlist:
+    """Parse result: the circuit plus any analysis directives.
+
+    Attributes
+    ----------
+    initial_conditions:
+        Node -> voltage from ``.ic`` cards; pass to
+        :func:`repro.spice.transient.transient` via its ``ic`` argument.
+    """
+
+    circuit: Circuit
+    analyses: list[AnalysisDirective] = field(default_factory=list)
+    models: dict = field(default_factory=dict)
+    initial_conditions: dict = field(default_factory=dict)
+
+
+_FUNC_RE = re.compile(r"^(sin|pulse)\((.*)\)$", re.IGNORECASE)
+_IC_RE = re.compile(r"^v\(([^)]+)\)=(\S+)$", re.IGNORECASE)
+_MODEL_RE = re.compile(
+    r"^\.model\s+(\S+)\s+(npn|pnp|nmos|pmos|d|tunnel)\s*\((.*)\)\s*$", re.IGNORECASE
+)
+
+
+def _logical_lines(text: str, *, skip_first: int = 0):
+    """Join '+' continuations, strip comments, yield (lineno, line)."""
+    merged: list[tuple[int, str]] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        if lineno <= skip_first:
+            continue
+        line = raw.split(";")[0].rstrip()
+        if not line.strip():
+            continue
+        if line.lstrip().startswith("*"):
+            continue
+        if line.lstrip().startswith("+"):
+            if not merged:
+                raise NetlistError(f"line {lineno}: continuation with no previous line")
+            prev_no, prev = merged[-1]
+            merged[-1] = (prev_no, prev + " " + line.lstrip()[1:].strip())
+        else:
+            merged.append((lineno, line.strip()))
+    return merged
+
+
+def _split_params(body: str) -> dict:
+    """Parse ``key=value key=value`` model parameter bodies."""
+    params = {}
+    for token in re.split(r"[\s,]+", body.strip()):
+        if not token:
+            continue
+        if "=" not in token:
+            raise NetlistError(f"model parameter {token!r} is not key=value")
+        key, value = token.split("=", 1)
+        params[key.lower()] = parse_value(value)
+    return params
+
+
+def _parse_waveform(tokens: list[str], lineno: int):
+    """Parse the source-value part of a V/I line."""
+    if not tokens:
+        raise NetlistError(f"line {lineno}: source needs a value")
+    joined = " ".join(tokens)
+    func = _FUNC_RE.match(joined.strip())
+    if func:
+        name = func.group(1).lower()
+        args = [parse_value(tok) for tok in re.split(r"[\s,]+", func.group(2).strip()) if tok]
+        if name == "sin":
+            if len(args) < 3:
+                raise NetlistError(f"line {lineno}: SIN needs (VO VA FREQ ...)")
+            vo, va, freq = args[0], args[1], args[2]
+            td = args[3] if len(args) > 3 else 0.0
+            ph = args[5] if len(args) > 5 else 0.0
+            return sine(vo, va, freq, delay=td, phase_deg=ph)
+        if len(args) < 6:
+            raise NetlistError(f"line {lineno}: PULSE needs (V1 V2 TD TR TF PW [PER])")
+        per = args[6] if len(args) > 6 else None
+        return pulse(
+            args[0], args[1], delay=args[2], rise=args[3], fall=args[4],
+            width=args[5], period=per,
+        )
+    if tokens[0].lower() == "dc":
+        if len(tokens) < 2:
+            raise NetlistError(f"line {lineno}: DC needs a value")
+        return dc(parse_value(tokens[1]))
+    return dc(parse_value(tokens[0]))
+
+
+def _tunnel_model(params: dict) -> TunnelDiode:
+    return TunnelDiode(
+        i_s=params.get("is", 1e-12),
+        eta=params.get("eta", 1.0),
+        v_th=params.get("vth", 0.025),
+        m=params.get("m", 2.0),
+        v0=params.get("v0", 0.2),
+        r0=params.get("r0", 1000.0),
+    )
+
+
+#: How many source tokens each element letter consumes as *node names*
+#: (the rest are values/models and pass through expansion untouched).
+_NODE_COUNT = {
+    "R": 2, "C": 2, "L": 2, "V": 2, "I": 2, "D": 2,
+    "Q": 3, "M": 3, "G": 4,
+}
+
+
+def _expand_instance(lineno, tokens, subckts, depth):
+    """Expand one ``X`` line into concrete element lines.
+
+    Internal nodes become ``<node>.<instance>``, element names become
+    ``<name>_<instance>`` (keeping the element letter first so dispatch
+    still works), ports map to the instance's connection nodes, and
+    nested instances recurse with a depth cap.
+    """
+    if depth > 8:
+        raise NetlistError(f"line {lineno}: subcircuit nesting deeper than 8")
+    inst = tokens[0]
+    if len(tokens) < 3:
+        raise NetlistError(f"line {lineno}: X line needs nodes and a subckt name")
+    sub_name = tokens[-1].lower()
+    conn = tokens[1:-1]
+    if sub_name not in subckts:
+        raise NetlistError(f"line {lineno}: unknown subcircuit {sub_name!r}")
+    ports, body = subckts[sub_name]
+    if len(conn) != len(ports):
+        raise NetlistError(
+            f"line {lineno}: {inst} connects {len(conn)} nodes but "
+            f".subckt {sub_name} declares {len(ports)} ports"
+        )
+    node_map = {port.lower(): node for port, node in zip(ports, conn)}
+
+    def map_node(node: str) -> str:
+        lower = node.lower()
+        if lower in ("0", "gnd"):
+            return node
+        if lower in node_map:
+            return node_map[lower]
+        return f"{node}.{inst}"
+
+    out: list[tuple[int, list[str]]] = []
+    for sub_lineno, sub_tokens in body:
+        letter = sub_tokens[0][0].upper()
+        renamed = [f"{sub_tokens[0]}_{inst}"]
+        if letter == "X":
+            renamed += [map_node(n) for n in sub_tokens[1:-1]] + [sub_tokens[-1]]
+            out.extend(_expand_instance(sub_lineno, renamed, subckts, depth + 1))
+            continue
+        if letter == "K":
+            # K references element names, not nodes.
+            renamed += [f"{t}_{inst}" for t in sub_tokens[1:3]] + sub_tokens[3:]
+        else:
+            n_nodes = _NODE_COUNT.get(letter)
+            if n_nodes is None:
+                raise NetlistError(
+                    f"line {sub_lineno}: unsupported element {sub_tokens[0]!r} "
+                    "inside .subckt"
+                )
+            # MOSFETs may carry an optional 4th (bulk) node.
+            if letter == "M" and len(sub_tokens) > 5:
+                n_nodes = 4
+            renamed += [map_node(n) for n in sub_tokens[1 : 1 + n_nodes]]
+            renamed += sub_tokens[1 + n_nodes :]
+        out.append((sub_lineno, renamed))
+    return out
+
+
+def parse_netlist(text: str) -> ParsedNetlist:
+    """Parse a netlist deck into a :class:`ParsedNetlist`.
+
+    Raises
+    ------
+    NetlistError
+        On any malformed line, with the line number in the message.
+    """
+    raw_lines = text.splitlines()
+    if not raw_lines or not any(line.strip() for line in raw_lines):
+        raise NetlistError("empty netlist")
+    # SPICE convention: the first RAW line is always the title — even when
+    # it looks like a comment or an element line.
+    title = raw_lines[0].strip().lstrip("*").strip()
+    body = _logical_lines(text, skip_first=1)
+
+    circuit = Circuit(title)
+    models: dict[str, tuple[str, dict]] = {}
+    analyses: list[AnalysisDirective] = []
+    initial_conditions: dict[str, float] = {}
+    # Device lines referencing models are deferred until models are known.
+    deferred: list[tuple[int, list[str]]] = []
+    # Subcircuit definitions: name -> (ports, [(lineno, tokens), ...]).
+    subckts: dict[str, tuple[list[str], list[tuple[int, list[str]]]]] = {}
+    current_subckt: str | None = None
+
+    for lineno, line in body:
+        lower = line.lower()
+        if lower == ".end":
+            break
+        if lower.startswith(".subckt"):
+            if current_subckt is not None:
+                raise NetlistError(f"line {lineno}: nested .subckt not supported")
+            tokens = line.split()
+            if len(tokens) < 3:
+                raise NetlistError(f"line {lineno}: .subckt needs a name and ports")
+            current_subckt = tokens[1].lower()
+            subckts[current_subckt] = (tokens[2:], [])
+            continue
+        if lower.startswith(".ends"):
+            if current_subckt is None:
+                raise NetlistError(f"line {lineno}: .ends without .subckt")
+            current_subckt = None
+            continue
+        if current_subckt is not None:
+            if lower.startswith("."):
+                raise NetlistError(
+                    f"line {lineno}: cards are not allowed inside .subckt"
+                )
+            subckts[current_subckt][1].append((lineno, line.split()))
+            continue
+        if lower.startswith(".ic"):
+            for token in line.split()[1:]:
+                match = _IC_RE.match(token)
+                if not match:
+                    raise NetlistError(
+                        f"line {lineno}: .ic entries look like v(node)=value, "
+                        f"got {token!r}"
+                    )
+                initial_conditions[match.group(1)] = parse_value(match.group(2))
+            continue
+        if lower.startswith(".model"):
+            match = _MODEL_RE.match(line)
+            if not match:
+                raise NetlistError(f"line {lineno}: bad .model card: {line!r}")
+            name, kind, params_body = match.groups()
+            models[name.lower()] = (kind.lower(), _split_params(params_body))
+            continue
+        if lower.startswith(".tran"):
+            tokens = line.split()
+            if len(tokens) < 3:
+                raise NetlistError(f"line {lineno}: .tran needs tstep tstop")
+            analyses.append(
+                AnalysisDirective(
+                    "tran",
+                    {"tstep": parse_value(tokens[1]), "tstop": parse_value(tokens[2])},
+                )
+            )
+            continue
+        if lower.startswith(".dc"):
+            tokens = line.split()
+            if len(tokens) < 5:
+                raise NetlistError(f"line {lineno}: .dc needs source start stop step")
+            analyses.append(
+                AnalysisDirective(
+                    "dc",
+                    {
+                        "source": tokens[1],
+                        "start": parse_value(tokens[2]),
+                        "stop": parse_value(tokens[3]),
+                        "step": parse_value(tokens[4]),
+                    },
+                )
+            )
+            continue
+        if lower.startswith(".ac"):
+            tokens = line.split()
+            if len(tokens) < 5:
+                raise NetlistError(f"line {lineno}: .ac needs type npoints fstart fstop")
+            analyses.append(
+                AnalysisDirective(
+                    "ac",
+                    {
+                        "sweep": tokens[1].lower(),
+                        "n": int(parse_value(tokens[2])),
+                        "fstart": parse_value(tokens[3]),
+                        "fstop": parse_value(tokens[4]),
+                    },
+                )
+            )
+            continue
+        if lower.startswith("."):
+            raise NetlistError(f"line {lineno}: unsupported card {line.split()[0]!r}")
+        deferred.append((lineno, line.split()))
+
+    if current_subckt is not None:
+        raise NetlistError(f".subckt {current_subckt!r} is missing its .ends")
+
+    # Expand subcircuit instances (X lines) into concrete element lines.
+    expanded: list[tuple[int, list[str]]] = []
+    for lineno, tokens in deferred:
+        if tokens[0][0].upper() == "X":
+            expanded.extend(_expand_instance(lineno, tokens, subckts, depth=0))
+        else:
+            expanded.append((lineno, tokens))
+    deferred = expanded
+
+    # K (mutual inductance) lines reference inductors by name, so they are
+    # handled after every element line.
+    coupling_lines = [(n, t) for n, t in deferred if t[0][0].upper() == "K"]
+    deferred = [(n, t) for n, t in deferred if t[0][0].upper() != "K"]
+
+    for lineno, tokens in deferred:
+        name = tokens[0]
+        letter = name[0].upper()
+        try:
+            if letter == "R":
+                circuit.add_resistor(name, tokens[1], tokens[2], parse_value(tokens[3]))
+            elif letter == "C":
+                circuit.add_capacitor(name, tokens[1], tokens[2], parse_value(tokens[3]))
+            elif letter == "L":
+                circuit.add_inductor(name, tokens[1], tokens[2], parse_value(tokens[3]))
+            elif letter == "V":
+                circuit.add_voltage_source(
+                    name, tokens[1], tokens[2], _parse_waveform(tokens[3:], lineno)
+                )
+            elif letter == "I":
+                circuit.add_current_source(
+                    name, tokens[1], tokens[2], _parse_waveform(tokens[3:], lineno)
+                )
+            elif letter == "G":
+                circuit.add_vccs(
+                    name, tokens[1], tokens[2], tokens[3], tokens[4],
+                    parse_value(tokens[5]),
+                )
+            elif letter == "D":
+                model_name = tokens[3].lower() if len(tokens) > 3 else None
+                kind, params = models.get(model_name, ("d", {})) if model_name else ("d", {})
+                if kind == "tunnel":
+                    circuit.add_tunnel_diode(
+                        name, tokens[1], tokens[2], _tunnel_model(params)
+                    )
+                else:
+                    circuit.add_diode(
+                        name, tokens[1], tokens[2],
+                        i_s=params.get("is", 1e-12),
+                        eta=params.get("n", params.get("eta", 1.0)),
+                    )
+            elif letter == "M":
+                # M<name> d g s [b] [model] — the bulk node, when present,
+                # is accepted and ignored (no body effect in level 1).
+                model_token = None
+                if len(tokens) == 5:
+                    model_token = tokens[4]
+                elif len(tokens) >= 6:
+                    model_token = tokens[5]
+                kind, params = (
+                    models.get(model_token.lower(), ("nmos", {}))
+                    if model_token
+                    else ("nmos", {})
+                )
+                if kind not in ("nmos", "pmos"):
+                    raise NetlistError(
+                        f"line {lineno}: model {model_token!r} is not a MOSFET model"
+                    )
+                circuit.add_mosfet(
+                    name, tokens[1], tokens[2], tokens[3],
+                    k=params.get("kp", 2e-4),
+                    v_th=params.get("vto", 0.5),
+                    lam=params.get("lambda", 0.0),
+                    polarity=kind,
+                )
+            elif letter == "Q":
+                model_name = tokens[4].lower() if len(tokens) > 4 else None
+                kind, params = (
+                    models.get(model_name, ("npn", {})) if model_name else ("npn", {})
+                )
+                if kind not in ("npn", "pnp"):
+                    raise NetlistError(
+                        f"line {lineno}: model {model_name!r} is not a BJT model"
+                    )
+                circuit.add_bjt(
+                    name, tokens[1], tokens[2], tokens[3],
+                    i_s=params.get("is", 1e-12),
+                    beta_f=params.get("bf", 100.0),
+                    beta_r=params.get("br", 1.0),
+                    polarity=kind,
+                )
+            else:
+                raise NetlistError(
+                    f"line {lineno}: unsupported element letter {letter!r}"
+                )
+        except NetlistError:
+            raise
+        except (IndexError, ValueError) as exc:
+            raise NetlistError(
+                f"line {lineno}: cannot parse {' '.join(tokens)!r}: {exc}"
+            ) from exc
+
+    for lineno, tokens in coupling_lines:
+        try:
+            circuit.add_mutual(
+                tokens[0], tokens[1], tokens[2], parse_value(tokens[3])
+            )
+        except (IndexError, ValueError, KeyError, TypeError) as exc:
+            raise NetlistError(
+                f"line {lineno}: cannot parse coupling {' '.join(tokens)!r}: {exc}"
+            ) from exc
+
+    return ParsedNetlist(
+        circuit=circuit,
+        analyses=analyses,
+        models=models,
+        initial_conditions=initial_conditions,
+    )

@@ -1,0 +1,122 @@
+"""Dense linear solve with diagnostics, and the Newton-Raphson driver.
+
+One Newton implementation serves the DC operating point, every DC-sweep
+point and every transient timestep — they differ only in the effective
+conductance matrix and right-hand side they assemble.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SingularCircuitError", "NewtonResult", "solve_linear", "newton_solve"]
+
+
+class SingularCircuitError(RuntimeError):
+    """The MNA matrix is singular — usually a floating node or a V-source loop."""
+
+
+class ConvergenceError(RuntimeError):
+    """Newton failed to converge within the iteration budget."""
+
+
+def solve_linear(matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """``matrix @ x = rhs`` with a descriptive singularity error."""
+    try:
+        return np.linalg.solve(matrix, rhs)
+    except np.linalg.LinAlgError as exc:
+        raise SingularCircuitError(
+            "singular MNA matrix: check for floating nodes, loops of ideal "
+            "voltage sources/inductors, or cut-sets of current sources"
+        ) from exc
+
+
+@dataclass(frozen=True)
+class NewtonResult:
+    """Converged Newton solution with iteration statistics."""
+
+    x: np.ndarray
+    iterations: int
+    residual_norm: float
+    converged: bool
+
+
+def newton_solve(
+    residual_fn,
+    jacobian_fn,
+    x0: np.ndarray,
+    *,
+    abstol: float = 1e-9,
+    reltol: float = 1e-9,
+    max_iter: int = 120,
+    damping_limit: float = 1.0,
+    require_convergence: bool = True,
+) -> NewtonResult:
+    """Damped Newton-Raphson on ``residual_fn(x) = 0``.
+
+    Parameters
+    ----------
+    residual_fn, jacobian_fn:
+        The system and its Jacobian at ``x``.
+    x0:
+        Starting point.
+    abstol, reltol:
+        Convergence on the update: ``|dx| <= abstol + reltol * |x|``
+        componentwise, plus a residual-norm check.
+    max_iter:
+        Iteration budget.
+    damping_limit:
+        Maximum per-iteration step norm relative to ``max(1, |x|)``;
+        values < 1 give source-stepping-like robustness at a convergence
+        cost.
+    require_convergence:
+        Raise :class:`ConvergenceError` on failure instead of returning a
+        ``converged=False`` result.
+    """
+    x = np.array(x0, dtype=float, copy=True)
+    res = residual_fn(x)
+    for iteration in range(1, max_iter + 1):
+        jac = jacobian_fn(x)
+        dx = solve_linear(jac, -res)
+        # Step limiting: junction devices explode for volts-scale steps.
+        scale = float(np.max(np.abs(dx)))
+        limit = damping_limit * max(1.0, float(np.max(np.abs(x))))
+        if scale > limit:
+            dx = dx * (limit / scale)
+        x_new = x + dx
+        res_new = residual_fn(x_new)
+        # Simple line search when the residual grows badly.
+        backtracks = 0
+        while (
+            np.linalg.norm(res_new) > 2.0 * np.linalg.norm(res)
+            and backtracks < 8
+        ):
+            dx = 0.5 * dx
+            x_new = x + dx
+            res_new = residual_fn(x_new)
+            backtracks += 1
+        x, res = x_new, res_new
+        update_ok = np.all(np.abs(dx) <= abstol + reltol * np.abs(x))
+        residual_ok = float(np.linalg.norm(res)) <= 1e-6 * max(
+            1.0, float(np.linalg.norm(x))
+        )
+        if update_ok and residual_ok:
+            return NewtonResult(
+                x=x,
+                iterations=iteration,
+                residual_norm=float(np.linalg.norm(res)),
+                converged=True,
+            )
+    if require_convergence:
+        raise ConvergenceError(
+            f"Newton did not converge in {max_iter} iterations "
+            f"(|F| = {float(np.linalg.norm(res)):.3e})"
+        )
+    return NewtonResult(
+        x=x,
+        iterations=max_iter,
+        residual_norm=float(np.linalg.norm(res)),
+        converged=False,
+    )

@@ -1,0 +1,250 @@
+"""Transient analysis: trapezoidal integration with Newton per step.
+
+Each timestep solves the implicit system
+
+    G x + C xdot(x) + i_nl(x) + s(t_{n+1}) = 0
+
+with the integration rule supplying ``xdot`` as an affine function of the
+new ``x``:
+
+* backward Euler (first step, and optionally throughout):
+  ``xdot = (x - x_n) / h``;
+* trapezoidal (default):
+  ``xdot = (2/h)(x - x_n) - xdot_n`` — second order, A-stable, the SPICE
+  default for oscillator work because it adds no numerical damping (BE
+  visibly decays an LC tank; the energy-conservation test in the suite
+  demonstrates the difference).
+
+Optional adaptive stepping controls the local truncation error of the
+trapezoidal rule, ``LTE ~ (h^3 / 12) x'''``, estimated from divided
+differences of recent derivatives — the standard SPICE ``TRTOL``
+mechanism in simplified form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.spice.circuit import Circuit
+from repro.spice.dcop import dc_operating_point
+from repro.spice.solver import newton_solve
+from repro.utils.validation import check_positive
+
+__all__ = ["TransientResult", "transient"]
+
+
+@dataclass
+class TransientResult:
+    """Recorded transient solution.
+
+    Attributes
+    ----------
+    t:
+        Accepted time points (uniform unless ``adaptive=True``).
+    x:
+        Unknown vectors, shape ``(n_points, size)``.
+    """
+
+    system: "object"
+    t: np.ndarray
+    x: np.ndarray
+    stats: dict = field(default_factory=dict)
+
+    def voltage(self, node: str) -> np.ndarray:
+        """Node voltage waveform."""
+        from repro.spice.circuit import GROUND_NAMES
+
+        if node in GROUND_NAMES:
+            return np.zeros(self.t.size)
+        idx = self.system.node_index[node]
+        return self.x[:, idx]
+
+    def branch_current(self, element_name: str) -> np.ndarray:
+        """Branch-current waveform of a voltage source or inductor."""
+        idx = self.system.branch_index[element_name]
+        return self.x[:, idx]
+
+    def differential_voltage(self, node_a: str, node_b: str) -> np.ndarray:
+        """``v(node_a) - v(node_b)`` — e.g. the diff-pair output."""
+        return self.voltage(node_a) - self.voltage(node_b)
+
+
+def transient(
+    circuit: Circuit,
+    t_end: float,
+    dt: float,
+    *,
+    method: str = "trap",
+    x0: np.ndarray | None = None,
+    ic: dict | None = None,
+    skip_dc: bool = False,
+    adaptive: bool = False,
+    lte_tol: float = 1e-4,
+    dt_min_factor: float = 1e-2,
+    dt_max_factor: float = 8.0,
+    record_every: int = 1,
+    max_steps: int = 2_000_000,
+) -> TransientResult:
+    """Integrate a circuit transient.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to simulate.
+    t_end:
+        End time, seconds.
+    dt:
+        Timestep (initial timestep when ``adaptive``).
+    method:
+        ``"trap"`` (default) or ``"be"``.
+    x0:
+        Initial unknown vector; the DC operating point at ``t = 0`` when
+        omitted (the usual SPICE behaviour).
+    ic:
+        Node-name -> initial voltage overrides (SPICE ``.ic`` card, e.g.
+        from :attr:`repro.spice.netlist.ParsedNetlist.initial_conditions`);
+        applied on top of whatever ``x0``/``skip_dc`` produce.
+    skip_dc:
+        Start from all-zeros instead of the operating point (SPICE
+        ``uic``); useful to watch oscillator start-up from "noise".
+    adaptive:
+        Enable LTE-based step control.
+    lte_tol:
+        Target LTE per step (absolute, in unknown units) when adaptive.
+    dt_min_factor, dt_max_factor:
+        Bounds on the adaptive step relative to the nominal ``dt``.  A
+        step already at the minimum is *accepted* regardless of LTE —
+        source corners would otherwise pin the march at the floor.
+    record_every:
+        Output decimation (fixed-step mode only).
+    max_steps:
+        Hard cap on accepted steps; exceeded only by a runaway adaptive
+        march, reported as a RuntimeError rather than a silent hang.
+
+    Returns
+    -------
+    TransientResult
+    """
+    check_positive("t_end", t_end)
+    check_positive("dt", dt)
+    if method not in ("trap", "be"):
+        raise ValueError(f"method must be 'trap' or 'be', got {method!r}")
+    system = circuit.build()
+    if x0 is not None:
+        x = np.asarray(x0, dtype=float).copy()
+    elif skip_dc:
+        x = np.zeros(system.size)
+    else:
+        x = dc_operating_point(system).x.copy()
+    if ic:
+        for node, value in ic.items():
+            if node not in system.node_index:
+                raise ValueError(f"ic refers to unknown node {node!r}")
+            x[system.node_index[node]] = float(value)
+
+    g = system.g_matrix
+    c = system.c_matrix
+    xdot = np.zeros(system.size)
+    t = 0.0
+    times = [t]
+    states = [x.copy()]
+    newton_iters = 0
+    rejected = 0
+    h = dt
+    step_index = 0
+    # History of (t, xdot) for the LTE divided differences.
+    deriv_history: list[tuple[float, np.ndarray]] = []
+
+    def solve_step(x_n, xdot_n, h, t_new, rule):
+        s_new = system.source_vector(t_new)
+        if rule == "be":
+            a = 1.0 / h
+            xdot_of = lambda x_new: (x_new - x_n) * a
+        else:
+            a = 2.0 / h
+            xdot_of = lambda x_new: (x_new - x_n) * a - xdot_n
+
+        def residual(x_new):
+            i_nl, _ = system.nonlinear(x_new)
+            return g @ x_new + c @ xdot_of(x_new) + i_nl + s_new
+
+        def jacobian(x_new):
+            return system.resistive_jacobian(x_new) + a * c
+
+        result = newton_solve(residual, jacobian, x_n, max_iter=60)
+        return result.x, xdot_of(result.x), result.iterations
+
+    # Fixed-step runs take exactly round(t_end/dt) uniform steps with
+    # t = k*dt — no accumulated-roundoff leftovers, and the recorded time
+    # axis is exactly uniform.  Adaptive runs accumulate t and guard
+    # against degenerate leftover steps instead.
+    fixed_total = max(1, int(round(t_end / dt))) if not adaptive else None
+
+    while True:
+        if fixed_total is not None:
+            if step_index >= fixed_total:
+                break
+            h = dt
+            t_new = (step_index + 1) * dt
+        else:
+            if t >= t_end - 1e-15 * t_end:
+                break
+            h = min(h, t_end - t)
+            if h < 1e-6 * dt:
+                # Roundoff leftover; a further step would make the
+                # discretisation coefficient 1/h explode.
+                break
+            t_new = t + h
+        rule = "be" if (step_index == 0 and method == "trap") else method
+        x_new, xdot_new, iters = solve_step(x, xdot, h, t_new, rule)
+        newton_iters += iters
+
+        if adaptive and len(deriv_history) >= 2:
+            # x''' from divided differences of xdot over the last 3 points.
+            (t1, d1), (t2, d2) = deriv_history[-2], deriv_history[-1]
+            t3, d3 = t + h, xdot_new
+            dd1 = (d2 - d1) / (t2 - t1)
+            dd2 = (d3 - d2) / (t3 - t2)
+            x3 = 2.0 * (dd2 - dd1) / (t3 - t1)
+            lte = float(np.max(np.abs(x3))) * h**3 / 12.0
+            at_floor = h <= dt * dt_min_factor * (1.0 + 1e-9)
+            if lte > lte_tol and not at_floor:
+                h = max(0.5 * h, dt * dt_min_factor)
+                rejected += 1
+                continue
+            grow = (lte_tol / max(lte, 1e-30)) ** (1.0 / 3.0)
+            h_next = h * float(np.clip(grow, 0.5, 2.0))
+            h_next = float(np.clip(h_next, dt * dt_min_factor, dt * dt_max_factor))
+        else:
+            h_next = h
+
+        t = t_new
+        x, xdot = x_new, xdot_new
+        step_index += 1
+        if step_index > max_steps:
+            raise RuntimeError(
+                f"transient exceeded max_steps={max_steps} at t={t:g}s; "
+                "raise dt/lte_tol or max_steps"
+            )
+        deriv_history.append((t, xdot))
+        if len(deriv_history) > 3:
+            deriv_history.pop(0)
+        if adaptive or step_index % record_every == 0:
+            times.append(t)
+            states.append(x.copy())
+        h = h_next
+
+    return TransientResult(
+        system=system,
+        t=np.asarray(times),
+        x=np.asarray(states),
+        stats={
+            "steps": step_index,
+            "newton_iterations": newton_iters,
+            "rejected_steps": rejected,
+            "method": method,
+            "adaptive": adaptive,
+        },
+    )

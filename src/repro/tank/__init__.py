@@ -1,0 +1,24 @@
+"""LC tank models — the linear part ``L`` of the oscillator feedback loop.
+
+The describing-function analysis needs only three things from the tank:
+
+* the transimpedance ``H(jw)`` from the injected current to the tank
+  voltage (magnitude and phase),
+* the phase deviation ``phi_d(w) = angle H(jw)`` and its inverse map
+  ``phi_d -> w`` (for translating phase lock limits into frequency lock
+  limits), and
+* the circle property: ``H(jw) = R * cos(phi_d) * exp(j*phi_d)`` for a
+  parallel RLC, which collapses the magnitude equation of the lock
+  conditions onto the cosine component ``I_1x`` (Appendix VI-B1).
+
+:class:`~repro.tank.rlc.ParallelRLC` implements the canonical
+high-Q parallel tank analytically; :class:`~repro.tank.general.GeneralTank`
+wraps any sampled ``H(jw)`` (e.g. from :mod:`repro.spice.ac` on a complex
+tank topology) behind the same interface.
+"""
+
+from repro.tank.base import Tank
+from repro.tank.rlc import ParallelRLC
+from repro.tank.general import GeneralTank
+
+__all__ = ["Tank", "ParallelRLC", "GeneralTank"]

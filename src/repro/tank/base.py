@@ -1,0 +1,83 @@
+"""Abstract tank interface.
+
+A *tank* is the linear, frequency-selective part of the oscillator loop —
+the transimpedance from the nonlinearity's output current (after the sign
+inversion of the feedback) to the voltage across the port.  Concrete
+implementations must expose the resonant behaviour through the small
+interface below; everything in :mod:`repro.core` is written against it.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = ["Tank"]
+
+
+class Tank(abc.ABC):
+    """Abstract LTI resonator seen by the nonlinearity."""
+
+    @property
+    @abc.abstractmethod
+    def center_frequency(self) -> float:
+        """Angular centre frequency ``w_c`` (rad/s) where ``phi_d = 0``."""
+
+    @property
+    @abc.abstractmethod
+    def peak_resistance(self) -> float:
+        """``|H(j w_c)|`` — the resistance seen at resonance, ohms."""
+
+    @abc.abstractmethod
+    def transfer(self, w: np.ndarray) -> np.ndarray:
+        """Complex transimpedance ``H(jw)``; vectorised over ``w``."""
+
+    def phase(self, w: np.ndarray) -> np.ndarray:
+        """Phase deviation ``phi_d(w) = angle H(jw)`` in radians."""
+        return np.angle(self.transfer(w))
+
+    def magnitude(self, w: np.ndarray) -> np.ndarray:
+        """``|H(jw)|`` in ohms."""
+        return np.abs(self.transfer(w))
+
+    @abc.abstractmethod
+    def frequency_for_phase(self, phi_d: float) -> float:
+        """Invert ``phi_d(w)`` near resonance.
+
+        Returns the angular frequency at which the tank contributes phase
+        ``phi_d``.  ``phi_d > 0`` corresponds to ``w < w_c`` (inductive
+        side) and ``phi_d < 0`` to ``w > w_c`` — see paper Fig. 6.
+        """
+
+    def effective_capacitance(self) -> float:
+        """Slow-flow rate constant ``C_eff = Re[dY/ds] / 2`` at resonance.
+
+        The amplitude/phase averaged dynamics of the oscillator evolve at
+        rate ``1/(2 R C_eff)`` where ``Y(s) = 1/H(s)`` is the tank
+        admittance; for a parallel RLC ``C_eff`` equals the physical C.
+        The default implementation differentiates ``Y(jw)`` numerically.
+        """
+        w_c = self.center_frequency
+        h = 1e-6 * w_c
+        y_plus = 1.0 / complex(self.transfer(np.asarray(w_c + h)))
+        y_minus = 1.0 / complex(self.transfer(np.asarray(w_c - h)))
+        dy_ds = (y_plus - y_minus) / (2.0 * h) / 1j
+        return float(dy_ds.real) / 2.0
+
+    # -- circle property (Appendix VI-B1) -----------------------------------
+
+    def circle_point(self, w: float) -> complex:
+        """Normalised output phasor ``H(jw) / R`` for a unit input phasor.
+
+        Appendix VI-B1: as ``w`` sweeps, the head of this phasor traces a
+        circle of diameter 1 through the origin, centred at ``0.5 + 0j``.
+        The default implementation simply evaluates the transfer function;
+        :class:`repro.tank.rlc.ParallelRLC` satisfies the circle identity
+        exactly, and the property test in the suite verifies it.
+        """
+        return complex(self.transfer(np.asarray(float(w)))) / self.peak_resistance
+
+    def fractional_frequency(self, w: np.ndarray) -> np.ndarray:
+        """Frequency detuning ``(w - w_c) / w_c`` — handy for reports."""
+        return (np.asarray(w, dtype=float) - self.center_frequency) / self.center_frequency

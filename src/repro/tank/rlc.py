@@ -1,0 +1,142 @@
+"""Parallel RLC tank — the canonical second-order resonator (paper Fig. 6).
+
+Driven by a current ``i``, a parallel combination of R, L and C develops a
+voltage ``v = Z(jw) * i`` with transimpedance::
+
+    Z(jw) = 1 / (1/R + jwC + 1/(jwL))
+
+Standard identities used throughout:
+
+* centre (resonant) angular frequency ``w_c = 1/sqrt(LC)``;
+* quality factor ``Q = R * sqrt(C/L) = R / (w_c L) = w_c R C``;
+* phase deviation ``phi_d(w) = -atan(Q * (w/w_c - w_c/w))``, positive below
+  resonance, negative above (Fig. 6);
+* circle property ``Z(jw) = R * cos(phi_d) * exp(j*phi_d)`` — the head of
+  the output phasor traces a circle of diameter ``R`` as ``w`` sweeps
+  (Appendix VI-B1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tank.base import Tank
+from repro.utils.validation import check_in_range, check_positive
+
+__all__ = ["ParallelRLC"]
+
+
+class ParallelRLC(Tank):
+    """Parallel RLC tank with analytic transfer function and inverse phase map.
+
+    Parameters
+    ----------
+    r:
+        Parallel loss resistance, ohms.
+    l:
+        Inductance, henries.
+    c:
+        Capacitance, farads.
+
+    Examples
+    --------
+    The paper's diff-pair tank resonates at 503.3 kHz:
+
+    >>> tank = ParallelRLC(r=4000.0, l=100e-6, c=1e-9)
+    >>> round(tank.center_frequency / (2 * 3.141592653589793) / 1e3, 1)
+    503.3
+    """
+
+    def __init__(self, r: float, l: float, c: float):
+        self.r = check_positive("r", r)
+        self.l = check_positive("l", l)
+        self.c = check_positive("c", c)
+
+    # -- derived quantities --------------------------------------------------
+
+    @property
+    def center_frequency(self) -> float:
+        """``w_c = 1/sqrt(LC)`` in rad/s."""
+        return 1.0 / np.sqrt(self.l * self.c)
+
+    @property
+    def center_frequency_hz(self) -> float:
+        """Resonant frequency in hertz — convenience for reports."""
+        return self.center_frequency / (2.0 * np.pi)
+
+    @property
+    def peak_resistance(self) -> float:
+        """``|Z(j w_c)| = R``."""
+        return self.r
+
+    @property
+    def quality_factor(self) -> float:
+        """``Q = R * sqrt(C/L)``.
+
+        The describing-function filtering assumption (only the fundamental
+        survives the tank) needs moderately high Q; analyses warn below
+        Q ~ 5.
+        """
+        return self.r * np.sqrt(self.c / self.l)
+
+    @property
+    def bandwidth(self) -> float:
+        """-3 dB full bandwidth ``w_c / Q`` in rad/s."""
+        return self.center_frequency / self.quality_factor
+
+    # -- transfer function -----------------------------------------------------
+
+    def transfer(self, w: np.ndarray) -> np.ndarray:
+        """Complex transimpedance ``Z(jw)``; ``w`` in rad/s, vectorised."""
+        w = np.asarray(w, dtype=float)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            y = 1.0 / self.r + 1j * w * self.c + 1.0 / (1j * w * self.l)
+            z = 1.0 / y
+        return np.where(w == 0.0, 0.0 + 0.0j, z)
+
+    def phase(self, w: np.ndarray) -> np.ndarray:
+        """``phi_d(w) = -atan(Q * (w/w_c - w_c/w))`` — exact, no wrapping issues."""
+        w = np.asarray(w, dtype=float)
+        x = w / self.center_frequency
+        with np.errstate(divide="ignore"):
+            detune = np.where(x > 0.0, x - 1.0 / x, -np.inf)
+        return -np.arctan(self.quality_factor * detune)
+
+    def frequency_for_phase(self, phi_d: float) -> float:
+        """Invert the phase map analytically.
+
+        From ``tan(phi_d) = -Q (x - 1/x)`` with ``x = w/w_c``::
+
+            Q x^2 + tan(phi_d) x - Q = 0
+            x = (-tan(phi_d) + sqrt(tan(phi_d)^2 + 4 Q^2)) / (2 Q)
+
+        (positive root).  Valid for ``|phi_d| < pi/2`` — the tank phase of a
+        single parallel RLC never reaches +-pi/2 at finite nonzero frequency.
+        """
+        phi_d = check_in_range("phi_d", phi_d, -np.pi / 2, np.pi / 2, inclusive=False)
+        t = np.tan(phi_d)
+        q = self.quality_factor
+        x = (-t + np.sqrt(t * t + 4.0 * q * q)) / (2.0 * q)
+        return float(x * self.center_frequency)
+
+    def effective_capacitance(self) -> float:
+        """Exact for a parallel RLC: ``C_eff = C``."""
+        return self.c
+
+    # -- circle property -------------------------------------------------------
+
+    def circle_identity_residual(self, w: float) -> float:
+        """``|Z(jw) - R cos(phi_d) e^{j phi_d}|`` — zero up to roundoff.
+
+        Exposed so tests (and curious users) can check Appendix VI-B1
+        directly rather than trusting the docstring.
+        """
+        z = complex(self.transfer(np.asarray(float(w))))
+        phi = float(self.phase(np.asarray(float(w))))
+        return abs(z - self.r * np.cos(phi) * np.exp(1j * phi))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ParallelRLC(r={self.r:g}, l={self.l:g}, c={self.c:g}, "
+            f"f_c={self.center_frequency_hz:.4g}Hz, Q={self.quality_factor:.3g})"
+        )

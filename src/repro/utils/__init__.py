@@ -1,0 +1,45 @@
+"""Shared utilities: engineering-unit parsing, validation, grid helpers.
+
+These are deliberately dependency-light — everything here operates on plain
+Python scalars and numpy arrays so the rest of the library can import it
+without cycles.
+"""
+
+from repro.utils.units import (
+    SI_PREFIXES,
+    format_eng,
+    format_si,
+    parse_value,
+)
+from repro.utils.validation import (
+    check_finite,
+    check_in_range,
+    check_monotonic,
+    check_positive,
+    check_shape_match,
+)
+from repro.utils.grids import (
+    Grid2D,
+    linear_grid,
+    log_grid,
+    refine_bracket,
+)
+from repro.utils.serialize import dumps, to_jsonable
+
+__all__ = [
+    "SI_PREFIXES",
+    "format_eng",
+    "format_si",
+    "parse_value",
+    "check_finite",
+    "check_in_range",
+    "check_monotonic",
+    "check_positive",
+    "check_shape_match",
+    "Grid2D",
+    "linear_grid",
+    "log_grid",
+    "refine_bracket",
+    "to_jsonable",
+    "dumps",
+]

@@ -1,0 +1,111 @@
+"""JSON-friendly serialisation of analysis results.
+
+EDA flows are pipelines: a lock-range prediction feeds a spec checker, a
+regression dashboard, a report generator.  ``to_jsonable`` converts the
+library's result objects (dataclasses holding floats, complex phasors and
+numpy arrays) into plain JSON-compatible structures, with conventions:
+
+* numpy arrays -> lists (complex arrays -> ``{"re": [...], "im": [...]}``),
+* complex scalars -> ``{"re": ..., "im": ...}``,
+* dataclasses -> ``{"__type__": <class name>, ...fields}``,
+* objects exposing heavyweight internals (grids, waveforms) are reduced
+  to their summary fields via each class's ``_summary_fields_`` when
+  present.
+
+``dumps`` wraps :func:`json.dumps` over that conversion.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import numpy as np
+
+__all__ = ["to_jsonable", "dumps"]
+
+#: Per-class field whitelists for objects whose full payload is too heavy
+#: or non-numeric to serialise (grids, curves, callables).
+_SUMMARY_FIELDS: dict[str, tuple[str, ...]] = {
+    "ShilSolution": ("n", "v_i", "w_i", "phi_d", "locks"),
+    "LockState": (
+        "phi",
+        "amplitude",
+        "stable",
+        "oscillator_phases",
+        "residual_norm",
+    ),
+    "NaturalOscillation": (
+        "amplitude",
+        "frequency",
+        "stable",
+        "loop_gain_small_signal",
+        "tf_slope",
+    ),
+    "LockRange": (
+        "n",
+        "v_i",
+        "injection_lower",
+        "injection_upper",
+        "phi_d_at_lower",
+        "phi_d_at_upper",
+        "amplitude_at_lower",
+        "amplitude_at_upper",
+    ),
+    "HbSolution": ("w", "harmonics", "residual_norm", "iterations"),
+    "PullingAnalysis": (
+        "locked",
+        "beat_frequency",
+        "amplitude_mean",
+        "amplitude_depth",
+    ),
+    "LockNoiseModel": ("relock_rate", "amplitude_rate", "n"),
+    "SimulatedLockRange": (
+        "n",
+        "v_i",
+        "injection_lower",
+        "injection_upper",
+        "resolution",
+    ),
+}
+
+
+def to_jsonable(obj):
+    """Recursively convert an analysis result into JSON-compatible data."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, (np.bool_,)):
+        return bool(obj)
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, complex) or isinstance(obj, np.complexfloating):
+        value = complex(obj)
+        return {"re": value.real, "im": value.imag}
+    if isinstance(obj, np.ndarray):
+        if np.iscomplexobj(obj):
+            return {"re": obj.real.tolist(), "im": obj.imag.tolist()}
+        return obj.tolist()
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(item) for item in obj]
+    if isinstance(obj, dict):
+        return {str(key): to_jsonable(value) for key, value in obj.items()}
+    type_name = type(obj).__name__
+    if type_name in _SUMMARY_FIELDS:
+        payload = {"__type__": type_name}
+        for field in _SUMMARY_FIELDS[type_name]:
+            payload[field] = to_jsonable(getattr(obj, field))
+        return payload
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        payload = {"__type__": type_name}
+        for field in dataclasses.fields(obj):
+            payload[field.name] = to_jsonable(getattr(obj, field.name))
+        return payload
+    raise TypeError(f"cannot serialise {type_name!r} to JSON")
+
+
+def dumps(obj, **kwargs) -> str:
+    """Serialise an analysis result to a JSON string."""
+    kwargs.setdefault("indent", 2)
+    return json.dumps(to_jsonable(obj), **kwargs)

@@ -1,0 +1,147 @@
+"""Engineering / SPICE-style unit notation.
+
+SPICE netlists and RF design notes use suffix notation for component values
+(``100u``, ``1n``, ``2.2k``, ``1meg``).  This module converts between such
+strings and floats, and formats floats back into engineering notation for
+reports and benchmark tables.
+
+The parser follows SPICE conventions:
+
+* suffixes are case-insensitive;
+* ``m`` is milli and ``meg`` is mega (the classic SPICE trap);
+* trailing unit names after the suffix are ignored (``10kOhm`` == ``10k``);
+* plain numbers (including exponent notation) pass through unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+__all__ = ["SI_PREFIXES", "parse_value", "format_eng", "format_si"]
+
+#: Mapping of SPICE suffixes to multipliers.  Order matters only for
+#: documentation; lookup is by exact (lower-cased) match.
+SI_PREFIXES: dict[str, float] = {
+    "f": 1e-15,
+    "p": 1e-12,
+    "n": 1e-9,
+    "u": 1e-6,
+    "m": 1e-3,
+    "k": 1e3,
+    "meg": 1e6,
+    "g": 1e9,
+    "t": 1e12,
+}
+
+#: Exponents for engineering-notation formatting, most negative first.
+_ENG_STEPS: list[tuple[int, str]] = [
+    (-15, "f"),
+    (-12, "p"),
+    (-9, "n"),
+    (-6, "u"),
+    (-3, "m"),
+    (0, ""),
+    (3, "k"),
+    (6, "M"),
+    (9, "G"),
+    (12, "T"),
+]
+
+_VALUE_RE = re.compile(
+    r"""^\s*
+        (?P<number>[+-]?(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?)
+        (?P<suffix>[a-zA-Z]*)
+        \s*$""",
+    re.VERBOSE,
+)
+
+
+def parse_value(text: str | float | int) -> float:
+    """Parse a SPICE-style value string into a float.
+
+    Accepts floats/ints unchanged (for convenience when a value may already
+    be numeric).
+
+    >>> parse_value("100u")
+    0.0001
+    >>> parse_value("1meg")
+    1000000.0
+    >>> parse_value("2.2k")
+    2200.0
+    >>> parse_value(42)
+    42.0
+
+    Raises
+    ------
+    ValueError
+        If the string is not a number with an optional SPICE suffix.
+    """
+    if isinstance(text, (int, float)):
+        return float(text)
+    match = _VALUE_RE.match(text)
+    if match is None:
+        raise ValueError(f"cannot parse value {text!r}")
+    number = float(match.group("number"))
+    suffix = match.group("suffix").lower()
+    if not suffix:
+        return number
+    # SPICE semantics: 'meg' must be checked before 'm'; longer unit names
+    # like '10kohm' keep only the leading recognised prefix.
+    if suffix.startswith("meg"):
+        return number * 1e6
+    if suffix[0] in SI_PREFIXES:
+        return number * SI_PREFIXES[suffix[0]]
+    # Unknown suffix that is purely a unit name ("10Ohm", "5V"): ignore it.
+    if suffix.isalpha():
+        return number
+    raise ValueError(f"cannot parse value {text!r}")
+
+
+def format_eng(value: float, digits: int = 4, *, spice: bool = False) -> str:
+    """Format ``value`` in engineering notation with an SI letter suffix.
+
+    With ``spice=True`` mega is written ``meg`` so the output re-parses
+    under SPICE's case-insensitive suffix rules (where a bare ``m`` always
+    means milli).
+
+    >>> format_eng(0.0001)
+    '100u'
+    >>> format_eng(5.033e8)
+    '503.3M'
+    >>> format_eng(5.033e8, spice=True)
+    '503.3meg'
+    >>> format_eng(0.0)
+    '0'
+    """
+    if value == 0.0 or not math.isfinite(value):
+        return f"{value:g}"
+    sign = "-" if value < 0 else ""
+    mag = abs(value)
+    exponent = int(math.floor(math.log10(mag) / 3.0) * 3)
+    exponent = max(min(exponent, _ENG_STEPS[-1][0]), _ENG_STEPS[0][0])
+    suffix = next(s for e, s in _ENG_STEPS if e == exponent)
+    if spice and suffix == "M":
+        suffix = "meg"
+    mantissa = mag / 10.0**exponent
+    text = f"{mantissa:.{digits}g}"
+    return f"{sign}{text}{suffix}"
+
+
+def format_si(value: float, unit: str, digits: int = 4) -> str:
+    """Format a value with an SI suffix and a unit name.
+
+    >>> format_si(5.033e5, "Hz")
+    '503.3 kHz'
+    """
+    if value == 0.0 or not math.isfinite(value):
+        return f"{value:g} {unit}"
+    sign = "-" if value < 0 else ""
+    mag = abs(value)
+    exponent = int(math.floor(math.log10(mag) / 3.0) * 3)
+    exponent = max(min(exponent, _ENG_STEPS[-1][0]), _ENG_STEPS[0][0])
+    suffix = next(s for e, s in _ENG_STEPS if e == exponent)
+    mantissa = mag / 10.0**exponent
+    text = f"{mantissa:.{digits}g}"
+    space = " " if (suffix or unit) else ""
+    return f"{sign}{text}{space}{suffix}{unit}"

@@ -1,0 +1,84 @@
+"""Lightweight argument-validation helpers.
+
+Consistent, early, descriptive errors are worth far more in a numerical
+library than defensive silence — a NaN that leaks into a Newton iteration
+surfaces as a cryptic singular-matrix failure ten frames later.  Each helper
+raises ``ValueError`` (or ``TypeError`` where appropriate) with the offending
+name in the message.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "check_positive",
+    "check_in_range",
+    "check_finite",
+    "check_monotonic",
+    "check_shape_match",
+]
+
+
+def check_positive(name: str, value: float, *, strict: bool = True) -> float:
+    """Validate that a scalar is positive (or non-negative if not strict)."""
+    value = float(value)
+    if strict and not value > 0.0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    if not strict and not value >= 0.0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_in_range(
+    name: str,
+    value: float,
+    low: float,
+    high: float,
+    *,
+    inclusive: bool = True,
+) -> float:
+    """Validate that a scalar lies in ``[low, high]`` (or ``(low, high)``)."""
+    value = float(value)
+    if inclusive:
+        ok = low <= value <= high
+    else:
+        ok = low < value < high
+    if not ok:
+        bracket = "[]" if inclusive else "()"
+        raise ValueError(
+            f"{name} must be in {bracket[0]}{low}, {high}{bracket[1]}, got {value}"
+        )
+    return value
+
+
+def check_finite(name: str, array: np.ndarray) -> np.ndarray:
+    """Validate that every entry of an array is finite."""
+    array = np.asarray(array)
+    if not np.all(np.isfinite(array)):
+        bad = int(np.count_nonzero(~np.isfinite(array)))
+        raise ValueError(f"{name} contains {bad} non-finite entries")
+    return array
+
+
+def check_monotonic(name: str, array: np.ndarray, *, strict: bool = True) -> np.ndarray:
+    """Validate that a 1-D array is monotonically increasing."""
+    array = np.asarray(array, dtype=float)
+    if array.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {array.shape}")
+    diffs = np.diff(array)
+    ok = np.all(diffs > 0) if strict else np.all(diffs >= 0)
+    if not ok:
+        raise ValueError(f"{name} must be monotonically increasing")
+    return array
+
+
+def check_shape_match(name_a: str, a: np.ndarray, name_b: str, b: np.ndarray) -> None:
+    """Validate that two arrays have identical shapes."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape:
+        raise ValueError(
+            f"{name_a} and {name_b} must have the same shape, "
+            f"got {a.shape} vs {b.shape}"
+        )

@@ -1,0 +1,24 @@
+"""Rendering of the graphical procedure's artefacts.
+
+Matplotlib is an *optional* dependency (absent in the reference
+environment), so every figure in the paper is reproduced at two levels:
+
+* the underlying numeric series (what the experiment drivers return and
+  the benchmarks print), and
+* an ASCII rendering (:mod:`repro.viz.ascii`) that draws curves,
+  isolines and waveforms in the terminal — enough to *see* the Fig. 7
+  intersections and the Fig. 10 isoline fan without a display.
+
+When matplotlib is installed, :mod:`repro.viz.plots` produces the actual
+figures with one call per paper figure.
+"""
+
+from repro.viz.ascii import AsciiCanvas, render_curves, render_waveform
+from repro.viz.plots import matplotlib_available
+
+__all__ = [
+    "AsciiCanvas",
+    "render_curves",
+    "render_waveform",
+    "matplotlib_available",
+]

@@ -1,0 +1,165 @@
+"""ASCII rendering of curves and waveforms.
+
+A tiny plotting backend that needs nothing but a terminal.  The canvas
+maps data coordinates to a character grid; curves are drawn by marching
+along polyline segments, so even coarse grids show the qualitative
+picture (intersections, folds, isoline fans) the paper's figures convey.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.curves import LevelCurve
+
+__all__ = ["AsciiCanvas", "render_curves", "render_waveform"]
+
+
+class AsciiCanvas:
+    """Character-grid canvas with data-coordinate plotting.
+
+    Parameters
+    ----------
+    width, height:
+        Canvas size in characters.
+    x_range, y_range:
+        Data windows mapped onto the canvas.
+    """
+
+    def __init__(
+        self,
+        width: int = 78,
+        height: int = 24,
+        *,
+        x_range: tuple[float, float],
+        y_range: tuple[float, float],
+    ):
+        if width < 16 or height < 8:
+            raise ValueError("canvas must be at least 16x8 characters")
+        x_lo, x_hi = x_range
+        y_lo, y_hi = y_range
+        if not (x_hi > x_lo and y_hi > y_lo):
+            raise ValueError("ranges must be non-degenerate")
+        self.width = width
+        self.height = height
+        self.x_lo, self.x_hi = float(x_lo), float(x_hi)
+        self.y_lo, self.y_hi = float(y_lo), float(y_hi)
+        self._grid = [[" "] * width for _ in range(height)]
+
+    def _to_cell(self, x: float, y: float) -> tuple[int, int] | None:
+        if not (self.x_lo <= x <= self.x_hi and self.y_lo <= y <= self.y_hi):
+            return None
+        col = int((x - self.x_lo) / (self.x_hi - self.x_lo) * (self.width - 1))
+        row = int((self.y_hi - y) / (self.y_hi - self.y_lo) * (self.height - 1))
+        return row, col
+
+    def plot_point(self, x: float, y: float, char: str = "*") -> None:
+        """Mark a single data point."""
+        cell = self._to_cell(x, y)
+        if cell is not None:
+            self._grid[cell[0]][cell[1]] = char[0]
+
+    def plot_polyline(self, x: np.ndarray, y: np.ndarray, char: str = ".") -> None:
+        """Draw a polyline, interpolating along segments."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        for k in range(x.size - 1):
+            seg_len = max(
+                abs(x[k + 1] - x[k]) / (self.x_hi - self.x_lo) * self.width,
+                abs(y[k + 1] - y[k]) / (self.y_hi - self.y_lo) * self.height,
+                1.0,
+            )
+            steps = int(np.ceil(seg_len)) + 1
+            for t in np.linspace(0.0, 1.0, steps):
+                self.plot_point(
+                    x[k] + t * (x[k + 1] - x[k]),
+                    y[k] + t * (y[k + 1] - y[k]),
+                    char,
+                )
+
+    def render(self, *, title: str = "", x_label: str = "", y_label: str = "") -> str:
+        """Assemble the canvas into a printable string with axes."""
+        lines = []
+        if title:
+            lines.append(title.center(self.width + 8))
+        top = f"{self.y_hi:.4g}".rjust(8)
+        bottom = f"{self.y_lo:.4g}".rjust(8)
+        for r, row in enumerate(self._grid):
+            prefix = top if r == 0 else (bottom if r == self.height - 1 else " " * 8)
+            lines.append(prefix + "|" + "".join(row))
+        axis = " " * 8 + "+" + "-" * self.width
+        lines.append(axis)
+        labels = f"{self.x_lo:.4g}".ljust(self.width // 2) + f"{self.x_hi:.4g}".rjust(
+            self.width // 2
+        )
+        lines.append(" " * 9 + labels)
+        if x_label or y_label:
+            lines.append(" " * 9 + f"x: {x_label}    y: {y_label}")
+        return "\n".join(lines)
+
+
+def render_curves(
+    curve_sets: list[tuple[list[LevelCurve], str]],
+    *,
+    points: list[tuple[float, float, str]] | None = None,
+    width: int = 78,
+    height: int = 24,
+    title: str = "",
+    x_label: str = "phi (rad)",
+    y_label: str = "A (V)",
+) -> str:
+    """Render families of level curves (e.g. Fig. 7 / Fig. 10 pictures).
+
+    Parameters
+    ----------
+    curve_sets:
+        ``(curves, char)`` pairs — each family drawn with its own glyph.
+    points:
+        Extra ``(x, y, char)`` markers (lock states).
+    """
+    all_x = np.concatenate(
+        [c.x for curves, _ in curve_sets for c in curves] or [np.array([0.0, 1.0])]
+    )
+    all_y = np.concatenate(
+        [c.y for curves, _ in curve_sets for c in curves] or [np.array([0.0, 1.0])]
+    )
+    pad_x = 0.05 * (np.ptp(all_x) or 1.0)
+    pad_y = 0.05 * (np.ptp(all_y) or 1.0)
+    canvas = AsciiCanvas(
+        width,
+        height,
+        x_range=(float(all_x.min() - pad_x), float(all_x.max() + pad_x)),
+        y_range=(float(all_y.min() - pad_y), float(all_y.max() + pad_y)),
+    )
+    for curves, char in curve_sets:
+        for curve in curves:
+            canvas.plot_polyline(curve.x, curve.y, char)
+    for x, y, char in points or []:
+        canvas.plot_point(x, y, char)
+    return canvas.render(title=title, x_label=x_label, y_label=y_label)
+
+
+def render_waveform(
+    t: np.ndarray,
+    x: np.ndarray,
+    *,
+    width: int = 78,
+    height: int = 16,
+    title: str = "",
+    max_points: int = 4000,
+) -> str:
+    """Render a time-domain waveform (Figs. 13/15/17/19 style)."""
+    t = np.asarray(t, dtype=float)
+    x = np.asarray(x, dtype=float)
+    if t.size > max_points:
+        stride = t.size // max_points
+        t, x = t[::stride], x[::stride]
+    pad = 0.05 * (np.ptp(x) or 1.0)
+    canvas = AsciiCanvas(
+        width,
+        height,
+        x_range=(float(t[0]), float(t[-1])),
+        y_range=(float(x.min() - pad), float(x.max() + pad)),
+    )
+    canvas.plot_polyline(t, x, "*")
+    return canvas.render(title=title, x_label="t (s)", y_label="v")

@@ -1,0 +1,105 @@
+"""Optional matplotlib figure rendering.
+
+Everything here degrades gracefully: :func:`matplotlib_available` reports
+whether the backend exists, and each ``plot_*`` function raises a clear
+``RuntimeError`` when it does not — the benchmarks and examples check
+first and fall back to the ASCII renderer.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "matplotlib_available",
+    "plot_natural",
+    "plot_lock_picture",
+    "plot_waveform",
+]
+
+
+def matplotlib_available() -> bool:
+    """Whether matplotlib can be imported in this environment."""
+    try:
+        import matplotlib  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def _pyplot():
+    try:
+        import matplotlib.pyplot as plt
+    except ImportError as exc:  # pragma: no cover - depends on environment
+        raise RuntimeError(
+            "matplotlib is not installed; use the ASCII renderer "
+            "(repro.viz.ascii) or install the 'plot' extra"
+        ) from exc
+    return plt
+
+
+def plot_natural(natural, path: str | None = None):
+    """Fig. 3-style plot: ``T_f(A)`` against the unit line.
+
+    Parameters
+    ----------
+    natural:
+        A :class:`repro.core.natural.NaturalOscillation`.
+    path:
+        Save target; show interactively when omitted.
+    """
+    plt = _pyplot()
+    fig, ax = plt.subplots(figsize=(6, 4))
+    ax.plot(natural.amplitude_grid, natural.tf_curve, label="T_f(A)")
+    ax.axhline(1.0, color="k", linewidth=0.8, label="y = 1")
+    ax.axvline(natural.amplitude, color="r", linestyle="--", label=f"A = {natural.amplitude:.4g} V")
+    ax.set_xlabel("A (V)")
+    ax.set_ylabel("T_f")
+    ax.legend()
+    ax.set_title("Natural oscillation prediction")
+    if path:
+        fig.savefig(path, dpi=150, bbox_inches="tight")
+        plt.close(fig)
+    return fig
+
+
+def plot_lock_picture(solution, path: str | None = None):
+    """Fig. 7-style plot: the two condition curves and the lock states.
+
+    Parameters
+    ----------
+    solution:
+        A :class:`repro.core.shil.ShilSolution`.
+    """
+    plt = _pyplot()
+    fig, ax = plt.subplots(figsize=(6, 4))
+    for curve in solution.tf_curves:
+        ax.plot(curve.x, curve.y, "b-", label="T_f = 1")
+    for curve in solution.phase_curves:
+        ax.plot(curve.x, curve.y, "g--", label="angle(-I_1) = -phi_d")
+    for lock in solution.locks:
+        marker = "ro" if lock.stable else "kx"
+        ax.plot([lock.phi], [lock.amplitude], marker)
+    handles, labels = ax.get_legend_handles_labels()
+    unique = dict(zip(labels, handles))
+    ax.legend(unique.values(), unique.keys())
+    ax.set_xlabel("phi (rad)")
+    ax.set_ylabel("A (V)")
+    ax.set_title(f"SHIL lock states (n={solution.n}, phi_d={solution.phi_d:.3f})")
+    if path:
+        fig.savefig(path, dpi=150, bbox_inches="tight")
+        plt.close(fig)
+    return fig
+
+
+def plot_waveform(t, x, path: str | None = None, title: str = ""):
+    """Transient waveform plot (Figs. 13/15/17/19 style)."""
+    plt = _pyplot()
+    fig, ax = plt.subplots(figsize=(8, 3))
+    ax.plot(t, x, linewidth=0.7)
+    ax.set_xlabel("t (s)")
+    ax.set_ylabel("v (V)")
+    if title:
+        ax.set_title(title)
+    if path:
+        fig.savefig(path, dpi=150, bbox_inches="tight")
+        plt.close(fig)
+    return fig

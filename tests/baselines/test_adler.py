@@ -1,0 +1,70 @@
+"""Tests for the Adler baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import adler_fhil_lock_range, adler_shil_lock_range
+from repro.core import fhil_lock_range, predict_lock_range, predict_natural_oscillation
+from repro.nonlin import NegativeTanh
+from repro.tank import ParallelRLC
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return (
+        NegativeTanh(gm=2.5e-3, i_sat=1e-3),
+        ParallelRLC(r=1000.0, l=100e-6, c=10e-9),
+    )
+
+
+class TestAdlerFhil:
+    def test_formula(self, setup):
+        __, tank = setup
+        lo, hi = adler_fhil_lock_range(tank, v_osc=1.2, v_inj=0.06)
+        half = tank.center_frequency / (2 * 10.0) * (0.06 / 1.2)
+        assert hi - tank.center_frequency == pytest.approx(half, rel=1e-9)
+        assert tank.center_frequency - lo == pytest.approx(half, rel=1e-9)
+
+    def test_agrees_with_graphical_fhil_for_weak_injection(self, setup):
+        tanh, tank = setup
+        natural = predict_natural_oscillation(tanh, tank)
+        v_i = 0.005
+        graphical = fhil_lock_range(tanh, tank, v_i=v_i)
+        lo, hi = adler_fhil_lock_range(tank, natural.amplitude, 2 * v_i)
+        assert (hi - lo) == pytest.approx(graphical.width, rel=0.2)
+
+    def test_rejects_bad_args(self, setup):
+        __, tank = setup
+        with pytest.raises(ValueError):
+            adler_fhil_lock_range(tank, 0.0, 0.06)
+        with pytest.raises(ValueError):
+            adler_fhil_lock_range(tank, 1.0, -0.1)
+
+
+class TestAdlerShil:
+    def test_close_to_graphical_for_weak_injection(self, setup):
+        # The fixed-amplitude approximation converges to the full method
+        # as V_i -> 0 (the amplitude droop toward the edge vanishes).
+        tanh, tank = setup
+        v_i = 0.01
+        adler = adler_shil_lock_range(tanh, tank, v_i=v_i, n=3)
+        graphical = predict_lock_range(tanh, tank, v_i=v_i, n=3)
+        assert adler.width == pytest.approx(graphical.width, rel=0.05)
+
+    def test_amplitude_frozen_at_natural(self, setup):
+        tanh, tank = setup
+        natural = predict_natural_oscillation(tanh, tank)
+        adler = adler_shil_lock_range(tanh, tank, v_i=0.03, n=3)
+        assert adler.amplitude_at_lower == pytest.approx(natural.amplitude)
+        assert adler.amplitude_at_upper == pytest.approx(natural.amplitude)
+
+    def test_symmetric_phi_d(self, setup):
+        tanh, tank = setup
+        adler = adler_shil_lock_range(tanh, tank, v_i=0.03, n=3)
+        assert adler.phi_d_at_lower == pytest.approx(-adler.phi_d_at_upper, abs=1e-9)
+
+    def test_width_grows_with_injection(self, setup):
+        tanh, tank = setup
+        weak = adler_shil_lock_range(tanh, tank, v_i=0.01, n=3)
+        strong = adler_shil_lock_range(tanh, tank, v_i=0.05, n=3)
+        assert strong.width > weak.width

@@ -1,0 +1,89 @@
+"""Tests for the PPV phase macromodel."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import compute_ppv, ppv_lock_range
+from repro.core import predict_lock_range
+from repro.nonlin import NegativeTanh
+from repro.tank import ParallelRLC
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return (
+        NegativeTanh(gm=2.5e-3, i_sat=1e-3),
+        ParallelRLC(r=1000.0, l=100e-6, c=10e-9),
+    )
+
+
+@pytest.fixture(scope="module")
+def model(setup):
+    tanh, tank = setup
+    return compute_ppv(tanh, tank, settle_cycles=300.0, n_t=512)
+
+
+class TestComputePpv:
+    def test_unity_floquet_multiplier(self, model):
+        multipliers = model.floquet_multipliers
+        closest = multipliers[np.argmin(np.abs(multipliers - 1.0))]
+        assert abs(closest - 1.0) < 1e-6
+
+    def test_second_multiplier_inside_unit_circle(self, model):
+        # A stable limit cycle: the non-trivial multiplier has |mu| < 1.
+        multipliers = sorted(model.floquet_multipliers, key=lambda m: abs(m - 1.0))
+        assert abs(multipliers[1]) < 1.0
+
+    def test_normalisation_constant(self, model):
+        # v1 . xdot_s must be constant (=1) along the orbit; deviations
+        # measure the orbit/period error.
+        assert model.normalisation_error() < 1e-3
+
+    def test_period_close_to_tank(self, setup, model):
+        __, tank = setup
+        assert model.w0 == pytest.approx(tank.center_frequency, rel=1e-3)
+
+    def test_orbit_amplitude_matches_prediction(self, setup, model):
+        from repro.core import predict_natural_oscillation
+
+        tanh, tank = setup
+        natural = predict_natural_oscillation(tanh, tank)
+        assert float(np.max(model.x_s[:, 0])) == pytest.approx(
+            natural.amplitude, rel=5e-3
+        )
+
+    def test_ppv_periodicity(self, model):
+        # The adjoint solution must close on itself.  Samples exclude the
+        # endpoint, so the wrap gap |v1[-1] - v1[0]| should be comparable
+        # to one ordinary inter-sample step, not larger.
+        wrap_gap = np.linalg.norm(model.v1[-1] - model.v1[0])
+        typical_step = float(
+            np.median(np.linalg.norm(np.diff(model.v1, axis=0), axis=1))
+        )
+        assert wrap_gap < 3.0 * typical_step
+
+
+class TestPpvLockRange:
+    def test_close_to_graphical_for_weak_injection(self, setup, model):
+        tanh, tank = setup
+        v_i = 0.01
+        lo, hi = ppv_lock_range(tanh, tank, v_i=v_i, n=3, model=model)
+        graphical = predict_lock_range(tanh, tank, v_i=v_i, n=3)
+        assert (hi - lo) == pytest.approx(graphical.width, rel=0.1)
+
+    def test_centered_on_true_frequency(self, setup, model):
+        tanh, tank = setup
+        lo, hi = ppv_lock_range(tanh, tank, v_i=0.03, n=3, model=model)
+        center = 0.5 * (lo + hi)
+        assert center == pytest.approx(3 * model.w0, rel=1e-9)
+
+    def test_width_linear_in_injection(self, setup, model):
+        tanh, tank = setup
+        lo1, hi1 = ppv_lock_range(tanh, tank, v_i=0.01, n=3, model=model)
+        lo2, hi2 = ppv_lock_range(tanh, tank, v_i=0.02, n=3, model=model)
+        assert (hi2 - lo2) == pytest.approx(2 * (hi1 - lo1), rel=1e-9)
+
+    def test_rejects_bad_vi(self, setup, model):
+        tanh, tank = setup
+        with pytest.raises(ValueError):
+            ppv_lock_range(tanh, tank, v_i=-1.0, n=3, model=model)

@@ -1,0 +1,33 @@
+"""Shared fixtures: the canonical oscillators at test-friendly settings."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nonlin import CubicNonlinearity, NegativeTanh
+from repro.tank import ParallelRLC
+
+
+@pytest.fixture(scope="session")
+def tanh_nonlinearity() -> NegativeTanh:
+    """The Section III demo nonlinearity."""
+    return NegativeTanh(gm=2.5e-3, i_sat=1e-3)
+
+
+@pytest.fixture(scope="session")
+def demo_tank() -> ParallelRLC:
+    """The Section III demo tank (Q = 10, f_c ~ 159 kHz)."""
+    return ParallelRLC(r=1000.0, l=100e-6, c=10e-9)
+
+
+@pytest.fixture(scope="session")
+def cubic_nonlinearity() -> CubicNonlinearity:
+    """Cubic law with closed-form oracles."""
+    return CubicNonlinearity(a=2.5e-3, b=1e-3)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for randomised (non-hypothesis) checks."""
+    return np.random.default_rng(20140601)  # DAC'14 started June 1, 2014

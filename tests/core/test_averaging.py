@@ -1,0 +1,110 @@
+"""Tests for the slow-flow averaged dynamics."""
+
+import numpy as np
+import pytest
+
+from repro.core import predict_natural_oscillation, solve_lock_states
+from repro.core.averaging import SlowFlow, simulate_envelope
+from repro.core.two_tone import TwoToneDF
+from repro.nonlin import NegativeTanh
+from repro.tank import ParallelRLC
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return (
+        NegativeTanh(gm=2.5e-3, i_sat=1e-3),
+        ParallelRLC(r=1000.0, l=100e-6, c=10e-9),
+    )
+
+
+class TestSlowFlow:
+    def test_rate_is_half_bandwidth(self, setup):
+        tanh, tank = setup
+        flow = SlowFlow(TwoToneDF(tanh, 0.03, 3), tank, tank.center_frequency)
+        assert flow.rate == pytest.approx(
+            tank.center_frequency / (2 * tank.quality_factor), rel=1e-9
+        )
+
+    def test_zero_injection_amplitude_dynamics(self, setup):
+        # Without injection the flow reduces to the T_f(A) growth law:
+        # positive dA/dt below the natural amplitude, negative above.
+        tanh, tank = setup
+        natural = predict_natural_oscillation(tanh, tank)
+        flow = SlowFlow(TwoToneDF(tanh, 0.0, 3), tank, tank.center_frequency)
+        assert flow.rhs(0.5 * natural.amplitude, 0.0)[0] > 0.0
+        assert flow.rhs(1.5 * natural.amplitude, 0.0)[0] < 0.0
+
+    def test_residual_zero_at_lock(self, setup):
+        tanh, tank = setup
+        w_i = tank.center_frequency * 1.0008
+        solution = solve_lock_states(tanh, tank, v_i=0.03, w_injection=3 * w_i, n=3)
+        flow = SlowFlow(TwoToneDF(tanh, 0.03, 3), tank, w_i)
+        lock = solution.stable_locks[0]
+        res = flow.residual(lock.amplitude, lock.phi)
+        assert abs(res[0]) < 1e-8
+        assert abs(res[1]) < 1e-8
+
+    def test_phi_d_exposed(self, setup):
+        tanh, tank = setup
+        w_i = tank.center_frequency * 1.001
+        flow = SlowFlow(TwoToneDF(tanh, 0.03, 3), tank, w_i)
+        assert flow.phi_d == pytest.approx(float(tank.phase(np.asarray(w_i))))
+
+    def test_jacobian_shape(self, setup):
+        tanh, tank = setup
+        flow = SlowFlow(TwoToneDF(tanh, 0.03, 3), tank, tank.center_frequency)
+        jac = flow.jacobian(1.0, 3.0)
+        assert jac.shape == (2, 2)
+        assert np.all(np.isfinite(jac))
+
+    def test_rejects_nonpositive_amplitude(self, setup):
+        tanh, tank = setup
+        flow = SlowFlow(TwoToneDF(tanh, 0.03, 3), tank, tank.center_frequency)
+        with pytest.raises(ValueError):
+            flow.rhs(0.0, 0.0)
+
+
+class TestSimulateEnvelope:
+    def test_converges_to_stable_lock(self, setup):
+        tanh, tank = setup
+        w_i = tank.center_frequency  # centre: locks at phi = 0 / pi
+        solution = solve_lock_states(tanh, tank, v_i=0.03, w_injection=3 * w_i, n=3)
+        stable = solution.stable_locks[0]
+        flow = SlowFlow(TwoToneDF(tanh, 0.03, 3), tank, w_i)
+        # Start near (but not at) the stable lock.  The phase mode relaxes
+        # much slower than the amplitude mode (weak injection), so allow a
+        # long horizon and a looser phase tolerance.
+        t_end = 150.0 / flow.rate
+        t, a, p = simulate_envelope(
+            flow, 0.8 * stable.amplitude, stable.phi + 0.5, t_end, n_steps=8000
+        )
+        assert a[-1] == pytest.approx(stable.amplitude, rel=1e-4)
+        assert np.angle(np.exp(1j * (p[-1] - stable.phi))) == pytest.approx(
+            0.0, abs=1e-2
+        )
+
+    def test_escapes_unstable_lock(self, setup):
+        tanh, tank = setup
+        w_i = tank.center_frequency
+        solution = solve_lock_states(tanh, tank, v_i=0.03, w_injection=3 * w_i, n=3)
+        unstable = [lock for lock in solution.locks if not lock.stable][0]
+        stable = solution.stable_locks[0]
+        flow = SlowFlow(TwoToneDF(tanh, 0.03, 3), tank, w_i)
+        t_end = 250.0 / flow.rate
+        # A small phase push off the saddle must flow to the stable lock.
+        __, a, p = simulate_envelope(
+            flow, unstable.amplitude, unstable.phi + 0.05, t_end, n_steps=12000
+        )
+        assert np.angle(np.exp(1j * (p[-1] - stable.phi))) == pytest.approx(
+            0.0, abs=2e-2
+        )
+        assert a[-1] == pytest.approx(stable.amplitude, rel=1e-3)
+
+    def test_rejects_bad_args(self, setup):
+        tanh, tank = setup
+        flow = SlowFlow(TwoToneDF(tanh, 0.03, 3), tank, tank.center_frequency)
+        with pytest.raises(ValueError):
+            simulate_envelope(flow, 1.0, 0.0, -1.0)
+        with pytest.raises(ValueError):
+            simulate_envelope(flow, 1.0, 0.0, 1.0, n_steps=1)

@@ -1,0 +1,114 @@
+"""Tests for marching-squares level curves and polyline intersection."""
+
+import numpy as np
+import pytest
+
+from repro.core.curves import LevelCurve, extract_level_curves, intersect_curves
+from repro.utils.grids import Grid2D
+
+
+def _grid_with(fn, nx=81, ny=81, x_lo=-2.0, x_hi=2.0, y_lo=-2.0, y_hi=2.0):
+    x = np.linspace(x_lo, x_hi, nx)
+    y = np.linspace(y_lo, y_hi, ny)
+    xx, yy = np.meshgrid(x, y)
+    grid = Grid2D(x=x, y=y)
+    grid.add_surface("z", fn(xx, yy))
+    return grid
+
+
+class TestExtractLevelCurves:
+    def test_circle_level_set(self):
+        grid = _grid_with(lambda x, y: x**2 + y**2)
+        curves = extract_level_curves(grid, "z", 1.0)
+        assert len(curves) == 1
+        circle = curves[0]
+        radii = np.hypot(circle.x, circle.y)
+        assert np.allclose(radii, 1.0, atol=2e-3)
+        assert circle.is_closed
+
+    def test_line_level_set(self):
+        grid = _grid_with(lambda x, y: y - 0.5 * x)
+        curves = extract_level_curves(grid, "z", 0.0)
+        assert len(curves) == 1
+        line = curves[0]
+        assert np.allclose(line.y, 0.5 * line.x, atol=1e-9)
+        assert not line.is_closed
+
+    def test_empty_when_level_outside_range(self):
+        grid = _grid_with(lambda x, y: x**2 + y**2)
+        assert extract_level_curves(grid, "z", 100.0) == []
+
+    def test_two_components(self):
+        # |x| = 1 has two separate vertical lines.
+        grid = _grid_with(lambda x, y: x**2)
+        curves = extract_level_curves(grid, "z", 1.0)
+        assert len(curves) == 2
+
+    def test_saddle_disambiguation_produces_consistent_topology(self):
+        # z = x*y at level 0 crosses itself at the origin; the saddle rule
+        # must split it into non-crossing branches, not drop segments.
+        grid = _grid_with(lambda x, y: x * y, nx=41, ny=41)
+        curves = extract_level_curves(grid, "z", 1e-9)
+        total_length = sum(c.arclength() for c in curves)
+        assert total_length > 6.0  # two ~4-unit lines, allowing corner loss
+
+    def test_curve_arclength_of_circle(self):
+        grid = _grid_with(lambda x, y: x**2 + y**2, nx=201, ny=201)
+        circle = extract_level_curves(grid, "z", 1.0)[0]
+        assert circle.arclength() == pytest.approx(2 * np.pi, rel=2e-3)
+
+    def test_slope_at(self):
+        curve = LevelCurve(
+            x=np.array([0.0, 1.0, 2.0]), y=np.array([0.0, 2.0, 4.0]), level=0.0
+        )
+        assert curve.slope_at(1) == pytest.approx(2.0)
+
+    def test_slope_vertical(self):
+        curve = LevelCurve(
+            x=np.array([1.0, 1.0, 1.0]), y=np.array([0.0, 1.0, 2.0]), level=0.0
+        )
+        assert np.isinf(curve.slope_at(1))
+
+    def test_nearest_vertex(self):
+        curve = LevelCurve(
+            x=np.array([0.0, 1.0, 2.0]), y=np.array([0.0, 0.0, 0.0]), level=0.0
+        )
+        assert curve.nearest_vertex(1.1, 0.5) == 1
+
+
+class TestIntersectCurves:
+    def test_crossing_lines(self):
+        a = LevelCurve(x=np.array([-1.0, 1.0]), y=np.array([-1.0, 1.0]), level=0)
+        b = LevelCurve(x=np.array([-1.0, 1.0]), y=np.array([1.0, -1.0]), level=0)
+        points = intersect_curves(a, b)
+        assert len(points) == 1
+        assert points[0][0] == pytest.approx(0.0, abs=1e-12)
+        assert points[0][1] == pytest.approx(0.0, abs=1e-12)
+
+    def test_parallel_lines_do_not_intersect(self):
+        a = LevelCurve(x=np.array([-1.0, 1.0]), y=np.array([0.0, 0.0]), level=0)
+        b = LevelCurve(x=np.array([-1.0, 1.0]), y=np.array([1.0, 1.0]), level=0)
+        assert intersect_curves(a, b) == []
+
+    def test_circle_and_line_two_points(self):
+        grid = _grid_with(lambda x, y: x**2 + y**2, nx=161, ny=161)
+        circle = extract_level_curves(grid, "z", 1.0)[0]
+        line = LevelCurve(x=np.array([-2.0, 2.0]), y=np.array([0.0, 0.0]), level=0)
+        points = intersect_curves(circle, line)
+        assert len(points) == 2
+        xs = sorted(p[0] for p in points)
+        assert xs[0] == pytest.approx(-1.0, abs=5e-3)
+        assert xs[1] == pytest.approx(1.0, abs=5e-3)
+
+    def test_dedup_of_touching_segments(self):
+        # A polyline crossing exactly at a shared vertex reports one hit.
+        a = LevelCurve(
+            x=np.array([-1.0, 0.0, 1.0]), y=np.array([-1.0, 0.0, 1.0]), level=0
+        )
+        b = LevelCurve(x=np.array([-1.0, 1.0]), y=np.array([1.0, -1.0]), level=0)
+        assert len(intersect_curves(a, b)) == 1
+
+    def test_segments_that_miss(self):
+        a = LevelCurve(x=np.array([0.0, 1.0]), y=np.array([0.0, 0.0]), level=0)
+        b = LevelCurve(x=np.array([2.0, 3.0]), y=np.array([-1.0, 1.0]), level=0)
+        assert intersect_curves(a, b) == []

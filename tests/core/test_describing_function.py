@@ -1,0 +1,115 @@
+"""Tests for single-tone describing functions against closed-form oracles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.describing_function import (
+    fundamental_coefficient,
+    harmonic_coefficients,
+    tf_natural,
+)
+from repro.nonlin import (
+    CubicNonlinearity,
+    FunctionNonlinearity,
+    NegativeTanh,
+    PiecewiseLinearNegativeResistance,
+)
+
+
+class TestHarmonicCoefficients:
+    def test_linear_device_only_fundamental(self):
+        f = FunctionNonlinearity(lambda v: 2.0 * v)
+        h = harmonic_coefficients(f, 1.0, k_max=8)
+        # i = 2 A cos(theta) -> I_1 = A, everything else zero.
+        assert h.i1 == pytest.approx(1.0)
+        assert abs(h.i0) < 1e-15
+        for k in range(2, 9):
+            assert abs(h.harmonic(k)) < 1e-14
+
+    def test_cubic_oracle(self):
+        # f = -a v + b v^3 on A cos: fundamental cosine amplitude is
+        # -aA + (3/4) b A^3, so I_1 is half of that.
+        a, b, amp = 2.5e-3, 1e-3, 1.3
+        f = CubicNonlinearity(a=a, b=b)
+        h = harmonic_coefficients(f, amp)
+        expected_i1 = 0.5 * (-a * amp + 0.75 * b * amp**3)
+        assert h.i1.real == pytest.approx(expected_i1, rel=1e-12)
+        # Third harmonic: (1/4) b A^3 cosine amplitude -> I_3 = b A^3 / 8.
+        assert h.harmonic(3).real == pytest.approx(b * amp**3 / 8.0, rel=1e-12)
+
+    def test_coefficients_are_real_for_memoryless_f(self):
+        # Footnote 3 of the paper: I_k(A) real for any memoryless f.
+        f = NegativeTanh(gm=2.5e-3, i_sat=1e-3)
+        h = harmonic_coefficients(f, 0.7, k_max=12)
+        assert np.max(np.abs(np.imag(h.coefficients))) < 1e-15
+
+    def test_odd_nonlinearity_has_no_even_harmonics(self):
+        f = NegativeTanh(gm=2.5e-3, i_sat=1e-3)
+        h = harmonic_coefficients(f, 1.5, k_max=10)
+        for k in (0, 2, 4, 6, 8, 10):
+            assert abs(h.harmonic(k)) < 1e-15
+
+    def test_negative_k_is_conjugate(self):
+        f = CubicNonlinearity()
+        h = harmonic_coefficients(f, 0.9)
+        assert h.harmonic(-3) == np.conj(h.harmonic(3))
+
+    def test_distortion_high_for_saturating_device(self):
+        # The paper: the current is "highly distorted" in saturation.
+        f = NegativeTanh(gm=2.5e-3, i_sat=1e-3)
+        assert harmonic_coefficients(f, 2.0).distortion() > 0.1
+
+    def test_aliasing_guard(self):
+        f = NegativeTanh()
+        with pytest.raises(ValueError, match="aliasing"):
+            harmonic_coefficients(f, 1.0, k_max=100, n_samples=128)
+
+    def test_out_of_range_harmonic_rejected(self):
+        h = harmonic_coefficients(NegativeTanh(), 1.0, k_max=4)
+        with pytest.raises(IndexError):
+            h.harmonic(9)
+
+
+class TestFundamentalCoefficient:
+    def test_matches_harmonic_coefficients(self):
+        f = NegativeTanh(gm=2.5e-3, i_sat=1e-3)
+        amps = np.array([0.2, 0.7, 1.5])
+        vec = fundamental_coefficient(f, amps)
+        for a, i1 in zip(amps, vec):
+            assert i1 == pytest.approx(harmonic_coefficients(f, a).i1.real, rel=1e-12)
+
+    def test_sign_is_negative_for_negative_resistance(self):
+        f = NegativeTanh(gm=2.5e-3, i_sat=1e-3)
+        assert np.all(fundamental_coefficient(f, np.array([0.1, 1.0, 3.0])) < 0.0)
+
+    @settings(max_examples=25)
+    @given(st.floats(min_value=0.01, max_value=5.0))
+    def test_pwl_describing_function_oracle(self, amplitude):
+        f = PiecewiseLinearNegativeResistance(g=1e-3, v_knee=0.1)
+        i1 = float(fundamental_coefficient(f, np.asarray([amplitude]), n_samples=4096)[0])
+        # N(A) = -2 I_1 / A must match the classic limiter formula.
+        n_of_a = -2.0 * i1 / amplitude
+        assert n_of_a == pytest.approx(f.fundamental_gain(amplitude), rel=2e-3)
+
+
+class TestTfNatural:
+    def test_small_signal_limit(self):
+        f = NegativeTanh(gm=2.5e-3, i_sat=1e-3)
+        tf = tf_natural(f, 1000.0, np.array([0.0, 1e-6]))
+        assert tf[0] == pytest.approx(2.5)  # exactly -R f'(0)
+        assert tf[1] == pytest.approx(2.5, rel=1e-6)
+
+    def test_monotone_decreasing_for_tanh(self):
+        f = NegativeTanh(gm=2.5e-3, i_sat=1e-3)
+        amps = np.linspace(0.01, 3.0, 50)
+        tf = tf_natural(f, 1000.0, amps)
+        assert np.all(np.diff(tf) < 0.0)
+
+    def test_rejects_negative_amplitudes(self):
+        with pytest.raises(ValueError):
+            tf_natural(NegativeTanh(), 1000.0, np.array([-1.0]))
+
+    def test_rejects_nonpositive_r(self):
+        with pytest.raises(ValueError):
+            tf_natural(NegativeTanh(), 0.0, np.array([1.0]))

@@ -1,0 +1,143 @@
+"""Tests for the inverse-design helpers and the lock phase-noise model."""
+
+import numpy as np
+import pytest
+
+from repro.core import predict_lock_range
+from repro.core.design import injection_for_lock_range, lock_range_sensitivity
+from repro.core.noise import phase_noise_suppression
+from repro.nonlin import NegativeTanh
+from repro.tank import ParallelRLC
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return (
+        NegativeTanh(gm=2.5e-3, i_sat=1e-3),
+        ParallelRLC(r=1000.0, l=100e-6, c=10e-9),
+    )
+
+
+class TestInjectionForLockRange:
+    def test_inverts_the_forward_map(self, setup):
+        tanh, tank = setup
+        target = 1000.0  # Hz
+        v_i, lock_range = injection_for_lock_range(
+            tanh, tank, n=3, target_width_hz=target, n_a=81, n_phi=121
+        )
+        assert lock_range.width_hz == pytest.approx(target, rel=2e-3)
+        # Consistency: the forward map at the found v_i reproduces it.
+        forward = predict_lock_range(tanh, tank, v_i=v_i, n=3, n_a=81, n_phi=121)
+        assert forward.width_hz == pytest.approx(target, rel=5e-3)
+
+    def test_monotone_in_target(self, setup):
+        tanh, tank = setup
+        v_small, __ = injection_for_lock_range(
+            tanh, tank, n=3, target_width_hz=500.0, n_a=61, n_phi=101
+        )
+        v_large, __ = injection_for_lock_range(
+            tanh, tank, n=3, target_width_hz=2000.0, n_a=61, n_phi=101
+        )
+        assert v_large > v_small
+
+    def test_unreachable_target_rejected(self, setup):
+        tanh, tank = setup
+        with pytest.raises(ValueError, match="bracket"):
+            injection_for_lock_range(
+                tanh, tank, n=3, target_width_hz=1e9,
+                v_i_bracket=(1e-3, 0.05), n_a=61, n_phi=101,
+            )
+
+    def test_bad_bracket_rejected(self, setup):
+        tanh, tank = setup
+        with pytest.raises(ValueError):
+            injection_for_lock_range(
+                tanh, tank, n=3, target_width_hz=100.0, v_i_bracket=(0.1, 0.1)
+            )
+
+
+class TestLockRangeSensitivity:
+    def test_vi_exponent_near_unity(self, setup):
+        # Weak injection: width ~ V_i (Adler), so d log W / d log V_i ~ 1.
+        tanh, tank = setup
+        s = lock_range_sensitivity(
+            tanh, tank, v_i=0.01, n=3, n_a=61, n_phi=101
+        )
+        assert s["dlogW_dlogVi"] == pytest.approx(1.0, abs=0.15)
+
+    def test_q_exponent_near_minus_one(self, setup):
+        # Width ~ bandwidth ~ 1/Q at fixed phase reach... the R change also
+        # alters the amplitude, so the exponent sits near but not exactly
+        # at -1.
+        tanh, tank = setup
+        s = lock_range_sensitivity(
+            tanh, tank, v_i=0.03, n=3, n_a=61, n_phi=101
+        )
+        assert -1.6 < s["dlogW_dlogQ"] < -0.5
+
+
+class TestPhaseNoiseSuppression:
+    def test_model_at_center(self, setup):
+        tanh, tank = setup
+        model = phase_noise_suppression(
+            tanh, tank, v_i=0.03, w_injection=3 * tank.center_frequency, n=3
+        )
+        # Rates positive, phase slower than amplitude, corner well inside
+        # the tank bandwidth.
+        assert 0.0 < model.relock_rate <= model.amplitude_rate
+        assert model.corner_hz < tank.bandwidth / (2 * np.pi)
+
+    def test_transfer_function_shape(self, setup):
+        tanh, tank = setup
+        model = phase_noise_suppression(
+            tanh, tank, v_i=0.03, w_injection=3 * tank.center_frequency, n=3
+        )
+        f = np.array([model.corner_hz / 100, model.corner_hz, model.corner_hz * 100])
+        h_osc = model.oscillator_noise_transfer(f)
+        assert h_osc[0] < 1e-3          # deep suppression well below corner
+        assert h_osc[1] == pytest.approx(0.5, rel=1e-6)  # -3 dB at corner
+        assert h_osc[2] > 0.999          # untouched far above
+
+    def test_injection_transfer_complements(self, setup):
+        tanh, tank = setup
+        model = phase_noise_suppression(
+            tanh, tank, v_i=0.03, w_injection=3 * tank.center_frequency, n=3
+        )
+        f = np.logspace(-2, 2, 9) * model.corner_hz
+        h_inj = model.injection_noise_transfer(f)
+        # Low-passed and divided by n^2 = 9.
+        assert h_inj[0] == pytest.approx(1.0 / 9.0, rel=1e-3)
+        assert h_inj[-1] < 1e-4
+
+    def test_corner_shrinks_toward_lock_edge(self, setup):
+        # Locks near the edge re-lock slowly: worse noise suppression —
+        # the design hazard the model exposes.
+        tanh, tank = setup
+        lr = predict_lock_range(tanh, tank, v_i=0.03, n=3)
+        w_center = 3 * tank.center_frequency
+        center = phase_noise_suppression(
+            tanh, tank, v_i=0.03, w_injection=w_center, n=3
+        )
+        near_edge = phase_noise_suppression(
+            tanh, tank, v_i=0.03,
+            w_injection=w_center + 0.98 * (lr.injection_upper - w_center), n=3,
+        )
+        assert near_edge.relock_rate < 0.5 * center.relock_rate
+
+    def test_unlocked_raises(self, setup):
+        tanh, tank = setup
+        with pytest.raises(RuntimeError, match="no stable lock"):
+            phase_noise_suppression(
+                tanh, tank, v_i=0.03,
+                w_injection=3 * tank.center_frequency * 1.05, n=3,
+            )
+
+    def test_corner_grows_with_injection(self, setup):
+        tanh, tank = setup
+        weak = phase_noise_suppression(
+            tanh, tank, v_i=0.01, w_injection=3 * tank.center_frequency, n=3
+        )
+        strong = phase_noise_suppression(
+            tanh, tank, v_i=0.05, w_injection=3 * tank.center_frequency, n=3
+        )
+        assert strong.relock_rate > weak.relock_rate

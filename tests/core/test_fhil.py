@@ -1,0 +1,76 @@
+"""Tests for the FHIL view (Section III-B) and its phasor construction."""
+
+import numpy as np
+import pytest
+
+from repro.core import fhil_lock_range, solve_fhil
+from repro.core.fhil import phasor_triangle
+from repro.nonlin import NegativeTanh
+from repro.tank import ParallelRLC
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return (
+        NegativeTanh(gm=2.5e-3, i_sat=1e-3),
+        ParallelRLC(r=1000.0, l=100e-6, c=10e-9),
+    )
+
+
+class TestSolveFhil:
+    def test_lock_exists_at_center(self, setup):
+        tanh, tank = setup
+        locks = solve_fhil(tanh, tank, v_i=0.03, w_injection=tank.center_frequency)
+        assert any(lock.stable for lock in locks)
+
+    def test_drive_amplitude_composition(self, setup):
+        tanh, tank = setup
+        locks = solve_fhil(tanh, tank, v_i=0.03, w_injection=tank.center_frequency)
+        for lock in locks:
+            expected = 2.0 * abs(lock.amplitude / 2.0 + 0.03 * np.exp(1j * lock.phi))
+            assert lock.drive_amplitude == pytest.approx(expected, rel=1e-12)
+
+    def test_phasor_triangle_closes_with_vi(self, setup):
+        # The injection phasor closing the Fig. 5 triangle must have the
+        # configured magnitude |V_i|.
+        tanh, tank = setup
+        w = tank.center_frequency * 1.0015
+        locks = solve_fhil(tanh, tank, v_i=0.03, w_injection=w)
+        stable = [lock for lock in locks if lock.stable][0]
+        triangle = phasor_triangle(tanh, tank, stable, w)
+        assert abs(triangle["injection"]) == pytest.approx(0.03, rel=2e-2)
+        assert triangle["input"] == pytest.approx(
+            triangle["tank_output"] + triangle["injection"]
+        )
+
+    def test_tank_output_rotated_by_phi_d(self, setup):
+        tanh, tank = setup
+        w = tank.center_frequency * 1.002
+        locks = solve_fhil(tanh, tank, v_i=0.03, w_injection=w)
+        stable = [lock for lock in locks if lock.stable][0]
+        triangle = phasor_triangle(tanh, tank, stable, w)
+        phi_d = float(tank.phase(np.asarray(w)))
+        assert np.angle(triangle["tank_output"]) == pytest.approx(phi_d, abs=1e-9)
+
+
+class TestFhilLockRange:
+    def test_adler_scaling(self, setup):
+        # Weak-injection FHIL: half-range ~ (w_c / 2Q) * V_inj / A_0 —
+        # within ~20% for V_i well below the oscillation amplitude.
+        from repro.core import predict_natural_oscillation
+
+        tanh, tank = setup
+        natural = predict_natural_oscillation(tanh, tank)
+        v_i = 0.01
+        lr = fhil_lock_range(tanh, tank, v_i=v_i)
+        adler_half = tank.center_frequency / (2 * tank.quality_factor) * (
+            2 * v_i / natural.amplitude
+        )
+        measured_half = lr.width / 2.0
+        assert measured_half == pytest.approx(adler_half, rel=0.25)
+
+    def test_range_linear_in_weak_injection(self, setup):
+        tanh, tank = setup
+        w1 = fhil_lock_range(tanh, tank, v_i=0.005).width
+        w2 = fhil_lock_range(tanh, tank, v_i=0.01).width
+        assert w2 == pytest.approx(2.0 * w1, rel=0.08)

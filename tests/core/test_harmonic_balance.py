@@ -1,0 +1,151 @@
+"""Tests for the harmonic-balance refinement."""
+
+import numpy as np
+import pytest
+
+from repro.core import predict_natural_oscillation, solve_lock_states
+from repro.core.harmonic_balance import (
+    HbConvergenceError,
+    hb_lock_state,
+    hb_natural_oscillation,
+)
+from repro.nonlin import CubicNonlinearity, NegativeTanh
+from repro.tank import ParallelRLC
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return (
+        NegativeTanh(gm=2.5e-3, i_sat=1e-3),
+        ParallelRLC(r=1000.0, l=100e-6, c=10e-9),
+    )
+
+
+@pytest.fixture(scope="module")
+def hb_natural(setup):
+    tanh, tank = setup
+    return hb_natural_oscillation(tanh, tank, k_max=7)
+
+
+class TestHbNaturalOscillation:
+    def test_converges_with_tiny_residual(self, hb_natural):
+        assert hb_natural.residual_norm < 1e-9
+
+    def test_amplitude_close_to_df(self, setup, hb_natural):
+        tanh, tank = setup
+        df = predict_natural_oscillation(tanh, tank)
+        assert hb_natural.amplitude == pytest.approx(df.amplitude, rel=2e-3)
+
+    def test_frequency_shift_is_downward(self, setup, hb_natural):
+        # Finite-Q harmonic feedback pulls a saturating oscillator below
+        # the tank centre (the shift the transient simulations show).
+        __, tank = setup
+        assert hb_natural.w < tank.center_frequency
+        assert hb_natural.w == pytest.approx(tank.center_frequency, rel=2e-3)
+
+    def test_frequency_matches_simulation(self, setup, hb_natural):
+        # The headline: HB lands on the simulated frequency ~10x closer
+        # than the DF's "oscillates at w_c" assumption.
+        from repro.measure import Waveform, measure_steady_state
+        from repro.odesim import simulate_oscillator
+
+        tanh, tank = setup
+        period = 2 * np.pi / tank.center_frequency
+        sim = simulate_oscillator(
+            tanh, tank, t_end=500 * period, record_start=420 * period,
+            steps_per_cycle=128,
+        )
+        state = measure_steady_state(Waveform(sim.t, sim.v[:, 0]))
+        df_error = abs(tank.center_frequency - state.frequency)
+        hb_error = abs(hb_natural.w - state.frequency)
+        assert hb_error < 0.2 * df_error
+
+    def test_odd_nonlinearity_kills_even_harmonics(self, hb_natural):
+        even = hb_natural.harmonics[1::2]  # V_2, V_4, V_6
+        odd = hb_natural.harmonics[2::2]  # V_3, V_5, V_7
+        assert np.max(np.abs(even)) < 1e-9
+        assert np.max(np.abs(odd)) > 1e-4
+
+    def test_thd_matches_simulated_waveform(self, setup, hb_natural):
+        # HB predicts the (small) voltage distortion quantitatively.
+        assert 1e-3 < hb_natural.thd() < 3e-2
+
+    def test_waveform_reconstruction(self, hb_natural):
+        t = np.linspace(0.0, 2 * np.pi / hb_natural.w, 256, endpoint=False)
+        v = hb_natural.waveform(t)
+        assert float(np.max(v)) == pytest.approx(hb_natural.amplitude, rel=0.05)
+
+    def test_cubic_exact_small_harmonics(self):
+        # A cubic device in a high-Q tank: V_3/V_1 ~ known scale.
+        cubic = CubicNonlinearity(a=2.5e-3, b=1e-3)
+        tank = ParallelRLC(r=1000.0, l=100e-6, c=10e-9)
+        hb = hb_natural_oscillation(cubic, tank, k_max=5)
+        assert hb.amplitude == pytest.approx(cubic.natural_amplitude(1000.0), rel=1e-2)
+
+    def test_rejects_bad_kmax(self, setup):
+        tanh, tank = setup
+        with pytest.raises(ValueError):
+            hb_natural_oscillation(tanh, tank, k_max=0)
+
+    def test_no_startup_raises(self, setup):
+        __, tank = setup
+        weak = NegativeTanh(gm=0.5e-3, i_sat=1e-3)
+        with pytest.raises(Exception):
+            hb_natural_oscillation(weak, tank)
+
+
+class TestHbLockState:
+    def test_refines_df_lock(self, setup):
+        tanh, tank = setup
+        w_inj = 3 * tank.center_frequency
+        hb = hb_lock_state(tanh, tank, v_i=0.03, w_injection=w_inj, n=3)
+        df = solve_lock_states(tanh, tank, v_i=0.03, w_injection=w_inj, n=3)
+        stable = df.stable_locks[0]
+        assert hb.residual_norm < 1e-9
+        assert hb.amplitude == pytest.approx(stable.amplitude, rel=5e-3)
+
+    def test_phase_closer_to_simulation_than_df(self, setup):
+        # The measured DF phase offset at Q = 10 was ~0.08 rad; HB should
+        # cut it by an order of magnitude.
+        from repro.measure import Waveform, detect_lock
+        from repro.odesim import InjectionSpec, simulate_oscillator
+
+        tanh, tank = setup
+        w_inj = 3 * tank.center_frequency
+        period = 2 * np.pi / tank.center_frequency
+        sim = simulate_oscillator(
+            tanh, tank, t_end=900 * period,
+            injection=InjectionSpec(v_i=0.03, w=np.array([w_inj])),
+            record_start=600 * period, steps_per_cycle=128,
+        )
+        verdict = detect_lock(Waveform(sim.t, sim.v[:, 0]), w_inj, 3)
+        assert verdict.locked
+        df = solve_lock_states(tanh, tank, v_i=0.03, w_injection=w_inj, n=3)
+        stable = df.stable_locks[0]
+        df_err = float(
+            np.min(np.abs(np.angle(np.exp(1j * (verdict.phase - stable.oscillator_phases)))))
+        )
+        hb = hb_lock_state(tanh, tank, v_i=0.03, w_injection=w_inj, n=3)
+        hb_states = np.mod(
+            hb.fundamental_phase + 2 * np.pi * np.arange(3) / 3, 2 * np.pi
+        )
+        hb_err = float(
+            np.min(np.abs(np.angle(np.exp(1j * (verdict.phase - hb_states)))))
+        )
+        assert hb_err < 0.5 * df_err
+
+    def test_outside_lock_range_raises(self, setup):
+        tanh, tank = setup
+        with pytest.raises(HbConvergenceError):
+            hb_lock_state(
+                tanh, tank, v_i=0.03,
+                w_injection=3 * tank.center_frequency * 1.02, n=3,
+            )
+
+    def test_kmax_must_cover_injection_harmonic(self, setup):
+        tanh, tank = setup
+        with pytest.raises(ValueError, match="k_max"):
+            hb_lock_state(
+                tanh, tank, v_i=0.03,
+                w_injection=5 * tank.center_frequency, n=5, k_max=3,
+            )

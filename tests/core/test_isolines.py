@@ -1,0 +1,69 @@
+"""Tests for the Fig. 10 isoline picture builder."""
+
+import numpy as np
+import pytest
+
+from repro.core.isolines import build_isoline_picture
+from repro.nonlin import NegativeTanh
+from repro.tank import ParallelRLC
+
+
+@pytest.fixture(scope="module")
+def picture():
+    tanh = NegativeTanh(gm=2.5e-3, i_sat=1e-3)
+    tank = ParallelRLC(r=1000.0, l=100e-6, c=10e-9)
+    return build_isoline_picture(
+        tanh,
+        tank,
+        v_i=0.03,
+        n=3,
+        angles=np.linspace(-0.03, 0.03, 7),
+        n_a=61,
+        n_phi=121,
+    )
+
+
+class TestIsolinePicture:
+    def test_tf_curve_present(self, picture):
+        assert picture.tf_curves
+
+    def test_isolines_tagged_with_phi_d(self, picture):
+        for iso in picture.isolines:
+            assert iso.phi_d == pytest.approx(-iso.angle)
+
+    def test_isoline_frequencies_monotone_in_phi_d(self, picture):
+        # Larger tank phase <-> lower operating frequency.
+        isolines = sorted(picture.isolines, key=lambda i: i.phi_d)
+        freqs = [i.w_i for i in isolines if np.isfinite(i.w_i)]
+        assert all(f1 > f2 for f1, f2 in zip(freqs, freqs[1:]))
+
+    def test_isoline_curves_live_on_the_angle_surface(self, picture):
+        grid = picture.grid
+        iso = picture.isolines[len(picture.isolines) // 2]
+        curve = iso.curves[0]
+        mid = len(curve) // 2
+        sampled = grid.interpolate("angle", float(curve.x[mid]), float(curve.y[mid]))
+        assert sampled == pytest.approx(iso.angle, abs=5e-3)
+
+    def test_nearest_lookup(self, picture):
+        target = picture.isolines[0].phi_d
+        assert picture.isoline_nearest(target).phi_d == pytest.approx(target)
+
+    def test_nearest_on_empty_raises(self, picture):
+        from repro.core.isolines import IsolinePicture
+
+        empty = IsolinePicture(grid=picture.grid, tf_curves=[], isolines=[])
+        with pytest.raises(ValueError):
+            empty.isoline_nearest(0.0)
+
+    def test_zero_angle_isoline_crosses_tf_curve(self, picture):
+        # At phi_d = 0 (centre frequency) the lock exists: the zero-angle
+        # isoline must intersect the T_f = 1 curve.
+        from repro.core.curves import intersect_curves
+
+        iso = picture.isoline_nearest(0.0)
+        hits = []
+        for curve in iso.curves:
+            for tf_curve in picture.tf_curves:
+                hits.extend(intersect_curves(tf_curve, curve))
+        assert hits

@@ -1,0 +1,71 @@
+"""Tests for phasor-diagram helpers (circle property, state fan)."""
+
+import numpy as np
+import pytest
+
+from repro.core.phasor import (
+    circle_locus,
+    phase_difference,
+    projection_construction,
+    state_fan,
+)
+from repro.tank import ParallelRLC
+
+
+@pytest.fixture
+def tank():
+    return ParallelRLC(r=1000.0, l=100e-6, c=10e-9)
+
+
+class TestCircleLocus:
+    def test_locus_is_circle(self, tank):
+        locus = circle_locus(tank, 1e-3 + 0j, n_points=200, span=0.3)
+        diameter = 1e-3 * tank.peak_resistance
+        center = diameter / 2.0
+        assert np.allclose(np.abs(locus - center), center, rtol=1e-9)
+
+    def test_resonance_point_on_locus(self, tank):
+        locus = circle_locus(tank, 1e-3 + 0j, n_points=201, span=0.3)
+        # The mid-sample is the centre frequency: output = input * R.
+        assert locus[100] == pytest.approx(1.0 + 0j, rel=1e-9)
+
+    def test_input_phase_rotates_locus(self, tank):
+        base = circle_locus(tank, 1e-3 + 0j, n_points=50)
+        rotated = circle_locus(tank, 1e-3 * np.exp(1j * 0.7), n_points=50)
+        assert np.allclose(rotated, base * np.exp(1j * 0.7), rtol=1e-12)
+
+
+class TestProjectionConstruction:
+    def test_exact_for_rlc(self, tank):
+        picture = projection_construction(tank, 2e-3 + 0j, 1.07 * tank.center_frequency)
+        assert picture["output"] == pytest.approx(picture["projection"], rel=1e-9)
+
+    def test_phi_d_reported(self, tank):
+        w = 0.95 * tank.center_frequency
+        picture = projection_construction(tank, 1e-3 + 0j, w)
+        assert picture["phi_d"] == pytest.approx(float(tank.phase(np.asarray(w))))
+
+
+class TestStateFan:
+    def test_magnitudes(self):
+        fan = state_fan(1.2, np.array([0.0, 2.0, 4.0]))
+        assert np.allclose(np.abs(fan), 0.6)
+
+    def test_angles(self):
+        phases = np.array([0.5, 2.5, 4.5])
+        fan = state_fan(2.0, phases)
+        assert np.allclose(np.angle(fan), np.angle(np.exp(1j * phases)))
+
+
+class TestPhaseDifference:
+    def test_basic(self):
+        assert phase_difference(1j, 1.0) == pytest.approx(np.pi / 2)
+
+    def test_wraps_to_principal(self):
+        a = np.exp(1j * 3.0)
+        b = np.exp(-1j * 3.0)
+        assert abs(phase_difference(a, b)) <= np.pi
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            phase_difference(0.0, 1.0)

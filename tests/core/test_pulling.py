@@ -1,0 +1,84 @@
+"""Tests for injection-pulling analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core import analyze_pulling, predict_lock_range
+from repro.nonlin import NegativeTanh
+from repro.tank import ParallelRLC
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return (
+        NegativeTanh(gm=2.5e-3, i_sat=1e-3),
+        ParallelRLC(r=1000.0, l=100e-6, c=10e-9),
+    )
+
+
+@pytest.fixture(scope="module")
+def lock_range(setup):
+    tanh, tank = setup
+    return predict_lock_range(tanh, tank, v_i=0.03, n=3)
+
+
+class TestAnalyzePulling:
+    def test_inside_range_locks(self, setup, lock_range):
+        tanh, tank = setup
+        w_inj = 0.5 * (lock_range.injection_lower + lock_range.injection_upper)
+        result = analyze_pulling(tanh, tank, v_i=0.03, w_injection=w_inj, n=3)
+        assert result.locked
+        assert result.beat_frequency == 0.0
+        assert result.amplitude_depth == 0.0
+
+    def test_outside_range_beats(self, setup, lock_range):
+        tanh, tank = setup
+        w_inj = lock_range.injection_upper * 1.005
+        result = analyze_pulling(tanh, tank, v_i=0.03, w_injection=w_inj, n=3)
+        assert not result.locked
+        assert result.beat_frequency > 0.0
+        # Envelope breathes as the phase slips through the dead lock point.
+        assert result.amplitude_depth > 1e-4
+
+    def test_beat_slows_near_edge(self, setup, lock_range):
+        # Critical slowing: the beat just outside the edge is far slower
+        # than the open-loop detuning suggests.
+        tanh, tank = setup
+        edge = lock_range.injection_upper
+        near = analyze_pulling(
+            tanh, tank, v_i=0.03, w_injection=edge * 1.0005, n=3
+        )
+        far = analyze_pulling(
+            tanh, tank, v_i=0.03, w_injection=edge * 1.01, n=3
+        )
+        assert not near.locked and not far.locked
+        assert near.beat_frequency < 0.5 * far.beat_frequency
+
+    def test_far_detuning_beat_approaches_detuning(self, setup, lock_range):
+        # Well outside the range the oscillator free-runs: the beat
+        # approaches the open-loop offset |w_inj/n - w_c|.
+        tanh, tank = setup
+        w_inj = lock_range.injection_upper * 1.05
+        result = analyze_pulling(tanh, tank, v_i=0.03, w_injection=w_inj, n=3)
+        open_loop = abs(w_inj / 3 - tank.center_frequency)
+        assert result.beat_frequency == pytest.approx(open_loop, rel=0.2)
+
+    def test_amplitude_mean_near_natural(self, setup, lock_range):
+        from repro.core import predict_natural_oscillation
+
+        tanh, tank = setup
+        natural = predict_natural_oscillation(tanh, tank)
+        result = analyze_pulling(
+            tanh, tank, v_i=0.03,
+            w_injection=lock_range.injection_upper * 1.01, n=3,
+        )
+        assert result.amplitude_mean == pytest.approx(natural.amplitude, rel=0.05)
+
+    def test_trajectory_returned(self, setup, lock_range):
+        tanh, tank = setup
+        result = analyze_pulling(
+            tanh, tank, v_i=0.03,
+            w_injection=lock_range.injection_upper * 1.01, n=3,
+        )
+        assert result.t.size == result.amplitude.size == result.phi.size
+        assert result.t.size > 1000

@@ -1,0 +1,173 @@
+"""Tests for the SHIL lock-state solver (Fig. 7 automation)."""
+
+import numpy as np
+import pytest
+
+from repro.core import solve_lock_states
+from repro.core.averaging import SlowFlow
+from repro.core.two_tone import TwoToneDF
+from repro.nonlin import NegativeTanh
+from repro.tank import ParallelRLC
+
+
+@pytest.fixture(scope="module")
+def setup():
+    tanh = NegativeTanh(gm=2.5e-3, i_sat=1e-3)
+    tank = ParallelRLC(r=1000.0, l=100e-6, c=10e-9)
+    return tanh, tank
+
+
+@pytest.fixture(scope="module")
+def center_solution(setup):
+    tanh, tank = setup
+    return solve_lock_states(
+        tanh, tank, v_i=0.03, w_injection=3 * tank.center_frequency, n=3
+    )
+
+
+class TestSolveLockStatesAtCenter:
+    def test_two_locks(self, center_solution):
+        assert len(center_solution.locks) == 2
+
+    def test_one_stable_one_unstable(self, center_solution):
+        stabilities = sorted(lock.stable for lock in center_solution.locks)
+        assert stabilities == [False, True]
+
+    def test_total_states_multiple_of_n(self, center_solution):
+        # Paper Section I: "the number of locks is a multiple of n".
+        assert center_solution.total_states == 6
+        assert center_solution.total_states % center_solution.n == 0
+
+    def test_locked_property(self, center_solution):
+        assert center_solution.locked
+
+    def test_phi_d_zero_at_center(self, center_solution):
+        assert center_solution.phi_d == pytest.approx(0.0, abs=1e-12)
+
+    def test_residuals_converged(self, center_solution):
+        for lock in center_solution.locks:
+            assert lock.residual_norm < 1e-9
+
+    def test_lock_conditions_satisfied(self, setup, center_solution):
+        # Independently verify Eqs. (3)-(4) by direct quadrature.
+        tanh, tank = setup
+        df = TwoToneDF(tanh, 0.03, 3)
+        for lock in center_solution.locks:
+            i1 = complex(df.i1(lock.amplitude, lock.phi))
+            tf = -1000.0 * i1.real / (lock.amplitude / 2.0)
+            assert tf == pytest.approx(1.0, abs=1e-8)
+            assert np.angle(-i1) == pytest.approx(-center_solution.phi_d, abs=1e-8)
+
+    def test_locked_amplitude_exceeds_natural_at_center(self, setup, center_solution):
+        # At zero detuning the in-phase injection adds energy.
+        from repro.core import predict_natural_oscillation
+
+        tanh, tank = setup
+        natural = predict_natural_oscillation(tanh, tank)
+        stable = center_solution.stable_locks[0]
+        assert stable.amplitude > natural.amplitude
+
+    def test_oscillator_phases_spacing(self, center_solution):
+        for lock in center_solution.locks:
+            spacing = np.diff(lock.oscillator_phases)
+            assert np.allclose(spacing, 2 * np.pi / 3, atol=1e-9)
+
+    def test_graphical_artifacts_present(self, center_solution):
+        assert center_solution.tf_curves
+        assert center_solution.phase_curves
+        assert "tf" in center_solution.grid.surfaces
+        assert "phase_residual" in center_solution.grid.surfaces
+
+
+class TestSolveLockStatesDetuned:
+    def test_no_lock_outside_range(self, setup):
+        tanh, tank = setup
+        solution = solve_lock_states(
+            tanh, tank, v_i=0.03, w_injection=3 * tank.center_frequency * 1.01, n=3
+        )
+        assert not solution.locked
+        assert solution.locks == []
+
+    def test_detuned_locks_offset_in_phi(self, setup):
+        tanh, tank = setup
+        solution = solve_lock_states(
+            tanh, tank, v_i=0.03, w_injection=3 * tank.center_frequency * 1.001, n=3
+        )
+        assert solution.locked
+        stable = solution.stable_locks[0]
+        # Off-centre lock needs a non-trivial phase to counter phi_d.
+        assert abs(np.angle(np.exp(1j * (stable.phi - np.pi)))) > 0.05
+
+    def test_mirror_detuning_mirrors_phase(self, setup):
+        # Appendix VI-B3: (phi_s, A_s) at +detune <-> (-phi_s, A_s) at -detune.
+        tanh, tank = setup
+        up = solve_lock_states(
+            tanh, tank, v_i=0.03, w_injection=3 * tank.center_frequency * 1.001, n=3
+        )
+        down = solve_lock_states(
+            tanh, tank, v_i=0.03, w_injection=3 * tank.center_frequency * 0.999, n=3
+        )
+        stable_up = up.stable_locks[0]
+        stable_down = down.stable_locks[0]
+        assert stable_up.amplitude == pytest.approx(stable_down.amplitude, rel=1e-4)
+        assert np.mod(stable_up.phi + stable_down.phi, 2 * np.pi) == pytest.approx(
+            0.0, abs=1e-3
+        ) or np.mod(stable_up.phi + stable_down.phi, 2 * np.pi) == pytest.approx(
+            2 * np.pi, abs=1e-3
+        )
+
+    def test_locks_are_equilibria_of_slow_flow(self, setup):
+        tanh, tank = setup
+        w_i = tank.center_frequency * 1.0005
+        solution = solve_lock_states(tanh, tank, v_i=0.03, w_injection=3 * w_i, n=3)
+        flow = SlowFlow(TwoToneDF(tanh, 0.03, 3), tank, w_i)
+        for lock in solution.locks:
+            da, dphi = flow.rhs(lock.amplitude, lock.phi)
+            # Rates normalised by the envelope rate are ~ 0.
+            assert abs(da) / (lock.amplitude * flow.rate) < 1e-6
+            assert abs(dphi) / flow.rate < 1e-5
+
+
+class TestSolveLockStatesFhil:
+    def test_n1_supported(self, setup):
+        tanh, tank = setup
+        solution = solve_lock_states(
+            tanh, tank, v_i=0.03, w_injection=tank.center_frequency, n=1
+        )
+        assert solution.locked
+        assert solution.n == 1
+
+    def test_n1_wider_than_n3(self, setup):
+        # Fundamental injection couples directly: for equal V_i the FHIL
+        # lock persists at detunings that break the n=3 lock.
+        # FHIL half-range here is ~0.25% (Adler), the n=3 SHIL range only
+        # ~0.176%: a 0.2% detuning separates them.
+        tanh, tank = setup
+        w = tank.center_frequency * 1.002
+        fhil = solve_lock_states(tanh, tank, v_i=0.03, w_injection=w, n=1)
+        shil = solve_lock_states(tanh, tank, v_i=0.03, w_injection=3 * w, n=3)
+        assert fhil.locked and not shil.locked
+
+
+class TestValidation:
+    def test_rejects_bad_n(self, setup):
+        tanh, tank = setup
+        with pytest.raises(ValueError):
+            solve_lock_states(tanh, tank, v_i=0.03, w_injection=1e6, n=0)
+
+    def test_rejects_bad_window(self, setup):
+        tanh, tank = setup
+        with pytest.raises(ValueError):
+            solve_lock_states(
+                tanh,
+                tank,
+                v_i=0.03,
+                w_injection=3e6,
+                n=3,
+                amplitude_window=(1.0, 0.5),
+            )
+
+    def test_rejects_nonpositive_frequency(self, setup):
+        tanh, tank = setup
+        with pytest.raises(ValueError):
+            solve_lock_states(tanh, tank, v_i=0.03, w_injection=0.0, n=3)

@@ -1,0 +1,141 @@
+"""Tests for stability classification (Appendix VI-B3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import solve_lock_states
+from repro.core.averaging import SlowFlow
+from repro.core.stability import classify_by_jacobian, paper_slope_rule
+from repro.core.two_tone import TwoToneDF
+from repro.nonlin import NegativeTanh
+from repro.tank import ParallelRLC
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return (
+        NegativeTanh(gm=2.5e-3, i_sat=1e-3),
+        ParallelRLC(r=1000.0, l=100e-6, c=10e-9),
+    )
+
+
+class TestPaperSlopeRule:
+    def test_canonical_stable(self):
+        # Steeper phase curve than magnitude curve -> stable.
+        assert paper_slope_rule(10.0, 0.1).stable
+
+    def test_canonical_unstable(self):
+        assert not paper_slope_rule(0.1, 10.0).stable
+
+    def test_equality_counts_as_stable(self):
+        assert paper_slope_rule(1.0, 1.0).stable
+
+    def test_one_flip_inverts(self):
+        assert not paper_slope_rule(10.0, 0.1, tf_decreasing_with_a=False).stable
+        assert not paper_slope_rule(
+            10.0, 0.1, angle_increasing_with_phi=False
+        ).stable
+
+    def test_double_flip_restores(self):
+        verdict = paper_slope_rule(
+            10.0,
+            0.1,
+            tf_decreasing_with_a=False,
+            angle_increasing_with_phi=False,
+        )
+        assert verdict.stable
+
+    def test_method_tag(self):
+        assert paper_slope_rule(1.0, 0.0).method == "slope-rule"
+
+
+class TestJacobianClassification:
+    def test_eigenvalues_reported(self, setup):
+        tanh, tank = setup
+        solution = solve_lock_states(
+            tanh, tank, v_i=0.03, w_injection=3 * tank.center_frequency, n=3
+        )
+        flow = SlowFlow(TwoToneDF(tanh, 0.03, 3), tank, tank.center_frequency)
+        lock = solution.stable_locks[0]
+        verdict = classify_by_jacobian(flow, lock.amplitude, lock.phi)
+        assert verdict.method == "jacobian"
+        assert verdict.eigenvalues is not None
+        assert all(ev.real < 0 for ev in verdict.eigenvalues)
+
+    def test_unstable_lock_has_positive_eigenvalue(self, setup):
+        tanh, tank = setup
+        solution = solve_lock_states(
+            tanh, tank, v_i=0.03, w_injection=3 * tank.center_frequency, n=3
+        )
+        flow = SlowFlow(TwoToneDF(tanh, 0.03, 3), tank, tank.center_frequency)
+        unstable = [lock for lock in solution.locks if not lock.stable][0]
+        verdict = classify_by_jacobian(flow, unstable.amplitude, unstable.phi)
+        assert any(ev.real > 0 for ev in verdict.eigenvalues)
+
+    def test_margin_demotes_marginal_locks(self, setup):
+        tanh, tank = setup
+        solution = solve_lock_states(
+            tanh, tank, v_i=0.03, w_injection=3 * tank.center_frequency, n=3
+        )
+        flow = SlowFlow(TwoToneDF(tanh, 0.03, 3), tank, tank.center_frequency)
+        lock = solution.stable_locks[0]
+        huge_margin = 1e12  # far beyond any physical relaxation rate
+        verdict = classify_by_jacobian(
+            flow, lock.amplitude, lock.phi, margin=huge_margin
+        )
+        assert not verdict.stable
+
+    def test_amplitude_eigenvalue_scale(self, setup):
+        # The amplitude relaxation rate should be on the order of the
+        # envelope rate 1/(2RC) (half tank bandwidth).
+        tanh, tank = setup
+        solution = solve_lock_states(
+            tanh, tank, v_i=0.03, w_injection=3 * tank.center_frequency, n=3
+        )
+        flow = SlowFlow(TwoToneDF(tanh, 0.03, 3), tank, tank.center_frequency)
+        lock = solution.stable_locks[0]
+        verdict = classify_by_jacobian(flow, lock.amplitude, lock.phi)
+        rates = sorted(abs(ev.real) for ev in verdict.eigenvalues)
+        assert rates[-1] == pytest.approx(flow.rate, rel=2.0)
+
+    def test_bool_protocol(self):
+        from repro.core.stability import StabilityVerdict
+
+        assert bool(StabilityVerdict(stable=True, method="x"))
+        assert not bool(StabilityVerdict(stable=False, method="x"))
+
+
+class TestSlopeRuleAgreesWithJacobian:
+    def test_agreement_on_detuned_locks(self, setup):
+        # The graphical rule and the rigorous Jacobian must agree for the
+        # paper's canonical picture (detuned tanh oscillator).
+        tanh, tank = setup
+        w_i = tank.center_frequency * 1.001
+        solution = solve_lock_states(tanh, tank, v_i=0.03, w_injection=3 * w_i, n=3)
+        assert len(solution.locks) == 2
+        df = TwoToneDF(tanh, 0.03, 3)
+        flow = SlowFlow(df, tank, w_i)
+        for lock in solution.locks:
+            # Build local slopes of the two condition curves numerically:
+            # dA/dphi along each level set via implicit differentiation.
+            h_a = 1e-5 * lock.amplitude
+            h_p = 1e-5
+            def tf_fn(a, p):
+                return float(df.tf(a, p, tank.peak_resistance))
+            def ang_fn(a, p):
+                return float(df.angle_minus_i1(a, p)) + solution.phi_d
+            d_tf_da = (tf_fn(lock.amplitude + h_a, lock.phi) - tf_fn(lock.amplitude - h_a, lock.phi)) / (2 * h_a)
+            d_tf_dp = (tf_fn(lock.amplitude, lock.phi + h_p) - tf_fn(lock.amplitude, lock.phi - h_p)) / (2 * h_p)
+            d_an_da = (ang_fn(lock.amplitude + h_a, lock.phi) - ang_fn(lock.amplitude - h_a, lock.phi)) / (2 * h_a)
+            d_an_dp = (ang_fn(lock.amplitude, lock.phi + h_p) - ang_fn(lock.amplitude, lock.phi - h_p)) / (2 * h_p)
+            slope_tf = -d_tf_dp / d_tf_da
+            slope_an = -d_an_dp / d_an_da
+            verdict = paper_slope_rule(
+                slope_an,
+                slope_tf,
+                tf_decreasing_with_a=d_tf_da < 0,
+                angle_increasing_with_phi=d_an_dp > 0,
+            )
+            assert verdict.stable == lock.stable, (
+                f"slope rule disagrees with Jacobian at phi={lock.phi:.3f}"
+            )

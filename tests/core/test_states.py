@@ -1,0 +1,68 @@
+"""Tests for the n-state enumeration (Appendix VI-B4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.states import enumerate_states, state_index_of_phase
+
+
+class TestEnumerateStates:
+    def test_count(self):
+        assert enumerate_states(1.0, 3).size == 3
+        assert enumerate_states(1.0, 1).size == 1
+        assert enumerate_states(1.0, 7).size == 7
+
+    def test_spacing_is_2pi_over_n(self):
+        states = enumerate_states(0.7, 5)
+        assert np.allclose(np.diff(states), 2 * np.pi / 5)
+
+    def test_sorted_in_principal_range(self):
+        states = enumerate_states(2.3, 4)
+        assert np.all(states >= 0.0) and np.all(states < 2 * np.pi)
+        assert np.all(np.diff(states) > 0)
+
+    def test_injection_phase_shifts_states(self):
+        base = enumerate_states(1.0, 3, injection_phase=0.0)
+        shifted = enumerate_states(1.0, 3, injection_phase=0.9)
+        # Each state moves by 0.9/n on the circle.
+        deltas = np.angle(np.exp(1j * (shifted - base)))
+        assert np.allclose(np.abs(deltas), 0.3, atol=1e-12)
+
+    def test_definition(self):
+        # psi = (phi_inj - phi_lock + 2 pi k)/n.
+        states = enumerate_states(0.6, 3, injection_phase=0.0)
+        expected = np.sort(np.mod((-0.6 + 2 * np.pi * np.arange(3)) / 3, 2 * np.pi))
+        assert np.allclose(states, expected)
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            enumerate_states(0.0, 0)
+        with pytest.raises(ValueError):
+            enumerate_states(0.0, 2.5)
+
+    @given(
+        st.floats(min_value=-10.0, max_value=10.0),
+        st.integers(min_value=1, max_value=12),
+    )
+    def test_states_satisfy_lock_relation(self, phi_lock, n):
+        # n * psi_k + phi_lock == injection_phase (mod 2 pi) for every k.
+        states = enumerate_states(phi_lock, n)
+        residual = np.mod(n * states + phi_lock, 2 * np.pi)
+        assert np.allclose(np.minimum(residual, 2 * np.pi - residual), 0.0, atol=1e-9)
+
+
+class TestStateIndexOfPhase:
+    def test_exact_match(self):
+        states = enumerate_states(0.0, 3)
+        for k, psi in enumerate(states):
+            assert state_index_of_phase(float(psi), states) == k
+
+    def test_nearest_on_circle(self):
+        states = np.array([0.1, 2.0, 4.0])
+        # 2 pi - 0.05 is closest to 0.1 across the wrap.
+        assert state_index_of_phase(2 * np.pi - 0.05, states) == 0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            state_index_of_phase(0.0, np.array([]))

@@ -1,0 +1,78 @@
+"""Tests for the calibrated canonical circuits."""
+
+import numpy as np
+import pytest
+
+from repro.core import predict_natural_oscillation
+from repro.experiments import (
+    diffpair_extraction_circuit,
+    diffpair_oscillator,
+    diffpair_oscillator_circuit,
+    tanh_oscillator,
+    tunnel_extraction_circuit,
+    tunnel_oscillator,
+    tunnel_oscillator_circuit,
+)
+from repro.spice import dc_operating_point
+
+
+class TestCalibration:
+    def test_tanh_demo_loop_gain(self):
+        setup = tanh_oscillator()
+        natural = predict_natural_oscillation(setup.nonlinearity, setup.tank)
+        # Fig. 3's visible y-intercept: T_f(0) = 2.5.
+        assert natural.loop_gain_small_signal == pytest.approx(2.5)
+
+    def test_diffpair_center_frequency(self):
+        setup = diffpair_oscillator()
+        assert setup.tank.center_frequency_hz == pytest.approx(503292.12, rel=1e-6)
+
+    def test_tunnel_center_frequency(self):
+        setup = tunnel_oscillator()
+        assert setup.tank.center_frequency_hz == pytest.approx(503.29212e6, rel=1e-6)
+
+    def test_tunnel_natural_amplitude_is_papers(self):
+        # The paper's headline A = 0.199 V.
+        setup = tunnel_oscillator()
+        natural = predict_natural_oscillation(setup.nonlinearity, setup.tank)
+        assert natural.amplitude == pytest.approx(0.199, abs=2e-3)
+
+    def test_default_injection_parameters(self):
+        for setup in (tanh_oscillator(), diffpair_oscillator(), tunnel_oscillator()):
+            assert setup.v_i == 0.03
+            assert setup.n == 3
+            assert setup.w_c == setup.tank.center_frequency
+
+
+class TestSpiceCircuits:
+    def test_diffpair_extraction_cell_balances(self):
+        op = dc_operating_point(diffpair_extraction_circuit())
+        # Zero differential drive: VX carries half the tail current
+        # (collector current of the on-side device).
+        assert abs(op.branch_current("VX")) == pytest.approx(2.5e-4, rel=0.05)
+
+    def test_diffpair_oscillator_bias(self):
+        op = dc_operating_point(diffpair_oscillator_circuit())
+        # Inductor centre tap: both collectors at VCC at DC.
+        assert op.voltage("ncl") == pytest.approx(5.0, abs=1e-6)
+        assert op.voltage("ncr") == pytest.approx(5.0, abs=1e-6)
+        # Tail node one V_BE below the bases (which sit at the 5 V
+        # collectors through the cross-coupling).
+        assert 4.2 < op.voltage("e") < 4.7
+
+    def test_tunnel_oscillator_bias(self):
+        op = dc_operating_point(tunnel_oscillator_circuit())
+        # The inductor shorts the bias to the diode at DC.
+        assert op.voltage("a") == pytest.approx(0.25, abs=1e-9)
+
+    def test_tunnel_extraction_matches_model(self):
+        from repro.nonlin import TunnelDiode, extract_iv_curve
+
+        model = TunnelDiode()
+        table = extract_iv_curve(tunnel_extraction_circuit(), "VX", 0.0, 0.55, 56)
+        # At the sweep samples the MNA solution is exact to Newton
+        # tolerance; between samples the PCHIP interpolation dominates.
+        assert np.max(
+            np.abs(table.i_samples - model(table.v_samples))
+        ) < 1e-12
+        assert table.max_abs_error_against(model) < 2e-5

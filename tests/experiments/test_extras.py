@@ -1,0 +1,51 @@
+"""Tests for the ablation experiment drivers (cheap configurations)."""
+
+import pytest
+
+from repro.experiments.extras import run_ablation_filtering, run_ablation_grid
+
+
+class TestAblationGrid:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_ablation_grid()
+
+    def test_all_configs_reported(self, result):
+        labels = [label for label, _ in result.rows]
+        assert any("31x61" in label for label in labels)
+        assert any("181x361" in label for label in labels)
+
+    def test_errors_tiny_after_refinement(self, result):
+        # The sub-grid quadrature refinement makes the edges effectively
+        # grid-independent.
+        errors = [err for err, _ in result.data.values()]
+        assert max(errors) < 1e-3
+
+    def test_cost_grows_with_resolution(self, result):
+        times = [elapsed for _, elapsed in result.data.values()]
+        assert times[-1] > times[0]
+
+
+class TestAblationFiltering:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_ablation_filtering()
+
+    def test_hb_beats_df_on_frequency(self, result):
+        df_err = abs(float(result.value("DF frequency (= f_c) error (Hz)")))
+        hb_err = abs(float(result.value("HB frequency error (Hz)")))
+        assert hb_err < 0.25 * df_err
+
+    def test_hb_beats_df_on_lock_phase(self, result):
+        df_phase, hb_phase = result.data["phase_errors"]
+        assert hb_phase < 0.5 * df_phase
+
+    def test_hb_predicts_thd(self, result):
+        predicted = float(result.value("HB-predicted voltage THD"))
+        simulated = float(result.value("simulated voltage THD"))
+        assert predicted == pytest.approx(simulated, rel=0.15)
+
+    def test_df_frequency_error_sign(self, result):
+        # The DF pins the oscillation at w_c; the real oscillator runs
+        # low, so the DF error is positive.
+        assert float(result.value("DF frequency (= f_c) error (Hz)")) > 0.0

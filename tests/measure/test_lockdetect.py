@@ -1,0 +1,113 @@
+"""Tests for the lock detector on synthetic and simulated waveforms."""
+
+import numpy as np
+import pytest
+
+from repro.measure import Waveform, detect_lock
+from repro.nonlin import NegativeTanh
+from repro.odesim import InjectionSpec, simulate_oscillator
+from repro.tank import ParallelRLC
+
+
+def _tone(freq, duration, fs, phase=0.0, drift=0.0):
+    t = np.arange(0.0, duration, 1.0 / fs)
+    return Waveform(t, np.cos(2 * np.pi * freq * t + phase + drift * t))
+
+
+class TestSyntheticSignals:
+    def test_exact_subharmonic_is_locked(self):
+        f_osc = 1e5
+        wf = _tone(f_osc, 100 / f_osc, 64 * f_osc, phase=1.2)
+        verdict = detect_lock(wf, 2 * np.pi * 3 * f_osc, 3)
+        assert verdict.locked
+        assert verdict.phase == pytest.approx(1.2, abs=1e-6)
+        assert abs(verdict.residual_beat) < 1.0
+
+    def test_detuned_oscillator_not_locked(self):
+        f_osc = 1.0005e5  # 0.05% off the reference
+        wf = _tone(f_osc, 200 / f_osc, 64 * f_osc)
+        verdict = detect_lock(wf, 2 * np.pi * 3e5, 3)
+        assert not verdict.locked
+        # The residual beat is the detuning itself.
+        assert verdict.residual_beat == pytest.approx(2 * np.pi * 50.0, rel=1e-3)
+        assert verdict.phase_drift > 0.5
+
+    def test_slow_phase_drift_rejected(self):
+        f_osc = 1e5
+        # A 2 rad drift across the window: pulling, not locking.
+        wf = _tone(f_osc, 100 / f_osc, 64 * f_osc, drift=2.0 / (100 / f_osc))
+        verdict = detect_lock(wf, 2 * np.pi * 3e5, 3)
+        assert not verdict.locked
+
+    def test_fundamental_case(self):
+        f_osc = 1e5
+        wf = _tone(f_osc, 100 / f_osc, 64 * f_osc)
+        assert detect_lock(wf, 2 * np.pi * f_osc, 1).locked
+
+    def test_rejects_bad_n(self):
+        wf = _tone(1e5, 1e-3, 64e5)
+        with pytest.raises(ValueError):
+            detect_lock(wf, 2 * np.pi * 3e5, 0)
+
+
+class TestSimulatedOscillator:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        return (
+            NegativeTanh(gm=2.5e-3, i_sat=1e-3),
+            ParallelRLC(r=1000.0, l=100e-6, c=10e-9),
+        )
+
+    def test_in_range_injection_locks(self, setup):
+        tanh, tank = setup
+        period = 2 * np.pi / tank.center_frequency
+        w_inj = 3 * tank.center_frequency * 1.0005
+        result = simulate_oscillator(
+            tanh,
+            tank,
+            t_end=700 * period,
+            injection=InjectionSpec(v_i=0.03, w=np.array([w_inj])),
+            record_start=450 * period,
+        )
+        verdict = detect_lock(Waveform(result.t, result.v[:, 0]), w_inj, 3)
+        assert verdict.locked
+
+    def test_out_of_range_injection_does_not_lock(self, setup):
+        tanh, tank = setup
+        period = 2 * np.pi / tank.center_frequency
+        w_inj = 3 * tank.center_frequency * 1.01
+        result = simulate_oscillator(
+            tanh,
+            tank,
+            t_end=700 * period,
+            injection=InjectionSpec(v_i=0.03, w=np.array([w_inj])),
+            record_start=450 * period,
+        )
+        verdict = detect_lock(Waveform(result.t, result.v[:, 0]), w_inj, 3)
+        assert not verdict.locked
+
+    def test_locked_phase_matches_prediction(self, setup):
+        from repro.core import solve_lock_states
+
+        tanh, tank = setup
+        period = 2 * np.pi / tank.center_frequency
+        w_inj = 3 * tank.center_frequency
+        solution = solve_lock_states(tanh, tank, v_i=0.03, w_injection=w_inj, n=3)
+        stable = solution.stable_locks[0]
+        result = simulate_oscillator(
+            tanh,
+            tank,
+            t_end=900 * period,
+            injection=InjectionSpec(v_i=0.03, w=np.array([w_inj])),
+            record_start=600 * period,
+        )
+        verdict = detect_lock(Waveform(result.t, result.v[:, 0]), w_inj, 3)
+        assert verdict.locked
+        # Amplitude matches the describing-function prediction.
+        assert verdict.amplitude == pytest.approx(stable.amplitude, rel=1e-3)
+        # Phase lands on one of the n predicted states (to the DF
+        # approximation's finite-Q accuracy).
+        distances = np.abs(
+            np.angle(np.exp(1j * (verdict.phase - stable.oscillator_phases)))
+        )
+        assert float(np.min(distances)) < 0.1

@@ -1,0 +1,91 @@
+"""Tests for the simulated lock range (kept light: coarse settings)."""
+
+import numpy as np
+import pytest
+
+from repro.core import predict_lock_range
+from repro.measure import simulate_lock_range
+from repro.measure.lockrange_sim import LockScanError
+from repro.nonlin import NegativeTanh
+from repro.tank import ParallelRLC
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return (
+        NegativeTanh(gm=2.5e-3, i_sat=1e-3),
+        ParallelRLC(r=1000.0, l=100e-6, c=10e-9),
+    )
+
+
+@pytest.fixture(scope="module")
+def simulated(setup):
+    tanh, tank = setup
+    # Coarse but real: one scan + one refinement round per edge.
+    return simulate_lock_range(
+        tanh,
+        tank,
+        v_i=0.03,
+        n=3,
+        scan_rel_span=0.008,
+        batch=8,
+        rounds=1,
+        settle_cycles=200.0,
+        acquire_cycles=350.0,
+        observe_cycles=200.0,
+        steps_per_cycle=48,
+    )
+
+
+class TestSimulateLockRange:
+    def test_brackets_center(self, setup, simulated):
+        __, tank = setup
+        center = 3 * tank.center_frequency
+        assert simulated.injection_lower < center < simulated.injection_upper
+
+    def test_agrees_with_prediction(self, setup, simulated):
+        tanh, tank = setup
+        predicted = predict_lock_range(tanh, tank, v_i=0.03, n=3)
+        assert simulated.injection_lower == pytest.approx(
+            predicted.injection_lower, rel=2e-3
+        )
+        assert simulated.injection_upper == pytest.approx(
+            predicted.injection_upper, rel=2e-3
+        )
+
+    def test_probes_recorded(self, simulated):
+        assert len(simulated.probes) >= 8
+        assert any(flag for _, flag in simulated.probes)
+        assert any(not flag for _, flag in simulated.probes)
+
+    def test_probe_classifications_consistent_with_range(self, simulated):
+        for w, locked in simulated.probes:
+            if simulated.injection_lower * 1.001 < w < simulated.injection_upper * 0.999:
+                assert locked, f"probe inside range at {w} classified unlocked"
+
+    def test_hz_accessors(self, simulated):
+        assert simulated.width_hz == pytest.approx(
+            (simulated.injection_upper - simulated.injection_lower) / (2 * np.pi)
+        )
+
+    def test_window_too_small_raises(self, setup):
+        tanh, tank = setup
+        with pytest.raises(LockScanError, match="beyond the scan window"):
+            simulate_lock_range(
+                tanh,
+                tank,
+                v_i=0.03,
+                n=3,
+                scan_rel_span=5e-4,  # narrower than the lock range
+                batch=6,
+                rounds=1,
+                settle_cycles=150.0,
+                acquire_cycles=250.0,
+                observe_cycles=150.0,
+                steps_per_cycle=48,
+            )
+
+    def test_rejects_small_batch(self, setup):
+        tanh, tank = setup
+        with pytest.raises(ValueError):
+            simulate_lock_range(tanh, tank, v_i=0.03, n=3, batch=2)

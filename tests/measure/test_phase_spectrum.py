@@ -1,0 +1,127 @@
+"""Tests for demodulation, harmonic analysis and steady-state measurement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.measure import (
+    Waveform,
+    harmonic_phasors,
+    measure_steady_state,
+    quadrature_demodulate,
+    thd,
+)
+from repro.measure.spectrum import dominant_frequency
+
+
+def _tone(freq=1e5, amp=1.0, phase=0.3, duration=None, fs=None, harmonics=()):
+    if duration is None:
+        duration = 60.0 / freq
+    if fs is None:
+        fs = 64 * freq
+    t = np.arange(0.0, duration, 1.0 / fs)
+    x = amp * np.cos(2 * np.pi * freq * t + phase)
+    for k, hamp in harmonics:
+        x = x + hamp * np.cos(2 * np.pi * k * freq * t)
+    return Waveform(t, x)
+
+
+class TestQuadratureDemodulate:
+    def test_amplitude_and_phase_recovered(self):
+        wf = _tone(amp=0.7, phase=0.3)
+        demod = quadrature_demodulate(wf, 2 * np.pi * 1e5)
+        assert np.mean(demod.amplitude) == pytest.approx(0.7, rel=1e-6)
+        assert demod.settled_phase() == pytest.approx(0.3, abs=1e-6)
+
+    def test_frequency_offset_appears_as_phase_slope(self):
+        wf = _tone(freq=1.001e5)
+        demod = quadrature_demodulate(wf, 2 * np.pi * 1e5)
+        assert demod.mean_frequency() == pytest.approx(2 * np.pi * 1.001e5, rel=1e-6)
+
+    def test_drift_zero_for_locked_tone(self):
+        wf = _tone()
+        demod = quadrature_demodulate(wf, 2 * np.pi * 1e5)
+        assert demod.phase_drift() < 1e-6
+
+    def test_ripple_small_for_clean_tone(self):
+        wf = _tone()
+        demod = quadrature_demodulate(wf, 2 * np.pi * 1e5)
+        assert demod.amplitude_ripple() < 1e-6
+
+    def test_harmonics_rejected_by_smoothing(self):
+        wf = _tone(harmonics=((3, 0.2),))
+        demod = quadrature_demodulate(wf, 2 * np.pi * 1e5, smooth_periods=2)
+        assert np.mean(demod.amplitude) == pytest.approx(1.0, rel=1e-4)
+
+    def test_too_short_record_rejected(self):
+        wf = _tone(duration=2e-5)
+        with pytest.raises(ValueError, match="too short"):
+            quadrature_demodulate(wf, 2 * np.pi * 1e5, smooth_periods=2)
+
+    @settings(max_examples=20)
+    @given(
+        st.floats(min_value=0.1, max_value=3.0),
+        st.floats(min_value=-3.0, max_value=3.0),
+    )
+    def test_amplitude_phase_roundtrip(self, amp, phase):
+        wf = _tone(amp=amp, phase=phase)
+        demod = quadrature_demodulate(wf, 2 * np.pi * 1e5)
+        assert np.mean(demod.amplitude) == pytest.approx(amp, rel=1e-5)
+        recovered = np.angle(np.exp(1j * (demod.settled_phase() - phase)))
+        assert recovered == pytest.approx(0.0, abs=1e-5)
+
+
+class TestHarmonicPhasors:
+    def test_pure_tone(self):
+        wf = _tone(amp=2.0, phase=0.0)
+        phasors = harmonic_phasors(wf, 2 * np.pi * 1e5, k_max=4)
+        assert phasors[1] == pytest.approx(1.0, rel=1e-4)  # X_1 = A/2
+        assert abs(phasors[2]) < 1e-4
+        assert abs(phasors[0]) < 1e-4
+
+    def test_harmonic_content(self):
+        wf = _tone(amp=1.0, phase=0.0, harmonics=((3, 0.25),))
+        phasors = harmonic_phasors(wf, 2 * np.pi * 1e5, k_max=4)
+        assert abs(phasors[3]) == pytest.approx(0.125, rel=1e-3)
+
+    def test_thd(self):
+        wf = _tone(amp=1.0, phase=0.0, harmonics=((2, 0.1), (3, 0.1)))
+        measured = thd(wf, 2 * np.pi * 1e5)
+        assert measured == pytest.approx(np.sqrt(0.05**2 + 0.05**2) / 0.5, rel=1e-2)
+
+    def test_record_too_short(self):
+        wf = _tone(duration=0.5 / 1e5)
+        with pytest.raises(ValueError, match="one fundamental period"):
+            harmonic_phasors(wf, 2 * np.pi * 1e5)
+
+
+class TestDominantFrequency:
+    def test_recovers_tone(self):
+        wf = _tone(freq=1e5)
+        assert dominant_frequency(wf) == pytest.approx(2 * np.pi * 1e5, rel=1e-3)
+
+    def test_ignores_dc(self):
+        wf = _tone(freq=1e5)
+        shifted = Waveform(wf.t, wf.x + 5.0)
+        assert dominant_frequency(shifted) == pytest.approx(2 * np.pi * 1e5, rel=1e-3)
+
+
+class TestMeasureSteadyState:
+    def test_clean_tone(self):
+        wf = _tone(amp=0.505, freq=5.033e5, duration=100 / 5.033e5)
+        state = measure_steady_state(wf)
+        assert state.amplitude == pytest.approx(0.505, rel=1e-5)
+        assert state.frequency_hz == pytest.approx(5.033e5, rel=1e-6)
+        assert state.settled
+        assert state.thd < 1e-4
+
+    def test_hint_accepted(self):
+        wf = _tone(freq=1e5)
+        state = measure_steady_state(wf, w_hint=2 * np.pi * 1.02e5)
+        assert state.frequency_hz == pytest.approx(1e5, rel=1e-5)
+
+    def test_unsettled_detected(self):
+        t = np.arange(0.0, 50e-5, 1.0 / (64e5))
+        growing = (1.0 + 20.0 * t / t[-1]) * np.cos(2 * np.pi * 1e5 * t)
+        state = measure_steady_state(Waveform(t, growing))
+        assert not state.settled

@@ -1,0 +1,99 @@
+"""Tests for the power-spectrum utility, incl. the pulling-sideband picture."""
+
+import numpy as np
+import pytest
+
+from repro.measure import Waveform, power_spectrum
+
+
+def _tone(freq=1e5, amp=1.0, duration=None, fs=None):
+    if duration is None:
+        duration = 200.0 / freq
+    if fs is None:
+        fs = 32 * freq
+    t = np.arange(0.0, duration, 1.0 / fs)
+    return Waveform(t, amp * np.cos(2 * np.pi * freq * t))
+
+
+class TestPowerSpectrum:
+    def test_single_line_power(self):
+        wf = _tone(amp=0.8)
+        f, p = power_spectrum(wf)
+        peak = int(np.argmax(p))
+        assert f[peak] == pytest.approx(1e5, rel=1e-2)
+        # A-squared-over-two normalisation (window scalloping < 1%
+        # because the tone falls on a near-integer number of cycles).
+        assert p[peak] == pytest.approx(0.8**2 / 2.0, rel=0.05)
+
+    def test_dc_removed(self):
+        wf = _tone()
+        shifted = Waveform(wf.t, wf.x + 3.0)
+        f, p = power_spectrum(shifted)
+        assert p[0] < 1e-10
+
+    def test_two_tones_resolved(self):
+        t = np.arange(0.0, 2e-3, 1.0 / 32e5)
+        x = np.cos(2 * np.pi * 1e5 * t) + 0.3 * np.cos(2 * np.pi * 1.2e5 * t)
+        f, p = power_spectrum(Waveform(t, x))
+        main = p[np.argmin(np.abs(f - 1e5))]
+        side = p[np.argmin(np.abs(f - 1.2e5))]
+        assert side / main == pytest.approx(0.09, rel=0.1)
+
+    def test_unknown_window_rejected(self):
+        with pytest.raises(ValueError):
+            power_spectrum(_tone(), window="flattop")
+
+
+class TestPullingSidebands:
+    def test_pulled_oscillator_spectrum_structure(self):
+        # Quasi-lock spectrum just outside the n = 3 lock range.  The
+        # oscillator's phase slips by 2 pi / 3 per beat cycle (one state
+        # spacing), so the dominant sideband pair sits at ~3x the
+        # slow-flow beat frequency, and the main line's near skirt is
+        # asymmetric — heavier away from the injection (the Adler/Armand
+        # quasi-lock picture, paper ref [5], with the n-state structure
+        # stamped on it).
+        from repro.core import analyze_pulling, predict_lock_range
+        from repro.nonlin import NegativeTanh
+        from repro.odesim import InjectionSpec, simulate_oscillator
+        from repro.tank import ParallelRLC
+
+        tanh = NegativeTanh(gm=2.5e-3, i_sat=1e-3)
+        tank = ParallelRLC(r=1000.0, l=100e-6, c=10e-9)
+        lr = predict_lock_range(tanh, tank, v_i=0.03, n=3)
+        w_inj = lr.injection_upper * 1.01
+        pulled = analyze_pulling(tanh, tank, v_i=0.03, w_injection=w_inj, n=3)
+        assert not pulled.locked
+        beat_hz = pulled.beat_frequency / (2 * np.pi)
+        assert beat_hz > 0
+
+        period = 2 * np.pi / tank.center_frequency
+        sim = simulate_oscillator(
+            tanh,
+            tank,
+            t_end=2500 * period,
+            injection=InjectionSpec(v_i=0.03, w=np.array([w_inj])),
+            record_start=500 * period,
+        )
+        f, p = power_spectrum(Waveform(sim.t, sim.v[:, 0]))
+        peak = int(np.argmax(p))
+        f_main = f[peak]
+
+        # Dominant discrete sideband pair: search beyond the main-line
+        # skirt, find the strongest line, check its offset ~ 3x beat.
+        df = f[1] - f[0]
+        skirt = 10 * df
+        upper_mask = (f > f_main + skirt) & (f < f_main + 6 * beat_hz)
+        side_idx = np.argmax(p[upper_mask])
+        f_side = f[upper_mask][side_idx]
+        offset = f_side - f_main
+        assert offset == pytest.approx(3 * beat_hz, rel=0.25)
+        # Mirror line exists on the low side too.
+        lower_mask = np.abs(f - (f_main - offset)) < 3 * df
+        assert p[lower_mask].max() > 1e-4 * p[peak]
+
+        # Near-skirt asymmetry: with the injection above the carrier, the
+        # line adjacent to the main peak is heavier on the low side.
+        low_skirt = p[peak - 2]
+        high_skirt = p[peak + 2]
+        assert low_skirt > 2.0 * high_skirt

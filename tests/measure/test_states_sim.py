@@ -1,0 +1,90 @@
+"""Tests for the pulse-kick states experiment (light settings)."""
+
+import numpy as np
+import pytest
+
+from repro.core import enumerate_states, solve_lock_states
+from repro.measure import run_states_experiment
+from repro.nonlin import NegativeTanh
+from repro.tank import ParallelRLC
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return (
+        NegativeTanh(gm=2.5e-3, i_sat=1e-3),
+        ParallelRLC(r=1000.0, l=100e-6, c=10e-9),
+    )
+
+
+@pytest.fixture(scope="module")
+def experiment(setup):
+    tanh, tank = setup
+    w_inj = 3 * tank.center_frequency
+    solution = solve_lock_states(tanh, tank, v_i=0.03, w_injection=w_inj, n=3)
+    lock = solution.stable_locks[0]
+    states = enumerate_states(lock.phi, 3)
+    return (
+        run_states_experiment(
+            tanh,
+            tank,
+            v_i=0.03,
+            w_injection=w_inj,
+            n=3,
+            theoretical_states=states,
+            # Diverse fractional-cycle kick phases; the default kick
+            # profile (amplitude-scaled, strength-swept, alternating
+            # polarity) visits several of the n states.
+            pulse_times_cycles=(600.37, 1200.71, 1800.13, 2400.59),
+            acquire_cycles=400.0,
+            settle_cycles=200.0,
+            steps_per_cycle=48,
+        ),
+        lock,
+    )
+
+
+class TestStatesExperiment:
+    def test_segments_all_relock(self, experiment):
+        result, __ = experiment
+        assert len(result.segments) >= 3
+        assert all(seg.locked for seg in result.segments)
+
+    def test_multiple_states_visited(self, experiment):
+        result, __ = experiment
+        assert len(result.observed_states) >= 2
+
+    def test_phases_match_theory(self, experiment):
+        result, __ = experiment
+        errors = result.state_spacing_errors()
+        assert errors.size > 0
+        # Finite-Q DF phase offset stays well under a state spacing
+        # (2 pi / 3 ~ 2.1 rad).
+        assert float(np.max(errors)) < 0.3
+
+    def test_amplitudes_match_lock(self, experiment):
+        result, lock = experiment
+        for seg in result.segments:
+            assert seg.amplitude == pytest.approx(lock.amplitude, rel=5e-3)
+
+    def test_state_labels_valid(self, experiment):
+        result, __ = experiment
+        for seg in result.segments:
+            assert 0 <= seg.state_index < 3
+
+    def test_phase_trace_available(self, experiment):
+        result, __ = experiment
+        assert result.waveform_t.size == result.waveform_phase.size
+        assert result.waveform_t.size > 100
+
+    def test_rejects_wrong_state_count(self, setup):
+        tanh, tank = setup
+        with pytest.raises(ValueError, match="3"):
+            run_states_experiment(
+                tanh,
+                tank,
+                v_i=0.03,
+                w_injection=3 * tank.center_frequency,
+                n=3,
+                theoretical_states=np.array([0.0, 1.0]),
+            )

@@ -1,0 +1,88 @@
+"""Tests for the Waveform container."""
+
+import numpy as np
+import pytest
+
+from repro.measure import Waveform
+
+
+def _sine(freq=1e3, duration=0.01, fs=1e6, phase=0.0):
+    t = np.arange(0.0, duration, 1.0 / fs)
+    return Waveform(t, np.cos(2 * np.pi * freq * t + phase))
+
+
+class TestConstruction:
+    def test_basic(self):
+        wf = _sine()
+        assert wf.dt == pytest.approx(1e-6)
+        assert wf.duration == pytest.approx(0.01, rel=1e-3)
+        assert len(wf) == 10000
+
+    def test_rejects_nonuniform(self):
+        t = np.array([0.0, 1.0, 2.5, 3.0])
+        with pytest.raises(ValueError, match="uniform"):
+            Waveform(t, np.zeros(4))
+
+    def test_rejects_decreasing(self):
+        t = np.array([0.0, 2.0, 1.0, 3.0])
+        with pytest.raises(ValueError, match="increasing"):
+            Waveform(t, np.zeros(4))
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            Waveform(np.arange(5.0), np.zeros(4))
+
+    def test_rejects_nan(self):
+        t = np.arange(5.0)
+        x = np.array([0.0, 1.0, np.nan, 0.0, 1.0])
+        with pytest.raises(ValueError):
+            Waveform(t, x)
+
+    def test_rejects_too_short(self):
+        with pytest.raises(ValueError):
+            Waveform(np.arange(3.0), np.zeros(3))
+
+
+class TestSlicing:
+    def test_slice_time(self):
+        wf = _sine()
+        part = wf.slice_time(0.002, 0.004)
+        assert part.t[0] >= 0.002
+        assert part.t[-1] <= 0.004
+
+    def test_last_cycles(self):
+        wf = _sine(freq=1e3)
+        w0 = 2 * np.pi * 1e3
+        tail = wf.last_cycles(3.0, w0)
+        assert tail.duration == pytest.approx(3e-3, rel=1e-2)
+
+    def test_slice_too_narrow_rejected(self):
+        wf = _sine()
+        with pytest.raises(ValueError):
+            wf.slice_time(0.0050000, 0.0050001)
+
+
+class TestZeroCrossings:
+    def test_rising_count(self):
+        wf = _sine(freq=1e3, duration=0.01)
+        crossings = wf.zero_crossings(rising=True)
+        assert crossings.size == pytest.approx(10, abs=1)
+
+    def test_falling_differs_from_rising(self):
+        wf = _sine(freq=1e3)
+        rising = wf.zero_crossings(rising=True)
+        falling = wf.zero_crossings(rising=False)
+        assert not np.allclose(rising[: falling.size], falling[: rising.size])
+
+    def test_frequency_from_crossings(self):
+        wf = _sine(freq=1e3)
+        assert wf.frequency_from_crossings() == pytest.approx(
+            2 * np.pi * 1e3, rel=1e-6
+        )
+
+    def test_no_crossings_for_dc(self):
+        t = np.arange(0.0, 1.0, 0.01)
+        wf = Waveform(t, np.ones_like(t))
+        assert wf.zero_crossings().size == 0
+        with pytest.raises(ValueError):
+            wf.frequency_from_crossings()

@@ -1,0 +1,39 @@
+"""Tests for waveform CSV interop."""
+
+import numpy as np
+import pytest
+
+from repro.measure import Waveform
+
+
+class TestCsvRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        t = np.linspace(0.0, 1e-3, 1000)
+        wf = Waveform(t, np.sin(2 * np.pi * 5e3 * t))
+        path = tmp_path / "wave.csv"
+        wf.to_csv(path)
+        back = Waveform.from_csv(path)
+        assert np.allclose(back.t, wf.t)
+        assert np.allclose(back.x, wf.x)
+
+    def test_header_written(self, tmp_path):
+        t = np.linspace(0.0, 1.0, 10)
+        Waveform(t, t).to_csv(tmp_path / "w.csv")
+        first = (tmp_path / "w.csv").read_text().splitlines()[0]
+        assert first == "t,x"
+
+    def test_from_csv_validates_columns(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("t\n1\n2\n3\n4\n")
+        with pytest.raises(ValueError):
+            Waveform.from_csv(path)
+
+    def test_loaded_waveform_measurable(self, tmp_path):
+        from repro.measure import measure_steady_state
+
+        t = np.arange(0.0, 50e-5, 1.0 / 64e5)
+        wf = Waveform(t, 0.7 * np.cos(2 * np.pi * 1e5 * t))
+        path = tmp_path / "tone.csv"
+        wf.to_csv(path)
+        state = measure_steady_state(Waveform.from_csv(path))
+        assert state.amplitude == pytest.approx(0.7, rel=1e-4)

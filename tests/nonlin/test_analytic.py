@@ -1,0 +1,92 @@
+"""Tests for the analytic nonlinearity models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.nonlin import (
+    CubicNonlinearity,
+    NegativeTanh,
+    PiecewiseLinearNegativeResistance,
+)
+
+
+class TestNegativeTanh:
+    def test_odd_symmetry(self):
+        f = NegativeTanh(gm=2.5e-3, i_sat=1e-3)
+        v = np.linspace(-2, 2, 41)
+        assert np.allclose(f(v), -f(-v))
+
+    def test_saturation_level(self):
+        f = NegativeTanh(gm=2.5e-3, i_sat=1e-3)
+        assert float(f(np.asarray(100.0))) == pytest.approx(-1e-3, rel=1e-9)
+
+    def test_derivative_matches_numeric(self):
+        f = NegativeTanh(gm=2.5e-3, i_sat=1e-3)
+        v = np.linspace(-1, 1, 21)
+        h = 1e-7
+        numeric = (f(v + h) - f(v - h)) / (2 * h)
+        assert np.allclose(f.derivative(v), numeric, rtol=1e-6)
+
+    def test_rejects_nonpositive_parameters(self):
+        with pytest.raises(ValueError):
+            NegativeTanh(gm=0.0)
+        with pytest.raises(ValueError):
+            NegativeTanh(i_sat=-1.0)
+
+
+class TestCubic:
+    def test_shape(self):
+        f = CubicNonlinearity(a=1e-3, b=1e-3)
+        assert float(f(np.asarray(0.0))) == 0.0
+        # Negative slope at origin, positive restoring at large v.
+        assert float(f.derivative(np.asarray(0.0))) < 0.0
+        assert float(f(np.asarray(10.0))) > 0.0
+
+    def test_natural_amplitude_formula(self):
+        f = CubicNonlinearity(a=2.5e-3, b=1e-3)
+        a = f.natural_amplitude(1000.0)
+        # A = 2 sqrt((a - 1/R) / (3 b))
+        assert a == pytest.approx(2.0 * np.sqrt((2.5e-3 - 1e-3) / (3e-3)))
+
+    def test_natural_amplitude_requires_startup(self):
+        f = CubicNonlinearity(a=1e-3, b=1e-3)
+        with pytest.raises(ValueError, match="no oscillation"):
+            f.natural_amplitude(500.0)  # 1/R = 2e-3 > a
+
+    @given(st.floats(min_value=1.1e-3, max_value=1e-2))
+    def test_amplitude_grows_with_a(self, a):
+        f = CubicNonlinearity(a=a, b=1e-3)
+        f_weaker = CubicNonlinearity(a=1.05e-3, b=1e-3)
+        assert f.natural_amplitude(1000.0) >= f_weaker.natural_amplitude(1000.0)
+
+
+class TestPiecewiseLinear:
+    def test_linear_region(self):
+        f = PiecewiseLinearNegativeResistance(g=1e-3, v_knee=0.1)
+        assert float(f(np.asarray(0.05))) == pytest.approx(-5e-5)
+
+    def test_saturated_region(self):
+        f = PiecewiseLinearNegativeResistance(g=1e-3, v_knee=0.1)
+        assert float(f(np.asarray(5.0))) == pytest.approx(-1e-4)
+
+    def test_derivative_zero_outside_knee(self):
+        f = PiecewiseLinearNegativeResistance(g=1e-3, v_knee=0.1)
+        assert float(f.derivative(np.asarray(0.2))) == 0.0
+        assert float(f.derivative(np.asarray(0.05))) == pytest.approx(-1e-3)
+
+    def test_fundamental_gain_inside_linear_region(self):
+        f = PiecewiseLinearNegativeResistance(g=1e-3, v_knee=0.1)
+        assert f.fundamental_gain(0.05) == pytest.approx(1e-3)
+
+    def test_fundamental_gain_classic_formula(self):
+        f = PiecewiseLinearNegativeResistance(g=1e-3, v_knee=0.1)
+        amplitude = 0.5
+        k = 0.1 / amplitude
+        expected = 1e-3 * (2 / np.pi) * (np.arcsin(k) + k * np.sqrt(1 - k * k))
+        assert f.fundamental_gain(amplitude) == pytest.approx(expected)
+
+    def test_fundamental_gain_decreases_with_amplitude(self):
+        f = PiecewiseLinearNegativeResistance(g=1e-3, v_knee=0.1)
+        gains = [f.fundamental_gain(a) for a in (0.1, 0.2, 0.5, 1.0, 2.0)]
+        assert all(g1 >= g2 for g1, g2 in zip(gains, gains[1:]))

@@ -1,0 +1,77 @@
+"""Tests for the Nonlinearity interface and wrappers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.nonlin import FunctionNonlinearity, NegativeTanh
+
+
+class TestFunctionNonlinearity:
+    def test_wraps_callable(self):
+        f = FunctionNonlinearity(lambda v: -2.0 * v, name="lin")
+        assert f(np.asarray(1.5)) == pytest.approx(-3.0)
+        assert f.name == "lin"
+
+    def test_rejects_non_callable(self):
+        with pytest.raises(TypeError):
+            FunctionNonlinearity(42)
+
+    def test_rejects_non_callable_derivative(self):
+        with pytest.raises(TypeError):
+            FunctionNonlinearity(lambda v: v, dfunc=1.0)
+
+    def test_numeric_derivative_matches_analytic(self):
+        f = FunctionNonlinearity(lambda v: np.sin(v))
+        v = np.linspace(-2.0, 2.0, 17)
+        assert np.allclose(f.derivative(v), np.cos(v), atol=1e-8)
+
+    def test_explicit_derivative_used(self):
+        f = FunctionNonlinearity(lambda v: v**2, dfunc=lambda v: np.full_like(v, 7.0))
+        assert float(f.derivative(np.asarray(1.0))) == 7.0
+
+    def test_vectorised(self):
+        f = FunctionNonlinearity(lambda v: -v)
+        out = f(np.ones((3, 4)))
+        assert out.shape == (3, 4)
+
+
+class TestNegativeResistanceChecks:
+    def test_tanh_is_negative_resistance_at_origin(self):
+        assert NegativeTanh().is_negative_resistance()
+
+    def test_tanh_not_negative_resistance_in_saturation(self):
+        f = NegativeTanh(gm=1e-3, i_sat=1e-3)
+        # Deep in saturation the slope approaches zero from below; it is
+        # still (weakly) negative but tiny.
+        assert abs(f.small_signal_conductance(100.0)) < 1e-6
+
+    def test_small_signal_conductance_value(self):
+        f = NegativeTanh(gm=2.5e-3, i_sat=1e-3)
+        assert f.small_signal_conductance(0.0) == pytest.approx(-2.5e-3)
+
+
+class TestShifted:
+    def test_shift_passes_through_origin(self):
+        f = NegativeTanh(gm=1e-3, i_sat=1e-3)
+        g = f.shifted(0.3)
+        assert float(g(np.asarray(0.0))) == pytest.approx(0.0, abs=1e-18)
+
+    def test_shift_preserves_slope(self):
+        f = NegativeTanh(gm=1e-3, i_sat=1e-3)
+        g = f.shifted(0.3)
+        assert float(g.derivative(np.asarray(0.0))) == pytest.approx(
+            float(f.derivative(np.asarray(0.3)))
+        )
+
+    def test_explicit_i_bias(self):
+        f = NegativeTanh(gm=1e-3, i_sat=1e-3)
+        g = f.shifted(0.0, i_bias=1e-4)
+        assert float(g(np.asarray(0.0))) == pytest.approx(-1e-4)
+
+    @given(st.floats(min_value=-0.5, max_value=0.5))
+    def test_shift_is_translation(self, v):
+        f = NegativeTanh(gm=1e-3, i_sat=1e-3)
+        g = f.shifted(0.2)
+        expected = float(f(np.asarray(v + 0.2))) - float(f(np.asarray(0.2)))
+        assert float(g(np.asarray(v))) == pytest.approx(expected, abs=1e-15)

@@ -1,0 +1,62 @@
+"""Tests for the cross-coupled diff-pair analytic law."""
+
+import numpy as np
+import pytest
+
+from repro.nonlin import CrossCoupledDiffPair
+
+
+class TestCrossCoupledDiffPair:
+    def test_odd_symmetry(self):
+        f = CrossCoupledDiffPair(i_ee=5e-4)
+        v = np.linspace(-0.5, 0.5, 41)
+        assert np.allclose(f(v), -f(-v))
+
+    def test_saturation_is_half_tail_current(self):
+        f = CrossCoupledDiffPair(i_ee=5e-4, alpha=1.0)
+        assert float(f(np.asarray(10.0))) == pytest.approx(-2.5e-4, rel=1e-9)
+        assert f.saturation_current() == pytest.approx(2.5e-4)
+
+    def test_startup_gm_is_quarter(self):
+        # The cross-coupled pair's small-signal conductance is -gm/2 with
+        # gm = (I_EE/2)/V_T, i.e. -I_EE/(4 V_T).
+        f = CrossCoupledDiffPair(i_ee=5e-4, v_t=0.025)
+        assert f.startup_gm() == pytest.approx(5e-4 / (4 * 0.025))
+        assert float(f.derivative(np.asarray(0.0))) == pytest.approx(-f.startup_gm())
+
+    def test_min_tank_resistance(self):
+        f = CrossCoupledDiffPair(i_ee=5e-4, v_t=0.025)
+        assert f.min_tank_resistance() == pytest.approx(1.0 / f.startup_gm())
+
+    def test_alpha_scales_everything(self):
+        ideal = CrossCoupledDiffPair(i_ee=5e-4, alpha=1.0)
+        lossy = CrossCoupledDiffPair(i_ee=5e-4, alpha=0.99)
+        v = np.linspace(-0.3, 0.3, 11)
+        assert np.allclose(lossy(v), 0.99 * ideal(v))
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            CrossCoupledDiffPair(alpha=1.5)
+        with pytest.raises(ValueError):
+            CrossCoupledDiffPair(alpha=0.0)
+
+    def test_matches_spice_extraction_in_tanh_region(self):
+        # Cross-check the closed form against the MNA simulator's DC sweep
+        # (moderate |v| where base-collector junctions stay off).
+        from repro.nonlin import extract_iv_curve
+        from repro.spice import Circuit
+
+        i_ee = 2e-4
+        ckt = Circuit("dp-cell")
+        ckt.add_voltage_source("VCM", "ncr", "0", 5.0)
+        ckt.add_voltage_source("VX", "ncl", "ncr", 0.0)
+        ckt.add_bjt("Q1", "ncl", "ncr", "e")
+        ckt.add_bjt("Q2", "ncr", "ncl", "e")
+        ckt.add_current_source("IEE", "e", "0", i_ee)
+        table = extract_iv_curve(ckt, "VX", -0.3, 0.3, 61)
+        recentred = table.shifted(0.0)
+        analytic = CrossCoupledDiffPair(i_ee=i_ee)
+        v = np.linspace(-0.25, 0.25, 11)
+        extracted = np.array([float(recentred(np.asarray(x))) for x in v])
+        # Finite beta contributes ~1% corrections.
+        assert np.allclose(extracted, analytic(v), atol=0.02 * i_ee)

@@ -1,0 +1,90 @@
+"""Tests for the appendix VI-C tunnel diode model."""
+
+import numpy as np
+import pytest
+
+from repro.nonlin import BiasedTunnelDiode, TunnelDiode
+
+
+class TestTunnelDiode:
+    def test_components_sum(self):
+        d = TunnelDiode()
+        v = np.linspace(0.0, 0.6, 31)
+        assert np.allclose(d(v), d.tunnel_current(v) + d.diode_current(v))
+
+    def test_paper_defaults(self):
+        d = TunnelDiode()
+        assert d.i_s == 1e-12
+        assert d.eta == 1.0
+        assert d.v_th == 0.025
+        assert d.m == 2.0
+        assert d.v0 == 0.2
+        assert d.r0 == 1000.0
+
+    def test_ohmic_region_slope(self):
+        # Near v = 0 the tunnel branch behaves like 1/R0.
+        d = TunnelDiode()
+        assert float(d.derivative(np.asarray(0.0))) == pytest.approx(
+            1.0 / 1000.0, rel=1e-6
+        )
+
+    def test_peak_voltage_formula(self):
+        # For m = 2 the pure tunnel-branch peak is V0/sqrt(2); the junction
+        # current shifts it negligibly.
+        d = TunnelDiode()
+        assert d.peak_voltage() == pytest.approx(0.2 / np.sqrt(2.0), rel=1e-3)
+
+    def test_valley_exists_past_peak(self):
+        d = TunnelDiode()
+        assert d.valley_voltage() > d.peak_voltage()
+
+    def test_ndr_between_peak_and_valley(self):
+        d = TunnelDiode()
+        v_mid = d.ndr_center()
+        assert float(d.derivative(np.asarray(v_mid))) < 0.0
+
+    def test_positive_resistance_outside_ndr(self):
+        d = TunnelDiode()
+        assert float(d.derivative(np.asarray(0.05))) > 0.0
+        assert float(d.derivative(np.asarray(0.55))) > 0.0
+
+    def test_derivative_matches_numeric(self):
+        d = TunnelDiode()
+        v = np.linspace(0.01, 0.55, 25)
+        h = 1e-8
+        numeric = (d(v + h) - d(v - h)) / (2 * h)
+        assert np.allclose(d.derivative(v), numeric, rtol=1e-5)
+
+    def test_no_overflow_at_extreme_voltages(self):
+        d = TunnelDiode()
+        out = d(np.asarray([-100.0, 100.0]))
+        assert np.all(np.isfinite(out))
+
+    def test_paper_bias_point_is_ndr(self):
+        # Fig. 16: "the tunnel diode acts as a negative resistance for
+        # operating points near 0.25 V".
+        d = TunnelDiode()
+        assert float(d.derivative(np.asarray(0.25))) < 0.0
+
+
+class TestBiasedTunnelDiode:
+    def test_passes_through_origin(self):
+        b = BiasedTunnelDiode(v_bias=0.25)
+        assert float(b(np.asarray(0.0))) == pytest.approx(0.0, abs=1e-18)
+
+    def test_is_shifted_copy(self):
+        d = TunnelDiode()
+        b = BiasedTunnelDiode(diode=d, v_bias=0.25)
+        v = np.linspace(-0.2, 0.2, 21)
+        assert np.allclose(b(v), d(v + 0.25) - d(np.asarray(0.25)))
+
+    def test_negative_resistance_at_origin(self):
+        b = BiasedTunnelDiode(v_bias=0.25)
+        assert b.is_negative_resistance()
+
+    def test_derivative_consistent(self):
+        b = BiasedTunnelDiode(v_bias=0.25)
+        d = TunnelDiode()
+        assert float(b.derivative(np.asarray(0.1))) == pytest.approx(
+            float(d.derivative(np.asarray(0.35)))
+        )

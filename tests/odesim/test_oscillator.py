@@ -1,0 +1,157 @@
+"""Tests for the batched oscillator transient engine."""
+
+import numpy as np
+import pytest
+
+from repro.measure import Waveform, measure_steady_state
+from repro.nonlin import NegativeTanh
+from repro.odesim import InjectionSpec, PulseSpec, simulate_oscillator
+from repro.tank import GeneralTank, ParallelRLC
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return (
+        NegativeTanh(gm=2.5e-3, i_sat=1e-3),
+        ParallelRLC(r=1000.0, l=100e-6, c=10e-9),
+    )
+
+
+class TestFreeRunning:
+    def test_startup_growth_and_settling(self, setup):
+        tanh, tank = setup
+        period = 2 * np.pi / tank.center_frequency
+        result = simulate_oscillator(tanh, tank, t_end=300 * period)
+        v = result.v[:, 0]
+        # Grows from the mV seed to volt-scale swing.  The envelope time
+        # constant is only ~2 cycles here, so look at the first few
+        # cycles for "still small" and the tail for "settled large".
+        assert np.max(np.abs(v[: len(v) // 100])) < 0.5
+        assert np.max(np.abs(v[-len(v) // 10 :])) > 1.0
+
+    def test_amplitude_matches_describing_function(self, setup):
+        from repro.core import predict_natural_oscillation
+
+        tanh, tank = setup
+        period = 2 * np.pi / tank.center_frequency
+        result = simulate_oscillator(
+            tanh, tank, t_end=350 * period, record_start=300 * period
+        )
+        state = measure_steady_state(Waveform(result.t, result.v[:, 0]))
+        natural = predict_natural_oscillation(tanh, tank)
+        assert state.amplitude == pytest.approx(natural.amplitude, rel=5e-4)
+
+    def test_no_oscillation_below_startup(self, setup):
+        __, tank = setup
+        weak = NegativeTanh(gm=0.5e-3, i_sat=1e-3)
+        period = 2 * np.pi / tank.center_frequency
+        result = simulate_oscillator(weak, tank, t_end=150 * period, v0=0.1)
+        assert abs(result.v[-1, 0]) < 1e-3
+
+    def test_energy_decay_rate_without_device(self, setup):
+        # Pure RLC decay: envelope time constant is 2RC.
+        __, tank = setup
+        from repro.nonlin import FunctionNonlinearity
+
+        dead = FunctionNonlinearity(lambda v: np.zeros_like(v), name="open")
+        period = 2 * np.pi / tank.center_frequency
+        result = simulate_oscillator(
+            dead, tank, t_end=40 * period, v0=1.0, steps_per_cycle=128
+        )
+        from repro.measure import quadrature_demodulate
+
+        demod = quadrature_demodulate(
+            Waveform(result.t, result.v[:, 0]), tank.center_frequency
+        )
+        tau = 2.0 * tank.r * tank.c
+        fit = np.polyfit(demod.t, np.log(demod.amplitude), 1)[0]
+        assert fit == pytest.approx(-1.0 / tau, rel=2e-3)
+
+
+class TestInjection:
+    def test_batch_shapes(self, setup):
+        tanh, tank = setup
+        period = 2 * np.pi / tank.center_frequency
+        w = 3 * tank.center_frequency * np.array([0.999, 1.0, 1.001])
+        result = simulate_oscillator(
+            tanh,
+            tank,
+            t_end=50 * period,
+            injection=InjectionSpec(v_i=0.03, w=w),
+        )
+        assert result.batch_size == 3
+        assert result.v.shape[1] == 3
+        assert np.all(result.w_injection == w)
+
+    def test_member_extraction(self, setup):
+        tanh, tank = setup
+        period = 2 * np.pi / tank.center_frequency
+        w = 3 * tank.center_frequency * np.array([1.0, 1.001])
+        result = simulate_oscillator(
+            tanh, tank, t_end=20 * period, injection=InjectionSpec(v_i=0.03, w=w)
+        )
+        member = result.member(1)
+        assert member.batch_size == 1
+        assert np.allclose(member.v[:, 0], result.v[:, 1])
+
+    def test_tail_slicing(self, setup):
+        tanh, tank = setup
+        period = 2 * np.pi / tank.center_frequency
+        result = simulate_oscillator(tanh, tank, t_end=50 * period)
+        tail = result.tail(25 * period)
+        assert tail.t[0] >= 25 * period
+        assert tail.t.size < result.t.size
+
+    def test_injection_spec_amplitude_convention(self):
+        spec = InjectionSpec(v_i=0.03, w=np.array([1.0]))
+        assert spec.amplitude() == pytest.approx(0.06)
+        assert spec.voltage(0.0, np.array([1.0]))[0] == pytest.approx(0.06)
+
+
+class TestPulse:
+    def test_pulse_value_window(self):
+        p = PulseSpec(t_start=1.0, duration=0.5, current=1e-3)
+        assert p.value(0.9) == 0.0
+        assert p.value(1.2) == 1e-3
+        assert p.value(1.6) == 0.0
+
+    def test_pulse_perturbs_trajectory(self, setup):
+        tanh, tank = setup
+        period = 2 * np.pi / tank.center_frequency
+        base = simulate_oscillator(tanh, tank, t_end=60 * period, v0=0.5)
+        kicked = simulate_oscillator(
+            tanh,
+            tank,
+            t_end=60 * period,
+            v0=0.5,
+            pulses=(PulseSpec(t_start=30 * period, duration=period, current=5e-3),),
+        )
+        before = np.allclose(
+            base.v[base.t < 29 * period], kicked.v[kicked.t < 29 * period]
+        )
+        after = np.allclose(
+            base.v[base.t > 35 * period], kicked.v[kicked.t > 35 * period], atol=1e-3
+        )
+        assert before and not after
+
+
+class TestValidation:
+    def test_rejects_general_tank(self, setup):
+        tanh, tank = setup
+        sampled = GeneralTank.from_tank(tank, span=0.4, n=500)
+        with pytest.raises(TypeError, match="ParallelRLC"):
+            simulate_oscillator(tanh, sampled, t_end=1e-3)
+
+    def test_rejects_coarse_stepping(self, setup):
+        tanh, tank = setup
+        with pytest.raises(ValueError, match="steps_per_cycle"):
+            simulate_oscillator(tanh, tank, t_end=1e-3, steps_per_cycle=8)
+
+    def test_uniform_time_axis(self, setup):
+        tanh, tank = setup
+        period = 2 * np.pi / tank.center_frequency
+        result = simulate_oscillator(
+            tanh, tank, t_end=20.3 * period, record_every=3
+        )
+        # Must be Waveform-compatible (uniform to 1 ppm).
+        Waveform(result.t, result.v[:, 0])

@@ -1,0 +1,83 @@
+"""Tests for the RK integrators against analytic ODE solutions."""
+
+import numpy as np
+import pytest
+
+from repro.odesim.rk import rk4_batched, rk45_adaptive
+
+
+class TestRk4Batched:
+    def test_exponential_decay(self):
+        t, y = rk4_batched(
+            lambda t, y: -y, np.ones((1, 1)), 0.0, 5.0, 0.01
+        )
+        assert y[-1, 0, 0] == pytest.approx(np.exp(-5.0), rel=1e-8)
+
+    def test_harmonic_oscillator_amplitude(self):
+        def rhs(t, y):
+            return np.stack([y[1], -y[0]])
+
+        t, y = rk4_batched(rhs, np.array([[1.0], [0.0]]), 0.0, 20 * np.pi, 0.01)
+        assert y[-1, 0, 0] == pytest.approx(1.0, abs=1e-6)
+        assert y[-1, 1, 0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_fourth_order_convergence(self):
+        def error(dt):
+            __, y = rk4_batched(lambda t, y: -y, np.ones((1, 1)), 0.0, 1.0, dt)
+            return abs(y[-1, 0, 0] - np.exp(-1.0))
+
+        # Halving dt must cut the error ~16x.
+        assert error(0.02) / error(0.01) == pytest.approx(16.0, rel=0.2)
+
+    def test_batch_members_independent(self):
+        y0 = np.array([[1.0, 2.0, 3.0]])
+        __, y = rk4_batched(lambda t, y: -y, y0, 0.0, 1.0, 0.001)
+        assert np.allclose(y[-1, 0], y0[0] * np.exp(-1.0), rtol=1e-9)
+
+    def test_record_every(self):
+        t, y = rk4_batched(
+            lambda t, y: -y, np.ones((1, 1)), 0.0, 1.0, 0.01, record_every=10
+        )
+        assert t.size <= 12
+
+    def test_record_start_trims(self):
+        t, __ = rk4_batched(
+            lambda t, y: -y, np.ones((1, 1)), 0.0, 1.0, 0.01, record_start=0.5
+        )
+        assert t[0] >= 0.5
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            rk4_batched(lambda t, y: -y, np.ones((1, 1)), 1.0, 0.5, 0.01)
+
+
+class TestRk45Adaptive:
+    def test_exponential_accuracy(self):
+        t, y = rk45_adaptive(lambda t, y: -y, np.array([1.0]), 0.0, 3.0, rtol=1e-10)
+        assert y[-1, 0] == pytest.approx(np.exp(-3.0), rel=1e-8)
+
+    def test_ends_exactly_at_t_end(self):
+        t, __ = rk45_adaptive(lambda t, y: -y, np.array([1.0]), 0.0, 2.0)
+        assert t[-1] == pytest.approx(2.0, abs=1e-12)
+
+    def test_stiffish_problem_adapts(self):
+        # y' = -100(y - sin t) + cos t has a fast transient then slow flow.
+        def rhs(t, y):
+            return -100.0 * (y - np.sin(t)) + np.cos(t)
+
+        t, y = rk45_adaptive(rhs, np.array([1.0]), 0.0, 2.0, rtol=1e-8)
+        assert y[-1, 0] == pytest.approx(np.sin(2.0), abs=1e-5)
+        steps = np.diff(t)
+        assert steps.max() / steps.min() > 5.0
+
+    def test_van_der_pol_limit_cycle(self):
+        def rhs(t, y):
+            return np.array([y[1], 1.0 * (1 - y[0] ** 2) * y[1] - y[0]])
+
+        __, y = rk45_adaptive(rhs, np.array([0.1, 0.0]), 0.0, 60.0, rtol=1e-8)
+        # Classic mu=1 limit cycle peak amplitude ~2.0.
+        assert np.max(np.abs(y[-500:, 0])) == pytest.approx(2.0, abs=0.05)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            rk45_adaptive(lambda t, y: -y, np.array([1.0]), 1.0, 1.0)

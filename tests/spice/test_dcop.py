@@ -1,0 +1,172 @@
+"""Tests for the DC operating point solver (textbook circuit oracles)."""
+
+import numpy as np
+import pytest
+
+from repro.nonlin import NegativeTanh
+from repro.spice import Circuit, dc_operating_point
+from repro.spice.solver import SingularCircuitError
+
+
+class TestLinearCircuits:
+    def test_voltage_divider(self):
+        ckt = Circuit("divider")
+        ckt.add_voltage_source("V1", "in", "0", 10.0)
+        ckt.add_resistor("R1", "in", "mid", 1e3)
+        ckt.add_resistor("R2", "mid", "0", 3e3)
+        op = dc_operating_point(ckt)
+        assert op.voltage("mid") == pytest.approx(7.5)
+        assert op.voltage("in") == pytest.approx(10.0)
+
+    def test_source_current_sign_convention(self):
+        # SPICE: a source delivering power reports negative current.
+        ckt = Circuit("loaded source")
+        ckt.add_voltage_source("V1", "a", "0", 5.0)
+        ckt.add_resistor("R1", "a", "0", 1e3)
+        op = dc_operating_point(ckt)
+        assert op.branch_current("V1") == pytest.approx(-5e-3)
+
+    def test_current_source_into_resistor(self):
+        ckt = Circuit("norton")
+        # 1 mA extracted from ground into node a: current flows 0 -> a.
+        ckt.add_current_source("I1", "0", "a", 1e-3)
+        ckt.add_resistor("R1", "a", "0", 2e3)
+        op = dc_operating_point(ckt)
+        assert op.voltage("a") == pytest.approx(2.0)
+
+    def test_inductor_is_dc_short(self):
+        ckt = Circuit("inductor short")
+        ckt.add_voltage_source("V1", "a", "0", 3.0)
+        ckt.add_inductor("L1", "a", "b", 1e-3)
+        ckt.add_resistor("R1", "b", "0", 1e3)
+        op = dc_operating_point(ckt)
+        assert op.voltage("b") == pytest.approx(3.0)
+        assert op.branch_current("L1") == pytest.approx(3e-3)
+
+    def test_capacitor_is_dc_open(self):
+        ckt = Circuit("capacitor open")
+        ckt.add_voltage_source("V1", "a", "0", 3.0)
+        ckt.add_resistor("R1", "a", "b", 1e3)
+        ckt.add_capacitor("C1", "b", "0", 1e-9)
+        ckt.add_resistor("R2", "b", "0", 1e6)
+        op = dc_operating_point(ckt)
+        # Nearly the full source voltage appears across the big resistor.
+        assert op.voltage("b") == pytest.approx(3.0 * 1e6 / (1e6 + 1e3), rel=1e-9)
+
+    def test_vccs(self):
+        ckt = Circuit("vccs")
+        ckt.add_voltage_source("V1", "c", "0", 2.0)
+        # i(a->0) = gm * v(c): pushes current out of node a.
+        ckt.add_vccs("G1", "a", "0", "c", "0", gm=1e-3)
+        ckt.add_resistor("R1", "a", "0", 1e3)
+        op = dc_operating_point(ckt)
+        assert op.voltage("a") == pytest.approx(-2.0)
+
+    def test_floating_node_raises(self):
+        ckt = Circuit("floating")
+        ckt.add_voltage_source("V1", "a", "0", 1.0)
+        ckt.add_capacitor("C1", "a", "b", 1e-9)
+        ckt.add_capacitor("C2", "b", "0", 1e-9)
+        with pytest.raises(SingularCircuitError):
+            dc_operating_point(ckt)
+
+    def test_empty_circuit_rejected(self):
+        with pytest.raises(ValueError):
+            dc_operating_point(Circuit("empty"))
+
+
+class TestNonlinearCircuits:
+    def test_diode_forward_drop(self):
+        ckt = Circuit("diode drop")
+        ckt.add_voltage_source("V1", "a", "0", 5.0)
+        ckt.add_resistor("R1", "a", "d", 1e3)
+        ckt.add_diode("D1", "d", "0", i_s=1e-12, v_t=0.025)
+        op = dc_operating_point(ckt)
+        v_d = op.voltage("d")
+        # ~0.5-0.7 V drop, and KCL holds exactly.
+        assert 0.4 < v_d < 0.8
+        i_r = (5.0 - v_d) / 1e3
+        i_d = 1e-12 * (np.exp(v_d / 0.025) - 1.0)
+        assert i_r == pytest.approx(i_d, rel=1e-6)
+
+    def test_diode_reverse_blocks(self):
+        ckt = Circuit("reverse diode")
+        ckt.add_voltage_source("V1", "a", "0", -5.0)
+        ckt.add_resistor("R1", "a", "d", 1e3)
+        ckt.add_diode("D1", "d", "0")
+        op = dc_operating_point(ckt)
+        assert op.voltage("d") == pytest.approx(-5.0, abs=1e-6)
+
+    def test_bjt_forward_active(self):
+        # Classic bias: base from a divider-free direct source.  0.55 V
+        # demands Ic ~ 3.6 mA, which the 1 kOhm collector resistor can
+        # supply with the device still forward-active.
+        ckt = Circuit("bjt bias")
+        ckt.add_voltage_source("VCC", "vcc", "0", 10.0)
+        ckt.add_voltage_source("VB", "b", "0", 0.55)
+        ckt.add_resistor("RC", "vcc", "c", 1e3)
+        ckt.add_bjt("Q1", "c", "b", "0", i_s=1e-12, beta_f=100.0)
+        op = dc_operating_point(ckt)
+        i_c_expected = 1e-12 * np.exp(0.55 / 0.025)
+        assert op.voltage("c") > op.voltage("b")  # forward active
+        assert (10.0 - op.voltage("c")) / 1e3 == pytest.approx(i_c_expected, rel=0.02)
+
+    def test_bjt_saturates_against_collector_resistor(self):
+        # An overdriven base cannot demand more than the resistor supplies:
+        # the device saturates and the collector collapses near ground.
+        ckt = Circuit("bjt saturated")
+        ckt.add_voltage_source("VCC", "vcc", "0", 10.0)
+        ckt.add_voltage_source("VB", "b", "0", 0.65)
+        ckt.add_resistor("RC", "vcc", "c", 1e3)
+        ckt.add_bjt("Q1", "c", "b", "0", i_s=1e-12, beta_f=100.0)
+        op = dc_operating_point(ckt)
+        assert op.voltage("c") < 0.2
+        assert (10.0 - op.voltage("c")) / 1e3 == pytest.approx(0.01, rel=0.05)
+
+    def test_diffpair_splits_tail_current(self):
+        ckt = Circuit("balanced pair")
+        ckt.add_voltage_source("VCC", "vcc", "0", 5.0)
+        ckt.add_resistor("RC1", "vcc", "c1", 1e3)
+        ckt.add_resistor("RC2", "vcc", "c2", 1e3)
+        ckt.add_voltage_source("VB1", "b1", "0", 0.0)
+        ckt.add_voltage_source("VB2", "b2", "0", 0.0)
+        ckt.add_bjt("Q1", "c1", "b1", "e")
+        ckt.add_bjt("Q2", "c2", "b2", "e")
+        ckt.add_current_source("IEE", "e", "0", 2e-4)
+        op = dc_operating_point(ckt)
+        # Balanced inputs: equal collector voltages, half tail each.
+        assert op.voltage("c1") == pytest.approx(op.voltage("c2"), abs=1e-9)
+        i_c1 = (5.0 - op.voltage("c1")) / 1e3
+        assert i_c1 == pytest.approx(1e-4, rel=0.03)
+
+    def test_tunnel_diode_bias_in_ndr(self):
+        from repro.nonlin import TunnelDiode
+
+        ckt = Circuit("tunnel bias")
+        ckt.add_voltage_source("VB", "a", "0", 0.25)
+        ckt.add_tunnel_diode("TD1", "a", "0")
+        op = dc_operating_point(ckt)
+        model = TunnelDiode()
+        assert -op.branch_current("VB") == pytest.approx(
+            float(model(np.asarray(0.25))), rel=1e-9
+        )
+
+    def test_behavioral_source(self):
+        law = NegativeTanh(gm=1e-3, i_sat=1e-3)
+        ckt = Circuit("behavioral")
+        ckt.add_voltage_source("V1", "a", "0", 0.5)
+        ckt.add_behavioral("B1", "a", "0", law)
+        op = dc_operating_point(ckt)
+        assert -op.branch_current("V1") == pytest.approx(
+            float(law(np.asarray(0.5))), rel=1e-9
+        )
+
+    def test_warm_start_accepted(self):
+        ckt = Circuit("warm")
+        ckt.add_voltage_source("V1", "a", "0", 1.0)
+        ckt.add_resistor("R1", "a", "0", 1e3)
+        system = ckt.build()
+        cold = dc_operating_point(system)
+        warm = dc_operating_point(system, x0=cold.x)
+        assert warm.iterations <= cold.iterations
+        assert np.allclose(warm.x, cold.x)

@@ -1,0 +1,166 @@
+"""Tests for element stamps and device models in isolation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.spice.circuit import Circuit
+from repro.spice.elements.bjt import Bjt
+from repro.spice.elements.diode import Diode, limited_exponential
+from repro.spice.elements.sources import dc, pulse, sine
+
+
+class TestLimitedExponential:
+    def test_matches_exp_below_limit(self):
+        v_t = 0.025
+        for v in (0.0, 0.3, 0.9):
+            value, deriv = limited_exponential(v, v_t)
+            assert value == pytest.approx(np.exp(v / v_t))
+            assert deriv == pytest.approx(np.exp(v / v_t) / v_t)
+
+    def test_linear_above_limit(self):
+        v_t = 0.025
+        v_lim = 40 * v_t
+        v = v_lim + 0.5
+        value, deriv = limited_exponential(v, v_t)
+        assert deriv == pytest.approx(np.exp(40.0) / v_t)
+        assert value == pytest.approx(np.exp(40.0) + deriv * 0.5)
+
+    def test_c1_continuity_at_limit(self):
+        v_t = 0.025
+        v_lim = 40 * v_t
+        below = limited_exponential(v_lim - 1e-9, v_t)
+        above = limited_exponential(v_lim + 1e-9, v_t)
+        assert below[0] == pytest.approx(above[0], rel=1e-6)
+        assert below[1] == pytest.approx(above[1], rel=1e-6)
+
+    def test_finite_at_huge_voltage(self):
+        value, deriv = limited_exponential(100.0, 0.025)
+        assert np.isfinite(value) and np.isfinite(deriv)
+
+
+class TestDiodeModel:
+    def test_current_and_conductance(self):
+        d = Diode("D1", "a", "0", i_s=1e-12, v_t=0.025)
+        i, g = d.current(0.6)
+        assert i == pytest.approx(1e-12 * (np.exp(24.0) - 1.0))
+        assert g == pytest.approx(1e-12 * np.exp(24.0) / 0.025)
+
+    @given(st.floats(min_value=-1.0, max_value=0.9))
+    def test_conductance_is_derivative(self, v):
+        d = Diode("D1", "a", "0")
+        h = 1e-7
+        i_p, _ = d.current(v + h)
+        i_m, _ = d.current(v - h)
+        _, g = d.current(v)
+        assert g == pytest.approx((i_p - i_m) / (2 * h), rel=1e-4, abs=1e-18)
+
+
+class TestBjtModel:
+    def test_kcl_current_conservation(self):
+        q = Bjt("Q1", "c", "b", "e")
+        i_c, i_b, _ = q.currents(0.65, -2.0)
+        i_e = -(i_c + i_b)
+        assert i_c + i_b + i_e == pytest.approx(0.0, abs=1e-20)
+
+    def test_forward_active_gain(self):
+        q = Bjt("Q1", "c", "b", "e", beta_f=100.0)
+        i_c, i_b, _ = q.currents(0.65, -2.0)
+        assert i_c / i_b == pytest.approx(100.0, rel=1e-9)
+
+    def test_pnp_polarity(self):
+        npn = Bjt("Q1", "c", "b", "e", polarity="npn")
+        pnp = Bjt("Q2", "c", "b", "e", polarity="pnp")
+        i_c_n, i_b_n, _ = npn.currents(0.65, -2.0)
+        i_c_p, i_b_p, _ = pnp.currents(-0.65, 2.0)
+        assert i_c_p == pytest.approx(-i_c_n)
+        assert i_b_p == pytest.approx(-i_b_n)
+
+    def test_rejects_bad_polarity(self):
+        with pytest.raises(ValueError):
+            Bjt("Q1", "c", "b", "e", polarity="mosfet")
+
+    @settings(max_examples=30)
+    @given(
+        st.floats(min_value=-0.8, max_value=0.75),
+        st.floats(min_value=-0.8, max_value=0.75),
+    )
+    def test_jacobian_matches_finite_difference(self, v_be, v_bc):
+        q = Bjt("Q1", "c", "b", "e")
+        h = 1e-8
+        i_c, i_b, (dc_be, dc_bc, db_be, db_bc) = q.currents(v_be, v_bc)
+        # Forward differences of exponential-scale currents suffer
+        # cancellation: the noise floor is ~a few hundred ULPs of the
+        # larger current divided by h.
+        noise = 1e4 * np.finfo(float).eps * max(abs(i_c), abs(i_b), 1e-12) / h
+        i_c_p, i_b_p, _ = q.currents(v_be + h, v_bc)
+        assert dc_be == pytest.approx((i_c_p - i_c) / h, rel=1e-4, abs=noise)
+        assert db_be == pytest.approx((i_b_p - i_b) / h, rel=1e-4, abs=noise)
+        i_c_q, i_b_q, _ = q.currents(v_be, v_bc + h)
+        assert dc_bc == pytest.approx((i_c_q - i_c) / h, rel=1e-4, abs=noise)
+        assert db_bc == pytest.approx((i_b_q - i_b) / h, rel=1e-4, abs=noise)
+
+
+class TestWaveforms:
+    def test_dc(self):
+        assert dc(3.0)(123.0) == 3.0
+
+    def test_sine_phase_and_delay(self):
+        w = sine(1.0, 2.0, 1e3, delay=1e-3)
+        assert w(0.5e-3) == pytest.approx(1.0)  # held before delay
+        assert w(1e-3 + 0.25e-3) == pytest.approx(3.0)
+
+    def test_pulse_shape(self):
+        w = pulse(0.0, 1.0, delay=1e-6, rise=1e-7, fall=1e-7, width=1e-6)
+        assert w(0.0) == 0.0
+        assert w(1.05e-6) == pytest.approx(0.5)
+        assert w(1.5e-6) == 1.0
+        assert w(2.15e-6) == pytest.approx(0.5)
+        assert w(3e-6) == 0.0
+
+    def test_periodic_pulse(self):
+        w = pulse(0.0, 1.0, width=1e-6, period=4e-6)
+        assert w(0.5e-6) == 1.0
+        assert w(2e-6) == 0.0
+        assert w(4.5e-6) == 1.0
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            pulse(0.0, 1.0, width=0.0)
+
+
+class TestCircuitBuilder:
+    def test_duplicate_names_rejected(self):
+        ckt = Circuit("dup")
+        ckt.add_resistor("R1", "a", "0", 1.0)
+        with pytest.raises(ValueError, match="duplicate"):
+            ckt.add_resistor("R1", "b", "0", 1.0)
+
+    def test_node_names_order(self):
+        ckt = Circuit("order")
+        ckt.add_resistor("R1", "x", "y", 1.0)
+        ckt.add_resistor("R2", "y", "0", 1.0)
+        assert ckt.node_names() == ["x", "y"]
+
+    def test_ground_aliases(self):
+        ckt = Circuit("gnd")
+        ckt.add_resistor("R1", "a", "gnd", 1.0)
+        ckt.add_resistor("R2", "a", "GND", 1.0)
+        ckt.add_voltage_source("V1", "a", "0", 1.0)
+        system = ckt.build()
+        assert system.n_nodes == 1
+
+    def test_unknown_element_lookup(self):
+        ckt = Circuit("missing")
+        with pytest.raises(KeyError):
+            ckt.element("R99")
+
+    def test_branch_indices_after_nodes(self):
+        ckt = Circuit("branches")
+        ckt.add_voltage_source("V1", "a", "0", 1.0)
+        ckt.add_inductor("L1", "a", "b", 1e-3)
+        ckt.add_resistor("R1", "b", "0", 1.0)
+        system = ckt.build()
+        assert system.size == 2 + 2  # two nodes + two branch currents
+        assert system.branch_index["V1"] >= system.n_nodes
+        assert system.branch_index["L1"] >= system.n_nodes

@@ -1,0 +1,140 @@
+"""Tests for the level-1 MOSFET and the NMOS cross-coupled oscillator flow."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.spice import Circuit, dc_operating_point, parse_netlist
+from repro.spice.elements.mosfet import Mosfet
+
+
+class TestDrainCurrent:
+    def test_cutoff(self):
+        m = Mosfet("M1", "d", "g", "s", k=2e-4, v_th=0.5)
+        assert m.drain_current(0.3, 1.0) == (0.0, 0.0, 0.0)
+
+    def test_saturation_value(self):
+        m = Mosfet("M1", "d", "g", "s", k=2e-4, v_th=0.5)
+        i_d, gm, gds = m.drain_current(1.0, 2.0)
+        assert i_d == pytest.approx(0.5 * 2e-4 * 0.25)
+        assert gm == pytest.approx(2e-4 * 0.5)
+        assert gds == 0.0
+
+    def test_triode_value(self):
+        m = Mosfet("M1", "d", "g", "s", k=2e-4, v_th=0.5)
+        i_d, gm, gds = m.drain_current(1.5, 0.2)
+        assert i_d == pytest.approx(2e-4 * (1.0 * 0.2 - 0.02))
+        assert gds == pytest.approx(2e-4 * (1.0 - 0.2))
+
+    def test_continuity_at_saturation_edge(self):
+        m = Mosfet("M1", "d", "g", "s", k=2e-4, v_th=0.5, lam=0.02)
+        v_ov = 0.7
+        below = m.drain_current(0.5 + v_ov, v_ov - 1e-9)
+        above = m.drain_current(0.5 + v_ov, v_ov + 1e-9)
+        assert below[0] == pytest.approx(above[0], rel=1e-6)
+        assert below[2] == pytest.approx(above[2], rel=1e-3, abs=1e-9)
+
+    def test_reverse_mode_antisymmetry(self):
+        # With the gate referenced symmetrically, swapping drain/source
+        # reverses the current: i(v_gs, v_ds) = -i(v_gs - v_ds, -v_ds).
+        m = Mosfet("M1", "d", "g", "s", k=2e-4, v_th=0.5)
+        fwd = m.drain_current(1.2, 0.4)[0]
+        rev = m.drain_current(1.2 - 0.4, -0.4)[0]
+        assert rev == pytest.approx(-fwd)
+
+    def test_pmos_mirror(self):
+        n = Mosfet("M1", "d", "g", "s", k=2e-4, v_th=0.5, polarity="nmos")
+        p = Mosfet("M2", "d", "g", "s", k=2e-4, v_th=0.5, polarity="pmos")
+        assert p.drain_current(-1.0, -2.0)[0] == pytest.approx(
+            -n.drain_current(1.0, 2.0)[0]
+        )
+
+    def test_rejects_bad_polarity(self):
+        with pytest.raises(ValueError):
+            Mosfet("M1", "d", "g", "s", polarity="finfet")
+
+    @settings(max_examples=40)
+    @given(
+        st.floats(min_value=-1.5, max_value=2.0),
+        st.floats(min_value=-2.0, max_value=2.0),
+    )
+    def test_derivatives_match_finite_difference(self, v_gs, v_ds):
+        m = Mosfet("M1", "d", "g", "s", k=2e-4, v_th=0.5, lam=0.05)
+        h = 1e-7
+        i0, gm, gds = m.drain_current(v_gs, v_ds)
+        i_gp = m.drain_current(v_gs + h, v_ds)[0]
+        i_gm = m.drain_current(v_gs - h, v_ds)[0]
+        i_dp = m.drain_current(v_gs, v_ds + h)[0]
+        i_dm = m.drain_current(v_gs, v_ds - h)[0]
+        assert gm == pytest.approx((i_gp - i_gm) / (2 * h), abs=2e-9)
+        assert gds == pytest.approx((i_dp - i_dm) / (2 * h), abs=2e-9)
+
+
+class TestMosfetInCircuits:
+    def test_common_source_bias(self):
+        ckt = Circuit("common source")
+        ckt.add_voltage_source("VDD", "vdd", "0", 3.0)
+        ckt.add_voltage_source("VG", "g", "0", 1.0)
+        ckt.add_resistor("RD", "vdd", "d", 10e3)
+        ckt.add_mosfet("M1", "d", "g", "0", k=2e-4, v_th=0.5)
+        op = dc_operating_point(ckt)
+        # Saturation: i_d = 25 uA -> v_d = 3 - 0.25 = 2.75 V.
+        assert op.voltage("d") == pytest.approx(2.75, abs=1e-6)
+
+    def test_netlist_mosfet(self):
+        deck = """nmos bias
+VDD vdd 0 3
+VG g 0 1
+RD vdd d 10k
+M1 d g 0 0 nch
+.model nch NMOS(kp=2e-4 vto=0.5)
+.end
+"""
+        parsed = parse_netlist(deck)
+        op = dc_operating_point(parsed.circuit)
+        assert op.voltage("d") == pytest.approx(2.75, abs=1e-6)
+
+    def test_cross_coupled_nmos_is_negative_resistance(self):
+        # The modern RFIC incarnation of the paper's diff-pair: extract
+        # f(v) of an NMOS negative-gm cell and check the NDR at balance.
+        from repro.nonlin import extract_iv_curve
+
+        ckt = Circuit("nmos xcouple")
+        ckt.add_voltage_source("VCM", "ncr", "0", 1.5)
+        ckt.add_voltage_source("VX", "ncl", "ncr", 0.0)
+        ckt.add_mosfet("M1", "ncl", "ncr", "tail", k=1e-3, v_th=0.5)
+        ckt.add_mosfet("M2", "ncr", "ncl", "tail", k=1e-3, v_th=0.5)
+        ckt.add_current_source("ISS", "tail", "0", 2e-4)
+        table = extract_iv_curve(ckt, "VX", -0.8, 0.8, 81).shifted(0.0)
+        g0 = float(table.derivative(np.asarray(0.0)))
+        assert g0 < 0.0
+        # Balanced pair: |G| = gm/2 with gm = sqrt(2 k I_D), I_D = ISS/2.
+        gm_half = 0.5 * np.sqrt(2.0 * 1e-3 * 1e-4)
+        assert abs(g0) == pytest.approx(gm_half, rel=0.05)
+
+    def test_nmos_oscillator_end_to_end(self):
+        # Full pipeline on the CMOS cell: extraction -> DF prediction ->
+        # transient validation of the amplitude.
+        from repro.core import predict_natural_oscillation
+        from repro.measure import Waveform, measure_steady_state
+        from repro.nonlin import extract_iv_curve
+        from repro.nonlin.tabulated import LinearTableNonlinearity
+        from repro.odesim import simulate_oscillator
+        from repro.tank import ParallelRLC
+
+        ckt = Circuit("nmos xcouple")
+        ckt.add_voltage_source("VCM", "ncr", "0", 1.5)
+        ckt.add_voltage_source("VX", "ncl", "ncr", 0.0)
+        ckt.add_mosfet("M1", "ncl", "ncr", "tail", k=2e-3, v_th=0.5)
+        ckt.add_mosfet("M2", "ncr", "ncl", "tail", k=2e-3, v_th=0.5)
+        ckt.add_current_source("ISS", "tail", "0", 4e-4)
+        table = extract_iv_curve(ckt, "VX", -1.2, 1.2, 121).shifted(0.0)
+        law = LinearTableNonlinearity.from_nonlinearity(table, -1.2, 1.2, 4097)
+        tank = ParallelRLC(r=6e3, l=100e-6, c=10e-9)
+        natural = predict_natural_oscillation(law, tank)
+        period = 2 * np.pi / tank.center_frequency
+        sim = simulate_oscillator(
+            law, tank, t_end=400 * period, record_start=350 * period
+        )
+        state = measure_steady_state(Waveform(sim.t, sim.v[:, 0]))
+        assert state.amplitude == pytest.approx(natural.amplitude, rel=2e-3)

@@ -1,0 +1,198 @@
+"""Tests for the netlist parser."""
+
+import numpy as np
+import pytest
+
+from repro.spice import Circuit, dc_operating_point, parse_netlist
+from repro.spice.netlist import NetlistError
+
+
+class TestBasicParsing:
+    def test_title_and_elements(self):
+        deck = """my circuit
+R1 a 0 1k
+C1 a 0 1n
+L1 a 0 100u
+.end
+"""
+        parsed = parse_netlist(deck)
+        assert parsed.circuit.title == "my circuit"
+        names = [el.name for el in parsed.circuit.elements]
+        assert names == ["R1", "C1", "L1"]
+        assert parsed.circuit.element("R1").resistance == pytest.approx(1e3)
+        assert parsed.circuit.element("C1").capacitance == pytest.approx(1e-9)
+        assert parsed.circuit.element("L1").inductance == pytest.approx(100e-6)
+
+    def test_comments_and_blank_lines_skipped(self):
+        deck = """title
+* a comment
+R1 a 0 1k
+
+R2 a 0 2k ; trailing comment
+.end
+"""
+        parsed = parse_netlist(deck)
+        assert len(parsed.circuit.elements) == 2
+
+    def test_continuation_lines(self):
+        deck = """title
+V1 a 0
++ SIN(0 1 1k)
+R1 a 0 1k
+.end
+"""
+        parsed = parse_netlist(deck)
+        src = parsed.circuit.element("V1")
+        assert src.value(0.25e-3) == pytest.approx(1.0, rel=1e-9)
+
+    def test_everything_after_end_ignored(self):
+        deck = """title
+R1 a 0 1k
+.end
+garbage that would not parse
+"""
+        parsed = parse_netlist(deck)
+        assert len(parsed.circuit.elements) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(NetlistError):
+            parse_netlist("")
+
+    def test_bad_element_letter(self):
+        with pytest.raises(NetlistError, match="element letter"):
+            parse_netlist("t\nZ1 a 0 1k\n.end\n")
+
+    def test_line_number_in_error(self):
+        with pytest.raises(NetlistError, match="line 3"):
+            parse_netlist("t\nR1 a 0 1k\nR2 a 0\n.end\n")
+
+
+class TestSources:
+    def test_dc_keyword(self):
+        parsed = parse_netlist("t\nV1 a 0 DC 3.3\nR1 a 0 1k\n.end\n")
+        assert parsed.circuit.element("V1").value(0.0) == 3.3
+
+    def test_bare_value(self):
+        parsed = parse_netlist("t\nI1 a 0 2m\nR1 a 0 1k\n.end\n")
+        assert parsed.circuit.element("I1").value(0.0) == 2e-3
+
+    def test_sin_waveform(self):
+        parsed = parse_netlist("t\nV1 a 0 SIN(1 2 1k)\nR1 a 0 1k\n.end\n")
+        src = parsed.circuit.element("V1")
+        assert src.value(0.0) == pytest.approx(1.0)
+        assert src.value(0.25e-3) == pytest.approx(3.0)
+
+    def test_pulse_waveform(self):
+        parsed = parse_netlist(
+            "t\nV1 a 0 PULSE(0 5 1u 1n 1n 10u)\nR1 a 0 1k\n.end\n"
+        )
+        src = parsed.circuit.element("V1")
+        assert src.value(0.0) == 0.0
+        assert src.value(5e-6) == 5.0
+        assert src.value(20e-6) == 0.0
+
+    def test_malformed_sin_rejected(self):
+        with pytest.raises(NetlistError, match="SIN"):
+            parse_netlist("t\nV1 a 0 SIN(1)\nR1 a 0 1k\n.end\n")
+
+
+class TestModels:
+    def test_bjt_model_applied(self):
+        deck = """t
+Q1 c b e mynpn
+V1 c 0 5
+V2 b 0 0.6
+V3 e 0 0
+.model mynpn NPN(is=2e-12 bf=50)
+.end
+"""
+        parsed = parse_netlist(deck)
+        q = parsed.circuit.element("Q1")
+        assert q.i_s == 2e-12
+        assert q.beta_f == 50.0
+
+    def test_tunnel_model(self):
+        deck = """t
+VX a 0 DC 0.25
+D1 a 0 td
+.model td TUNNEL(v0=0.2 r0=1000 m=2)
+.end
+"""
+        parsed = parse_netlist(deck)
+        op = dc_operating_point(parsed.circuit)
+        from repro.nonlin import TunnelDiode
+
+        assert -op.branch_current("VX") == pytest.approx(
+            float(TunnelDiode()(np.asarray(0.25))), rel=1e-9
+        )
+
+    def test_plain_diode_default_model(self):
+        parsed = parse_netlist("t\nV1 a 0 0.6\nD1 a 0\n.end\n")
+        assert parsed.circuit.element("D1").i_s == 1e-12
+
+    def test_bad_model_card(self):
+        with pytest.raises(NetlistError, match="model"):
+            parse_netlist("t\n.model broken NOTATYPE(x=1)\nR1 a 0 1\n.end\n")
+
+
+class TestAnalysisCards:
+    def test_tran_card(self):
+        parsed = parse_netlist("t\nR1 a 0 1k\n.tran 10n 2m\n.end\n")
+        tran = parsed.analyses[0]
+        assert tran.kind == "tran"
+        assert tran.params["tstep"] == 10e-9
+        assert tran.params["tstop"] == 2e-3
+
+    def test_dc_card(self):
+        parsed = parse_netlist("t\nV1 a 0 0\nR1 a 0 1k\n.dc V1 -0.5 0.5 0.01\n.end\n")
+        card = parsed.analyses[0]
+        assert card.kind == "dc"
+        assert card.params["source"] == "V1"
+        assert card.params["step"] == 0.01
+
+    def test_ac_card(self):
+        parsed = parse_netlist("t\nR1 a 0 1k\n.ac lin 100 1k 1meg\n.end\n")
+        card = parsed.analyses[0]
+        assert card.kind == "ac"
+        assert card.params["fstop"] == 1e6
+
+    def test_unknown_card_rejected(self):
+        with pytest.raises(NetlistError, match="unsupported card"):
+            parse_netlist("t\nR1 a 0 1k\n.noise v(a) V1\n.end\n")
+
+
+class TestEndToEnd:
+    def test_canonical_extraction_netlists_run(self):
+        from repro.experiments.circuits import (
+            DIFFPAIR_EXTRACTION_NETLIST,
+            TUNNEL_EXTRACTION_NETLIST,
+        )
+        from repro.spice import dc_sweep
+
+        parsed = parse_netlist(DIFFPAIR_EXTRACTION_NETLIST)
+        card = parsed.analyses[0]
+        values = np.arange(
+            card.params["start"], card.params["stop"] + 1e-12, card.params["step"]
+        )
+        sweep = dc_sweep(parsed.circuit, card.params["source"], values[:21])
+        i = -sweep.source_current(card.params["source"])
+        assert np.all(np.isfinite(i))
+
+        parsed2 = parse_netlist(TUNNEL_EXTRACTION_NETLIST)
+        assert parsed2.analyses[0].kind == "dc"
+
+    def test_netlist_matches_api_circuit(self):
+        deck = """divider
+V1 in 0 10
+R1 in mid 1k
+R2 mid 0 1k
+.end
+"""
+        parsed = parse_netlist(deck)
+        op = dc_operating_point(parsed.circuit)
+        api = Circuit("divider")
+        api.add_voltage_source("V1", "in", "0", 10.0)
+        api.add_resistor("R1", "in", "mid", 1e3)
+        api.add_resistor("R2", "mid", "0", 1e3)
+        op2 = dc_operating_point(api)
+        assert op.voltage("mid") == pytest.approx(op2.voltage("mid"))

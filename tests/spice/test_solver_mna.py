@@ -1,0 +1,127 @@
+"""Unit tests for the linear/Newton solver layer and MNA assembly."""
+
+import numpy as np
+import pytest
+
+from repro.spice import Circuit
+from repro.spice.solver import (
+    NewtonResult,
+    SingularCircuitError,
+    newton_solve,
+    solve_linear,
+)
+
+
+class TestSolveLinear:
+    def test_solves_well_posed_system(self):
+        a = np.array([[2.0, 0.0], [0.0, 4.0]])
+        x = solve_linear(a, np.array([2.0, 8.0]))
+        assert np.allclose(x, [1.0, 2.0])
+
+    def test_singular_raises_descriptively(self):
+        with pytest.raises(SingularCircuitError, match="floating"):
+            solve_linear(np.zeros((2, 2)), np.ones(2))
+
+
+class TestNewtonSolve:
+    def test_linear_system_converges(self):
+        # Step limiting bounds each update to ~max(1, |x|), so a cold
+        # start two units away needs a few iterations — but must land
+        # exactly.
+        a = np.array([[3.0]])
+        result = newton_solve(lambda x: a @ x - 6.0, lambda x: a, np.zeros(1))
+        assert result.converged
+        assert result.x[0] == pytest.approx(2.0)
+        assert result.iterations <= 6
+
+    def test_scalar_nonlinear(self):
+        result = newton_solve(
+            lambda x: np.array([x[0] ** 3 - 8.0]),
+            lambda x: np.array([[3.0 * x[0] ** 2]]),
+            np.array([1.0]),
+        )
+        assert result.x[0] == pytest.approx(2.0, rel=1e-9)
+
+    def test_exponential_with_damping(self):
+        # diode-like residual from a hopeless start: damping must save it.
+        def residual(x):
+            return np.array([1e-12 * (np.exp(np.minimum(x[0] / 0.025, 400)) - 1.0) - 1e-3])
+
+        def jacobian(x):
+            return np.array([[1e-12 * np.exp(np.minimum(x[0] / 0.025, 400)) / 0.025]])
+
+        result = newton_solve(residual, jacobian, np.array([5.0]), max_iter=300)
+        assert result.x[0] == pytest.approx(0.025 * np.log(1e9 + 1.0), rel=1e-6)
+
+    def test_nonconvergent_raises(self):
+        # A residual with no root: |x| + 1 = 0.
+        with pytest.raises(Exception, match="converge"):
+            newton_solve(
+                lambda x: np.array([abs(x[0]) + 1.0]),
+                lambda x: np.array([[np.sign(x[0]) if x[0] else 1.0]]),
+                np.array([1.0]),
+                max_iter=10,
+            )
+
+    def test_nonconvergent_returns_best_when_allowed(self):
+        result = newton_solve(
+            lambda x: np.array([abs(x[0]) + 1.0]),
+            lambda x: np.array([[np.sign(x[0]) if x[0] else 1.0]]),
+            np.array([1.0]),
+            max_iter=5,
+            require_convergence=False,
+        )
+        assert isinstance(result, NewtonResult)
+        assert not result.converged
+
+
+class TestMnaAssembly:
+    def _system(self):
+        ckt = Circuit("rlc + source")
+        ckt.add_voltage_source("V1", "a", "0", 1.0)
+        ckt.add_resistor("R1", "a", "b", 1e3)
+        ckt.add_capacitor("C1", "b", "0", 1e-9)
+        ckt.add_inductor("L1", "b", "0", 1e-6)
+        return ckt.build()
+
+    def test_sizes(self):
+        system = self._system()
+        assert system.n_nodes == 2
+        assert system.size == 4  # 2 nodes + V branch + L branch
+
+    def test_g_matrix_symmetry_of_passive_part(self):
+        # The resistor block of G is symmetric (reciprocity).
+        system = self._system()
+        a = system.node_index["a"]
+        b = system.node_index["b"]
+        g = system.g_matrix
+        assert g[a, b] == g[b, a]
+
+    def test_residual_zero_at_dc_solution(self):
+        from repro.spice import dc_operating_point
+
+        system = self._system()
+        op = dc_operating_point(system)
+        residual = system.residual(op.x, np.zeros(system.size), 0.0)
+        assert np.max(np.abs(residual)) < 1e-9
+
+    def test_source_vector_time_dependence(self):
+        from repro.spice.elements.sources import sine
+
+        ckt = Circuit("ac source")
+        ckt.add_voltage_source("V1", "a", "0", sine(0.0, 1.0, 1e3))
+        ckt.add_resistor("R1", "a", "0", 1.0)
+        system = ckt.build()
+        s0 = system.source_vector(0.0)
+        s_quarter = system.source_vector(0.25e-3)
+        assert not np.allclose(s0, s_quarter)
+
+    def test_voltage_accessor_ground(self):
+        system = self._system()
+        assert system.voltage(np.ones(system.size), "0") == 0.0
+
+    def test_nonlinear_empty_for_linear_circuit(self):
+        system = self._system()
+        i_nl, j_nl = system.nonlinear(np.ones(system.size))
+        assert np.all(i_nl == 0.0)
+        assert np.all(j_nl == 0.0)

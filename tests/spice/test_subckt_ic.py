@@ -1,0 +1,182 @@
+"""Tests for subcircuit expansion and .ic cards."""
+
+import numpy as np
+import pytest
+
+from repro.spice import Circuit, dc_operating_point, parse_netlist, transient
+from repro.spice.netlist import NetlistError
+
+
+class TestSubcircuits:
+    def test_basic_expansion(self):
+        deck = """divider in a box
+.subckt div top out
+R1 top out 1k
+R2 out 0 1k
+.ends
+V1 in 0 10
+X1 in mid div
+.end
+"""
+        parsed = parse_netlist(deck)
+        op = dc_operating_point(parsed.circuit)
+        assert op.voltage("mid") == pytest.approx(5.0)
+        # Internal element names carry the instance suffix.
+        assert parsed.circuit.element("R1_X1").resistance == pytest.approx(1e3)
+
+    def test_two_instances_are_independent(self):
+        deck = """two dividers
+.subckt div top out
+R1 top out 1k
+R2 out 0 3k
+.ends
+V1 in 0 8
+X1 in a div
+X2 in b div
+RB b 0 3k
+.end
+"""
+        parsed = parse_netlist(deck)
+        op = dc_operating_point(parsed.circuit)
+        assert op.voltage("a") == pytest.approx(6.0)
+        # X2's output is loaded by RB (3k || 3k = 1.5k): 8 * 1.5/2.5.
+        assert op.voltage("b") == pytest.approx(4.8)
+
+    def test_internal_nodes_are_private(self):
+        deck = """private nodes
+.subckt cell p
+R1 p m 1k
+R2 m 0 1k
+.ends
+V1 in 0 2
+X1 in cell
+Rm m 0 1k
+.end
+"""
+        parsed = parse_netlist(deck)
+        op = dc_operating_point(parsed.circuit)
+        # The top-level node 'm' is NOT the subckt's internal 'm'.
+        assert op.voltage("m") == pytest.approx(0.0)
+        assert op.voltage("m.X1") == pytest.approx(1.0)
+
+    def test_nested_subcircuits(self):
+        deck = """nested
+.subckt half top out
+R1 top out 1k
+R2 out 0 1k
+.ends
+.subckt quarter top out
+X1 top mid half
+X2 mid out half
+.ends
+V1 in 0 8
+Xq in q quarter
+Rload q 0 1meg
+.end
+"""
+        parsed = parse_netlist(deck)
+        op = dc_operating_point(parsed.circuit)
+        # Loaded cascade: stage 2 (2 kOhm input) loads stage 1's output,
+        # giving mid = 3.2 V and q = 1.6 V exactly.
+        assert op.voltage("mid.Xq") == pytest.approx(3.2, rel=1e-3)
+        assert op.voltage("q") == pytest.approx(1.6, rel=1e-3)
+
+    def test_port_count_mismatch(self):
+        deck = """bad ports
+.subckt div top out
+R1 top out 1k
+.ends
+V1 in 0 1
+X1 in div
+.end
+"""
+        with pytest.raises(NetlistError, match="ports"):
+            parse_netlist(deck)
+
+    def test_unknown_subckt(self):
+        deck = "t\nV1 a 0 1\nX1 a 0 nosuch\n.end\n"
+        with pytest.raises(NetlistError, match="unknown subcircuit"):
+            parse_netlist(deck)
+
+    def test_missing_ends(self):
+        deck = "t\n.subckt div a b\nR1 a b 1\nV1 x 0 1\n.end\n"
+        with pytest.raises(NetlistError, match="missing its .ends"):
+            parse_netlist(deck)
+
+    def test_cards_inside_subckt_rejected(self):
+        deck = "t\n.subckt d a\n.tran 1n 1u\n.ends\nR1 a 0 1\n.end\n"
+        with pytest.raises(NetlistError, match="not allowed inside"):
+            parse_netlist(deck)
+
+    def test_mutual_inside_subckt(self):
+        deck = """transformer cell
+.subckt xfmr p s
+L1 p 0 4m
+L2 s 0 1m
+K1 L1 L2 0.9999
+.ends
+Vin in 0 DC 0
+Rs in p 1m
+X1 p s xfmr
+RL s 0 1meg
+.end
+"""
+        from repro.spice import ac_analysis
+
+        parsed = parse_netlist(deck)
+        ac = ac_analysis(parsed.circuit, "Vin", np.asarray([1e5]))
+        assert abs(ac.voltage("s")[0]) == pytest.approx(0.5, rel=1e-3)
+
+
+class TestInitialConditions:
+    def test_ic_card_parsed(self):
+        deck = "t\nR1 a 0 1k\nC1 a 0 1n\n.ic v(a)=2.5\n.end\n"
+        parsed = parse_netlist(deck)
+        assert parsed.initial_conditions == {"a": 2.5}
+
+    def test_ic_card_multiple_entries(self):
+        deck = "t\nR1 a b 1k\nR2 b 0 1k\n.ic v(a)=1 v(b)=0.5\n.end\n"
+        parsed = parse_netlist(deck)
+        assert parsed.initial_conditions == {"a": 1.0, "b": 0.5}
+
+    def test_malformed_ic_rejected(self):
+        with pytest.raises(NetlistError, match=r"v\(node\)=value"):
+            parse_netlist("t\nR1 a 0 1\n.ic a=1\n.end\n")
+
+    def test_transient_honours_ic(self):
+        # RC discharge from the .ic value, no sources at all.
+        ckt = Circuit("rc discharge")
+        ckt.add_resistor("R1", "a", "0", 1e3)
+        ckt.add_capacitor("C1", "a", "0", 1e-6)
+        result = transient(ckt, t_end=1e-3, dt=1e-5, ic={"a": 2.0})
+        expected = 2.0 * np.exp(-result.t / 1e-3)
+        assert np.max(np.abs(result.voltage("a") - expected)) < 2e-4
+
+    def test_transient_rejects_unknown_ic_node(self):
+        ckt = Circuit("x")
+        ckt.add_resistor("R1", "a", "0", 1e3)
+        ckt.add_voltage_source("V1", "a", "0", 1.0)
+        with pytest.raises(ValueError, match="unknown node"):
+            transient(ckt, t_end=1e-3, dt=1e-5, ic={"zz": 1.0})
+
+    def test_netlist_ic_drives_oscillator_startup(self):
+        # The canonical startup use: seed the tank via .ic, watch growth.
+        deck = """seeded tank
+R1 a 0 1k
+L1 a 0 100u
+C1 a 0 10n
+.ic v(a)=1.0
+.end
+"""
+        parsed = parse_netlist(deck)
+        period = 2 * np.pi * np.sqrt(100e-6 * 10e-9)
+        result = transient(
+            parsed.circuit,
+            t_end=3 * period,
+            dt=period / 200,
+            ic=parsed.initial_conditions,
+        )
+        v = result.voltage("a")
+        assert v[0] == pytest.approx(1.0)
+        # Rings and decays (Q = 10): amplitude down but alive at 3 cycles.
+        assert 0.05 < np.max(np.abs(v[-100:])) < 1.0

@@ -1,0 +1,147 @@
+"""Tests for transient analysis against closed-form circuit responses."""
+
+import numpy as np
+import pytest
+
+from repro.spice import Circuit, transient
+from repro.spice.elements.sources import pulse, sine
+
+
+class TestFirstOrderCircuits:
+    def test_rc_step_response(self):
+        ckt = Circuit("rc step")
+        ckt.add_voltage_source("V1", "in", "0", 1.0)
+        ckt.add_resistor("R1", "in", "out", 1e3)
+        ckt.add_capacitor("C1", "out", "0", 1e-6)
+        tau = 1e-3
+        result = transient(ckt, t_end=5 * tau, dt=tau / 100, skip_dc=True)
+        expected = 1.0 - np.exp(-result.t / tau)
+        assert np.max(np.abs(result.voltage("out") - expected)) < 1e-4
+
+    def test_rl_current_rise(self):
+        ckt = Circuit("rl step")
+        ckt.add_voltage_source("V1", "in", "0", 1.0)
+        ckt.add_resistor("R1", "in", "a", 100.0)
+        ckt.add_inductor("L1", "a", "0", 1e-3)
+        tau = 1e-3 / 100.0
+        result = transient(ckt, t_end=5 * tau, dt=tau / 100, skip_dc=True)
+        expected = (1.0 / 100.0) * (1.0 - np.exp(-result.t / tau))
+        assert np.max(np.abs(result.branch_current("L1") - expected)) < 1e-6
+
+    def test_trap_second_order_convergence(self):
+        # Halving dt must cut the RC-step error ~4x for TRAP.
+        def rc_error(dt):
+            ckt = Circuit("rc conv")
+            ckt.add_voltage_source("V1", "in", "0", 1.0)
+            ckt.add_resistor("R1", "in", "out", 1e3)
+            ckt.add_capacitor("C1", "out", "0", 1e-6)
+            r = transient(ckt, t_end=2e-3, dt=dt, skip_dc=True)
+            return float(
+                np.max(np.abs(r.voltage("out") - (1.0 - np.exp(-r.t / 1e-3))))
+            )
+
+        e1 = rc_error(2e-5)
+        e2 = rc_error(1e-5)
+        assert e1 / e2 == pytest.approx(4.0, rel=0.3)
+
+
+class TestSecondOrderCircuits:
+    def test_lc_resonance_frequency(self):
+        # Free LC ringing at w = 1/sqrt(LC), started via initial condition.
+        ckt = Circuit("lc ring")
+        ckt.add_current_source("Ikick", "0", "a", pulse(0.0, 1e-3, width=1e-7))
+        ckt.add_inductor("L1", "a", "0", 100e-6)
+        ckt.add_capacitor("C1", "a", "0", 10e-9)
+        ckt.add_resistor("Rbig", "a", "0", 1e9)
+        w0 = 1.0 / np.sqrt(100e-6 * 10e-9)
+        period = 2 * np.pi / w0
+        result = transient(ckt, t_end=20 * period, dt=period / 200, skip_dc=True)
+        from repro.measure import Waveform
+
+        wf = Waveform(result.t, result.voltage("a"))
+        tail = wf.slice_time(5 * period)
+        assert tail.frequency_from_crossings() == pytest.approx(w0, rel=1e-3)
+
+    def test_trap_preserves_lc_energy_better_than_be(self):
+        def ring_amplitude(method):
+            ckt = Circuit("lc energy")
+            ckt.add_current_source("Ikick", "0", "a", pulse(0.0, 1e-3, width=1e-7))
+            ckt.add_inductor("L1", "a", "0", 100e-6)
+            ckt.add_capacitor("C1", "a", "0", 10e-9)
+            ckt.add_resistor("Rbig", "a", "0", 1e9)
+            period = 2 * np.pi * np.sqrt(100e-6 * 10e-9)
+            r = transient(
+                ckt, t_end=30 * period, dt=period / 80, skip_dc=True, method=method
+            )
+            tail = r.voltage("a")[-200:]
+            return float(np.max(np.abs(tail)))
+
+        amp_trap = ring_amplitude("trap")
+        amp_be = ring_amplitude("be")
+        # Backward Euler damps the tank numerically; TRAP does not.
+        assert amp_be < 0.5 * amp_trap
+
+    def test_driven_rlc_steady_state_amplitude(self):
+        # Series-free parallel RLC driven by a sinusoidal current at
+        # resonance: steady-state amplitude = I * R.
+        ckt = Circuit("driven tank")
+        ckt.add_current_source(
+            "Iin", "0", "a", sine(0.0, 1e-3, 1.0 / (2 * np.pi * np.sqrt(1e-12)))
+        )
+        # L, C chosen so w0 = 1e6 rad/s.
+        ckt.add_resistor("R", "a", "0", 500.0)
+        ckt.add_inductor("L", "a", "0", 100e-6)
+        ckt.add_capacitor("C", "a", "0", 10e-9)
+        period = 2 * np.pi / 1e6
+        q = 500.0 * np.sqrt(10e-9 / 100e-6)
+        result = transient(ckt, t_end=20 * q * period, dt=period / 100)
+        tail = result.voltage("a")[-400:]
+        assert float(np.max(tail)) == pytest.approx(0.5, rel=0.02)
+
+
+class TestAdaptiveStepping:
+    def test_adaptive_tracks_pulse(self):
+        ckt = Circuit("pulse adaptive")
+        ckt.add_voltage_source(
+            "V1", "in", "0", pulse(0.0, 1.0, delay=5e-5, rise=1e-6, width=2e-4)
+        )
+        ckt.add_resistor("R1", "in", "out", 1e3)
+        ckt.add_capacitor("C1", "out", "0", 1e-8)
+        result = transient(
+            ckt, t_end=5e-4, dt=1e-6, adaptive=True, lte_tol=1e-4
+        )
+        # The flat regions should have stretched the step well beyond dt.
+        steps = np.diff(result.t)
+        assert steps.max() > 2e-6
+        # And the final value approaches the pulse's low level.
+        assert result.voltage("out")[-1] == pytest.approx(
+            float(result.voltage("in")[-1]), abs=0.05
+        )
+
+    def test_stats_reported(self):
+        ckt = Circuit("stats")
+        ckt.add_voltage_source("V1", "in", "0", 1.0)
+        ckt.add_resistor("R1", "in", "out", 1e3)
+        ckt.add_capacitor("C1", "out", "0", 1e-6)
+        result = transient(ckt, t_end=1e-4, dt=1e-6)
+        assert result.stats["steps"] > 0
+        assert result.stats["newton_iterations"] >= result.stats["steps"]
+        assert result.stats["method"] == "trap"
+
+
+class TestValidation:
+    def test_rejects_bad_method(self):
+        ckt = Circuit("x")
+        ckt.add_voltage_source("V1", "a", "0", 1.0)
+        ckt.add_resistor("R1", "a", "0", 1.0)
+        with pytest.raises(ValueError, match="method"):
+            transient(ckt, t_end=1.0, dt=0.1, method="euler")
+
+    def test_rejects_nonpositive_times(self):
+        ckt = Circuit("x")
+        ckt.add_voltage_source("V1", "a", "0", 1.0)
+        ckt.add_resistor("R1", "a", "0", 1.0)
+        with pytest.raises(ValueError):
+            transient(ckt, t_end=0.0, dt=0.1)
+        with pytest.raises(ValueError):
+            transient(ckt, t_end=1.0, dt=0.0)

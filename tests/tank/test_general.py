@@ -1,0 +1,97 @@
+"""Tests for the sampled general tank."""
+
+import numpy as np
+import pytest
+
+from repro.tank import GeneralTank, ParallelRLC
+
+
+@pytest.fixture
+def rlc():
+    return ParallelRLC(r=1000.0, l=100e-6, c=10e-9)
+
+
+@pytest.fixture
+def sampled(rlc):
+    return GeneralTank.from_tank(rlc, span=0.5, n=4001)
+
+
+class TestGeneralTank:
+    def test_center_frequency_recovered(self, rlc, sampled):
+        assert sampled.center_frequency == pytest.approx(
+            rlc.center_frequency, rel=1e-6
+        )
+
+    def test_peak_resistance_recovered(self, rlc, sampled):
+        assert sampled.peak_resistance == pytest.approx(rlc.peak_resistance, rel=1e-6)
+
+    def test_transfer_matches_analytic(self, rlc, sampled):
+        w = np.linspace(0.7, 1.3, 41) * rlc.center_frequency
+        assert np.allclose(sampled.transfer(w), rlc.transfer(w), rtol=1e-6)
+
+    def test_phase_matches_analytic(self, rlc, sampled):
+        w = np.linspace(0.7, 1.3, 41) * rlc.center_frequency
+        assert np.allclose(sampled.phase(w), rlc.phase(w), atol=1e-6)
+
+    def test_inverse_phase_map_roundtrip(self, sampled):
+        for phi_d in (-0.8, -0.2, 0.0, 0.2, 0.8):
+            w = sampled.frequency_for_phase(phi_d)
+            assert float(sampled.phase(np.asarray(w))) == pytest.approx(phi_d, abs=1e-9)
+
+    def test_inverse_matches_analytic(self, rlc, sampled):
+        for phi_d in (-0.5, 0.0, 0.5):
+            assert sampled.frequency_for_phase(phi_d) == pytest.approx(
+                rlc.frequency_for_phase(phi_d), rel=1e-6
+            )
+
+    def test_effective_capacitance_close(self, rlc, sampled):
+        assert sampled.effective_capacitance() == pytest.approx(10e-9, rel=1e-3)
+
+    def test_out_of_window_rejected(self, sampled):
+        lo, hi = sampled.frequency_window
+        with pytest.raises(ValueError, match="window"):
+            sampled.transfer(np.asarray(2.0 * hi))
+        with pytest.raises(ValueError, match="phase range"):
+            sampled.frequency_for_phase(2.0)
+
+    def test_requires_resonance_in_window(self, rlc):
+        # A window entirely above resonance has no phase zero crossing.
+        w = np.linspace(1.2, 1.5, 200) * rlc.center_frequency
+        with pytest.raises(ValueError, match="zero crossing"):
+            GeneralTank(w, rlc.transfer(w))
+
+    def test_requires_enough_samples(self, rlc):
+        w = np.linspace(0.9, 1.1, 5) * rlc.center_frequency
+        with pytest.raises(ValueError, match="8"):
+            GeneralTank(w, rlc.transfer(w))
+
+    def test_from_spice_ac_analysis(self, rlc):
+        # Pre-characterise the tank from the MNA simulator's AC sweep —
+        # the "complex LC tank topologies" flow the paper mentions.
+        from repro.spice import Circuit, ac_analysis
+
+        ckt = Circuit("tank-ac")
+        ckt.add_current_source("Iin", "0", "t", 0.0)
+        ckt.add_resistor("R", "t", "0", 1000.0)
+        ckt.add_inductor("L", "t", "0", 100e-6)
+        ckt.add_capacitor("C", "t", "0", 10e-9)
+        w = np.linspace(0.6, 1.4, 2001) * rlc.center_frequency
+        ac = ac_analysis(ckt, "Iin", w)
+        tank = GeneralTank(w, ac.voltage("t"))
+        assert tank.center_frequency == pytest.approx(rlc.center_frequency, rel=1e-6)
+        assert tank.peak_resistance == pytest.approx(1000.0, rel=1e-6)
+
+    def test_lock_range_parity_with_analytic(self, rlc, sampled):
+        # The sampled tank must reproduce the analytic tank's lock range.
+        from repro.core import predict_lock_range
+        from repro.nonlin import NegativeTanh
+
+        f = NegativeTanh(gm=2.5e-3, i_sat=1e-3)
+        lr_analytic = predict_lock_range(f, rlc, v_i=0.03, n=3)
+        lr_sampled = predict_lock_range(f, sampled, v_i=0.03, n=3)
+        assert lr_sampled.injection_lower == pytest.approx(
+            lr_analytic.injection_lower, rel=1e-6
+        )
+        assert lr_sampled.injection_upper == pytest.approx(
+            lr_analytic.injection_upper, rel=1e-6
+        )

@@ -1,0 +1,126 @@
+"""Tests for the parallel RLC tank, including the circle property."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tank import ParallelRLC
+
+
+@pytest.fixture
+def tank():
+    return ParallelRLC(r=1000.0, l=100e-6, c=10e-9)
+
+
+class TestDerivedQuantities:
+    def test_center_frequency(self, tank):
+        assert tank.center_frequency == pytest.approx(1.0 / np.sqrt(100e-6 * 10e-9))
+
+    def test_paper_diffpair_frequency(self):
+        # 1/(2 pi sqrt(LC)) = 503.3 kHz for the paper's diff-pair tank.
+        tank = ParallelRLC(r=4938.8, l=20e-6, c=5e-9)
+        assert tank.center_frequency_hz == pytest.approx(503292.12, rel=1e-6)
+
+    def test_paper_tunnel_frequency(self):
+        tank = ParallelRLC(r=10e3, l=10e-9, c=10e-12)
+        assert tank.center_frequency_hz == pytest.approx(503.29212e6, rel=1e-6)
+
+    def test_quality_factor(self, tank):
+        assert tank.quality_factor == pytest.approx(10.0)
+
+    def test_bandwidth(self, tank):
+        assert tank.bandwidth == pytest.approx(tank.center_frequency / 10.0)
+
+    def test_peak_resistance(self, tank):
+        assert tank.peak_resistance == 1000.0
+
+    def test_effective_capacitance_exact(self, tank):
+        assert tank.effective_capacitance() == 10e-9
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ParallelRLC(r=-1.0, l=1e-6, c=1e-9)
+
+
+class TestTransferFunction:
+    def test_peak_at_resonance(self, tank):
+        z = tank.transfer(np.asarray(tank.center_frequency))
+        assert abs(complex(z)) == pytest.approx(1000.0)
+        assert np.angle(complex(z)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_phase_sign_convention(self, tank):
+        # Fig. 6: phase positive below resonance, negative above.
+        w_c = tank.center_frequency
+        assert float(tank.phase(np.asarray(0.9 * w_c))) > 0.0
+        assert float(tank.phase(np.asarray(1.1 * w_c))) < 0.0
+
+    def test_phase_formula_matches_angle(self, tank):
+        w = np.linspace(0.5, 2.0, 31) * tank.center_frequency
+        assert np.allclose(tank.phase(w), np.angle(tank.transfer(w)), atol=1e-12)
+
+    def test_magnitude_attenuates_harmonics(self, tank):
+        # The filtering assumption: |Z| at 3 w_c is far below the peak.
+        w_c = tank.center_frequency
+        z3 = abs(complex(tank.transfer(np.asarray(3.0 * w_c))))
+        assert z3 < 1000.0 / 20.0
+
+    def test_dc_is_short(self, tank):
+        assert complex(tank.transfer(np.asarray(0.0))) == 0.0
+
+    def test_half_power_at_band_edges(self, tank):
+        w_edge = tank.center_frequency * (1 + 1 / (2 * tank.quality_factor))
+        z = abs(complex(tank.transfer(np.asarray(w_edge))))
+        # -3 dB within a percent at Q = 10 (band-edge approximation).
+        assert z == pytest.approx(1000.0 / np.sqrt(2.0), rel=0.02)
+
+
+class TestInversePhaseMap:
+    def test_roundtrip(self, tank):
+        for phi_d in (-1.2, -0.3, 0.0, 0.3, 1.2):
+            w = tank.frequency_for_phase(phi_d)
+            assert float(tank.phase(np.asarray(w))) == pytest.approx(phi_d, abs=1e-12)
+
+    def test_zero_phase_is_resonance(self, tank):
+        assert tank.frequency_for_phase(0.0) == pytest.approx(tank.center_frequency)
+
+    def test_positive_phase_below_resonance(self, tank):
+        assert tank.frequency_for_phase(0.3) < tank.center_frequency
+
+    def test_rejects_out_of_range(self, tank):
+        with pytest.raises(ValueError):
+            tank.frequency_for_phase(np.pi / 2)
+
+    @given(st.floats(min_value=-1.4, max_value=1.4))
+    def test_roundtrip_property(self, phi_d):
+        tank = ParallelRLC(r=1000.0, l=100e-6, c=10e-9)
+        w = tank.frequency_for_phase(phi_d)
+        assert float(tank.phase(np.asarray(w))) == pytest.approx(phi_d, abs=1e-9)
+
+
+class TestCircleProperty:
+    """Appendix VI-B1: the output phasor locus is a circle of diameter R."""
+
+    def test_identity_residual_small(self, tank):
+        w_c = tank.center_frequency
+        for w in np.linspace(0.5, 2.0, 23) * w_c:
+            assert tank.circle_identity_residual(float(w)) < 1e-9
+
+    def test_locus_on_circle(self, tank):
+        # Every Z(jw) lies on the circle centred at R/2 with radius R/2.
+        w = np.linspace(0.3, 3.0, 101) * tank.center_frequency
+        z = tank.transfer(w)
+        center = tank.r / 2.0
+        assert np.allclose(np.abs(z - center), center, rtol=1e-12)
+
+    def test_projection_construction(self, tank):
+        # Fig. 21: B_o = |B_c| cos(phi_d) at angle phi_d.
+        from repro.core.phasor import projection_construction
+
+        picture = projection_construction(tank, 1e-3 + 0j, 1.05 * tank.center_frequency)
+        assert picture["output"] == pytest.approx(picture["projection"], rel=1e-9)
+
+    @given(st.floats(min_value=0.3, max_value=3.0))
+    def test_circle_point_normalised(self, w_rel):
+        tank = ParallelRLC(r=1000.0, l=100e-6, c=10e-9)
+        p = tank.circle_point(w_rel * tank.center_frequency)
+        assert abs(p - 0.5) == pytest.approx(0.5, rel=1e-9)

@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_natural_defaults(self):
+        args = build_parser().parse_args(["natural", "--oscillator", "tanh"])
+        assert args.oscillator == "tanh"
+
+    def test_locks_options(self):
+        args = build_parser().parse_args(
+            ["locks", "--oscillator", "tanh", "--vi", "0.05", "--n", "5"]
+        )
+        assert args.n == 5
+        assert args.vi == "0.05"
+
+
+class TestCommands:
+    def test_natural_tanh(self, capsys):
+        assert main(["natural", "--oscillator", "tanh"]) == 0
+        out = capsys.readouterr().out
+        assert "1.208" in out
+        assert "stable" in out
+
+    def test_natural_custom(self, capsys):
+        code = main(
+            ["natural", "--gm", "2.5m", "--isat", "1m",
+             "--r", "1k", "--l", "100u", "--c", "10n"]
+        )
+        assert code == 0
+        assert "159.2 kHz" in capsys.readouterr().out
+
+    def test_custom_requires_full_tank(self):
+        with pytest.raises(SystemExit):
+            main(["natural", "--gm", "2.5m", "--isat", "1m", "--r", "1k"])
+
+    def test_locks_inside_range(self, capsys):
+        code = main(["locks", "--oscillator", "tanh", "--vi", "0.03", "--n", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stable" in out
+        assert "multiple of n = 3" in out
+
+    def test_locks_outside_range_exit_code(self, capsys):
+        code = main(
+            ["locks", "--oscillator", "tanh", "--vi", "0.03", "--n", "3",
+             "--finj", "490k"]
+        )
+        assert code == 1
+        assert "outside the lock range" in capsys.readouterr().out
+
+    def test_lockrange_tanh(self, capsys):
+        assert main(["lockrange", "--oscillator", "tanh"]) == 0
+        out = capsys.readouterr().out
+        assert "lock range width" in out
+        assert "boundary tank phase" in out
+
+    def test_experiment_dispatch(self, capsys):
+        assert main(["experiment", "FIG6"]) == 0
+        assert "RLC tank transfer function" in capsys.readouterr().out
+
+    def test_experiment_unknown_id(self):
+        with pytest.raises(KeyError):
+            main(["experiment", "FIG99"])

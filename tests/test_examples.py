@@ -1,0 +1,40 @@
+"""Smoke tests keeping the runnable examples green.
+
+Only the fast examples run here (the transient-heavy ones are exercised
+by the benchmark suite through the same experiment drivers).
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def _run(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestFastExamples:
+    def test_quickstart(self, capsys):
+        out = _run("quickstart.py", capsys)
+        assert "natural oscillation: A = 1.2084 V" in out
+        assert "lock range" in out
+        assert "stable" in out
+
+    def test_general_tank_from_netlist(self, capsys):
+        out = _run("general_tank_from_netlist.py", capsys)
+        assert "characterised tank" in out
+        assert "lock range" in out
+        assert "asymmetry" in out
+
+    def test_all_examples_importable(self):
+        # Every example must at least compile (catches API drift in the
+        # slow ones without paying their runtime).
+        import py_compile
+
+        for path in sorted(EXAMPLES.glob("*.py")):
+            py_compile.compile(str(path), doraise=True)

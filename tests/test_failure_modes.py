@@ -1,0 +1,141 @@
+"""Failure-injection tests: every layer must fail loudly and descriptively.
+
+A numerical library's worst bug class is the silent wrong answer; these
+tests feed each layer inputs that *should* break it and assert the error
+is (a) raised, (b) the right type, and (c) carries an actionable message.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import predict_natural_oscillation, solve_lock_states
+from repro.core.natural import NoOscillationError
+from repro.nonlin import FunctionNonlinearity, NegativeTanh
+from repro.tank import ParallelRLC
+
+
+@pytest.fixture
+def tank():
+    return ParallelRLC(r=1000.0, l=100e-6, c=10e-9)
+
+
+class TestCoreFailures:
+    def test_dead_device_reports_startup(self, tank):
+        dead = FunctionNonlinearity(lambda v: np.zeros_like(v), name="open")
+        with pytest.raises(NoOscillationError, match="start-up"):
+            predict_natural_oscillation(dead, tank)
+
+    def test_positive_resistance_reports_startup(self, tank):
+        resistor = FunctionNonlinearity(lambda v: 1e-3 * v, name="R")
+        with pytest.raises(NoOscillationError):
+            predict_natural_oscillation(resistor, tank)
+
+    def test_non_limiting_device_reported(self, tank):
+        # A pure negative conductance never limits: T_f stays above 1.
+        runaway = FunctionNonlinearity(lambda v: -2.5e-3 * v, name="ngc")
+        with pytest.raises(NoOscillationError, match="amplitude-limiting"):
+            predict_natural_oscillation(runaway, tank)
+
+    def test_nan_producing_device_is_caught_early(self, tank):
+        # sqrt goes NaN for negative drive: the describing-function
+        # quadrature must surface it, not propagate NaN silently.
+        bad = FunctionNonlinearity(lambda v: -1e-3 * np.sqrt(v), name="nan")
+        with pytest.raises((ValueError, NoOscillationError, FloatingPointError)):
+            with np.errstate(invalid="raise"):
+                predict_natural_oscillation(bad, tank)
+
+    def test_solver_rejects_inverted_window(self, tank):
+        tanh = NegativeTanh(gm=2.5e-3, i_sat=1e-3)
+        with pytest.raises(ValueError, match="amplitude_window"):
+            solve_lock_states(
+                tanh, tank, v_i=0.03, w_injection=3e6, n=3,
+                amplitude_window=(2.0, 1.0),
+            )
+
+
+class TestMeasureFailures:
+    def test_waveform_rejects_nan(self):
+        from repro.measure import Waveform
+
+        t = np.linspace(0, 1, 100)
+        x = np.sin(t)
+        x[50] = np.nan
+        with pytest.raises(ValueError, match="non-finite"):
+            Waveform(t, x)
+
+    def test_demod_on_too_short_record(self):
+        from repro.measure import Waveform, quadrature_demodulate
+
+        t = np.linspace(0, 1e-5, 32)
+        wf = Waveform(t, np.sin(2 * np.pi * 1e5 * t))
+        with pytest.raises(ValueError, match="too short"):
+            quadrature_demodulate(wf, 2 * np.pi * 1e3)
+
+    def test_lock_scan_without_lockable_injection(self):
+        # Even order on an odd nonlinearity barely couples: the scan
+        # window never brackets a lock -> descriptive failure.
+        from repro.measure import simulate_lock_range
+        from repro.measure.lockrange_sim import LockScanError
+
+        tanh = NegativeTanh(gm=2.5e-3, i_sat=1e-3)
+        tank = ParallelRLC(r=1000.0, l=100e-6, c=10e-9)
+        with pytest.raises(LockScanError):
+            simulate_lock_range(
+                tanh, tank, v_i=0.001, n=2,
+                scan_rel_span=0.01, batch=6, rounds=1,
+                settle_cycles=100.0, acquire_cycles=150.0,
+                observe_cycles=100.0, steps_per_cycle=48,
+            )
+
+
+class TestSpiceFailures:
+    def test_shorted_voltage_source_loop(self):
+        from repro.spice import Circuit, dc_operating_point
+        from repro.spice.solver import SingularCircuitError
+
+        ckt = Circuit("v loop")
+        ckt.add_voltage_source("V1", "a", "0", 1.0)
+        ckt.add_voltage_source("V2", "a", "0", 2.0)
+        ckt.add_resistor("R1", "a", "0", 1e3)
+        with pytest.raises(SingularCircuitError, match="loops"):
+            dc_operating_point(ckt)
+
+    def test_current_source_cutset(self):
+        from repro.spice import Circuit, dc_operating_point
+        from repro.spice.solver import SingularCircuitError
+
+        ckt = Circuit("i cutset")
+        ckt.add_current_source("I1", "0", "a", 1e-3)
+        ckt.add_current_source("I2", "a", "0", 2e-3)
+        with pytest.raises(SingularCircuitError):
+            dc_operating_point(ckt)
+
+    def test_transient_step_cap(self):
+        from repro.spice import Circuit, transient
+
+        ckt = Circuit("cap")
+        ckt.add_voltage_source("V1", "a", "0", 1.0)
+        ckt.add_resistor("R1", "a", "out", 1e3)
+        ckt.add_capacitor("C1", "out", "0", 1e-6)
+        with pytest.raises(RuntimeError, match="max_steps"):
+            transient(ckt, t_end=1.0, dt=1e-6, max_steps=100)
+
+    def test_netlist_error_carries_line_number(self):
+        from repro.spice import parse_netlist
+        from repro.spice.netlist import NetlistError
+
+        deck = "title\nR1 a 0 1k\nQ9 c b\n.end\n"
+        with pytest.raises(NetlistError, match="line 3"):
+            parse_netlist(deck)
+
+
+class TestHarmonicBalanceFailures:
+    def test_hb_outside_lock_range(self, tank):
+        from repro.core.harmonic_balance import HbConvergenceError, hb_lock_state
+
+        tanh = NegativeTanh(gm=2.5e-3, i_sat=1e-3)
+        with pytest.raises(HbConvergenceError, match="lock"):
+            hb_lock_state(
+                tanh, tank, v_i=0.03,
+                w_injection=3 * tank.center_frequency * 1.05, n=3,
+            )

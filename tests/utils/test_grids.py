@@ -1,0 +1,97 @@
+"""Tests for grid containers and bracket refinement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.grids import Grid2D, linear_grid, log_grid, refine_bracket
+
+
+class TestLinearGrid:
+    def test_endpoints(self):
+        g = linear_grid(0.0, 1.0, 11)
+        assert g[0] == 0.0 and g[-1] == 1.0 and g.size == 11
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            linear_grid(0.0, 1.0, 1)
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            linear_grid(1.0, 0.0, 5)
+
+
+class TestLogGrid:
+    def test_endpoints(self):
+        g = log_grid(1.0, 100.0, 3)
+        assert np.allclose(g, [1.0, 10.0, 100.0])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            log_grid(0.0, 1.0, 5)
+
+
+class TestGrid2D:
+    def _grid(self):
+        x = np.linspace(0.0, 1.0, 11)
+        y = np.linspace(0.0, 2.0, 21)
+        xx, yy = np.meshgrid(x, y)
+        return Grid2D(x=x, y=y, surfaces={"plane": 2.0 * xx + 3.0 * yy})
+
+    def test_surface_shape_enforced(self):
+        with pytest.raises(ValueError, match="shape"):
+            Grid2D(
+                x=np.linspace(0, 1, 4),
+                y=np.linspace(0, 1, 5),
+                surfaces={"bad": np.zeros((4, 5))},
+            )
+
+    def test_bilinear_exact_on_linear_surface(self):
+        grid = self._grid()
+        # Bilinear interpolation reproduces affine surfaces exactly.
+        assert grid.interpolate("plane", 0.33, 1.27) == pytest.approx(
+            2.0 * 0.33 + 3.0 * 1.27
+        )
+
+    def test_interpolation_clamps_outside(self):
+        grid = self._grid()
+        assert grid.interpolate("plane", -5.0, -5.0) == pytest.approx(0.0)
+
+    def test_gradient_of_affine_surface(self):
+        grid = self._grid()
+        gx, gy = grid.gradient("plane", 0.5, 1.0)
+        assert gx == pytest.approx(2.0, rel=1e-6)
+        assert gy == pytest.approx(3.0, rel=1e-6)
+
+    def test_meshgrid_shapes(self):
+        grid = self._grid()
+        xx, yy = grid.meshgrid()
+        assert xx.shape == (21, 11)
+        assert yy.shape == (21, 11)
+
+    def test_add_surface_validates(self):
+        grid = self._grid()
+        with pytest.raises(ValueError):
+            grid.add_surface("wrong", np.zeros((3, 3)))
+
+    def test_nonmonotonic_axis_rejected(self):
+        with pytest.raises(ValueError):
+            Grid2D(x=np.array([0.0, 2.0, 1.0]), y=np.array([0.0, 1.0]))
+
+
+class TestRefineBracket:
+    def test_finds_root_of_cubic(self):
+        root = refine_bracket(lambda x: x**3 - 2.0, 0.0, 2.0)
+        assert root == pytest.approx(2.0 ** (1.0 / 3.0), rel=1e-10)
+
+    def test_exact_root_at_endpoint(self):
+        assert refine_bracket(lambda x: x, 0.0, 1.0) == 0.0
+
+    def test_rejects_non_bracketing(self):
+        with pytest.raises(ValueError, match="sign change"):
+            refine_bracket(lambda x: x + 10.0, 0.0, 1.0)
+
+    @given(st.floats(min_value=-5.0, max_value=5.0))
+    def test_linear_root_recovered(self, c):
+        root = refine_bracket(lambda x: x - c, -10.0, 10.0)
+        assert root == pytest.approx(c, abs=1e-8)

@@ -1,0 +1,95 @@
+"""Tests for JSON serialisation of analysis results."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.utils.serialize import dumps, to_jsonable
+
+
+class TestPrimitives:
+    def test_passthrough(self):
+        assert to_jsonable(1) == 1
+        assert to_jsonable(2.5) == 2.5
+        assert to_jsonable("x") == "x"
+        assert to_jsonable(None) is None
+        assert to_jsonable(True) is True
+
+    def test_numpy_scalars(self):
+        assert to_jsonable(np.float64(1.5)) == 1.5
+        assert to_jsonable(np.int64(3)) == 3
+        assert to_jsonable(np.bool_(True)) is True
+
+    def test_complex(self):
+        assert to_jsonable(1 + 2j) == {"re": 1.0, "im": 2.0}
+
+    def test_real_array(self):
+        assert to_jsonable(np.array([1.0, 2.0])) == [1.0, 2.0]
+
+    def test_complex_array(self):
+        out = to_jsonable(np.array([1 + 2j]))
+        assert out == {"re": [1.0], "im": [2.0]}
+
+    def test_containers(self):
+        out = to_jsonable({"a": (1, np.array([2.0]))})
+        assert out == {"a": [1, [2.0]]}
+
+    def test_unserialisable_raises(self):
+        with pytest.raises(TypeError, match="cannot serialise"):
+            to_jsonable(object())
+
+
+class TestAnalysisResults:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        from repro.nonlin import NegativeTanh
+        from repro.tank import ParallelRLC
+
+        return (
+            NegativeTanh(gm=2.5e-3, i_sat=1e-3),
+            ParallelRLC(r=1000.0, l=100e-6, c=10e-9),
+        )
+
+    def test_natural_oscillation_roundtrip(self, setup):
+        from repro.core import predict_natural_oscillation
+
+        tanh, tank = setup
+        natural = predict_natural_oscillation(tanh, tank)
+        payload = json.loads(dumps(natural))
+        assert payload["__type__"] == "NaturalOscillation"
+        assert payload["amplitude"] == pytest.approx(natural.amplitude)
+        assert payload["stable"] is True
+        # Heavy curve arrays are excluded from the summary.
+        assert "tf_curve" not in payload
+
+    def test_lock_range_serialises(self, setup):
+        from repro.core import predict_lock_range
+
+        tanh, tank = setup
+        lr = predict_lock_range(tanh, tank, v_i=0.03, n=3, n_a=61, n_phi=101)
+        payload = json.loads(dumps(lr))
+        assert payload["__type__"] == "LockRange"
+        assert payload["injection_lower"] < payload["injection_upper"]
+        assert "samples" not in payload
+
+    def test_shil_solution_with_locks(self, setup):
+        from repro.core import solve_lock_states
+
+        tanh, tank = setup
+        solution = solve_lock_states(
+            tanh, tank, v_i=0.03, w_injection=3 * tank.center_frequency, n=3
+        )
+        payload = json.loads(dumps(solution))
+        assert payload["__type__"] == "ShilSolution"
+        assert len(payload["locks"]) == 2
+        lock = payload["locks"][0]
+        assert lock["__type__"] == "LockState"
+        assert len(lock["oscillator_phases"]) == 3
+
+    def test_valid_json_text(self, setup):
+        from repro.core import predict_natural_oscillation
+
+        tanh, tank = setup
+        text = dumps(predict_natural_oscillation(tanh, tank))
+        assert json.loads(text)  # parses cleanly

@@ -1,0 +1,103 @@
+"""Tests for SPICE-style value parsing and engineering formatting."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.units import format_eng, format_si, parse_value
+
+
+class TestParseValue:
+    def test_plain_number(self):
+        assert parse_value("42") == 42.0
+
+    def test_float_passthrough(self):
+        assert parse_value(3.5) == 3.5
+
+    def test_int_passthrough(self):
+        assert parse_value(7) == 7.0
+
+    def test_exponent_notation(self):
+        assert parse_value("1e-12") == 1e-12
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("100u", 100e-6),
+            ("1n", 1e-9),
+            ("2.2k", 2200.0),
+            ("1meg", 1e6),
+            ("1MEG", 1e6),
+            ("10p", 10e-12),
+            ("3f", 3e-15),
+            ("5m", 5e-3),
+            ("2g", 2e9),
+            ("1t", 1e12),
+        ],
+    )
+    def test_si_suffixes(self, text, expected):
+        assert parse_value(text) == pytest.approx(expected)
+
+    def test_meg_vs_milli_trap(self):
+        # The classic SPICE trap: 'm' is milli, 'meg' is mega.
+        assert parse_value("1m") == 1e-3
+        assert parse_value("1meg") == 1e6
+
+    def test_unit_names_ignored(self):
+        assert parse_value("10kOhm") == 10e3
+        assert parse_value("5V") == 5.0
+
+    def test_negative_values(self):
+        assert parse_value("-3.3u") == pytest.approx(-3.3e-6)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_value("abc")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            parse_value("")
+
+    @given(st.floats(min_value=1e-14, max_value=1e13, allow_nan=False))
+    def test_roundtrip_through_spice_eng_format(self, value):
+        # spice=True writes mega as 'meg', keeping the roundtrip safe from
+        # the case-insensitive 'm' = milli rule.
+        text = format_eng(value, digits=12, spice=True)
+        assert parse_value(text) == pytest.approx(value, rel=1e-9)
+
+    def test_capital_m_formats_as_mega_but_parses_as_milli(self):
+        # Documented asymmetry: display style vs SPICE parsing rules.
+        assert format_eng(1e6) == "1M"
+        assert parse_value("1M") == 1e-3
+
+
+class TestFormatEng:
+    def test_zero(self):
+        assert format_eng(0.0) == "0"
+
+    def test_micro(self):
+        assert format_eng(100e-6) == "100u"
+
+    def test_mega_uses_capital_m(self):
+        assert format_eng(5.033e8) == "503.3M"
+
+    def test_negative(self):
+        assert format_eng(-2200.0) == "-2.2k"
+
+    def test_nan_passthrough(self):
+        assert format_eng(float("nan")) == "nan"
+
+    def test_infinity(self):
+        assert format_eng(math.inf) == "inf"
+
+
+class TestFormatSi:
+    def test_frequency(self):
+        assert format_si(5.033e5, "Hz") == "503.3 kHz"
+
+    def test_unit_without_prefix(self):
+        assert format_si(5.0, "V") == "5 V"
+
+    def test_zero(self):
+        assert format_si(0.0, "A") == "0 A"

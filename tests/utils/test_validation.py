@@ -1,0 +1,92 @@
+"""Tests for the argument-validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_finite,
+    check_in_range,
+    check_monotonic,
+    check_positive,
+    check_shape_match,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 3.0) == 3.0
+
+    def test_rejects_zero_when_strict(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", 0.0)
+
+    def test_accepts_zero_when_not_strict(self):
+        assert check_positive("x", 0.0, strict=False) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive("x", -1.0, strict=False)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_positive("x", float("nan"))
+
+    def test_coerces_to_float(self):
+        assert isinstance(check_positive("x", 2), float)
+
+
+class TestCheckInRange:
+    def test_inclusive_endpoints(self):
+        assert check_in_range("x", 1.0, 1.0, 2.0) == 1.0
+        assert check_in_range("x", 2.0, 1.0, 2.0) == 2.0
+
+    def test_exclusive_endpoints_rejected(self):
+        with pytest.raises(ValueError):
+            check_in_range("x", 1.0, 1.0, 2.0, inclusive=False)
+
+    def test_out_of_range_message_names_variable(self):
+        with pytest.raises(ValueError, match="phi"):
+            check_in_range("phi", 5.0, 0.0, 1.0)
+
+
+class TestCheckFinite:
+    def test_accepts_finite_array(self):
+        arr = check_finite("a", np.ones(5))
+        assert arr.shape == (5,)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="1 non-finite"):
+            check_finite("a", np.array([1.0, np.nan]))
+
+    def test_rejects_inf_and_counts(self):
+        with pytest.raises(ValueError, match="2 non-finite"):
+            check_finite("a", np.array([np.inf, 1.0, -np.inf]))
+
+
+class TestCheckMonotonic:
+    def test_accepts_increasing(self):
+        check_monotonic("t", np.array([0.0, 1.0, 2.0]))
+
+    def test_rejects_flat_when_strict(self):
+        with pytest.raises(ValueError):
+            check_monotonic("t", np.array([0.0, 1.0, 1.0]))
+
+    def test_accepts_flat_when_not_strict(self):
+        check_monotonic("t", np.array([0.0, 1.0, 1.0]), strict=False)
+
+    def test_rejects_decreasing(self):
+        with pytest.raises(ValueError):
+            check_monotonic("t", np.array([0.0, 2.0, 1.0]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            check_monotonic("t", np.ones((2, 2)))
+
+
+class TestCheckShapeMatch:
+    def test_accepts_matching(self):
+        check_shape_match("a", np.ones(3), "b", np.zeros(3))
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(ValueError, match="a and b"):
+            check_shape_match("a", np.ones(3), "b", np.zeros(4))

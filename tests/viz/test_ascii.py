@@ -1,0 +1,73 @@
+"""Tests for the ASCII renderer."""
+
+import numpy as np
+import pytest
+
+from repro.core.curves import LevelCurve
+from repro.viz.ascii import AsciiCanvas, render_curves, render_waveform
+
+
+class TestAsciiCanvas:
+    def test_point_lands_in_grid(self):
+        canvas = AsciiCanvas(20, 10, x_range=(0, 1), y_range=(0, 1))
+        canvas.plot_point(0.5, 0.5, "X")
+        output = canvas.render()
+        assert "X" in output
+
+    def test_out_of_range_point_ignored(self):
+        canvas = AsciiCanvas(20, 10, x_range=(0, 1), y_range=(0, 1))
+        canvas.plot_point(5.0, 5.0, "X")
+        assert "X" not in canvas.render()
+
+    def test_polyline_continuous(self):
+        canvas = AsciiCanvas(40, 20, x_range=(0, 1), y_range=(0, 1))
+        canvas.plot_polyline(np.array([0.0, 1.0]), np.array([0.0, 1.0]), "*")
+        output = canvas.render()
+        # Diagonal across a 40x20 canvas needs at least ~20 marks.
+        assert output.count("*") >= 20
+
+    def test_title_and_labels(self):
+        canvas = AsciiCanvas(20, 10, x_range=(0, 1), y_range=(0, 2))
+        text = canvas.render(title="my plot", x_label="phi", y_label="A")
+        assert "my plot" in text
+        assert "x: phi" in text
+        assert "y: A" in text
+
+    def test_axis_limits_printed(self):
+        canvas = AsciiCanvas(20, 10, x_range=(0, 1), y_range=(0, 2))
+        text = canvas.render()
+        assert "2" in text and "1" in text
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(ValueError):
+            AsciiCanvas(4, 2, x_range=(0, 1), y_range=(0, 1))
+
+    def test_rejects_degenerate_range(self):
+        with pytest.raises(ValueError):
+            AsciiCanvas(20, 10, x_range=(1, 1), y_range=(0, 1))
+
+
+class TestRenderCurves:
+    def test_families_use_distinct_glyphs(self):
+        a = [LevelCurve(x=np.linspace(0, 1, 10), y=np.full(10, 0.3), level=1.0)]
+        b = [LevelCurve(x=np.linspace(0, 1, 10), y=np.full(10, 0.7), level=0.0)]
+        text = render_curves([(a, "#"), (b, ":")])
+        assert "#" in text and ":" in text
+
+    def test_markers_drawn(self):
+        a = [LevelCurve(x=np.linspace(0, 1, 10), y=np.linspace(0, 1, 10), level=1.0)]
+        text = render_curves([(a, ".")], points=[(0.5, 0.5, "O")])
+        assert "O" in text
+
+
+class TestRenderWaveform:
+    def test_sine_rendered(self):
+        t = np.linspace(0, 1e-3, 500)
+        text = render_waveform(t, np.sin(2 * np.pi * 5e3 * t), title="wave")
+        assert "wave" in text
+        assert text.count("*") > 50
+
+    def test_long_waveform_decimated(self):
+        t = np.linspace(0, 1.0, 100_000)
+        text = render_waveform(t, np.sin(t), max_points=1000)
+        assert isinstance(text, str)

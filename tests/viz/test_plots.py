@@ -1,0 +1,29 @@
+"""Tests for the optional matplotlib layer's availability handling."""
+
+import pytest
+
+from repro.viz.plots import matplotlib_available, plot_natural
+
+
+class TestMatplotlibOptionality:
+    def test_available_reports_boolean(self):
+        assert isinstance(matplotlib_available(), bool)
+
+    def test_plot_raises_cleanly_without_matplotlib(self, demo_tank, tanh_nonlinearity):
+        if matplotlib_available():
+            pytest.skip("matplotlib installed; the unavailable branch is moot")
+        from repro.core import predict_natural_oscillation
+
+        natural = predict_natural_oscillation(tanh_nonlinearity, demo_tank)
+        with pytest.raises(RuntimeError, match="ASCII"):
+            plot_natural(natural)
+
+    def test_plot_works_when_available(self, demo_tank, tanh_nonlinearity, tmp_path):
+        if not matplotlib_available():
+            pytest.skip("matplotlib not installed")
+        from repro.core import predict_natural_oscillation
+
+        natural = predict_natural_oscillation(tanh_nonlinearity, demo_tank)
+        out = tmp_path / "fig3.png"
+        plot_natural(natural, str(out))
+        assert out.exists()
