@@ -20,6 +20,13 @@ Examples
     python -m repro locks --gm 2.5m --isat 1m --r 1k --l 100u --c 10n \\
         --vi 0.03 --n 3 --finj 477.5k
     python -m repro experiment FIG10
+    python -m repro --profile experiment FIG14   # writes BENCH_FIG14.json
+
+``--profile`` (before the subcommand) enables the phase timers and dumps
+a machine-readable ``BENCH_<ID>.json`` next to the working directory,
+including describing-function cache hit/miss counts.  ``locks`` and
+``lockrange`` additionally accept ``--method dense`` to force the
+direct-quadrature referee instead of the FFT-factorised fast path.
 """
 
 from __future__ import annotations
@@ -90,7 +97,7 @@ def _cmd_locks(args) -> int:
         w_injection = args.n * tank.center_frequency
     solution = solve_lock_states(
         nonlinearity, tank, v_i=parse_value(args.vi),
-        w_injection=w_injection, n=args.n,
+        w_injection=w_injection, n=args.n, method=args.method,
     )
     print(f"oscillator: {name}; injection "
           f"{format_si(w_injection / (2 * np.pi), 'Hz')} at n = {args.n}, "
@@ -114,7 +121,8 @@ def _cmd_lockrange(args) -> int:
 
     nonlinearity, tank, name = _resolve_setup(args)
     lock_range = predict_lock_range(
-        nonlinearity, tank, v_i=parse_value(args.vi), n=args.n
+        nonlinearity, tank, v_i=parse_value(args.vi), n=args.n,
+        method=args.method,
     )
     print(f"oscillator: {name}; n = {args.n}, V_i = {parse_value(args.vi):g} V")
     print(f"lower lock limit: {format_si(lock_range.injection_lower_hz, 'Hz')}")
@@ -153,11 +161,27 @@ def _add_oscillator_options(parser: argparse.ArgumentParser) -> None:
     group.add_argument("--c", help="tank capacitance (F), e.g. 10n")
 
 
+def _add_method_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--method",
+        choices=("fft", "dense"),
+        default="fft",
+        help="pre-characterisation path: FFT-factorised fast path "
+        "(default) or the direct-quadrature dense referee",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="SHIL analysis of LC oscillators (Bhushan, DAC 2014)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="time the analysis phases and write BENCH_<ID>.json "
+        "(place before the subcommand)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -173,12 +197,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--finj", help="injection frequency (Hz, SPICE suffixes ok); "
         "defaults to n times the tank centre"
     )
+    _add_method_option(p_locks)
     p_locks.set_defaults(func=_cmd_locks)
 
     p_range = sub.add_parser("lockrange", help="one-pass lock-range prediction")
     _add_oscillator_options(p_range)
     p_range.add_argument("--vi", default="0.03", help="injection phasor magnitude (V)")
     p_range.add_argument("--n", type=int, default=3, help="sub-harmonic order")
+    _add_method_option(p_range)
     p_range.set_defaults(func=_cmd_lockrange)
 
     p_exp = sub.add_parser("experiment", help="run a DESIGN.md experiment by id")
@@ -189,11 +215,35 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _bench_id(args) -> str:
+    """Record id for the ``--profile`` dump (experiment id or command)."""
+    if args.command == "experiment":
+        return str(args.id).upper()
+    return str(args.command).upper()
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    if not args.profile:
+        return args.func(args)
+
+    from repro.perf import default_cache, profiler, write_bench_json
+
+    cache = default_cache()
+    profiler.enable()
+    try:
+        code = args.func(args)
+    finally:
+        profiler.disable()
+    record = profiler.as_dict()
+    record["exit_code"] = int(code)
+    record["argv"] = list(argv) if argv is not None else sys.argv[1:]
+    record["cache"] = dict(cache.stats)
+    path = write_bench_json(_bench_id(args), record)
+    print(f"profile written to {path}")
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

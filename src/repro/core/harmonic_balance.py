@@ -46,6 +46,7 @@ import numpy as np
 
 from repro.core.natural import predict_natural_oscillation
 from repro.core.shil import solve_lock_states
+from repro.core.two_tone import TwoToneDF
 from repro.nonlin.base import Nonlinearity
 from repro.tank.base import Tank
 from repro.utils.validation import check_positive
@@ -235,13 +236,20 @@ def hb_lock_state(
     n_samples: int = 512,
     tol: float = 1e-12,
     max_iter: int = 60,
+    method: str = "fft",
 ) -> HbSolution:
     """Harmonic-balance refinement of a stable SHIL lock state.
 
     The oscillation frequency is pinned to ``w_injection / n``; the
     injected tone ``2 v_i cos(w_injection t)`` adds to the drive of the
     nonlinearity at harmonic ``n`` (series-injection topology, Fig. 8a).
-    Newton starts from the describing-function stable lock.
+    Newton starts from the describing-function stable lock, with *all*
+    ``K`` voltage harmonics pre-seeded from the two-tone current
+    spectrum: each current harmonic ``I_k`` at the DF lock point costs
+    nothing extra beyond the fundamental, and ``V_k = -Z(jkw_i) I_k``
+    (rotated into the injection frame) is the tank's first-order
+    response to it.  ``method`` selects the pre-characterisation path of
+    the seeding DF solve (see :func:`repro.core.shil.solve_lock_states`).
 
     Returns
     -------
@@ -263,7 +271,7 @@ def hb_lock_state(
     w_i = w_injection / n
 
     df_solution = solve_lock_states(
-        nonlinearity, tank, v_i=v_i, w_injection=w_injection, n=n
+        nonlinearity, tank, v_i=v_i, w_injection=w_injection, n=n, method=method
     )
     if not df_solution.locked:
         raise HbConvergenceError(
@@ -275,15 +283,22 @@ def hb_lock_state(
     # HB frame: injection at zero phase -> rotate the fundamental to
     # psi = one of the oscillator phases (pick the principal state).
     psi = float(lock.oscillator_phases[0])
-    v0 = np.zeros(k_max, dtype=complex)
+    k = np.arange(1, k_max + 1)
+    z = np.asarray(tank.transfer(k * w_i))
+    y = 1.0 / z
+    # Seed every harmonic, not just the fundamental: the two-tone current
+    # spectrum at the lock point gives I_k for free, and V_k = -Z(jkw) I_k
+    # is the tank's response to it (rotated by e^{jk psi} into the
+    # injection frame).  The fundamental keeps its exact DF value.
+    df = TwoToneDF(nonlinearity, v_i, n, n_samples=n_samples, method=method)
+    i_k = df.harmonic_phasors(lock.amplitude, lock.phi, k_max)
+    v0 = -z * i_k * np.exp(1j * k * psi)
     v0[0] = (lock.amplitude / 2.0) * np.exp(1j * psi)
     extra = np.zeros(k_max, dtype=complex)
     extra[n - 1] = v_i  # phasor of 2 v_i cos(n w_i t)
 
     x = _pack(v0, None)
     scale = max(lock.amplitude / 2.0, 1e-12)
-    k = np.arange(1, k_max + 1)
-    y = 1.0 / tank.transfer(k * w_i)
 
     def residual(x: np.ndarray) -> np.ndarray:
         v, __ = _unpack(x, k_max, with_w=False)

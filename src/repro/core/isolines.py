@@ -80,6 +80,7 @@ def build_isoline_picture(
     n_a: int = 121,
     n_phi: int = 241,
     n_samples: int = DEFAULT_SAMPLES,
+    method: str = "fft",
 ) -> IsolinePicture:
     """Assemble the graphical lock-range picture.
 
@@ -94,6 +95,10 @@ def build_isoline_picture(
         ``|phi_d| ~ 0.3``).
     amplitude_window, n_a, n_phi, n_samples:
         Grid controls, as in :func:`repro.core.lockrange.predict_lock_range`.
+    method:
+        ``"fft"`` (default) pre-characterises through the factorised
+        surface (cache-backed, shared with the lock-range solver);
+        ``"dense"`` forces the direct-quadrature referee.
     """
     check_positive("v_i", v_i)
     if angles is None:
@@ -103,7 +108,7 @@ def build_isoline_picture(
         amplitude_window = (0.3 * natural.amplitude, 1.4 * natural.amplitude)
     a_lo, a_hi = amplitude_window
 
-    df = TwoToneDF(nonlinearity, v_i, int(n), n_samples=n_samples)
+    df = TwoToneDF(nonlinearity, v_i, int(n), n_samples=n_samples, method=method)
     half_cell = np.pi / (n_phi - 1)
     grid = df.characterize(
         np.linspace(a_lo, a_hi, n_a),

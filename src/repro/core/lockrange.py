@@ -34,6 +34,7 @@ from repro.core.shil import solve_lock_states
 from repro.core.stability import classify_by_jacobian
 from repro.core.two_tone import TwoToneDF
 from repro.nonlin.base import Nonlinearity
+from repro.perf.timers import timed
 from repro.tank.base import Tank
 from repro.utils.grids import refine_bracket
 from repro.utils.validation import check_positive
@@ -197,6 +198,172 @@ def _point_at_phi(
     )
 
 
+def _solve_amplitudes_batched(
+    evaluate,
+    tank_r: float,
+    phis: np.ndarray,
+    seeds: np.ndarray,
+    a_window: tuple[float, float],
+    *,
+    tol: float = 1e-13,
+) -> np.ndarray:
+    """Vectorised ``T_f(A, phi) = 1`` solve for many curve points at once.
+
+    Mirrors :func:`_solve_amplitude_on_curve` — bracket expansion around
+    each seed followed by bisection — but runs every point of the invariant
+    curve through the (zero-nonlinearity-call) surface evaluator in lock
+    step, so the whole curve costs a few dozen small vector operations
+    instead of tens of thousands of scalar quadratures.  Unbracketable
+    points come back as NaN.
+    """
+
+    def residual(a: np.ndarray, p: np.ndarray) -> np.ndarray:
+        i1x = np.real(evaluate(a, p))
+        return -tank_r * i1x / (a / 2.0) - 1.0
+
+    lo, hi = a_window
+    span = 0.05 * (hi - lo)
+    a_lo = np.maximum(lo, seeds - span)
+    a_hi = np.minimum(hi, seeds + span)
+    r_lo = residual(a_lo, phis)
+    r_hi = residual(a_hi, phis)
+    for _ in range(6):
+        open_ = np.sign(r_lo) == np.sign(r_hi)
+        if not open_.any():
+            break
+        at_limit = open_ & (a_lo <= lo) & (a_hi >= hi)
+        grow = open_ & ~at_limit
+        if not grow.any():
+            break
+        a_lo = np.where(grow, np.maximum(lo, a_lo - span), a_lo)
+        a_hi = np.where(grow, np.minimum(hi, a_hi + span), a_hi)
+        r_lo = np.where(grow, residual(a_lo, phis), r_lo)
+        r_hi = np.where(grow, residual(a_hi, phis), r_hi)
+    bracketed = np.sign(r_lo) != np.sign(r_hi)
+
+    if phis.size == 1:
+        # Scalar query (edge refinement): Brent converges in ~a dozen
+        # evaluator calls where synchronised bisection needs ~50.
+        if not bool(bracketed[0]):
+            return np.array([np.nan])
+        from scipy.optimize import brentq
+
+        phi = float(phis[0])
+        root = brentq(
+            lambda a: float(residual(np.array([a]), np.array([phi]))[0]),
+            float(a_lo[0]),
+            float(a_hi[0]),
+            xtol=tol,
+            rtol=8.9e-16,
+        )
+        return np.array([root])
+
+    # Bisection, synchronised across all bracketed points.
+    lo_v = a_lo.copy()
+    hi_v = a_hi.copy()
+    f_lo = r_lo.copy()
+    for _ in range(200):
+        mid = 0.5 * (lo_v + hi_v)
+        width_ok = (hi_v - lo_v) < tol * np.maximum(1.0, np.abs(mid))
+        if bool(np.all(width_ok | ~bracketed)):
+            break
+        f_mid = residual(mid, phis)
+        take_low = np.sign(f_mid) == np.sign(f_lo)
+        lo_v = np.where(take_low, mid, lo_v)
+        f_lo = np.where(take_low, f_mid, f_lo)
+        hi_v = np.where(take_low, hi_v, mid)
+    solution = 0.5 * (lo_v + hi_v)
+    return np.where(bracketed, solution, np.nan)
+
+
+def _points_at_phis_batched(
+    df: TwoToneDF,
+    tank: Tank,
+    evaluate,
+    phis: np.ndarray,
+    seeds: np.ndarray,
+    a_window: tuple[float, float],
+    *,
+    with_stability: bool = True,
+) -> list[LockRangePoint | None]:
+    """Vectorised :func:`_point_at_phi` over many curve points.
+
+    Amplitude solve, ``phi_d`` extraction and the stability Jacobian all
+    run batched through the surface evaluator; only the (cheap, analytic)
+    tank phase inversion stays per point.  The stability rule is the same
+    eigenvalue criterion as :func:`classify_by_jacobian`, expressed as
+    ``trace < 0 and det > 0`` — equivalent for a real 2x2 system.
+    """
+    phis = np.asarray(phis, dtype=float)
+    seeds = np.asarray(seeds, dtype=float)
+    tank_r = tank.peak_resistance
+    tank_c = tank.effective_capacitance()
+    amplitudes = _solve_amplitudes_batched(evaluate, tank_r, phis, seeds, a_window)
+    valid = np.isfinite(amplitudes)
+    safe_a = np.where(valid, amplitudes, 1.0)
+
+    i1 = evaluate(safe_a, phis)
+    phi_d = -np.angle(-i1)
+    valid &= np.abs(phi_d) < _PHI_D_LIMIT
+
+    w_i = np.full(phis.shape, np.nan)
+    for j in np.nonzero(valid)[0]:
+        try:
+            w_i[j] = tank.frequency_for_phase(float(phi_d[j]))
+        except ValueError:
+            valid[j] = False
+
+    if with_stability:
+        # Batched finite-difference Jacobian of the slow flow (same stencil
+        # as SlowFlow.jacobian: central differences, rel_step 1e-5).
+        tan_phi_d = np.tan(phi_d)
+
+        def rhs(a: np.ndarray, p: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+            i1_ap = evaluate(a, p)
+            tf = -tank_r * np.real(i1_ap) / (a / 2.0)
+            da = a / (2.0 * tank_r * tank_c) * (tf - 1.0)
+            dphi = (
+                df.n
+                / (2.0 * tank_c)
+                * (2.0 * np.imag(i1_ap) / a - tan_phi_d / tank_r)
+            )
+            return da, dphi
+
+        rel_step = 1e-5
+        h_a = rel_step * safe_a
+        h_p = rel_step * 2.0 * np.pi
+        fa_p = rhs(safe_a + h_a, phis)
+        fa_m = rhs(safe_a - h_a, phis)
+        fp_p = rhs(safe_a, phis + h_p)
+        fp_m = rhs(safe_a, phis - h_p)
+        j00 = (fa_p[0] - fa_m[0]) / (2.0 * h_a)
+        j01 = (fp_p[0] - fp_m[0]) / (2.0 * h_p)
+        j10 = (fa_p[1] - fa_m[1]) / (2.0 * h_a)
+        j11 = (fp_p[1] - fp_m[1]) / (2.0 * h_p)
+        trace = j00 + j11
+        det = j00 * j11 - j01 * j10
+        stable = (trace < 0.0) & (det > 0.0)
+    else:
+        # Probe mode (edge refinement tracks phi_d only).
+        stable = np.zeros(phis.shape, dtype=bool)
+
+    points: list[LockRangePoint | None] = []
+    for j in range(phis.size):
+        if not valid[j]:
+            points.append(None)
+            continue
+        points.append(
+            LockRangePoint(
+                phi=float(phis[j]),
+                amplitude=float(amplitudes[j]),
+                phi_d=float(phi_d[j]),
+                w_i=float(w_i[j]),
+                stable=bool(stable[j]),
+            )
+        )
+    return points
+
+
 def _refine_extremum(
     df: TwoToneDF,
     tank: Tank,
@@ -207,15 +374,29 @@ def _refine_extremum(
     sign: float,
     *,
     tol: float = 1e-10,
+    evaluate=None,
 ) -> LockRangePoint | None:
     """Golden-section maximisation of ``sign * phi_d`` along the curve."""
     invphi = (np.sqrt(5.0) - 1.0) / 2.0
 
     cache: dict[float, LockRangePoint | None] = {}
 
+    def point_at(phi: float, with_stability: bool = False) -> LockRangePoint | None:
+        if evaluate is None:
+            return _point_at_phi(df, tank, phi, a_seed, a_window)
+        return _points_at_phis_batched(
+            df,
+            tank,
+            evaluate,
+            np.array([phi]),
+            np.array([a_seed]),
+            a_window,
+            with_stability=with_stability,
+        )[0]
+
     def value(phi: float) -> float:
         if phi not in cache:
-            cache[phi] = _point_at_phi(df, tank, phi, a_seed, a_window)
+            cache[phi] = point_at(phi)
         point = cache[phi]
         if point is None:
             return -np.inf
@@ -237,7 +418,8 @@ def _refine_extremum(
             d = a + invphi * (b - a)
             fd = value(d)
     best_phi = c if fc > fd else d
-    return cache.get(best_phi) or _point_at_phi(df, tank, best_phi, a_seed, a_window)
+    # Final point carries the full stability verdict (probes skip it).
+    return point_at(best_phi, with_stability=True)
 
 
 def predict_lock_range(
@@ -250,6 +432,7 @@ def predict_lock_range(
     n_a: int = 121,
     n_phi: int = 241,
     n_samples: int = DEFAULT_SAMPLES,
+    method: str = "fft",
 ) -> LockRange:
     """Predict the n-th sub-harmonic lock range — one pass, no iteration.
 
@@ -269,6 +452,13 @@ def predict_lock_range(
         suffice.
     n_samples:
         Fourier quadrature resolution.
+    method:
+        ``"fft"`` (default): FFT-factorised pre-characterisation plus the
+        batched curve solver — every ``I_1`` query after the surface build
+        costs zero nonlinearity calls.  ``"dense"``: the direct-quadrature
+        referee path (scalar solves, exact ``I_1`` everywhere) kept as the
+        ablation baseline; both methods agree to solver tolerance on
+        smooth laws.
 
     Raises
     ------
@@ -280,6 +470,8 @@ def predict_lock_range(
     if int(n) != n or n < 1:
         raise ValueError(f"n must be a positive integer, got {n}")
     n = int(n)
+    if method not in ("fft", "dense"):
+        raise ValueError(f"method must be 'fft' or 'dense', got {method!r}")
     tank_r = tank.peak_resistance
     if amplitude_window is None:
         natural = predict_natural_oscillation(nonlinearity, tank, n_samples=n_samples)
@@ -287,28 +479,40 @@ def predict_lock_range(
     a_lo, a_hi = amplitude_window
     check_positive("amplitude_window[0]", a_lo)
 
-    df = TwoToneDF(nonlinearity, v_i, n, n_samples=n_samples)
+    df = TwoToneDF(nonlinearity, v_i, n, n_samples=n_samples, method=method)
     amplitudes = np.linspace(a_lo, a_hi, n_a)
     # Half-cell offset keeps symmetric-nonlinearity zero lines off the
     # sampling columns (see solve_lock_states).
     half_cell = np.pi / (n_phi - 1)
     phis = np.linspace(half_cell, 2.0 * np.pi + half_cell, n_phi)
     grid = df.characterize(amplitudes, phis, tank_r)
-    tf_curves = extract_level_curves(grid, "tf", 1.0)
+    with timed("curve-extraction"):
+        tf_curves = extract_level_curves(grid, "tf", 1.0)
     if not tf_curves:
         raise NoLockError(
             "the T_f = 1 curve does not exist in the amplitude window; "
             "check that the oscillator sustains oscillation at this V_i"
         )
 
+    evaluate = df.i1_evaluator(amplitudes, phis) if method == "fft" else None
     samples: list[LockRangePoint] = []
-    for curve in tf_curves:
-        for j in range(len(curve)):
-            point = _point_at_phi(
-                df, tank, float(curve.x[j]), float(curve.y[j]), amplitude_window
-            )
-            if point is not None:
-                samples.append(point)
+    with timed("curve-solve"):
+        if evaluate is not None:
+            curve_phis = np.concatenate([np.asarray(c.x, dtype=float) for c in tf_curves])
+            curve_seeds = np.concatenate([np.asarray(c.y, dtype=float) for c in tf_curves])
+            for point in _points_at_phis_batched(
+                df, tank, evaluate, curve_phis, curve_seeds, amplitude_window
+            ):
+                if point is not None:
+                    samples.append(point)
+        else:
+            for curve in tf_curves:
+                for j in range(len(curve)):
+                    point = _point_at_phi(
+                        df, tank, float(curve.x[j]), float(curve.y[j]), amplitude_window
+                    )
+                    if point is not None:
+                        samples.append(point)
     stable = [p for p in samples if p.stable]
     if not stable:
         raise NoLockError(
@@ -326,14 +530,22 @@ def predict_lock_range(
         if phi_hi - phi_lo < 1e-12:
             return best
         refined = _refine_extremum(
-            df, tank, phi_lo, phi_hi, best.amplitude, amplitude_window, sign
+            df,
+            tank,
+            phi_lo,
+            phi_hi,
+            best.amplitude,
+            amplitude_window,
+            sign,
+            evaluate=evaluate,
         )
         if refined is None or sign * refined.phi_d < sign * best.phi_d:
             return best
         return refined
 
-    edge_low = refine_edge(+1.0)  # largest positive phi_d -> lowest frequency
-    edge_high = refine_edge(-1.0)  # most negative phi_d -> highest frequency
+    with timed("edge-refine"):
+        edge_low = refine_edge(+1.0)  # largest positive phi_d -> lowest frequency
+        edge_high = refine_edge(-1.0)  # most negative phi_d -> highest frequency
 
     return LockRange(
         n=n,

@@ -168,6 +168,7 @@ def solve_lock_states(
     n_a: int = 141,
     n_phi: int = 181,
     n_samples: int = DEFAULT_SAMPLES,
+    method: str = "fft",
 ) -> ShilSolution:
     """Find all lock states for injection ``2 v_i cos(w_injection t)``.
 
@@ -192,6 +193,11 @@ def solve_lock_states(
         Grid resolution of the pre-characterisation.
     n_samples:
         Fourier quadrature resolution.
+    method:
+        ``"fft"`` (default) pre-characterises via the factorised,
+        cache-backed surface; ``"dense"`` forces the direct-quadrature
+        referee.  The Newton polish always uses exact quadrature either
+        way, so the choice only affects candidate generation speed.
 
     Returns
     -------
@@ -215,7 +221,7 @@ def solve_lock_states(
     if not a_hi > a_lo:
         raise ValueError("amplitude_window must satisfy A_max > A_min")
 
-    df = TwoToneDF(nonlinearity, v_i, n, n_samples=n_samples)
+    df = TwoToneDF(nonlinearity, v_i, n, n_samples=n_samples, method=method)
     amplitudes = np.linspace(a_lo, a_hi, n_a)
     # Half-cell offset: symmetric nonlinearities put exact zeros of the
     # phase residual on phi = 0 and pi; sampling exactly there hides the

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
@@ -9,7 +10,13 @@ import numpy as np
 from repro.baselines import adler_shil_lock_range, compute_ppv, ppv_lock_range
 from repro.core import predict_lock_range
 from repro.core.lockrange import lock_range_by_frequency_scan
-from repro.experiments.circuits import tanh_oscillator
+from repro.core.natural import predict_natural_oscillation
+from repro.core.two_tone import TwoToneDF
+from repro.experiments.circuits import (
+    diffpair_oscillator,
+    tanh_oscillator,
+    tunnel_oscillator,
+)
 from repro.experiments.result import ExperimentResult
 from repro.measure import simulate_lock_range
 
@@ -21,6 +28,94 @@ __all__ = [
 ]
 
 
+def _lockrange_grids(setup) -> tuple[np.ndarray, np.ndarray]:
+    """The exact ``(A, phi)`` grids ``predict_lock_range`` characterises."""
+    natural = predict_natural_oscillation(setup.nonlinearity, setup.tank)
+    amplitudes = np.linspace(0.3 * natural.amplitude, 1.4 * natural.amplitude, 121)
+    half_cell = np.pi / 240.0
+    phis = np.linspace(half_cell, 2.0 * np.pi + half_cell, 241)
+    return amplitudes, phis
+
+
+def _no_cache_env():
+    """Context values for forcing cold-cache timings."""
+    previous = os.environ.get("REPRO_NO_CACHE")
+    os.environ["REPRO_NO_CACHE"] = "1"
+    return previous
+
+
+def _restore_cache_env(previous) -> None:
+    if previous is None:
+        os.environ.pop("REPRO_NO_CACHE", None)
+    else:
+        os.environ["REPRO_NO_CACHE"] = previous
+
+
+def compare_methods(setup) -> dict:
+    """Cold dense vs cold FFT vs warm-cache timings for one oscillator.
+
+    Returns a JSON-able record: wall-clock of ``predict_lock_range`` under
+    both methods with the disk cache disabled (true cold), the maximum
+    ``|I_1^fft - I_1^dense|`` over the characterisation grid, the relative
+    lock-edge disagreement, and the warm re-characterisation time after
+    the disk cache has been primed.
+    """
+    nonlinearity, tank = setup.nonlinearity, setup.tank
+    v_i, n = setup.v_i, setup.n
+
+    previous = _no_cache_env()
+    try:
+        t0 = time.perf_counter()
+        fast = predict_lock_range(nonlinearity, tank, v_i=v_i, n=n, method="fft")
+        t_fft = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        dense = predict_lock_range(nonlinearity, tank, v_i=v_i, n=n, method="dense")
+        t_dense = time.perf_counter() - t0
+        # Max I_1 deviation over the exact grids the predictor consumed.
+        amplitudes, phis = _lockrange_grids(setup)
+        tank_r = tank.peak_resistance
+        g_fft = TwoToneDF(nonlinearity, v_i, n, method="fft").characterize(
+            amplitudes, phis, tank_r
+        )
+        g_dense = TwoToneDF(nonlinearity, v_i, n, method="dense").characterize(
+            amplitudes, phis, tank_r
+        )
+        i1_dev = float(
+            np.max(
+                np.hypot(
+                    g_fft.surfaces["i1x"] - g_dense.surfaces["i1x"],
+                    g_fft.surfaces["i1y"] - g_dense.surfaces["i1y"],
+                )
+            )
+        )
+    finally:
+        _restore_cache_env(previous)
+
+    # Prime the disk cache, then time a fresh characterisation that can
+    # only hit it (new TwoToneDF instance -> empty in-memory memo).
+    amplitudes, phis = _lockrange_grids(setup)
+    TwoToneDF(nonlinearity, v_i, n).characterize(amplitudes, phis, tank.peak_resistance)
+    t0 = time.perf_counter()
+    TwoToneDF(nonlinearity, v_i, n).characterize(amplitudes, phis, tank.peak_resistance)
+    t_warm = time.perf_counter() - t0
+
+    edge_dev = max(
+        abs(fast.injection_lower - dense.injection_lower),
+        abs(fast.injection_upper - dense.injection_upper),
+    ) / max(dense.injection_upper - dense.injection_lower, 1e-300)
+    return {
+        "oscillator": setup.name,
+        "t_fft_cold_s": t_fft,
+        "t_dense_cold_s": t_dense,
+        "speedup_x": t_dense / t_fft,
+        "max_i1_deviation_A": i1_dev,
+        "edge_deviation_rel_width": float(edge_dev),
+        "t_warm_characterize_s": t_warm,
+        "width_hz_fft": fast.width_hz,
+        "width_hz_dense": dense.width_hz,
+    }
+
+
 def run_speedup(quick: bool = False) -> ExperimentResult:
     """SPEED: wall-clock of the predictor vs transient-based extraction.
 
@@ -28,7 +123,9 @@ def run_speedup(quick: bool = False) -> ExperimentResult:
     this bench measures the same ratio against this library's own
     transient path on the tanh demo oscillator (the circuits are
     frequency-scaled copies of each other dynamically, so the ratio is
-    representative).
+    representative).  It also measures the FFT-factorised fast path
+    against the dense-quadrature referee on all three paper oscillators
+    (the FIG10/FIG14/FIG18 prediction paths), cold- and warm-cache.
     """
     setup = tanh_oscillator()
     t0 = time.perf_counter()
@@ -51,6 +148,23 @@ def run_speedup(quick: bool = False) -> ExperimentResult:
     result.add("simulated width (Hz)", simulated.width_hz)
     result.data["predicted"] = predicted
     result.data["simulated"] = simulated
+
+    methods = {}
+    for fig, make_setup in (
+        ("FIG10", tanh_oscillator),
+        ("FIG14", diffpair_oscillator),
+        ("FIG18", tunnel_oscillator),
+    ):
+        record = compare_methods(make_setup())
+        methods[fig] = record
+        result.add(
+            f"{fig} fft vs dense (cold)",
+            f"{record['speedup_x']:.1f}x "
+            f"({record['t_fft_cold_s']:.2f} s vs {record['t_dense_cold_s']:.2f} s), "
+            f"max |dI_1| {record['max_i1_deviation_A']:.1e} A, "
+            f"warm re-char {record['t_warm_characterize_s'] * 1e3:.0f} ms",
+        )
+    result.data["methods"] = methods
     return result
 
 

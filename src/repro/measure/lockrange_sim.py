@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.measure.lockdetect import LockVerdict, detect_lock
+from repro.measure.phase import quadrature_demodulate_many
 from repro.measure.waveform import Waveform
 from repro.nonlin.base import Nonlinearity
 from repro.odesim.oscillator import InjectionSpec, simulate_oscillator
@@ -113,11 +114,21 @@ def _classify_batch(
         steps_per_cycle=steps_per_cycle,
         record_start=acquire_cycles * period,
     )
-    verdicts = []
-    for idx in range(result.batch_size):
-        waveform = Waveform(result.t, result.v[:, idx])
-        verdicts.append(detect_lock(waveform, float(w_candidates[idx]), n))
-    return verdicts
+    # One batched demodulation for the whole round, then a verdict per
+    # candidate against its own sub-harmonic reference.
+    w_candidates = np.asarray(w_candidates, dtype=float)
+    demods = quadrature_demodulate_many(
+        result.t, result.v[:, : w_candidates.size], w_candidates / n
+    )
+    return [
+        detect_lock(
+            Waveform(result.t, result.v[:, idx]),
+            float(w_candidates[idx]),
+            n,
+            demod=demods[idx],
+        )
+        for idx in range(w_candidates.size)
+    ]
 
 
 def simulate_lock_range(

@@ -22,7 +22,7 @@ import numpy as np
 from repro.measure.waveform import Waveform
 from repro.utils.validation import check_positive
 
-__all__ = ["Demodulated", "quadrature_demodulate"]
+__all__ = ["Demodulated", "quadrature_demodulate", "quadrature_demodulate_many"]
 
 
 @dataclass(frozen=True)
@@ -117,3 +117,88 @@ def quadrature_demodulate(
         phase=np.unwrap(np.angle(z_f)),
         w_ref=float(w_ref),
     )
+
+
+def quadrature_demodulate_many(
+    t: np.ndarray,
+    signals: np.ndarray,
+    w_refs: np.ndarray,
+    *,
+    smooth_periods: int = 1,
+) -> list[Demodulated]:
+    """Demodulate a batch of co-sampled records, one reference each.
+
+    The batched refinement rounds of
+    :func:`repro.measure.lockrange_sim.simulate_lock_range` produce many
+    candidate records on a shared time axis, each to be judged against its
+    own reference frequency.  Doing the mixdown and smoothing for the
+    whole batch at once replaces the per-record ``O(N * window)``
+    convolution with a shared cumulative sum (``O(N)`` per record) and one
+    vectorised unwrap per distinct window length.
+
+    Parameters
+    ----------
+    t:
+        Shared, uniform sample times, shape ``(n_samples,)``.
+    signals:
+        Record per column, shape ``(n_samples, n_batch)``.
+    w_refs:
+        Reference angular frequency per column, shape ``(n_batch,)``.
+    smooth_periods:
+        As in :func:`quadrature_demodulate`.
+
+    Returns
+    -------
+    list[Demodulated]
+        One baseband view per column, identical (up to floating-point
+        summation order) to calling :func:`quadrature_demodulate` per
+        record.
+    """
+    t = np.asarray(t, dtype=float)
+    signals = np.asarray(signals, dtype=float)
+    w_refs = np.asarray(w_refs, dtype=float)
+    if signals.ndim != 2 or signals.shape[0] != t.size:
+        raise ValueError("signals must have shape (t.size, n_batch)")
+    if w_refs.shape != (signals.shape[1],):
+        raise ValueError("w_refs must have one reference per signal column")
+    if np.any(w_refs <= 0.0):
+        raise ValueError("w_refs must be positive")
+    if smooth_periods < 1:
+        raise ValueError("smooth_periods must be >= 1")
+    dt = float(t[1] - t[0])
+
+    z = signals * np.exp(-1j * np.outer(t, w_refs))
+    csum = np.vstack([np.zeros((1, z.shape[1]), dtype=complex), np.cumsum(z, axis=0)])
+    windows = np.maximum(
+        np.round(smooth_periods * 2.0 * np.pi / (w_refs * dt)).astype(int), 2
+    )
+
+    out: list[Demodulated | None] = [None] * z.shape[1]
+    # Nearby references share a window length, so this loop usually runs
+    # once or twice per batch.
+    for window in np.unique(windows):
+        window = int(window)
+        if t.size < 3 * window:
+            raise ValueError(
+                f"waveform too short: {t.size} samples < 3 smoothing "
+                f"windows of {window}"
+            )
+        cols = np.nonzero(windows == window)[0]
+        if cols.size == windows.size:
+            z_f = (csum[window:] - csum[:-window]) / window
+        else:
+            z_f = (csum[window:, cols] - csum[:-window, cols]) / window
+        trim = (window - 1) // 2
+        t_group = t[trim : trim + z_f.shape[0]]
+        phases = np.ascontiguousarray(
+            np.unwrap(np.ascontiguousarray(np.angle(z_f).T), axis=1).T
+        )
+        amplitudes = 2.0 * np.abs(z_f)
+        for j, col in enumerate(cols):
+            out[col] = Demodulated(
+                t=t_group,
+                amplitude=amplitudes[:, j],
+                phase=phases[:, j],
+                w_ref=float(w_refs[col]),
+            )
+    return out  # type: ignore[return-value]

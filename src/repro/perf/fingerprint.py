@@ -1,0 +1,90 @@
+"""Content-addressed identity for nonlinearities and grids.
+
+Cache keys must identify a nonlinearity by *what it computes*, not by which
+Python object happens to hold it: the same extracted ``f(v)`` table loaded
+in two different processes must hash equal, and editing one entry of a
+table must change the hash.  The fingerprint therefore samples ``f`` on a
+canonical probe grid covering the voltage window an analysis will actually
+visit and hashes the resulting bytes.
+
+Grids are hashed from their full contents — endpoints alone are NOT a
+valid key (a linear and a log grid with identical endpoints are different
+grids; see the ``TwoToneDF.characterize`` key-collision regression test).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.nonlin.base import Nonlinearity
+
+__all__ = ["array_hash", "nonlinearity_fingerprint", "combine_keys"]
+
+#: Probe points used to fingerprint a nonlinearity's content.  Odd so the
+#: grid contains v = 0 exactly (where every oscillator analysis starts).
+_PROBE_POINTS = 257
+
+
+def array_hash(array: np.ndarray) -> str:
+    """Stable sha256 hex digest of an array's dtype, shape and contents."""
+    array = np.ascontiguousarray(array)
+    digest = hashlib.sha256()
+    digest.update(str(array.dtype).encode())
+    digest.update(str(array.shape).encode())
+    digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def nonlinearity_fingerprint(
+    nonlinearity: Nonlinearity,
+    v_max: float,
+    n_probe: int = _PROBE_POINTS,
+) -> str:
+    """Content hash of ``f`` over the symmetric window ``[-v_max, v_max]``.
+
+    Parameters
+    ----------
+    nonlinearity:
+        The memoryless law to fingerprint.
+    v_max:
+        Half-width of the probe window.  Callers should pass the largest
+        voltage the analysis can present to ``f`` (e.g. the top of the
+        amplitude grid plus the injected peak), so that any change of the
+        curve *inside the analysed region* changes the fingerprint.
+    n_probe:
+        Number of probe samples.
+
+    Notes
+    -----
+    Two nonlinearities that agree on the probe grid to the last bit hash
+    equal even if they differ elsewhere — by construction the analyses
+    keyed by this fingerprint never evaluate ``f`` outside the window, so
+    such a collision is harmless.
+    """
+    if not np.isfinite(v_max) or v_max <= 0.0:
+        raise ValueError(f"v_max must be positive and finite, got {v_max}")
+    probe = np.linspace(-float(v_max), float(v_max), int(n_probe))
+    values = np.asarray(nonlinearity(probe), dtype=float)
+    digest = hashlib.sha256()
+    digest.update(b"nonlinearity-fingerprint-v1:")
+    digest.update(probe.tobytes())
+    digest.update(values.tobytes())
+    return digest.hexdigest()
+
+
+def combine_keys(*parts) -> str:
+    """Collapse heterogeneous key parts into one sha256 hex digest.
+
+    Accepts strings, numbers and numpy arrays; arrays are folded in via
+    :func:`array_hash` so large grids do not bloat the key string.
+    """
+    digest = hashlib.sha256()
+    for part in parts:
+        if isinstance(part, np.ndarray):
+            digest.update(array_hash(part).encode())
+        else:
+            digest.update(repr(part).encode())
+        digest.update(b"|")
+    return digest.hexdigest()

@@ -1,0 +1,208 @@
+"""Persistent on-disk store for pre-characterised describing-function surfaces.
+
+Layout
+------
+One ``.npz`` file per record under the cache root::
+
+    <root>/<key[:2]>/<key>.npz
+
+where ``key`` is the sha256 content address built from the nonlinearity
+fingerprint, the grid hashes and the scalar parameters (see
+:meth:`repro.core.two_tone.TwoToneDF.characterize`).  Each file holds the
+record's numpy arrays plus a ``__meta__`` JSON blob (schema version,
+human-readable provenance).  Records are independent; deleting any file —
+or the whole directory — is always safe and merely re-triggers
+pre-characterisation.
+
+Root resolution (first hit wins):
+
+1. the ``root`` constructor argument,
+2. ``$REPRO_CACHE_DIR``,
+3. ``$XDG_CACHE_HOME/repro-shil``,
+4. ``~/.cache/repro-shil``.
+
+Setting ``REPRO_NO_CACHE=1`` disables reads and writes globally (every
+lookup misses, every store is a no-op) — useful for benchmarking the cold
+path and in sandboxed CI.
+
+Eviction: the store is bounded by ``max_entries`` (default 512).  When a
+put would exceed the bound the oldest records by modification time are
+removed — access refreshes the mtime, so this is an LRU in practice.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+
+import numpy as np
+
+__all__ = ["SurfaceCache", "default_cache", "cache_disabled"]
+
+#: Bump when the on-disk record layout changes; old records then miss.
+SCHEMA_VERSION = 1
+
+_DEFAULT_MAX_ENTRIES = 512
+
+
+def cache_disabled() -> bool:
+    """True when ``REPRO_NO_CACHE`` requests a cache-free run."""
+    return os.environ.get("REPRO_NO_CACHE", "").strip() not in ("", "0", "false")
+
+
+def _default_root() -> pathlib.Path:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return pathlib.Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = pathlib.Path(xdg) if xdg else pathlib.Path.home() / ".cache"
+    return base / "repro-shil"
+
+
+class SurfaceCache:
+    """Content-addressed ``.npz`` store for named numpy-array payloads.
+
+    The cache is deliberately payload-agnostic: callers pass a mapping of
+    array names to arrays plus a JSON-able ``meta`` dict, and get the same
+    back.  (De)serialisation to richer objects lives with their owners —
+    e.g. :class:`repro.core.two_tone.TwoToneSurface` — which keeps this
+    module import-cycle-free and reusable for future cached artefacts.
+
+    Parameters
+    ----------
+    root:
+        Cache directory; resolved per the module docstring when omitted.
+    max_entries:
+        LRU bound on the number of records kept on disk.
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike | None = None,
+        *,
+        max_entries: int = _DEFAULT_MAX_ENTRIES,
+    ):
+        self.root = pathlib.Path(root) if root is not None else _default_root()
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = int(max_entries)
+        #: Running tally of (hits, misses, puts) — handy in benchmarks.
+        self.stats = {"hits": 0, "misses": 0, "puts": 0}
+
+    # -- paths ----------------------------------------------------------------
+
+    def path_for(self, key: str) -> pathlib.Path:
+        """On-disk location of a record (whether or not it exists)."""
+        self._check_key(key)
+        return self.root / key[:2] / f"{key}.npz"
+
+    @staticmethod
+    def _check_key(key: str) -> None:
+        if not key or not all(c in "0123456789abcdef" for c in key):
+            raise ValueError(f"cache keys must be lowercase hex digests, got {key!r}")
+
+    # -- record I/O -----------------------------------------------------------
+
+    def get(self, key: str) -> tuple[dict[str, np.ndarray], dict] | None:
+        """Load a record; returns ``(arrays, meta)`` or ``None`` on a miss.
+
+        Corrupt or schema-incompatible files count as misses (and are
+        removed) so an interrupted writer can never wedge the cache.
+        """
+        if cache_disabled():
+            self.stats["misses"] += 1
+            return None
+        path = self.path_for(key)
+        if not path.is_file():
+            self.stats["misses"] += 1
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as record:
+                meta = json.loads(str(record["__meta__"]))
+                if meta.get("schema") != SCHEMA_VERSION:
+                    raise ValueError("schema mismatch")
+                arrays = {
+                    name: record[name] for name in record.files if name != "__meta__"
+                }
+        except Exception:
+            path.unlink(missing_ok=True)
+            self.stats["misses"] += 1
+            return None
+        try:
+            path.touch()  # refresh mtime -> LRU recency
+        except OSError:  # pragma: no cover - best effort only
+            pass
+        self.stats["hits"] += 1
+        return arrays, meta
+
+    def put(self, key: str, arrays: dict[str, np.ndarray], meta: dict | None = None) -> None:
+        """Store a record atomically (write to a temp file, then rename)."""
+        if cache_disabled():
+            return
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = dict(arrays)
+        if "__meta__" in payload:
+            raise ValueError("'__meta__' is a reserved payload name")
+        full_meta = {"schema": SCHEMA_VERSION, **(meta or {})}
+        payload["__meta__"] = np.asarray(json.dumps(full_meta))
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".npz"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez(handle, **payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats["puts"] += 1
+        self._evict()
+
+    # -- maintenance ----------------------------------------------------------
+
+    def _records(self) -> list[pathlib.Path]:
+        if not self.root.is_dir():
+            return []
+        return [p for p in self.root.glob("??/*.npz") if p.is_file()]
+
+    def __len__(self) -> int:
+        return len(self._records())
+
+    def _evict(self) -> None:
+        records = self._records()
+        excess = len(records) - self.max_entries
+        if excess <= 0:
+            return
+        records.sort(key=lambda p: p.stat().st_mtime)
+        for stale in records[:excess]:
+            stale.unlink(missing_ok=True)
+
+    def clear(self) -> int:
+        """Remove every record; returns how many were deleted."""
+        records = self._records()
+        for record in records:
+            record.unlink(missing_ok=True)
+        return len(records)
+
+
+_DEFAULT_CACHE: SurfaceCache | None = None
+
+
+def default_cache() -> SurfaceCache:
+    """The process-wide cache instance (created lazily).
+
+    A fresh instance is returned whenever the resolved root changed —
+    tests flip ``REPRO_CACHE_DIR`` to point at temporary directories and
+    must not keep writing into a stale root.
+    """
+    global _DEFAULT_CACHE
+    root = _default_root()
+    if _DEFAULT_CACHE is None or _DEFAULT_CACHE.root != root:
+        _DEFAULT_CACHE = SurfaceCache(root)
+    return _DEFAULT_CACHE

@@ -1,0 +1,126 @@
+"""Lightweight phase timers and machine-readable ``BENCH_*.json`` records.
+
+The hot analysis paths (`characterize`, curve extraction, the batched
+curve solve, edge refinement, transient simulation) are bracketed with
+:func:`timed` context managers.  When profiling is disabled — the default —
+a timed block costs one attribute load and a truthiness check, so the
+instrumentation can stay in production code.  The CLI ``--profile`` flag
+enables the collector and dumps the accumulated phases as a
+``BENCH_<ID>.json`` file whose schema is stable enough to diff across PRs::
+
+    {
+      "bench": "FIG10",
+      "schema": 1,
+      "total_s": 0.41,
+      "phases": {"characterize": {"total_s": 0.11, "calls": 2}, ...},
+      "meta": {...}
+    }
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import pathlib
+import time
+
+__all__ = ["PhaseTimer", "profiler", "timed", "write_bench_json"]
+
+#: Bump when the BENCH json layout changes.
+BENCH_SCHEMA_VERSION = 1
+
+
+class PhaseTimer:
+    """Accumulates wall-clock per named phase.
+
+    Phases may nest and repeat; each ``(total seconds, call count)`` pair
+    accumulates.  The timer is inert until :meth:`enable` is called.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.phases: dict[str, dict[str, float]] = {}
+        self._t0: float | None = None
+
+    def enable(self) -> None:
+        """Start collecting; resets previously accumulated phases."""
+        self.enabled = True
+        self.phases = {}
+        self._t0 = time.perf_counter()
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    @contextlib.contextmanager
+    def phase(self, name: str):
+        """Time a block under ``name`` (no-op when disabled)."""
+        if not self.enabled:
+            yield
+            return
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            entry = self.phases.setdefault(name, {"total_s": 0.0, "calls": 0})
+            entry["total_s"] += elapsed
+            entry["calls"] += 1
+
+    def add(self, name: str, seconds: float) -> None:
+        """Record an externally measured duration under ``name``."""
+        if not self.enabled:
+            return
+        entry = self.phases.setdefault(name, {"total_s": 0.0, "calls": 0})
+        entry["total_s"] += float(seconds)
+        entry["calls"] += 1
+
+    def as_dict(self) -> dict:
+        """Snapshot of the accumulated phases (JSON-ready)."""
+        total = (
+            time.perf_counter() - self._t0 if self._t0 is not None else 0.0
+        )
+        return {
+            "total_s": total,
+            "phases": {
+                name: {"total_s": entry["total_s"], "calls": int(entry["calls"])}
+                for name, entry in sorted(self.phases.items())
+            },
+        }
+
+
+#: Process-wide timer used by the core analysis paths and the CLI.
+profiler = PhaseTimer()
+
+
+def timed(name: str):
+    """Bracket a block with the process-wide profiler: ``with timed("x"):``."""
+    return profiler.phase(name)
+
+
+def write_bench_json(
+    bench: str,
+    record: dict,
+    directory: str | pathlib.Path = ".",
+) -> pathlib.Path:
+    """Write ``BENCH_<bench>.json`` and return its path.
+
+    Parameters
+    ----------
+    bench:
+        Record id; uppercased into the filename (``FIG10`` ->
+        ``BENCH_FIG10.json``).
+    record:
+        JSON-able payload; merged over the standard envelope, so callers
+        may add arbitrary keys (timings, deviations, cache stats).
+    directory:
+        Target directory (created if missing).
+    """
+    name = str(bench).upper()
+    if not name or any(c in name for c in "/\\"):
+        raise ValueError(f"invalid bench id {name!r}")
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = {"bench": name, "schema": BENCH_SCHEMA_VERSION, **record}
+    path = directory / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

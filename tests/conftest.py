@@ -2,11 +2,31 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.nonlin import CubicNonlinearity, NegativeTanh
 from repro.tank import ParallelRLC
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_surface_cache(tmp_path_factory):
+    """Point the describing-function surface cache at a throwaway root.
+
+    Keeps the suite hermetic (no writes to ``~/.cache``) while still
+    exercising the disk cache — warm hits within one test session are
+    real.
+    """
+    root = tmp_path_factory.mktemp("repro-cache")
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(root)
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,76 @@
+"""Batched quadrature demodulation against the per-record reference."""
+
+import numpy as np
+import pytest
+
+from repro.measure.phase import quadrature_demodulate, quadrature_demodulate_many
+from repro.measure.waveform import Waveform
+
+
+def _batch(rng, w_refs, n_samples=6000, dt=1e-7, detune=1.0001):
+    t = np.arange(n_samples) * dt
+    phases = rng.uniform(0.0, 2.0 * np.pi, w_refs.size)
+    x = np.cos(np.outer(t, w_refs * detune) + phases)
+    x += 0.01 * rng.standard_normal(x.shape)
+    return t, x
+
+
+class TestParity:
+    def test_matches_per_record_reference(self, rng):
+        w_refs = 2.0 * np.pi * 1.59e5 * np.linspace(0.98, 1.02, 8)
+        t, x = _batch(rng, w_refs)
+        many = quadrature_demodulate_many(t, x, w_refs)
+        for j, w_ref in enumerate(w_refs):
+            single = quadrature_demodulate(Waveform(t, x[:, j]), w_ref)
+            assert np.array_equal(many[j].t, single.t)
+            assert np.allclose(many[j].amplitude, single.amplitude, atol=1e-11)
+            assert np.allclose(many[j].phase, single.phase, atol=1e-11)
+            assert many[j].w_ref == single.w_ref
+
+    def test_mixed_window_lengths(self, rng):
+        # Wide reference spread -> several distinct smoothing windows.
+        w_refs = 2.0 * np.pi * 1.59e5 * np.linspace(0.7, 1.4, 6)
+        t, x = _batch(rng, w_refs)
+        many = quadrature_demodulate_many(t, x, w_refs)
+        lengths = set()
+        for j, w_ref in enumerate(w_refs):
+            single = quadrature_demodulate(Waveform(t, x[:, j]), w_ref)
+            lengths.add(single.t.size)
+            assert np.array_equal(many[j].t, single.t)
+            assert np.allclose(many[j].phase, single.phase, atol=1e-11)
+        assert len(lengths) > 1
+
+    def test_derived_metrics_agree(self, rng):
+        w_refs = 2.0 * np.pi * 1.59e5 * np.linspace(0.99, 1.01, 5)
+        t, x = _batch(rng, w_refs, detune=1.0)
+        many = quadrature_demodulate_many(t, x, w_refs)
+        for j, w_ref in enumerate(w_refs):
+            single = quadrature_demodulate(Waveform(t, x[:, j]), w_ref)
+            assert many[j].mean_frequency() == pytest.approx(
+                single.mean_frequency(), rel=1e-12
+            )
+            assert many[j].phase_drift() == pytest.approx(
+                single.phase_drift(), abs=1e-11
+            )
+
+
+class TestValidation:
+    def test_shape_mismatches(self, rng):
+        t = np.arange(1000) * 1e-7
+        x = rng.standard_normal((1000, 3))
+        w = 2.0 * np.pi * 1.59e5
+        with pytest.raises(ValueError):
+            quadrature_demodulate_many(t, x[:-1], np.full(3, w))
+        with pytest.raises(ValueError):
+            quadrature_demodulate_many(t, x, np.full(2, w))
+        with pytest.raises(ValueError):
+            quadrature_demodulate_many(t, x, np.asarray([w, -w, w]))
+        with pytest.raises(ValueError):
+            quadrature_demodulate_many(t, x, np.full(3, w), smooth_periods=0)
+
+    def test_too_short_record(self, rng):
+        t = np.arange(50) * 1e-7
+        x = rng.standard_normal((50, 2))
+        w = np.full(2, 2.0 * np.pi * 1.59e5)
+        with pytest.raises(ValueError, match="too short"):
+            quadrature_demodulate_many(t, x, w)

@@ -1,0 +1,170 @@
+"""The on-disk surface cache: round-trips, invalidation, hygiene."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.two_tone import TwoToneDF
+from repro.nonlin import NegativeTanh
+from repro.perf import (
+    SurfaceCache,
+    array_hash,
+    combine_keys,
+    default_cache,
+    nonlinearity_fingerprint,
+)
+
+KEY_A = "ab" * 32
+KEY_B = "cd" * 32
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return SurfaceCache(tmp_path / "cache")
+
+
+class TestRecordIO:
+    def test_round_trip(self, cache, rng):
+        arrays = {
+            "real": rng.standard_normal((5, 7)),
+            "cplx": rng.standard_normal(9) + 1j * rng.standard_normal(9),
+        }
+        meta = {"nonlinearity": "tanh", "n": 3}
+        cache.put(KEY_A, arrays, meta)
+        loaded, loaded_meta = cache.get(KEY_A)
+        for name, array in arrays.items():
+            assert np.array_equal(loaded[name], array)
+        assert loaded_meta["nonlinearity"] == "tanh"
+        assert loaded_meta["n"] == 3
+        assert loaded_meta["schema"] == 1
+
+    def test_miss_returns_none(self, cache):
+        assert cache.get(KEY_A) is None
+        assert cache.stats["misses"] == 1
+
+    def test_corrupt_record_is_a_miss_and_removed(self, cache):
+        cache.put(KEY_A, {"x": np.arange(4.0)})
+        path = cache.path_for(KEY_A)
+        path.write_bytes(b"not an npz file")
+        assert cache.get(KEY_A) is None
+        assert not path.exists()
+
+    def test_schema_mismatch_is_a_miss(self, cache, monkeypatch):
+        cache.put(KEY_A, {"x": np.arange(4.0)})
+        monkeypatch.setattr("repro.perf.surface_cache.SCHEMA_VERSION", 2)
+        assert cache.get(KEY_A) is None
+
+    def test_invalid_keys_rejected(self, cache):
+        for bad in ("", "XYZ", "../escape", "ab/cd"):
+            with pytest.raises(ValueError):
+                cache.path_for(bad)
+
+    def test_meta_name_reserved(self, cache):
+        with pytest.raises(ValueError):
+            cache.put(KEY_A, {"__meta__": np.arange(3.0)})
+
+
+class TestEviction:
+    def test_lru_bound(self, tmp_path):
+        cache = SurfaceCache(tmp_path, max_entries=3)
+        keys = [f"{i:02d}" * 32 for i in range(5)]
+        for i, key in enumerate(keys):
+            cache.put(key, {"x": np.asarray([float(i)])})
+        assert len(cache) == 3
+        # The most recent records survive.
+        assert cache.get(keys[-1]) is not None
+
+    def test_clear(self, cache):
+        cache.put(KEY_A, {"x": np.arange(3.0)})
+        cache.put(KEY_B, {"x": np.arange(4.0)})
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+
+class TestDisableSwitch:
+    def test_no_cache_env(self, cache, monkeypatch):
+        cache.put(KEY_A, {"x": np.arange(3.0)})
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        assert cache.get(KEY_A) is None
+        cache.put(KEY_B, {"x": np.arange(3.0)})
+        monkeypatch.delenv("REPRO_NO_CACHE")
+        assert cache.get(KEY_A) is not None
+        assert cache.get(KEY_B) is None
+
+
+class TestDefaultCacheResolution:
+    def test_follows_env_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "a"))
+        first = default_cache()
+        assert first.root == tmp_path / "a"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "b"))
+        second = default_cache()
+        assert second.root == tmp_path / "b"
+        assert second is not first
+
+
+class TestFingerprint:
+    def test_identical_laws_hash_equal(self):
+        a = NegativeTanh(gm=2.5e-3, i_sat=1e-3)
+        b = NegativeTanh(gm=2.5e-3, i_sat=1e-3)
+        assert nonlinearity_fingerprint(a, 2.0) == nonlinearity_fingerprint(b, 2.0)
+
+    def test_parameter_change_changes_hash(self):
+        a = NegativeTanh(gm=2.5e-3, i_sat=1e-3)
+        b = NegativeTanh(gm=2.6e-3, i_sat=1e-3)
+        assert nonlinearity_fingerprint(a, 2.0) != nonlinearity_fingerprint(b, 2.0)
+
+    def test_window_is_part_of_the_identity(self):
+        a = NegativeTanh(gm=2.5e-3, i_sat=1e-3)
+        assert nonlinearity_fingerprint(a, 2.0) != nonlinearity_fingerprint(a, 2.5)
+
+    def test_array_hash_sensitive_to_content_and_layout(self, rng):
+        x = rng.standard_normal(16)
+        y = x.copy()
+        assert array_hash(x) == array_hash(y)
+        y[3] += 1e-16 + abs(y[3]) * 1e-15
+        assert array_hash(x) != array_hash(y)
+        assert array_hash(x) != array_hash(x.reshape(4, 4))
+
+    def test_combine_keys_is_hex(self):
+        key = combine_keys("tag", 3, 0.03, np.arange(5.0))
+        assert len(key) == 64
+        assert all(c in "0123456789abcdef" for c in key)
+
+
+class TestSurfaceCacheIntegration:
+    """End-to-end: TwoToneDF persists surfaces and invalidates on change."""
+
+    AMPS = np.linspace(0.4, 1.7, 10)
+
+    def _df(self, gm=2.5e-3):
+        return TwoToneDF(NegativeTanh(gm=gm, i_sat=1e-3), 0.03, 3, n_samples=512)
+
+    def test_cross_instance_warm_start(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cold = self._df().surface(self.AMPS)
+        cache = default_cache()
+        assert len(cache) == 1
+        before_hits = cache.stats["hits"]
+        warm = self._df().surface(self.AMPS)
+        assert cache.stats["hits"] == before_hits + 1
+        assert np.array_equal(warm.coefficients, cold.coefficients)
+
+    def test_fingerprint_change_invalidates(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        self._df(gm=2.5e-3).surface(self.AMPS)
+        cache = default_cache()
+        assert len(cache) == 1
+        self._df(gm=2.6e-3).surface(self.AMPS)
+        # A different law must land in a different record, not reuse the old.
+        assert len(cache) == 2
+
+    def test_record_is_inspectable(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        self._df().surface(self.AMPS)
+        cache = default_cache()
+        record = next(iter(cache._records()))
+        with np.load(record, allow_pickle=False) as data:
+            meta = json.loads(str(data["__meta__"]))
+        assert meta["schema"] == 1

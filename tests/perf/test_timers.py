@@ -1,0 +1,70 @@
+"""Phase timers and the BENCH_*.json writer."""
+
+import json
+import time
+
+import pytest
+
+from repro.perf import PhaseTimer, write_bench_json
+from repro.perf.timers import BENCH_SCHEMA_VERSION
+
+
+class TestPhaseTimer:
+    def test_disabled_is_a_no_op(self):
+        timer = PhaseTimer()
+        with timer.phase("x"):
+            pass
+        timer.add("y", 1.0)
+        assert timer.phases == {}
+
+    def test_accumulates_calls(self):
+        timer = PhaseTimer()
+        timer.enable()
+        for _ in range(3):
+            with timer.phase("work"):
+                time.sleep(0.001)
+        snap = timer.as_dict()
+        assert snap["phases"]["work"]["calls"] == 3
+        assert snap["phases"]["work"]["total_s"] > 0.0
+        assert snap["total_s"] >= snap["phases"]["work"]["total_s"]
+
+    def test_enable_resets(self):
+        timer = PhaseTimer()
+        timer.enable()
+        timer.add("old", 1.0)
+        timer.enable()
+        assert timer.phases == {}
+
+    def test_add_external_duration(self):
+        timer = PhaseTimer()
+        timer.enable()
+        timer.add("ext", 0.25)
+        timer.add("ext", 0.25)
+        entry = timer.as_dict()["phases"]["ext"]
+        assert entry == {"total_s": 0.5, "calls": 2}
+
+    def test_timing_survives_exceptions(self):
+        timer = PhaseTimer()
+        timer.enable()
+        with pytest.raises(RuntimeError):
+            with timer.phase("boom"):
+                raise RuntimeError
+        assert timer.phases["boom"]["calls"] == 1
+
+
+class TestBenchJson:
+    def test_writes_schema_envelope(self, tmp_path):
+        path = write_bench_json(
+            "fig10", {"total_s": 1.5, "phases": {}}, directory=tmp_path
+        )
+        assert path.name == "BENCH_FIG10.json"
+        payload = json.loads(path.read_text())
+        assert payload["bench"] == "FIG10"
+        assert payload["schema"] == BENCH_SCHEMA_VERSION
+        assert payload["total_s"] == 1.5
+
+    def test_rejects_path_separators(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_bench_json("../oops", {}, directory=tmp_path)
+        with pytest.raises(ValueError):
+            write_bench_json("", {}, directory=tmp_path)

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -69,3 +71,29 @@ class TestCommands:
     def test_experiment_unknown_id(self):
         with pytest.raises(KeyError):
             main(["experiment", "FIG99"])
+
+
+class TestMethodAndProfile:
+    def test_lockrange_method_dense(self, capsys):
+        assert main(["lockrange", "--oscillator", "tanh", "--method", "dense"]) == 0
+        assert "lock range width" in capsys.readouterr().out
+
+    def test_locks_rejects_unknown_method(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["locks", "--oscillator", "tanh", "--method", "magic"]
+            )
+
+    def test_profile_writes_bench_json(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["--profile", "lockrange", "--oscillator", "tanh"]) == 0
+        out = capsys.readouterr().out
+        path = tmp_path / "BENCH_LOCKRANGE.json"
+        assert path.exists()
+        assert "profile written to" in out
+        record = json.loads(path.read_text())
+        assert record["bench"] == "LOCKRANGE"
+        assert record["exit_code"] == 0
+        assert record["argv"] == ["--profile", "lockrange", "--oscillator", "tanh"]
+        assert "characterize" in record["phases"]
+        assert {"hits", "misses"} <= set(record["cache"])
