@@ -5,7 +5,10 @@ Gives designers the paper's analyses without writing Python:
 * ``natural``    — free-running amplitude/frequency (Fig. 3 flow),
 * ``locks``      — lock states at one injection frequency (Fig. 7 flow),
 * ``lockrange``  — the one-pass lock range (Fig. 10 flow),
-* ``experiment`` — run a DESIGN.md experiment by id (FIG3..TAB2, ...).
+* ``experiment`` — run a DESIGN.md experiment by id (FIG3..TAB2, ...),
+* ``verify``     — the cross-method verification matrix (DESIGN.md §8):
+  every prediction path on every scenario, cross-checked within declared
+  tolerance bands; writes ``VERIFY_REPORT.json``.
 
 The oscillator can be one of the built-in calibrated setups
 (``--oscillator tanh|diffpair|tunnel``) or a custom tanh cell described by
@@ -21,6 +24,8 @@ Examples
         --vi 0.03 --n 3 --finj 477.5k
     python -m repro experiment FIG10
     python -m repro --profile experiment FIG14   # writes BENCH_FIG14.json
+    python -m repro verify --quick               # the 14-scenario CI matrix
+    python -m repro verify --scenario tunnel-n3-vi030m
 
 ``--profile`` (before the subcommand) enables the phase timers and dumps
 a machine-readable ``BENCH_<ID>.json`` next to the working directory,
@@ -147,6 +152,43 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_verify(args) -> int:
+    from repro.verify import (
+        DEFAULT_GOLDEN_PATH,
+        diff_against_golden,
+        run_matrix,
+        scenario_matrix,
+        write_golden,
+    )
+
+    if args.list:
+        for scenario in scenario_matrix("full"):
+            print(scenario.describe())
+        return 0
+    mode = "full" if args.full else "quick"
+    report = run_matrix(
+        mode,
+        scenario_ids=args.scenario or None,
+        progress=lambda line: print(f".. {line}", flush=True),
+    )
+    print(report.format())
+    path = report.write(args.report)
+    print(f"report written to {path}")
+    code = 0 if report.ok else 1
+    if args.update_golden:
+        print(f"golden updated: {write_golden(report)}")
+        return code
+    import pathlib
+
+    if pathlib.Path(DEFAULT_GOLDEN_PATH).exists():
+        regressions = diff_against_golden(report)
+        for line in regressions:
+            print(f"golden regression: {line}")
+        if regressions:
+            code = 1
+    return code
+
+
 def _add_oscillator_options(parser: argparse.ArgumentParser) -> None:
     group = parser.add_argument_group("oscillator")
     group.add_argument(
@@ -211,6 +253,49 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("id", help="experiment id, e.g. FIG10 or TAB1")
     p_exp.add_argument("--quick", action="store_true", help="reduced-cost variant")
     p_exp.set_defaults(func=_cmd_experiment)
+
+    p_verify = sub.add_parser(
+        "verify",
+        help="cross-method verification matrix (writes VERIFY_REPORT.json)",
+        description="Run the scenario-matrix oracle: every applicable "
+        "prediction path on every scenario, cross-checked pairwise within "
+        "declared tolerance bands, plus the paper's structural invariants "
+        "(n states spaced 2*pi/n, symmetric lock range, the single-tone "
+        "limit, jacobian-vs-slope-rule agreement). Exits non-zero on any "
+        "confirmed disagreement or golden-status regression.",
+    )
+    group = p_verify.add_mutually_exclusive_group()
+    group.add_argument(
+        "--quick",
+        action="store_true",
+        help="the 14-scenario CI matrix, DF-side checks only (default)",
+    )
+    group.add_argument(
+        "--full",
+        action="store_true",
+        help="adds harder scenarios plus transient/PPV ground-truth checks "
+        "(minutes, not seconds)",
+    )
+    p_verify.add_argument(
+        "--scenario",
+        action="append",
+        metavar="ID",
+        help="run only this scenario id (repeatable; see --list)",
+    )
+    p_verify.add_argument(
+        "--list", action="store_true", help="list scenario ids and exit"
+    )
+    p_verify.add_argument(
+        "--report",
+        default="VERIFY_REPORT.json",
+        help="output path for the machine-readable report",
+    )
+    p_verify.add_argument(
+        "--update-golden",
+        action="store_true",
+        help="rewrite the status-only golden artifact from this run",
+    )
+    p_verify.set_defaults(func=_cmd_verify)
 
     return parser
 

@@ -28,7 +28,12 @@ import numpy as np
 
 from repro.core.averaging import SlowFlow
 
-__all__ = ["StabilityVerdict", "classify_by_jacobian", "paper_slope_rule"]
+__all__ = [
+    "StabilityVerdict",
+    "classify_by_jacobian",
+    "paper_slope_rule",
+    "slope_rule_at",
+]
 
 
 @dataclass(frozen=True)
@@ -49,7 +54,7 @@ class StabilityVerdict:
     method: str
     eigenvalues: tuple[complex, complex] | None = None
 
-    def __bool__(self) -> bool:  # pragma: no cover - convenience
+    def __bool__(self) -> bool:
         return self.stable
 
 
@@ -73,7 +78,10 @@ def classify_by_jacobian(
     margin:
         Require ``Re(lambda) < -margin`` rather than merely negative —
         useful to treat near-fold locks at the lock-range edge as
-        marginal/unstable.
+        marginal/unstable.  The inequality is strict: an eigenvalue with
+        real part exactly ``-margin`` (including exactly 0 at the default
+        ``margin = 0``) is classified unstable, so fold points never pass
+        as stable.
     """
     jac = flow.jacobian(amplitude, phi)
     eigenvalues = np.linalg.eigvals(jac)
@@ -123,4 +131,74 @@ def paper_slope_rule(
     base = abs(slope_phase_curve) >= abs(slope_magnitude_curve)
     flips = (not tf_decreasing_with_a) + (not angle_increasing_with_phi)
     stable = base if flips % 2 == 0 else not base
+    return StabilityVerdict(stable=bool(stable), method="slope-rule")
+
+
+def slope_rule_at(
+    df,
+    tank_r: float,
+    phi_d: float,
+    amplitude: float,
+    phi: float,
+    *,
+    rel_step: float = 1e-5,
+) -> StabilityVerdict:
+    """Apply the graphical stability rule at a curve intersection.
+
+    This is the chart-free form of the Appendix VI-B3 construction, the
+    verdict the verification harness cross-checks against
+    :func:`classify_by_jacobian` on every lock state.  Gradients of the
+    two plotted surfaces — the magnitude condition ``T_f(A, phi)`` and
+    the phase condition ``h(A, phi) = angle(-I_1) + phi_d`` — are taken
+    numerically at the intersection, and the lock is stable iff
+
+    * the amplitude direction is restoring: ``dT_f/dA < 0``, and
+    * traversing the ``T_f = 1`` curve in ``+phi``, the phase-condition
+      curve is crossed from the locking side to the anti-locking side:
+      ``dh/dphi * dT_f/dA - dh/dA * dT_f/dphi < 0``.
+
+    The second expression is the Jacobian determinant of the surface pair
+    — the crossing *orientation* of the two curves.  In the paper's
+    canonical chart (``T_F`` falling with ``A``, a steep phase curve with
+    ``h`` increasing through it, both ``dA/dphi`` slopes negative) it
+    reduces exactly to :func:`paper_slope_rule`'s "phase curve steeper
+    than magnitude curve" comparison; unlike the magnitude comparison it
+    stays correct when the curves leave that chart, which happens near
+    the lock-range folds of the high-Q paper oscillators.
+
+    Under the filtering assumption the averaged flow's phase nullcline
+    and the plotted ``h = 0`` curve have the same zero-crossing direction
+    along ``T_f = 1`` (on that curve ``-I_1x = A/2R`` exactly), so this
+    verdict matches the Jacobian whenever amplitude damping dominates —
+    precisely the regime the paper's graphical argument assumes.
+
+    Parameters
+    ----------
+    df:
+        A :class:`repro.core.two_tone.TwoToneDF` (or any object exposing
+        ``tf(a, phi, tank_r)`` and ``angle_minus_i1(a, phi)``).
+    tank_r:
+        Tank peak resistance, ohms.
+    phi_d:
+        Tank phase at the operating frequency, radians.
+    amplitude, phi:
+        The intersection (a polished lock state).
+    rel_step:
+        Relative finite-difference step.
+    """
+    h_a = rel_step * abs(amplitude)
+    h_p = rel_step * 2.0 * np.pi
+
+    def tf_fn(a: float, p: float) -> float:
+        return float(df.tf(np.asarray(a), np.asarray(p), tank_r))
+
+    def ang_fn(a: float, p: float) -> float:
+        return float(df.angle_minus_i1(np.asarray(a), np.asarray(p))) + phi_d
+
+    d_tf_da = (tf_fn(amplitude + h_a, phi) - tf_fn(amplitude - h_a, phi)) / (2 * h_a)
+    d_tf_dp = (tf_fn(amplitude, phi + h_p) - tf_fn(amplitude, phi - h_p)) / (2 * h_p)
+    d_an_da = (ang_fn(amplitude + h_a, phi) - ang_fn(amplitude - h_a, phi)) / (2 * h_a)
+    d_an_dp = (ang_fn(amplitude, phi + h_p) - ang_fn(amplitude, phi - h_p)) / (2 * h_p)
+    crossing = d_an_dp * d_tf_da - d_an_da * d_tf_dp
+    stable = d_tf_da < 0.0 and crossing < 0.0
     return StabilityVerdict(stable=bool(stable), method="slope-rule")

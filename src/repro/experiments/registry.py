@@ -30,6 +30,7 @@ from repro.experiments.section4_tunnel import (
     run_fig19,
     run_table2,
 )
+from repro.experiments.verification import run_verify
 
 __all__ = ["EXPERIMENTS", "run_experiment"]
 
@@ -54,6 +55,7 @@ EXPERIMENTS = {
     "ABL1": run_ablation_grid,
     "ABL2": run_ablation_baselines,
     "ABL3": run_ablation_filtering,
+    "VERIFY": run_verify,
 }
 
 

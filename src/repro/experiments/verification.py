@@ -1,0 +1,37 @@
+"""VERIFY: the cross-method verification matrix as a registry experiment.
+
+Runs the :mod:`repro.verify` harness and reports the per-scenario
+verdicts in the ``ExperimentResult`` format the bench harness prints —
+so ``python -m repro experiment VERIFY --quick`` gives the same oracle
+as ``python -m repro verify --quick``, minus the report file and golden
+handling (use the dedicated subcommand for those).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.result import ExperimentResult
+
+__all__ = ["run_verify"]
+
+
+def run_verify(quick: bool = False) -> ExperimentResult:
+    """VERIFY: run the scenario matrix; quick=False adds transient/PPV."""
+    from repro.verify import run_matrix
+
+    mode = "quick" if quick else "full"
+    report = run_matrix(mode)
+    result = ExperimentResult(
+        "VERIFY", f"cross-method verification matrix ({mode})"
+    )
+    summary = report.summary()
+    result.add("scenarios", summary["scenarios"])
+    result.add("scenarios clean", summary["scenarios_passed"])
+    result.add("checks run", summary["checks"])
+    result.add("confirmed disagreements", summary["disagreements"])
+    for verdict in report.scenarios:
+        bad = ", ".join(c.name for c in verdict.disagreements) or "clean"
+        result.add(verdict.scenario_id, bad)
+    for check in report.matrix_checks:
+        result.add(f"matrix/{check.name}", check.status)
+    result.data["report"] = report
+    return result

@@ -19,7 +19,13 @@ package supplies the plumbing that makes that true across processes:
 
 from repro.perf.fingerprint import array_hash, combine_keys, nonlinearity_fingerprint
 from repro.perf.surface_cache import SurfaceCache, cache_disabled, default_cache
-from repro.perf.timers import PhaseTimer, profiler, timed, write_bench_json
+from repro.perf.timers import (
+    PhaseTimer,
+    Stopwatch,
+    profiler,
+    timed,
+    write_bench_json,
+)
 
 __all__ = [
     "array_hash",
@@ -29,6 +35,7 @@ __all__ = [
     "SurfaceCache",
     "default_cache",
     "PhaseTimer",
+    "Stopwatch",
     "profiler",
     "timed",
     "write_bench_json",

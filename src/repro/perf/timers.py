@@ -24,7 +24,7 @@ import json
 import pathlib
 import time
 
-__all__ = ["PhaseTimer", "profiler", "timed", "write_bench_json"]
+__all__ = ["PhaseTimer", "Stopwatch", "profiler", "timed", "write_bench_json"]
 
 #: Bump when the BENCH json layout changes.
 BENCH_SCHEMA_VERSION = 1
@@ -86,6 +86,26 @@ class PhaseTimer:
                 for name, entry in sorted(self.phases.items())
             },
         }
+
+
+class Stopwatch:
+    """Wall-clock stopwatch that runs regardless of the profiler state.
+
+    The verification harness stamps each scenario's wall time into
+    ``VERIFY_REPORT.json`` even when ``--profile`` is off, so it cannot
+    rely on the process-wide :data:`profiler`.
+    """
+
+    def __init__(self) -> None:
+        self.restart()
+
+    def restart(self) -> None:
+        self._start = time.perf_counter()
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since construction (or the last :meth:`restart`)."""
+        return time.perf_counter() - self._start
 
 
 #: Process-wide timer used by the core analysis paths and the CLI.

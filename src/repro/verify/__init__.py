@@ -1,0 +1,67 @@
+"""Cross-method verification harness (the repo's correctness oracle).
+
+The repo predicts sub-harmonic injection locking through five independent
+paths — the FFT-factorised two-tone describing function, a dense
+quadrature referee, harmonic balance, transient ODE simulation with lock
+detection, and the Adler/PPV baselines.  This package pits them against
+each other over a scenario matrix (oscillator family x sub-harmonic order
+x injection strength x tank Q) and checks the paper's structural
+invariants on every point:
+
+* exactly ``n`` equivalent lock states spaced ``2 pi / n``;
+* lock range symmetric in tank phase about ``w_c``;
+* the ``n = 1`` machinery reducing to classical single-tone FHIL;
+* the averaged-Jacobian classifier agreeing with the paper's graphical
+  slope rule at every curve intersection.
+
+Entry points: ``repro verify`` on the command line,
+:func:`~repro.verify.harness.run_matrix` from Python, and the tier-2
+pytest marker (``pytest -m tier2``) in CI.  Results serialise to
+``VERIFY_REPORT.json``; status-only golden artifacts under
+``tests/verify/golden/`` support regression diffing across PRs.
+"""
+
+from repro.verify.checks import (
+    DEFAULT_TOLERANCES,
+    CheckResult,
+    ScenarioArtifacts,
+    build_artifacts,
+)
+from repro.verify.harness import run_matrix, run_scenario
+from repro.verify.report import (
+    DEFAULT_GOLDEN_PATH,
+    DEFAULT_REPORT_PATH,
+    ScenarioVerdict,
+    VerifyReport,
+    diff_against_golden,
+    golden_payload,
+    write_golden,
+)
+from repro.verify.scenarios import (
+    FULL_EXTRA_SCENARIOS,
+    QUICK_SCENARIOS,
+    Scenario,
+    get_scenario,
+    scenario_matrix,
+)
+
+__all__ = [
+    "CheckResult",
+    "ScenarioArtifacts",
+    "DEFAULT_TOLERANCES",
+    "build_artifacts",
+    "run_matrix",
+    "run_scenario",
+    "Scenario",
+    "QUICK_SCENARIOS",
+    "FULL_EXTRA_SCENARIOS",
+    "scenario_matrix",
+    "get_scenario",
+    "ScenarioVerdict",
+    "VerifyReport",
+    "diff_against_golden",
+    "golden_payload",
+    "write_golden",
+    "DEFAULT_REPORT_PATH",
+    "DEFAULT_GOLDEN_PATH",
+]

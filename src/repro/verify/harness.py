@@ -1,0 +1,157 @@
+"""Scenario-matrix driver: run every applicable path, cross-check, report.
+
+This is the oracle the ROADMAP asks for: instead of hand-picked spot
+checks, :func:`run_matrix` sweeps the scenario matrix
+(:mod:`repro.verify.scenarios`), runs the per-scenario check battery
+(:mod:`repro.verify.checks`) and a small set of *matrix-level* invariants
+that only make sense across scenarios (lock-range width growing with
+``V_i`` within a family, width shrinking with sub-harmonic order), and
+assembles everything into a :class:`~repro.verify.report.VerifyReport`.
+
+Modes
+-----
+``quick``
+    The 14-scenario CI matrix with the describing-function-side checks
+    (seconds per scenario; everything is grid/quadrature work).
+``full``
+    Adds 5 harder scenarios and the transient/PPV ground-truth checks
+    (tens of seconds per scenario — the transient lock-range scan
+    integrates thousands of tank cycles).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Iterable, Sequence
+
+from repro.perf import Stopwatch, timed
+from repro.verify.checks import (
+    FULL_ONLY_CHECKS,
+    QUICK_CHECKS,
+    CheckResult,
+    build_artifacts,
+)
+from repro.verify.report import ScenarioVerdict, VerifyReport
+from repro.verify.scenarios import Scenario, get_scenario, scenario_matrix
+
+__all__ = ["run_scenario", "run_matrix"]
+
+
+def run_scenario(scenario: Scenario, mode: str = "quick") -> ScenarioVerdict:
+    """Run the full check battery on one scenario."""
+    watch = Stopwatch()
+    verdict = ScenarioVerdict(
+        scenario_id=scenario.scenario_id, description=scenario.describe()
+    )
+    with timed(f"verify.{scenario.scenario_id}"):
+        artifacts = build_artifacts(scenario)
+        battery = QUICK_CHECKS + (FULL_ONLY_CHECKS if mode == "full" else ())
+        for check in battery:
+            try:
+                verdict.checks.append(check(artifacts))
+            except Exception as exc:  # a crashing check is itself a finding
+                verdict.checks.append(
+                    CheckResult(
+                        name=getattr(check, "__name__", "check"),
+                        status="ERROR",
+                        detail=f"{type(exc).__name__}: {exc}",
+                    )
+                )
+    lockrange = artifacts.lockrange.get("fft")
+    if lockrange is not None:
+        verdict.metrics["lockrange_width_hz"] = lockrange.width_hz
+    if artifacts.natural is not None:
+        verdict.metrics["natural_amplitude_v"] = artifacts.natural.amplitude
+    center = artifacts.locks_center.get("fft")
+    if center is not None:
+        verdict.metrics["locks_at_center"] = len(center.locks)
+        verdict.metrics["stable_locks_at_center"] = len(center.stable_locks)
+    verdict.wall_s = watch.elapsed
+    return verdict
+
+
+def _check_vi_monotonic(verdicts: Sequence[ScenarioVerdict],
+                        scenarios: Sequence[Scenario]) -> CheckResult:
+    """Within a family/n/Q group, lock-range width grows with ``V_i``.
+
+    First-order SHIL theory has width proportional to the injection
+    magnitude (the paper's Eq. for the Adler generalisation); the exact
+    graphical width need not be linear, but it must be monotone over the
+    matrix's modest ``V_i`` spans.
+    """
+    widths = {v.scenario_id: v.metrics.get("lockrange_width_hz") for v in verdicts}
+    groups: dict[tuple, list[Scenario]] = defaultdict(list)
+    for scenario in scenarios:
+        groups[(scenario.family, scenario.n, scenario.q_scale)].append(scenario)
+    violations = []
+    compared = 0
+    for group in groups.values():
+        group = [s for s in group if widths.get(s.scenario_id) is not None]
+        group.sort(key=lambda s: s.v_i)
+        for weak, strong in zip(group, group[1:]):
+            compared += 1
+            if widths[strong.scenario_id] <= widths[weak.scenario_id]:
+                violations.append(
+                    f"width({strong.scenario_id})={widths[strong.scenario_id]:.4g} Hz "
+                    f"<= width({weak.scenario_id})={widths[weak.scenario_id]:.4g} Hz"
+                )
+    if not compared:
+        return CheckResult(
+            "lock-range-grows-with-vi", "SKIP", detail="no V_i pairs in the run"
+        )
+    if violations:
+        return CheckResult(
+            "lock-range-grows-with-vi",
+            "FAIL",
+            deviation=float(len(violations)),
+            tolerance=0.0,
+            detail="; ".join(violations),
+        )
+    return CheckResult(
+        "lock-range-grows-with-vi",
+        "PASS",
+        deviation=0.0,
+        tolerance=0.0,
+        detail=f"monotone over {compared} adjacent V_i pairs",
+    )
+
+
+def run_matrix(
+    mode: str = "quick",
+    scenario_ids: Iterable[str] | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> VerifyReport:
+    """Run the matrix (or a named sub-matrix) and assemble the report.
+
+    Parameters
+    ----------
+    mode:
+        ``"quick"`` or ``"full"`` — selects both the scenario set and the
+        check battery (see module docstring).
+    scenario_ids:
+        Restrict to these ids (any mode's scenarios are addressable).
+    progress:
+        Optional per-scenario callback (the CLI's live ticker).
+    """
+    if scenario_ids is not None:
+        scenarios = tuple(get_scenario(sid) for sid in scenario_ids)
+        # Tag sub-matrix runs so golden diffs don't treat the scenarios
+        # that were deliberately not requested as missing.
+        effective_mode = f"{mode}-subset"
+    else:
+        scenarios = scenario_matrix(mode)
+        effective_mode = mode
+    watch = Stopwatch()
+    report = VerifyReport(mode=effective_mode)
+    for scenario in scenarios:
+        if progress is not None:
+            progress(scenario.describe())
+        report.scenarios.append(run_scenario(scenario, mode=mode))
+    report.matrix_checks.append(_check_vi_monotonic(report.scenarios, scenarios))
+    report.timing = {
+        "wall_s": round(watch.elapsed, 3),
+        "per_scenario_s": {
+            v.scenario_id: round(v.wall_s, 3) for v in report.scenarios
+        },
+    }
+    return report

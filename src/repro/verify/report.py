@@ -1,0 +1,226 @@
+"""Machine-readable verification report and golden-artifact diffing.
+
+The harness (:mod:`repro.verify.harness`) produces a :class:`VerifyReport`
+that serialises to ``VERIFY_REPORT.json``::
+
+    {
+      "report": "VERIFY",
+      "schema": 1,
+      "mode": "quick",
+      "summary": {"scenarios": 14, "passed": 14, "failed": 0, ...},
+      "scenarios": [{"scenario_id": ..., "checks": [...], ...}, ...],
+      "matrix_checks": [...],
+      "timing": {...}
+    }
+
+CI fails when ``summary.disagreements > 0`` — a *disagreement* is any
+``FAIL`` or ``ERROR`` check, i.e. two prediction paths outside their
+declared tolerance band or a path that refused to run.
+
+For regression diffing across PRs a reduced *golden* form (statuses only,
+no floats or timings, so it is byte-stable across machines) is kept under
+``tests/verify/golden/``; :func:`diff_against_golden` reports any check
+that regressed from its recorded status.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+
+from repro.verify.checks import CheckResult
+
+__all__ = [
+    "ScenarioVerdict",
+    "VerifyReport",
+    "diff_against_golden",
+    "golden_payload",
+    "write_golden",
+    "DEFAULT_REPORT_PATH",
+    "DEFAULT_GOLDEN_PATH",
+]
+
+#: Bump when the VERIFY_REPORT.json layout changes.
+VERIFY_SCHEMA_VERSION = 1
+
+DEFAULT_REPORT_PATH = pathlib.Path("VERIFY_REPORT.json")
+DEFAULT_GOLDEN_PATH = pathlib.Path("tests/verify/golden/verify_quick_golden.json")
+
+
+@dataclass
+class ScenarioVerdict:
+    """All check outcomes for one scenario."""
+
+    scenario_id: str
+    description: str
+    checks: list[CheckResult] = field(default_factory=list)
+    wall_s: float = 0.0
+    #: Scalar observables other layers may want (lock-range width etc.).
+    metrics: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return all(check.ok for check in self.checks)
+
+    @property
+    def disagreements(self) -> list[CheckResult]:
+        return [check for check in self.checks if not check.ok]
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario_id": self.scenario_id,
+            "description": self.description,
+            "ok": self.ok,
+            "wall_s": round(self.wall_s, 3),
+            "metrics": self.metrics,
+            "checks": [check.to_dict() for check in self.checks],
+        }
+
+
+@dataclass
+class VerifyReport:
+    """The full matrix run: per-scenario verdicts plus matrix-level checks."""
+
+    mode: str
+    scenarios: list[ScenarioVerdict] = field(default_factory=list)
+    #: Checks spanning several scenarios (e.g. V_i-monotonicity of widths).
+    matrix_checks: list[CheckResult] = field(default_factory=list)
+    timing: dict = field(default_factory=dict)
+
+    @property
+    def disagreements(self) -> list[tuple[str, CheckResult]]:
+        """Every confirmed disagreement, tagged with its scenario id."""
+        found = [
+            (verdict.scenario_id, check)
+            for verdict in self.scenarios
+            for check in verdict.disagreements
+        ]
+        found.extend(("matrix", check) for check in self.matrix_checks if not check.ok)
+        return found
+
+    @property
+    def ok(self) -> bool:
+        return not self.disagreements
+
+    def summary(self) -> dict:
+        statuses = [
+            check.status for verdict in self.scenarios for check in verdict.checks
+        ] + [check.status for check in self.matrix_checks]
+        return {
+            "scenarios": len(self.scenarios),
+            "scenarios_passed": sum(1 for v in self.scenarios if v.ok),
+            "checks": len(statuses),
+            "passed": statuses.count("PASS"),
+            "failed": statuses.count("FAIL"),
+            "errors": statuses.count("ERROR"),
+            "skipped": statuses.count("SKIP"),
+            "disagreements": len(self.disagreements),
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "report": "VERIFY",
+            "schema": VERIFY_SCHEMA_VERSION,
+            "mode": self.mode,
+            "summary": self.summary(),
+            "scenarios": [verdict.to_dict() for verdict in self.scenarios],
+            "matrix_checks": [check.to_dict() for check in self.matrix_checks],
+            "timing": self.timing,
+        }
+
+    def write(self, path: str | pathlib.Path = DEFAULT_REPORT_PATH) -> pathlib.Path:
+        """Serialise to ``VERIFY_REPORT.json`` (parents created)."""
+        path = pathlib.Path(path)
+        if path.parent != pathlib.Path("."):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
+        return path
+
+    def format(self) -> str:
+        """Human-readable console rendering."""
+        lines = []
+        for verdict in self.scenarios:
+            flag = "ok " if verdict.ok else "XX "
+            lines.append(f"{flag}{verdict.description}  [{verdict.wall_s:.1f} s]")
+            for check in verdict.checks:
+                if check.status == "PASS":
+                    continue
+                lines.append(f"      {check.status:<5} {check.name}: {check.detail}")
+        for check in self.matrix_checks:
+            flag = "ok " if check.ok else "XX "
+            lines.append(f"{flag}matrix/{check.name}: {check.detail}")
+        s = self.summary()
+        lines.append(
+            f"{s['scenarios_passed']}/{s['scenarios']} scenarios clean; "
+            f"{s['checks']} checks: {s['passed']} pass, {s['failed']} fail, "
+            f"{s['errors']} error, {s['skipped']} skip"
+        )
+        return "\n".join(lines)
+
+
+def golden_payload(report: VerifyReport) -> dict:
+    """Reduce a report to its byte-stable golden form (statuses only)."""
+    scenarios = {
+        verdict.scenario_id: {check.name: check.status for check in verdict.checks}
+        for verdict in report.scenarios
+    }
+    return {
+        "golden": "VERIFY",
+        "schema": VERIFY_SCHEMA_VERSION,
+        "mode": report.mode,
+        "scenarios": scenarios,
+        "matrix_checks": {check.name: check.status for check in report.matrix_checks},
+    }
+
+
+def write_golden(
+    report: VerifyReport, path: str | pathlib.Path = DEFAULT_GOLDEN_PATH
+) -> pathlib.Path:
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(golden_payload(report), indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def diff_against_golden(
+    report: VerifyReport, path: str | pathlib.Path = DEFAULT_GOLDEN_PATH
+) -> list[str]:
+    """Regressions of this report against the recorded golden statuses.
+
+    A regression is a golden-``PASS`` check now failing/erroring or gone
+    entirely, or a whole golden scenario missing from the run.  New
+    scenarios/checks and ``SKIP``/``FAIL`` -> ``PASS`` improvements are
+    not regressions.  Returns human-readable descriptions (empty = clean).
+    """
+    path = pathlib.Path(path)
+    golden = json.loads(path.read_text())
+    current = golden_payload(report)
+    regressions: list[str] = []
+    ran_ids = set(current["scenarios"])
+    for scenario_id, golden_checks in sorted(golden.get("scenarios", {}).items()):
+        if scenario_id not in ran_ids:
+            # --scenario runs a sub-matrix on purpose; only flag when the
+            # report claims the same mode as the golden.
+            if report.mode == golden.get("mode"):
+                regressions.append(f"{scenario_id}: scenario missing from run")
+            continue
+        now = current["scenarios"][scenario_id]
+        for name, status in sorted(golden_checks.items()):
+            if status != "PASS":
+                continue
+            got = now.get(name, "MISSING")
+            if got != "PASS":
+                regressions.append(f"{scenario_id}/{name}: PASS -> {got}")
+    for name, status in sorted(golden.get("matrix_checks", {}).items()):
+        if status != "PASS" or not report.matrix_checks:
+            continue
+        # Matrix-level checks are computed over the whole scenario set, so
+        # a sub-matrix run (mode tagged "<mode>-subset") can legitimately
+        # change their status; only same-mode runs can regress them.
+        if report.mode != golden.get("mode"):
+            continue
+        got = current["matrix_checks"].get(name, "MISSING")
+        if got != "PASS":
+            regressions.append(f"matrix/{name}: PASS -> {got}")
+    return regressions

@@ -10,6 +10,18 @@ import pytest
 from repro.nonlin import CubicNonlinearity, NegativeTanh
 from repro.tank import ParallelRLC
 
+try:
+    from hypothesis import settings as _hypothesis_settings
+except ImportError:  # pragma: no cover - hypothesis is an optional test dep
+    _hypothesis_settings = None
+
+if _hypothesis_settings is not None:
+    # Derandomise property tests: examples are derived from each test's
+    # source, so two runs of the same tree explore the same inputs and a
+    # red/green diff always means a code change, never an unlucky draw.
+    _hypothesis_settings.register_profile("repro", derandomize=True)
+    _hypothesis_settings.load_profile("repro")
+
 
 @pytest.fixture(scope="session", autouse=True)
 def _isolated_surface_cache(tmp_path_factory):

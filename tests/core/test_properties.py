@@ -123,3 +123,112 @@ class TestLockRangeProperties:
         assert a[-1] < a[peak] - 1e-4
         # Peak near the centre frequency.
         assert w[peak] == pytest.approx(tank.center_frequency, rel=2e-3)
+
+
+class TestTwoToneSpectrumProperties:
+    """Structural invariants of the full two-tone current spectrum.
+
+    These hold for *every* real (and, where stated, odd) device law, so
+    they are checked on random quintics and on tabulated re-samplings of
+    those quintics — the two nonlinearity families the verification
+    matrix feeds through the solvers.
+    """
+
+    M_MAX = 9
+
+    @staticmethod
+    def _df(nonlinearity, v_i, n):
+        from repro.core.two_tone import TwoToneDF
+
+        return TwoToneDF(nonlinearity, v_i, n, use_disk_cache=False)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        nonlin_params,
+        st.floats(min_value=0.2, max_value=1.5),
+        st.floats(min_value=0.0, max_value=2 * np.pi),
+        st.integers(min_value=1, max_value=5),
+    )
+    def test_spectrum_conjugate_symmetry(self, params, amplitude, phi, n):
+        # Real drive, real law: reversing time maps phi -> -phi, so every
+        # harmonic obeys I_m(A, -phi) = conj(I_m(A, phi)) — not just I_1.
+        f = _random_limiter(*params)
+        df = self._df(f, 0.04, n)
+        plus = df.harmonic_phasors(amplitude, phi, self.M_MAX)
+        minus = df.harmonic_phasors(amplitude, -phi, self.M_MAX)
+        np.testing.assert_allclose(minus, np.conj(plus), atol=1e-14)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        nonlin_params,
+        st.floats(min_value=0.2, max_value=1.5),
+        st.floats(min_value=0.0, max_value=2 * np.pi),
+        st.sampled_from([1, 3, 5]),
+    )
+    def test_odd_law_odd_n_kills_even_harmonics(self, params, amplitude, phi, n):
+        # For odd f and odd n the drive obeys v(theta + pi) = -v(theta),
+        # so the current has half-wave symmetry: even harmonics vanish.
+        # (Even n breaks the symmetry — see the counterexample test.)
+        f = _random_limiter(*params)
+        df = self._df(f, 0.04, n)
+        phasors = df.harmonic_phasors(amplitude, phi, self.M_MAX)
+        odd_scale = float(np.abs(phasors[0::2]).max())
+        even = np.abs(phasors[1::2])  # phasors[m-1] holds I_m
+        assert even.max() < 1e-12 * max(odd_scale, 1.0)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        nonlin_params,
+        st.floats(min_value=0.3, max_value=1.2),
+        st.floats(min_value=0.0, max_value=2 * np.pi),
+    )
+    def test_even_n_regrows_even_harmonics(self, params, amplitude, phi):
+        # Sanity counterexample: with n = 2 the injected tone sits on an
+        # even harmonic, half-wave symmetry is broken, and the even lines
+        # reappear at O(V_i) — the previous test is not vacuous.
+        f = _random_limiter(*params)
+        df = self._df(f, 0.04, 2)
+        phasors = df.harmonic_phasors(amplitude, phi, self.M_MAX)
+        assert np.abs(phasors[1::2]).max() > 1e-9
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        nonlin_params,
+        st.floats(min_value=0.2, max_value=1.5),
+        st.floats(min_value=0.0, max_value=2 * np.pi),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_vi_zero_is_exactly_single_tone(self, params, amplitude, phi, n):
+        # At V_i = 0 the two-tone DF *is* the single-tone DF: same
+        # quadrature, phi becomes a spectator.  Exact to roundoff.
+        f = _random_limiter(*params)
+        df = self._df(f, 0.0, n)
+        i1 = complex(df.i1(amplitude, phi))
+        base = float(fundamental_coefficient(f, np.asarray([amplitude]))[0])
+        assert i1.real == pytest.approx(base, rel=1e-12, abs=1e-15)
+        assert abs(i1.imag) < 1e-12 * max(abs(base), 1e-12)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        nonlin_params,
+        st.floats(min_value=0.2, max_value=1.2),
+        st.floats(min_value=0.0, max_value=2 * np.pi),
+        st.sampled_from([1, 3]),
+    )
+    def test_invariants_survive_tabulation(self, params, amplitude, phi, n):
+        # The verification matrix also runs tabulated (measured-style)
+        # laws.  A symmetric linear-interpolation table of an odd law is
+        # still odd, so both spectrum invariants must survive resampling.
+        from repro.nonlin.tabulated import LinearTableNonlinearity
+
+        f = _random_limiter(*params)
+        v_max = 1.5 + 2 * 0.04  # covers A + 2 V_i for every draw
+        table = LinearTableNonlinearity.from_nonlinearity(
+            f, -v_max, v_max, n=4097
+        )
+        df = self._df(table, 0.04, n)
+        plus = df.harmonic_phasors(amplitude, phi, self.M_MAX)
+        minus = df.harmonic_phasors(amplitude, -phi, self.M_MAX)
+        np.testing.assert_allclose(minus, np.conj(plus), atol=1e-14)
+        odd_scale = float(np.abs(plus[0::2]).max())
+        assert np.abs(plus[1::2]).max() < 1e-12 * max(odd_scale, 1.0)

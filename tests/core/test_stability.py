@@ -139,3 +139,161 @@ class TestSlopeRuleAgreesWithJacobian:
             assert verdict.stable == lock.stable, (
                 f"slope rule disagrees with Jacobian at phi={lock.phi:.3f}"
             )
+
+
+class _FakeDF:
+    """Linearised two-tone DF with prescribed surface gradients.
+
+    Around the equilibrium ``(a0, phi0)``::
+
+        T_f           = 1 - alpha (A - a0) - beta  (phi - phi0)
+        2 R I_1y / A  =     gamma (A - a0) + delta (phi - phi0)
+
+    so the averaged-flow Jacobian signs — and the graphical chart's sign
+    pattern — are dialled in directly: ``tf_decreasing_with_a`` iff
+    ``alpha > 0``, ``angle_increasing_with_phi`` iff ``delta < 0``, and
+    the curve slopes are ``-beta/alpha`` (magnitude) and ``-delta/gamma``
+    (phase).
+    """
+
+    def __init__(self, alpha, beta, gamma, delta, a0=1.2, phi0=2.0, r=1000.0):
+        self.n = 3
+        self.alpha, self.beta, self.gamma, self.delta = alpha, beta, gamma, delta
+        self.a0, self.phi0, self.r = a0, phi0, r
+
+    def i1(self, a, phi):
+        da = np.asarray(a, dtype=float) - self.a0
+        dp = np.asarray(phi, dtype=float) - self.phi0
+        scale = np.asarray(a, dtype=float) / (2.0 * self.r)
+        i1x = -scale * (1.0 - self.alpha * da - self.beta * dp)
+        i1y = scale * (self.gamma * da + self.delta * dp)
+        return i1x + 1j * i1y
+
+
+class TestSlopeRuleSignFlipBranches:
+    """All four sign-pattern branches, cross-checked against the Jacobian.
+
+    Each case builds a synthetic slow flow whose local gradients realise
+    one ``tf_decreasing_with_a`` x ``angle_increasing_with_phi`` combo in
+    the chart where the paper's magnitude comparison is exact, then
+    demands the graphical verdict match :func:`classify_by_jacobian`.
+    (The double-flip combo admits no stable equilibrium — its trace is
+    positive whenever both patterns are flipped — so it is represented by
+    its saddle.)
+    """
+
+    CASES = [
+        # (alpha, beta, gamma, delta, expect_stable)
+        (2.0, 1.0, -0.1, -0.5, True),    # canonical: steep phase curve
+        (2.0, 8.0, -2.0, -0.5, False),   # canonical: shallow phase curve
+        (2.0, 1.0, -0.1, 0.5, False),    # angle flip -> saddle
+        (-0.2, 1.0, 1.0, -2.0, True),    # tf flip, phase damping wins
+        (-0.2, 1.0, 0.05, -2.0, False),  # tf flip, saddle
+        (-1.0, 2.0, -0.5, 0.5, False),   # double flip (always a saddle)
+    ]
+
+    @pytest.mark.parametrize("alpha,beta,gamma,delta,expect", CASES)
+    def test_rule_matches_jacobian(self, alpha, beta, gamma, delta, expect):
+        tank = ParallelRLC(r=1000.0, l=100e-6, c=10e-9)
+        fake = _FakeDF(alpha, beta, gamma, delta, r=tank.peak_resistance)
+        flow = SlowFlow(fake, tank, tank.center_frequency)  # phi_d = 0
+        jacobian = classify_by_jacobian(flow, fake.a0, fake.phi0)
+        assert jacobian.stable == expect
+        rule = paper_slope_rule(
+            -delta / gamma,
+            -beta / alpha,
+            tf_decreasing_with_a=alpha > 0,
+            angle_increasing_with_phi=delta < 0,
+        )
+        assert rule.stable == jacobian.stable
+
+    @pytest.mark.parametrize("alpha,beta,gamma,delta,expect", CASES)
+    def test_slope_rule_at_matches_jacobian(self, alpha, beta, gamma, delta, expect):
+        # The numerical front-end must land on the same verdict from the
+        # i1 surface alone (finite differences + crossing orientation) in
+        # the amplitude-damped chart (alpha > 0).  When T_f rises with A
+        # the surfaces alone cannot certify the trace sign, so the rule
+        # is conservative: it may demote a Jacobian-stable point but must
+        # never promote an unstable one.
+        from repro.core.stability import slope_rule_at
+
+        tank = ParallelRLC(r=1000.0, l=100e-6, c=10e-9)
+        fake = _FakeDF(alpha, beta, gamma, delta, r=tank.peak_resistance)
+
+        class _Surface:
+            """tf / angle_minus_i1 views over the fake i1 field."""
+
+            def tf(self, a, phi, tank_r):
+                i1 = fake.i1(a, phi)
+                return -tank_r * np.real(i1) / (np.asarray(a) / 2.0)
+
+            def angle_minus_i1(self, a, phi):
+                return np.angle(-fake.i1(a, phi))
+
+        verdict = slope_rule_at(
+            _Surface(), tank.peak_resistance, 0.0, fake.a0, fake.phi0
+        )
+        assert verdict.method == "slope-rule"
+        if alpha > 0:
+            assert verdict.stable == expect
+        else:
+            assert not verdict.stable or expect
+
+
+class TestMarginEdgeCases:
+    class _StubFlow:
+        def __init__(self, jac):
+            self._jac = np.asarray(jac, dtype=float)
+
+        def jacobian(self, amplitude, phi):
+            return self._jac
+
+    def test_eigenvalue_exactly_at_minus_margin_is_unstable(self):
+        # The inequality is strict: Re(lambda) == -margin must NOT pass.
+        flow = self._StubFlow(np.diag([-2.0, -10.0]))
+        assert not classify_by_jacobian(flow, 1.0, 0.0, margin=2.0).stable
+        assert classify_by_jacobian(flow, 1.0, 0.0, margin=1.9999).stable
+
+    def test_zero_eigenvalue_unstable_at_default_margin(self):
+        # A fold point (lambda = 0) is never classified stable.
+        flow = self._StubFlow(np.diag([0.0, -1.0]))
+        assert not classify_by_jacobian(flow, 1.0, 0.0).stable
+
+    def test_margin_sign_is_immaterial(self):
+        flow = self._StubFlow(np.diag([-2.0, -10.0]))
+        down = classify_by_jacobian(flow, 1.0, 0.0, margin=-1.0)
+        up = classify_by_jacobian(flow, 1.0, 0.0, margin=1.0)
+        assert down.stable and up.stable
+        assert not classify_by_jacobian(flow, 1.0, 0.0, margin=-3.0).stable
+
+    def test_verdict_usable_in_conditionals(self):
+        flow = self._StubFlow(np.diag([-2.0, -10.0]))
+        verdict = classify_by_jacobian(flow, 1.0, 0.0)
+        taken = "stable" if verdict else "unstable"
+        assert taken == "stable"
+
+
+class TestSlopeRuleAtOnRealLocks:
+    def test_agreement_on_paper_oscillator(self, setup):
+        # slope_rule_at vs the Jacobian on every tanh lock, centred and
+        # detuned — the same cross-check the verify harness sweeps over
+        # the full scenario matrix.
+        from repro.core.stability import slope_rule_at
+
+        tanh, tank = setup
+        df = TwoToneDF(tanh, 0.03, 3)
+        for w_scale in (1.0, 1.0005):
+            w_injection = 3 * tank.center_frequency * w_scale
+            solution = solve_lock_states(
+                tanh, tank, v_i=0.03, w_injection=w_injection, n=3
+            )
+            assert solution.locks
+            for lock in solution.locks:
+                verdict = slope_rule_at(
+                    df,
+                    tank.peak_resistance,
+                    solution.phi_d,
+                    lock.amplitude,
+                    lock.phi,
+                )
+                assert verdict.stable == lock.stable

@@ -1,0 +1,185 @@
+"""Tier-1 unit tests for individual checks, on stubbed artifacts.
+
+The full solvers never run here: lock solutions are hand-built stubs, so
+these tests pin down the *comparison logic* — circular phase pairing,
+count/stability mismatch reporting, spacing arithmetic, matrix-level
+monotonicity — at zero numerical cost.
+"""
+
+import types
+
+import numpy as np
+import pytest
+
+from repro.verify.checks import (
+    DEFAULT_TOLERANCES,
+    ScenarioArtifacts,
+    check_lock_states_fft_vs_dense,
+    check_state_multiplicity,
+)
+from repro.verify.harness import _check_vi_monotonic
+from repro.verify.report import ScenarioVerdict
+from repro.verify.scenarios import Scenario
+
+
+def _lock(phi, amplitude=1.0, stable=True, n=3):
+    return types.SimpleNamespace(
+        phi=phi,
+        amplitude=amplitude,
+        stable=stable,
+        oscillator_phases=np.asarray(
+            [phi / n + 2.0 * np.pi * k / n for k in range(n)]
+        ),
+    )
+
+
+def _solution(locks, n=3):
+    return types.SimpleNamespace(
+        locks=list(locks), n=n, total_states=n * len(locks)
+    )
+
+
+def _artifacts(fft_locks, dense_locks=None, n=3, **tolerances):
+    scenario = Scenario("stub", "tanh", n, 0.03, tolerances=dict(tolerances))
+    art = ScenarioArtifacts(scenario=scenario, nonlinearity=None, tank=None)
+    art.locks_center["fft"] = _solution(fft_locks, n=n)
+    if dense_locks is not None:
+        art.locks_center["dense"] = _solution(dense_locks, n=n)
+    return art
+
+
+class TestLockStatePairing:
+    def test_identical_sets_pass(self):
+        locks = [_lock(0.5), _lock(3.6, stable=False)]
+        result = check_lock_states_fft_vs_dense(_artifacts(locks, locks))
+        assert result.status == "PASS"
+        assert result.deviation == pytest.approx(0.0, abs=1e-12)
+
+    def test_wraparound_phases_pair_circularly(self):
+        # One solver reports a state at phi ~ 2 pi, the other at phi ~ 0:
+        # the same physical state.  Naive order-based pairing would match
+        # it against the other lock and report a huge phase error.
+        eps = 1e-7
+        fft = [_lock(2.0 * np.pi - eps), _lock(2.0)]
+        dense = [_lock(eps), _lock(2.0)]
+        result = check_lock_states_fft_vs_dense(_artifacts(fft, dense))
+        assert result.status == "PASS"
+        # Deviation is band-normalised: 2 eps against the 1e-5 rad band.
+        assert result.deviation < 0.1
+
+    def test_count_mismatch_fails(self):
+        result = check_lock_states_fft_vs_dense(
+            _artifacts([_lock(0.5), _lock(3.6)], [_lock(0.5)])
+        )
+        assert result.status == "FAIL"
+        assert "count differs" in result.detail
+
+    def test_stability_mismatch_fails(self):
+        fft = [_lock(0.5, stable=True)]
+        dense = [_lock(0.5, stable=False)]
+        result = check_lock_states_fft_vs_dense(_artifacts(fft, dense))
+        assert result.status == "FAIL"
+        assert "stability differs" in result.detail
+
+    def test_amplitude_gap_outside_band_fails(self):
+        fft = [_lock(0.5, amplitude=1.0)]
+        dense = [_lock(0.5, amplitude=1.001)]  # 1e-3 >> 1e-5 band
+        result = check_lock_states_fft_vs_dense(_artifacts(fft, dense))
+        assert result.status == "FAIL"
+
+    def test_solver_error_reports_error_status(self):
+        art = _artifacts([_lock(0.5)], [_lock(0.5)])
+        del art.locks_center["dense"]
+        art.errors["locks-center-dense"] = RuntimeError("solver blew up")
+        result = check_lock_states_fft_vs_dense(art)
+        assert result.status == "ERROR"
+        assert "solver blew up" in result.detail
+
+    def test_scenario_tolerance_override_applies(self):
+        fft = [_lock(0.5, amplitude=1.0)]
+        dense = [_lock(0.5, amplitude=1.001)]
+        art = _artifacts(fft, dense, lockstates_amp_rel=0.01)
+        assert check_lock_states_fft_vs_dense(art).status == "PASS"
+        assert "lockstates_amp_rel" in DEFAULT_TOLERANCES
+
+
+class TestStateMultiplicity:
+    def test_exact_spacing_passes(self):
+        result = check_state_multiplicity(_artifacts([_lock(0.7), _lock(2.9)]))
+        assert result.status == "PASS"
+
+    def test_corrupted_spacing_fails(self):
+        lock = _lock(0.7)
+        lock.oscillator_phases = lock.oscillator_phases + np.asarray(
+            [0.0, 1e-3, 0.0]
+        )
+        result = check_state_multiplicity(_artifacts([lock]))
+        assert result.status == "FAIL"
+        assert result.deviation > result.tolerance
+
+    def test_wrong_state_count_fails(self):
+        lock = _lock(0.7, n=3)
+        lock.oscillator_phases = lock.oscillator_phases[:2]
+        art = _artifacts([lock])
+        art.locks_center["fft"].total_states = 2
+        result = check_state_multiplicity(art)
+        assert result.status == "FAIL"
+
+
+class TestViMonotonicMatrixCheck:
+    @staticmethod
+    def _entry(family, n, v_i, width):
+        scenario = Scenario(f"{family}-n{n}-vi{v_i:g}", family, n, v_i)
+        verdict = ScenarioVerdict(
+            scenario_id=scenario.scenario_id,
+            description=scenario.describe(),
+            metrics={"lockrange_width_hz": width},
+        )
+        return scenario, verdict
+
+    def _run(self, entries):
+        scenarios, verdicts = zip(*entries)
+        return _check_vi_monotonic(list(verdicts), list(scenarios))
+
+    def test_monotone_family_passes(self):
+        result = self._run([
+            self._entry("tanh", 3, 0.01, 100.0),
+            self._entry("tanh", 3, 0.03, 300.0),
+            self._entry("tanh", 3, 0.06, 550.0),
+        ])
+        assert result.status == "PASS"
+        assert "2 adjacent" in result.detail
+
+    def test_groups_are_independent(self):
+        # Different (family, n) groups must not be compared against each
+        # other even when one family is much wider than the other.
+        result = self._run([
+            self._entry("tanh", 3, 0.01, 100.0),
+            self._entry("tanh", 3, 0.03, 300.0),
+            self._entry("tunnel", 3, 0.02, 5.0),
+        ])
+        assert result.status == "PASS"
+
+    def test_shrinking_width_fails(self):
+        result = self._run([
+            self._entry("tanh", 3, 0.01, 100.0),
+            self._entry("tanh", 3, 0.03, 90.0),
+        ])
+        assert result.status == "FAIL"
+        assert "<=" in result.detail
+
+    def test_no_pairs_skips(self):
+        result = self._run([self._entry("tanh", 3, 0.03, 300.0)])
+        assert result.status == "SKIP"
+
+    def test_missing_width_drops_scenario_not_check(self):
+        entries = [
+            self._entry("tanh", 3, 0.01, 100.0),
+            self._entry("tanh", 3, 0.03, None),
+            self._entry("tanh", 3, 0.06, 550.0),
+        ]
+        entries[1][1].metrics.pop("lockrange_width_hz")
+        result = self._run(entries)
+        # 0.01 and 0.06 remain an adjacent pair after the drop.
+        assert result.status == "PASS"
+        assert "1 adjacent" in result.detail

@@ -1,0 +1,82 @@
+"""Tier-2: the full quick verification matrix, end to end.
+
+Slow by design (the quick matrix solves every scenario through both DF
+paths plus harmonic balance, ~30-60 s total), so the whole module carries
+the ``tier2`` marker and the default run excludes it; CI and developers
+run it with ``pytest -m tier2`` or ``python -m repro verify --quick``.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.verify import (
+    diff_against_golden,
+    get_scenario,
+    golden_payload,
+    run_matrix,
+    run_scenario,
+)
+
+pytestmark = pytest.mark.tier2
+
+GOLDEN = pathlib.Path(__file__).parent / "golden" / "verify_quick_golden.json"
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    return run_matrix("quick")
+
+
+class TestQuickMatrix:
+    def test_no_confirmed_disagreements(self, quick_report):
+        assert quick_report.ok, "\n" + quick_report.format()
+
+    def test_coverage_contract(self, quick_report):
+        assert len(quick_report.scenarios) >= 12
+        ids = [v.scenario_id for v in quick_report.scenarios]
+        families = {get_scenario(i).family for i in ids}
+        orders = {get_scenario(i).n for i in ids}
+        assert {"diffpair", "tunnel"} <= families
+        assert {1, 2, 3} <= orders
+
+    def test_every_scenario_ran_the_full_battery(self, quick_report):
+        for verdict in quick_report.scenarios:
+            assert len(verdict.checks) == 10, verdict.scenario_id
+            assert verdict.wall_s > 0.0
+            assert verdict.metrics["lockrange_width_hz"] > 0.0
+
+    def test_report_serialises(self, quick_report, tmp_path):
+        path = quick_report.write(tmp_path / "VERIFY_REPORT.json")
+        payload = json.loads(path.read_text())
+        assert payload["summary"]["disagreements"] == 0
+        assert len(payload["scenarios"]) == len(quick_report.scenarios)
+
+    def test_matches_committed_golden(self, quick_report):
+        assert GOLDEN.exists(), "run `python -m repro verify --quick --update-golden`"
+        regressions = diff_against_golden(quick_report, GOLDEN)
+        assert regressions == []
+
+
+class TestDeterminism:
+    def test_scenario_rerun_is_bit_identical(self):
+        # Every path is seeded quadrature/Newton work: two runs of the
+        # same scenario must agree not just in status but in deviation.
+        scenario = get_scenario("tanh-n1-vi030m")
+        first = run_scenario(scenario)
+        second = run_scenario(scenario)
+        assert [c.to_dict() for c in first.checks] == [
+            c.to_dict() for c in second.checks
+        ]
+
+    def test_subset_run_mode_tag(self):
+        report = run_matrix("quick", scenario_ids=["tanh-n1-vi030m"])
+        assert report.mode == "quick-subset"
+        assert golden_payload(report)["mode"] == "quick-subset"
+        if GOLDEN.exists():
+            # A deliberate sub-matrix is never blamed for missing scenarios.
+            missing = [
+                r for r in diff_against_golden(report, GOLDEN) if "missing" in r
+            ]
+            assert missing == []

@@ -1,0 +1,152 @@
+"""Tier-1 tests for the verification report and golden-artifact diffing."""
+
+import json
+
+import pytest
+
+from repro.verify.checks import CheckResult, _passfail
+from repro.verify.report import (
+    ScenarioVerdict,
+    VerifyReport,
+    diff_against_golden,
+    golden_payload,
+    write_golden,
+)
+
+
+def _report(statuses, mode="quick"):
+    """A report with one scenario holding one check per given status."""
+    checks = [
+        CheckResult(name=f"check-{i}", status=status, detail=status.lower())
+        for i, status in enumerate(statuses)
+    ]
+    verdict = ScenarioVerdict(
+        scenario_id="s1", description="s1: fake", checks=checks, wall_s=1.0
+    )
+    return VerifyReport(mode=mode, scenarios=[verdict])
+
+
+class TestCheckResult:
+    @pytest.mark.parametrize("status,ok", [
+        ("PASS", True), ("SKIP", True), ("FAIL", False), ("ERROR", False),
+    ])
+    def test_ok_semantics(self, status, ok):
+        assert CheckResult("c", status).ok is ok
+
+    def test_passfail_boundary_is_inclusive(self):
+        # deviation == tolerance sits inside the declared band.
+        assert _passfail("c", 1.0, 1.0).status == "PASS"
+        assert _passfail("c", 1.0 + 1e-12, 1.0).status == "FAIL"
+
+    def test_to_dict_round_trips_through_json(self):
+        check = _passfail("c", 0.5, 1.0, detail="d")
+        again = json.loads(json.dumps(check.to_dict()))
+        assert again == {
+            "name": "c", "status": "PASS",
+            "deviation": 0.5, "tolerance": 1.0, "detail": "d",
+        }
+
+
+class TestVerifyReport:
+    def test_summary_counts(self):
+        report = _report(["PASS", "PASS", "FAIL", "ERROR", "SKIP"])
+        summary = report.summary()
+        assert summary["scenarios"] == 1
+        assert summary["scenarios_passed"] == 0
+        assert summary["checks"] == 5
+        assert summary["passed"] == 2
+        assert summary["failed"] == 1
+        assert summary["errors"] == 1
+        assert summary["skipped"] == 1
+        assert summary["disagreements"] == 2
+
+    def test_skips_are_not_disagreements(self):
+        report = _report(["PASS", "SKIP"])
+        assert report.ok
+        assert report.disagreements == []
+
+    def test_matrix_checks_count_as_disagreements(self):
+        report = _report(["PASS"])
+        report.matrix_checks.append(CheckResult("mono", "FAIL"))
+        assert not report.ok
+        assert report.disagreements == [("matrix", report.matrix_checks[0])]
+
+    def test_write_produces_schema_tagged_json(self, tmp_path):
+        report = _report(["PASS", "FAIL"])
+        path = report.write(tmp_path / "sub" / "VERIFY_REPORT.json")
+        payload = json.loads(path.read_text())
+        assert payload["report"] == "VERIFY"
+        assert payload["schema"] == 1
+        assert payload["mode"] == "quick"
+        assert payload["summary"]["disagreements"] == 1
+        assert payload["scenarios"][0]["checks"][1]["status"] == "FAIL"
+
+    def test_format_flags_and_hides_passes(self):
+        report = _report(["PASS", "FAIL"])
+        text = report.format()
+        assert text.startswith("XX ")
+        assert "check-1" in text       # the failure is listed ...
+        assert "check-0" not in text   # ... passing checks are not
+        assert "0/1 scenarios clean" in text
+
+
+class TestGolden:
+    def test_payload_is_status_only_and_byte_stable(self):
+        report = _report(["PASS", "FAIL", "SKIP"])
+        payload = golden_payload(report)
+        assert payload["scenarios"]["s1"] == {
+            "check-0": "PASS", "check-1": "FAIL", "check-2": "SKIP",
+        }
+        text = json.dumps(payload, sort_keys=True)
+        assert "deviation" not in text and "wall" not in text
+        assert json.dumps(golden_payload(_report(["PASS", "FAIL", "SKIP"])),
+                          sort_keys=True) == text
+
+    def test_clean_diff(self, tmp_path):
+        report = _report(["PASS", "SKIP"])
+        path = write_golden(report, tmp_path / "golden.json")
+        assert diff_against_golden(report, path) == []
+
+    def test_pass_to_fail_is_a_regression(self, tmp_path):
+        path = write_golden(_report(["PASS", "PASS"]), tmp_path / "golden.json")
+        regressions = diff_against_golden(_report(["PASS", "FAIL"]), path)
+        assert regressions == ["s1/check-1: PASS -> FAIL"]
+
+    def test_improvements_and_new_checks_are_not_regressions(self, tmp_path):
+        path = write_golden(_report(["FAIL", "PASS"]), tmp_path / "golden.json")
+        better = _report(["PASS", "PASS", "PASS"])  # FAIL fixed + new check
+        assert diff_against_golden(better, path) == []
+
+    def test_missing_scenario_flagged_only_for_same_mode(self, tmp_path):
+        path = write_golden(_report(["PASS"]), tmp_path / "golden.json")
+        empty_same_mode = VerifyReport(mode="quick")
+        assert diff_against_golden(empty_same_mode, path) == [
+            "s1: scenario missing from run"
+        ]
+        # A --scenario sub-matrix is tagged "quick-subset" by the harness
+        # and must not be blamed for the scenarios it never requested.
+        subset = VerifyReport(mode="quick-subset")
+        assert diff_against_golden(subset, path) == []
+
+    def test_vanished_check_is_a_regression(self, tmp_path):
+        path = write_golden(_report(["PASS", "PASS"]), tmp_path / "golden.json")
+        regressions = diff_against_golden(_report(["PASS"]), path)
+        assert regressions == ["s1/check-1: PASS -> MISSING"]
+
+    def test_matrix_check_not_blamed_on_subset_runs(self, tmp_path):
+        # A --scenario sub-matrix computes the matrix checks over fewer
+        # scenarios (often SKIP: no V_i pairs); that is not a regression.
+        golden = _report(["PASS"])
+        golden.matrix_checks.append(CheckResult("mono", "PASS"))
+        path = write_golden(golden, tmp_path / "golden.json")
+        subset = _report(["PASS"], mode="quick-subset")
+        subset.matrix_checks.append(CheckResult("mono", "SKIP"))
+        assert diff_against_golden(subset, path) == []
+
+    def test_matrix_check_regression(self, tmp_path):
+        golden = _report(["PASS"])
+        golden.matrix_checks.append(CheckResult("mono", "PASS"))
+        path = write_golden(golden, tmp_path / "golden.json")
+        bad = _report(["PASS"])
+        bad.matrix_checks.append(CheckResult("mono", "FAIL"))
+        assert diff_against_golden(bad, path) == ["matrix/mono: PASS -> FAIL"]

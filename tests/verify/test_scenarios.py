@@ -1,0 +1,94 @@
+"""Tier-1 tests for the verification scenario matrix (no solver runs)."""
+
+import dataclasses
+
+import pytest
+
+from repro.tank import ParallelRLC
+from repro.verify.scenarios import (
+    FAMILIES,
+    FULL_EXTRA_SCENARIOS,
+    QUICK_SCENARIOS,
+    Scenario,
+    get_scenario,
+    scenario_matrix,
+)
+
+
+class TestCoverageContract:
+    """The floor the acceptance criteria promise for every CI run."""
+
+    def test_quick_matrix_size(self):
+        assert len(QUICK_SCENARIOS) >= 12
+
+    def test_ids_unique_across_full_matrix(self):
+        ids = [s.scenario_id for s in scenario_matrix("full")]
+        assert len(ids) == len(set(ids))
+
+    def test_both_paper_oscillators_in_quick(self):
+        families = {s.family for s in QUICK_SCENARIOS}
+        assert {"diffpair", "tunnel"} <= families
+
+    def test_orders_one_two_three_in_quick(self):
+        assert {1, 2, 3} <= {s.n for s in QUICK_SCENARIOS}
+
+    def test_every_family_is_buildable(self):
+        for family, builder in FAMILIES.items():
+            nonlinearity, tank = builder()
+            assert callable(nonlinearity)
+            assert tank.center_frequency > 0, family
+
+    def test_full_mode_is_superset(self):
+        quick = set(s.scenario_id for s in scenario_matrix("quick"))
+        full = set(s.scenario_id for s in scenario_matrix("full"))
+        assert quick < full
+        assert full - quick == {s.scenario_id for s in FULL_EXTRA_SCENARIOS}
+
+
+class TestScenarioMechanics:
+    def test_matrix_is_deterministic(self):
+        assert scenario_matrix("quick") == scenario_matrix("quick")
+        assert scenario_matrix("full") == scenario_matrix("full")
+
+    def test_invalid_mode_raises(self):
+        with pytest.raises(ValueError, match="mode"):
+            scenario_matrix("exhaustive")
+
+    def test_get_scenario_roundtrip(self):
+        for scenario in scenario_matrix("full"):
+            assert get_scenario(scenario.scenario_id) is scenario
+
+    def test_get_scenario_unknown_raises_with_catalog(self):
+        with pytest.raises(KeyError, match="tanh-n3-vi030m"):
+            get_scenario("nonsense")
+
+    def test_scenarios_are_frozen(self):
+        scenario = QUICK_SCENARIOS[0]
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            scenario.n = 99
+
+    def test_build_applies_q_scale(self):
+        base = Scenario("s", "tanh", 3, 0.03)
+        scaled = Scenario("s2", "tanh", 3, 0.03, q_scale=2.0)
+        _, tank = base.build()
+        _, tank2 = scaled.build()
+        assert tank2.r == pytest.approx(2.0 * tank.r)
+        # q_scale moves Q but not the centre frequency.
+        assert tank2.center_frequency == pytest.approx(tank.center_frequency)
+
+    def test_build_unknown_family_raises(self):
+        bogus = Scenario("x", "ring", 1, 0.01)
+        with pytest.raises(KeyError, match="ring"):
+            bogus.build()
+
+    def test_describe_mentions_the_knobs(self):
+        scenario = Scenario("id1", "tanh", 2, 0.04, q_scale=0.5)
+        text = scenario.describe()
+        assert "id1" in text and "n=2" in text and "0.04" in text and "0.5" in text
+
+    def test_tolerance_overrides_are_per_scenario(self):
+        # The diffpair n=1 scenario documents a wider Adler band; the
+        # override must stay scoped to that scenario.
+        wide = get_scenario("diffpair-n1-vi030m")
+        assert wide.tolerances["adler_width_ratio_hi"] > 3.0
+        assert "adler_width_ratio_hi" not in get_scenario("tanh-n3-vi030m").tolerances
