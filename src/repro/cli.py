@@ -6,9 +6,20 @@ Gives designers the paper's analyses without writing Python:
 * ``locks``      — lock states at one injection frequency (Fig. 7 flow),
 * ``lockrange``  — the one-pass lock range (Fig. 10 flow),
 * ``experiment`` — run a DESIGN.md experiment by id (FIG3..TAB2, ...),
-* ``verify``     — the cross-method verification matrix (DESIGN.md §8):
+* ``verify``     — the cross-method verification matrix (DESIGN.md §7):
   every prediction path on every scenario, cross-checked within declared
-  tolerance bands; writes ``VERIFY_REPORT.json``.
+  tolerance bands; writes ``VERIFY_REPORT.json``,
+* ``faults``     — the deterministic fault-injection matrix (DESIGN.md
+  §8): break the pipeline on purpose, assert every scenario recovers via
+  a documented escalation rung or fails typed; writes
+  ``FAULTS_REPORT.json``.
+
+The solve commands run through the escalation ladders of
+:mod:`repro.robust` by default (disable with ``--no-escalate``) and
+print a one-line solve-diagnostics summary.  Typed solve failures map to
+documented exit codes (3 no-lock, 4 HB divergence, 5 no-oscillation,
+6 numerical fault) with a one-line message on stderr instead of a
+traceback.
 
 The oscillator can be one of the built-in calibrated setups
 (``--oscillator tanh|diffpair|tunnel``) or a custom tanh cell described by
@@ -45,6 +56,14 @@ from repro.utils.units import format_si, parse_value
 
 __all__ = ["main", "build_parser"]
 
+# Typed failure exit codes (documented in the README):
+#   0 success, 1 generic/no-lock-states-at-this-frequency, 2 argparse usage,
+#   3..6 the typed solve failures below, so scripts can branch on *why*.
+EXIT_NO_LOCK = 3
+EXIT_HB_DIVERGENCE = 4
+EXIT_NO_OSCILLATION = 5
+EXIT_NUMERICAL_FAULT = 6
+
 
 def _resolve_setup(args):
     """Build (nonlinearity, tank, name) from CLI arguments."""
@@ -77,11 +96,27 @@ def _resolve_setup(args):
     return nonlinearity, tank, "custom-tanh"
 
 
-def _cmd_natural(args) -> int:
-    from repro.core import predict_natural_oscillation
+def _print_diagnostics(diagnostics) -> None:
+    """Render a solve's escalation record (one line, more when it escalated)."""
+    if diagnostics is None:
+        return
+    print(f"solve diagnostics: {diagnostics.summary()}")
+    if diagnostics.escalated or diagnostics.faults:
+        for line in diagnostics.format().splitlines()[1:]:
+            print(line)
 
+
+def _cmd_natural(args) -> int:
     nonlinearity, tank, name = _resolve_setup(args)
-    natural = predict_natural_oscillation(nonlinearity, tank)
+    if args.no_escalate:
+        from repro.core import predict_natural_oscillation
+
+        natural, diagnostics = predict_natural_oscillation(nonlinearity, tank), None
+    else:
+        from repro.robust import robust_natural
+
+        result = robust_natural(nonlinearity, tank)
+        natural, diagnostics = result.value, result.diagnostics
     print(f"oscillator: {name}")
     print(f"tank: f_c = {format_si(tank.center_frequency / (2 * np.pi), 'Hz')}, "
           f"R = {format_si(tank.peak_resistance, 'Ohm')}")
@@ -89,27 +124,39 @@ def _cmd_natural(args) -> int:
     print(f"natural oscillation: A = {natural.amplitude:.6g} V at "
           f"{format_si(natural.frequency_hz, 'Hz')} "
           f"({'stable' if natural.stable else 'unstable'})")
+    _print_diagnostics(diagnostics)
     return 0
 
 
 def _cmd_locks(args) -> int:
-    from repro.core import solve_lock_states
-
     nonlinearity, tank, name = _resolve_setup(args)
     if args.finj is not None:
         w_injection = 2.0 * np.pi * parse_value(args.finj)
     else:
         w_injection = args.n * tank.center_frequency
-    solution = solve_lock_states(
-        nonlinearity, tank, v_i=parse_value(args.vi),
-        w_injection=w_injection, n=args.n, method=args.method,
-    )
+    if args.no_escalate:
+        from repro.core import solve_lock_states
+
+        solution = solve_lock_states(
+            nonlinearity, tank, v_i=parse_value(args.vi),
+            w_injection=w_injection, n=args.n, method=args.method,
+        )
+        diagnostics = None
+    else:
+        from repro.robust import robust_solve_lock_states
+
+        result = robust_solve_lock_states(
+            nonlinearity, tank, v_i=parse_value(args.vi),
+            w_injection=w_injection, n=args.n, method=args.method,
+        )
+        solution, diagnostics = result.value, result.diagnostics
     print(f"oscillator: {name}; injection "
           f"{format_si(w_injection / (2 * np.pi), 'Hz')} at n = {args.n}, "
           f"V_i = {parse_value(args.vi):g} V")
     print(f"tank phase phi_d = {solution.phi_d:+.5f} rad")
     if not solution.locks:
         print("no lock states: injection frequency is outside the lock range")
+        _print_diagnostics(diagnostics)
         return 1
     for k, lock in enumerate(solution.locks):
         tag = "stable" if lock.stable else "unstable"
@@ -118,17 +165,28 @@ def _cmd_locks(args) -> int:
               f"({tag}); oscillator states: [{states}] rad")
     print(f"total physical states: {solution.total_states} "
           f"(a multiple of n = {solution.n})")
+    _print_diagnostics(diagnostics)
     return 0
 
 
 def _cmd_lockrange(args) -> int:
-    from repro.core import predict_lock_range
-
     nonlinearity, tank, name = _resolve_setup(args)
-    lock_range = predict_lock_range(
-        nonlinearity, tank, v_i=parse_value(args.vi), n=args.n,
-        method=args.method,
-    )
+    if args.no_escalate:
+        from repro.core import predict_lock_range
+
+        lock_range = predict_lock_range(
+            nonlinearity, tank, v_i=parse_value(args.vi), n=args.n,
+            method=args.method,
+        )
+        diagnostics = None
+    else:
+        from repro.robust import robust_predict_lock_range
+
+        result = robust_predict_lock_range(
+            nonlinearity, tank, v_i=parse_value(args.vi), n=args.n,
+            method=args.method,
+        )
+        lock_range, diagnostics = result.value, result.diagnostics
     print(f"oscillator: {name}; n = {args.n}, V_i = {parse_value(args.vi):g} V")
     print(f"lower lock limit: {format_si(lock_range.injection_lower_hz, 'Hz')}")
     print(f"upper lock limit: {format_si(lock_range.injection_upper_hz, 'Hz')}")
@@ -136,7 +194,26 @@ def _cmd_lockrange(args) -> int:
     print(f"boundary tank phase: {lock_range.phi_d_at_lower:+.5f} rad "
           f"(symmetric: {lock_range.phi_d_at_upper:+.5f})")
     print(f"amplitude at the edges: {lock_range.amplitude_at_lower:.6g} V")
+    _print_diagnostics(diagnostics)
     return 0
+
+
+def _cmd_faults(args) -> int:
+    from repro.robust.injection import fault_scenarios, run_fault_matrix
+
+    if args.list:
+        for scenario in fault_scenarios(quick=False):
+            print(f"{scenario.scenario_id}: {scenario.description} "
+                  f"[expect {scenario.expectation}: {scenario.expected_fault}]")
+        return 0
+    quick = not args.full
+    report = run_fault_matrix(
+        quick=quick, progress=lambda line: print(f".. {line}", flush=True)
+    )
+    print(report.format())
+    path = report.write(args.report)
+    print(f"report written to {path}")
+    return 0 if report.passed else 1
 
 
 def _cmd_experiment(args) -> int:
@@ -213,6 +290,16 @@ def _add_method_option(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_escalation_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--no-escalate",
+        action="store_true",
+        help="disable the escalation ladder: fail on the first attempt "
+        "instead of retrying with refined grids / widened windows / the "
+        "dense referee",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -229,6 +316,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_nat = sub.add_parser("natural", help="free-running oscillation prediction")
     _add_oscillator_options(p_nat)
+    _add_escalation_option(p_nat)
     p_nat.set_defaults(func=_cmd_natural)
 
     p_locks = sub.add_parser("locks", help="lock states at one injection frequency")
@@ -240,6 +328,7 @@ def build_parser() -> argparse.ArgumentParser:
         "defaults to n times the tank centre"
     )
     _add_method_option(p_locks)
+    _add_escalation_option(p_locks)
     p_locks.set_defaults(func=_cmd_locks)
 
     p_range = sub.add_parser("lockrange", help="one-pass lock-range prediction")
@@ -247,7 +336,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_range.add_argument("--vi", default="0.03", help="injection phasor magnitude (V)")
     p_range.add_argument("--n", type=int, default=3, help="sub-harmonic order")
     _add_method_option(p_range)
+    _add_escalation_option(p_range)
     p_range.set_defaults(func=_cmd_lockrange)
+
+    p_faults = sub.add_parser(
+        "faults",
+        help="deterministic fault-injection matrix (writes FAULTS_REPORT.json)",
+        description="Inject known failures (singular HB Jacobians, non-finite "
+        "nonlinearity samples, truncated cache records, unreachable tank "
+        "phase inversions, degenerate circuits) and verify each one either "
+        "recovers via a documented escalation rung or fails with its "
+        "declared typed fault. Exits non-zero if any scenario misbehaves.",
+    )
+    group = p_faults.add_mutually_exclusive_group()
+    group.add_argument(
+        "--quick", action="store_true",
+        help="skip the slowest scenarios (default; used by CI)",
+    )
+    group.add_argument(
+        "--full", action="store_true",
+        help="all scenarios, including the HB continuation ramp",
+    )
+    p_faults.add_argument(
+        "--list", action="store_true", help="list scenario ids and exit"
+    )
+    p_faults.add_argument(
+        "--report",
+        default="FAULTS_REPORT.json",
+        help="output path for the machine-readable report",
+    )
+    p_faults.set_defaults(func=_cmd_faults)
 
     p_exp = sub.add_parser("experiment", help="run a DESIGN.md experiment by id")
     p_exp.add_argument("id", help="experiment id, e.g. FIG10 or TAB1")
@@ -307,19 +425,55 @@ def _bench_id(args) -> str:
     return str(args.command).upper()
 
 
+def _typed_exit_codes() -> list[tuple[type, str, int]]:
+    """(exception type, human label, exit code), most specific first."""
+    from repro.core.natural import NoOscillationError
+    from repro.core.harmonic_balance import HbConvergenceError
+    from repro.core.lockrange import NoLockError
+    from repro.robust import NumericalFaultError
+
+    return [
+        (NoLockError, "no lock", EXIT_NO_LOCK),
+        (HbConvergenceError, "HB divergence", EXIT_HB_DIVERGENCE),
+        (NoOscillationError, "no oscillation", EXIT_NO_OSCILLATION),
+        (NumericalFaultError, "numerical fault", EXIT_NUMERICAL_FAULT),
+    ]
+
+
+def _run_command(args) -> int:
+    """Dispatch to the subcommand, mapping typed failures to exit codes.
+
+    Solve failures are expected outcomes (the injection is too weak, the
+    circuit does not oscillate, Newton diverged); scripts get a one-line
+    message plus the escalation diagnostics on stderr and a documented
+    exit code instead of a traceback.
+    """
+    try:
+        return args.func(args)
+    except tuple(t for t, _, _ in _typed_exit_codes()) as exc:
+        for exc_type, label, code in _typed_exit_codes():
+            if isinstance(exc, exc_type):
+                break
+        print(f"error ({label}): {exc}", file=sys.stderr)
+        diagnostics = getattr(exc, "diagnostics", None)
+        if diagnostics is not None:
+            print(diagnostics.format(), file=sys.stderr)
+        return code
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
     if not args.profile:
-        return args.func(args)
+        return _run_command(args)
 
     from repro.perf import default_cache, profiler, write_bench_json
 
     cache = default_cache()
     profiler.enable()
     try:
-        code = args.func(args)
+        code = _run_command(args)
     finally:
         profiler.disable()
     record = profiler.as_dict()

@@ -48,10 +48,18 @@ from repro.core.natural import predict_natural_oscillation
 from repro.core.shil import solve_lock_states
 from repro.core.two_tone import TwoToneDF
 from repro.nonlin.base import Nonlinearity
+from repro.robust.diagnostics import record_fault
+from repro.robust.faults import SolveFault
+from repro.robust.guards import guard_finite
 from repro.tank.base import Tank
 from repro.utils.validation import check_positive
 
 __all__ = ["HbSolution", "hb_natural_oscillation", "hb_lock_state"]
+
+#: Linear-solve seam for the Newton systems.  Module-level so the
+#: fault-injection harness can deterministically substitute a failing
+#: solver; production behaviour is exactly ``np.linalg.solve``.
+_solve_linear = np.linalg.solve
 
 
 @dataclass(frozen=True)
@@ -154,6 +162,7 @@ def hb_natural_oscillation(
     n_samples: int = 512,
     tol: float = 1e-12,
     max_iter: int = 60,
+    max_step_rel: float | None = None,
 ) -> HbSolution:
     """Free-running periodic steady state by harmonic balance.
 
@@ -169,6 +178,9 @@ def hb_natural_oscillation(
         Convergence tolerance on the packed update (relative).
     max_iter:
         Newton budget.
+    max_step_rel:
+        Optional damping: cap each Newton update at this fraction of the
+        amplitude scale (the escalation ladder's damped-Newton rung).
 
     Raises
     ------
@@ -197,7 +209,9 @@ def hb_natural_oscillation(
     iterations = 0
     for iterations in range(1, max_iter + 1):
         r = residual(x)
-        norm = float(np.linalg.norm(r))
+        guard_finite(
+            "harmonic-balance residual", r, stage="harmonic-balance", recoverable=True
+        )
         # Numerical Jacobian — the system is small (2K+1).
         jac = np.empty((x.size, x.size))
         for j in range(x.size):
@@ -205,10 +219,26 @@ def hb_natural_oscillation(
             e = np.zeros(x.size)
             e[j] = h
             jac[:, j] = (residual(x + e) - r) / h
+        guard_finite(
+            "harmonic-balance Jacobian", jac, stage="harmonic-balance", recoverable=True
+        )
         try:
-            dx = np.linalg.solve(jac, -r)
+            dx = _solve_linear(jac, -r)
         except np.linalg.LinAlgError as exc:
+            # Record the precise cause before wrapping it in the coarser
+            # convergence error (only the wrapper type reaches callers).
+            record_fault(
+                SolveFault("singular-jacobian", "harmonic-balance", str(exc))
+            )
             raise HbConvergenceError("singular harmonic-balance Jacobian") from exc
+        if max_step_rel is not None:
+            # Damp the voltage block only: the frequency unknown lives on a
+            # ~1e6 rad/s scale and an amplitude-scaled cap would freeze it.
+            step = float(np.linalg.norm(dx[: 2 * k_max]))
+            cap = max_step_rel * scale
+            if step > cap:
+                dx = dx.copy()
+                dx[: 2 * k_max] *= cap / step
         x = x + dx
         if np.linalg.norm(dx) < tol * np.linalg.norm(x):
             break
@@ -237,6 +267,8 @@ def hb_lock_state(
     tol: float = 1e-12,
     max_iter: int = 60,
     method: str = "fft",
+    initial: np.ndarray | None = None,
+    max_step_rel: float | None = None,
 ) -> HbSolution:
     """Harmonic-balance refinement of a stable SHIL lock state.
 
@@ -250,6 +282,13 @@ def hb_lock_state(
     (rotated into the injection frame) is the tank's first-order
     response to it.  ``method`` selects the pre-characterisation path of
     the seeding DF solve (see :func:`repro.core.shil.solve_lock_states`).
+
+    ``initial`` bypasses the describing-function seeding entirely: pass
+    harmonic phasors (length ``k_max``, injection frame) from a previous
+    solve and Newton starts there — the hook the escalation ladder's
+    ``V_i`` source-stepping continuation rung uses to ramp the injection
+    up from the single-tone (free-running) solution.  ``max_step_rel``
+    overrides the default step cap of 0.5 amplitude-scales per update.
 
     Returns
     -------
@@ -269,36 +308,43 @@ def hb_lock_state(
     if k_max < max(n, 1):
         raise ValueError(f"k_max must be >= n (need the injection harmonic {n})")
     w_i = w_injection / n
-
-    df_solution = solve_lock_states(
-        nonlinearity, tank, v_i=v_i, w_injection=w_injection, n=n, method=method
-    )
-    if not df_solution.locked:
-        raise HbConvergenceError(
-            "describing-function analysis finds no stable lock at this "
-            "frequency; harmonic balance needs a seed inside the lock range"
-        )
-    lock = df_solution.stable_locks[0]
-    # DF frame: fundamental pinned at zero phase, injection at phi_lock.
-    # HB frame: injection at zero phase -> rotate the fundamental to
-    # psi = one of the oscillator phases (pick the principal state).
-    psi = float(lock.oscillator_phases[0])
     k = np.arange(1, k_max + 1)
     z = np.asarray(tank.transfer(k * w_i))
     y = 1.0 / z
-    # Seed every harmonic, not just the fundamental: the two-tone current
-    # spectrum at the lock point gives I_k for free, and V_k = -Z(jkw) I_k
-    # is the tank's response to it (rotated by e^{jk psi} into the
-    # injection frame).  The fundamental keeps its exact DF value.
-    df = TwoToneDF(nonlinearity, v_i, n, n_samples=n_samples, method=method)
-    i_k = df.harmonic_phasors(lock.amplitude, lock.phi, k_max)
-    v0 = -z * i_k * np.exp(1j * k * psi)
-    v0[0] = (lock.amplitude / 2.0) * np.exp(1j * psi)
+
+    if initial is not None:
+        v0 = np.asarray(initial, dtype=complex)
+        if v0.shape != (k_max,):
+            raise ValueError(
+                f"initial must hold {k_max} harmonic phasors, got shape {v0.shape}"
+            )
+    else:
+        df_solution = solve_lock_states(
+            nonlinearity, tank, v_i=v_i, w_injection=w_injection, n=n, method=method
+        )
+        if not df_solution.locked:
+            raise HbConvergenceError(
+                "describing-function analysis finds no stable lock at this "
+                "frequency; harmonic balance needs a seed inside the lock range"
+            )
+        lock = df_solution.stable_locks[0]
+        # DF frame: fundamental pinned at zero phase, injection at phi_lock.
+        # HB frame: injection at zero phase -> rotate the fundamental to
+        # psi = one of the oscillator phases (pick the principal state).
+        psi = float(lock.oscillator_phases[0])
+        # Seed every harmonic, not just the fundamental: the two-tone current
+        # spectrum at the lock point gives I_k for free, and V_k = -Z(jkw) I_k
+        # is the tank's response to it (rotated by e^{jk psi} into the
+        # injection frame).  The fundamental keeps its exact DF value.
+        df = TwoToneDF(nonlinearity, v_i, n, n_samples=n_samples, method=method)
+        i_k = df.harmonic_phasors(lock.amplitude, lock.phi, k_max)
+        v0 = -z * i_k * np.exp(1j * k * psi)
+        v0[0] = (lock.amplitude / 2.0) * np.exp(1j * psi)
     extra = np.zeros(k_max, dtype=complex)
     extra[n - 1] = v_i  # phasor of 2 v_i cos(n w_i t)
 
     x = _pack(v0, None)
-    scale = max(lock.amplitude / 2.0, 1e-12)
+    scale = max(abs(v0[0]), 1e-12)
 
     def residual(x: np.ndarray) -> np.ndarray:
         v, __ = _unpack(x, k_max, with_w=False)
@@ -306,23 +352,33 @@ def hb_lock_state(
         kcl = y * v + i_h
         return np.concatenate([np.real(kcl), np.imag(kcl)])
 
+    step_cap = (0.5 if max_step_rel is None else max_step_rel) * scale
     iterations = 0
     for iterations in range(1, max_iter + 1):
         r = residual(x)
+        guard_finite(
+            "harmonic-balance residual", r, stage="harmonic-balance", recoverable=True
+        )
         jac = np.empty((x.size, x.size))
         for j in range(x.size):
             h = 1e-7 * max(abs(x[j]), scale)
             e = np.zeros(x.size)
             e[j] = h
             jac[:, j] = (residual(x + e) - r) / h
+        guard_finite(
+            "harmonic-balance Jacobian", jac, stage="harmonic-balance", recoverable=True
+        )
         try:
-            dx = np.linalg.solve(jac, -r)
+            dx = _solve_linear(jac, -r)
         except np.linalg.LinAlgError as exc:
+            record_fault(
+                SolveFault("singular-jacobian", "harmonic-balance", str(exc))
+            )
             raise HbConvergenceError("singular harmonic-balance Jacobian") from exc
         # Keep the iterate from jumping to a different lock state.
         step = float(np.linalg.norm(dx))
-        if step > 0.5 * scale:
-            dx = dx * (0.5 * scale / step)
+        if step > step_cap:
+            dx = dx * (step_cap / step)
         x = x + dx
         if np.linalg.norm(dx) < tol * np.linalg.norm(x):
             break

@@ -22,7 +22,9 @@ from repro.core.describing_function import DEFAULT_SAMPLES
 from repro.core.natural import predict_natural_oscillation
 from repro.core.two_tone import TwoToneDF
 from repro.nonlin.base import Nonlinearity
-from repro.tank.base import Tank
+from repro.robust.diagnostics import record_fault
+from repro.robust.faults import SolveFault
+from repro.tank.base import PhaseInversionError, Tank
 from repro.utils.grids import Grid2D
 from repro.utils.validation import check_positive
 
@@ -124,7 +126,17 @@ def build_isoline_picture(
         phi_d = -float(angle)
         try:
             w_i = tank.frequency_for_phase(phi_d)
-        except ValueError:
+        except PhaseInversionError as exc:
+            # The isoline level is real — the picture just cannot place it
+            # on the frequency axis for this tank.  Record and keep it.
+            record_fault(
+                SolveFault(
+                    "phase-inversion-out-of-range",
+                    "isolines",
+                    str(exc),
+                    context={"phi_d": phi_d},
+                )
+            )
             w_i = float("nan")
         isolines.append(
             Isoline(curves=curves, angle=float(angle), phi_d=phi_d, w_i=w_i)

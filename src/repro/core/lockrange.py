@@ -35,7 +35,9 @@ from repro.core.stability import classify_by_jacobian
 from repro.core.two_tone import TwoToneDF
 from repro.nonlin.base import Nonlinearity
 from repro.perf.timers import timed
-from repro.tank.base import Tank
+from repro.robust.diagnostics import record_fault
+from repro.robust.faults import SolveFault
+from repro.tank.base import PhaseInversionError, Tank
 from repro.utils.grids import refine_bracket
 from repro.utils.validation import check_positive
 
@@ -185,7 +187,17 @@ def _point_at_phi(
         return None
     try:
         w_i = tank.frequency_for_phase(phi_d)
-    except ValueError:
+    except PhaseInversionError as exc:
+        # The point exists on the invariant curve but no operating
+        # frequency realises its tank phase: drop it, but leave a trace.
+        record_fault(
+            SolveFault(
+                "phase-inversion-out-of-range",
+                "lock-range",
+                str(exc),
+                context={"phi": float(phi), "phi_d": phi_d},
+            )
+        )
         return None
     flow = SlowFlow(df, tank, w_i)
     verdict = classify_by_jacobian(flow, amplitude, phi)
@@ -310,7 +322,15 @@ def _points_at_phis_batched(
     for j in np.nonzero(valid)[0]:
         try:
             w_i[j] = tank.frequency_for_phase(float(phi_d[j]))
-        except ValueError:
+        except PhaseInversionError as exc:
+            record_fault(
+                SolveFault(
+                    "phase-inversion-out-of-range",
+                    "lock-range",
+                    str(exc),
+                    context={"phi": float(phis[j]), "phi_d": float(phi_d[j])},
+                )
+            )
             valid[j] = False
 
     if with_stability:

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.core.describing_function import DEFAULT_SAMPLES, tf_natural
 from repro.nonlin.base import Nonlinearity
+from repro.robust.guards import guard_finite
 from repro.tank.base import Tank
 from repro.utils.grids import refine_bracket
 
@@ -86,6 +87,9 @@ def _auto_amplitude_window(
     a = 1e-3
     for _ in range(40):
         tf = float(tf_natural(nonlinearity, tank_r, np.asarray([a]), n_samples)[0])
+        guard_finite(
+            f"T_f({a:g} V)", np.asarray([tf]), stage="natural", context={"a": a}
+        )
         if tf < 0.5:
             return a
         a *= 2.0
@@ -113,6 +117,7 @@ def find_all_amplitudes(
         a_max = _auto_amplitude_window(nonlinearity, tank_r, n_samples)
     grid = np.linspace(a_max / n_grid, a_max, n_grid)
     tf = tf_natural(nonlinearity, tank_r, grid, n_samples) - 1.0
+    guard_finite("T_f(A) scan", tf, stage="natural", context={"a_max": a_max})
     solutions = []
     sign = np.sign(tf)
     for k in np.nonzero(np.diff(sign) != 0)[0]:

@@ -72,6 +72,7 @@ from repro.nonlin.base import Nonlinearity
 from repro.perf.fingerprint import array_hash, combine_keys, nonlinearity_fingerprint
 from repro.perf.surface_cache import default_cache
 from repro.perf.timers import timed
+from repro.robust.guards import guard_finite
 from repro.utils.grids import Grid2D
 from repro.utils.validation import check_positive
 
@@ -856,6 +857,14 @@ class TwoToneDF:
                     self.n,
                     self.n_samples,
                 )
+            # A NaN here would otherwise surface much later as an empty
+            # level-curve set or a singular stability Jacobian.
+            guard_finite(
+                "I_1(A, phi) pre-characterisation grid",
+                i1,
+                stage="pre-characterisation",
+                context={"method": method},
+            )
             grid = Grid2D(x=phis, y=amplitudes)
             grid.add_surface("i1x", np.real(i1))
             grid.add_surface("i1y", np.imag(i1))

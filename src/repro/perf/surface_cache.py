@@ -33,6 +33,7 @@ removed — access refreshes the mtime, so this is an LRU in practice.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import pathlib
 import tempfile
@@ -40,6 +41,8 @@ import tempfile
 import numpy as np
 
 __all__ = ["SurfaceCache", "default_cache", "cache_disabled"]
+
+_log = logging.getLogger(__name__)
 
 #: Bump when the on-disk record layout changes; old records then miss.
 SCHEMA_VERSION = 1
@@ -88,8 +91,9 @@ class SurfaceCache:
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = int(max_entries)
-        #: Running tally of (hits, misses, puts) — handy in benchmarks.
-        self.stats = {"hits": 0, "misses": 0, "puts": 0}
+        #: Running tally of (hits, misses, puts, corrupt) — handy in
+        #: benchmarks and asserted on by the fault-injection harness.
+        self.stats = {"hits": 0, "misses": 0, "puts": 0, "corrupt": 0}
 
     # -- paths ----------------------------------------------------------------
 
@@ -108,8 +112,15 @@ class SurfaceCache:
     def get(self, key: str) -> tuple[dict[str, np.ndarray], dict] | None:
         """Load a record; returns ``(arrays, meta)`` or ``None`` on a miss.
 
-        Corrupt or schema-incompatible files count as misses (and are
-        removed) so an interrupted writer can never wedge the cache.
+        Two distinct unreadable-record paths, both of which count as a
+        miss (the caller transparently recomputes):
+
+        * **schema mismatch** — an old-layout record after a
+          ``SCHEMA_VERSION`` bump; expected, silently removed;
+        * **corruption** — a truncated write, bit rot, or a non-npz file
+          squatting at the record path; the file is quarantined to
+          ``<name>.npz.corrupt`` (preserving the evidence for inspection)
+          with a logged warning, and ``stats["corrupt"]`` is bumped.
         """
         if cache_disabled():
             self.stats["misses"] += 1
@@ -121,12 +132,16 @@ class SurfaceCache:
         try:
             with np.load(path, allow_pickle=False) as record:
                 meta = json.loads(str(record["__meta__"]))
-                if meta.get("schema") != SCHEMA_VERSION:
-                    raise ValueError("schema mismatch")
+                schema = meta.get("schema")
                 arrays = {
                     name: record[name] for name in record.files if name != "__meta__"
                 }
-        except Exception:
+        except Exception as exc:
+            self._quarantine(path, exc)
+            self.stats["misses"] += 1
+            return None
+        if schema != SCHEMA_VERSION:
+            # Not corruption — just an older (or newer) writer's record.
             path.unlink(missing_ok=True)
             self.stats["misses"] += 1
             return None
@@ -163,6 +178,30 @@ class SurfaceCache:
             raise
         self.stats["puts"] += 1
         self._evict()
+
+    def _quarantine(self, path: pathlib.Path, cause: Exception) -> None:
+        """Move an unreadable record aside as ``<name>.corrupt``.
+
+        Quarantined files keep the evidence for post-mortem inspection
+        (they no longer match the ``*.npz`` record glob, so they are
+        invisible to lookups, ``__len__`` and eviction) while the record
+        slot is freed for a clean recompute.
+        """
+        quarantined = path.with_name(path.name + ".corrupt")
+        try:
+            os.replace(path, quarantined)
+        except OSError:  # pragma: no cover - racing cleanup; drop instead
+            path.unlink(missing_ok=True)
+            quarantined = None
+        self.stats["corrupt"] += 1
+        _log.warning(
+            "quarantined corrupt cache record %s -> %s (%s: %s); "
+            "the surface will be recomputed",
+            path.name,
+            quarantined.name if quarantined is not None else "(removed)",
+            type(cause).__name__,
+            cause,
+        )
 
     # -- maintenance ----------------------------------------------------------
 

@@ -1,0 +1,93 @@
+"""Fault-tolerant solve pipeline: guards, escalation ladders, diagnostics.
+
+Three pillars (see DESIGN.md, "Failure modes and recovery"):
+
+* :mod:`repro.robust.faults` / :mod:`repro.robust.guards` — typed
+  :class:`SolveFault` records and the early-detection guards that raise
+  them (``guard_finite``, ``guard_jacobian``, ``guard_tank``,
+  ``guard_nonlinearity``);
+* :mod:`repro.robust.ladder` — declarative escalation policies and the
+  ``robust_*`` wrappers around every prediction path;
+* :mod:`repro.robust.injection` — the deterministic fault-injection
+  harness behind ``repro faults`` and the verify matrix's fault-recovery
+  check family.
+
+Import structure: ``faults``, ``guards`` and ``diagnostics`` import
+nothing from :mod:`repro.core` (so the core solvers can use them without
+cycles); ``ladder`` and ``injection`` *do* reach into the core and are
+therefore loaded lazily here (PEP 562).
+"""
+
+from __future__ import annotations
+
+from repro.robust.diagnostics import (
+    RungAttempt,
+    SolveDiagnostics,
+    active_diagnostics,
+    collecting,
+    record_fault,
+)
+from repro.robust.faults import (
+    FAULT_KINDS,
+    NumericalFaultError,
+    SolveFault,
+    fault_from_exception,
+)
+from repro.robust.guards import (
+    guard_finite,
+    guard_jacobian,
+    guard_nonlinearity,
+    guard_tank,
+)
+
+_LAZY = {
+    "Rung": "repro.robust.ladder",
+    "EscalationPolicy": "repro.robust.ladder",
+    "RobustResult": "repro.robust.ladder",
+    "run_ladder": "repro.robust.ladder",
+    "natural_policy": "repro.robust.ladder",
+    "lock_state_policy": "repro.robust.ladder",
+    "lock_range_policy": "repro.robust.ladder",
+    "hb_natural_policy": "repro.robust.ladder",
+    "hb_lock_policy": "repro.robust.ladder",
+    "robust_natural": "repro.robust.ladder",
+    "robust_solve_lock_states": "repro.robust.ladder",
+    "robust_predict_lock_range": "repro.robust.ladder",
+    "robust_hb_natural": "repro.robust.ladder",
+    "robust_hb_lock_state": "repro.robust.ladder",
+    "FaultScenario": "repro.robust.injection",
+    "FaultOutcome": "repro.robust.injection",
+    "FaultReport": "repro.robust.injection",
+    "fault_scenarios": "repro.robust.injection",
+    "run_fault_matrix": "repro.robust.injection",
+}
+
+__all__ = [
+    "FAULT_KINDS",
+    "SolveFault",
+    "NumericalFaultError",
+    "fault_from_exception",
+    "RungAttempt",
+    "SolveDiagnostics",
+    "collecting",
+    "record_fault",
+    "active_diagnostics",
+    "guard_finite",
+    "guard_jacobian",
+    "guard_tank",
+    "guard_nonlinearity",
+    *sorted(_LAZY),
+]
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY))

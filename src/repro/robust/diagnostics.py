@@ -1,0 +1,168 @@
+"""Structured diagnostics attached to every robust solve result.
+
+A :class:`SolveDiagnostics` records the full escalation story of one
+solve: every ladder rung attempted (with its parameter overrides, outcome
+and wall time), every :class:`~repro.robust.faults.SolveFault` observed on
+the way, and which rung — if any — finally recovered.  The CLI renders it
+(:meth:`SolveDiagnostics.format`), the fault-injection harness asserts on
+it, and :meth:`SolveDiagnostics.to_dict` feeds the machine-readable
+reports.
+
+Deep solver layers (a dropped lock-range point, an isoline whose tank
+phase is uninvertible) report faults through the module-level collector
+:func:`record_fault`, backed by a :mod:`contextvars` variable the ladder
+engine sets while a rung runs.  Outside any collection context the call is
+a no-op, so the core solvers stay usable — and silent — standalone.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import time
+from dataclasses import dataclass, field
+
+from repro.robust.faults import SolveFault
+
+__all__ = [
+    "RungAttempt",
+    "SolveDiagnostics",
+    "collecting",
+    "record_fault",
+    "active_diagnostics",
+]
+
+
+@dataclass
+class RungAttempt:
+    """One ladder rung execution.
+
+    ``outcome`` is ``"ok"`` (the rung produced a result), ``"fault"`` (a
+    recoverable exception was converted to a fault) or ``"retry"`` (the
+    rung produced a structurally suspicious result and the ladder chose
+    to escalate anyway).
+    """
+
+    rung: str
+    params: dict
+    outcome: str
+    fault: SolveFault | None = None
+    wall_s: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "rung": self.rung,
+            "params": {k: repr(v) for k, v in self.params.items()},
+            "outcome": self.outcome,
+            "fault": self.fault.to_dict() if self.fault is not None else None,
+            "wall_s": round(self.wall_s, 4),
+        }
+
+
+@dataclass
+class SolveDiagnostics:
+    """The escalation record of one robust solve."""
+
+    stage: str
+    attempts: list[RungAttempt] = field(default_factory=list)
+    faults: list[SolveFault] = field(default_factory=list)
+    recovered_via: str | None = None
+    exhausted: bool = False
+    wall_s: float = 0.0
+
+    @property
+    def escalated(self) -> bool:
+        """True when the baseline rung alone did not produce the result."""
+        return len(self.attempts) > 1
+
+    @property
+    def ok(self) -> bool:
+        """True when some rung produced a result."""
+        return any(a.outcome == "ok" for a in self.attempts)
+
+    def record_fault(self, fault: SolveFault) -> SolveFault:
+        """Add a fault, coalescing repeats of the same (kind, stage).
+
+        Batched solvers can drop hundreds of points for the same reason in
+        one sweep; one counted record keeps the diagnostics readable and
+        bounded.  Returns the stored (possibly pre-existing) record.
+        """
+        for existing in self.faults:
+            if existing.kind == fault.kind and existing.stage == fault.stage:
+                existing.count += fault.count
+                return existing
+        self.faults.append(fault)
+        return fault
+
+    def to_dict(self) -> dict:
+        return {
+            "stage": self.stage,
+            "attempts": [a.to_dict() for a in self.attempts],
+            "faults": [f.to_dict() for f in self.faults],
+            "recovered_via": self.recovered_via,
+            "exhausted": self.exhausted,
+            "escalated": self.escalated,
+            "ok": self.ok,
+            "wall_s": round(self.wall_s, 4),
+        }
+
+    def summary(self) -> str:
+        """One-line summary for the CLI footer."""
+        rungs = " -> ".join(a.rung for a in self.attempts) or "(none)"
+        if self.ok:
+            head = (
+                f"recovered via '{self.recovered_via}'"
+                if self.recovered_via
+                else "clean first-attempt solve"
+            )
+        else:
+            head = "all rungs exhausted" if self.exhausted else "stopped early"
+        n_faults = sum(f.count for f in self.faults)
+        tail = f", {n_faults} fault(s) observed" if n_faults else ""
+        return f"{self.stage}: {head} [{rungs}]{tail} in {self.wall_s:.2f} s"
+
+    def format(self) -> str:
+        """Multi-line rendering for the CLI's diagnostics block."""
+        lines = [self.summary()]
+        for attempt in self.attempts:
+            detail = f" — {attempt.fault.describe()}" if attempt.fault else ""
+            lines.append(
+                f"  rung {attempt.rung}: {attempt.outcome}"
+                f" ({attempt.wall_s:.2f} s){detail}"
+            )
+        for fault in self.faults:
+            lines.append(f"  fault {fault.describe()}")
+        return "\n".join(lines)
+
+
+_ACTIVE: contextvars.ContextVar[SolveDiagnostics | None] = contextvars.ContextVar(
+    "repro_active_diagnostics", default=None
+)
+
+
+def active_diagnostics() -> SolveDiagnostics | None:
+    """The diagnostics record currently collecting, if any."""
+    return _ACTIVE.get()
+
+
+@contextlib.contextmanager
+def collecting(diagnostics: SolveDiagnostics):
+    """Route :func:`record_fault` calls to ``diagnostics`` inside the block."""
+    token = _ACTIVE.set(diagnostics)
+    start = time.perf_counter()
+    try:
+        yield diagnostics
+    finally:
+        diagnostics.wall_s += time.perf_counter() - start
+        _ACTIVE.reset(token)
+
+
+def record_fault(fault: SolveFault) -> None:
+    """Report a fault from deep inside a solver.
+
+    A no-op when no diagnostics record is collecting — the core solvers
+    never pay for, or depend on, the robustness layer being active.
+    """
+    diagnostics = _ACTIVE.get()
+    if diagnostics is not None:
+        diagnostics.record_fault(fault)

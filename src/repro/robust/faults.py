@@ -1,0 +1,152 @@
+"""Typed fault records for the fault-tolerant solve pipeline.
+
+Every numerical misbehaviour the solvers can encounter — NaN samples from
+a device law, a singular harmonic-balance Jacobian, a tank phase outside
+the invertible window, a corrupt cache record — is described by a
+:class:`SolveFault`: a small, serialisable record naming *what* went wrong
+(``kind``), *where* (``stage``), and whether an escalation ladder has any
+business retrying (``recoverable``).
+
+Guards (:mod:`repro.robust.guards`) raise :class:`NumericalFaultError`
+carrying one of these records instead of letting a NaN surface ten frames
+later as a cryptic ``LinAlgError``; the ladder engine
+(:mod:`repro.robust.ladder`) converts every caught exception into a fault
+via :func:`fault_from_exception` and accumulates them on the
+:class:`~repro.robust.diagnostics.SolveDiagnostics` attached to each
+result.
+
+This module deliberately imports nothing from :mod:`repro.core` so the
+core solvers can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "FAULT_KINDS",
+    "SolveFault",
+    "NumericalFaultError",
+    "fault_from_exception",
+]
+
+#: The closed vocabulary of fault kinds.  Keeping it enumerable makes the
+#: fault-injection harness's assertions exact ("this scenario must produce
+#: *this* fault") and the CLI/report rendering stable.
+FAULT_KINDS: frozenset[str] = frozenset(
+    {
+        "non-finite-samples",  # NaN/Inf from a device law or derived surface
+        "singular-jacobian",  # LinAlgError / rank-deficient Newton system
+        "ill-conditioned-jacobian",  # finite but numerically useless Jacobian
+        "degenerate-tank",  # zero/NaN R, Q, or centre frequency
+        "dead-nonlinearity",  # identically-zero law over the window
+        "phase-inversion-out-of-range",  # phi_d outside the tank's window
+        "curve-missing",  # a required level curve does not exist on the grid
+        "no-lock",  # NoLockError from the lock-range machinery
+        "hb-divergence",  # harmonic balance failed to converge
+        "no-oscillation",  # start-up criterion / no stable T_f = 1 crossing
+        "cache-corruption",  # quarantined persistent-cache record
+        "suspicious-result",  # structurally implausible result worth a retry
+        "unexpected-error",  # anything not in this vocabulary
+    }
+)
+
+
+@dataclass
+class SolveFault:
+    """One observed numerical fault.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`FAULT_KINDS`.
+    stage:
+        The pipeline stage that observed it (``"natural"``,
+        ``"lock-states"``, ``"lock-range"``, ``"harmonic-balance"``,
+        ``"pre-characterisation"``, ``"cache"`` ...).
+    message:
+        Human-readable description (usually the originating exception's
+        message).
+    recoverable:
+        Whether an escalation rung could plausibly clear it.  Determinstic
+        faults (a law that returns NaN, a failed start-up criterion) are
+        not — the ladder stops escalating immediately on seeing one.
+    count:
+        How many times this (kind, stage) fault was observed; batched
+        solvers coalesce per-point repeats instead of recording hundreds
+        of identical entries.
+    context:
+        Optional structured detail (offending value, grid size, path ...).
+    """
+
+    kind: str
+    stage: str
+    message: str
+    recoverable: bool = True
+    count: int = 1
+    context: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; known: {sorted(FAULT_KINDS)}"
+            )
+
+    def describe(self) -> str:
+        """One-line rendering for logs and the CLI."""
+        times = f" x{self.count}" if self.count > 1 else ""
+        return f"[{self.stage}] {self.kind}{times}: {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "stage": self.stage,
+            "message": self.message,
+            "recoverable": self.recoverable,
+            "count": self.count,
+            "context": dict(self.context),
+        }
+
+
+class NumericalFaultError(RuntimeError):
+    """A guard detected a numerical fault early and converted it to a type.
+
+    Carries the :class:`SolveFault` as ``.fault`` so catchers (the ladder,
+    the CLI) get structured information instead of parsing a message.
+    """
+
+    def __init__(self, fault: SolveFault):
+        super().__init__(fault.describe())
+        self.fault = fault
+
+
+def fault_from_exception(exc: BaseException, stage: str) -> SolveFault:
+    """Classify a caught exception into a :class:`SolveFault`.
+
+    The mapping is by exception type (and, for :class:`NumericalFaultError`,
+    simply the carried fault) so the ladder never has to parse messages.
+    Imports of the solver exception types happen lazily to keep this
+    module cycle-free.
+    """
+    if isinstance(exc, NumericalFaultError):
+        return exc.fault
+
+    import numpy as np
+
+    if isinstance(exc, np.linalg.LinAlgError):
+        return SolveFault("singular-jacobian", stage, str(exc))
+
+    name = type(exc).__name__
+    message = str(exc) or name
+    if name == "NoLockError":
+        return SolveFault("no-lock", stage, message)
+    if name == "HbConvergenceError":
+        return SolveFault("hb-divergence", stage, message)
+    if name == "NoOscillationError":
+        # A failed start-up criterion is a property of the oscillator, not
+        # of the numerics; no grid refinement will change it.
+        recoverable = "start-up" not in message
+        return SolveFault("no-oscillation", stage, message, recoverable=recoverable)
+    if name == "PhaseInversionError":
+        return SolveFault("phase-inversion-out-of-range", stage, message)
+    return SolveFault("unexpected-error", stage, f"{name}: {message}")

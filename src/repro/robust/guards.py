@@ -1,0 +1,165 @@
+"""Numerical guards: detect faults early, raise them typed.
+
+A NaN that leaks out of a device law surfaces, ten frames later, as a
+singular-matrix error inside a Newton iteration — with a stack trace that
+points at linear algebra instead of the broken nonlinearity.  These guards
+sit at the few choke points the data flows through (describing-function
+quadratures, Newton Jacobians, the tank/nonlinearity setup) and convert
+such conditions into :class:`~repro.robust.faults.NumericalFaultError`
+with a precise :class:`~repro.robust.faults.SolveFault` record.
+
+This module imports nothing from :mod:`repro.core`, so the core solvers
+can call the guards without an import cycle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.robust.faults import NumericalFaultError, SolveFault
+
+__all__ = [
+    "guard_finite",
+    "guard_jacobian",
+    "guard_tank",
+    "guard_nonlinearity",
+]
+
+#: Condition numbers above this make a Newton step numerically meaningless
+#: at double precision.
+_MAX_CONDITION = 1e13
+
+
+def guard_finite(
+    name: str,
+    array,
+    *,
+    stage: str,
+    recoverable: bool = False,
+    context: dict | None = None,
+):
+    """Validate that every entry of ``array`` is finite.
+
+    Raises :class:`NumericalFaultError` (kind ``non-finite-samples``)
+    naming the array and counting the offending entries.  Non-finite
+    device samples are deterministic — re-sampling the same law on a
+    finer grid reproduces them — so the fault defaults to
+    ``recoverable=False`` and stops an escalation ladder immediately.
+    """
+    array = np.asarray(array)
+    finite = np.isfinite(array)
+    if bool(np.all(finite)):
+        return array
+    bad = int(array.size - np.count_nonzero(finite))
+    fault = SolveFault(
+        "non-finite-samples",
+        stage,
+        f"{name} contains {bad} non-finite of {array.size} entries",
+        recoverable=recoverable,
+        context={"name": name, "bad": bad, "size": int(array.size), **(context or {})},
+    )
+    raise NumericalFaultError(fault)
+
+
+def guard_jacobian(
+    jac: np.ndarray,
+    *,
+    stage: str,
+    max_condition: float = _MAX_CONDITION,
+) -> np.ndarray:
+    """Validate a Newton Jacobian before solving with it.
+
+    Non-finite entries raise a ``non-finite-samples`` fault; a finite but
+    singular/ill-conditioned matrix raises ``singular-jacobian`` /
+    ``ill-conditioned-jacobian`` (both recoverable — a different seed,
+    damping, or continuation often clears them).
+    """
+    jac = np.asarray(jac, dtype=float)
+    if not np.all(np.isfinite(jac)):
+        guard_finite("jacobian", jac, stage=stage)
+    cond = float(np.linalg.cond(jac))
+    if not np.isfinite(cond):
+        raise NumericalFaultError(
+            SolveFault("singular-jacobian", stage, "exactly singular Jacobian")
+        )
+    if cond > max_condition:
+        raise NumericalFaultError(
+            SolveFault(
+                "ill-conditioned-jacobian",
+                stage,
+                f"Jacobian condition number {cond:.3g} exceeds {max_condition:g}",
+                context={"condition": cond},
+            )
+        )
+    return jac
+
+
+def guard_tank(tank, *, stage: str = "setup"):
+    """Reject degenerate tanks before any solver touches them.
+
+    Checks that the centre frequency and peak resistance are finite and
+    strictly positive, and — when the tank exposes a ``quality_factor`` —
+    that Q is finite and positive.  Raises a ``degenerate-tank``
+    :class:`NumericalFaultError` (non-recoverable: no escalation rung can
+    repair the hardware description).
+    """
+
+    def reject(message: str):
+        raise NumericalFaultError(
+            SolveFault("degenerate-tank", stage, message, recoverable=False)
+        )
+
+    try:
+        w_c = float(tank.center_frequency)
+        r = float(tank.peak_resistance)
+    except Exception as exc:  # a tank that cannot even report itself
+        reject(f"tank failed to report centre frequency / resistance: {exc}")
+        raise AssertionError  # pragma: no cover - reject always raises
+    if not (np.isfinite(w_c) and w_c > 0.0):
+        reject(f"tank centre frequency must be finite and > 0, got {w_c!r}")
+    if not (np.isfinite(r) and r > 0.0):
+        reject(f"tank peak resistance must be finite and > 0, got {r!r}")
+    q = getattr(tank, "quality_factor", None)
+    if q is not None:
+        q = float(q)
+        if not (np.isfinite(q) and q > 0.0):
+            reject(f"tank quality factor must be finite and > 0, got {q!r}")
+    return tank
+
+
+def guard_nonlinearity(nonlinearity, v_max: float, *, stage: str = "setup"):
+    """Probe a device law over the analysis window before trusting it.
+
+    Samples ``f(v)`` over ``[-v_max, v_max]``; non-finite samples raise
+    ``non-finite-samples`` and an identically-zero response raises
+    ``dead-nonlinearity`` (both non-recoverable — the law itself is
+    broken, not the numerics).  The probe is coarse (64 samples) and
+    costs one vectorised call.
+    """
+    v_max = float(v_max)
+    if not (np.isfinite(v_max) and v_max > 0.0):
+        raise NumericalFaultError(
+            SolveFault(
+                "non-finite-samples",
+                stage,
+                f"probe window v_max must be finite and > 0, got {v_max!r}",
+                recoverable=False,
+            )
+        )
+    v = np.linspace(-v_max, v_max, 64)
+    current = np.asarray(nonlinearity(v), dtype=float)
+    guard_finite(
+        f"nonlinearity samples over [{-v_max:g}, {v_max:g}] V",
+        current,
+        stage=stage,
+    )
+    if bool(np.all(current == 0.0)):
+        raise NumericalFaultError(
+            SolveFault(
+                "dead-nonlinearity",
+                stage,
+                f"nonlinearity is identically zero over [{-v_max:g}, {v_max:g}] V",
+                recoverable=False,
+            )
+        )
+    return nonlinearity

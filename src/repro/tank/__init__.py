@@ -17,8 +17,8 @@ wraps any sampled ``H(jw)`` (e.g. from :mod:`repro.spice.ac` on a complex
 tank topology) behind the same interface.
 """
 
-from repro.tank.base import Tank
+from repro.tank.base import PhaseInversionError, Tank
 from repro.tank.rlc import ParallelRLC
 from repro.tank.general import GeneralTank
 
-__all__ = ["Tank", "ParallelRLC", "GeneralTank"]
+__all__ = ["Tank", "PhaseInversionError", "ParallelRLC", "GeneralTank"]

@@ -13,7 +13,17 @@ import abc
 
 import numpy as np
 
-__all__ = ["Tank"]
+__all__ = ["Tank", "PhaseInversionError"]
+
+
+class PhaseInversionError(ValueError):
+    """``frequency_for_phase`` asked for a phase the tank cannot produce.
+
+    Subclasses :class:`ValueError` for backwards compatibility, but lets
+    the solve pipeline (isoline/lock-range point evaluation) distinguish
+    "this tank phase is uninvertible" — an expected, recordable condition
+    at the edges of the lock range — from genuine argument errors.
+    """
 
 
 class Tank(abc.ABC):

@@ -14,7 +14,7 @@ from __future__ import annotations
 import numpy as np
 from scipy.interpolate import PchipInterpolator
 
-from repro.tank.base import Tank
+from repro.tank.base import PhaseInversionError, Tank
 from repro.utils.validation import check_finite, check_monotonic, check_shape_match
 
 __all__ = ["GeneralTank"]
@@ -127,7 +127,7 @@ class GeneralTank(Tank):
         phi_lo = float(self._phase[-1])  # most negative (high frequency)
         phi_hi = float(self._phase[0])  # most positive (low frequency)
         if not phi_lo <= phi_d <= phi_hi:
-            raise ValueError(
+            raise PhaseInversionError(
                 f"phi_d={phi_d:g} outside characterised phase range "
                 f"[{phi_lo:g}, {phi_hi:g}]"
             )

@@ -20,8 +20,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.tank.base import Tank
-from repro.utils.validation import check_in_range, check_positive
+from repro.tank.base import PhaseInversionError, Tank
+from repro.utils.validation import check_positive
 
 __all__ = ["ParallelRLC"]
 
@@ -113,7 +113,12 @@ class ParallelRLC(Tank):
         (positive root).  Valid for ``|phi_d| < pi/2`` — the tank phase of a
         single parallel RLC never reaches +-pi/2 at finite nonzero frequency.
         """
-        phi_d = check_in_range("phi_d", phi_d, -np.pi / 2, np.pi / 2, inclusive=False)
+        phi_d = float(phi_d)
+        if not (-np.pi / 2 < phi_d < np.pi / 2):
+            raise PhaseInversionError(
+                f"phi_d={phi_d:g} outside the invertible phase range "
+                f"(-pi/2, pi/2) of a parallel RLC tank"
+            )
         t = np.tan(phi_d)
         q = self.quality_factor
         x = (-t + np.sqrt(t * t + 4.0 * q * q)) / (2.0 * q)

@@ -116,6 +116,40 @@ def _check_vi_monotonic(verdicts: Sequence[ScenarioVerdict],
     )
 
 
+def _fault_recovery_checks() -> list[CheckResult]:
+    """The fault-injection matrix as a matrix-level check family.
+
+    Each deterministic injection (singular HB Jacobian, non-finite device
+    samples, truncated cache record, unreachable phase inversion, ...)
+    must either recover via a documented escalation rung or fail with its
+    declared typed fault — never an unhandled traceback.  One check per
+    scenario so golden diffs pin every behaviour individually.
+    """
+    from repro.robust.injection import run_fault_matrix
+
+    try:
+        fault_report = run_fault_matrix(quick=True)
+    except Exception as exc:  # a crashing harness is itself a finding
+        return [
+            CheckResult(
+                name="fault-recovery/harness",
+                status="ERROR",
+                detail=f"{type(exc).__name__}: {exc}",
+            )
+        ]
+    checks = []
+    for outcome in fault_report.outcomes:
+        via = f" via {outcome.recovered_via}" if outcome.recovered_via else ""
+        checks.append(
+            CheckResult(
+                name=f"fault-recovery/{outcome.scenario}",
+                status="PASS" if outcome.ok else "FAIL",
+                detail=f"{outcome.expectation}{via}: {outcome.detail}",
+            )
+        )
+    return checks
+
+
 def run_matrix(
     mode: str = "quick",
     scenario_ids: Iterable[str] | None = None,
@@ -148,6 +182,10 @@ def run_matrix(
             progress(scenario.describe())
         report.scenarios.append(run_scenario(scenario, mode=mode))
     report.matrix_checks.append(_check_vi_monotonic(report.scenarios, scenarios))
+    if scenario_ids is None:
+        # Sub-matrix runs skip the fault family: it is scenario-independent
+        # and would make `--scenario <id>` cost the whole injection matrix.
+        report.matrix_checks.extend(_fault_recovery_checks())
     report.timing = {
         "wall_s": round(watch.elapsed, 3),
         "per_scenario_s": {

@@ -43,17 +43,45 @@ class TestRecordIO:
         assert cache.get(KEY_A) is None
         assert cache.stats["misses"] == 1
 
-    def test_corrupt_record_is_a_miss_and_removed(self, cache):
+    def test_corrupt_record_is_a_miss_and_quarantined(self, cache, caplog):
         cache.put(KEY_A, {"x": np.arange(4.0)})
         path = cache.path_for(KEY_A)
         path.write_bytes(b"not an npz file")
+        with caplog.at_level("WARNING", logger="repro.perf.surface_cache"):
+            assert cache.get(KEY_A) is None
+        # Quarantined for post-mortem, invisible to future lookups.
+        assert not path.exists()
+        quarantined = path.with_name(path.name + ".corrupt")
+        assert quarantined.exists()
+        assert cache.stats["corrupt"] == 1
+        assert any("quarantined" in r.message for r in caplog.records)
+
+    def test_truncated_record_is_a_miss_and_quarantined(self, cache):
+        cache.put(KEY_A, {"x": np.arange(64.0), "y": np.ones((8, 8))})
+        path = cache.path_for(KEY_A)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 3])  # torn write / disk-full
         assert cache.get(KEY_A) is None
         assert not path.exists()
+        assert path.with_name(path.name + ".corrupt").exists()
+        assert cache.stats["corrupt"] == 1
+        # The slot is reusable: a recompute landing on the same key works.
+        cache.put(KEY_A, {"x": np.arange(64.0), "y": np.ones((8, 8))})
+        loaded, _ = cache.get(KEY_A)
+        assert np.array_equal(loaded["x"], np.arange(64.0))
+
+    def test_quarantined_record_not_counted_as_an_entry(self, cache):
+        cache.put(KEY_A, {"x": np.arange(4.0)})
+        cache.path_for(KEY_A).write_bytes(b"junk")
+        assert cache.get(KEY_A) is None
+        assert len(cache) == 0  # *.npz.corrupt is not a live record
 
     def test_schema_mismatch_is_a_miss(self, cache, monkeypatch):
         cache.put(KEY_A, {"x": np.arange(4.0)})
         monkeypatch.setattr("repro.perf.surface_cache.SCHEMA_VERSION", 2)
         assert cache.get(KEY_A) is None
+        # A stale-but-wellformed record is deleted silently, not quarantined.
+        assert cache.stats["corrupt"] == 0
 
     def test_invalid_keys_rejected(self, cache):
         for bad in ("", "XYZ", "../escape", "ab/cd"):

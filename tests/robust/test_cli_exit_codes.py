@@ -1,0 +1,135 @@
+"""CLI failure-path tests: typed solve errors become documented exit codes.
+
+Scripts wrapping ``python -m repro`` must be able to branch on *why* a
+prediction failed; a raw traceback (exit code 1 via an unhandled
+exception) would make every failure look the same.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cli import (
+    EXIT_HB_DIVERGENCE,
+    EXIT_NO_LOCK,
+    EXIT_NO_OSCILLATION,
+    EXIT_NUMERICAL_FAULT,
+    main,
+)
+
+CUSTOM = ["--gm", "2.5m", "--isat", "1m", "--r", "1k", "--l", "100u", "--c", "10n"]
+
+
+def test_no_oscillation_exit_code(capsys):
+    # gm far below the start-up criterion: loop gain < 1, typed failure.
+    code = main(["natural", "--gm", "1u", "--isat", "1m",
+                 "--r", "1k", "--l", "100u", "--c", "10n", "--no-escalate"])
+    captured = capsys.readouterr()
+    assert code == EXIT_NO_OSCILLATION
+    assert "error (no oscillation):" in captured.err
+    assert "Traceback" not in captured.err
+
+
+def test_no_oscillation_exit_code_through_the_ladder(capsys):
+    # Same failure through the robust path: start-up failures are
+    # non-recoverable, so the ladder stops immediately and the exit code
+    # is identical — plus the diagnostics block lands on stderr.
+    code = main(["natural", "--gm", "1u", "--isat", "1m",
+                 "--r", "1k", "--l", "100u", "--c", "10n"])
+    captured = capsys.readouterr()
+    assert code == EXIT_NO_OSCILLATION
+    assert "error (no oscillation):" in captured.err
+    assert "natural:" in captured.err  # the diagnostics summary line
+    assert "Traceback" not in captured.err
+
+
+def test_no_lock_exit_code(capsys, monkeypatch):
+    import repro.core
+    from repro.core.lockrange import NoLockError
+
+    def boom(*args, **kwargs):
+        raise NoLockError("no stable lock state exists for this injection")
+
+    monkeypatch.setattr(repro.core, "predict_lock_range", boom)
+    code = main(["lockrange", *CUSTOM, "--vi", "0.03", "--n", "3",
+                 "--no-escalate"])
+    captured = capsys.readouterr()
+    assert code == EXIT_NO_LOCK
+    assert "error (no lock):" in captured.err
+
+
+def test_hb_divergence_exit_code(capsys, monkeypatch):
+    import repro.core
+    from repro.core.harmonic_balance import HbConvergenceError
+
+    def boom(*args, **kwargs):
+        raise HbConvergenceError("did not converge in 60 iterations")
+
+    monkeypatch.setattr(repro.core, "predict_natural_oscillation", boom)
+    code = main(["natural", *CUSTOM, "--no-escalate"])
+    captured = capsys.readouterr()
+    assert code == EXIT_HB_DIVERGENCE
+    assert "error (HB divergence):" in captured.err
+
+
+def test_numerical_fault_exit_code(capsys, monkeypatch):
+    import repro.core
+    from repro.robust import NumericalFaultError, SolveFault
+
+    def boom(*args, **kwargs):
+        raise NumericalFaultError(
+            SolveFault("non-finite-samples", "natural", "NaN in T_f grid")
+        )
+
+    monkeypatch.setattr(repro.core, "predict_natural_oscillation", boom)
+    code = main(["natural", *CUSTOM, "--no-escalate"])
+    captured = capsys.readouterr()
+    assert code == EXIT_NUMERICAL_FAULT
+    assert "error (numerical fault):" in captured.err
+    assert "non-finite-samples" in captured.err
+
+
+def test_diagnostics_attached_to_the_error_are_rendered(capsys, monkeypatch):
+    import repro.core
+    from repro.core.lockrange import NoLockError
+    from repro.robust import SolveDiagnostics
+
+    def boom(*args, **kwargs):
+        exc = NoLockError("nothing locks")
+        exc.diagnostics = SolveDiagnostics(stage="lock-range", exhausted=True)
+        raise exc
+
+    monkeypatch.setattr(repro.core, "predict_lock_range", boom)
+    code = main(["lockrange", *CUSTOM, "--no-escalate"])
+    captured = capsys.readouterr()
+    assert code == EXIT_NO_LOCK
+    assert "lock-range:" in captured.err
+
+
+def test_exit_codes_are_distinct_and_nonzero():
+    codes = {EXIT_NO_LOCK, EXIT_HB_DIVERGENCE, EXIT_NO_OSCILLATION,
+             EXIT_NUMERICAL_FAULT}
+    assert len(codes) == 4
+    assert 0 not in codes and 1 not in codes and 2 not in codes
+
+
+def test_successful_run_reports_clean_diagnostics(capsys):
+    code = main(["natural", *CUSTOM])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "solve diagnostics: natural: clean first-attempt solve" in captured.out
+
+
+def test_no_escalate_omits_diagnostics(capsys):
+    code = main(["natural", *CUSTOM, "--no-escalate"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "solve diagnostics" not in captured.out
+
+
+def test_faults_list_names_every_scenario(capsys):
+    code = main(["faults", "--list"])
+    captured = capsys.readouterr()
+    assert code == 0
+    for scenario_id in ("hb-singular-jacobian", "corrupt-surface-cache",
+                        "degenerate-tank", "hb-lock-continuation"):
+        assert scenario_id in captured.out

@@ -1,0 +1,99 @@
+"""Degenerate-input tests: broken circuit descriptions must fail typed.
+
+The worst failure mode for a numerical library is a silent wrong answer;
+the second worst is a cryptic traceback from five layers below the actual
+mistake.  Every degenerate input here must be rejected with a typed,
+actionable error at the layer that can name the problem.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nonlin import FunctionNonlinearity, NegativeTanh
+from repro.robust import NumericalFaultError, guard_nonlinearity
+from repro.tank import ParallelRLC
+
+
+@pytest.fixture
+def tanh():
+    return NegativeTanh(gm=2.5e-3, i_sat=1e-3)
+
+
+@pytest.fixture
+def tank():
+    return ParallelRLC(r=1000.0, l=100e-6, c=10e-9)
+
+
+class TestDegenerateTanks:
+    def test_zero_resistance_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="r must be > 0"):
+            ParallelRLC(r=0.0, l=100e-6, c=10e-9)
+
+    def test_negative_inductance_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="l must be > 0"):
+            ParallelRLC(r=1000.0, l=-1e-6, c=10e-9)
+
+    def test_zero_capacitance_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="c must be > 0"):
+            ParallelRLC(r=1000.0, l=100e-6, c=0.0)
+
+    def test_nan_quality_factor_is_degenerate(self, tanh):
+        from repro.robust import guard_tank
+
+        class BadQ(ParallelRLC):
+            @property
+            def quality_factor(self):
+                return float("nan")
+
+        with pytest.raises(NumericalFaultError) as err:
+            guard_tank(BadQ(r=1000.0, l=100e-6, c=10e-9))
+        assert err.value.fault.kind == "degenerate-tank"
+        assert "quality factor" in str(err.value)
+
+
+class TestDegenerateNonlinearities:
+    def test_all_zero_nonlinearity_is_dead(self):
+        dead = FunctionNonlinearity(lambda v: np.zeros_like(v), name="open")
+        with pytest.raises(NumericalFaultError) as err:
+            guard_nonlinearity(dead, 2.0, stage="setup")
+        assert err.value.fault.kind == "dead-nonlinearity"
+
+    def test_all_zero_nonlinearity_fails_natural_prediction(self, tank):
+        from repro.core import predict_natural_oscillation
+        from repro.core.natural import NoOscillationError
+
+        dead = FunctionNonlinearity(lambda v: np.zeros_like(v), name="open")
+        with pytest.raises(NoOscillationError):
+            predict_natural_oscillation(dead, tank)
+
+
+class TestDegenerateHarmonicBalance:
+    def test_k_max_below_injection_order_rejected(self, tanh, tank):
+        from repro.core.harmonic_balance import hb_lock_state
+
+        with pytest.raises(ValueError, match="k_max must be >= n"):
+            hb_lock_state(
+                tanh, tank, v_i=0.03,
+                w_injection=3 * tank.center_frequency, n=3, k_max=2,
+            )
+
+    def test_wrong_shaped_initial_harmonics_rejected(self, tanh, tank):
+        from repro.core.harmonic_balance import hb_lock_state
+
+        with pytest.raises(ValueError, match="initial"):
+            hb_lock_state(
+                tanh, tank, v_i=0.03,
+                w_injection=3 * tank.center_frequency, n=3, k_max=7,
+                initial=np.zeros(3, dtype=complex),
+            )
+
+
+class TestDegeneratePictures:
+    def test_empty_isoline_picture_raises_on_lookup(self):
+        from repro.core.isolines import IsolinePicture
+        from repro.utils.grids import Grid2D
+
+        grid = Grid2D(x=np.linspace(-1.0, 1.0, 4), y=np.linspace(0.5, 1.5, 4))
+        picture = IsolinePicture(grid=grid, tf_curves=[], isolines=[])
+        with pytest.raises(ValueError, match="no isolines"):
+            picture.isoline_nearest(0.0)

@@ -1,0 +1,84 @@
+"""Unit tests for the diagnostics record and the contextvar fault collector."""
+
+from repro.robust import (
+    RungAttempt,
+    SolveDiagnostics,
+    SolveFault,
+    active_diagnostics,
+    collecting,
+    record_fault,
+)
+
+
+class TestSolveDiagnostics:
+    def test_fault_coalescing_by_kind_and_stage(self):
+        diag = SolveDiagnostics(stage="lock-range")
+        first = diag.record_fault(
+            SolveFault("phase-inversion-out-of-range", "lock-range", "phi=1.6")
+        )
+        again = diag.record_fault(
+            SolveFault("phase-inversion-out-of-range", "lock-range", "phi=1.7")
+        )
+        assert again is first
+        assert len(diag.faults) == 1
+        assert diag.faults[0].count == 2
+        other = diag.record_fault(SolveFault("no-lock", "lock-range", "none"))
+        assert other is not first
+        assert len(diag.faults) == 2
+
+    def test_escalated_and_ok_properties(self):
+        diag = SolveDiagnostics(stage="natural")
+        assert not diag.escalated and not diag.ok
+        diag.attempts.append(RungAttempt("baseline", {}, "fault"))
+        diag.attempts.append(RungAttempt("refined-scan", {}, "ok"))
+        assert diag.escalated and diag.ok
+
+    def test_summary_names_the_recovery_rung(self):
+        diag = SolveDiagnostics(stage="natural", recovered_via="refined-scan")
+        diag.attempts.append(RungAttempt("baseline", {}, "fault"))
+        diag.attempts.append(RungAttempt("refined-scan", {}, "ok"))
+        summary = diag.summary()
+        assert "recovered via 'refined-scan'" in summary
+        assert "baseline -> refined-scan" in summary
+
+    def test_format_lists_rungs_and_faults(self):
+        diag = SolveDiagnostics(stage="natural")
+        fault = diag.record_fault(SolveFault("no-oscillation", "natural", "dead"))
+        diag.attempts.append(RungAttempt("baseline", {}, "fault", fault, 0.1))
+        text = diag.format()
+        assert "rung baseline: fault" in text
+        assert "no-oscillation" in text
+
+    def test_to_dict_is_json_ready(self):
+        import json
+
+        diag = SolveDiagnostics(stage="natural")
+        diag.attempts.append(
+            RungAttempt("baseline", {"n_grid": 1600}, "ok", None, 0.25)
+        )
+        json.dumps(diag.to_dict())  # must not raise
+
+
+class TestCollector:
+    def test_record_fault_is_noop_outside_a_context(self):
+        assert active_diagnostics() is None
+        record_fault(SolveFault("no-lock", "lock-range", "dropped"))  # no-op
+
+    def test_collecting_routes_and_restores(self):
+        diag = SolveDiagnostics(stage="lock-range")
+        with collecting(diag):
+            assert active_diagnostics() is diag
+            record_fault(SolveFault("no-lock", "lock-range", "dropped"))
+        assert active_diagnostics() is None
+        assert len(diag.faults) == 1
+        assert diag.wall_s > 0.0
+
+    def test_nested_contexts_restore_the_outer(self):
+        outer = SolveDiagnostics(stage="outer")
+        inner = SolveDiagnostics(stage="inner")
+        with collecting(outer):
+            with collecting(inner):
+                record_fault(SolveFault("no-lock", "inner", "x"))
+            record_fault(SolveFault("no-lock", "outer", "y"))
+        assert len(inner.faults) == 1 and inner.faults[0].stage == "inner"
+        assert len(outer.faults) == 1 and outer.faults[0].stage == "outer"

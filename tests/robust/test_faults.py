@@ -1,0 +1,98 @@
+"""Unit tests for the typed fault vocabulary and exception classification."""
+
+import numpy as np
+import pytest
+
+from repro.robust import (
+    FAULT_KINDS,
+    NumericalFaultError,
+    SolveFault,
+    fault_from_exception,
+)
+
+
+class TestSolveFault:
+    def test_kind_vocabulary_is_closed(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            SolveFault("made-up-kind", "natural", "boom")
+
+    def test_describe_mentions_stage_kind_and_count(self):
+        fault = SolveFault("no-lock", "lock-range", "nothing locks", count=3)
+        text = fault.describe()
+        assert "[lock-range]" in text
+        assert "no-lock" in text
+        assert "x3" in text
+        assert "nothing locks" in text
+
+    def test_to_dict_round_trips_context(self):
+        fault = SolveFault(
+            "cache-corruption", "cache", "bad npz", recoverable=True,
+            context={"path": "x.npz"},
+        )
+        payload = fault.to_dict()
+        assert payload["kind"] == "cache-corruption"
+        assert payload["context"] == {"path": "x.npz"}
+        assert payload["recoverable"] is True
+
+    def test_numerical_fault_error_carries_the_record(self):
+        fault = SolveFault("degenerate-tank", "setup", "R is zero",
+                           recoverable=False)
+        exc = NumericalFaultError(fault)
+        assert exc.fault is fault
+        assert "degenerate-tank" in str(exc)
+
+
+class TestFaultFromException:
+    def test_numerical_fault_error_passes_through(self):
+        fault = SolveFault("non-finite-samples", "natural", "NaN")
+        assert fault_from_exception(NumericalFaultError(fault), "x") is fault
+
+    def test_linalg_error_is_singular_jacobian(self):
+        fault = fault_from_exception(
+            np.linalg.LinAlgError("Singular matrix"), "harmonic-balance"
+        )
+        assert fault.kind == "singular-jacobian"
+        assert fault.stage == "harmonic-balance"
+
+    def test_solver_exceptions_map_by_type_name(self):
+        from repro.core.harmonic_balance import HbConvergenceError
+        from repro.core.lockrange import NoLockError
+
+        assert fault_from_exception(NoLockError("no"), "s").kind == "no-lock"
+        assert (
+            fault_from_exception(HbConvergenceError("div"), "s").kind
+            == "hb-divergence"
+        )
+
+    def test_startup_no_oscillation_is_not_recoverable(self):
+        from repro.core.natural import NoOscillationError
+
+        startup = fault_from_exception(
+            NoOscillationError("start-up criterion not met"), "natural"
+        )
+        assert startup.kind == "no-oscillation"
+        assert not startup.recoverable
+        numerical = fault_from_exception(
+            NoOscillationError("no bracketing interval found"), "natural"
+        )
+        assert numerical.recoverable
+
+    def test_phase_inversion_error_maps_to_its_kind(self):
+        from repro.tank import PhaseInversionError
+
+        fault = fault_from_exception(
+            PhaseInversionError("phi_d=2 outside the invertible phase range"),
+            "isolines",
+        )
+        assert fault.kind == "phase-inversion-out-of-range"
+
+    def test_unknown_exception_is_unexpected_error(self):
+        fault = fault_from_exception(KeyError("wat"), "s")
+        assert fault.kind == "unexpected-error"
+        assert "KeyError" in fault.message
+
+    def test_every_mapped_kind_is_in_the_vocabulary(self):
+        for kind in ("no-lock", "hb-divergence", "no-oscillation",
+                     "singular-jacobian", "phase-inversion-out-of-range",
+                     "unexpected-error"):
+            assert kind in FAULT_KINDS

@@ -1,0 +1,100 @@
+"""Unit tests for the numerical guards."""
+
+import numpy as np
+import pytest
+
+from repro.nonlin import FunctionNonlinearity, NegativeTanh
+from repro.robust import (
+    NumericalFaultError,
+    guard_finite,
+    guard_jacobian,
+    guard_nonlinearity,
+    guard_tank,
+)
+from repro.tank import ParallelRLC
+
+
+class TestGuardFinite:
+    def test_finite_array_passes_silently(self):
+        guard_finite("x", np.ones(4), stage="test")
+
+    def test_nan_raises_typed_fault(self):
+        data = np.asarray([1.0, np.nan, 3.0])
+        with pytest.raises(NumericalFaultError) as err:
+            guard_finite("T_f grid", data, stage="natural")
+        assert err.value.fault.kind == "non-finite-samples"
+        assert err.value.fault.stage == "natural"
+        assert "T_f grid" in str(err.value)
+
+    def test_inf_raises_too(self):
+        with pytest.raises(NumericalFaultError):
+            guard_finite("x", np.asarray([np.inf]), stage="test")
+
+    def test_recoverable_flag_propagates(self):
+        with pytest.raises(NumericalFaultError) as err:
+            guard_finite("x", np.asarray([np.nan]), stage="test",
+                         recoverable=True)
+        assert err.value.fault.recoverable
+
+
+class TestGuardJacobian:
+    def test_well_conditioned_passes(self):
+        guard_jacobian(np.eye(3), stage="harmonic-balance")
+
+    def test_non_finite_jacobian_is_singular_kind(self):
+        jac = np.eye(3)
+        jac[1, 1] = np.nan
+        with pytest.raises(NumericalFaultError) as err:
+            guard_jacobian(jac, stage="harmonic-balance")
+        assert err.value.fault.kind in (
+            "singular-jacobian", "non-finite-samples"
+        )
+
+    def test_ill_conditioned_jacobian_detected(self):
+        jac = np.diag([1.0, 1e-16])
+        with pytest.raises(NumericalFaultError) as err:
+            guard_jacobian(jac, stage="harmonic-balance")
+        assert err.value.fault.kind == "ill-conditioned-jacobian"
+
+
+class TestGuardTank:
+    def test_healthy_tank_passes(self):
+        guard_tank(ParallelRLC(r=1000.0, l=100e-6, c=10e-9), stage="natural")
+
+    def test_nan_center_frequency_is_degenerate(self):
+        class BrokenTank(ParallelRLC):
+            @property
+            def center_frequency(self):
+                return float("nan")
+
+        with pytest.raises(NumericalFaultError) as err:
+            guard_tank(BrokenTank(r=1000.0, l=100e-6, c=10e-9), stage="natural")
+        assert err.value.fault.kind == "degenerate-tank"
+        assert not err.value.fault.recoverable
+
+
+class TestGuardNonlinearity:
+    def test_real_device_passes(self):
+        guard_nonlinearity(
+            NegativeTanh(gm=2.5e-3, i_sat=1e-3), 2.0, stage="setup"
+        )
+
+    def test_identically_zero_law_is_dead(self):
+        dead = FunctionNonlinearity(lambda v: np.zeros_like(v), name="open")
+        with pytest.raises(NumericalFaultError) as err:
+            guard_nonlinearity(dead, 2.0, stage="setup")
+        assert err.value.fault.kind == "dead-nonlinearity"
+        assert not err.value.fault.recoverable
+
+    def test_nan_producing_law_is_non_finite(self):
+        bad = FunctionNonlinearity(
+            lambda v: np.where(np.abs(v) > 0.5, np.nan, -1e-3 * v), name="nan"
+        )
+        with pytest.raises(NumericalFaultError) as err:
+            guard_nonlinearity(bad, 2.0, stage="setup")
+        assert err.value.fault.kind == "non-finite-samples"
+
+    def test_bad_probe_window_rejected(self):
+        tanh = NegativeTanh(gm=2.5e-3, i_sat=1e-3)
+        with pytest.raises(NumericalFaultError):
+            guard_nonlinearity(tanh, float("nan"), stage="setup")

@@ -1,0 +1,50 @@
+"""Tier-2: the full deterministic fault-injection matrix must stay green.
+
+Every scenario injects a specific failure (singular HB Jacobian,
+non-finite device samples, a truncated cache record, an unreachable tank
+phase inversion, a degenerate circuit) and asserts the pipeline either
+recovers via a documented escalation rung or fails with the declared
+typed fault — never an unhandled traceback.
+"""
+
+import json
+
+import pytest
+
+from repro.robust import fault_scenarios, run_fault_matrix
+
+pytestmark = pytest.mark.tier2
+
+
+def test_quick_matrix_all_green():
+    report = run_fault_matrix(quick=True)
+    assert report.passed, report.format()
+    assert len(report.outcomes) == len(fault_scenarios(quick=True))
+
+
+def test_full_matrix_all_green():
+    report = run_fault_matrix(quick=False)
+    assert report.passed, report.format()
+    by_id = {o.scenario: o for o in report.outcomes}
+    # The continuation scenario must recover through the documented rung,
+    # not by the cold Newton accidentally succeeding.
+    continuation = by_id["hb-lock-continuation"]
+    assert continuation.recovered_via == "continuation"
+    assert "hb-divergence" in continuation.fault_kinds
+
+
+def test_report_round_trips_through_json(tmp_path):
+    report = run_fault_matrix(quick=True)
+    path = report.write(tmp_path / "faults.json")
+    payload = json.loads(path.read_text())
+    assert payload["passed"] is True
+    assert len(payload["outcomes"]) == len(report.outcomes)
+    for outcome in payload["outcomes"]:
+        assert outcome["expectation"] in ("recover", "typed-failure")
+
+
+def test_every_scenario_declares_a_known_fault_kind():
+    from repro.robust import FAULT_KINDS
+
+    for scenario in fault_scenarios(quick=False):
+        assert scenario.expected_fault in FAULT_KINDS, scenario.scenario_id

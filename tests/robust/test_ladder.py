@@ -1,0 +1,197 @@
+"""Unit tests for the escalation policy engine and the robust wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.nonlin import NegativeTanh
+from repro.robust import (
+    EscalationPolicy,
+    NumericalFaultError,
+    RobustResult,
+    Rung,
+    SolveDiagnostics,
+    SolveFault,
+    record_fault,
+    robust_natural,
+    robust_predict_lock_range,
+    run_ladder,
+)
+from repro.tank import ParallelRLC
+
+
+def _policy(n_rungs=3, max_attempts=None):
+    rungs = tuple(
+        Rung(f"rung-{k}", f"strategy {k}", {"level": k}) for k in range(n_rungs)
+    )
+    return EscalationPolicy("test-stage", rungs, max_attempts=max_attempts)
+
+
+class TestRunLadder:
+    def test_clean_first_attempt(self):
+        result = run_ladder(_policy(), lambda p: 42)
+        assert isinstance(result, RobustResult)
+        assert result.value == 42
+        assert not result.diagnostics.escalated
+        assert result.diagnostics.recovered_via is None
+        assert result.diagnostics.ok
+
+    def test_escalates_past_recoverable_faults(self):
+        calls = []
+
+        def attempt(params):
+            calls.append(params["level"])
+            if params["level"] < 2:
+                raise NumericalFaultError(
+                    SolveFault("no-lock", "test-stage", "not yet",
+                               recoverable=True)
+                )
+            return "answer"
+
+        result = run_ladder(_policy(), attempt)
+        assert result.value == "answer"
+        assert calls == [0, 1, 2]
+        assert result.diagnostics.recovered_via == "rung-2"
+        assert result.diagnostics.escalated
+        outcomes = [a.outcome for a in result.diagnostics.attempts]
+        assert outcomes == ["fault", "fault", "ok"]
+
+    def test_non_recoverable_fault_stops_the_climb(self):
+        calls = []
+
+        def attempt(params):
+            calls.append(params["level"])
+            raise NumericalFaultError(
+                SolveFault("dead-nonlinearity", "test-stage", "open circuit",
+                           recoverable=False)
+            )
+
+        with pytest.raises(NumericalFaultError) as err:
+            run_ladder(_policy(), attempt)
+        assert calls == [0]  # no pointless retries of a deterministic fault
+        diag = err.value.diagnostics
+        assert diag.exhausted
+        assert not diag.ok
+
+    def test_exhaustion_reraises_with_diagnostics_attached(self):
+        def attempt(params):
+            raise np.linalg.LinAlgError("Singular matrix")
+
+        with pytest.raises(np.linalg.LinAlgError) as err:
+            run_ladder(_policy(), attempt)
+        diag = err.value.diagnostics
+        assert isinstance(diag, SolveDiagnostics)
+        assert diag.exhausted
+        assert len(diag.attempts) == 3
+        assert diag.faults[0].kind == "singular-jacobian"
+        assert diag.faults[0].count == 3  # coalesced, not repeated
+
+    def test_unexpected_exception_propagates_immediately(self):
+        calls = []
+
+        def attempt(params):
+            calls.append(1)
+            raise KeyError("bug, not a fault")
+
+        with pytest.raises(KeyError):
+            run_ladder(_policy(), attempt)
+        assert len(calls) == 1
+
+    def test_max_attempts_budget_caps_the_climb(self):
+        calls = []
+
+        def attempt(params):
+            calls.append(params["level"])
+            raise NumericalFaultError(
+                SolveFault("no-lock", "test-stage", "nope", recoverable=True)
+            )
+
+        with pytest.raises(NumericalFaultError):
+            run_ladder(_policy(n_rungs=3, max_attempts=2), attempt)
+        assert calls == [0, 1]
+
+    def test_suspicious_result_escalates_then_falls_back(self):
+        def attempt(params):
+            if params["level"] == 0:
+                return "suspicious"
+            raise NumericalFaultError(
+                SolveFault("no-lock", "test-stage", "worse", recoverable=True)
+            )
+
+        result = run_ladder(
+            _policy(), attempt, retry_on_result=lambda r: r == "suspicious"
+        )
+        # Every escalation failed; the suspicious answer is the fallback.
+        assert result.value == "suspicious"
+        assert result.diagnostics.exhausted
+        assert result.diagnostics.attempts[0].outcome == "retry"
+
+    def test_suspicious_result_replaced_by_a_better_rung(self):
+        def attempt(params):
+            return "suspicious" if params["level"] == 0 else "good"
+
+        result = run_ladder(
+            _policy(), attempt, retry_on_result=lambda r: r == "suspicious"
+        )
+        assert result.value == "good"
+        assert result.diagnostics.recovered_via == "rung-1"
+
+    def test_deep_faults_collected_while_a_rung_runs(self):
+        def attempt(params):
+            record_fault(
+                SolveFault("phase-inversion-out-of-range", "deep", "edge")
+            )
+            return 1
+
+        result = run_ladder(_policy(), attempt)
+        assert [f.kind for f in result.diagnostics.faults] == [
+            "phase-inversion-out-of-range"
+        ]
+
+
+class TestRobustResult:
+    def test_attribute_access_falls_through(self):
+        class Value:
+            width_hz = 123.0
+
+        result = RobustResult(Value(), SolveDiagnostics(stage="s"))
+        assert result.width_hz == 123.0
+        assert isinstance(result.diagnostics, SolveDiagnostics)
+
+    def test_missing_attribute_still_raises(self):
+        result = RobustResult(object(), SolveDiagnostics(stage="s"))
+        with pytest.raises(AttributeError):
+            result.nope
+
+
+class TestRobustWrappers:
+    def test_robust_natural_matches_plain_solver(self):
+        from repro.core import predict_natural_oscillation
+
+        tanh = NegativeTanh(gm=2.5e-3, i_sat=1e-3)
+        tank = ParallelRLC(r=1000.0, l=100e-6, c=10e-9)
+        plain = predict_natural_oscillation(tanh, tank)
+        robust = robust_natural(tanh, tank)
+        assert robust.amplitude == pytest.approx(plain.amplitude, rel=1e-12)
+        assert not robust.diagnostics.escalated
+
+    def test_robust_lock_range_matches_plain_solver(self):
+        from repro.core import predict_lock_range
+
+        tanh = NegativeTanh(gm=2.5e-3, i_sat=1e-3)
+        tank = ParallelRLC(r=1000.0, l=100e-6, c=10e-9)
+        small = {"n_a": 61, "n_phi": 121, "n_samples": 256}
+        plain = predict_lock_range(tanh, tank, v_i=0.03, n=3, **small)
+        robust = robust_predict_lock_range(tanh, tank, v_i=0.03, n=3, **small)
+        assert robust.width_hz == pytest.approx(plain.width_hz, rel=1e-12)
+        assert robust.diagnostics.stage == "lock-range"
+
+    def test_degenerate_tank_rejected_before_any_rung(self):
+        class BrokenTank(ParallelRLC):
+            @property
+            def center_frequency(self):
+                return float("nan")
+
+        tanh = NegativeTanh(gm=2.5e-3, i_sat=1e-3)
+        with pytest.raises(NumericalFaultError) as err:
+            robust_natural(tanh, BrokenTank(r=1000.0, l=100e-6, c=10e-9))
+        assert err.value.fault.kind == "degenerate-tank"
