@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Validate observability artifacts against their schemas.
+
+Usage::
+
+    python scripts/check_obs_schemas.py TRACE.jsonl [OBS_REPORT.json]
+
+Runs the same structural validators the ``repro obs --validate`` command
+uses (header magic + schema version, span record shapes, parent/depth
+referential integrity, report field types) and exits non-zero listing
+every problem found.  CI runs this against the artifacts of a traced
+smoke run so a schema drift fails the build instead of silently breaking
+downstream consumers.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs import validate_obs_report, validate_trace  # noqa: E402
+
+
+def main(argv: list[str]) -> int:
+    if not argv or len(argv) > 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    problems: list[str] = []
+    trace_path = Path(argv[0])
+    try:
+        problems += [f"{trace_path}: {p}" for p in validate_trace(trace_path)]
+    except (OSError, ValueError) as exc:
+        problems.append(f"{trace_path}: {exc}")
+    if len(argv) == 2:
+        report_path = Path(argv[1])
+        try:
+            problems += [
+                f"{report_path}: {p}" for p in validate_obs_report(report_path)
+            ]
+        except (OSError, ValueError) as exc:
+            problems.append(f"{report_path}: {exc}")
+    if problems:
+        for problem in problems:
+            print(f"invalid: {problem}", file=sys.stderr)
+        return 1
+    checked = " and ".join(argv)
+    print(f"{checked}: schemas valid")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

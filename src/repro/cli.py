@@ -12,7 +12,10 @@ Gives designers the paper's analyses without writing Python:
 * ``faults``     — the deterministic fault-injection matrix (DESIGN.md
   §8): break the pipeline on purpose, assert every scenario recovers via
   a documented escalation rung or fails typed; writes
-  ``FAULTS_REPORT.json``.
+  ``FAULTS_REPORT.json``,
+* ``obs``        — render a ``--trace`` file as a span tree with
+  per-phase totals (or validate its schema with ``--validate``),
+* ``cache``      — inspect or clear the persistent surface cache.
 
 The solve commands run through the escalation ladders of
 :mod:`repro.robust` by default (disable with ``--no-escalate``) and
@@ -43,6 +46,13 @@ a machine-readable ``BENCH_<ID>.json`` next to the working directory,
 including describing-function cache hit/miss counts.  ``locks`` and
 ``lockrange`` additionally accept ``--method dense`` to force the
 direct-quadrature referee instead of the FFT-factorised fast path.
+
+``--trace [PATH]`` (also before the subcommand) records every span the
+solve stack opens — with per-iteration Newton convergence events — into a
+JSON-lines trace file (default ``TRACE.jsonl``) and snapshots the metrics
+registry into ``OBS_REPORT.json``; render the trace afterwards with
+``python -m repro obs TRACE.jsonl``.  ``--log-json`` switches the
+structured log records to one JSON object per line on stderr.
 """
 
 from __future__ import annotations
@@ -266,6 +276,45 @@ def _cmd_verify(args) -> int:
     return code
 
 
+def _cmd_obs(args) -> int:
+    from repro.obs import summarise_trace, validate_obs_report, validate_trace
+
+    if args.validate:
+        problems = validate_trace(args.trace_file)
+        if args.obs_report is not None:
+            problems += validate_obs_report(args.obs_report)
+        for problem in problems:
+            print(f"invalid: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        checked = "trace and report schemas" if args.obs_report else "trace schema"
+        print(f"{checked} valid")
+        return 0
+    try:
+        print(summarise_trace(args.trace_file))
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from repro.obs import metrics
+    from repro.perf import default_cache
+
+    cache = default_cache()
+    if args.clear:
+        removed = cache.clear()
+        print(f"cache cleared: {removed} record(s) removed from {cache.root}")
+        return 0
+    print(f"cache root: {cache.root}")
+    print(f"records on disk: {len(cache)} (max {cache.max_entries})")
+    for stat in sorted(cache.stats):
+        count = metrics.counter(f"cache.{stat}")
+        print(f"this process {stat}: {count}")
+    return 0
+
+
 def _add_oscillator_options(parser: argparse.ArgumentParser) -> None:
     group = parser.add_argument_group("oscillator")
     group.add_argument(
@@ -311,6 +360,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="time the analysis phases and write BENCH_<ID>.json "
         "(place before the subcommand)",
+    )
+    parser.add_argument(
+        "--trace",
+        nargs="?",
+        const="TRACE.jsonl",
+        default=None,
+        metavar="PATH",
+        help="record a span trace of the run (JSON lines; default "
+        "TRACE.jsonl) and write OBS_REPORT.json with the metrics "
+        "snapshot (place before the subcommand)",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit structured log records as JSON lines on stderr",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -415,6 +479,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_verify.set_defaults(func=_cmd_verify)
 
+    p_obs = sub.add_parser(
+        "obs",
+        help="render or validate a --trace file (span tree + phase totals)",
+        description="Render a JSON-lines trace recorded with --trace as an "
+        "indented span tree (durations, iteration counts, residual norms, "
+        "convergence-event counts) followed by per-span wall-time totals. "
+        "With --validate, structurally check the trace (and optionally an "
+        "OBS_REPORT.json) instead, exiting non-zero on any problem.",
+    )
+    # dest must not collide with the global --trace flag (same namespace).
+    p_obs.add_argument(
+        "trace_file",
+        metavar="TRACE",
+        help="path to a trace file written by --trace",
+    )
+    p_obs.add_argument(
+        "--validate",
+        action="store_true",
+        help="schema-check instead of rendering (CI smoke mode)",
+    )
+    p_obs.add_argument(
+        "--obs-report",
+        metavar="PATH",
+        help="with --validate, also check this OBS_REPORT.json",
+    )
+    p_obs.set_defaults(func=_cmd_obs)
+
+    p_cache = sub.add_parser(
+        "cache",
+        help="inspect or clear the persistent surface cache",
+        description="Show the on-disk surface-cache location and size plus "
+        "this process's hit/miss/corrupt counters from the metrics "
+        "registry, or wipe the store with --clear.",
+    )
+    p_cache.add_argument(
+        "--stats",
+        action="store_true",
+        help="print cache statistics (the default action)",
+    )
+    p_cache.add_argument(
+        "--clear", action="store_true", help="remove every cached record"
+    )
+    p_cache.set_defaults(func=_cmd_cache)
+
     return parser
 
 
@@ -448,16 +556,22 @@ def _run_command(args) -> int:
     message plus the escalation diagnostics on stderr and a documented
     exit code instead of a traceback.
     """
-    try:
-        return args.func(args)
-    except tuple(t for t, _, _ in _typed_exit_codes()) as exc:
-        for exc_type, label, code in _typed_exit_codes():
-            if isinstance(exc, exc_type):
-                break
-        print(f"error ({label}): {exc}", file=sys.stderr)
-        diagnostics = getattr(exc, "diagnostics", None)
-        if diagnostics is not None:
-            print(diagnostics.format(), file=sys.stderr)
+    from repro.obs import trace
+
+    with trace(f"cli.{args.command}") as span:
+        try:
+            code = args.func(args)
+        except tuple(t for t, _, _ in _typed_exit_codes()) as exc:
+            for exc_type, label, code in _typed_exit_codes():
+                if isinstance(exc, exc_type):
+                    break
+            print(f"error ({label}): {exc}", file=sys.stderr)
+            diagnostics = getattr(exc, "diagnostics", None)
+            if diagnostics is not None:
+                print(diagnostics.format(), file=sys.stderr)
+            span.set(error=label, exit_code=code)
+            return code
+        span.set(exit_code=code)
         return code
 
 
@@ -465,23 +579,46 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    if not args.profile:
+    raw_argv = list(argv) if argv is not None else sys.argv[1:]
+    if args.log_json:
+        from repro.obs import enable_json_logs
+
+        enable_json_logs()
+    tracing = args.trace is not None
+    if tracing:
+        from repro.obs import tracer
+
+        tracer.enable()
+    if not (args.profile or tracing):
         return _run_command(args)
 
     from repro.perf import default_cache, profiler, write_bench_json
 
     cache = default_cache()
-    profiler.enable()
+    if args.profile:
+        profiler.enable()
     try:
         code = _run_command(args)
     finally:
-        profiler.disable()
-    record = profiler.as_dict()
-    record["exit_code"] = int(code)
-    record["argv"] = list(argv) if argv is not None else sys.argv[1:]
-    record["cache"] = dict(cache.stats)
-    path = write_bench_json(_bench_id(args), record)
-    print(f"profile written to {path}")
+        if args.profile:
+            profiler.disable()
+    if args.profile:
+        record = profiler.as_dict()
+        record["exit_code"] = int(code)
+        record["argv"] = raw_argv
+        record["cache"] = dict(cache.stats)
+        path = write_bench_json(_bench_id(args), record)
+        print(f"profile written to {path}")
+    if tracing:
+        from repro.obs import tracer, write_obs_report
+
+        trace_path = tracer.write(args.trace)
+        tracer.disable()
+        report_path = write_obs_report(
+            argv=raw_argv, exit_code=code, trace_file=str(trace_path)
+        )
+        print(f"trace written to {trace_path}")
+        print(f"observability report written to {report_path}")
     return code
 
 

@@ -48,6 +48,7 @@ from repro.core.natural import predict_natural_oscillation
 from repro.core.shil import solve_lock_states
 from repro.core.two_tone import TwoToneDF
 from repro.nonlin.base import Nonlinearity
+from repro.obs import convergence_event, metrics, trace
 from repro.robust.diagnostics import record_fault
 from repro.robust.faults import SolveFault
 from repro.robust.guards import guard_finite
@@ -191,68 +192,107 @@ def hb_natural_oscillation(
         raise ValueError("k_max must be >= 1")
     if n_samples <= 2 * k_max:
         raise ValueError("n_samples must exceed 2 * k_max")
-    natural = predict_natural_oscillation(nonlinearity, tank, n_samples=n_samples)
-    v0 = np.zeros(k_max, dtype=complex)
-    v0[0] = natural.amplitude / 2.0
-    x = _pack(v0, natural.frequency)
-    scale = max(natural.amplitude / 2.0, 1e-12)
-
-    def residual(x: np.ndarray) -> np.ndarray:
-        v, w = _unpack(x, k_max, with_w=True)
-        i_h = _device_harmonics(nonlinearity, v, None, n_samples)
-        k = np.arange(1, k_max + 1)
-        y = 1.0 / tank.transfer(k * w)
-        kcl = y * v + i_h
-        # Phase pinning: the fundamental is real.
-        return np.concatenate([np.real(kcl), np.imag(kcl), [np.imag(v[0])]])
-
-    iterations = 0
-    for iterations in range(1, max_iter + 1):
-        r = residual(x)
-        guard_finite(
-            "harmonic-balance residual", r, stage="harmonic-balance", recoverable=True
+    with trace(
+        "hb.natural", attrs={"k_max": k_max, "n_samples": n_samples}
+    ) as sp:
+        natural = predict_natural_oscillation(
+            nonlinearity, tank, n_samples=n_samples
         )
-        # Numerical Jacobian — the system is small (2K+1).
-        jac = np.empty((x.size, x.size))
-        for j in range(x.size):
-            h = 1e-7 * max(abs(x[j]), scale if j < 2 * k_max else x[-1] * 1e-6)
-            e = np.zeros(x.size)
-            e[j] = h
-            jac[:, j] = (residual(x + e) - r) / h
-        guard_finite(
-            "harmonic-balance Jacobian", jac, stage="harmonic-balance", recoverable=True
-        )
-        try:
-            dx = _solve_linear(jac, -r)
-        except np.linalg.LinAlgError as exc:
-            # Record the precise cause before wrapping it in the coarser
-            # convergence error (only the wrapper type reaches callers).
-            record_fault(
-                SolveFault("singular-jacobian", "harmonic-balance", str(exc))
+        v0 = np.zeros(k_max, dtype=complex)
+        v0[0] = natural.amplitude / 2.0
+        x = _pack(v0, natural.frequency)
+        scale = max(natural.amplitude / 2.0, 1e-12)
+
+        def residual(x: np.ndarray) -> np.ndarray:
+            v, w = _unpack(x, k_max, with_w=True)
+            i_h = _device_harmonics(nonlinearity, v, None, n_samples)
+            k = np.arange(1, k_max + 1)
+            y = 1.0 / tank.transfer(k * w)
+            kcl = y * v + i_h
+            # Phase pinning: the fundamental is real.
+            return np.concatenate([np.real(kcl), np.imag(kcl), [np.imag(v[0])]])
+
+        iterations = 0
+        for iterations in range(1, max_iter + 1):
+            r = residual(x)
+            guard_finite(
+                "harmonic-balance residual",
+                r,
+                stage="harmonic-balance",
+                recoverable=True,
             )
-            raise HbConvergenceError("singular harmonic-balance Jacobian") from exc
-        if max_step_rel is not None:
-            # Damp the voltage block only: the frequency unknown lives on a
-            # ~1e6 rad/s scale and an amplitude-scaled cap would freeze it.
-            step = float(np.linalg.norm(dx[: 2 * k_max]))
-            cap = max_step_rel * scale
-            if step > cap:
-                dx = dx.copy()
-                dx[: 2 * k_max] *= cap / step
-        x = x + dx
-        if np.linalg.norm(dx) < tol * np.linalg.norm(x):
-            break
-    else:
-        raise HbConvergenceError(
-            f"harmonic balance did not converge in {max_iter} iterations"
+            # Numerical Jacobian — the system is small (2K+1).
+            jac = np.empty((x.size, x.size))
+            for j in range(x.size):
+                h = 1e-7 * max(abs(x[j]), scale if j < 2 * k_max else x[-1] * 1e-6)
+                e = np.zeros(x.size)
+                e[j] = h
+                jac[:, j] = (residual(x + e) - r) / h
+            guard_finite(
+                "harmonic-balance Jacobian",
+                jac,
+                stage="harmonic-balance",
+                recoverable=True,
+            )
+            try:
+                dx = _solve_linear(jac, -r)
+            except np.linalg.LinAlgError as exc:
+                # Record the precise cause before wrapping it in the coarser
+                # convergence error (only the wrapper type reaches callers).
+                record_fault(
+                    SolveFault("singular-jacobian", "harmonic-balance", str(exc))
+                )
+                sp.set(
+                    iterations=iterations,
+                    residual_norm=float(np.linalg.norm(r)),
+                )
+                metrics.inc("hb.failures", cause="singular-jacobian", kind="natural")
+                raise HbConvergenceError(
+                    "singular harmonic-balance Jacobian"
+                ) from exc
+            damped = False
+            if max_step_rel is not None:
+                # Damp the voltage block only: the frequency unknown lives on
+                # a ~1e6 rad/s scale and an amplitude-scaled cap would freeze
+                # it.
+                step = float(np.linalg.norm(dx[: 2 * k_max]))
+                cap = max_step_rel * scale
+                if step > cap:
+                    dx = dx.copy()
+                    dx[: 2 * k_max] *= cap / step
+                    damped = True
+            x = x + dx
+            if sp.recording:
+                convergence_event(
+                    "hb-newton",
+                    iteration=iterations,
+                    residual=float(np.linalg.norm(r)),
+                    step=float(np.linalg.norm(dx)),
+                    damped=damped,
+                )
+            if np.linalg.norm(dx) < tol * np.linalg.norm(x):
+                break
+        else:
+            sp.set(
+                iterations=iterations,
+                residual_norm=float(np.linalg.norm(residual(x))),
+            )
+            metrics.inc("hb.failures", cause="max-iterations", kind="natural")
+            raise HbConvergenceError(
+                f"harmonic balance did not converge in {max_iter} iterations"
+            )
+        v, w = _unpack(x, k_max, with_w=True)
+        residual_norm = float(np.linalg.norm(residual(x)))
+        sp.set(iterations=iterations, residual_norm=residual_norm)
+        metrics.inc("hb.solves", kind="natural")
+        metrics.observe("hb.iterations", iterations, kind="natural")
+        metrics.observe("hb.residual_norm", residual_norm, kind="natural")
+        return HbSolution(
+            w=w,
+            harmonics=v,
+            residual_norm=residual_norm,
+            iterations=iterations,
         )
-    v, w = _unpack(x, k_max, with_w=True)
-    return HbSolution(
-        w=w,
-        harmonics=v,
-        residual_norm=float(np.linalg.norm(residual(x))),
-        iterations=iterations,
-    )
 
 
 def hb_lock_state(
@@ -312,84 +352,130 @@ def hb_lock_state(
     z = np.asarray(tank.transfer(k * w_i))
     y = 1.0 / z
 
-    if initial is not None:
-        v0 = np.asarray(initial, dtype=complex)
-        if v0.shape != (k_max,):
-            raise ValueError(
-                f"initial must hold {k_max} harmonic phasors, got shape {v0.shape}"
+    with trace(
+        "hb.lock",
+        attrs={"n": n, "v_i": v_i, "method": method, "k_max": k_max},
+    ) as sp:
+        if initial is not None:
+            v0 = np.asarray(initial, dtype=complex)
+            if v0.shape != (k_max,):
+                raise ValueError(
+                    f"initial must hold {k_max} harmonic phasors, "
+                    f"got shape {v0.shape}"
+                )
+        else:
+            df_solution = solve_lock_states(
+                nonlinearity,
+                tank,
+                v_i=v_i,
+                w_injection=w_injection,
+                n=n,
+                method=method,
             )
-    else:
-        df_solution = solve_lock_states(
-            nonlinearity, tank, v_i=v_i, w_injection=w_injection, n=n, method=method
-        )
-        if not df_solution.locked:
+            if not df_solution.locked:
+                metrics.inc("hb.failures", cause="no-df-seed", kind="lock")
+                raise HbConvergenceError(
+                    "describing-function analysis finds no stable lock at this "
+                    "frequency; harmonic balance needs a seed inside the lock "
+                    "range"
+                )
+            lock = df_solution.stable_locks[0]
+            # DF frame: fundamental pinned at zero phase, injection at
+            # phi_lock.  HB frame: injection at zero phase -> rotate the
+            # fundamental to psi = one of the oscillator phases (pick the
+            # principal state).
+            psi = float(lock.oscillator_phases[0])
+            # Seed every harmonic, not just the fundamental: the two-tone
+            # current spectrum at the lock point gives I_k for free, and
+            # V_k = -Z(jkw) I_k is the tank's response to it (rotated by
+            # e^{jk psi} into the injection frame).  The fundamental keeps
+            # its exact DF value.
+            df = TwoToneDF(nonlinearity, v_i, n, n_samples=n_samples, method=method)
+            i_k = df.harmonic_phasors(lock.amplitude, lock.phi, k_max)
+            v0 = -z * i_k * np.exp(1j * k * psi)
+            v0[0] = (lock.amplitude / 2.0) * np.exp(1j * psi)
+        extra = np.zeros(k_max, dtype=complex)
+        extra[n - 1] = v_i  # phasor of 2 v_i cos(n w_i t)
+
+        x = _pack(v0, None)
+        scale = max(abs(v0[0]), 1e-12)
+
+        def residual(x: np.ndarray) -> np.ndarray:
+            v, __ = _unpack(x, k_max, with_w=False)
+            i_h = _device_harmonics(nonlinearity, v, extra, n_samples)
+            kcl = y * v + i_h
+            return np.concatenate([np.real(kcl), np.imag(kcl)])
+
+        step_cap = (0.5 if max_step_rel is None else max_step_rel) * scale
+        iterations = 0
+        for iterations in range(1, max_iter + 1):
+            r = residual(x)
+            guard_finite(
+                "harmonic-balance residual",
+                r,
+                stage="harmonic-balance",
+                recoverable=True,
+            )
+            jac = np.empty((x.size, x.size))
+            for j in range(x.size):
+                h = 1e-7 * max(abs(x[j]), scale)
+                e = np.zeros(x.size)
+                e[j] = h
+                jac[:, j] = (residual(x + e) - r) / h
+            guard_finite(
+                "harmonic-balance Jacobian",
+                jac,
+                stage="harmonic-balance",
+                recoverable=True,
+            )
+            try:
+                dx = _solve_linear(jac, -r)
+            except np.linalg.LinAlgError as exc:
+                record_fault(
+                    SolveFault("singular-jacobian", "harmonic-balance", str(exc))
+                )
+                sp.set(
+                    iterations=iterations,
+                    residual_norm=float(np.linalg.norm(r)),
+                )
+                metrics.inc("hb.failures", cause="singular-jacobian", kind="lock")
+                raise HbConvergenceError(
+                    "singular harmonic-balance Jacobian"
+                ) from exc
+            # Keep the iterate from jumping to a different lock state.
+            step = float(np.linalg.norm(dx))
+            damped = step > step_cap
+            if damped:
+                dx = dx * (step_cap / step)
+            x = x + dx
+            if sp.recording:
+                convergence_event(
+                    "hb-newton",
+                    iteration=iterations,
+                    residual=float(np.linalg.norm(r)),
+                    step=float(np.linalg.norm(dx)),
+                    damped=damped,
+                )
+            if np.linalg.norm(dx) < tol * np.linalg.norm(x):
+                break
+        else:
+            sp.set(
+                iterations=iterations,
+                residual_norm=float(np.linalg.norm(residual(x))),
+            )
+            metrics.inc("hb.failures", cause="max-iterations", kind="lock")
             raise HbConvergenceError(
-                "describing-function analysis finds no stable lock at this "
-                "frequency; harmonic balance needs a seed inside the lock range"
+                f"harmonic balance did not converge in {max_iter} iterations"
             )
-        lock = df_solution.stable_locks[0]
-        # DF frame: fundamental pinned at zero phase, injection at phi_lock.
-        # HB frame: injection at zero phase -> rotate the fundamental to
-        # psi = one of the oscillator phases (pick the principal state).
-        psi = float(lock.oscillator_phases[0])
-        # Seed every harmonic, not just the fundamental: the two-tone current
-        # spectrum at the lock point gives I_k for free, and V_k = -Z(jkw) I_k
-        # is the tank's response to it (rotated by e^{jk psi} into the
-        # injection frame).  The fundamental keeps its exact DF value.
-        df = TwoToneDF(nonlinearity, v_i, n, n_samples=n_samples, method=method)
-        i_k = df.harmonic_phasors(lock.amplitude, lock.phi, k_max)
-        v0 = -z * i_k * np.exp(1j * k * psi)
-        v0[0] = (lock.amplitude / 2.0) * np.exp(1j * psi)
-    extra = np.zeros(k_max, dtype=complex)
-    extra[n - 1] = v_i  # phasor of 2 v_i cos(n w_i t)
-
-    x = _pack(v0, None)
-    scale = max(abs(v0[0]), 1e-12)
-
-    def residual(x: np.ndarray) -> np.ndarray:
         v, __ = _unpack(x, k_max, with_w=False)
-        i_h = _device_harmonics(nonlinearity, v, extra, n_samples)
-        kcl = y * v + i_h
-        return np.concatenate([np.real(kcl), np.imag(kcl)])
-
-    step_cap = (0.5 if max_step_rel is None else max_step_rel) * scale
-    iterations = 0
-    for iterations in range(1, max_iter + 1):
-        r = residual(x)
-        guard_finite(
-            "harmonic-balance residual", r, stage="harmonic-balance", recoverable=True
+        residual_norm = float(np.linalg.norm(residual(x)))
+        sp.set(iterations=iterations, residual_norm=residual_norm)
+        metrics.inc("hb.solves", kind="lock")
+        metrics.observe("hb.iterations", iterations, kind="lock")
+        metrics.observe("hb.residual_norm", residual_norm, kind="lock")
+        return HbSolution(
+            w=w_i,
+            harmonics=v,
+            residual_norm=residual_norm,
+            iterations=iterations,
         )
-        jac = np.empty((x.size, x.size))
-        for j in range(x.size):
-            h = 1e-7 * max(abs(x[j]), scale)
-            e = np.zeros(x.size)
-            e[j] = h
-            jac[:, j] = (residual(x + e) - r) / h
-        guard_finite(
-            "harmonic-balance Jacobian", jac, stage="harmonic-balance", recoverable=True
-        )
-        try:
-            dx = _solve_linear(jac, -r)
-        except np.linalg.LinAlgError as exc:
-            record_fault(
-                SolveFault("singular-jacobian", "harmonic-balance", str(exc))
-            )
-            raise HbConvergenceError("singular harmonic-balance Jacobian") from exc
-        # Keep the iterate from jumping to a different lock state.
-        step = float(np.linalg.norm(dx))
-        if step > step_cap:
-            dx = dx * (step_cap / step)
-        x = x + dx
-        if np.linalg.norm(dx) < tol * np.linalg.norm(x):
-            break
-    else:
-        raise HbConvergenceError(
-            f"harmonic balance did not converge in {max_iter} iterations"
-        )
-    v, __ = _unpack(x, k_max, with_w=False)
-    return HbSolution(
-        w=w_i,
-        harmonics=v,
-        residual_norm=float(np.linalg.norm(residual(x))),
-        iterations=iterations,
-    )

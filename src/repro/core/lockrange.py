@@ -34,6 +34,7 @@ from repro.core.shil import solve_lock_states
 from repro.core.stability import classify_by_jacobian
 from repro.core.two_tone import TwoToneDF
 from repro.nonlin.base import Nonlinearity
+from repro.obs import metrics, trace
 from repro.perf.timers import timed
 from repro.robust.diagnostics import record_fault
 from repro.robust.faults import SolveFault
@@ -492,92 +493,109 @@ def predict_lock_range(
     n = int(n)
     if method not in ("fft", "dense"):
         raise ValueError(f"method must be 'fft' or 'dense', got {method!r}")
-    tank_r = tank.peak_resistance
-    if amplitude_window is None:
-        natural = predict_natural_oscillation(nonlinearity, tank, n_samples=n_samples)
-        amplitude_window = (0.3 * natural.amplitude, 1.4 * natural.amplitude)
-    a_lo, a_hi = amplitude_window
-    check_positive("amplitude_window[0]", a_lo)
+    with trace(
+        "lockrange",
+        attrs={"n": n, "v_i": v_i, "method": method, "n_a": n_a, "n_phi": n_phi},
+    ) as sp:
+        tank_r = tank.peak_resistance
+        if amplitude_window is None:
+            natural = predict_natural_oscillation(
+                nonlinearity, tank, n_samples=n_samples
+            )
+            amplitude_window = (0.3 * natural.amplitude, 1.4 * natural.amplitude)
+        a_lo, a_hi = amplitude_window
+        check_positive("amplitude_window[0]", a_lo)
 
-    df = TwoToneDF(nonlinearity, v_i, n, n_samples=n_samples, method=method)
-    amplitudes = np.linspace(a_lo, a_hi, n_a)
-    # Half-cell offset keeps symmetric-nonlinearity zero lines off the
-    # sampling columns (see solve_lock_states).
-    half_cell = np.pi / (n_phi - 1)
-    phis = np.linspace(half_cell, 2.0 * np.pi + half_cell, n_phi)
-    grid = df.characterize(amplitudes, phis, tank_r)
-    with timed("curve-extraction"):
-        tf_curves = extract_level_curves(grid, "tf", 1.0)
-    if not tf_curves:
-        raise NoLockError(
-            "the T_f = 1 curve does not exist in the amplitude window; "
-            "check that the oscillator sustains oscillation at this V_i"
-        )
+        df = TwoToneDF(nonlinearity, v_i, n, n_samples=n_samples, method=method)
+        amplitudes = np.linspace(a_lo, a_hi, n_a)
+        # Half-cell offset keeps symmetric-nonlinearity zero lines off the
+        # sampling columns (see solve_lock_states).
+        half_cell = np.pi / (n_phi - 1)
+        phis = np.linspace(half_cell, 2.0 * np.pi + half_cell, n_phi)
+        grid = df.characterize(amplitudes, phis, tank_r)
+        with timed("curve-extraction"):
+            tf_curves = extract_level_curves(grid, "tf", 1.0)
+        if not tf_curves:
+            raise NoLockError(
+                "the T_f = 1 curve does not exist in the amplitude window; "
+                "check that the oscillator sustains oscillation at this V_i"
+            )
 
-    evaluate = df.i1_evaluator(amplitudes, phis) if method == "fft" else None
-    samples: list[LockRangePoint] = []
-    with timed("curve-solve"):
-        if evaluate is not None:
-            curve_phis = np.concatenate([np.asarray(c.x, dtype=float) for c in tf_curves])
-            curve_seeds = np.concatenate([np.asarray(c.y, dtype=float) for c in tf_curves])
-            for point in _points_at_phis_batched(
-                df, tank, evaluate, curve_phis, curve_seeds, amplitude_window
-            ):
-                if point is not None:
-                    samples.append(point)
-        else:
-            for curve in tf_curves:
-                for j in range(len(curve)):
-                    point = _point_at_phi(
-                        df, tank, float(curve.x[j]), float(curve.y[j]), amplitude_window
-                    )
+        evaluate = df.i1_evaluator(amplitudes, phis) if method == "fft" else None
+        samples: list[LockRangePoint] = []
+        with timed("curve-solve"):
+            if evaluate is not None:
+                curve_phis = np.concatenate(
+                    [np.asarray(c.x, dtype=float) for c in tf_curves]
+                )
+                curve_seeds = np.concatenate(
+                    [np.asarray(c.y, dtype=float) for c in tf_curves]
+                )
+                for point in _points_at_phis_batched(
+                    df, tank, evaluate, curve_phis, curve_seeds, amplitude_window
+                ):
                     if point is not None:
                         samples.append(point)
-    stable = [p for p in samples if p.stable]
-    if not stable:
-        raise NoLockError(
-            "no stable lock state exists on the T_f = 1 curve for this injection"
+            else:
+                for curve in tf_curves:
+                    for j in range(len(curve)):
+                        point = _point_at_phi(
+                            df,
+                            tank,
+                            float(curve.x[j]),
+                            float(curve.y[j]),
+                            amplitude_window,
+                        )
+                        if point is not None:
+                            samples.append(point)
+        sp.set(samples=len(samples))
+        metrics.inc("lockrange.solves", method=method)
+        stable = [p for p in samples if p.stable]
+        if not stable:
+            raise NoLockError(
+                "no stable lock state exists on the T_f = 1 curve for this "
+                "injection"
+            )
+
+        # Extremal stable tank phases -> lock-range edges; refine around each.
+        def refine_edge(sign: float) -> LockRangePoint:
+            best = max(stable, key=lambda p: sign * p.phi_d)
+            neighbours = sorted(
+                samples, key=lambda p: abs(np.angle(np.exp(1j * (p.phi - best.phi))))
+            )[:5]
+            phi_lo = min(p.phi for p in neighbours)
+            phi_hi = max(p.phi for p in neighbours)
+            if phi_hi - phi_lo < 1e-12:
+                return best
+            refined = _refine_extremum(
+                df,
+                tank,
+                phi_lo,
+                phi_hi,
+                best.amplitude,
+                amplitude_window,
+                sign,
+                evaluate=evaluate,
+            )
+            if refined is None or sign * refined.phi_d < sign * best.phi_d:
+                return best
+            return refined
+
+        with timed("edge-refine"):
+            edge_low = refine_edge(+1.0)  # largest positive phi_d -> lowest freq
+            edge_high = refine_edge(-1.0)  # most negative phi_d -> highest freq
+
+        return LockRange(
+            n=n,
+            v_i=v_i,
+            injection_lower=n * edge_low.w_i,
+            injection_upper=n * edge_high.w_i,
+            phi_d_at_lower=edge_low.phi_d,
+            phi_d_at_upper=edge_high.phi_d,
+            amplitude_at_lower=edge_low.amplitude,
+            amplitude_at_upper=edge_high.amplitude,
+            samples=sorted(samples, key=lambda p: p.phi),
         )
-
-    # Extremal stable tank phases -> lock-range edges; refine around each.
-    def refine_edge(sign: float) -> LockRangePoint:
-        best = max(stable, key=lambda p: sign * p.phi_d)
-        neighbours = sorted(
-            samples, key=lambda p: abs(np.angle(np.exp(1j * (p.phi - best.phi))))
-        )[:5]
-        phi_lo = min(p.phi for p in neighbours)
-        phi_hi = max(p.phi for p in neighbours)
-        if phi_hi - phi_lo < 1e-12:
-            return best
-        refined = _refine_extremum(
-            df,
-            tank,
-            phi_lo,
-            phi_hi,
-            best.amplitude,
-            amplitude_window,
-            sign,
-            evaluate=evaluate,
-        )
-        if refined is None or sign * refined.phi_d < sign * best.phi_d:
-            return best
-        return refined
-
-    with timed("edge-refine"):
-        edge_low = refine_edge(+1.0)  # largest positive phi_d -> lowest frequency
-        edge_high = refine_edge(-1.0)  # most negative phi_d -> highest frequency
-
-    return LockRange(
-        n=n,
-        v_i=v_i,
-        injection_lower=n * edge_low.w_i,
-        injection_upper=n * edge_high.w_i,
-        phi_d_at_lower=edge_low.phi_d,
-        phi_d_at_upper=edge_high.phi_d,
-        amplitude_at_lower=edge_low.amplitude,
-        amplitude_at_upper=edge_high.amplitude,
-        samples=sorted(samples, key=lambda p: p.phi),
-    )
 
 
 def lock_range_by_frequency_scan(

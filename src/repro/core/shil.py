@@ -36,6 +36,7 @@ from repro.core.stability import StabilityVerdict, classify_by_jacobian
 from repro.core.states import enumerate_states
 from repro.core.two_tone import TwoToneDF
 from repro.nonlin.base import Nonlinearity
+from repro.obs import metrics, trace
 from repro.tank.base import Tank
 from repro.utils.grids import Grid2D
 from repro.utils.validation import check_positive
@@ -209,79 +210,86 @@ def solve_lock_states(
     if int(n) != n or n < 1:
         raise ValueError(f"n must be a positive integer, got {n}")
     n = int(n)
-    w_i = w_injection / n
-    phi_d = float(tank.phase(np.asarray(w_i)))
-    tank_r = tank.peak_resistance
+    with trace(
+        "lock-states", attrs={"n": n, "v_i": v_i, "method": method}
+    ) as sp:
+        w_i = w_injection / n
+        phi_d = float(tank.phase(np.asarray(w_i)))
+        tank_r = tank.peak_resistance
 
-    if amplitude_window is None:
-        natural = predict_natural_oscillation(nonlinearity, tank, n_samples=n_samples)
-        amplitude_window = (0.3 * natural.amplitude, 1.4 * natural.amplitude)
-    a_lo, a_hi = amplitude_window
-    check_positive("amplitude_window[0]", a_lo)
-    if not a_hi > a_lo:
-        raise ValueError("amplitude_window must satisfy A_max > A_min")
-
-    df = TwoToneDF(nonlinearity, v_i, n, n_samples=n_samples, method=method)
-    amplitudes = np.linspace(a_lo, a_hi, n_a)
-    # Half-cell offset: symmetric nonlinearities put exact zeros of the
-    # phase residual on phi = 0 and pi; sampling exactly there hides the
-    # sign changes from the contour extraction.
-    half_cell = np.pi / (n_phi - 1)
-    phis = np.linspace(half_cell, 2.0 * np.pi + half_cell, n_phi)
-    grid = df.characterize(amplitudes, phis, tank_r)
-
-    # Smooth phase-condition residual: Im(-I_1 e^{j phi_d}) == 0 with the
-    # half-plane selector Re(-I_1 e^{j phi_d}) > 0.
-    i1 = grid.surfaces["i1x"] + 1j * grid.surfaces["i1y"]
-    rotated = -i1 * np.exp(1j * phi_d)
-    grid.add_surface("phase_residual", np.imag(rotated))
-    grid.add_surface("phase_halfplane", np.real(rotated))
-
-    tf_curves = extract_level_curves(grid, "tf", 1.0)
-    phase_curves = extract_level_curves(grid, "phase_residual", 0.0)
-
-    flow = SlowFlow(df, tank, w_i)
-    candidates: list[tuple[float, float]] = []
-    for tf_curve in tf_curves:
-        for phase_curve in phase_curves:
-            candidates.extend(
-                (x, y) for x, y in intersect_curves(tf_curve, phase_curve)
+        if amplitude_window is None:
+            natural = predict_natural_oscillation(
+                nonlinearity, tank, n_samples=n_samples
             )
+            amplitude_window = (0.3 * natural.amplitude, 1.4 * natural.amplitude)
+        a_lo, a_hi = amplitude_window
+        check_positive("amplitude_window[0]", a_lo)
+        if not a_hi > a_lo:
+            raise ValueError("amplitude_window must satisfy A_max > A_min")
 
-    locks: list[LockState] = []
-    for phi0, a0 in candidates:
-        # Reject the wrong half-plane (angle(-I_1) = -phi_d + pi branch).
-        if grid.interpolate("phase_halfplane", phi0, a0) <= 0.0:
-            continue
-        a_star, phi_star, res = _newton_polish(flow, a0, phi0)
-        if res > 1e-6:
-            continue
-        phi_star = float(np.mod(phi_star, 2.0 * np.pi))
-        if any(
-            abs(np.angle(np.exp(1j * (phi_star - lock.phi)))) < 1e-4
-            and abs(a_star - lock.amplitude) < 1e-6 * max(1.0, a_star)
-            for lock in locks
-        ):
-            continue
-        verdict = classify_by_jacobian(flow, a_star, phi_star)
-        locks.append(
-            LockState(
-                phi=phi_star,
-                amplitude=float(a_star),
-                stable=verdict.stable,
-                verdict=verdict,
-                oscillator_phases=enumerate_states(phi_star, n),
-                residual_norm=res,
+        df = TwoToneDF(nonlinearity, v_i, n, n_samples=n_samples, method=method)
+        amplitudes = np.linspace(a_lo, a_hi, n_a)
+        # Half-cell offset: symmetric nonlinearities put exact zeros of the
+        # phase residual on phi = 0 and pi; sampling exactly there hides the
+        # sign changes from the contour extraction.
+        half_cell = np.pi / (n_phi - 1)
+        phis = np.linspace(half_cell, 2.0 * np.pi + half_cell, n_phi)
+        grid = df.characterize(amplitudes, phis, tank_r)
+
+        # Smooth phase-condition residual: Im(-I_1 e^{j phi_d}) == 0 with the
+        # half-plane selector Re(-I_1 e^{j phi_d}) > 0.
+        i1 = grid.surfaces["i1x"] + 1j * grid.surfaces["i1y"]
+        rotated = -i1 * np.exp(1j * phi_d)
+        grid.add_surface("phase_residual", np.imag(rotated))
+        grid.add_surface("phase_halfplane", np.real(rotated))
+
+        tf_curves = extract_level_curves(grid, "tf", 1.0)
+        phase_curves = extract_level_curves(grid, "phase_residual", 0.0)
+
+        flow = SlowFlow(df, tank, w_i)
+        candidates: list[tuple[float, float]] = []
+        for tf_curve in tf_curves:
+            for phase_curve in phase_curves:
+                candidates.extend(
+                    (x, y) for x, y in intersect_curves(tf_curve, phase_curve)
+                )
+
+        locks: list[LockState] = []
+        for phi0, a0 in candidates:
+            # Reject the wrong half-plane (angle(-I_1) = -phi_d + pi branch).
+            if grid.interpolate("phase_halfplane", phi0, a0) <= 0.0:
+                continue
+            a_star, phi_star, res = _newton_polish(flow, a0, phi0)
+            if res > 1e-6:
+                continue
+            phi_star = float(np.mod(phi_star, 2.0 * np.pi))
+            if any(
+                abs(np.angle(np.exp(1j * (phi_star - lock.phi)))) < 1e-4
+                and abs(a_star - lock.amplitude) < 1e-6 * max(1.0, a_star)
+                for lock in locks
+            ):
+                continue
+            verdict = classify_by_jacobian(flow, a_star, phi_star)
+            locks.append(
+                LockState(
+                    phi=phi_star,
+                    amplitude=float(a_star),
+                    stable=verdict.stable,
+                    verdict=verdict,
+                    oscillator_phases=enumerate_states(phi_star, n),
+                    residual_norm=res,
+                )
             )
+        locks.sort(key=lambda lock: lock.phi)
+        sp.set(candidates=len(candidates), locks=len(locks))
+        metrics.inc("shil.solves", method=method)
+        return ShilSolution(
+            locks=locks,
+            n=n,
+            v_i=v_i,
+            w_i=w_i,
+            phi_d=phi_d,
+            grid=grid,
+            tf_curves=tf_curves,
+            phase_curves=phase_curves,
         )
-    locks.sort(key=lambda lock: lock.phi)
-    return ShilSolution(
-        locks=locks,
-        n=n,
-        v_i=v_i,
-        w_i=w_i,
-        phi_d=phi_d,
-        grid=grid,
-        tf_curves=tf_curves,
-        phase_curves=phase_curves,
-    )

@@ -69,6 +69,7 @@ import numpy as np
 
 from repro.core.describing_function import DEFAULT_SAMPLES
 from repro.nonlin.base import Nonlinearity
+from repro.obs import metrics
 from repro.perf.fingerprint import array_hash, combine_keys, nonlinearity_fingerprint
 from repro.perf.surface_cache import default_cache
 from repro.perf.timers import timed
@@ -430,6 +431,7 @@ class TwoToneSurface:
         phis = np.asarray(phis, dtype=float)
         basis = np.exp(1j * np.outer(self.k_orders, phis.reshape(-1)))
         out = self.coefficients[self._m_row(m)] @ basis
+        metrics.inc("df.evaluations", out.size, method="fft")
         return out.reshape(self.amplitudes.shape + phis.shape)
 
     def i1_grid(self, phis: np.ndarray) -> np.ndarray:
@@ -480,6 +482,7 @@ class TwoToneSurface:
         p_flat = np.broadcast_to(phi, out_shape).reshape(-1)
         coeffs = self._coeffs_at(a_flat, self._m_row(m))  # (points, n_k)
         basis = np.exp(1j * p_flat[:, None] * self.k_orders[None, :])
+        metrics.inc("df.evaluations", a_flat.size, method="fft")
         return np.einsum("pk,pk->p", coeffs, basis).reshape(out_shape)
 
     def i1_at(self, amplitude, phi) -> np.ndarray:
@@ -602,6 +605,7 @@ class TwoToneDF:
         a_flat = np.broadcast_to(amplitude, out_shape).reshape(-1)
         p_flat = np.broadcast_to(phi, out_shape).reshape(-1)
         n_points = a_flat.size
+        metrics.inc("df.evaluations", n_points, method="dense")
         result = np.empty(n_points, dtype=complex)
         chunk = max(1, _CHUNK_BUDGET // self.n_samples)
         two_vi = 2.0 * self.v_i
@@ -916,6 +920,7 @@ class TwoToneDF:
             a_flat = np.broadcast_to(amplitude, out_shape).reshape(-1)
             p_flat = np.broadcast_to(phi, out_shape).reshape(-1)
             values = spline_re.ev(a_flat, p_flat) + 1j * spline_im.ev(a_flat, p_flat)
+            metrics.inc("df.evaluations", a_flat.size, method="fft-spline")
             return values.reshape(out_shape)
 
         return evaluate

@@ -1,0 +1,49 @@
+"""Convergence event stream: per-iteration solver telemetry.
+
+DF/HB solvers live or die by their iteration-level behaviour — a Newton
+that limit-cycles, a damping cap that fires every step, an escalation
+ladder that silently burns its budget.  This module gives the solvers one
+verb to narrate that behaviour::
+
+    if events_active():
+        convergence_event("hb-newton", iteration=i, residual=r, step=s)
+
+Events attach to the innermost live span and land in the trace file, so a
+diverged solve can be diagnosed post-hoc from the recorded residual
+sequence — no debugger, no re-run.
+
+``events_active()`` is the hot-loop guard: it is a single attribute read,
+and skipping the call when no trace is collected means the field dict and
+any extra norms feeding it are never computed.
+"""
+
+from __future__ import annotations
+
+from repro.obs.tracing import NOOP_SPAN, tracer
+
+__all__ = ["convergence_event", "events_active"]
+
+
+def events_active() -> bool:
+    """True when convergence events will actually reach a trace file.
+
+    Guard per-iteration instrumentation with this so disabled runs pay
+    nothing — not even the cost of computing the residual norm that would
+    have been reported.
+    """
+    return tracer._trace_on
+
+
+def convergence_event(name: str, /, **fields) -> None:
+    """Record one solver-iteration event on the current span.
+
+    A no-op outside any recording span; ``fields`` should be scalars
+    (iteration number, residual norm, step norm, damping factor, rung
+    name) — they are JSON-sanitised on the way into the trace.
+    """
+    if not tracer._trace_on:
+        return
+    span = tracer._current.get()
+    if span is None:
+        span = NOOP_SPAN
+    span.event(name, **fields)

@@ -1,0 +1,114 @@
+"""Structured logging: one event name plus machine-readable fields.
+
+Replaces the scattered ``warnings.warn`` / ``logging.warning`` / print
+paths with a single convention::
+
+    _log = get_logger(__name__)
+    _log.warning("cache.quarantined", file="ab12...npz", fault="cache-corruption")
+
+Two output modes:
+
+* **text** (default) — events render through the stdlib :mod:`logging`
+  tree (``event key=value ...``), so existing handler/level configuration
+  keeps working and library users see nothing new;
+* **json** (``--log-json`` / :func:`enable_json_logs`) — each event is one
+  JSON object on stderr (``ts``, ``level``, ``logger``, ``event``, plus
+  the caller's fields), ready for ``jq`` or a log shipper.
+
+Every emitted record also bumps the ``log.records{level=...}`` counter in
+the metrics registry, so ``OBS_REPORT.json`` shows at a glance whether a
+run warned at all.
+"""
+
+from __future__ import annotations
+
+import json
+import logging as _stdlog
+import sys
+import time
+
+from repro.obs.metrics import metrics
+from repro.obs.tracing import _json_safe
+
+__all__ = [
+    "StructuredLogger",
+    "get_logger",
+    "enable_json_logs",
+    "disable_json_logs",
+    "json_logs_enabled",
+]
+
+_LEVELS = {
+    "debug": _stdlog.DEBUG,
+    "info": _stdlog.INFO,
+    "warning": _stdlog.WARNING,
+    "error": _stdlog.ERROR,
+}
+
+#: Module state for the JSON mode (stream kept swappable for tests).
+_state: dict = {"json": False, "stream": None}
+
+
+def enable_json_logs(stream=None) -> None:
+    """Switch structured logs to JSON-lines mode (stderr by default)."""
+    _state["json"] = True
+    _state["stream"] = stream
+
+
+def disable_json_logs() -> None:
+    _state["json"] = False
+    _state["stream"] = None
+
+
+def json_logs_enabled() -> bool:
+    return bool(_state["json"])
+
+
+class StructuredLogger:
+    """A named logger emitting ``(event, **fields)`` records."""
+
+    __slots__ = ("name", "_std")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._std = _stdlog.getLogger(name)
+
+    def _emit(self, level: str, event: str, fields: dict) -> None:
+        metrics.inc("log.records", level=level)
+        if _state["json"]:
+            record = {
+                "ts": round(time.time(), 3),
+                "level": level,
+                "logger": self.name,
+                "event": event,
+            }
+            for key, value in fields.items():
+                record.setdefault(key, _json_safe(value))
+            stream = _state["stream"] or sys.stderr
+            print(json.dumps(record, sort_keys=True), file=stream, flush=True)
+            return
+        std_level = _LEVELS[level]
+        if not self._std.isEnabledFor(std_level):
+            return
+        if fields:
+            rendered = " ".join(f"{k}={_json_safe(v)}" for k, v in fields.items())
+            self._std.log(std_level, "%s %s", event, rendered)
+        else:
+            self._std.log(std_level, "%s", event)
+
+    def debug(self, event: str, /, **fields) -> None:
+        self._emit("debug", event, fields)
+
+    def info(self, event: str, /, **fields) -> None:
+        self._emit("info", event, fields)
+
+    def warning(self, event: str, /, **fields) -> None:
+        self._emit("warning", event, fields)
+
+    def error(self, event: str, /, **fields) -> None:
+        self._emit("error", event, fields)
+
+
+def get_logger(name: str) -> StructuredLogger:
+    """The structured logger for a module (cheap; no registry needed)."""
+    return StructuredLogger(name)

@@ -1,0 +1,137 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+The registry is the numerical companion of the span tracer: spans answer
+*where the time went*, metrics answer *how much work of each kind
+happened* — surface-cache hits/misses/corruptions, describing-function
+evaluations by method, harmonic-balance Newton iterations and residual
+norms per solve, escalation-rung transitions, faults by kind.
+
+Metric updates are plain dict operations, cheap enough to stay enabled
+unconditionally (there is no on/off switch to misconfigure).  Labels are
+folded into the metric key at update time —
+``metrics.inc("df.evaluations", method="fft")`` is stored under
+``"df.evaluations{method=fft}"`` — which keeps the snapshot a flat,
+deterministic, JSON-ready mapping.
+
+``snapshot()`` is the single export surface; the CLI's ``--trace`` mode
+feeds it into ``OBS_REPORT.json`` (see :func:`repro.obs.report.write_obs_report`)
+and the verification harness diffs snapshots around each scenario to
+attach per-scenario work counts to ``VERIFY_REPORT.json``.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["MetricsRegistry", "metrics"]
+
+
+def _flatten(name: str, labels: dict) -> str:
+    """Fold labels into the metric key: ``name{k1=v1,k2=v2}`` (sorted)."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+def _as_number(value: float):
+    """Ints stay ints in JSON output; integral floats become ints."""
+    if isinstance(value, bool):  # bool is an int subclass; refuse silently
+        return int(value)
+    if isinstance(value, float) and value.is_integer() and abs(value) < 2**53:
+        return int(value)
+    return value
+
+
+class MetricsRegistry:
+    """Counters, gauges, and summary histograms under flat string keys.
+
+    * **counter** — monotonically increasing total (:meth:`inc`);
+    * **gauge** — last-written value (:meth:`gauge`);
+    * **histogram** — running ``count/sum/min/max`` summary of observed
+      values (:meth:`observe`); the snapshot adds the derived ``mean``.
+
+    All three families share the label convention of :func:`_flatten`.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, dict[str, float]] = {}
+
+    # -- updates --------------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1, **labels) -> None:
+        """Add ``value`` (default 1) to a counter."""
+        key = _flatten(name, labels)
+        self._counters[key] = self._counters.get(key, 0) + value
+
+    def gauge(self, name: str, value: float, **labels) -> None:
+        """Set a gauge to ``value`` (overwrites)."""
+        self._gauges[_flatten(name, labels)] = float(value)
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        """Feed one observation into a summary histogram."""
+        value = float(value)
+        key = _flatten(name, labels)
+        entry = self._histograms.get(key)
+        if entry is None:
+            entry = {"count": 0, "sum": 0.0, "min": math.inf, "max": -math.inf}
+            self._histograms[key] = entry
+        entry["count"] += 1
+        entry["sum"] += value
+        if value < entry["min"]:
+            entry["min"] = value
+        if value > entry["max"]:
+            entry["max"] = value
+
+    # -- reads ----------------------------------------------------------------
+
+    def counter(self, name: str, **labels) -> float:
+        """Current value of a counter (0 when never incremented)."""
+        return self._counters.get(_flatten(name, labels), 0)
+
+    def counter_total(self, prefix: str) -> float:
+        """Sum of every counter whose key starts with ``prefix``.
+
+        Useful for labelled families: ``counter_total("df.evaluations")``
+        sums the fft and dense variants.
+        """
+        return sum(v for k, v in self._counters.items() if k.startswith(prefix))
+
+    def snapshot(self) -> dict:
+        """Deterministic JSON-ready view of everything collected so far.
+
+        Keys are sorted, integral values are emitted as ints, histogram
+        summaries carry the derived mean — two runs doing identical work
+        produce byte-identical snapshots.
+        """
+        histograms = {}
+        for key in sorted(self._histograms):
+            entry = self._histograms[key]
+            histograms[key] = {
+                "count": int(entry["count"]),
+                "sum": _as_number(entry["sum"]),
+                "min": _as_number(entry["min"]),
+                "max": _as_number(entry["max"]),
+                "mean": _as_number(entry["sum"] / entry["count"]),
+            }
+        return {
+            "counters": {
+                key: _as_number(self._counters[key]) for key in sorted(self._counters)
+            },
+            "gauges": {
+                key: _as_number(self._gauges[key]) for key in sorted(self._gauges)
+            },
+            "histograms": histograms,
+        }
+
+    def reset(self) -> None:
+        """Drop everything (tests and long-lived workers between batches)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+#: The process-wide registry all subsystems report into.
+metrics = MetricsRegistry()

@@ -1,0 +1,382 @@
+"""Hierarchical spans: the single timing/tracing primitive of the repo.
+
+A *span* is one timed, attributed, nestable unit of work.  The process-wide
+:data:`tracer` hands them out::
+
+    from repro.obs import trace
+
+    with trace("lockrange") as span:
+        ...
+        span.set(n=3, samples=412)
+        if span.recording:
+            span.event("edge-refined", phi_d=0.31)
+
+Design constraints, in priority order:
+
+1. **Near-zero overhead when disabled.**  With no trace buffer and no
+   sinks registered, :meth:`Tracer.span` returns a shared no-op singleton:
+   the whole ``with`` block costs one attribute check and allocates
+   nothing, so spans stay in production code (the describing-function and
+   harmonic-balance hot paths included).  Hot-path attribute/event calls
+   are guarded by ``span.recording`` so their keyword dicts are never
+   built either.
+2. **One timing code path.**  :class:`repro.perf.timers.PhaseTimer` (the
+   ``--profile`` aggregator) is a *sink* over the same spans — see
+   :meth:`Tracer.add_sink` — so phase timing and tracing can never
+   disagree about what was measured.
+3. **Post-hoc diagnosability.**  With tracing on, every finished span is
+   buffered as a JSON-safe record (parent id, depth, start offset,
+   duration, attributes, events) and :meth:`Tracer.write` emits them as a
+   JSON-lines file: one header line, then one line per span in completion
+   order.  ``python -m repro obs <file>`` renders the tree.
+
+Nesting is tracked with :mod:`contextvars`, so spans are re-entrant and
+remain correct across threads and asyncio tasks.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import pathlib
+import time
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "Clock",
+    "Span",
+    "Tracer",
+    "tracer",
+    "trace",
+    "current_span",
+    "load_trace",
+]
+
+#: Bump when the trace-file record layout changes.
+TRACE_SCHEMA_VERSION = 1
+
+#: Buffered-span bound: a runaway sweep cannot exhaust memory; overflow is
+#: counted and reported in the trace header instead of silently dropped.
+_MAX_BUFFERED_SPANS = 200_000
+
+_now = time.perf_counter
+
+
+class Clock:
+    """Monotonic stopwatch — the one wall-clock primitive under spans.
+
+    :class:`repro.perf.timers.Stopwatch` is a re-export of this class, so
+    every elapsed-seconds measurement in the repo shares a single clock
+    implementation.
+    """
+
+    __slots__ = ("_start",)
+
+    def __init__(self) -> None:
+        self._start = _now()
+
+    def restart(self) -> None:
+        self._start = _now()
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since construction (or the last :meth:`restart`)."""
+        return _now() - self._start
+
+
+def _json_safe(value):
+    """Coerce an attribute/event value to something ``json.dumps`` accepts."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        # NaN/Inf are not valid JSON; keep the information as a string.
+        return value if value == value and abs(value) != float("inf") else repr(value)
+    try:  # numpy scalars expose item(); recurse for the float case above
+        return _json_safe(value.item())
+    except AttributeError:
+        return str(value)
+
+
+class _NoopSpan:
+    """Shared do-nothing span: the disabled-tracer fast path.
+
+    Stateless, hence safely re-entrant; every disabled ``with trace(...)``
+    block enters and exits this one module-level instance.
+    """
+
+    __slots__ = ()
+
+    #: Hot paths guard expensive attribute/event construction with this.
+    recording = False
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+    def set(self, **attrs) -> None:
+        pass
+
+    def set_attribute(self, key, value) -> None:
+        pass
+
+    def event(self, name, /, **fields) -> None:
+        pass
+
+    @property
+    def elapsed(self) -> float:
+        return 0.0
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Span:
+    """One live span (also its own context manager).
+
+    Only ever constructed by :meth:`Tracer.span` while the tracer is
+    active; user code receives either this or :data:`NOOP_SPAN` and treats
+    both uniformly.
+    """
+
+    __slots__ = (
+        "name",
+        "kind",
+        "span_id",
+        "parent_id",
+        "depth",
+        "attrs",
+        "events",
+        "dur_s",
+        "_tracer",
+        "_t0",
+        "_start_rel",
+        "_token",
+    )
+
+    def __init__(self, owner: "Tracer", name: str, kind: str, attrs: dict | None):
+        self._tracer = owner
+        self.name = str(name)
+        self.kind = kind
+        self.attrs = dict(attrs) if attrs else {}
+        self.events: list[dict] = []
+        self.span_id = 0
+        self.parent_id: int | None = None
+        self.depth = 0
+        self.dur_s = 0.0
+        self._t0 = 0.0
+        self._start_rel = 0.0
+        self._token = None
+
+    @property
+    def recording(self) -> bool:
+        """True when events/attributes will reach a trace file."""
+        return self._tracer._trace_on
+
+    @property
+    def elapsed(self) -> float:
+        return _now() - self._t0
+
+    def set(self, **attrs) -> None:
+        """Attach attributes (``span.set(iterations=5, residual=1e-13)``)."""
+        self.attrs.update(attrs)
+
+    def set_attribute(self, key, value) -> None:
+        self.attrs[key] = value
+
+    def event(self, name: str, /, **fields) -> None:
+        """Record a point-in-time event inside this span.
+
+        Guard hot loops with ``if span.recording:`` so the ``fields`` dict
+        is only built when a trace is actually being collected.
+        """
+        record = {"name": str(name), "t_s": round(_now() - self._tracer._epoch, 6)}
+        for key, value in fields.items():
+            record[key] = _json_safe(value)
+        self.events.append(record)
+
+    def __enter__(self) -> "Span":
+        owner = self._tracer
+        parent = owner._current.get()
+        if parent is not None:
+            self.parent_id = parent.span_id
+            self.depth = parent.depth + 1
+        owner._count += 1
+        self.span_id = owner._count
+        self._token = owner._current.set(self)
+        self._t0 = _now()
+        self._start_rel = self._t0 - owner._epoch
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.dur_s = _now() - self._t0
+        self._tracer._current.reset(self._token)
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._finish(self)
+        return False
+
+    def to_record(self) -> dict:
+        """The JSON-safe trace-file form of this (finished) span."""
+        record = {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "kind": self.kind,
+            "depth": self.depth,
+            "t_start_s": round(self._start_rel, 6),
+            "dur_s": round(self.dur_s, 6),
+        }
+        if self.attrs:
+            record["attrs"] = {k: _json_safe(v) for k, v in self.attrs.items()}
+        if self.events:
+            record["events"] = self.events
+        return record
+
+
+class Tracer:
+    """Process-wide span factory, buffer, and sink dispatcher.
+
+    Two independent reasons to be *active*:
+
+    * ``enable()``/``disable()`` — collect span records for a trace file;
+    * registered sinks — e.g. the ``--profile`` :class:`PhaseTimer`, which
+      aggregates span durations without buffering records.
+
+    When neither applies, :meth:`span` returns :data:`NOOP_SPAN`.
+    """
+
+    def __init__(self) -> None:
+        self._trace_on = False
+        self._sinks: list = []
+        self._records: list[dict] = []
+        self._dropped = 0
+        self._count = 0
+        self._epoch = _now()
+        self._epoch_unix = time.time()
+        self._current: contextvars.ContextVar[Span | None] = contextvars.ContextVar(
+            "repro_current_span", default=None
+        )
+
+    # -- state ----------------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        """Whether spans are being materialised at all."""
+        return self._trace_on or bool(self._sinks)
+
+    @property
+    def recording(self) -> bool:
+        """Whether span records are being buffered for a trace file."""
+        return self._trace_on
+
+    def enable(self) -> None:
+        """Start buffering span records; resets any prior buffer."""
+        self._records = []
+        self._dropped = 0
+        self._count = 0
+        self._epoch = _now()
+        self._epoch_unix = time.time()
+        self._trace_on = True
+
+    def disable(self) -> None:
+        """Stop buffering (the collected records remain readable)."""
+        self._trace_on = False
+
+    def clear(self) -> None:
+        """Stop buffering and drop any collected records."""
+        self._trace_on = False
+        self._records = []
+        self._dropped = 0
+        self._count = 0
+
+    def add_sink(self, sink) -> None:
+        """Register an object with an ``on_span(span)`` method."""
+        if sink not in self._sinks:
+            self._sinks.append(sink)
+
+    def remove_sink(self, sink) -> None:
+        if sink in self._sinks:
+            self._sinks.remove(sink)
+
+    # -- span factory ---------------------------------------------------------
+
+    def span(self, name: str, kind: str = "span", attrs: dict | None = None):
+        """A context-managed span, or the no-op singleton when inactive."""
+        if not (self._trace_on or self._sinks):
+            return NOOP_SPAN
+        return Span(self, name, kind, attrs)
+
+    def _finish(self, span: Span) -> None:
+        if self._trace_on:
+            if len(self._records) < _MAX_BUFFERED_SPANS:
+                self._records.append(span.to_record())
+            else:
+                self._dropped += 1
+        for sink in self._sinks:
+            sink.on_span(span)
+
+    # -- export ---------------------------------------------------------------
+
+    def records(self) -> list[dict]:
+        """A copy of the buffered span records (completion order)."""
+        return list(self._records)
+
+    def header(self) -> dict:
+        return {
+            "trace": "repro",
+            "schema": TRACE_SCHEMA_VERSION,
+            "epoch_unix_s": round(self._epoch_unix, 3),
+            "spans": len(self._records),
+            "dropped": self._dropped,
+        }
+
+    def write(self, path: str | pathlib.Path) -> pathlib.Path:
+        """Emit the buffered trace as JSON lines (header first)."""
+        path = pathlib.Path(path)
+        if path.parent != pathlib.Path("."):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w") as handle:
+            handle.write(json.dumps(self.header(), sort_keys=True) + "\n")
+            for record in self._records:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        return path
+
+
+#: The process-wide tracer every span in the repo goes through.
+tracer = Tracer()
+
+
+def trace(name: str, attrs: dict | None = None):
+    """Open a span on the process-wide tracer: ``with trace("x") as s:``.
+
+    ``attrs`` is an optional dict rather than ``**kwargs`` so the disabled
+    path stays allocation-free; attach attributes through the yielded span
+    when tracing matters (it no-ops when disabled).
+    """
+    return tracer.span(name, attrs=attrs)
+
+
+def current_span():
+    """The innermost live span, or the no-op singleton outside any."""
+    span = tracer._current.get()
+    return span if span is not None else NOOP_SPAN
+
+
+def load_trace(path: str | pathlib.Path) -> tuple[dict, list[dict]]:
+    """Parse a JSON-lines trace file back into ``(header, spans)``.
+
+    Raises ``ValueError`` on a file that is not a repro trace (wrong header
+    magic) — schema *version* mismatches are left to the caller, which may
+    still be able to render newer/older records.
+    """
+    path = pathlib.Path(path)
+    lines = [line for line in path.read_text().splitlines() if line.strip()]
+    if not lines:
+        raise ValueError(f"{path} is empty — not a trace file")
+    header = json.loads(lines[0])
+    if not isinstance(header, dict) or header.get("trace") != "repro":
+        raise ValueError(f"{path} does not start with a repro trace header")
+    spans = [json.loads(line) for line in lines[1:]]
+    return header, spans

@@ -33,16 +33,17 @@ removed — access refreshes the mtime, so this is an LRU in practice.
 from __future__ import annotations
 
 import json
-import logging
 import os
 import pathlib
 import tempfile
 
 import numpy as np
 
+from repro.obs import get_logger, metrics
+
 __all__ = ["SurfaceCache", "default_cache", "cache_disabled"]
 
-_log = logging.getLogger(__name__)
+_log = get_logger(__name__)
 
 #: Bump when the on-disk record layout changes; old records then miss.
 SCHEMA_VERSION = 1
@@ -91,9 +92,17 @@ class SurfaceCache:
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = int(max_entries)
-        #: Running tally of (hits, misses, puts, corrupt) — handy in
-        #: benchmarks and asserted on by the fault-injection harness.
+        #: Per-instance tally of (hits, misses, puts, corrupt) — handy in
+        #: benchmarks and asserted on by the fault-injection harness.  The
+        #: canonical process-wide counts live in the metrics registry
+        #: (``cache.hits`` etc. — see :meth:`_count`) and feed
+        #: ``repro cache --stats`` and ``OBS_REPORT.json``.
         self.stats = {"hits": 0, "misses": 0, "puts": 0, "corrupt": 0}
+
+    def _count(self, stat: str) -> None:
+        """Bump one cache statistic, instance-local and registry-wide."""
+        self.stats[stat] += 1
+        metrics.inc(f"cache.{stat}")
 
     # -- paths ----------------------------------------------------------------
 
@@ -123,11 +132,11 @@ class SurfaceCache:
           with a logged warning, and ``stats["corrupt"]`` is bumped.
         """
         if cache_disabled():
-            self.stats["misses"] += 1
+            self._count("misses")
             return None
         path = self.path_for(key)
         if not path.is_file():
-            self.stats["misses"] += 1
+            self._count("misses")
             return None
         try:
             with np.load(path, allow_pickle=False) as record:
@@ -138,18 +147,18 @@ class SurfaceCache:
                 }
         except Exception as exc:
             self._quarantine(path, exc)
-            self.stats["misses"] += 1
+            self._count("misses")
             return None
         if schema != SCHEMA_VERSION:
             # Not corruption — just an older (or newer) writer's record.
             path.unlink(missing_ok=True)
-            self.stats["misses"] += 1
+            self._count("misses")
             return None
         try:
             path.touch()  # refresh mtime -> LRU recency
         except OSError:  # pragma: no cover - best effort only
             pass
-        self.stats["hits"] += 1
+        self._count("hits")
         return arrays, meta
 
     def put(self, key: str, arrays: dict[str, np.ndarray], meta: dict | None = None) -> None:
@@ -176,7 +185,7 @@ class SurfaceCache:
             except OSError:
                 pass
             raise
-        self.stats["puts"] += 1
+        self._count("puts")
         self._evict()
 
     def _quarantine(self, path: pathlib.Path, cause: Exception) -> None:
@@ -193,14 +202,14 @@ class SurfaceCache:
         except OSError:  # pragma: no cover - racing cleanup; drop instead
             path.unlink(missing_ok=True)
             quarantined = None
-        self.stats["corrupt"] += 1
+        self._count("corrupt")
         _log.warning(
-            "quarantined corrupt cache record %s -> %s (%s: %s); "
-            "the surface will be recomputed",
-            path.name,
-            quarantined.name if quarantined is not None else "(removed)",
-            type(cause).__name__,
-            cause,
+            "cache.quarantined",
+            file=path.name,
+            quarantined=quarantined.name if quarantined is not None else "(removed)",
+            fault="cache-corruption",
+            error=type(cause).__name__,
+            detail=str(cause),
         )
 
     # -- maintenance ----------------------------------------------------------

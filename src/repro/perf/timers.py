@@ -1,12 +1,26 @@
-"""Lightweight phase timers and machine-readable ``BENCH_*.json`` records.
+"""Phase timers as span sinks, plus the ``BENCH_*.json`` emitter.
 
-The hot analysis paths (`characterize`, curve extraction, the batched
-curve solve, edge refinement, transient simulation) are bracketed with
-:func:`timed` context managers.  When profiling is disabled — the default —
-a timed block costs one attribute load and a truthiness check, so the
-instrumentation can stay in production code.  The CLI ``--profile`` flag
+Since the observability subsystem landed there is exactly **one** timing
+code path in the repo: the span primitive of :mod:`repro.obs.tracing`.
+This module keeps the historical ``--profile`` API on top of it:
+
+* :func:`timed` / :meth:`PhaseTimer.phase` open a span of kind
+  ``"phase"`` on the process-wide tracer — the same span that lands in a
+  ``--trace`` file;
+* an *enabled* :class:`PhaseTimer` registers itself as a tracer **sink**
+  and aggregates the durations of finishing phase spans into the familiar
+  ``{name: {"total_s", "calls"}}`` mapping, so ``BENCH_*.json`` output is
+  byte-compatible with the pre-span layout (same schema, same keys for
+  the same workload);
+* :class:`Stopwatch` is the span module's :class:`~repro.obs.tracing.Clock`
+  under its historical name.
+
+When neither profiling nor tracing is active a timed block is the
+tracer's no-op singleton — one attribute check, zero allocations — so the
+instrumentation stays in production code.  The CLI ``--profile`` flag
 enables the collector and dumps the accumulated phases as a
-``BENCH_<ID>.json`` file whose schema is stable enough to diff across PRs::
+``BENCH_<ID>.json`` file whose schema is stable enough to diff across
+PRs::
 
     {
       "bench": "FIG10",
@@ -19,10 +33,11 @@ enables the collector and dumps the accumulated phases as a
 
 from __future__ import annotations
 
-import contextlib
 import json
 import pathlib
 import time
+
+from repro.obs.tracing import Clock, tracer
 
 __all__ = ["PhaseTimer", "Stopwatch", "profiler", "timed", "write_bench_json"]
 
@@ -31,10 +46,14 @@ BENCH_SCHEMA_VERSION = 1
 
 
 class PhaseTimer:
-    """Accumulates wall-clock per named phase.
+    """Accumulates wall-clock per named phase (a span sink).
 
     Phases may nest and repeat; each ``(total seconds, call count)`` pair
-    accumulates.  The timer is inert until :meth:`enable` is called.
+    accumulates.  The timer is inert until :meth:`enable` is called, at
+    which point it registers on the process-wide tracer and aggregates
+    every finishing span of kind ``"phase"`` — its own and those opened by
+    any other ``timed()`` call in the process (the pre-span semantics of
+    the module-level :data:`profiler`).
     """
 
     def __init__(self) -> None:
@@ -44,27 +63,33 @@ class PhaseTimer:
 
     def enable(self) -> None:
         """Start collecting; resets previously accumulated phases."""
-        self.enabled = True
         self.phases = {}
         self._t0 = time.perf_counter()
+        if not self.enabled:
+            tracer.add_sink(self)
+        self.enabled = True
 
     def disable(self) -> None:
+        if self.enabled:
+            tracer.remove_sink(self)
         self.enabled = False
 
-    @contextlib.contextmanager
     def phase(self, name: str):
-        """Time a block under ``name`` (no-op when disabled)."""
-        if not self.enabled:
-            yield
+        """Time a block under ``name`` (no-op when nothing collects).
+
+        This *is* a span — ``with timer.phase("x"):`` and
+        ``with trace("x"):`` differ only in the span kind used for BENCH
+        aggregation, and both show up in an active ``--trace`` file.
+        """
+        return tracer.span(name, kind="phase")
+
+    def on_span(self, span) -> None:
+        """Tracer-sink callback: fold a finished phase span into the tally."""
+        if not self.enabled or span.kind != "phase":
             return
-        start = time.perf_counter()
-        try:
-            yield
-        finally:
-            elapsed = time.perf_counter() - start
-            entry = self.phases.setdefault(name, {"total_s": 0.0, "calls": 0})
-            entry["total_s"] += elapsed
-            entry["calls"] += 1
+        entry = self.phases.setdefault(span.name, {"total_s": 0.0, "calls": 0})
+        entry["total_s"] += span.dur_s
+        entry["calls"] += 1
 
     def add(self, name: str, seconds: float) -> None:
         """Record an externally measured duration under ``name``."""
@@ -88,24 +113,16 @@ class PhaseTimer:
         }
 
 
-class Stopwatch:
+class Stopwatch(Clock):
     """Wall-clock stopwatch that runs regardless of the profiler state.
 
     The verification harness stamps each scenario's wall time into
     ``VERIFY_REPORT.json`` even when ``--profile`` is off, so it cannot
-    rely on the process-wide :data:`profiler`.
+    rely on the process-wide :data:`profiler`.  Implementation-wise this
+    is :class:`repro.obs.tracing.Clock` — the same clock under spans.
     """
 
-    def __init__(self) -> None:
-        self.restart()
-
-    def restart(self) -> None:
-        self._start = time.perf_counter()
-
-    @property
-    def elapsed(self) -> float:
-        """Seconds since construction (or the last :meth:`restart`)."""
-        return time.perf_counter() - self._start
+    __slots__ = ()
 
 
 #: Process-wide timer used by the core analysis paths and the CLI.
@@ -113,8 +130,13 @@ profiler = PhaseTimer()
 
 
 def timed(name: str):
-    """Bracket a block with the process-wide profiler: ``with timed("x"):``."""
-    return profiler.phase(name)
+    """Bracket a block with a phase span: ``with timed("x"):``.
+
+    Aggregated into ``BENCH_*.json`` whenever the process-wide
+    :data:`profiler` is enabled, and recorded in the trace whenever
+    ``--trace`` is on — one primitive, both outputs.
+    """
+    return tracer.span(name, kind="phase")
 
 
 def write_bench_json(

@@ -22,7 +22,10 @@ import contextvars
 import time
 from dataclasses import dataclass, field
 
+from repro.obs import convergence_event, events_active, get_logger, metrics
 from repro.robust.faults import SolveFault
+
+_log = get_logger(__name__)
 
 __all__ = [
     "RungAttempt",
@@ -160,9 +163,36 @@ def collecting(diagnostics: SolveDiagnostics):
 def record_fault(fault: SolveFault) -> None:
     """Report a fault from deep inside a solver.
 
-    A no-op when no diagnostics record is collecting — the core solvers
-    never pay for, or depend on, the robustness layer being active.
+    Each observation bumps the ``faults.recorded{kind=,stage=}`` counter
+    and lands in the trace's event stream when one is recording.  When a
+    diagnostics record is collecting, the fault is coalesced onto it and
+    the *first* occurrence of each ``(kind, stage)`` pair is logged as a
+    structured warning (repeats stay silent — batched solvers can drop
+    hundreds of points for one reason).  Standalone, the solvers stay
+    quiet: the observation logs at debug only.
     """
+    metrics.inc("faults.recorded", kind=fault.kind, stage=fault.stage)
+    if events_active():
+        convergence_event(
+            "fault", kind=fault.kind, stage=fault.stage, count=fault.count
+        )
     diagnostics = _ACTIVE.get()
-    if diagnostics is not None:
-        diagnostics.record_fault(fault)
+    if diagnostics is None:
+        _log.debug(
+            "solve.fault",
+            fault=fault.kind,
+            stage=fault.stage,
+            count=fault.count,
+            detail=fault.message,
+        )
+        return
+    stored = diagnostics.record_fault(fault)
+    if stored is fault:
+        _log.warning(
+            "solve.fault",
+            fault=fault.kind,
+            stage=fault.stage,
+            scenario=diagnostics.stage,
+            detail=fault.message,
+            recoverable=fault.recoverable,
+        )

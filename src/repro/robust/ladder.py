@@ -36,6 +36,7 @@ from typing import Any, Callable, Mapping
 
 import numpy as np
 
+from repro.obs import convergence_event, events_active, metrics, trace
 from repro.robust.diagnostics import RungAttempt, SolveDiagnostics, collecting
 from repro.robust.faults import NumericalFaultError, SolveFault, fault_from_exception
 
@@ -161,52 +162,99 @@ def run_ladder(
     last_exc: BaseException | None = None
     fallback: Any = None
     have_fallback = False
-    for index, rung in enumerate(policy.rungs[:budget]):
-        params = dict(rung.overrides)
-        start = time.perf_counter()
-        try:
-            with collecting(diagnostics):
-                result = attempt(dict(params))
-        except recoverable as exc:
-            wall = time.perf_counter() - start
-            fault = diagnostics.record_fault(
-                fault_from_exception(exc, stage=policy.stage)
-            )
-            diagnostics.attempts.append(
-                RungAttempt(rung.name, params, "fault", fault, wall)
-            )
-            last_exc = exc
-            if not fault.recoverable:
-                break
-            continue
-        wall = time.perf_counter() - start
-        is_last = index == budget - 1
-        if retry_on_result is not None and not is_last and retry_on_result(result):
-            fault = diagnostics.record_fault(
-                SolveFault(
-                    "suspicious-result",
-                    policy.stage,
-                    f"rung '{rung.name}' produced a structurally suspicious "
-                    "result; escalating",
+    with trace(
+        "ladder", attrs={"stage": policy.stage, "budget": budget}
+    ) as ladder_sp:
+        for index, rung in enumerate(policy.rungs[:budget]):
+            params = dict(rung.overrides)
+            start = time.perf_counter()
+            with trace(
+                "rung", attrs={"stage": policy.stage, "rung": rung.name}
+            ) as rung_sp:
+                try:
+                    with collecting(diagnostics):
+                        result = attempt(dict(params))
+                except recoverable as exc:
+                    wall = time.perf_counter() - start
+                    fault = diagnostics.record_fault(
+                        fault_from_exception(exc, stage=policy.stage)
+                    )
+                    diagnostics.attempts.append(
+                        RungAttempt(rung.name, params, "fault", fault, wall)
+                    )
+                    last_exc = exc
+                    rung_sp.set(outcome="fault", fault=fault.kind)
+                    metrics.inc(
+                        "ladder.attempts",
+                        stage=policy.stage,
+                        rung=rung.name,
+                        outcome="fault",
+                    )
+                    if not fault.recoverable:
+                        break
+                    if events_active():
+                        convergence_event(
+                            "ladder-escalate",
+                            stage=policy.stage,
+                            rung=rung.name,
+                            fault=fault.kind,
+                        )
+                    continue
+                wall = time.perf_counter() - start
+                is_last = index == budget - 1
+                if (
+                    retry_on_result is not None
+                    and not is_last
+                    and retry_on_result(result)
+                ):
+                    fault = diagnostics.record_fault(
+                        SolveFault(
+                            "suspicious-result",
+                            policy.stage,
+                            f"rung '{rung.name}' produced a structurally "
+                            "suspicious result; escalating",
+                        )
+                    )
+                    diagnostics.attempts.append(
+                        RungAttempt(rung.name, params, "retry", fault, wall)
+                    )
+                    rung_sp.set(outcome="retry")
+                    metrics.inc(
+                        "ladder.attempts",
+                        stage=policy.stage,
+                        rung=rung.name,
+                        outcome="retry",
+                    )
+                    fallback, have_fallback = result, True
+                    continue
+                diagnostics.attempts.append(
+                    RungAttempt(rung.name, params, "ok", None, wall)
                 )
-            )
-            diagnostics.attempts.append(
-                RungAttempt(rung.name, params, "retry", fault, wall)
-            )
-            fallback, have_fallback = result, True
-            continue
-        diagnostics.attempts.append(RungAttempt(rung.name, params, "ok", None, wall))
-        if index > 0:
-            diagnostics.recovered_via = rung.name
-        return RobustResult(result, diagnostics)
-    diagnostics.exhausted = True
-    if have_fallback:
-        # Every escalation of a suspicious result failed outright; the
-        # suspicious answer is still the best (and a correct) one we have.
-        return RobustResult(fallback, diagnostics)
-    assert last_exc is not None
-    last_exc.diagnostics = diagnostics
-    raise last_exc
+                rung_sp.set(outcome="ok")
+                metrics.inc(
+                    "ladder.attempts",
+                    stage=policy.stage,
+                    rung=rung.name,
+                    outcome="ok",
+                )
+                if index > 0:
+                    diagnostics.recovered_via = rung.name
+                    metrics.inc(
+                        "ladder.recoveries", stage=policy.stage, rung=rung.name
+                    )
+                ladder_sp.set(outcome="ok", rung=rung.name)
+                return RobustResult(result, diagnostics)
+        diagnostics.exhausted = True
+        if have_fallback:
+            # Every escalation of a suspicious result failed outright; the
+            # suspicious answer is still the best (and a correct) one we have.
+            ladder_sp.set(outcome="fallback")
+            return RobustResult(fallback, diagnostics)
+        assert last_exc is not None
+        ladder_sp.set(outcome="exhausted")
+        metrics.inc("ladder.exhausted", stage=policy.stage)
+        last_exc.diagnostics = diagnostics
+        raise last_exc
 
 
 # -- stage policies -----------------------------------------------------------

@@ -24,6 +24,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Callable, Iterable, Sequence
 
+from repro.obs import metrics, trace
 from repro.perf import Stopwatch, timed
 from repro.verify.checks import (
     FULL_ONLY_CHECKS,
@@ -37,26 +38,50 @@ from repro.verify.scenarios import Scenario, get_scenario, scenario_matrix
 __all__ = ["run_scenario", "run_matrix"]
 
 
+def _counter_deltas(before: dict, after: dict) -> dict:
+    """Counters that moved during a block — the scenario's solve footprint."""
+    return {
+        key: value - before.get(key, 0)
+        for key, value in after.items()
+        if value != before.get(key, 0)
+    }
+
+
 def run_scenario(scenario: Scenario, mode: str = "quick") -> ScenarioVerdict:
-    """Run the full check battery on one scenario."""
+    """Run the full check battery on one scenario.
+
+    Besides the check outcomes, the verdict's ``metrics["obs"]`` records
+    the scenario's observability footprint: every process-wide counter
+    (HB solves, DF evaluations, cache hits/misses, faults) that moved
+    while the scenario ran.  The golden regression diff compares check
+    statuses only, so this context rides along without pinning timings.
+    """
     watch = Stopwatch()
     verdict = ScenarioVerdict(
         scenario_id=scenario.scenario_id, description=scenario.describe()
     )
-    with timed(f"verify.{scenario.scenario_id}"):
-        artifacts = build_artifacts(scenario)
-        battery = QUICK_CHECKS + (FULL_ONLY_CHECKS if mode == "full" else ())
-        for check in battery:
-            try:
-                verdict.checks.append(check(artifacts))
-            except Exception as exc:  # a crashing check is itself a finding
-                verdict.checks.append(
-                    CheckResult(
-                        name=getattr(check, "__name__", "check"),
-                        status="ERROR",
-                        detail=f"{type(exc).__name__}: {exc}",
+    counters_before = metrics.snapshot()["counters"]
+    with trace(
+        "verify.scenario", attrs={"scenario": scenario.scenario_id, "mode": mode}
+    ) as sp:
+        with timed(f"verify.{scenario.scenario_id}"):
+            artifacts = build_artifacts(scenario)
+            battery = QUICK_CHECKS + (FULL_ONLY_CHECKS if mode == "full" else ())
+            for check in battery:
+                try:
+                    verdict.checks.append(check(artifacts))
+                except Exception as exc:  # a crashing check is itself a finding
+                    verdict.checks.append(
+                        CheckResult(
+                            name=getattr(check, "__name__", "check"),
+                            status="ERROR",
+                            detail=f"{type(exc).__name__}: {exc}",
+                        )
                     )
-                )
+        sp.set(
+            checks=len(verdict.checks),
+            failed=sum(1 for c in verdict.checks if not c.ok),
+        )
     lockrange = artifacts.lockrange.get("fft")
     if lockrange is not None:
         verdict.metrics["lockrange_width_hz"] = lockrange.width_hz
@@ -66,6 +91,9 @@ def run_scenario(scenario: Scenario, mode: str = "quick") -> ScenarioVerdict:
     if center is not None:
         verdict.metrics["locks_at_center"] = len(center.locks)
         verdict.metrics["stable_locks_at_center"] = len(center.stable_locks)
+    verdict.metrics["obs"] = {
+        "counters": _counter_deltas(counters_before, metrics.snapshot()["counters"])
+    }
     verdict.wall_s = watch.elapsed
     return verdict
 

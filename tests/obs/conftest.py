@@ -1,0 +1,24 @@
+"""Observability fixtures: a clean tracer/registry per test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import disable_json_logs, metrics, tracer
+
+
+@pytest.fixture
+def clean_obs():
+    """Reset the process-wide tracer, metrics registry, and log mode.
+
+    The observability singletons are process-wide by design; tests that
+    enable them must not leak state into each other (or into the rest of
+    the suite).
+    """
+    tracer.clear()
+    metrics.reset()
+    disable_json_logs()
+    yield
+    tracer.clear()
+    metrics.reset()
+    disable_json_logs()

@@ -1,0 +1,161 @@
+"""Solver telemetry: HB span attributes, ladder rungs, fault counters."""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+from repro.core.harmonic_balance import hb_natural_oscillation
+from repro.obs import convergence_event, events_active, metrics, trace, tracer
+from repro.robust.diagnostics import SolveDiagnostics, collecting, record_fault
+from repro.robust.faults import SolveFault
+from repro.robust.ladder import EscalationPolicy, Rung, run_ladder
+
+
+class TestHbTelemetry:
+    def test_hb_span_carries_iterations_and_residual(
+        self, clean_obs, tanh_nonlinearity, demo_tank
+    ):
+        tracer.enable()
+        solution = hb_natural_oscillation(
+            tanh_nonlinearity, demo_tank, k_max=3, n_samples=128
+        )
+        spans = {r["name"]: r for r in tracer.records()}
+        hb = spans["hb.natural"]
+        assert hb["attrs"]["iterations"] == solution.iterations
+        assert hb["attrs"]["residual_norm"] == pytest.approx(
+            solution.residual_norm, abs=1e-18
+        )
+        newton_events = [
+            e for e in hb.get("events", ()) if e["name"] == "hb-newton"
+        ]
+        assert len(newton_events) == solution.iterations
+        assert newton_events[0]["iteration"] == 1
+        assert "residual" in newton_events[0]
+
+    def test_hb_metrics_families(self, clean_obs, tanh_nonlinearity, demo_tank):
+        hb_natural_oscillation(tanh_nonlinearity, demo_tank, k_max=3, n_samples=128)
+        assert metrics.counter("hb.solves", kind="natural") == 1
+        snapshot = metrics.snapshot()
+        iters = snapshot["histograms"]["hb.iterations{kind=natural}"]
+        assert iters["count"] == 1
+        assert iters["min"] >= 1
+        assert "hb.residual_norm{kind=natural}" in snapshot["histograms"]
+
+    def test_untraced_solve_records_no_spans(
+        self, clean_obs, tanh_nonlinearity, demo_tank
+    ):
+        hb_natural_oscillation(tanh_nonlinearity, demo_tank, k_max=3, n_samples=128)
+        assert tracer.records() == []
+
+
+class TestConvergenceEvents:
+    def test_inactive_without_tracing(self, clean_obs):
+        assert not events_active()
+        convergence_event("ignored", value=1)  # must be a silent no-op
+
+    def test_events_attach_to_the_current_span(self, clean_obs):
+        tracer.enable()
+        assert events_active()
+        with trace("solve"):
+            convergence_event("step", iteration=1, residual=0.5)
+        (record,) = tracer.records()
+        (event,) = record["events"]
+        assert event["name"] == "step"
+        assert event["iteration"] == 1
+
+
+class TestLadderTelemetry:
+    @staticmethod
+    def _policy():
+        return EscalationPolicy(
+            "test-stage",
+            (
+                Rung("baseline", "first try", {}),
+                Rung("retry", "second try", {"n": 2}),
+            ),
+        )
+
+    def test_recovery_counters_and_rung_spans(self, clean_obs):
+        from repro.robust.faults import NumericalFaultError
+
+        calls = {"count": 0}
+
+        def attempt(params):
+            calls["count"] += 1
+            if calls["count"] == 1:
+                raise NumericalFaultError(
+                    SolveFault("non-finite-samples", "test-stage", "injected")
+                )
+            return "answer"
+
+        tracer.enable()
+        result = run_ladder(self._policy(), attempt)
+        assert result.value == "answer"
+        assert result.diagnostics.recovered_via == "retry"
+        assert (
+            metrics.counter(
+                "ladder.attempts", stage="test-stage", rung="baseline", outcome="fault"
+            )
+            == 1
+        )
+        assert (
+            metrics.counter(
+                "ladder.attempts", stage="test-stage", rung="retry", outcome="ok"
+            )
+            == 1
+        )
+        assert metrics.counter("ladder.recoveries", stage="test-stage", rung="retry") == 1
+        rungs = [r for r in tracer.records() if r["name"] == "rung"]
+        assert [r["attrs"]["outcome"] for r in rungs] == ["fault", "ok"]
+        (ladder,) = [r for r in tracer.records() if r["name"] == "ladder"]
+        assert ladder["attrs"]["outcome"] == "ok"
+        assert ladder["attrs"]["rung"] == "retry"
+
+    def test_exhaustion_counter(self, clean_obs):
+        from repro.robust.faults import NumericalFaultError
+
+        def attempt(params):
+            raise NumericalFaultError(
+                SolveFault("non-finite-samples", "test-stage", "always")
+            )
+
+        with pytest.raises(NumericalFaultError):
+            run_ladder(self._policy(), attempt)
+        assert metrics.counter("ladder.exhausted", stage="test-stage") == 1
+
+
+class TestFaultTelemetry:
+    def test_every_fault_bumps_the_kind_counter(self, clean_obs):
+        record_fault(SolveFault("no-lock", "lock-range", "standalone"))
+        assert (
+            metrics.counter("faults.recorded", kind="no-lock", stage="lock-range")
+            == 1
+        )
+
+    def test_first_occurrence_warns_repeats_stay_silent(self, clean_obs, caplog):
+        diagnostics = SolveDiagnostics(stage="lock-range")
+        with caplog.at_level(logging.WARNING, logger="repro.robust.diagnostics"):
+            with collecting(diagnostics):
+                record_fault(
+                    SolveFault("phase-inversion-out-of-range", "lock-range", "p1")
+                )
+                record_fault(
+                    SolveFault("phase-inversion-out-of-range", "lock-range", "p2")
+                )
+        warnings = [r for r in caplog.records if "solve.fault" in r.getMessage()]
+        assert len(warnings) == 1
+        assert "phase-inversion-out-of-range" in warnings[0].getMessage()
+        # Both observations were still coalesced onto the diagnostics.
+        (fault,) = diagnostics.faults
+        assert fault.count == 2
+
+    def test_fault_event_lands_in_the_trace(self, clean_obs):
+        tracer.enable()
+        with trace("sweep"):
+            record_fault(SolveFault("curve-missing", "lock-range", "gone"))
+        (record,) = tracer.records()
+        (event,) = record["events"]
+        assert event["name"] == "fault"
+        assert event["kind"] == "curve-missing"

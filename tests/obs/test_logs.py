@@ -1,0 +1,70 @@
+"""Structured logging: JSON mode, text mode, and the log.records counter."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+from repro.obs import (
+    enable_json_logs,
+    get_logger,
+    json_logs_enabled,
+    metrics,
+)
+
+
+class TestJsonMode:
+    def test_records_are_json_lines_with_fields(self, clean_obs):
+        stream = io.StringIO()
+        enable_json_logs(stream)
+        assert json_logs_enabled()
+        log = get_logger("repro.test")
+        log.warning("cache.quarantined", file="ab.npz", fault="cache-corruption")
+        (line,) = stream.getvalue().splitlines()
+        record = json.loads(line)
+        assert record["level"] == "warning"
+        assert record["logger"] == "repro.test"
+        assert record["event"] == "cache.quarantined"
+        assert record["file"] == "ab.npz"
+        assert record["fault"] == "cache-corruption"
+        assert isinstance(record["ts"], float)
+
+    def test_non_json_values_are_sanitised(self, clean_obs):
+        stream = io.StringIO()
+        enable_json_logs(stream)
+        get_logger("repro.test").info("event", bad=float("nan"))
+        record = json.loads(stream.getvalue())
+        assert isinstance(record["bad"], str)
+
+    def test_reserved_keys_are_not_clobbered(self, clean_obs):
+        stream = io.StringIO()
+        enable_json_logs(stream)
+        get_logger("repro.test").info("real-event", event="fake", level="fake")
+        record = json.loads(stream.getvalue())
+        assert record["event"] == "real-event"
+        assert record["level"] == "info"
+
+
+class TestTextMode:
+    def test_renders_through_stdlib_logging(self, clean_obs, caplog):
+        with caplog.at_level(logging.WARNING, logger="repro.test"):
+            get_logger("repro.test").warning("solve.fault", kind="no-lock")
+        (record,) = caplog.records
+        assert "solve.fault" in record.getMessage()
+        assert "kind=no-lock" in record.getMessage()
+
+    def test_below_level_events_are_skipped(self, clean_obs, caplog):
+        with caplog.at_level(logging.WARNING, logger="repro.test"):
+            get_logger("repro.test").debug("noise")
+        assert caplog.records == []
+
+
+class TestMetricsCoupling:
+    def test_every_emit_bumps_the_level_counter(self, clean_obs):
+        log = get_logger("repro.test")
+        log.warning("a")
+        log.warning("b")
+        log.error("c")
+        assert metrics.counter("log.records", level="warning") == 2
+        assert metrics.counter("log.records", level="error") == 1

@@ -1,0 +1,91 @@
+"""Metrics registry: labels, snapshot determinism, numeric coercion."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import MetricsRegistry
+
+
+class TestCounters:
+    def test_inc_defaults_to_one(self):
+        reg = MetricsRegistry()
+        reg.inc("events")
+        reg.inc("events")
+        assert reg.counter("events") == 2
+
+    def test_labels_fold_into_the_key_sorted(self):
+        reg = MetricsRegistry()
+        reg.inc("df.evaluations", method="fft", stage="solve")
+        reg.inc("df.evaluations", stage="solve", method="fft")  # same key
+        snapshot = reg.snapshot()
+        assert snapshot["counters"] == {
+            "df.evaluations{method=fft,stage=solve}": 2
+        }
+
+    def test_different_labels_are_different_series(self):
+        reg = MetricsRegistry()
+        reg.inc("df.evaluations", 10, method="fft")
+        reg.inc("df.evaluations", 3, method="dense")
+        assert reg.counter("df.evaluations", method="fft") == 10
+        assert reg.counter("df.evaluations", method="dense") == 3
+        assert reg.counter_total("df.evaluations") == 13
+
+    def test_unknown_counter_reads_zero(self):
+        assert MetricsRegistry().counter("never.touched") == 0
+
+
+class TestGaugesAndHistograms:
+    def test_gauge_overwrites(self):
+        reg = MetricsRegistry()
+        reg.gauge("cache.entries", 5)
+        reg.gauge("cache.entries", 2)
+        assert reg.snapshot()["gauges"] == {"cache.entries": 2}
+
+    def test_histogram_summary(self):
+        reg = MetricsRegistry()
+        for value in (2.0, 4.0, 6.0):
+            reg.observe("hb.iterations", value, kind="lock")
+        (summary,) = reg.snapshot()["histograms"].values()
+        assert summary == {"count": 3, "sum": 12, "min": 2, "max": 6, "mean": 4}
+
+
+class TestSnapshot:
+    def test_snapshot_is_deterministic_and_json_stable(self):
+        def build():
+            reg = MetricsRegistry()
+            # Insertion order deliberately differs between the two builds.
+            for name in ("b", "a", "c") if build.flip else ("c", "a", "b"):
+                reg.inc(name, 1, side="x")
+            reg.observe("h", 1.5)
+            reg.gauge("g", 7)
+            build.flip = not build.flip
+            return reg.snapshot()
+
+        build.flip = False
+        first, second = build(), build()
+        assert json.dumps(first, sort_keys=False) == json.dumps(
+            second, sort_keys=False
+        )
+
+    def test_integral_floats_become_ints(self):
+        reg = MetricsRegistry()
+        reg.inc("n", 2.0)
+        reg.gauge("g", 3.0)
+        snapshot = reg.snapshot()
+        assert isinstance(snapshot["counters"]["n"], int)
+        assert isinstance(snapshot["gauges"]["g"], int)
+
+    def test_non_integral_values_stay_floats(self):
+        reg = MetricsRegistry()
+        reg.observe("r", 1.25)
+        summary = reg.snapshot()["histograms"]["r"]
+        assert summary["mean"] == 1.25
+
+    def test_reset_drops_everything(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.gauge("b", 1)
+        reg.observe("c", 1)
+        reg.reset()
+        assert reg.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}

@@ -1,0 +1,206 @@
+"""Span primitive: nesting, attributes, round-trip, and the disabled path."""
+
+from __future__ import annotations
+
+import threading
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    TRACE_SCHEMA_VERSION,
+    current_span,
+    load_trace,
+    trace,
+    tracer,
+)
+from repro.obs.tracing import NOOP_SPAN
+
+
+class TestNesting:
+    def test_parent_child_ids_and_depth(self, clean_obs):
+        tracer.enable()
+        with trace("outer") as outer:
+            with trace("inner") as inner:
+                assert inner.parent_id == outer.span_id
+                assert inner.depth == outer.depth + 1
+        records = tracer.records()
+        by_name = {r["name"]: r for r in records}
+        assert by_name["inner"]["parent_id"] == by_name["outer"]["span_id"]
+        assert by_name["outer"]["parent_id"] is None
+        assert by_name["outer"]["depth"] == 0
+
+    def test_reentrant_same_name(self, clean_obs):
+        tracer.enable()
+        with trace("solve") as a:
+            with trace("solve") as b:
+                with trace("solve") as c:
+                    assert (a.depth, b.depth, c.depth) == (0, 1, 2)
+        depths = sorted(r["depth"] for r in tracer.records())
+        assert depths == [0, 1, 2]
+
+    def test_current_span_tracks_innermost(self, clean_obs):
+        tracer.enable()
+        assert current_span() is NOOP_SPAN
+        with trace("outer") as outer:
+            assert current_span() is outer
+            with trace("inner") as inner:
+                assert current_span() is inner
+            assert current_span() is outer
+        assert current_span() is NOOP_SPAN
+
+    def test_sibling_spans_share_parent(self, clean_obs):
+        tracer.enable()
+        with trace("parent"):
+            with trace("first"):
+                pass
+            with trace("second"):
+                pass
+        records = {r["name"]: r for r in tracer.records()}
+        assert records["first"]["parent_id"] == records["parent"]["span_id"]
+        assert records["second"]["parent_id"] == records["parent"]["span_id"]
+        assert records["first"]["depth"] == records["second"]["depth"] == 1
+
+    def test_threads_do_not_share_the_span_stack(self, clean_obs):
+        tracer.enable()
+        seen = {}
+
+        def worker():
+            # A fresh thread starts outside every span even while the main
+            # thread holds one open (contextvars isolation).
+            seen["parent"] = tracer._current.get()
+            with trace("thread-span") as sp:
+                seen["depth"] = sp.depth
+
+        with trace("main-span"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        assert seen["parent"] is None
+        assert seen["depth"] == 0
+
+
+class TestAttributesAndEvents:
+    def test_set_and_event_round_trip(self, clean_obs, tmp_path):
+        tracer.enable()
+        with trace("hb", attrs={"n": 3}) as sp:
+            sp.set(iterations=5, residual_norm=1.25e-13)
+            sp.event("newton", iteration=1, residual=0.5)
+        path = tracer.write(tmp_path / "t.jsonl")
+        header, spans = load_trace(path)
+        assert header["schema"] == TRACE_SCHEMA_VERSION
+        assert header["spans"] == 1
+        (span,) = spans
+        assert span["attrs"]["n"] == 3
+        assert span["attrs"]["iterations"] == 5
+        assert span["attrs"]["residual_norm"] == pytest.approx(1.25e-13)
+        (event,) = span["events"]
+        assert event["name"] == "newton"
+        assert event["iteration"] == 1
+
+    def test_exception_sets_error_attr(self, clean_obs):
+        tracer.enable()
+        with pytest.raises(ValueError):
+            with trace("failing"):
+                raise ValueError("boom")
+        (record,) = tracer.records()
+        assert record["attrs"]["error"] == "ValueError"
+
+    def test_numpy_and_nonfinite_values_are_json_safe(self, clean_obs, tmp_path):
+        tracer.enable()
+        with trace("numeric") as sp:
+            sp.set(
+                count=np.int64(7),
+                norm=np.float64(2.5),
+                bad=float("nan"),
+                worse=float("inf"),
+            )
+        path = tracer.write(tmp_path / "t.jsonl")
+        _, (span,) = load_trace(path)
+        attrs = span["attrs"]
+        assert attrs["count"] == 7
+        assert attrs["norm"] == 2.5
+        assert isinstance(attrs["bad"], str)
+        assert isinstance(attrs["worse"], str)
+
+    def test_durations_are_positive_and_nested(self, clean_obs):
+        tracer.enable()
+        with trace("outer"):
+            with trace("inner"):
+                pass
+        records = {r["name"]: r for r in tracer.records()}
+        assert records["outer"]["dur_s"] >= records["inner"]["dur_s"] >= 0.0
+
+
+class TestDisabledPath:
+    def test_disabled_span_is_the_shared_noop(self, clean_obs):
+        assert trace("anything") is NOOP_SPAN
+        assert not NOOP_SPAN.recording
+        with trace("still-noop") as sp:
+            sp.set(a=1)
+            sp.event("ignored")
+        assert tracer.records() == []
+
+    def test_disabled_path_allocates_nothing(self, clean_obs):
+        # Warm up interned strings / bytecode caches first.
+        for _ in range(100):
+            with trace("hot"):
+                pass
+        tracemalloc.start()
+        before = tracemalloc.take_snapshot()
+        for _ in range(1000):
+            with trace("hot"):
+                pass
+        after = tracemalloc.take_snapshot()
+        tracemalloc.stop()
+        grown = sum(
+            stat.size_diff
+            for stat in after.compare_to(before, "lineno")
+            if stat.size_diff > 0
+        )
+        # tracemalloc itself retains a few hundred bytes of bookkeeping;
+        # a real per-iteration allocation (one Span is ~200 bytes) would
+        # show up as >= 200 kB across the 1000 iterations.
+        assert grown < 8192
+
+    def test_enable_resets_prior_buffer(self, clean_obs):
+        tracer.enable()
+        with trace("first"):
+            pass
+        assert len(tracer.records()) == 1
+        tracer.enable()
+        assert tracer.records() == []
+
+
+class TestLoadTrace:
+    def test_rejects_non_trace_files(self, tmp_path):
+        bogus = tmp_path / "not-a-trace.jsonl"
+        bogus.write_text('{"something": "else"}\n')
+        with pytest.raises(ValueError):
+            load_trace(bogus)
+
+    def test_rejects_empty_files(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(ValueError):
+            load_trace(empty)
+
+
+class TestSinks:
+    def test_sink_sees_spans_without_tracing(self, clean_obs):
+        finished = []
+
+        class Sink:
+            def on_span(self, span):
+                finished.append((span.name, span.kind))
+
+        sink = Sink()
+        tracer.add_sink(sink)
+        try:
+            with trace("observed"):
+                pass
+        finally:
+            tracer.remove_sink(sink)
+        assert finished == [("observed", "span")]
+        assert tracer.records() == []  # sink-only mode buffers nothing
