@@ -1,0 +1,37 @@
+"""TRANSIENT bench: compiled RK4 stepping + early-exit lock detection vs
+the pure-Python referee loop on end-to-end lock-range bisection
+(BENCH_TRANSIENT.json)."""
+
+import pathlib
+
+from repro.experiments.extras import run_transient_bench
+from repro.perf import write_bench_json
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+def test_transient_engine(benchmark, save_report):
+    result = benchmark.pedantic(
+        run_transient_bench, kwargs={"quick": True}, rounds=1, iterations=1
+    )
+    save_report(result)
+    oscillators = result.data["oscillators"]
+    write_bench_json(
+        "TRANSIENT",
+        {
+            "backend": result.value("compiled backend"),
+            "oscillators": oscillators,
+        },
+        directory=REPO_ROOT,
+    )
+    # The gate: >= 5x end-to-end on at least two oscillator families, with
+    # both measured lock edges inside the bisection resolution of the
+    # referee's answer (identical scan parameters, so same resolution).
+    assert len(oscillators) >= 2
+    for name, record in oscillators.items():
+        assert record["speedup_x"] >= 5.0, (name, record)
+        assert (
+            record["max_lock_edge_deviation_rad_s"]
+            <= record["bisection_resolution_rad_s"]
+        ), (name, record)
+        assert record["steps_s_fast"] > record["steps_s_reference"], (name, record)

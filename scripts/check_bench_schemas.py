@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Validate BENCH_*.json records against their schemas.
+
+Usage::
+
+    python scripts/check_bench_schemas.py BENCH_TRANSIENT.json [...]
+
+Every bench record must carry the standard envelope written by
+``repro.perf.write_bench_json`` (``bench`` id matching the filename and an
+integer ``schema`` version); records with a known per-bench schema
+(currently TRANSIENT and SPEED) are additionally checked field by field.
+CI runs this against the artifacts of the bench jobs so a schema drift
+fails the build instead of silently breaking downstream consumers.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+from pathlib import Path
+
+#: Required numeric fields of one per-oscillator TRANSIENT record.
+TRANSIENT_FIELDS = (
+    "t_reference_s",
+    "t_fast_s",
+    "speedup_x",
+    "steps_s_reference",
+    "steps_s_fast",
+    "max_lock_edge_deviation_rad_s",
+    "bisection_resolution_rad_s",
+    "width_hz_reference",
+    "width_hz_fast",
+)
+
+#: Required numeric fields of one per-figure SPEED method record.
+SPEED_FIELDS = (
+    "t_fft_cold_s",
+    "t_dense_cold_s",
+    "speedup_x",
+    "max_i1_deviation_A",
+    "edge_deviation_rel_width",
+    "t_warm_characterize_s",
+)
+
+
+def _check_numeric_records(
+    groups: object, fields: tuple[str, ...], label: str
+) -> list[str]:
+    problems: list[str] = []
+    if not isinstance(groups, dict) or not groups:
+        return [f"{label} must be a non-empty object"]
+    for name, record in groups.items():
+        if not isinstance(record, dict):
+            problems.append(f"{label}[{name!r}] must be an object")
+            continue
+        for field in fields:
+            value = record.get(field)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                problems.append(f"{label}[{name!r}].{field} must be a number")
+            elif not math.isfinite(value) or value < 0.0:
+                problems.append(
+                    f"{label}[{name!r}].{field} must be finite and >= 0, "
+                    f"got {value!r}"
+                )
+    return problems
+
+
+def check_bench_file(path: Path) -> list[str]:
+    """Structural problems with one bench record (empty when valid)."""
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        return [str(exc)]
+    if not isinstance(payload, dict):
+        return ["top level must be a JSON object"]
+    problems: list[str] = []
+    bench = payload.get("bench")
+    expected = path.name.removeprefix("BENCH_").removesuffix(".json")
+    if bench != expected:
+        problems.append(f"bench id {bench!r} does not match filename ({expected})")
+    if not isinstance(payload.get("schema"), int):
+        problems.append("schema version must be an integer")
+    if bench == "TRANSIENT":
+        problems += _check_numeric_records(
+            payload.get("oscillators"), TRANSIENT_FIELDS, "oscillators"
+        )
+        if not isinstance(payload.get("backend"), str):
+            problems.append("backend must be a string")
+    elif bench == "SPEED":
+        problems += _check_numeric_records(
+            payload.get("methods"), SPEED_FIELDS, "methods"
+        )
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(__doc__, file=sys.stderr)
+        return 2
+    problems: list[str] = []
+    for arg in argv:
+        path = Path(arg)
+        problems += [f"{path}: {p}" for p in check_bench_file(path)]
+    if problems:
+        for problem in problems:
+            print(f"invalid: {problem}", file=sys.stderr)
+        return 1
+    print(f"{' and '.join(argv)}: schemas valid")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

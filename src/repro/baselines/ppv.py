@@ -122,6 +122,7 @@ def compute_ppv(
     settle_cycles: float = 400.0,
     n_t: int = 1024,
     steps_per_sample: int = 8,
+    engine: str | None = None,
 ) -> PpvModel:
     """Compute the PPV of the free-running oscillator.
 
@@ -135,6 +136,9 @@ def compute_ppv(
         Samples of the orbit / PPV over one period.
     steps_per_sample:
         RK4 sub-steps between consecutive orbit samples.
+    engine:
+        Transient engine for the settling run (see
+        :func:`repro.odesim.engine.resolve_engine`).
     """
     check_positive("settle_cycles", settle_cycles)
     period_guess = 2.0 * np.pi / tank.center_frequency
@@ -144,6 +148,7 @@ def compute_ppv(
         t_end=settle_cycles * period_guess,
         steps_per_cycle=128,
         record_start=(settle_cycles - 40.0) * period_guess,
+        engine=engine,
     )
     state = measure_steady_state(Waveform(settled.t, settled.v[:, 0]))
     period = 2.0 * np.pi / state.frequency

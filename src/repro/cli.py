@@ -376,6 +376,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit structured log records as JSON lines on stderr",
     )
+    parser.add_argument(
+        "--engine",
+        choices=("auto", "compiled", "reference"),
+        default=None,
+        help="transient integration engine for any simulation the command "
+        "runs: 'compiled' insists on a native kernel, 'reference' forces "
+        "the pure-Python referee loop (place before the subcommand; "
+        "default auto, also settable via $REPRO_ENGINE)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_nat = sub.add_parser("natural", help="free-running oscillation prediction")
@@ -584,6 +593,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.obs import enable_json_logs
 
         enable_json_logs()
+    if args.engine is not None:
+        from repro.odesim import set_default_engine
+
+        set_default_engine(args.engine)
     tracing = args.trace is not None
     if tracing:
         from repro.obs import tracer

@@ -22,6 +22,7 @@ from repro.measure import simulate_lock_range
 
 __all__ = [
     "run_speedup",
+    "run_transient_bench",
     "run_ablation_grid",
     "run_ablation_baselines",
     "run_ablation_filtering",
@@ -165,6 +166,86 @@ def run_speedup(quick: bool = False) -> ExperimentResult:
             f"warm re-char {record['t_warm_characterize_s'] * 1e3:.0f} ms",
         )
     result.data["methods"] = methods
+    return result
+
+
+def _bench_transient_family(setup, sim_kwargs: dict) -> dict:
+    """Lock-range bisection with the compiled engine vs the referee loop.
+
+    Both runs use identical scan/refinement parameters, so the referee's
+    bisection resolution bounds the allowed edge deviation; ``steps_s`` is
+    RK4 state-updates per wall second (batch members x steps), read from
+    the ``odesim.steps`` counter.
+    """
+    from repro.obs import metrics
+
+    args = (setup.nonlinearity, setup.tank)
+    kwargs = dict(v_i=setup.v_i, n=setup.n, **sim_kwargs)
+
+    steps0 = metrics.counter("odesim.steps")
+    t0 = time.perf_counter()
+    ref = simulate_lock_range(*args, engine="reference", **kwargs)
+    t_ref = time.perf_counter() - t0
+    steps_ref = metrics.counter("odesim.steps") - steps0
+
+    early0 = metrics.counter("odesim.early_exits")
+    steps0 = metrics.counter("odesim.steps")
+    t0 = time.perf_counter()
+    fast = simulate_lock_range(*args, engine="auto", **kwargs)
+    t_fast = time.perf_counter() - t0
+    steps_fast = metrics.counter("odesim.steps") - steps0
+
+    edge_dev = max(
+        abs(fast.injection_lower - ref.injection_lower),
+        abs(fast.injection_upper - ref.injection_upper),
+    )
+    return {
+        "oscillator": setup.name,
+        "t_reference_s": t_ref,
+        "t_fast_s": t_fast,
+        "speedup_x": t_ref / t_fast,
+        "steps_s_reference": steps_ref / max(t_ref, 1e-12),
+        "steps_s_fast": steps_fast / max(t_fast, 1e-12),
+        "max_lock_edge_deviation_rad_s": float(edge_dev),
+        "bisection_resolution_rad_s": float(ref.resolution),
+        "width_hz_reference": ref.width_hz,
+        "width_hz_fast": fast.width_hz,
+    }
+
+
+def run_transient_bench(quick: bool = False) -> ExperimentResult:
+    """TRANSIENT: compiled stepping + early exit vs the reference loop.
+
+    End-to-end lock-range bisection per oscillator family, once through
+    the fast engine (compiled RK4 kernel, streaming early-exit
+    classification) and once through the pure-Python referee
+    (``engine="reference"``), asserting the measured lock edges agree
+    within the bisection resolution.  ``quick`` drops the diff-pair
+    family and one refinement round (the CI configuration).
+    """
+    from repro.odesim import best_compiled_backend
+
+    sim_kwargs = dict(scan_rel_span=0.01, batch=12, rounds=2 if quick else 3)
+    families = [tanh_oscillator, tunnel_oscillator]
+    if not quick:
+        families.insert(1, diffpair_oscillator)
+
+    result = ExperimentResult("TRANSIENT", "fast transient engine vs referee")
+    result.add("compiled backend", best_compiled_backend() or "numpy-fallback")
+    oscillators = {}
+    for make_setup in families:
+        setup = make_setup()
+        record = _bench_transient_family(setup, dict(sim_kwargs))
+        oscillators[setup.name] = record
+        result.add(
+            f"{setup.name} fast vs reference",
+            f"{record['speedup_x']:.1f}x "
+            f"({record['t_fast_s']:.2f} s vs {record['t_reference_s']:.2f} s), "
+            f"{record['steps_s_fast']:.3g} steps/s, "
+            f"edge dev {record['max_lock_edge_deviation_rad_s']:.3g} rad/s "
+            f"(resolution {record['bisection_resolution_rad_s']:.3g})",
+        )
+    result.data["oscillators"] = oscillators
     return result
 
 

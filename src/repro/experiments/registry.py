@@ -7,6 +7,7 @@ from repro.experiments.extras import (
     run_ablation_filtering,
     run_ablation_grid,
     run_speedup,
+    run_transient_bench,
 )
 from repro.experiments.result import ExperimentResult
 from repro.experiments.section3 import (
@@ -52,6 +53,7 @@ EXPERIMENTS = {
     "FIG19": run_fig19,
     "TAB2": run_table2,
     "SPEED": run_speedup,
+    "TRANSIENT": run_transient_bench,
     "ABL1": run_ablation_grid,
     "ABL2": run_ablation_baselines,
     "ABL3": run_ablation_filtering,

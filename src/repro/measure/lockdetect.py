@@ -25,7 +25,7 @@ from repro.measure.phase import Demodulated, quadrature_demodulate
 from repro.measure.waveform import Waveform
 from repro.utils.validation import check_positive
 
-__all__ = ["LockVerdict", "detect_lock"]
+__all__ = ["LockVerdict", "detect_lock", "StreamingLockDetector"]
 
 
 @dataclass(frozen=True)
@@ -99,3 +99,163 @@ def detect_lock(
         amplitude=float(np.mean(demod.amplitude)),
         phase=float(np.mod(demod.settled_phase(), 2.0 * np.pi)),
     )
+
+
+class StreamingLockDetector:
+    """Conservative early lock/unlock decisions during integration.
+
+    One complex quadrature mean per monitoring chunk gives a coarse
+    baseband phase sample per batch member; tracking those samples over
+    time lets two *certain* verdicts be issued long before the full
+    acquire + observe window has been integrated:
+
+    * **unlocked-early** — the unwrapped phase has swept more than
+      ``unlock_cycles`` full turns: a beat note, not a lock.  A member
+      that will eventually lock can slip at most a couple of cycles while
+      pulling in, so the default (3 turns, after a quarter of the window)
+      is far outside anything a locking transient produces.
+    * **locked-early** — a trailing window as long as the *real*
+      observation window is phase-flat within ``margin`` of the referee's
+      tolerances.  Since a locked member's phase stays flat once settled,
+      the referee, looking at a later window, would necessarily agree.
+
+    Everything else stays :data:`UNDECIDED` and must be judged by the
+    exact referee pipeline (:func:`detect_lock` on the recorded
+    observation window) — near-edge members therefore always get the
+    referee verdict, which is what keeps early exit from biasing measured
+    lock edges.  The engine-side contract is
+    :func:`repro.odesim.engine.run_streaming`: ``update()`` is called once
+    per chunk with the chunk's samples and the still-active member ids,
+    and returns the members whose verdict just became final.
+
+    Parameters
+    ----------
+    w_refs:
+        Per-member demodulation reference (``w_injection / n``), rad/s.
+    observe_time:
+        Length of the referee's observation window, seconds; early-lock
+        requires a flat trailing window at least this long.
+    min_decide_time:
+        No verdict of either kind before this much simulated time.
+    drift_tol, beat_tol_rel:
+        The referee thresholds (see :func:`detect_lock`).
+    margin:
+        Early-lock tightening factor applied to both thresholds.
+    unlock_cycles:
+        Full phase turns that certify a beat note.
+    stride:
+        Demodulate every ``stride``-th chunk sample (the phase estimate
+        needs ~16 samples per carrier cycle, not the full RK4 rate).
+    """
+
+    UNDECIDED = 0
+    LOCKED = 1
+    UNLOCKED = 2
+
+    def __init__(
+        self,
+        w_refs: np.ndarray,
+        *,
+        observe_time: float,
+        min_decide_time: float,
+        drift_tol: float = 0.3,
+        beat_tol_rel: float = 2e-5,
+        margin: float = 0.5,
+        unlock_cycles: float = 3.0,
+        stride: int = 4,
+    ):
+        self.w_refs = np.atleast_1d(np.asarray(w_refs, dtype=float))
+        if np.any(self.w_refs <= 0.0):
+            raise ValueError("w_refs must be positive")
+        check_positive("observe_time", observe_time)
+        check_positive("min_decide_time", min_decide_time)
+        n = self.w_refs.size
+        self.observe_time = float(observe_time)
+        self.min_decide_time = float(min_decide_time)
+        self.drift_tol = float(drift_tol)
+        self.beat_tol_rel = float(beat_tol_rel)
+        self.margin = float(margin)
+        self.unlock_excursion = 2.0 * np.pi * float(unlock_cycles)
+        self.stride = max(1, int(stride))
+        self.codes = np.zeros(n, dtype=np.int8)
+        self.decide_time = np.full(n, np.nan)
+        self._t: list[list[float]] = [[] for _ in range(n)]
+        self._phi: list[list[float]] = [[] for _ in range(n)]
+
+    def update(
+        self, t_chunk: np.ndarray, v_chunk: np.ndarray, active: np.ndarray
+    ) -> np.ndarray:
+        """Ingest one chunk; return the local mask of newly decided members."""
+        t = np.asarray(t_chunk, dtype=float)[:: self.stride]
+        v = np.asarray(v_chunk, dtype=float)[:: self.stride]
+        w = self.w_refs[active]
+        # Coarse single-bin quadrature mean per member: phase of the
+        # near-carrier component over this chunk.
+        z = np.mean(v * np.exp(-1j * t[:, None] * w[None, :]), axis=0)
+        phi_raw = np.angle(z)
+        t_mid = float(np.mean(t))
+
+        decided = np.zeros(active.size, dtype=bool)
+        for j, g in enumerate(active):
+            phis = self._phi[g]
+            phi = float(phi_raw[j])
+            if phis:
+                # Incremental unwrap against the previous chunk.
+                phi += 2.0 * np.pi * np.round((phis[-1] - phi) / (2.0 * np.pi))
+            phis.append(phi)
+            ts = self._t[g]
+            ts.append(t_mid)
+            if ts[-1] < self.min_decide_time:
+                continue
+            arr = np.asarray(phis)
+            if arr.max() - arr.min() > self.unlock_excursion:
+                self.codes[g] = self.UNLOCKED
+                self.decide_time[g] = t_mid
+                decided[j] = True
+                continue
+            # Early lock: trailing window >= observe_time, phase-flat with
+            # margin on both referee thresholds.
+            ta = np.asarray(ts)
+            tail = ta >= ta[-1] - self.observe_time
+            if tail.sum() < 3 or ta[-1] - ta[tail][0] < 0.9 * self.observe_time:
+                continue
+            window = arr[tail]
+            drift = float(window.max() - window.min())
+            slope = float(np.polyfit(ta[tail], window, 1)[0])
+            if (
+                drift < self.margin * self.drift_tol
+                and abs(slope) < self.margin * self.beat_tol_rel * self.w_refs[g]
+            ):
+                self.codes[g] = self.LOCKED
+                self.decide_time[g] = t_mid
+                decided[j] = True
+        return decided
+
+    def verdict(self, member: int) -> LockVerdict | None:
+        """Approximate verdict for an early-decided member, else ``None``.
+
+        Early verdicts are issued from the coarse chunk-level phase track,
+        so the diagnostic fields (drift, beat, phase) are estimates; the
+        boolean ``locked`` is the certified part.
+        """
+        code = int(self.codes[member])
+        if code == self.UNDECIDED:
+            return None
+        ta = np.asarray(self._t[member])
+        arr = np.asarray(self._phi[member])
+        w_ref = float(self.w_refs[member])
+        tail = ta >= ta[-1] - self.observe_time
+        window = arr[tail] if tail.any() else arr
+        drift = float(window.max() - window.min())
+        slope = (
+            float(np.polyfit(ta[tail], window, 1)[0])
+            if tail.sum() >= 2
+            else 0.0
+        )
+        return LockVerdict(
+            locked=code == self.LOCKED,
+            phase_drift=drift,
+            residual_beat=slope,
+            amplitude=float("nan"),
+            phase=float(np.mod(window[-1], 2.0 * np.pi)),
+        )

@@ -26,10 +26,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.measure.lockdetect import LockVerdict, detect_lock
+from repro.measure.lockdetect import LockVerdict, StreamingLockDetector, detect_lock
 from repro.measure.phase import quadrature_demodulate_many
 from repro.measure.waveform import Waveform
 from repro.nonlin.base import Nonlinearity
+from repro.odesim.engine import resolve_engine, run_streaming
 from repro.odesim.oscillator import InjectionSpec, simulate_oscillator
 from repro.tank.rlc import ParallelRLC
 from repro.utils.validation import check_positive
@@ -77,6 +78,7 @@ def _settled_initial_state(
     tank: ParallelRLC,
     settle_cycles: float,
     steps_per_cycle: int,
+    engine: str | None = None,
 ) -> tuple[float, float]:
     """Run the free oscillator to steady state; return (v, i_L) at the end."""
     period = 2.0 * np.pi / tank.center_frequency
@@ -86,6 +88,7 @@ def _settled_initial_state(
         t_end=settle_cycles * period,
         steps_per_cycle=steps_per_cycle,
         record_every=max(1, int(settle_cycles * steps_per_cycle) // 4),
+        engine=engine,
     )
     return float(result.v[-1, 0]), float(result.i_l[-1, 0])
 
@@ -100,6 +103,7 @@ def _classify_batch(
     acquire_cycles: float,
     observe_cycles: float,
     steps_per_cycle: int,
+    engine: str | None = None,
 ) -> list[LockVerdict]:
     """One batched transient; a verdict per candidate frequency."""
     period = 2.0 * np.pi / tank.center_frequency
@@ -113,6 +117,7 @@ def _classify_batch(
         i_l0=ic[1],
         steps_per_cycle=steps_per_cycle,
         record_start=acquire_cycles * period,
+        engine=engine,
     )
     # One batched demodulation for the whole round, then a verdict per
     # candidate against its own sub-harmonic reference.
@@ -131,6 +136,69 @@ def _classify_batch(
     ]
 
 
+def _classify_batch_fast(
+    nonlinearity: Nonlinearity,
+    tank: ParallelRLC,
+    w_candidates: np.ndarray,
+    v_i: float,
+    n: int,
+    ic: tuple[float, float],
+    acquire_cycles: float,
+    observe_cycles: float,
+    steps_per_cycle: int,
+    engine: str,
+) -> list[LockVerdict]:
+    """Early-exit classification through the streaming engine.
+
+    Clearly-beating and solidly-locked members are retired mid-run by the
+    :class:`StreamingLockDetector` (conservative thresholds), shrinking
+    the batch as the integration proceeds.  Every member the detector
+    leaves undecided — which includes everything near a lock edge — gets
+    its full observation window recorded and judged by the *identical*
+    demodulate-and-threshold pipeline as :func:`_classify_batch`, so edge
+    placement cannot be biased by the early exits.
+    """
+    period = 2.0 * np.pi / tank.center_frequency
+    w_candidates = np.asarray(w_candidates, dtype=float)
+    w_refs = w_candidates / n
+    detector = StreamingLockDetector(
+        w_refs,
+        observe_time=observe_cycles * period,
+        min_decide_time=0.25 * acquire_cycles * period,
+    )
+    sres = run_streaming(
+        nonlinearity,
+        tank,
+        w=w_candidates,
+        v_i=v_i,
+        v0=ic[0],
+        i_l0=ic[1],
+        steps_per_cycle=steps_per_cycle,
+        t_total=(acquire_cycles + observe_cycles) * period,
+        observe_start=acquire_cycles * period,
+        monitor=detector,
+        check_interval=25.0 * period,
+        engine=engine,
+    )
+    verdicts: list[LockVerdict | None] = [
+        detector.verdict(idx) for idx in range(w_candidates.size)
+    ]
+    undecided = [idx for idx, verdict in enumerate(verdicts) if verdict is None]
+    if undecided:
+        cols = np.asarray(undecided)
+        demods = quadrature_demodulate_many(
+            sres.t_obs, sres.v_obs[:, cols], w_refs[cols]
+        )
+        for demod, idx in zip(demods, undecided):
+            verdicts[idx] = detect_lock(
+                Waveform(sres.t_obs, sres.v_obs[:, idx]),
+                float(w_candidates[idx]),
+                n,
+                demod=demod,
+            )
+    return verdicts  # type: ignore[return-value]
+
+
 def simulate_lock_range(
     nonlinearity: Nonlinearity,
     tank: ParallelRLC,
@@ -144,6 +212,7 @@ def simulate_lock_range(
     acquire_cycles: float = 500.0,
     observe_cycles: float = 250.0,
     steps_per_cycle: int = 64,
+    engine: str | None = None,
 ) -> SimulatedLockRange:
     """Measure the n-th sub-harmonic lock range by simulation.
 
@@ -167,6 +236,11 @@ def simulate_lock_range(
         windows, in tank periods.
     steps_per_cycle:
         RK4 resolution (per injection period).
+    engine:
+        Transient engine (see :func:`repro.odesim.engine.resolve_engine`).
+        Fast engines classify through the streaming early-exit path;
+        ``"reference"`` reproduces the original full-window pipeline
+        exactly.
 
     Raises
     ------
@@ -179,22 +253,40 @@ def simulate_lock_range(
     if batch < 4:
         raise ValueError("batch must be >= 4")
     n = int(n)
+    eng = resolve_engine(engine)
     w_center = n * tank.center_frequency
-    ic = _settled_initial_state(nonlinearity, tank, settle_cycles, steps_per_cycle)
+    ic = _settled_initial_state(
+        nonlinearity, tank, settle_cycles, steps_per_cycle, engine=eng
+    )
     probes: list[tuple[float, bool]] = []
 
     def classify(w_array: np.ndarray) -> np.ndarray:
-        verdicts = _classify_batch(
-            nonlinearity,
-            tank,
-            w_array,
-            v_i,
-            n,
-            ic,
-            acquire_cycles,
-            observe_cycles,
-            steps_per_cycle,
-        )
+        if eng == "reference":
+            verdicts = _classify_batch(
+                nonlinearity,
+                tank,
+                w_array,
+                v_i,
+                n,
+                ic,
+                acquire_cycles,
+                observe_cycles,
+                steps_per_cycle,
+                engine=eng,
+            )
+        else:
+            verdicts = _classify_batch_fast(
+                nonlinearity,
+                tank,
+                w_array,
+                v_i,
+                n,
+                ic,
+                acquire_cycles,
+                observe_cycles,
+                steps_per_cycle,
+                eng,
+            )
         flags = np.array([verdict.locked for verdict in verdicts])
         probes.extend(zip(map(float, w_array), map(bool, flags)))
         return flags

@@ -111,6 +111,7 @@ def run_states_experiment(
     settle_cycles: float = 350.0,
     steps_per_cycle: int = 64,
     drift_tol: float = 0.3,
+    engine: str | None = None,
 ) -> StatesExperiment:
     """Run the Figs. 15/19 experiment.
 
@@ -139,6 +140,8 @@ def run_states_experiment(
         Initial lock-acquisition window before the first measured segment.
     settle_cycles:
         Re-acquisition time skipped after each kick before measuring.
+    engine:
+        Transient engine (see :func:`repro.odesim.engine.resolve_engine`).
     """
     check_positive("w_injection", w_injection)
     n = int(n)
@@ -175,6 +178,7 @@ def run_states_experiment(
         injection=InjectionSpec(v_i=v_i, w=np.asarray([w_injection])),
         pulses=pulses,
         steps_per_cycle=steps_per_cycle,
+        engine=engine,
     )
     waveform = Waveform(result.t, result.v[:, 0])
     demod = quadrature_demodulate(waveform, w_i)

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.nonlin.base import Nonlinearity
+from repro.nonlin.base import CompiledLaw, Nonlinearity
 from repro.utils.validation import check_positive
 
 __all__ = [
@@ -50,6 +50,9 @@ class NegativeTanh(Nonlinearity):
         v = np.asarray(v, dtype=float)
         return -self.gm / np.cosh(self.gm * v / self.i_sat) ** 2
 
+    def compiled_law(self) -> CompiledLaw:
+        return CompiledLaw(kind="tanh", params=(self.gm, self.i_sat))
+
 
 class CubicNonlinearity(Nonlinearity):
     """Van-der-Pol style cubic law ``i = -a*v + b*v**3``.
@@ -80,6 +83,9 @@ class CubicNonlinearity(Nonlinearity):
     def derivative(self, v: np.ndarray) -> np.ndarray:
         v = np.asarray(v, dtype=float)
         return -self.a + 3.0 * self.b * v**2
+
+    def compiled_law(self) -> CompiledLaw:
+        return CompiledLaw(kind="cubic", params=(self.a, self.b))
 
     def natural_amplitude(self, tank_r: float) -> float:
         """Closed-form natural-oscillation amplitude with a tank of loss R.
@@ -119,6 +125,9 @@ class PiecewiseLinearNegativeResistance(Nonlinearity):
     def derivative(self, v: np.ndarray) -> np.ndarray:
         v = np.asarray(v, dtype=float)
         return np.where(np.abs(v) <= self.v_knee, -self.g, 0.0)
+
+    def compiled_law(self) -> CompiledLaw:
+        return CompiledLaw(kind="pwl", params=(self.g, self.v_knee))
 
     def fundamental_gain(self, amplitude: float) -> float:
         """Closed-form describing-function gain ``N(A) = 2|I_1|/(A/2)/2``.

@@ -14,10 +14,59 @@ coefficients keyed by the nonlinearity instance.
 from __future__ import annotations
 
 import abc
+from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["Nonlinearity", "FunctionNonlinearity"]
+__all__ = ["CompiledLaw", "Nonlinearity", "FunctionNonlinearity"]
+
+
+@dataclass(frozen=True)
+class CompiledLaw:
+    """Declarative description of an ``i = f(v)`` law for kernel codegen.
+
+    The transient kernels (:mod:`repro.odesim.kernels`) cannot call back
+    into Python per RK stage — that callback is exactly the cost they
+    exist to remove — so a nonlinearity that wants the compiled fast path
+    describes itself as one of a small set of *law kinds* plus numeric
+    parameters.  The same description drives every backend (generated C,
+    numba, and the fused-numpy fallback), which keeps their arithmetic
+    in lock-step with the :meth:`Nonlinearity.__call__` referee.
+
+    Attributes
+    ----------
+    kind:
+        Law family: ``"tanh"``, ``"cubic"``, ``"pwl"``, ``"tunnel"`` or
+        ``"table"`` (uniform/non-uniform linear interpolation with
+        end-slope extrapolation).
+    params:
+        Kind-specific scalar parameters (see the kernel source templates
+        for the exact layout).
+    arrays:
+        Kind-specific sample arrays (``"table"``: knots and currents);
+        float64, read-only from the kernel's point of view.
+    v_shift, i_shift:
+        Bias-point recentring applied *around* the core law:
+        ``f(v) = core(v + v_shift) - i_shift``.  This is how
+        :meth:`Nonlinearity.shifted` and :class:`BiasedTunnelDiode`
+        compose with any kind without new kernel code.
+    """
+
+    kind: str
+    params: tuple[float, ...]
+    arrays: tuple = field(default_factory=tuple)
+    v_shift: float = 0.0
+    i_shift: float = 0.0
+
+    def shifted(self, v_bias: float, i_bias: float) -> "CompiledLaw":
+        """Compose an additional recentring on top of this law."""
+        return CompiledLaw(
+            kind=self.kind,
+            params=self.params,
+            arrays=self.arrays,
+            v_shift=self.v_shift + float(v_bias),
+            i_shift=self.i_shift + float(i_bias),
+        )
 
 
 class Nonlinearity(abc.ABC):
@@ -58,6 +107,18 @@ class Nonlinearity(abc.ABC):
     def is_negative_resistance(self, v0: float = 0.0) -> bool:
         """True when the device presents negative differential resistance at v0."""
         return self.small_signal_conductance(v0) < 0.0
+
+    def compiled_law(self) -> CompiledLaw | None:
+        """Kernel-compilable description of this law, or ``None``.
+
+        Laws that return a :class:`CompiledLaw` are eligible for the
+        compiled transient engines (:mod:`repro.odesim.kernels`); the
+        default ``None`` keeps arbitrary Python laws working through the
+        vectorised fallback path.  Implementations must describe *exactly*
+        the arithmetic of :meth:`__call__` — the engine-equivalence tests
+        compare the two paths to tight tolerance.
+        """
+        return None
 
     def shifted(self, v_bias: float, i_bias: float | None = None) -> "Nonlinearity":
         """Return ``f`` re-centred around a bias point.
@@ -140,3 +201,9 @@ class _ShiftedNonlinearity(Nonlinearity):
     def derivative(self, v: np.ndarray) -> np.ndarray:
         v = np.asarray(v, dtype=float)
         return self._inner.derivative(v + self._v_bias)
+
+    def compiled_law(self) -> CompiledLaw | None:
+        inner = self._inner.compiled_law()
+        if inner is None:
+            return None
+        return inner.shifted(self._v_bias, self._i_bias)

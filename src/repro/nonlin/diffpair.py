@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.nonlin.base import Nonlinearity
+from repro.nonlin.base import CompiledLaw, Nonlinearity
 from repro.utils.validation import check_in_range, check_positive
 
 __all__ = ["CrossCoupledDiffPair"]
@@ -64,6 +64,15 @@ class CrossCoupledDiffPair(Nonlinearity):
         v = np.asarray(v, dtype=float)
         gm0 = self.alpha * self.i_ee / (4.0 * self.v_t)
         return -gm0 / np.cosh(v / (2.0 * self.v_t)) ** 2
+
+    def compiled_law(self) -> CompiledLaw:
+        # -isat * tanh(gm v / isat) with gm = alpha IEE / (4 VT) and
+        # isat = alpha IEE / 2 reproduces tanh(v / (2 VT)) exactly.
+        return CompiledLaw(
+            kind="tanh",
+            params=(self.alpha * self.i_ee / (4.0 * self.v_t),
+                    0.5 * self.alpha * self.i_ee),
+        )
 
     def startup_gm(self) -> float:
         """Magnitude of the negative conductance at the origin, siemens."""

@@ -16,7 +16,7 @@ from __future__ import annotations
 import numpy as np
 from scipy.interpolate import PchipInterpolator
 
-from repro.nonlin.base import Nonlinearity
+from repro.nonlin.base import CompiledLaw, Nonlinearity
 from repro.utils.validation import check_finite, check_monotonic, check_shape_match
 
 __all__ = ["TabulatedNonlinearity", "LinearTableNonlinearity"]
@@ -76,6 +76,15 @@ class LinearTableNonlinearity(Nonlinearity):
         v = np.asarray(v, dtype=float)
         h = self._v[1] - self._v[0]
         return (self(v + 0.5 * h) - self(v - 0.5 * h)) / h
+
+    def compiled_law(self) -> CompiledLaw:
+        # Knots and currents travel as arrays; the kernel does the same
+        # bracketed linear interpolation with end-slope extrapolation.
+        return CompiledLaw(
+            kind="table",
+            params=(float(self._slope_lo), float(self._slope_hi)),
+            arrays=(self._v, self._i),
+        )
 
 
 class TabulatedNonlinearity(Nonlinearity):

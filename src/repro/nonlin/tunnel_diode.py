@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.nonlin.base import Nonlinearity
+from repro.nonlin.base import CompiledLaw, Nonlinearity
 from repro.utils.validation import check_positive
 
 __all__ = ["TunnelDiode", "BiasedTunnelDiode"]
@@ -100,6 +100,12 @@ class TunnelDiode(Nonlinearity):
         d_diode = self.i_s * np.exp(d_exp) / (self.eta * self.v_th)
         return d_tunnel + d_diode
 
+    def compiled_law(self) -> CompiledLaw:
+        return CompiledLaw(
+            kind="tunnel",
+            params=(self.i_s, self.eta, self.v_th, self.m, self.v0, self.r0),
+        )
+
     # -- characteristic points ----------------------------------------------
 
     def peak_voltage(self) -> float:
@@ -155,3 +161,6 @@ class BiasedTunnelDiode(Nonlinearity):
     def derivative(self, v: np.ndarray) -> np.ndarray:
         v = np.asarray(v, dtype=float)
         return self.diode.derivative(v + self.v_bias)
+
+    def compiled_law(self) -> CompiledLaw:
+        return self.diode.compiled_law().shifted(self.v_bias, self.i_bias)

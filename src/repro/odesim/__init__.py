@@ -19,6 +19,14 @@ nonlinearity realises exactly the paper's Fig. 8a signal flow: the
 nonlinearity is excited by the tank output *plus* the injected tone.
 """
 
+from repro.odesim.engine import (
+    ENGINES,
+    default_engine,
+    resolve_engine,
+    run_streaming,
+    set_default_engine,
+)
+from repro.odesim.kernels import available_backends, best_compiled_backend
 from repro.odesim.oscillator import (
     InjectionSpec,
     PulseSpec,
@@ -34,4 +42,11 @@ __all__ = [
     "simulate_oscillator",
     "rk4_batched",
     "rk45_adaptive",
+    "ENGINES",
+    "default_engine",
+    "set_default_engine",
+    "resolve_engine",
+    "run_streaming",
+    "available_backends",
+    "best_compiled_backend",
 ]

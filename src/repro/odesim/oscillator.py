@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.nonlin.base import Nonlinearity
+from repro.obs import metrics, trace
 from repro.tank.rlc import ParallelRLC
 from repro.utils.validation import check_positive
 
@@ -134,6 +135,101 @@ class SimulationResult:
         )
 
 
+@dataclass(frozen=True)
+class _PreparedTransient:
+    """Validated, precomputed description of one transient run.
+
+    Built once by :func:`simulate_oscillator` and consumed by *both*
+    integration paths — the reference loop below and the fast engine
+    (:func:`repro.odesim.engine.run_prepared`) — so the two can never
+    disagree about the grid, the constants or the recording predicate.
+    """
+
+    batch: int
+    dt: float
+    n_steps: int
+    w_inj: np.ndarray
+    has_injection: bool
+    v_i2: float
+    phase: float
+    pulses: tuple[PulseSpec, ...]
+    inv_c: float
+    inv_l: float
+    inv_rc: float
+    v0: np.ndarray
+    i_l0: np.ndarray
+    record_every: int
+    record_start: float
+    meta: dict
+
+
+def _prepare_transient(
+    nonlinearity: Nonlinearity,
+    tank: ParallelRLC,
+    t_end: float,
+    injection: InjectionSpec | None,
+    pulses: tuple[PulseSpec, ...],
+    v0,
+    i_l0,
+    steps_per_cycle: int,
+    record_every: int,
+    record_start: float,
+) -> _PreparedTransient:
+    if not isinstance(tank, ParallelRLC):
+        raise TypeError(
+            "simulate_oscillator needs a physical ParallelRLC "
+            f"(got {type(tank).__name__}); general tanks can be simulated "
+            "with repro.spice on their full netlist"
+        )
+    check_positive("t_end", t_end)
+    if steps_per_cycle < 16:
+        raise ValueError("steps_per_cycle must be >= 16 for acceptable accuracy")
+
+    w_c = tank.center_frequency
+    if injection is not None:
+        w_inj = np.atleast_1d(np.asarray(injection.w, dtype=float))
+        check_positive("injection.v_i", injection.v_i, strict=False)
+        w_fast = max(float(np.max(w_inj)), w_c)
+    else:
+        w_inj = np.zeros(1)
+        w_fast = w_c
+    batch = w_inj.size
+    dt = (2.0 * np.pi / w_fast) / steps_per_cycle
+
+    # Snap the run to a whole number of recording intervals so the output
+    # time axis is exactly uniform (the measurement layer requires it).
+    n_steps = int(np.ceil(t_end / dt))
+    n_steps = ((n_steps + record_every - 1) // record_every) * record_every
+
+    v_arr = np.empty(batch)
+    i_arr = np.empty(batch)
+    v_arr[:] = np.asarray(v0, dtype=float)
+    i_arr[:] = np.asarray(i_l0, dtype=float)
+
+    return _PreparedTransient(
+        batch=batch,
+        dt=dt,
+        n_steps=n_steps,
+        w_inj=w_inj,
+        has_injection=injection is not None,
+        v_i2=2.0 * injection.v_i if injection is not None else 0.0,
+        phase=injection.phase if injection is not None else 0.0,
+        pulses=tuple(pulses),
+        inv_c=1.0 / tank.c,
+        inv_l=1.0 / tank.l,
+        inv_rc=1.0 / (tank.r * tank.c),
+        v0=v_arr,
+        i_l0=i_arr,
+        record_every=record_every,
+        record_start=record_start,
+        meta={
+            "steps_per_cycle": steps_per_cycle,
+            "tank": repr(tank),
+            "nonlinearity": nonlinearity.name,
+        },
+    )
+
+
 def simulate_oscillator(
     nonlinearity: Nonlinearity,
     tank: ParallelRLC,
@@ -146,6 +242,7 @@ def simulate_oscillator(
     steps_per_cycle: int = 64,
     record_every: int = 1,
     record_start: float = 0.0,
+    engine: str | None = None,
 ) -> SimulationResult:
     """Integrate the oscillator transient (optionally batched).
 
@@ -172,47 +269,77 @@ def simulate_oscillator(
         when present, else the tank resonance).
     record_every, record_start:
         Output decimation and settle-skip, passed to the integrator.
+    engine:
+        ``"auto"`` (fastest available path), ``"compiled"`` (insist on a
+        compiled kernel), or ``"reference"`` (the original Python-callback
+        loop — the referee the fast paths are validated against).
+        ``None`` uses the process default
+        (:func:`repro.odesim.engine.default_engine`).
 
     Returns
     -------
     SimulationResult
     """
-    if not isinstance(tank, ParallelRLC):
-        raise TypeError(
-            "simulate_oscillator needs a physical ParallelRLC "
-            f"(got {type(tank).__name__}); general tanks can be simulated "
-            "with repro.spice on their full netlist"
-        )
-    check_positive("t_end", t_end)
-    if steps_per_cycle < 16:
-        raise ValueError("steps_per_cycle must be >= 16 for acceptable accuracy")
+    from repro.odesim.engine import resolve_engine, run_prepared
 
-    w_c = tank.center_frequency
-    if injection is not None:
-        w_inj = np.atleast_1d(np.asarray(injection.w, dtype=float))
-        check_positive("injection.v_i", injection.v_i, strict=False)
-        w_fast = max(float(np.max(w_inj)), w_c)
-    else:
-        w_inj = np.zeros(1)
-        w_fast = w_c
-    batch = w_inj.size
-    dt = (2.0 * np.pi / w_fast) / steps_per_cycle
+    prep = _prepare_transient(
+        nonlinearity, tank, t_end, injection, tuple(pulses),
+        v0, i_l0, steps_per_cycle, record_every, record_start,
+    )
+    eng = resolve_engine(engine)
+    with trace("odesim.transient") as span:
+        if span.recording:
+            span.set(engine=eng, batch=prep.batch, n_steps=prep.n_steps)
+        metrics.inc("odesim.steps", prep.n_steps * prep.batch)
+        if eng != "reference":
+            return run_prepared(nonlinearity, prep, eng, span=span)
+        if span.recording:
+            span.set(backend="reference")
+        return _reference_loop(nonlinearity, prep)
 
-    r, l, c = tank.r, tank.l, tank.c
-    inv_c = 1.0 / c
-    inv_l = 1.0 / l
-    inv_rc = 1.0 / (r * c)
-    v_i2 = 2.0 * injection.v_i if injection is not None else 0.0
-    phase = injection.phase if injection is not None else 0.0
-    pulse_list = tuple(pulses)
+
+def _reference_loop(
+    nonlinearity: Nonlinearity, prep: _PreparedTransient
+) -> SimulationResult:
+    """The original per-step Python-callback RK4 loop (the referee).
+
+    Every fast path is validated against this loop, so its arithmetic —
+    stage times, operation association, recording predicate — must never
+    change.  The only optimisation allowed is one that provably preserves
+    the trajectory bit for bit: the pulse sum is skipped outside the
+    pulses' active window, where each term is exactly zero.
+    """
     f = nonlinearity
+    w_inj = prep.w_inj
+    v_i2 = prep.v_i2
+    phase = prep.phase
+    inv_c = prep.inv_c
+    inv_l = prep.inv_l
+    inv_rc = prep.inv_rc
+    pulse_list = prep.pulses
+    record_every = prep.record_every
+    record_start = prep.record_start
+    n_steps = prep.n_steps
 
-    v = np.empty(batch)
-    i_l = np.empty(batch)
-    v[:] = np.asarray(v0, dtype=float)
-    i_l[:] = np.asarray(i_l0, dtype=float)
+    v = prep.v0.copy()
+    i_l = prep.i_l0.copy()
 
-    def derivs(t: float, vv: np.ndarray, ii: np.ndarray):
+    if pulse_list:
+        # Active window of all pulses; outside it every pulse.value() is
+        # 0.0 and (x - 0.0) == x bit for bit, so skipping the evaluation
+        # cannot change the trajectory.
+        pulse_lo = min(p.t_start for p in pulse_list)
+        pulse_hi = max(p.t_start + p.duration for p in pulse_list)
+    else:
+        pulse_lo = pulse_hi = 0.0
+
+    def pulse_sum(t: float) -> float:
+        i_p = 0.0
+        for pulse in pulse_list:
+            i_p += pulse.value(t)
+        return i_p
+
+    def derivs(t: float, vv: np.ndarray, ii: np.ndarray, i_p: float):
         # One RK stage, written out flat — this loop runs millions of
         # times, so no per-stage closures or stacking.
         if v_i2 != 0.0:
@@ -220,18 +347,11 @@ def simulate_oscillator(
         else:
             i_nl = f(vv)
         if pulse_list:
-            i_p = 0.0
-            for pulse in pulse_list:
-                i_p += pulse.value(t)
             dv = -vv * inv_rc - (ii + i_nl - i_p) * inv_c
         else:
             dv = -vv * inv_rc - (ii + i_nl) * inv_c
         return dv, vv * inv_l
 
-    # Snap the run to a whole number of recording intervals so the output
-    # time axis is exactly uniform (the measurement layer requires it).
-    n_steps = int(np.ceil(t_end / dt))
-    n_steps = ((n_steps + record_every - 1) // record_every) * record_every
     times: list[float] = []
     v_rec: list[np.ndarray] = []
     i_rec: list[np.ndarray] = []
@@ -240,14 +360,20 @@ def simulate_oscillator(
         times.append(t)
         v_rec.append(v.copy())
         i_rec.append(i_l.copy())
-    h = dt
+    h = prep.dt
     half = 0.5 * h
     sixth = h / 6.0
     for step in range(n_steps):
-        dv1, di1 = derivs(t, v, i_l)
-        dv2, di2 = derivs(t + half, v + half * dv1, i_l + half * di1)
-        dv3, di3 = derivs(t + half, v + half * dv2, i_l + half * di2)
-        dv4, di4 = derivs(t + h, v + h * dv3, i_l + h * di3)
+        if pulse_list and t + h >= pulse_lo and t < pulse_hi:
+            ip1 = pulse_sum(t)
+            ip2 = pulse_sum(t + half)
+            ip4 = pulse_sum(t + h)
+        else:
+            ip1 = ip2 = ip4 = 0.0
+        dv1, di1 = derivs(t, v, i_l, ip1)
+        dv2, di2 = derivs(t + half, v + half * dv1, i_l + half * di1, ip2)
+        dv3, di3 = derivs(t + half, v + half * dv2, i_l + half * di2, ip2)
+        dv4, di4 = derivs(t + h, v + h * dv3, i_l + h * di3, ip4)
         v = v + sixth * (dv1 + 2.0 * dv2 + 2.0 * dv3 + dv4)
         i_l = i_l + sixth * (di1 + 2.0 * di2 + 2.0 * di3 + di4)
         t = (step + 1) * h
@@ -263,11 +389,7 @@ def simulate_oscillator(
         t=np.asarray(times),
         v=np.asarray(v_rec),
         i_l=np.asarray(i_rec),
-        w_injection=w_inj if injection is not None else np.zeros(batch),
-        dt=dt,
-        meta={
-            "steps_per_cycle": steps_per_cycle,
-            "tank": repr(tank),
-            "nonlinearity": nonlinearity.name,
-        },
+        w_injection=w_inj if prep.has_injection else np.zeros(prep.batch),
+        dt=prep.dt,
+        meta={**prep.meta, "engine": "reference", "backend": "reference"},
     )

@@ -1,0 +1,107 @@
+"""StreamingLockDetector unit behaviour + fast-vs-referee edge agreement."""
+
+import numpy as np
+import pytest
+
+from repro.measure import simulate_lock_range
+from repro.measure.lockdetect import StreamingLockDetector
+from repro.nonlin import NegativeTanh
+from repro.tank import ParallelRLC
+
+W_REF = 2.0 * np.pi * 1e5
+PERIOD = 2.0 * np.pi / W_REF
+
+
+def _feed(detector, freqs, *, chunks=40, chunk_cycles=25, fs_per_cycle=64):
+    """Stream synthetic cosines at per-member `freqs` into the detector."""
+    n = len(freqs)
+    dt = PERIOD / fs_per_cycle
+    samples = int(chunk_cycles * fs_per_cycle)
+    active = np.arange(n)
+    for c in range(chunks):
+        t = (c * samples + 1 + np.arange(samples)) * dt
+        v = np.cos(np.asarray(freqs)[None, :] * t[:, None])
+        if active.size == 0:
+            break
+        decided = detector.update(t, v[:, active], active)
+        active = active[~decided]
+    return active
+
+
+def _detector(n, **overrides):
+    kwargs = dict(
+        w_refs=np.full(n, W_REF),
+        observe_time=150 * PERIOD,
+        min_decide_time=100 * PERIOD,
+    )
+    kwargs.update(overrides)
+    return StreamingLockDetector(**kwargs)
+
+
+class TestStreamingLockDetector:
+    def test_clean_lock_decided_early(self):
+        det = _detector(1)
+        remaining = _feed(det, [W_REF])
+        assert remaining.size == 0
+        assert det.codes[0] == StreamingLockDetector.LOCKED
+        assert det.verdict(0).locked
+
+    def test_fast_beat_decided_unlocked(self):
+        det = _detector(1)
+        remaining = _feed(det, [W_REF * 1.01])
+        assert remaining.size == 0
+        assert det.codes[0] == StreamingLockDetector.UNLOCKED
+        assert not det.verdict(0).locked
+
+    def test_slow_beat_stays_undecided(self):
+        # A beat slower than the unlock excursion but drifting more than
+        # the (margined) lock tolerance must fall through to the referee.
+        det = _detector(1, unlock_cycles=3.0)
+        total_time = 40 * 25 * PERIOD
+        dw = 2.0 * np.pi * 1.5 / total_time  # 1.5 turns over the whole feed
+        remaining = _feed(det, [W_REF + dw])
+        assert remaining.tolist() == [0]
+        assert det.codes[0] == StreamingLockDetector.UNDECIDED
+        assert det.verdict(0) is None
+
+    def test_no_verdict_before_min_decide_time(self):
+        det = _detector(1, min_decide_time=1e6 * PERIOD)
+        remaining = _feed(det, [W_REF * 1.01])
+        assert remaining.tolist() == [0]
+        assert det.verdict(0) is None
+
+    def test_mixed_batch_partitions(self):
+        det = _detector(3)
+        total_time = 40 * 25 * PERIOD
+        slow = W_REF + 2.0 * np.pi * 1.5 / total_time
+        remaining = _feed(det, [W_REF, slow, W_REF * 1.02])
+        assert remaining.tolist() == [1]
+        assert det.codes[0] == StreamingLockDetector.LOCKED
+        assert det.codes[2] == StreamingLockDetector.UNLOCKED
+
+    def test_rejects_nonpositive_w_refs(self):
+        with pytest.raises(ValueError):
+            _detector(1, w_refs=np.array([0.0]))
+
+
+class TestFastLockRangeEdges:
+    def test_edges_match_reference_within_resolution(self):
+        """The tentpole acceptance shape, at test-suite scale."""
+        tanh = NegativeTanh(gm=2.5e-3, i_sat=1e-3)
+        tank = ParallelRLC(r=1000.0, l=100e-6, c=10e-9)
+        kwargs = dict(
+            v_i=0.03,
+            n=3,
+            scan_rel_span=0.008,
+            batch=8,
+            rounds=1,
+            settle_cycles=200.0,
+            acquire_cycles=350.0,
+            observe_cycles=200.0,
+            steps_per_cycle=48,
+        )
+        ref = simulate_lock_range(tanh, tank, engine="reference", **kwargs)
+        fast = simulate_lock_range(tanh, tank, engine="auto", **kwargs)
+        assert fast.resolution == ref.resolution
+        assert abs(fast.injection_lower - ref.injection_lower) <= ref.resolution
+        assert abs(fast.injection_upper - ref.injection_upper) <= ref.resolution
