@@ -1,0 +1,32 @@
+"""SWEEP bench: batched tongue-map engine (stacked pre-characterisation +
+one lock solve per V_i) vs the scalar point loop on the 32x32 tanh
+Arnol'd-tongue grid (BENCH_SWEEP.json)."""
+
+import pathlib
+
+from repro.experiments.extras import run_sweep_bench
+from repro.perf import write_bench_json
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+def test_sweep_engine(benchmark, save_report):
+    result = benchmark.pedantic(
+        run_sweep_bench, kwargs={"quick": True}, rounds=1, iterations=1
+    )
+    save_report(result)
+    grids = result.data["grids"]
+    write_bench_json("SWEEP", {"grids": grids}, directory=REPO_ROOT)
+    # The gate: >= 5x over the scalar point loop on the 32x32 tongue,
+    # with every measured point in exact status agreement and lock widths
+    # inside the declared tolerance, and the tongue non-degenerate (both
+    # locked and unlocked cells present).
+    assert grids
+    for name, record in grids.items():
+        assert record["speedup_x"] >= 5.0, (name, record)
+        assert record["status_mismatches"] == 0, (name, record)
+        assert (
+            record["max_width_deviation_rel"] <= record["tolerance_rel"]
+        ), (name, record)
+        assert record["locked_points"] >= 1, (name, record)
+        assert record["unlocked_points"] >= 1, (name, record)

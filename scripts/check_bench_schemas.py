@@ -8,7 +8,8 @@ Usage::
 Every bench record must carry the standard envelope written by
 ``repro.perf.write_bench_json`` (``bench`` id matching the filename and an
 integer ``schema`` version); records with a known per-bench schema
-(currently TRANSIENT and SPEED) are additionally checked field by field.
+(currently TRANSIENT, SPEED and SWEEP) are additionally checked field by
+field; SWEEP records additionally enforce the performance gates.
 CI runs this against the artifacts of the bench jobs so a schema drift
 fails the build instead of silently breaking downstream consumers.
 """
@@ -42,6 +43,62 @@ SPEED_FIELDS = (
     "edge_deviation_rel_width",
     "t_warm_characterize_s",
 )
+
+#: Required numeric fields of one per-grid SWEEP record.
+SWEEP_FIELDS = (
+    "t_batch_s",
+    "t_scalar_measured_s",
+    "scalar_points_measured",
+    "points_total",
+    "t_scalar_extrapolated_s",
+    "speedup_x",
+    "max_width_deviation_rel",
+    "tolerance_rel",
+    "status_mismatches",
+    "locked_points",
+    "unlocked_points",
+)
+
+
+def _check_sweep_gates(grids: object) -> list[str]:
+    """The SWEEP acceptance gates, enforced on the committed record.
+
+    Structural validity is :func:`_check_numeric_records`'s job; this
+    asserts the *performance contract*: the batched engine must beat the
+    scalar point loop by at least 5x on the committed grid, with every
+    measured point in exact status agreement, widths inside the declared
+    tolerance, and a non-degenerate tongue (locked and unlocked cells).
+    """
+    if not isinstance(grids, dict):
+        return []  # structural pass already reported the shape problem
+    problems: list[str] = []
+    for name, record in grids.items():
+        if not isinstance(record, dict):
+            continue
+        checks = (
+            ("speedup_x", record.get("speedup_x"), ">=", 5.0),
+            (
+                "max_width_deviation_rel",
+                record.get("max_width_deviation_rel"),
+                "<=",
+                record.get("tolerance_rel"),
+            ),
+            ("status_mismatches", record.get("status_mismatches"), "<=", 0.0),
+            ("locked_points", record.get("locked_points"), ">=", 1.0),
+            ("unlocked_points", record.get("unlocked_points"), ">=", 1.0),
+        )
+        for field, value, op, bound in checks:
+            if not isinstance(value, (int, float)) or not isinstance(
+                bound, (int, float)
+            ):
+                continue  # the field-level pass reports missing/non-numeric
+            ok = value >= bound if op == ">=" else value <= bound
+            if not ok:
+                problems.append(
+                    f"grids[{name!r}].{field} = {value!r} violates the "
+                    f"gate ({op} {bound!r})"
+                )
+    return problems
 
 
 def _check_numeric_records(
@@ -91,6 +148,11 @@ def check_bench_file(path: Path) -> list[str]:
         problems += _check_numeric_records(
             payload.get("methods"), SPEED_FIELDS, "methods"
         )
+    elif bench == "SWEEP":
+        problems += _check_numeric_records(
+            payload.get("grids"), SWEEP_FIELDS, "grids"
+        )
+        problems += _check_sweep_gates(payload.get("grids"))
     return problems
 
 

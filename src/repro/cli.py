@@ -309,9 +309,88 @@ def _cmd_cache(args) -> int:
         return 0
     print(f"cache root: {cache.root}")
     print(f"records on disk: {len(cache)} (max {cache.max_entries})")
+    coverage = cache.fingerprint_coverage()
+    print(
+        f"records with output fingerprint: "
+        f"{coverage['fingerprinted']}/{coverage['records']} "
+        f"(verified {coverage['verified']}, mismatched {coverage['mismatched']})"
+    )
     for stat in sorted(cache.stats):
         count = metrics.counter(f"cache.{stat}")
         print(f"this process {stat}: {count}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from dataclasses import replace
+
+    from repro.sweep import (
+        SweepSpec,
+        build_plan,
+        load_spec,
+        render_table,
+        render_tongue,
+        run_sweep,
+        run_sweep_pointwise,
+        write_report,
+    )
+
+    if args.spec:
+        spec = load_spec(args.spec)
+    elif args.matrix:
+        spec = SweepSpec.from_verify_matrix(args.matrix)
+    elif args.oscillator:
+        spec = SweepSpec.tongue(
+            args.oscillator,
+            args.n,
+            np.linspace(
+                parse_value(args.vi_start), parse_value(args.vi_stop), args.vi_count
+            ),
+            freq_rel_span=args.freq_span,
+            freq_count=args.freq_count,
+            q_scale=args.q_scale,
+        )
+    else:
+        raise SystemExit(
+            "one of --spec, --matrix or --oscillator (tongue shortcut) is required"
+        )
+    overrides = {"engine": args.engine}
+    if args.method is not None:
+        overrides["method"] = args.method
+    if args.no_escalate:
+        overrides["escalate"] = False
+    if args.check_transient:
+        overrides["check_transient"] = args.check_transient
+    spec = replace(spec, **overrides)
+
+    plan = build_plan(spec)
+    print(
+        f"sweep '{spec.name}': {len(spec.points)} point(s) in "
+        f"{len(plan.groups)} group(s), {plan.n_lock_solves} lock solve(s) "
+        f"({'pointwise' if args.no_batch else 'batched'}, method={spec.method})"
+    )
+    if args.no_batch:
+        result = run_sweep_pointwise(spec)
+    else:
+        result = run_sweep(
+            spec,
+            progress=lambda done, total: print(
+                f".. {done}/{total} points", flush=True
+            ),
+        )
+    print(render_table(result))
+    tongue = render_tongue(result)
+    if tongue:
+        print()
+        print(tongue)
+        if args.tongue:
+            import pathlib
+
+            pathlib.Path(args.tongue).write_text(tongue + "\n")
+            print(f"tongue map written to {args.tongue}")
+    path = write_report(result, args.report)
+    print(f"report written to {path}")
+    # no-lock and fault points are sweep *data*, not command failures.
     return 0
 
 
@@ -487,6 +566,87 @@ def build_parser() -> argparse.ArgumentParser:
         help="rewrite the status-only golden artifact from this run",
     )
     p_verify.set_defaults(func=_cmd_verify)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="batched lock-range sweep / Arnol'd-tongue map (writes "
+        "SWEEP_REPORT.json)",
+        description="Run a batch of operating points through the batched "
+        "sweep engine: points are grouped by (oscillator, n, Q-scale), "
+        "each group shares one natural-oscillation solve and one stacked "
+        "FFT pre-characterisation, and every distinct V_i runs exactly one "
+        "lock-range solve (bitwise identical to the scalar path). Tongue "
+        "points classify locked/unlocked by containment; faulted points "
+        "degrade to the escalation ladder individually and never abort "
+        "the batch.",
+    )
+    source = p_sweep.add_mutually_exclusive_group()
+    source.add_argument(
+        "--spec", metavar="FILE", help="sweep spec file (JSON or YAML)"
+    )
+    source.add_argument(
+        "--matrix",
+        choices=("quick", "full"),
+        help="sweep the verify-matrix scenarios as the batch workload",
+    )
+    source.add_argument(
+        "--oscillator",
+        choices=("tanh", "skewed", "diffpair", "tunnel"),
+        help="tongue-map shortcut: dense (V_i, f_inj) grid on this family",
+    )
+    p_sweep.add_argument("--n", type=int, default=3, help="sub-harmonic order")
+    p_sweep.add_argument(
+        "--vi-start", default="0.005", help="tongue V_i grid start (V)"
+    )
+    p_sweep.add_argument(
+        "--vi-stop", default="0.06", help="tongue V_i grid stop (V)"
+    )
+    p_sweep.add_argument(
+        "--vi-count", type=int, default=16, help="tongue V_i grid points"
+    )
+    p_sweep.add_argument(
+        "--freq-span",
+        type=float,
+        default=0.005,
+        help="tongue frequency half-span relative to n*f_c",
+    )
+    p_sweep.add_argument(
+        "--freq-count", type=int, default=16, help="tongue frequency grid points"
+    )
+    p_sweep.add_argument(
+        "--q-scale", type=float, default=1.0, help="tank-Q scale factor"
+    )
+    p_sweep.add_argument(
+        "--method",
+        choices=("fft", "dense"),
+        default=None,
+        help="override the spec's pre-characterisation path",
+    )
+    p_sweep.add_argument(
+        "--check-transient",
+        type=int,
+        default=0,
+        metavar="K",
+        help="referee up to K solved points per group against a quick "
+        "transient simulation (honors the global --engine selection)",
+    )
+    p_sweep.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="run the naive scalar point loop instead (ablation baseline)",
+    )
+    p_sweep.add_argument(
+        "--report",
+        default="SWEEP_REPORT.json",
+        help="output path for the machine-readable report",
+    )
+    p_sweep.add_argument(
+        "--tongue",
+        metavar="PATH",
+        help="also write the ASCII tongue map to this file",
+    )
+    _add_escalation_option(p_sweep)
+    p_sweep.set_defaults(func=_cmd_sweep)
 
     p_obs = sub.add_parser(
         "obs",

@@ -215,10 +215,18 @@ def extract_level_curves(
     """
     z = np.asarray(grid.surfaces[name], dtype=float)
     x, y = grid.x, grid.y
+    # Vectorised crossed-cell preselection: a cell contributes segments
+    # only when its four corners straddle the level (marching-squares
+    # codes 0 and 15 return nothing), so the pure-Python ``_cell_segments``
+    # walk — the hot loop of every lock-range solve — only needs to visit
+    # the thin band of cells the contour actually passes through.
+    above = z > level
+    crossed = (
+        above[:-1, :-1] | above[:-1, 1:] | above[1:, 1:] | above[1:, :-1]
+    ) & ~(above[:-1, :-1] & above[:-1, 1:] & above[1:, 1:] & above[1:, :-1])
     segments = []
-    for i in range(y.size - 1):
-        for j in range(x.size - 1):
-            segments.extend(_cell_segments(x, y, z, i, j, level))
+    for i, j in zip(*np.nonzero(crossed)):
+        segments.extend(_cell_segments(x, y, z, int(i), int(j), level))
     cell = max(
         float(x[-1] - x[0]) / max(x.size - 1, 1),
         float(y[-1] - y[0]) / max(y.size - 1, 1),

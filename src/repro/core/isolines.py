@@ -83,6 +83,7 @@ def build_isoline_picture(
     n_phi: int = 241,
     n_samples: int = DEFAULT_SAMPLES,
     method: str = "fft",
+    df: TwoToneDF | None = None,
 ) -> IsolinePicture:
     """Assemble the graphical lock-range picture.
 
@@ -101,6 +102,10 @@ def build_isoline_picture(
         ``"fft"`` (default) pre-characterises through the factorised
         surface (cache-backed, shared with the lock-range solver);
         ``"dense"`` forces the direct-quadrature referee.
+    df:
+        A pre-built :class:`~repro.core.two_tone.TwoToneDF` to reuse
+        instead of constructing one (the sweep engine's amortisation
+        seam); must match ``(v_i, n, n_samples, method)``.
     """
     check_positive("v_i", v_i)
     if angles is None:
@@ -110,7 +115,13 @@ def build_isoline_picture(
         amplitude_window = (0.3 * natural.amplitude, 1.4 * natural.amplitude)
     a_lo, a_hi = amplitude_window
 
-    df = TwoToneDF(nonlinearity, v_i, int(n), n_samples=n_samples, method=method)
+    if df is None:
+        df = TwoToneDF(nonlinearity, v_i, int(n), n_samples=n_samples, method=method)
+    elif (df.v_i, df.n, df.n_samples, df.method) != (v_i, int(n), n_samples, method):
+        raise ValueError(
+            "injected df does not match the requested picture "
+            f"(v_i={v_i!r}, n={n!r}, n_samples={n_samples!r}, method={method!r})"
+        )
     half_cell = np.pi / (n_phi - 1)
     grid = df.characterize(
         np.linspace(a_lo, a_hi, n_a),

@@ -454,6 +454,7 @@ def predict_lock_range(
     n_phi: int = 241,
     n_samples: int = DEFAULT_SAMPLES,
     method: str = "fft",
+    df: TwoToneDF | None = None,
 ) -> LockRange:
     """Predict the n-th sub-harmonic lock range — one pass, no iteration.
 
@@ -480,6 +481,12 @@ def predict_lock_range(
         referee path (scalar solves, exact ``I_1`` everywhere) kept as the
         ablation baseline; both methods agree to solver tolerance on
         smooth laws.
+    df:
+        A pre-built :class:`~repro.core.two_tone.TwoToneDF` to reuse
+        instead of constructing one — the sweep engine's amortisation
+        seam.  Must match ``(v_i, n, n_samples, method)`` exactly; an
+        adopted surface on the injected instance makes the solve bitwise
+        identical to the scalar path while skipping the FFT build.
 
     Raises
     ------
@@ -506,7 +513,33 @@ def predict_lock_range(
         a_lo, a_hi = amplitude_window
         check_positive("amplitude_window[0]", a_lo)
 
-        df = TwoToneDF(nonlinearity, v_i, n, n_samples=n_samples, method=method)
+        if df is None:
+            df = TwoToneDF(nonlinearity, v_i, n, n_samples=n_samples, method=method)
+        else:
+            mismatches = [
+                name
+                for name, have, want in (
+                    ("v_i", df.v_i, v_i),
+                    ("n", df.n, n),
+                    ("n_samples", df.n_samples, n_samples),
+                    ("method", df.method, method),
+                )
+                if have != want
+            ]
+            if mismatches:
+                raise ValueError(
+                    "injected df does not match the requested solve: "
+                    + ", ".join(
+                        f"{name}={getattr(df, name)!r} != {want!r}"
+                        for name, want in (
+                            ("v_i", v_i),
+                            ("n", n),
+                            ("n_samples", n_samples),
+                            ("method", method),
+                        )
+                        if name in mismatches
+                    )
+                )
         amplitudes = np.linspace(a_lo, a_hi, n_a)
         # Half-cell offset keeps symmetric-nonlinearity zero lines off the
         # sampling columns (see solve_lock_states).

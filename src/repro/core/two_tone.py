@@ -80,6 +80,8 @@ from repro.utils.validation import check_positive
 __all__ = [
     "two_tone_fundamental",
     "two_tone_surface",
+    "two_tone_surfaces_stacked",
+    "surface_disk_key",
     "TwoToneSurface",
     "TwoToneDF",
 ]
@@ -227,6 +229,201 @@ def _surface_coefficients(
     return k_orders, coeffs
 
 
+def _stacked_coefficients(
+    nonlinearity: Nonlinearity,
+    amplitudes: np.ndarray,
+    v_is: np.ndarray,
+    n: int,
+    n_samples: int,
+    n_psi: int,
+    m_orders: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One factorisation pass over stacked ``(V_i, A)`` rows.
+
+    ``amplitudes`` and ``v_is`` are flat, equal-length row vectors: row
+    ``r`` evaluates ``g(theta, psi) = f(A_r cos theta + 2 V_r cos psi)``.
+    Because the nonlinearity is elementwise and the 2-D FFT acts on axes
+    (theta, psi) only, every row's coefficients are bitwise identical to a
+    per-``V_i`` :func:`_surface_coefficients` build — which is what lets a
+    sweep characterise a whole injection-magnitude grid in one vectorised
+    pass without perturbing any cached or golden number.
+    """
+    s = int(n_samples)
+    p = int(n_psi)
+    theta = 2.0 * np.pi * np.arange(s) / s
+    psi = 2.0 * np.pi * np.arange(p) / p
+    cos_theta = np.cos(theta)
+    cos_psi = np.cos(psi)
+
+    k_orders = np.arange(-((p - 1) // 2), (p + 1) // 2)
+    m_idx = (m_orders[:, None] - n * k_orders[None, :]) % s
+    k_idx = k_orders % p
+
+    two_vis = 2.0 * v_is
+    n_rows = amplitudes.size
+    coeffs = np.empty((m_orders.size, n_rows, k_orders.size), dtype=complex)
+    rows = max(1, _CHUNK_BUDGET // (s * p))
+    for start in range(0, n_rows, rows):
+        stop = min(start + rows, n_rows)
+        v_in = (
+            amplitudes[start:stop, None, None] * cos_theta[None, :, None]
+            + two_vis[start:stop, None, None] * cos_psi[None, None, :]
+        )
+        g = np.asarray(nonlinearity(v_in), dtype=float)
+        spectrum = np.fft.fft2(g, axes=(1, 2)) / (s * p)
+        coeffs[:, start:stop, :] = np.transpose(
+            spectrum[:, m_idx, k_idx], (1, 0, 2)
+        )
+    return k_orders, coeffs
+
+
+def two_tone_surfaces_stacked(
+    nonlinearity: Nonlinearity,
+    amplitudes: np.ndarray,
+    v_is,
+    n: int,
+    n_samples: int = DEFAULT_SAMPLES,
+    *,
+    m_max: int = _DEFAULT_M_MAX,
+    tol: float = _FFT_TOL,
+) -> list[TwoToneSurface]:
+    """Pre-characterise one amplitude grid at many injection magnitudes.
+
+    Returns one :class:`TwoToneSurface` per entry of ``v_is``, each
+    **bitwise identical** to what :func:`two_tone_surface` produces for
+    that ``v_i`` alone (same adaptive psi ladder, same probe subset, same
+    full-grid re-verification and one-doubling rule) — the sweep engine
+    and the scalar solver therefore interchange surfaces freely, and the
+    cached records they write collide on content address.
+
+    The amortisation: the psi-resolution ladder is probed per ``v_i`` on
+    the cheap 5-amplitude subset as before, but the expensive full-grid
+    builds are grouped by the resolution each probe settled on and run as
+    stacked ``(V_i x A)`` rows through one chunked FFT pass per group.
+    """
+    n = _validate_order(n)
+    amplitudes = np.asarray(amplitudes, dtype=float)
+    if amplitudes.ndim != 1 or amplitudes.size < 1:
+        raise ValueError("amplitudes must be a non-empty 1-D grid")
+    v_is = [float(v) for v in np.atleast_1d(np.asarray(v_is, dtype=float))]
+    for v_i in v_is:
+        check_positive("v_i", v_i, strict=False)
+    if m_max < 1:
+        raise ValueError("m_max must be >= 1")
+    if n_samples < 8 * n:
+        raise ValueError(
+            f"n_samples={n_samples} too small to resolve the n={n} injection tone"
+        )
+    m_orders = np.arange(1, int(m_max) + 1)
+    threshold = tol / 8.0
+
+    def build_one(v_i: float, p: int, amps: np.ndarray):
+        k_orders, coeffs = _surface_coefficients(
+            nonlinearity, amps, v_i, n, n_samples, p, m_orders
+        )
+        tail_band = np.abs(k_orders) > p // 4
+        tail = (
+            float(np.abs(coeffs[0][:, tail_band]).max()) if tail_band.any() else 0.0
+        )
+        return k_orders, coeffs, tail
+
+    probe_idx = np.unique(
+        np.linspace(0, amplitudes.size - 1, min(5, amplitudes.size)).astype(int)
+    )
+    probe_amps = amplitudes[probe_idx]
+
+    surfaces: dict[int, TwoToneSurface] = {}
+    #: psi resolution -> list of (result position, v_i) full builds to run.
+    grouped: dict[int, list[tuple[int, float]]] = {}
+    for pos, v_i in enumerate(v_is):
+        if v_i == 0.0:
+            # No injected tone: the k = 0 line only, exactly as the scalar
+            # builder's special case.
+            k_orders, coeffs = _surface_coefficients(
+                nonlinearity, amplitudes, 0.0, n, n_samples, 1, m_orders
+            )
+            surfaces[pos] = TwoToneSurface(
+                amplitudes=amplitudes,
+                k_orders=k_orders,
+                m_orders=m_orders,
+                coefficients=coeffs,
+                v_i=0.0,
+                n=n,
+                n_samples=int(n_samples),
+                n_psi=1,
+                tol=float(tol),
+                tail=0.0,
+            )
+            continue
+        # The scalar builder's probe ladder, verbatim.
+        p_star = None
+        prev_tail = None
+        p = _MIN_PSI
+        tail = np.inf
+        while p <= _MAX_PSI:
+            _, _, tail = build_one(v_i, p, probe_amps)
+            if tail <= threshold:
+                p_star = p
+                break
+            if prev_tail is not None and tail > 0.05 * prev_tail:
+                break  # polynomial decay: no reachable resolution converges
+            prev_tail = tail
+            p *= 2
+        if p_star is None:
+            k_orders, coeffs, _ = build_one(v_i, _MIN_PSI, probe_amps)
+            surfaces[pos] = TwoToneSurface(
+                amplitudes=probe_amps,
+                k_orders=k_orders,
+                m_orders=m_orders,
+                coefficients=coeffs,
+                v_i=v_i,
+                n=n,
+                n_samples=int(n_samples),
+                n_psi=_MIN_PSI,
+                tol=float(tol),
+                tail=float(max(tail, 2.0 * threshold)),
+            )
+            continue
+        grouped.setdefault(p_star, []).append((pos, v_i, False))
+
+    # Full-grid builds, stacked per settled psi resolution.  The per-v_i
+    # tail re-verification (and the scalar builder's single allowed
+    # doubling) happens on each v_i's own coefficient block.
+    n_a = amplitudes.size
+    while grouped:
+        p_star = min(grouped)
+        members = grouped.pop(p_star)
+        amps_rows = np.tile(amplitudes, len(members))
+        vis_rows = np.repeat(np.array([v for _, v, _ in members]), n_a)
+        k_orders, coeffs = _stacked_coefficients(
+            nonlinearity, amps_rows, vis_rows, n, n_samples, p_star, m_orders
+        )
+        tail_band = np.abs(k_orders) > p_star // 4
+        for row, (pos, v_i, doubled) in enumerate(members):
+            block = coeffs[:, row * n_a : (row + 1) * n_a, :]
+            tail = (
+                float(np.abs(block[0][:, tail_band]).max())
+                if tail_band.any()
+                else 0.0
+            )
+            if tail > threshold and not doubled and 2 * p_star <= _MAX_PSI:
+                grouped.setdefault(2 * p_star, []).append((pos, v_i, True))
+                continue
+            surfaces[pos] = TwoToneSurface(
+                amplitudes=amplitudes,
+                k_orders=k_orders,
+                m_orders=m_orders,
+                coefficients=np.ascontiguousarray(block),
+                v_i=v_i,
+                n=n,
+                n_samples=int(n_samples),
+                n_psi=int(p_star),
+                tol=float(tol),
+                tail=tail,
+            )
+    return [surfaces[pos] for pos in range(len(v_is))]
+
+
 def two_tone_surface(
     nonlinearity: Nonlinearity,
     amplitudes: np.ndarray,
@@ -371,6 +568,33 @@ def two_tone_surface(
         n_psi=int(p_star),
         tol=float(tol),
         tail=tail,
+    )
+
+
+def surface_disk_key(
+    nonlinearity: Nonlinearity,
+    amplitudes: np.ndarray,
+    v_i: float,
+    n: int,
+    n_samples: int = DEFAULT_SAMPLES,
+) -> str:
+    """The content address :meth:`TwoToneDF.surface` uses for this record.
+
+    Exposed so batch callers (the sweep engine's sharded cache tier) can
+    look up / deposit exactly the records the scalar solver reads and
+    writes — one key recipe, no cache aliasing between the two paths.
+    """
+    amplitudes = np.asarray(amplitudes, dtype=float)
+    v_max = float(np.max(np.abs(amplitudes))) + 2.0 * float(v_i)
+    return combine_keys(
+        "two-tone-surface",
+        nonlinearity_fingerprint(nonlinearity, max(v_max, 1e-12)),
+        float(v_i),
+        int(n),
+        int(n_samples),
+        _DEFAULT_M_MAX,
+        _FFT_TOL,
+        amplitudes,
     )
 
 
@@ -693,15 +917,8 @@ class TwoToneDF:
         cache = default_cache() if self.use_disk_cache else None
         disk_key = None
         if cache is not None:
-            disk_key = combine_keys(
-                "two-tone-surface",
-                self._fingerprint(float(np.max(np.abs(amplitudes)))),
-                self.v_i,
-                self.n,
-                self.n_samples,
-                _DEFAULT_M_MAX,
-                _FFT_TOL,
-                amplitudes,
+            disk_key = surface_disk_key(
+                self.nonlinearity, amplitudes, self.v_i, self.n, self.n_samples
             )
             with timed("surface-cache-lookup"):
                 record = cache.get(disk_key)
@@ -723,6 +940,42 @@ class TwoToneDF:
             cache.put(disk_key, arrays, meta)
         self._surface_memo[memo_key] = surface
         return surface
+
+    def adopt_surface(
+        self, surface: TwoToneSurface, amplitudes: np.ndarray | None = None
+    ) -> None:
+        """Seed the in-memory memo with an externally built surface.
+
+        The batch sweep engine characterises whole ``V_i`` grids in one
+        stacked FFT pass (:func:`two_tone_surfaces_stacked`) and hands
+        each per-``v_i`` surface to the solver through this hook; a
+        subsequent :meth:`surface`/:meth:`characterize` call on the same
+        amplitude grid then skips both the disk lookup and the build.
+        Surfaces are validated against this instance's injection setup —
+        adopting a foreign surface would silently poison every downstream
+        number.
+
+        ``amplitudes`` overrides the memo key's grid — needed for
+        non-converged marker surfaces, which carry only their 5-amplitude
+        probe subset but stand in for the full requested grid (exactly as
+        :meth:`surface` memoises them).
+        """
+        if not isinstance(surface, TwoToneSurface):
+            raise TypeError(f"expected a TwoToneSurface, got {type(surface).__name__}")
+        if (
+            float(surface.v_i) != float(self.v_i)
+            or int(surface.n) != int(self.n)
+            or int(surface.n_samples) != int(self.n_samples)
+        ):
+            raise ValueError(
+                "surface (v_i, n, n_samples) = "
+                f"({surface.v_i}, {surface.n}, {surface.n_samples}) does not "
+                f"match this DF ({self.v_i}, {self.n}, {self.n_samples})"
+            )
+        grid = surface.amplitudes if amplitudes is None else (
+            np.asarray(amplitudes, dtype=float)
+        )
+        self._surface_memo[array_hash(grid)] = surface
 
     def _mirror_aware_dense_grid(
         self, amplitudes: np.ndarray, phis: np.ndarray

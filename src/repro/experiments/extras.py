@@ -23,6 +23,7 @@ from repro.measure import simulate_lock_range
 __all__ = [
     "run_speedup",
     "run_transient_bench",
+    "run_sweep_bench",
     "run_ablation_grid",
     "run_ablation_baselines",
     "run_ablation_filtering",
@@ -246,6 +247,122 @@ def run_transient_bench(quick: bool = False) -> ExperimentResult:
             f"(resolution {record['bisection_resolution_rad_s']:.3g})",
         )
     result.data["oscillators"] = oscillators
+    return result
+
+
+def run_sweep_bench(quick: bool = False) -> ExperimentResult:
+    """SWEEP: batched tongue-map sweep vs the scalar point loop.
+
+    Runs the 32x32 tanh ``(V_i, w_i)`` Arnol'd-tongue grid through the
+    batched engine, then times the scalar point loop on a measured subset
+    — one point per ``V_i`` row (``quick``) or two (full) — and
+    extrapolates to the full grid.  The extrapolation is exact by
+    construction: the scalar cost of a tongue point is its lock-range
+    solve, which does not depend on ``w_i``, so every point of a row
+    costs the same.  Both paths run with the disk cache disabled — the
+    comparison is the honest cold-path cost, and the batched advantage is
+    purely in-process amortisation (one stacked pre-characterisation and
+    one lock solve per ``V_i`` shared across the frequency axis).
+    """
+    from dataclasses import replace
+
+    from repro.sweep import SweepSpec, build_plan, run_sweep, run_sweep_pointwise
+
+    vi_count, freq_count = 32, 32
+    spec = SweepSpec.tongue(
+        "tanh",
+        3,
+        np.linspace(0.005, 0.06, vi_count),
+        freq_rel_span=0.005,
+        freq_count=freq_count,
+        name="bench-tongue-tanh",
+    )
+    plan = build_plan(spec)
+
+    previous = _no_cache_env()
+    try:
+        t0 = time.perf_counter()
+        batched = run_sweep(spec)
+        t_batch = time.perf_counter() - t0
+
+        # Scalar subset: per_row points per V_i row, columns striding the
+        # frequency axis so the subset still spans the tongue.
+        per_row = 1 if quick else 2
+        subset_indices = [
+            row * freq_count + (row * 7 + k * 17) % freq_count
+            for row in range(vi_count)
+            for k in range(per_row)
+        ]
+        subset = replace(
+            spec,
+            points=tuple(spec.points[i] for i in subset_indices),
+            name=f"{spec.name}-scalar-subset",
+        )
+        t0 = time.perf_counter()
+        scalar = run_sweep_pointwise(subset)
+        t_scalar_measured = time.perf_counter() - t0
+    finally:
+        _restore_cache_env(previous)
+
+    # Per-point agreement on the measured subset: statuses and locked
+    # verdicts must match, lock widths must agree to the declared
+    # tolerance (the batched path is bit-for-bit by construction).
+    tolerance_rel = 1e-9
+    max_dev = 0.0
+    status_mismatches = 0
+    for scalar_out, index in zip(scalar.outcomes, subset_indices):
+        batch_out = batched.outcomes[index]
+        if (scalar_out.status, scalar_out.locked) != (
+            batch_out.status,
+            batch_out.locked,
+        ):
+            status_mismatches += 1
+            continue
+        if scalar_out.lock is not None and batch_out.lock is not None:
+            ref = max(abs(scalar_out.lock.width_hz), 1e-300)
+            max_dev = max(
+                max_dev,
+                abs(batch_out.lock.width_hz - scalar_out.lock.width_hz) / ref,
+            )
+
+    points_total = len(spec.points)
+    t_scalar_extrapolated = t_scalar_measured * points_total / len(subset_indices)
+    record = {
+        "grid": f"{vi_count}x{freq_count}",
+        "t_batch_s": t_batch,
+        "t_scalar_measured_s": t_scalar_measured,
+        "scalar_points_measured": len(subset_indices),
+        "points_total": points_total,
+        "t_scalar_extrapolated_s": t_scalar_extrapolated,
+        "speedup_x": t_scalar_extrapolated / max(t_batch, 1e-12),
+        "max_width_deviation_rel": max_dev,
+        "tolerance_rel": tolerance_rel,
+        "status_mismatches": status_mismatches,
+        "locked_points": sum(1 for o in batched.outcomes if o.locked is True),
+        "unlocked_points": sum(1 for o in batched.outcomes if o.locked is False),
+        "lock_solves": batched.lock_solves,
+        "groups": batched.n_groups,
+    }
+
+    result = ExperimentResult("SWEEP", "batched tongue sweep vs scalar point loop")
+    result.add("grid (V_i x w_i)", record["grid"])
+    result.add(
+        "plan", f"{plan.n_points} points -> {plan.n_lock_solves} lock solves"
+    )
+    result.add(
+        "batched vs scalar",
+        f"{record['speedup_x']:.1f}x ({t_batch:.2f} s vs "
+        f"{t_scalar_extrapolated:.2f} s extrapolated from "
+        f"{len(subset_indices)} measured points in {t_scalar_measured:.2f} s)",
+    )
+    result.add("max width deviation (rel)", record["max_width_deviation_rel"])
+    result.add("status mismatches", record["status_mismatches"])
+    result.add(
+        "tongue",
+        f"{record['locked_points']} locked / {record['unlocked_points']} "
+        "unlocked points",
+    )
+    result.data["grids"] = {f"tanh-n3-{record['grid']}": record}
     return result
 
 

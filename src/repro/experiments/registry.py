@@ -7,6 +7,7 @@ from repro.experiments.extras import (
     run_ablation_filtering,
     run_ablation_grid,
     run_speedup,
+    run_sweep_bench,
     run_transient_bench,
 )
 from repro.experiments.result import ExperimentResult
@@ -54,6 +55,7 @@ EXPERIMENTS = {
     "TAB2": run_table2,
     "SPEED": run_speedup,
     "TRANSIENT": run_transient_bench,
+    "SWEEP": run_sweep_bench,
     "ABL1": run_ablation_grid,
     "ABL2": run_ablation_baselines,
     "ABL3": run_ablation_filtering,

@@ -17,7 +17,13 @@ package supplies the plumbing that makes that true across processes:
   flag.
 """
 
-from repro.perf.fingerprint import array_hash, combine_keys, nonlinearity_fingerprint
+from repro.perf.fingerprint import (
+    array_hash,
+    combine_keys,
+    nonlinearity_fingerprint,
+    payload_fingerprint,
+)
+from repro.perf.sharded_cache import ShardedSurfaceCache
 from repro.perf.surface_cache import SurfaceCache, cache_disabled, default_cache
 from repro.perf.timers import (
     PhaseTimer,
@@ -31,8 +37,10 @@ __all__ = [
     "array_hash",
     "combine_keys",
     "nonlinearity_fingerprint",
+    "payload_fingerprint",
     "cache_disabled",
     "SurfaceCache",
+    "ShardedSurfaceCache",
     "default_cache",
     "PhaseTimer",
     "Stopwatch",

@@ -20,7 +20,12 @@ import numpy as np
 
 from repro.nonlin.base import Nonlinearity
 
-__all__ = ["array_hash", "nonlinearity_fingerprint", "combine_keys"]
+__all__ = [
+    "array_hash",
+    "nonlinearity_fingerprint",
+    "payload_fingerprint",
+    "combine_keys",
+]
 
 #: Probe points used to fingerprint a nonlinearity's content.  Odd so the
 #: grid contains v = 0 exactly (where every oscillator analysis starts).
@@ -71,6 +76,27 @@ def nonlinearity_fingerprint(
     digest.update(b"nonlinearity-fingerprint-v1:")
     digest.update(probe.tobytes())
     digest.update(values.tobytes())
+    return digest.hexdigest()
+
+
+def payload_fingerprint(arrays: dict[str, np.ndarray]) -> str:
+    """Content hash of a named-array *output* payload.
+
+    Where :func:`nonlinearity_fingerprint` identifies what goes *into* a
+    pre-characterisation, this identifies what came *out*: the cached
+    surface records store it alongside their arrays, so a re-read can be
+    checked against the bytes originally computed (the first slice of the
+    golden-surface gate).  Names participate in the hash — the same arrays
+    under different names are a different payload — and iteration order
+    does not (names are folded in sorted).
+    """
+    digest = hashlib.sha256()
+    digest.update(b"payload-fingerprint-v1:")
+    for name in sorted(arrays):
+        digest.update(name.encode())
+        digest.update(b"=")
+        digest.update(array_hash(np.asarray(arrays[name])).encode())
+        digest.update(b"|")
     return digest.hexdigest()
 
 

@@ -40,6 +40,7 @@ import tempfile
 import numpy as np
 
 from repro.obs import get_logger, metrics
+from repro.perf.fingerprint import payload_fingerprint
 
 __all__ = ["SurfaceCache", "default_cache", "cache_disabled"]
 
@@ -162,7 +163,15 @@ class SurfaceCache:
         return arrays, meta
 
     def put(self, key: str, arrays: dict[str, np.ndarray], meta: dict | None = None) -> None:
-        """Store a record atomically (write to a temp file, then rename)."""
+        """Store a record atomically (write to a temp file, then rename).
+
+        Every record is stamped with a ``fingerprint`` meta field — the
+        :func:`~repro.perf.fingerprint.payload_fingerprint` of the stored
+        arrays — so readers can verify the payload still hashes to what
+        was computed (records written before the field existed simply
+        lack it; ``schema`` is unchanged because old records stay
+        readable).
+        """
         if cache_disabled():
             return
         path = self.path_for(key)
@@ -170,7 +179,11 @@ class SurfaceCache:
         payload = dict(arrays)
         if "__meta__" in payload:
             raise ValueError("'__meta__' is a reserved payload name")
-        full_meta = {"schema": SCHEMA_VERSION, **(meta or {})}
+        full_meta = {
+            "schema": SCHEMA_VERSION,
+            "fingerprint": payload_fingerprint(arrays),
+            **(meta or {}),
+        }
         payload["__meta__"] = np.asarray(json.dumps(full_meta))
         fd, tmp_name = tempfile.mkstemp(
             dir=path.parent, prefix=".tmp-", suffix=".npz"
@@ -230,6 +243,42 @@ class SurfaceCache:
         records.sort(key=lambda p: p.stat().st_mtime)
         for stale in records[:excess]:
             stale.unlink(missing_ok=True)
+
+    def fingerprint_coverage(self) -> dict[str, int]:
+        """How many on-disk records carry (and satisfy) output fingerprints.
+
+        Returns counts for ``repro cache --stats``::
+
+            {"records": N, "fingerprinted": F, "verified": V, "mismatched": M}
+
+        ``verified`` re-hashes each fingerprinted record's arrays and
+        compares; a mismatch means the bytes on disk no longer hash to
+        what was computed (bit rot that np.load alone cannot see).
+        Unreadable records are skipped here — ordinary :meth:`get` traffic
+        quarantines them.
+        """
+        counts = {"records": 0, "fingerprinted": 0, "verified": 0, "mismatched": 0}
+        for path in self._records():
+            try:
+                with np.load(path, allow_pickle=False) as record:
+                    meta = json.loads(str(record["__meta__"]))
+                    arrays = {
+                        name: record[name]
+                        for name in record.files
+                        if name != "__meta__"
+                    }
+            except Exception:
+                continue
+            counts["records"] += 1
+            stored = meta.get("fingerprint")
+            if not stored:
+                continue
+            counts["fingerprinted"] += 1
+            if payload_fingerprint(arrays) == stored:
+                counts["verified"] += 1
+            else:
+                counts["mismatched"] += 1
+        return counts
 
     def clear(self) -> int:
         """Remove every record; returns how many were deleted."""

@@ -1,0 +1,431 @@
+"""The batched sweep evaluator.
+
+Execution model (one pass per :class:`~repro.sweep.plan.SweepGroup`):
+
+1. materialise the oscillator once and solve its natural oscillation —
+   every member point shares the amplitude window;
+2. pre-characterise the group's whole ``V_i`` grid in **one** stacked FFT
+   pass (:func:`~repro.core.two_tone.two_tone_surfaces_stacked`), routed
+   through the sharded cache tier so concurrent sweeps single-flight the
+   build and warm records are handed back without recompute;
+3. run **one** lock-range solve per distinct ``V_i`` — the lock range
+   does not depend on the injection frequency, so an entire tongue-map
+   frequency row classifies by interval containment against its ``V_i``'s
+   solve;
+4. mask faults per point: a failed solve degrades to the PR 3 escalation
+   ladder for that point alone (``spec.escalate``) and, if it still
+   fails, is reported as a ``no-lock`` / ``fault`` outcome — a batch is
+   never aborted by one bad operating point.
+
+Every per-``V_i`` solve goes through the *unmodified*
+:func:`~repro.core.lockrange.predict_lock_range` with the group's shared
+window and an adopted surface, which makes batched results **bitwise
+identical** to the scalar path (asserted by the equivalence tests and the
+bench's deviation gate).
+
+:func:`run_sweep_pointwise` is the honest scalar baseline: the naive
+point loop that re-enters ``predict_lock_range`` from scratch — natural
+solve, pre-characterisation and all — for every grid point.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.lockrange import LockRange, NoLockError, predict_lock_range
+from repro.core.natural import predict_natural_oscillation
+from repro.core.two_tone import (
+    TwoToneDF,
+    TwoToneSurface,
+    surface_disk_key,
+    two_tone_surfaces_stacked,
+)
+from repro.obs import metrics, trace
+from repro.perf.sharded_cache import ShardedSurfaceCache
+from repro.robust.ladder import _recoverable_exceptions, robust_predict_lock_range
+from repro.sweep.plan import SweepGroup, build_plan
+from repro.sweep.spec import SweepPoint, SweepSpec
+from repro.verify.scenarios import FAMILIES
+from repro.tank import ParallelRLC
+
+__all__ = ["SweepOutcome", "SweepResult", "run_sweep", "run_sweep_pointwise"]
+
+
+@dataclass(frozen=True)
+class SweepOutcome:
+    """The result of one sweep point.
+
+    ``status`` is ``"ok"`` (lock range solved), ``"no-lock"`` (the solver
+    proved no stable lock exists — that is data, not an error) or
+    ``"fault"`` (the point failed even after escalation; ``detail`` holds
+    the typed fault).  ``locked`` classifies tongue points (``None`` for
+    lock-range-only points and faults).
+    """
+
+    index: int
+    point: SweepPoint
+    status: str
+    lock: LockRange | None = None
+    locked: bool | None = None
+    recovered_via: str | None = None
+    detail: str = ""
+    referee_width_hz: float | None = None
+
+
+@dataclass
+class SweepResult:
+    """All outcomes of one sweep run plus its execution telemetry."""
+
+    spec_name: str
+    outcomes: list[SweepOutcome]
+    wall_s: float
+    n_groups: int = 0
+    lock_solves: int = 0
+    surface_builds: int = 0
+    mode: str = "batched"
+    trailer: dict = field(default_factory=dict)
+
+    @property
+    def n_points(self) -> int:
+        return len(self.outcomes)
+
+    def counts(self) -> dict[str, int]:
+        """Outcome tally by status."""
+        tally = {"ok": 0, "no-lock": 0, "fault": 0}
+        for outcome in self.outcomes:
+            tally[outcome.status] = tally.get(outcome.status, 0) + 1
+        return tally
+
+
+def _materialise(group: SweepGroup):
+    """The group's oscillator (nonlinearity, tank) with its Q-scale applied."""
+    nonlinearity, tank = FAMILIES[group.family]()
+    if group.q_scale != 1.0:
+        tank = ParallelRLC(r=tank.r * group.q_scale, l=tank.l, c=tank.c)
+    return nonlinearity, tank
+
+
+def _solve_point(
+    nonlinearity,
+    tank,
+    point: SweepPoint,
+    spec: SweepSpec,
+    *,
+    amplitude_window=None,
+    df: TwoToneDF | None = None,
+) -> tuple[LockRange | None, str, str | None, str]:
+    """One fault-masked lock-range solve.
+
+    Returns ``(lock, status, recovered_via, detail)``.  The fast path is
+    the plain solver (bitwise-identical to scalar calls); recoverable
+    failures degrade to the escalation ladder for this point alone when
+    ``spec.escalate`` — without the injected window/df, so the ladder's
+    rungs (refined grid, widened window, dense referee) behave exactly as
+    they do for a scalar caller.
+    """
+    recoverable = _recoverable_exceptions()
+    kwargs = dict(
+        v_i=point.v_i,
+        n=point.n,
+        n_a=spec.n_a,
+        n_phi=spec.n_phi,
+        n_samples=spec.n_samples,
+        method=spec.method,
+    )
+    try:
+        lock = predict_lock_range(
+            nonlinearity,
+            tank,
+            amplitude_window=amplitude_window,
+            df=df,
+            **kwargs,
+        )
+        return lock, "ok", None, ""
+    except recoverable as exc:
+        first_fault = exc
+    if spec.escalate:
+        metrics.inc("sweep.escalations")
+        try:
+            robust = robust_predict_lock_range(nonlinearity, tank, **kwargs)
+            return (
+                robust.value,
+                "ok",
+                robust.diagnostics.recovered_via,
+                "",
+            )
+        except recoverable as exc:
+            first_fault = exc
+    metrics.inc("sweep.faults")
+    if isinstance(first_fault, NoLockError):
+        return None, "no-lock", None, str(first_fault)
+    return None, "fault", None, f"{type(first_fault).__name__}: {first_fault}"
+
+
+def _classify(point: SweepPoint, lock: LockRange | None, status: str):
+    """The tongue-map verdict of one outcome (None when not applicable)."""
+    if point.w_injection is None:
+        return None
+    if status == "ok" and lock is not None:
+        return bool(lock.contains(point.w_injection))
+    if status == "no-lock":
+        return False
+    return None
+
+
+def _group_surfaces(
+    cache: ShardedSurfaceCache,
+    group: SweepGroup,
+    nonlinearity,
+    amplitudes: np.ndarray,
+    spec: SweepSpec,
+) -> dict[float, TwoToneSurface]:
+    """All the group's per-``V_i`` surfaces, stacked-building the misses.
+
+    Warm records come from the sharded cache (in-process LRU, then the
+    group's shard on disk); everything still missing is characterised in
+    one :func:`two_tone_surfaces_stacked` call under single-flight locks,
+    so concurrent sweeps of the same group build each surface exactly
+    once.
+    """
+    key_of = {
+        v_i: surface_disk_key(
+            nonlinearity, amplitudes, v_i, group.n, spec.n_samples
+        )
+        for v_i in group.v_is
+    }
+    items = {key: v_i for v_i, key in key_of.items()}
+
+    def builder_many(missing_vis):
+        missing_vis = sorted(missing_vis)
+        metrics.inc("sweep.surface_builds", len(missing_vis))
+        surfaces = two_tone_surfaces_stacked(
+            nonlinearity, amplitudes, missing_vis, group.n, spec.n_samples
+        )
+        return {
+            key_of[v_i]: surface.to_arrays()
+            for v_i, surface in zip(missing_vis, surfaces)
+        }
+
+    records = cache.get_or_build_many(group.shard, items, builder_many)
+    out: dict[float, TwoToneSurface] = {}
+    for v_i, key in key_of.items():
+        arrays, meta = records[key]
+        out[v_i] = TwoToneSurface.from_arrays(arrays, meta)
+    return out
+
+
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    cache: ShardedSurfaceCache | None = None,
+    progress=None,
+) -> SweepResult:
+    """Execute a sweep through the batched engine.
+
+    Parameters
+    ----------
+    spec:
+        The sweep description.
+    cache:
+        Sharded surface cache to amortise pre-characterisation through;
+        a default-rooted one is created when omitted.
+    progress:
+        Optional callable ``(done_points, total_points)`` invoked after
+        each group.
+    """
+    plan = build_plan(spec)
+    if cache is None:
+        cache = ShardedSurfaceCache()
+    outcomes: dict[int, SweepOutcome] = {}
+    started = time.perf_counter()
+    surface_builds_before = metrics.counter("sweep.surface_builds")
+    with trace(
+        "sweep",
+        attrs={
+            "spec": spec.name,
+            "points": plan.n_points,
+            "groups": len(plan.groups),
+            "method": spec.method,
+        },
+    ) as sweep_sp:
+        done = 0
+        for group in plan.groups:
+            with trace(
+                "sweep.group",
+                attrs={
+                    "family": group.family,
+                    "n": group.n,
+                    "q_scale": group.q_scale,
+                    "v_is": len(group.v_is),
+                    "points": len(group.points),
+                    "shard": group.shard,
+                },
+            ) as group_sp:
+                nonlinearity, tank = _materialise(group)
+                natural = predict_natural_oscillation(
+                    nonlinearity, tank, n_samples=spec.n_samples
+                )
+                window = (0.3 * natural.amplitude, 1.4 * natural.amplitude)
+                amplitudes = np.linspace(window[0], window[1], spec.n_a)
+
+                surfaces: dict[float, TwoToneSurface] = {}
+                if spec.method == "fft":
+                    surfaces = _group_surfaces(
+                        cache, group, nonlinearity, amplitudes, spec
+                    )
+
+                solves: dict[float, tuple] = {}
+                for v_i in group.v_is:
+                    df = TwoToneDF(
+                        nonlinearity,
+                        v_i,
+                        group.n,
+                        n_samples=spec.n_samples,
+                        method=spec.method,
+                    )
+                    surface = surfaces.get(v_i)
+                    if surface is not None:
+                        df.adopt_surface(surface, amplitudes)
+                    probe = SweepPoint(
+                        family=group.family,
+                        n=group.n,
+                        v_i=v_i,
+                        q_scale=group.q_scale,
+                    )
+                    solves[v_i] = _solve_point(
+                        nonlinearity,
+                        tank,
+                        probe,
+                        spec,
+                        amplitude_window=window,
+                        df=df,
+                    )
+                    metrics.inc("sweep.lock_solves")
+
+                # Frequency-axis points share their V_i's solve.
+                shared = len(group.points) - len(group.v_is)
+                if shared > 0:
+                    metrics.inc("sweep.surface_shared", shared)
+                referee_budget = spec.check_transient
+                for index in group.points:
+                    point = spec.points[index]
+                    lock, status, recovered_via, detail = solves[point.v_i]
+                    referee_width = None
+                    if status == "ok" and referee_budget > 0:
+                        referee_budget -= 1
+                        referee_width = _transient_referee(
+                            nonlinearity, tank, point, spec
+                        )
+                    outcomes[index] = SweepOutcome(
+                        index=index,
+                        point=point,
+                        status=status,
+                        lock=lock,
+                        locked=_classify(point, lock, status),
+                        recovered_via=recovered_via,
+                        detail=detail,
+                        referee_width_hz=referee_width,
+                    )
+                    metrics.inc("sweep.points", status=status)
+                group_sp.set(
+                    solves=len(group.v_is),
+                    faults=sum(
+                        1
+                        for i in group.points
+                        if outcomes[i].status != "ok"
+                    ),
+                )
+            done += len(group.points)
+            if progress is not None:
+                progress(done, plan.n_points)
+        wall = time.perf_counter() - started
+        result = SweepResult(
+            spec_name=spec.name,
+            outcomes=[outcomes[i] for i in sorted(outcomes)],
+            wall_s=wall,
+            n_groups=len(plan.groups),
+            lock_solves=plan.n_lock_solves,
+            surface_builds=int(
+                metrics.counter("sweep.surface_builds") - surface_builds_before
+            ),
+            mode="batched",
+        )
+        tally = result.counts()
+        sweep_sp.set(wall_s=wall, **{f"points_{k}": v for k, v in tally.items()})
+    return result
+
+
+def _transient_referee(
+    nonlinearity, tank, point: SweepPoint, spec: SweepSpec
+) -> float | None:
+    """Quick simulation spot check of one solved point's lock width (Hz).
+
+    Honors the sweep's ``engine`` selection end to end — the global CLI
+    ``--engine`` flag lands here via ``spec.engine``, so
+    ``repro sweep --engine reference`` referees with the pure-python
+    integrator exactly as the direct odesim drivers would.
+    """
+    from repro.measure.lockrange_sim import LockScanError, simulate_lock_range
+
+    try:
+        measured = simulate_lock_range(
+            nonlinearity,
+            tank,
+            v_i=point.v_i,
+            n=point.n,
+            rounds=2,
+            batch=8,
+            engine=spec.engine,
+        )
+    except LockScanError:
+        return None
+    metrics.inc("sweep.referee_checks")
+    return float(measured.width_hz)
+
+
+def run_sweep_pointwise(spec: SweepSpec) -> SweepResult:
+    """The naive scalar baseline: one full solve per grid point.
+
+    Every point re-enters :func:`predict_lock_range` from scratch —
+    fresh oscillator, fresh natural solve (via the default window), fresh
+    pre-characterisation — exactly the cost profile the batched engine
+    amortises away.  Kept honest and simple for the ablation benchmark
+    and the equivalence tests.
+    """
+    outcomes: list[SweepOutcome] = []
+    started = time.perf_counter()
+    with trace(
+        "sweep", attrs={"spec": spec.name, "points": len(spec.points), "mode": "pointwise"}
+    ):
+        for index, point in enumerate(spec.points):
+            nonlinearity, tank = FAMILIES[point.family]()
+            if point.q_scale != 1.0:
+                tank = ParallelRLC(
+                    r=tank.r * point.q_scale, l=tank.l, c=tank.c
+                )
+            lock, status, recovered_via, detail = _solve_point(
+                nonlinearity, tank, point, spec
+            )
+            outcomes.append(
+                SweepOutcome(
+                    index=index,
+                    point=point,
+                    status=status,
+                    lock=lock,
+                    locked=_classify(point, lock, status),
+                    recovered_via=recovered_via,
+                    detail=detail,
+                )
+            )
+            metrics.inc("sweep.points", status=status)
+    return SweepResult(
+        spec_name=spec.name,
+        outcomes=outcomes,
+        wall_s=time.perf_counter() - started,
+        n_groups=0,
+        lock_solves=len(spec.points),
+        mode="pointwise",
+    )

@@ -1,0 +1,134 @@
+"""Rendering and artifacts for sweep results.
+
+Three consumers, three shapes:
+
+* :func:`render_table` — the tidy per-point results table for the
+  terminal;
+* :func:`render_tongue` — the ASCII Arnol'd-tongue map (rows: ``V_i``
+  descending, columns: injection frequency ascending; ``#`` locked,
+  ``.`` unlocked, ``!`` fault) — the paper-adjacent lock/no-lock picture
+  over the ``(V_i, w_i)`` plane;
+* :func:`write_report` — the machine-readable ``SWEEP_REPORT.json``
+  artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from repro.sweep.engine import SweepResult
+
+__all__ = ["render_table", "render_tongue", "write_report"]
+
+#: Report format version (bump on breaking key changes).
+REPORT_SCHEMA = 1
+
+
+def render_table(result: SweepResult) -> str:
+    """The per-point results table."""
+    header = (
+        f"{'#':>4}  {'family':<9}{'n':>2}  {'V_i [V]':>9}  {'Qx':>5}  "
+        f"{'status':<8}{'lock width [Hz]':>16}  {'locked':>7}  via"
+    )
+    lines = [header, "-" * len(header)]
+    for outcome in result.outcomes:
+        point = outcome.point
+        width = (
+            f"{outcome.lock.width_hz:.6g}" if outcome.lock is not None else "-"
+        )
+        locked = "-" if outcome.locked is None else ("yes" if outcome.locked else "no")
+        via = outcome.recovered_via or ""
+        lines.append(
+            f"{outcome.index:>4}  {point.family:<9}{point.n:>2}  "
+            f"{point.v_i:>9.4g}  {point.q_scale:>5g}  "
+            f"{outcome.status:<8}{width:>16}  {locked:>7}  {via}"
+        )
+    tally = result.counts()
+    lines.append(
+        f"{result.n_points} points in {result.wall_s:.2f} s "
+        f"({result.mode}; {tally['ok']} ok, {tally['no-lock']} no-lock, "
+        f"{tally['fault']} fault)"
+    )
+    return "\n".join(lines)
+
+
+def render_tongue(result: SweepResult) -> str:
+    """The ASCII Arnol'd-tongue lock map.
+
+    Only tongue points (``w_injection`` set) participate; lock-range-only
+    points are skipped.  Returns an empty string when the sweep carried
+    no tongue points.
+    """
+    tongue = [o for o in result.outcomes if o.point.w_injection is not None]
+    if not tongue:
+        return ""
+    v_is = sorted({o.point.v_i for o in tongue}, reverse=True)
+    freqs = sorted({o.point.w_injection for o in tongue})
+    cell = {}
+    for o in tongue:
+        if o.status == "fault":
+            mark = "!"
+        elif o.locked:
+            mark = "#"
+        else:
+            mark = "."
+        cell[(o.point.v_i, o.point.w_injection)] = mark
+    f_lo = freqs[0] / (2.0 * np.pi)
+    f_hi = freqs[-1] / (2.0 * np.pi)
+    lines = [
+        "Arnol'd tongue map ('#' locked, '.' unlocked, '!' fault)",
+        f"injection frequency: {f_lo:.6g} .. {f_hi:.6g} Hz ->",
+    ]
+    for v_i in v_is:
+        row = "".join(cell.get((v_i, w), " ") for w in freqs)
+        lines.append(f"V_i={v_i:>8.4g} V |{row}|")
+    return "\n".join(lines)
+
+
+def result_payload(result: SweepResult) -> dict:
+    """The JSON-able form of a sweep result."""
+    rows = []
+    for outcome in result.outcomes:
+        point = outcome.point
+        row = {
+            "index": outcome.index,
+            "family": point.family,
+            "n": point.n,
+            "v_i": point.v_i,
+            "q_scale": point.q_scale,
+            "w_injection": point.w_injection,
+            "label": point.label,
+            "status": outcome.status,
+            "locked": outcome.locked,
+            "recovered_via": outcome.recovered_via,
+            "detail": outcome.detail,
+            "referee_width_hz": outcome.referee_width_hz,
+        }
+        if outcome.lock is not None:
+            row.update(
+                injection_lower_hz=outcome.lock.injection_lower_hz,
+                injection_upper_hz=outcome.lock.injection_upper_hz,
+                width_hz=outcome.lock.width_hz,
+            )
+        rows.append(row)
+    return {
+        "report": "SWEEP",
+        "schema": REPORT_SCHEMA,
+        "spec": result.spec_name,
+        "mode": result.mode,
+        "wall_s": result.wall_s,
+        "groups": result.n_groups,
+        "lock_solves": result.lock_solves,
+        "counts": result.counts(),
+        "points": rows,
+    }
+
+
+def write_report(result: SweepResult, path: str | pathlib.Path) -> pathlib.Path:
+    """Write ``SWEEP_REPORT.json`` (or a caller-chosen path)."""
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(result_payload(result), indent=2) + "\n")
+    return path

@@ -178,6 +178,97 @@ def _fault_recovery_checks() -> list[CheckResult]:
     return checks
 
 
+def _surface_fingerprint_checks() -> list[CheckResult]:
+    """Output-fingerprint round-trips as a matrix-level check family.
+
+    First slice of the ROADMAP's golden-surface gate: for each oscillator
+    family, build a small two-tone surface, store it in a *temporary*
+    cache (so the check is deterministic regardless of the ambient cache
+    state or ``REPRO_NO_CACHE``), read it back, and require that
+
+    * the stored record carries an output ``fingerprint``, and
+    * re-hashing the loaded arrays reproduces it bit for bit.
+
+    A mismatch means the (de)serialisation pipeline altered the surface
+    bytes — exactly the drift the fingerprint exists to catch.
+    """
+    import os
+    import tempfile
+
+    import numpy as np
+
+    from repro.core.two_tone import surface_disk_key, two_tone_surface
+    from repro.perf import SurfaceCache, payload_fingerprint
+    from repro.verify.scenarios import FAMILIES
+
+    checks = []
+    no_cache = os.environ.pop("REPRO_NO_CACHE", None)
+    try:
+        with tempfile.TemporaryDirectory(prefix="repro-fp-check-") as tmp:
+            cache = SurfaceCache(tmp)
+            for family in ("tanh", "skewed", "diffpair", "tunnel"):
+                name = f"surface-fingerprint/{family}"
+                try:
+                    nonlinearity, _tank = FAMILIES[family]()
+                    amplitudes = np.linspace(0.1, 1.0, 31)
+                    surface = two_tone_surface(nonlinearity, amplitudes, 0.03, 3)
+                    arrays, meta = surface.to_arrays()
+                    key = surface_disk_key(nonlinearity, amplitudes, 0.03, 3)
+                    cache.put(key, arrays, meta)
+                    record = cache.get(key)
+                    if record is None:
+                        checks.append(
+                            CheckResult(
+                                name,
+                                "FAIL",
+                                detail="stored record unreadable on re-get",
+                            )
+                        )
+                        continue
+                    loaded_arrays, loaded_meta = record
+                    stored = loaded_meta.get("fingerprint")
+                    recomputed = payload_fingerprint(loaded_arrays)
+                    if not stored:
+                        checks.append(
+                            CheckResult(
+                                name, "FAIL", detail="record carries no fingerprint"
+                            )
+                        )
+                    elif stored != recomputed:
+                        checks.append(
+                            CheckResult(
+                                name,
+                                "FAIL",
+                                detail=(
+                                    f"stored {stored[:12]}... != recomputed "
+                                    f"{recomputed[:12]}..."
+                                ),
+                            )
+                        )
+                    else:
+                        checks.append(
+                            CheckResult(
+                                name,
+                                "PASS",
+                                deviation=0.0,
+                                tolerance=0.0,
+                                detail=f"round-trip fingerprint {stored[:12]}...",
+                            )
+                        )
+                except Exception as exc:  # a crashing check is itself a finding
+                    checks.append(
+                        CheckResult(
+                            name,
+                            "ERROR",
+                            detail=f"{type(exc).__name__}: {exc}",
+                        )
+                    )
+    finally:
+        if no_cache is not None:
+            os.environ["REPRO_NO_CACHE"] = no_cache
+    return checks
+
+
 def run_matrix(
     mode: str = "quick",
     scenario_ids: Iterable[str] | None = None,
@@ -214,6 +305,7 @@ def run_matrix(
         # Sub-matrix runs skip the fault family: it is scenario-independent
         # and would make `--scenario <id>` cost the whole injection matrix.
         report.matrix_checks.extend(_fault_recovery_checks())
+        report.matrix_checks.extend(_surface_fingerprint_checks())
     report.timing = {
         "wall_s": round(watch.elapsed, 3),
         "per_scenario_s": {

@@ -1,0 +1,164 @@
+"""Tier-1 tests for the ``repro sweep`` command."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def in_tmp(tmp_path, monkeypatch):
+    """Run the CLI with the tmp dir as cwd (default artifact landing zone)."""
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+class TestSweepCommand:
+    def test_tongue_shortcut_end_to_end(self, in_tmp, capsys):
+        code = main(
+            [
+                "sweep",
+                "--oscillator",
+                "tanh",
+                "--vi-count",
+                "2",
+                "--freq-count",
+                "3",
+                "--no-escalate",
+                "--tongue",
+                "tongue.txt",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "6 point(s) in 1 group(s), 2 lock solve(s)" in out
+        assert "Arnol'd tongue map" in out
+        assert (in_tmp / "tongue.txt").exists()
+        report = json.loads((in_tmp / "SWEEP_REPORT.json").read_text())
+        assert report["report"] == "SWEEP"
+        assert report["mode"] == "batched"
+        assert len(report["points"]) == 6
+        assert {row["status"] for row in report["points"]} == {"ok"}
+
+    def test_no_lock_points_are_data_not_failures(self, in_tmp, capsys):
+        # V_i up to 0.6 V guarantees no-lock rows; exit code must stay 0.
+        code = main(
+            [
+                "sweep",
+                "--oscillator",
+                "tanh",
+                "--vi-start",
+                "0.03",
+                "--vi-stop",
+                "0.6",
+                "--vi-count",
+                "2",
+                "--freq-count",
+                "2",
+                "--no-escalate",
+            ]
+        )
+        assert code == 0
+        report = json.loads((in_tmp / "SWEEP_REPORT.json").read_text())
+        statuses = {row["status"] for row in report["points"]}
+        assert "no-lock" in statuses
+
+    def test_spec_file_and_report_path(self, in_tmp, capsys):
+        spec_path = in_tmp / "spec.json"
+        spec_path.write_text(
+            json.dumps(
+                {
+                    "name": "file-spec",
+                    "escalate": False,
+                    "points": [{"family": "tanh", "n": 3, "v_i": 0.03}],
+                }
+            )
+        )
+        code = main(
+            ["sweep", "--spec", str(spec_path), "--report", "out.json"]
+        )
+        assert code == 0
+        report = json.loads((in_tmp / "out.json").read_text())
+        assert report["spec"] == "file-spec"
+        assert report["points"][0]["width_hz"] > 0
+
+    def test_no_batch_runs_pointwise(self, in_tmp, capsys):
+        code = main(
+            [
+                "sweep",
+                "--oscillator",
+                "tanh",
+                "--vi-count",
+                "2",
+                "--freq-count",
+                "2",
+                "--no-batch",
+                "--no-escalate",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pointwise" in out
+        report = json.loads((in_tmp / "SWEEP_REPORT.json").read_text())
+        assert report["mode"] == "pointwise"
+
+    def test_requires_a_source(self, in_tmp):
+        with pytest.raises(SystemExit):
+            main(["sweep"])
+
+    def test_engine_flag_threads_to_referee(self, in_tmp, monkeypatch):
+        seen = {}
+
+        def fake_simulate(nonlinearity, tank, *, v_i, n, engine=None, **kwargs):
+            seen["engine"] = engine
+
+            class _Measured:
+                width_hz = 1.0
+
+            return _Measured()
+
+        import repro.measure.lockrange_sim as lockrange_sim
+
+        monkeypatch.setattr(lockrange_sim, "simulate_lock_range", fake_simulate)
+        code = main(
+            [
+                "--engine",
+                "reference",
+                "sweep",
+                "--oscillator",
+                "tanh",
+                "--vi-count",
+                "1",
+                "--freq-count",
+                "2",
+                "--check-transient",
+                "1",
+                "--no-escalate",
+            ]
+        )
+        assert code == 0
+        assert seen["engine"] == "reference"
+
+    def test_traced_run_emits_sweep_spans(self, in_tmp, capsys):
+        code = main(
+            [
+                "--trace",
+                "trace.jsonl",
+                "sweep",
+                "--oscillator",
+                "tanh",
+                "--vi-count",
+                "1",
+                "--freq-count",
+                "2",
+                "--no-escalate",
+            ]
+        )
+        assert code == 0
+        names = [
+            json.loads(line).get("name")
+            for line in (in_tmp / "trace.jsonl").read_text().splitlines()
+        ]
+        assert "sweep" in names
+        assert "sweep.group" in names

@@ -1,0 +1,179 @@
+"""Tier-1 tests for the batched sweep engine's execution semantics.
+
+Numerical equivalence with the scalar path lives in
+``test_batch_equivalence.py``; this file covers the engine's *behaviour*:
+per-point fault masking, amortisation accounting, the observability
+footprint, and the transient-referee seam (including ``--engine``
+threading).
+"""
+
+import numpy as np
+import pytest
+
+from repro.obs import metrics
+from repro.sweep import SweepPoint, SweepSpec, run_sweep
+from repro.sweep.engine import SweepResult
+
+
+def _counter(name: str) -> int:
+    return metrics.counter(name)
+
+
+class TestFaultMasking:
+    def test_bad_point_does_not_abort_batch(self):
+        # tanh at V_i = 0.6 V has no stable lock state (NoLockError);
+        # escalate=False keeps the test fast (the ladder's refined-grid
+        # rung would re-solve the point at 181x361).
+        spec = SweepSpec(
+            name="mask",
+            points=(
+                SweepPoint(family="tanh", n=3, v_i=0.03),
+                SweepPoint(family="tanh", n=3, v_i=0.6),
+                SweepPoint(family="tanh", n=3, v_i=0.05),
+            ),
+            escalate=False,
+        )
+        result = run_sweep(spec)
+        statuses = [o.status for o in result.outcomes]
+        assert statuses == ["ok", "no-lock", "ok"]
+        # The healthy neighbours still carry full lock ranges.
+        assert result.outcomes[0].lock is not None
+        assert result.outcomes[2].lock is not None
+        assert result.outcomes[1].lock is None
+        # Lock-range-only points carry no tongue verdict.
+        assert result.outcomes[1].locked is None
+        assert "NoLockError" not in result.outcomes[1].detail  # typed, not raw
+
+    def test_no_lock_counted_not_raised(self):
+        before = _counter("sweep.faults")
+        spec = SweepSpec(
+            name="solo-bad",
+            points=(SweepPoint(family="tanh", n=3, v_i=0.6),),
+            escalate=False,
+        )
+        result = run_sweep(spec)
+        assert result.counts() == {"ok": 0, "no-lock": 1, "fault": 0}
+        assert _counter("sweep.faults") == before + 1
+
+
+class TestAmortisation:
+    def test_one_solve_per_vi_row(self):
+        spec = SweepSpec.tongue("tanh", 3, [0.02, 0.04], freq_count=4)
+        solves_before = _counter("sweep.lock_solves")
+        shared_before = _counter("sweep.surface_shared")
+        result = run_sweep(spec)
+        assert result.lock_solves == 2
+        assert _counter("sweep.lock_solves") == solves_before + 2
+        # 8 points - 2 solves = 6 points rode along on a shared solve.
+        assert _counter("sweep.surface_shared") == shared_before + 6
+        assert result.n_groups == 1
+        assert len(result.outcomes) == 8
+
+    def test_points_counter_labelled_by_status(self):
+        before = metrics.counter("sweep.points", status="ok")
+        spec = SweepSpec(
+            name="labels",
+            points=(SweepPoint(family="tanh", n=3, v_i=0.03),),
+        )
+        run_sweep(spec)
+        assert metrics.counter("sweep.points", status="ok") == before + 1
+
+
+class TestTransientReferee:
+    def test_engine_selection_reaches_simulator(self, monkeypatch):
+        seen = {}
+
+        def fake_simulate(nonlinearity, tank, *, v_i, n, engine=None, **kwargs):
+            seen["engine"] = engine
+            seen["v_i"] = v_i
+
+            class _Measured:
+                width_hz = 123.0
+
+            return _Measured()
+
+        import repro.measure.lockrange_sim as lockrange_sim
+
+        monkeypatch.setattr(lockrange_sim, "simulate_lock_range", fake_simulate)
+        spec = SweepSpec(
+            name="referee",
+            points=(SweepPoint(family="tanh", n=3, v_i=0.03),),
+            engine="reference",
+            check_transient=1,
+        )
+        result = run_sweep(spec)
+        assert seen["engine"] == "reference"
+        assert seen["v_i"] == 0.03
+        assert result.outcomes[0].referee_width_hz == 123.0
+
+    def test_referee_budget_limits_checks(self, monkeypatch):
+        calls = []
+
+        def fake_simulate(nonlinearity, tank, *, v_i, n, engine=None, **kwargs):
+            calls.append(v_i)
+
+            class _Measured:
+                width_hz = 1.0
+
+            return _Measured()
+
+        import repro.measure.lockrange_sim as lockrange_sim
+
+        monkeypatch.setattr(lockrange_sim, "simulate_lock_range", fake_simulate)
+        spec = SweepSpec.tongue(
+            "tanh", 3, [0.03], freq_count=4, check_transient=2
+        )
+        result = run_sweep(spec)
+        assert len(calls) == 2
+        refereed = [o for o in result.outcomes if o.referee_width_hz is not None]
+        assert len(refereed) == 2
+
+    def test_scan_failure_is_not_fatal(self, monkeypatch):
+        from repro.measure.lockrange_sim import LockScanError
+
+        def fake_simulate(*args, **kwargs):
+            raise LockScanError("no transition bracketed")
+
+        import repro.measure.lockrange_sim as lockrange_sim
+
+        monkeypatch.setattr(lockrange_sim, "simulate_lock_range", fake_simulate)
+        spec = SweepSpec(
+            name="referee-fail",
+            points=(SweepPoint(family="tanh", n=3, v_i=0.03),),
+            check_transient=1,
+        )
+        result = run_sweep(spec)
+        assert result.outcomes[0].status == "ok"
+        assert result.outcomes[0].referee_width_hz is None
+
+
+class TestResultShape:
+    def test_counts_and_progress(self):
+        ticks = []
+        spec = SweepSpec.tongue("tanh", 3, [0.02, 0.04], freq_count=3)
+        result = run_sweep(spec, progress=lambda done, total: ticks.append((done, total)))
+        assert isinstance(result, SweepResult)
+        assert result.counts()["ok"] == 6
+        assert ticks[-1] == (6, 6)
+        # Outcomes come back in spec order.
+        assert [o.index for o in result.outcomes] == list(range(6))
+        assert [o.point.v_i for o in result.outcomes[:3]] == [0.02] * 3
+
+    def test_tongue_classification_brackets_the_lock_range(self):
+        # A wide frequency span must produce unlocked edges and a locked
+        # centre, consistent with the point's own lock interval.
+        spec = SweepSpec.tongue(
+            "tanh", 3, [0.03], freq_rel_span=0.05, freq_count=9
+        )
+        result = run_sweep(spec)
+        locked = [o.locked for o in result.outcomes]
+        assert locked[0] is False and locked[-1] is False
+        assert any(locked)
+        for o in result.outcomes:
+            lock = o.lock
+            inside = (
+                lock.injection_lower
+                <= o.point.w_injection
+                <= lock.injection_upper
+            )
+            assert o.locked == inside
