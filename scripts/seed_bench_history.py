@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Append the committed BENCH_*.json snapshots to the bench history store.
+
+Equivalent to ``python -m repro regress bench --record`` but usable before
+the gate has any history at all (the bootstrap case) and from bench CI
+jobs that just regenerated the snapshots::
+
+    PYTHONPATH=src python scripts/seed_bench_history.py [BENCH_FILE ...]
+
+With no arguments, seeds from BENCH_SPEED.json / BENCH_TRANSIENT.json /
+BENCH_SWEEP.json in the working directory (missing ones are skipped).
+History files are append-only JSON lines under
+``benchmarks/results/history/``; every appended line immediately becomes
+part of the trailing median the ratio bands are enforced against, so only
+record runs from the canonical bench environment.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.regress import DEFAULT_BENCH_FILES, DEFAULT_HISTORY_DIR, append_history
+
+
+def main(argv: list[str] | None = None) -> int:
+    files = (argv if argv is not None else sys.argv[1:]) or list(DEFAULT_BENCH_FILES)
+    seeded = 0
+    for bench_file in files:
+        path = pathlib.Path(bench_file)
+        if not path.is_file():
+            print(f"skip: {path} not found")
+            continue
+        target = append_history(path, history_dir=DEFAULT_HISTORY_DIR)
+        if target is None:
+            print(f"skip: {path} has no gateable groups")
+            continue
+        print(f"appended {path} -> {target}")
+        seeded += 1
+    if not seeded:
+        print("nothing seeded", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

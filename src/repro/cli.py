@@ -298,6 +298,75 @@ def _cmd_obs(args) -> int:
     return 0
 
 
+def _cmd_regress(args) -> int:
+    if args.gate == "surfaces":
+        from repro.regress import (
+            check_surfaces,
+            compute_manifest,
+            load_manifest,
+            write_manifest,
+        )
+
+        if args.update:
+            path = write_manifest(compute_manifest(), args.manifest)
+            print(f"golden surface manifest written to {path}")
+            print(
+                "commit this file; reviewers should treat fingerprint "
+                "changes as algorithm/environment changes"
+            )
+            return 0
+        problems = check_surfaces(args.manifest)
+        if problems:
+            for problem in problems:
+                print(f"surface drift: {problem}", file=sys.stderr)
+            return 1
+        pinned = len(load_manifest(args.manifest).get("entries", {}))
+        print(f"surfaces: {pinned} pinned case(s) match the golden manifest")
+        return 0
+
+    if args.gate == "bench":
+        from repro.regress import (
+            DEFAULT_BENCH_FILES,
+            append_history,
+            check_bench_file,
+        )
+
+        files = args.files or list(DEFAULT_BENCH_FILES)
+        problems: list[str] = []
+        for bench_file in files:
+            import pathlib
+
+            if not pathlib.Path(bench_file).is_file():
+                print(f"bench: {bench_file} not found (skipped)")
+                continue
+            problems += check_bench_file(bench_file, history_dir=args.history)
+            if args.record:
+                target = append_history(bench_file, history_dir=args.history)
+                if target is not None:
+                    print(f"bench: {bench_file} appended to {target}")
+        for problem in problems:
+            print(f"bench regression: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        print(f"bench: {len(files)} snapshot(s) inside every tolerance band")
+        return 0
+
+    # args.gate == "spans"
+    from repro.regress import run_span_gate
+
+    result = run_span_gate(
+        scenario_ids=tuple(args.scenario) if args.scenario else None,
+        trace_out=args.trace_out,
+    )
+    print(result.format())
+    if result.trace_path:
+        print(f"trace written to {result.trace_path}")
+    if not result.ok:
+        print("span budgets violated", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_cache(args) -> int:
     from repro.obs import metrics
     from repro.perf import default_cache
@@ -310,10 +379,12 @@ def _cmd_cache(args) -> int:
     print(f"cache root: {cache.root}")
     print(f"records on disk: {len(cache)} (max {cache.max_entries})")
     coverage = cache.fingerprint_coverage()
+    current = coverage["records"] - coverage["legacy"]
     print(
         f"records with output fingerprint: "
-        f"{coverage['fingerprinted']}/{coverage['records']} "
-        f"(verified {coverage['verified']}, mismatched {coverage['mismatched']})"
+        f"{coverage['fingerprinted']}/{current} "
+        f"(verified {coverage['verified']}, mismatched {coverage['mismatched']}, "
+        f"legacy pre-fingerprint {coverage['legacy']})"
     )
     for stat in sorted(cache.stats):
         count = metrics.counter(f"cache.{stat}")
@@ -674,6 +745,92 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --validate, also check this OBS_REPORT.json",
     )
     p_obs.set_defaults(func=_cmd_obs)
+
+    p_regress = sub.add_parser(
+        "regress",
+        help="fleet-scale regression gates (surfaces, bench bands, span budgets)",
+        description="Run one of the three CI regression gates: 'surfaces' "
+        "diffs freshly computed surface fingerprints against the committed "
+        "golden manifest, 'bench' enforces tolerance bands on the BENCH_*.json "
+        "snapshots against their recorded history, and 'spans' replays a "
+        "canonical verify-matrix slice under tracing and asserts the recorded "
+        "work telemetry against declared budgets. All exit non-zero on drift.",
+    )
+    regress_sub = p_regress.add_subparsers(dest="gate", required=True)
+
+    p_surfaces = regress_sub.add_parser(
+        "surfaces",
+        help="diff computed surface fingerprints against the golden manifest",
+        description="Recompute the pinned pre-characterisation surfaces and "
+        "compare their payload fingerprints and cache disk keys against "
+        "tests/regress/golden/manifest.json. Payload drift (numerics moved) "
+        "and key drift (cache recipe changed) are reported separately; both "
+        "require an explicit, reviewed --update to accept.",
+    )
+    p_surfaces.add_argument(
+        "--manifest",
+        default="tests/regress/golden/manifest.json",
+        help="golden manifest path (default: the committed one)",
+    )
+    p_surfaces.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the golden manifest from the current computation "
+        "(an intentional, reviewed regen — never run this to quiet CI)",
+    )
+    p_surfaces.set_defaults(func=_cmd_regress)
+
+    p_bench = regress_sub.add_parser(
+        "bench",
+        help="enforce tolerance bands on BENCH_*.json against their history",
+        description="Check each BENCH snapshot's metrics against the declared "
+        "bands: absolute exactness bounds (width deviations stay 0) against "
+        "the snapshot itself, ratio bounds (speedup_x >= 0.8x trailing "
+        "median) against benchmarks/results/history/<BENCH>.jsonl. With "
+        "--record, also append the snapshot to the history (bench jobs only).",
+    )
+    p_bench.add_argument(
+        "files",
+        nargs="*",
+        metavar="BENCH_FILE",
+        help="snapshot files to gate (default: BENCH_SPEED/TRANSIENT/SWEEP"
+        ".json in the working directory; missing files are skipped)",
+    )
+    p_bench.add_argument(
+        "--history",
+        default="benchmarks/results/history",
+        help="history directory of <BENCH>.jsonl files",
+    )
+    p_bench.add_argument(
+        "--record",
+        action="store_true",
+        help="append each checked snapshot to its history file",
+    )
+    p_bench.set_defaults(func=_cmd_regress)
+
+    p_spans = regress_sub.add_parser(
+        "spans",
+        help="replay verify scenarios under tracing and assert work budgets",
+        description="Replay the canonical budget scenarios through the quick "
+        "verify matrix with tracing enabled (against a fresh temporary "
+        "surface cache, so cache telemetry is the deterministic cold-run "
+        "profile) and assert hb.iterations, df.evaluations, ladder "
+        "escalations, cache hit rates and span counts against the budgets "
+        "declared in repro.regress.budgets.",
+    )
+    p_spans.add_argument(
+        "--scenario",
+        action="append",
+        metavar="ID",
+        help="replay only this scenario id (repeatable; default: the "
+        "declared budget scenarios)",
+    )
+    p_spans.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="also write the replay's span trace to this file",
+    )
+    p_spans.set_defaults(func=_cmd_regress)
 
     p_cache = sub.add_parser(
         "cache",

@@ -21,7 +21,12 @@ import json
 import pathlib
 
 from repro.obs.metrics import metrics
-from repro.obs.tracing import TRACE_SCHEMA_VERSION, load_trace
+from repro.obs.tracing import (
+    SPAN_RECORD_FIELDS,
+    TRACE_HEADER_FIELDS,
+    TRACE_SCHEMA_VERSION,
+    load_trace,
+)
 
 __all__ = [
     "OBS_SCHEMA_VERSION",
@@ -183,6 +188,20 @@ def write_obs_report(
 
 # -- schema validation (CI smoke job) -----------------------------------------
 
+#: Expected type per mandatory span-record field.  Keyed off the locked
+#: :data:`~repro.obs.tracing.SPAN_RECORD_FIELDS` contract; ``parent_id``
+#: is absent here because it is legitimately ``None`` on root spans, and
+#: ``attrs``/``events`` because they are optional.
+_SPAN_FIELD_TYPES: dict[str, type | tuple[type, ...]] = {
+    "span_id": int,
+    "name": str,
+    "kind": str,
+    "depth": int,
+    "t_start_s": (int, float),
+    "dur_s": (int, float),
+}
+assert set(_SPAN_FIELD_TYPES) <= set(SPAN_RECORD_FIELDS)
+
 
 def validate_trace(path: str | pathlib.Path) -> list[str]:
     """Structural checks on a trace file; returns problems (empty = valid).
@@ -205,19 +224,18 @@ def validate_trace(path: str | pathlib.Path) -> list[str]:
         problems.append(
             f"header claims {header.get('spans')} spans, file holds {len(spans)}"
         )
+    for key in TRACE_HEADER_FIELDS:
+        if key not in header:
+            problems.append(f"header missing {key!r}")
     seen: dict[int, dict] = {}
     for i, span in enumerate(spans):
         where = f"span line {i + 2}"
-        for key, types in (
-            ("span_id", int),
-            ("name", str),
-            ("kind", str),
-            ("depth", int),
-            ("t_start_s", (int, float)),
-            ("dur_s", (int, float)),
-        ):
+        for key, types in _SPAN_FIELD_TYPES.items():
             if not isinstance(span.get(key), types):
                 problems.append(f"{where}: bad or missing {key!r}")
+        unknown = set(span) - set(SPAN_RECORD_FIELDS)
+        if unknown:
+            problems.append(f"{where}: unknown fields {sorted(unknown)}")
         span_id = span.get("span_id")
         if isinstance(span_id, int):
             if span_id in seen:

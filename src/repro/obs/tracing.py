@@ -36,6 +36,7 @@ remain correct across threads and asyncio tasks.
 
 from __future__ import annotations
 
+import contextlib
 import contextvars
 import json
 import pathlib
@@ -43,6 +44,8 @@ import time
 
 __all__ = [
     "TRACE_SCHEMA_VERSION",
+    "SPAN_RECORD_FIELDS",
+    "TRACE_HEADER_FIELDS",
     "Clock",
     "Span",
     "Tracer",
@@ -54,6 +57,27 @@ __all__ = [
 
 #: Bump when the trace-file record layout changes.
 TRACE_SCHEMA_VERSION = 1
+
+#: The exact v1 field names of one span record (``Span.to_record``) and of
+#: the trace-file header, in emission order.  ``attrs``/``events`` are
+#: optional on a record; everything else is always present.  These names
+#: are part of the on-disk contract — every trace consumer (the renderer,
+#: the validators, external tooling) keys on them — so they are locked by
+#: a golden regression test (``tests/regress/test_schema_locks.py``):
+#: renaming one requires touching this constant, which makes the rename a
+#: reviewed schema event instead of a silent consumer break.
+SPAN_RECORD_FIELDS = (
+    "span_id",
+    "parent_id",
+    "name",
+    "kind",
+    "depth",
+    "t_start_s",
+    "dur_s",
+    "attrs",
+    "events",
+)
+TRACE_HEADER_FIELDS = ("trace", "schema", "epoch_unix_s", "spans", "dropped")
 
 #: Buffered-span bound: a runaway sweep cannot exhaust memory; overflow is
 #: counted and reported in the trace header instead of silently dropped.
@@ -290,6 +314,21 @@ class Tracer:
         self._records = []
         self._dropped = 0
         self._count = 0
+
+    @contextlib.contextmanager
+    def detached(self):
+        """Run a block with no ambient parent span.
+
+        Spans opened inside the block become roots of their own tree,
+        even when the caller sits inside a live span.  The span-budget
+        regression gate uses this so its replay records a self-contained
+        (and schema-valid) trace regardless of which CLI span invoked it.
+        """
+        token = self._current.set(None)
+        try:
+            yield
+        finally:
+            self._current.reset(token)
 
     def add_sink(self, sink) -> None:
         """Register an object with an ``on_span(span)`` method."""

@@ -249,15 +249,26 @@ class SurfaceCache:
 
         Returns counts for ``repro cache --stats``::
 
-            {"records": N, "fingerprinted": F, "verified": V, "mismatched": M}
+            {"records": N, "fingerprinted": F, "legacy": L,
+             "verified": V, "mismatched": M}
 
         ``verified`` re-hashes each fingerprinted record's arrays and
         compares; a mismatch means the bytes on disk no longer hash to
         what was computed (bit rot that np.load alone cannot see).
+        ``legacy`` counts records written before output fingerprints
+        existed (their meta has no ``fingerprint`` field) — they are
+        reported separately rather than against coverage, because an old
+        record is not a missing fingerprint in *today's* write path.
         Unreadable records are skipped here — ordinary :meth:`get` traffic
         quarantines them.
         """
-        counts = {"records": 0, "fingerprinted": 0, "verified": 0, "mismatched": 0}
+        counts = {
+            "records": 0,
+            "fingerprinted": 0,
+            "legacy": 0,
+            "verified": 0,
+            "mismatched": 0,
+        }
         for path in self._records():
             try:
                 with np.load(path, allow_pickle=False) as record:
@@ -272,6 +283,7 @@ class SurfaceCache:
             counts["records"] += 1
             stored = meta.get("fingerprint")
             if not stored:
+                counts["legacy"] += 1
                 continue
             counts["fingerprinted"] += 1
             if payload_fingerprint(arrays) == stored:

@@ -1,0 +1,225 @@
+"""BENCH history store and tolerance-band enforcement.
+
+``BENCH_SPEED.json`` / ``BENCH_TRANSIENT.json`` / ``BENCH_SWEEP.json`` are
+single snapshots: each records the *last* measured speedups and
+deviations, so a slow slide across several PRs — 21x, 17x, 13x, each step
+individually plausible — never trips a diff.  This module gives every
+snapshot a history:
+
+* :func:`append_history` appends the snapshot's numeric per-group metrics
+  as one JSON line to ``benchmarks/results/history/<BENCH>.jsonl``
+  (append-only; each line is independent, so the files merge trivially);
+* :func:`check_bench_file` enforces the declared
+  :data:`~repro.regress.budgets.BENCH_BANDS` — absolute exactness bounds
+  against the snapshot itself, ratio bounds against the trailing median
+  of the history — and returns the violations.
+
+``repro regress bench`` is the CLI face; CI runs it on the committed
+snapshots on every push and appends with ``--record`` when a bench job
+regenerates them.  Structural schema validation stays with
+``scripts/check_bench_schemas.py`` — this module assumes a well-formed
+record and enforces the *performance contract* over time.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import statistics
+import time
+
+from repro.regress.budgets import (
+    BENCH_BANDS,
+    BENCH_GROUP_KEYS,
+    TRAILING_WINDOW,
+    Band,
+)
+
+__all__ = [
+    "DEFAULT_HISTORY_DIR",
+    "DEFAULT_BENCH_FILES",
+    "history_path",
+    "load_history",
+    "append_history",
+    "check_bench_file",
+]
+
+DEFAULT_HISTORY_DIR = pathlib.Path("benchmarks/results/history")
+
+#: The snapshots CI gates when no explicit files are given.
+DEFAULT_BENCH_FILES = (
+    "BENCH_SPEED.json",
+    "BENCH_TRANSIENT.json",
+    "BENCH_SWEEP.json",
+)
+
+
+def _load_payload(path: pathlib.Path) -> tuple[str | None, dict, list[str]]:
+    """Parse one BENCH file into ``(bench_id, groups, problems)``."""
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        return None, {}, [f"{path}: {exc}"]
+    bench = payload.get("bench")
+    if not isinstance(bench, str):
+        return None, {}, [f"{path}: missing 'bench' id"]
+    group_key = BENCH_GROUP_KEYS.get(bench)
+    if group_key is None:
+        # Unknown bench families pass through ungated (no declared bands).
+        return bench, {}, []
+    groups = payload.get(group_key)
+    if not isinstance(groups, dict) or not groups:
+        return bench, {}, [f"{path}: '{group_key}' must be a non-empty object"]
+    return bench, groups, []
+
+
+def _numeric_fields(record: dict) -> dict:
+    return {
+        key: value
+        for key, value in record.items()
+        if isinstance(value, (int, float)) and not isinstance(value, bool)
+    }
+
+
+def history_path(
+    bench: str, history_dir: str | pathlib.Path = DEFAULT_HISTORY_DIR
+) -> pathlib.Path:
+    return pathlib.Path(history_dir) / f"{bench}.jsonl"
+
+
+def load_history(
+    bench: str, history_dir: str | pathlib.Path = DEFAULT_HISTORY_DIR
+) -> list[dict]:
+    """All recorded entries for one bench, oldest first.
+
+    Unparseable lines are skipped rather than fatal: a half-appended line
+    from a crashed CI job must not wedge every future gate run.
+    """
+    path = history_path(bench, history_dir)
+    if not path.is_file():
+        return []
+    entries = []
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(entry, dict) and isinstance(entry.get("groups"), dict):
+            entries.append(entry)
+    return entries
+
+
+def append_history(
+    bench_file: str | pathlib.Path,
+    history_dir: str | pathlib.Path = DEFAULT_HISTORY_DIR,
+    *,
+    now: float | None = None,
+) -> pathlib.Path | None:
+    """Append one snapshot's numeric metrics to its history file.
+
+    Returns the history path, or ``None`` when the file carries no
+    gateable groups (unknown bench family).
+    """
+    path = pathlib.Path(bench_file)
+    bench, groups, problems = _load_payload(path)
+    if problems:
+        raise ValueError("; ".join(problems))
+    if not groups:
+        return None
+    entry = {
+        "bench": bench,
+        "recorded_unix_s": round(time.time() if now is None else now, 3),
+        "source": path.name,
+        "groups": {name: _numeric_fields(record) for name, record in groups.items()},
+    }
+    target = history_path(bench, history_dir)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("a") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    return target
+
+
+def _trailing_median(
+    history: list[dict], group: str, metric: str
+) -> float | None:
+    values = [
+        entry["groups"][group][metric]
+        for entry in history[-TRAILING_WINDOW:]
+        if isinstance(entry["groups"].get(group), dict)
+        and isinstance(entry["groups"][group].get(metric), (int, float))
+    ]
+    if not values:
+        return None
+    return float(statistics.median(values))
+
+
+def _check_band(
+    band: Band, group: str, value: object, history: list[dict]
+) -> list[str]:
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        return [f"{group}.{band.metric}: metric missing or non-numeric ({value!r})"]
+    problems = []
+    if band.max_abs is not None and value > band.max_abs:
+        problems.append(
+            f"{group}.{band.metric} = {value:g} exceeds the absolute bound "
+            f"{band.max_abs:g}"
+        )
+    if band.min_abs is not None and value < band.min_abs:
+        problems.append(
+            f"{group}.{band.metric} = {value:g} is below the absolute bound "
+            f"{band.min_abs:g}"
+        )
+    if band.min_ratio_to_median is None and band.max_ratio_to_median is None:
+        return problems
+    median = _trailing_median(history, group, band.metric)
+    if median is None:
+        # No history yet: the absolute bounds still gate; ratio bands
+        # arm themselves on the first --record.
+        return problems
+    if (
+        band.min_ratio_to_median is not None
+        and value < band.min_ratio_to_median * median
+    ):
+        problems.append(
+            f"{group}.{band.metric} = {value:g} fell below "
+            f"{band.min_ratio_to_median:g}x the trailing median {median:g} "
+            f"(over {min(len(history), TRAILING_WINDOW)} entries)"
+        )
+    if (
+        band.max_ratio_to_median is not None
+        and value > band.max_ratio_to_median * median
+    ):
+        problems.append(
+            f"{group}.{band.metric} = {value:g} rose above "
+            f"{band.max_ratio_to_median:g}x the trailing median {median:g} "
+            f"(over {min(len(history), TRAILING_WINDOW)} entries)"
+        )
+    return problems
+
+
+def check_bench_file(
+    bench_file: str | pathlib.Path,
+    history_dir: str | pathlib.Path = DEFAULT_HISTORY_DIR,
+) -> list[str]:
+    """Band violations of one snapshot (empty = inside every band)."""
+    path = pathlib.Path(bench_file)
+    bench, groups, problems = _load_payload(path)
+    if problems or not groups:
+        return problems
+    history = load_history(bench, history_dir)
+    bands = BENCH_BANDS.get(bench, ())
+    out: list[str] = []
+    for band in bands:
+        for group, record in sorted(groups.items()):
+            if not isinstance(record, dict):
+                continue
+            out += [
+                f"{path.name}: {problem}"
+                for problem in _check_band(
+                    band, group, record.get(band.metric), history
+                )
+            ]
+    return out

@@ -1,0 +1,139 @@
+"""Declared tolerance bands and span budgets for the regression gates.
+
+Every number a gate enforces lives in this module, so loosening or
+tightening a gate is a one-line reviewed diff rather than an edit buried
+in harness code.  Three families:
+
+* :data:`BENCH_BANDS` — per-metric tolerance bands on the committed
+  ``BENCH_*.json`` snapshots, checked against the trailing history in
+  ``benchmarks/results/history/*.jsonl`` (:mod:`repro.regress.bench`);
+* :data:`SPAN_BUDGETS` — work-count budgets on the telemetry a quick
+  verify-matrix replay records (:mod:`repro.regress.spans`);
+* :data:`BUDGET_SCENARIOS` — the canonical replay the span budgets are
+  calibrated against (one scenario per oscillator-family tier, cheap
+  enough for every push).
+
+Calibration note: the span budgets carry ~1.4x headroom over the values
+measured at declaration time, so ordinary numerical jitter never fires
+them while a 2x blow-up in Newton iterations or DF evaluations — the
+regression class ROADMAP item 5 names — always does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Band",
+    "SpanBudget",
+    "BENCH_BANDS",
+    "BENCH_GROUP_KEYS",
+    "SPAN_BUDGETS",
+    "BUDGET_SCENARIOS",
+    "TRAILING_WINDOW",
+]
+
+#: How many trailing history entries feed the rolling median.
+TRAILING_WINDOW = 20
+
+
+@dataclass(frozen=True)
+class Band:
+    """Tolerance band for one metric of a BENCH snapshot.
+
+    Absolute bounds (``max_abs`` / ``min_abs``) pin exactness contracts —
+    a width deviation that "must stay 0" stays 0.  Ratio bounds compare
+    the current value against the trailing median of the metric's history
+    (per bench group), which is what catches a *gradual* slide no single
+    snapshot diff would flag.
+    """
+
+    metric: str
+    max_abs: float | None = None
+    min_abs: float | None = None
+    #: value must be >= this fraction of the trailing median.
+    min_ratio_to_median: float | None = None
+    #: value must be <= this multiple of the trailing median.
+    max_ratio_to_median: float | None = None
+
+
+#: Which top-level key of each BENCH payload holds its per-group records.
+BENCH_GROUP_KEYS = {
+    "SPEED": "methods",
+    "TRANSIENT": "oscillators",
+    "SWEEP": "grids",
+}
+
+#: The enforced bands, per bench id.  Speedups are relative measurements
+#: (fast path vs referee on the same machine), so ratio-to-median bands
+#: are meaningful even across heterogeneous CI runners; deviation metrics
+#: are exactness contracts and get absolute bounds.
+BENCH_BANDS: dict[str, tuple[Band, ...]] = {
+    "SPEED": (
+        Band("speedup_x", min_ratio_to_median=0.8),
+        Band("max_i1_deviation_A", max_abs=1e-12),
+        Band("edge_deviation_rel_width", max_abs=1e-4),
+        Band("t_warm_characterize_s", max_ratio_to_median=5.0),
+    ),
+    "TRANSIENT": (
+        Band("speedup_x", min_ratio_to_median=0.8),
+        Band("max_lock_edge_deviation_rad_s", max_abs=0.0),
+    ),
+    "SWEEP": (
+        Band("speedup_x", min_ratio_to_median=0.8),
+        Band("max_width_deviation_rel", max_abs=0.0),
+        Band("status_mismatches", max_abs=0.0),
+    ),
+}
+
+
+@dataclass(frozen=True)
+class SpanBudget:
+    """One enforced bound on the replay's recorded telemetry.
+
+    ``kind`` selects how ``selector`` is evaluated over the replay:
+
+    * ``"counter"`` — sum of every counter delta whose key starts with
+      ``selector`` (labelled variants included, e.g. both
+      ``df.evaluations{method=fft}`` and ``{method=dense}``);
+    * ``"histogram_sum"`` — sum of the matching histograms' value sums
+      (e.g. total Newton iterations across all ``hb.iterations{kind=*}``);
+    * ``"hit_rate"`` — ``<selector>.hits / (hits + misses)``, skipped when
+      the replay performed no lookups;
+    * ``"span_count"`` — number of trace spans named exactly ``selector``.
+    """
+
+    name: str
+    kind: str
+    selector: str
+    max: float | None = None
+    min: float | None = None
+
+
+#: The canonical replay: one cheap scenario per family tier of the quick
+#: verify matrix.  Kept small enough (~7 s cold) to gate every push.
+BUDGET_SCENARIOS: tuple[str, ...] = (
+    "tanh-n3-vi030m",
+    "skewed-n2-vi030m",
+    "tunnel-n3-vi030m",
+)
+
+#: Budgets for the :data:`BUDGET_SCENARIOS` replay on a cold, isolated
+#: surface cache.  Measured at declaration: df.evaluations 387 477,
+#: hb.iterations 19 over 5 solves, 6 cache misses / 5 hits (0.45 hit
+#: rate), zero ladder activity, 17 characterize spans.
+SPAN_BUDGETS: tuple[SpanBudget, ...] = (
+    SpanBudget("df.evaluations", "counter", "df.evaluations", max=550_000),
+    SpanBudget("hb.iterations", "histogram_sum", "hb.iterations", max=40),
+    SpanBudget("hb.solves", "counter", "hb.solves", max=10),
+    # The replay's scenarios all solve on the plain path; any ladder
+    # activity means the fast path started failing and silently
+    # escalating — a regression even when the answers stay right.
+    SpanBudget("ladder.escalations", "counter", "ladder.", max=0),
+    SpanBudget("cache.hit_rate", "hit_rate", "cache", min=0.30),
+    SpanBudget("cache.misses", "counter", "cache.misses", max=10),
+    SpanBudget("spans.characterize", "span_count", "characterize", max=26),
+    SpanBudget("spans.lockrange", "span_count", "lockrange", max=9),
+    SpanBudget("spans.hb.natural", "span_count", "hb.natural", max=5),
+    SpanBudget("spans.surface-build", "span_count", "surface-build", max=9),
+)

@@ -1,0 +1,225 @@
+"""Span-budget gate: the PR 4 telemetry turned into an enforced bound.
+
+The observability layer records how much work every solve does —
+``hb.iterations`` per Newton solve, ``df.evaluations`` per method,
+ladder escalations, cache hits and misses — but until now nothing *read*
+those numbers in CI: a change that doubled the Newton iteration count
+while still converging would land silently.  This gate replays a small,
+canonical slice of the quick verify matrix
+(:data:`~repro.regress.budgets.BUDGET_SCENARIOS`) with tracing enabled
+and asserts the recorded telemetry against the declared
+:data:`~repro.regress.budgets.SPAN_BUDGETS`.
+
+Determinism: the replay runs against a **fresh temporary surface cache**
+with ``REPRO_NO_CACHE`` cleared, so the cache hit/miss telemetry is the
+cold-run profile every time — budgets never depend on what a previous
+command happened to leave on disk.  Work counters (DF evaluations, HB
+iterations) are grid-driven and identical run to run; the ~1.4x headroom
+in the budgets absorbs legitimate drift from tolerance retuning while
+still catching the 2x blow-ups the gate exists for.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import tempfile
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.obs import metrics, tracer
+from repro.regress.budgets import BUDGET_SCENARIOS, SPAN_BUDGETS, SpanBudget
+from repro.verify.harness import counter_deltas
+
+__all__ = [
+    "BudgetVerdict",
+    "SpanGateResult",
+    "evaluate_budgets",
+    "run_span_gate",
+]
+
+
+@dataclass(frozen=True)
+class BudgetVerdict:
+    """One budget's measured value and pass/fail verdict."""
+
+    name: str
+    value: float | None
+    ok: bool
+    detail: str
+
+
+@dataclass
+class SpanGateResult:
+    """The whole gate run: replay context plus per-budget verdicts."""
+
+    scenario_ids: tuple[str, ...]
+    verdicts: list[BudgetVerdict] = field(default_factory=list)
+    replay_ok: bool = True
+    trace_spans: int = 0
+    wall_s: float = 0.0
+    trace_path: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.replay_ok and all(v.ok for v in self.verdicts)
+
+    def format(self) -> str:
+        lines = [
+            f"span-budget replay: {len(self.scenario_ids)} scenario(s), "
+            f"{self.trace_spans} spans, {self.wall_s:.1f} s "
+            f"({'clean' if self.replay_ok else 'REPLAY FAILED'})"
+        ]
+        for verdict in self.verdicts:
+            flag = "ok " if verdict.ok else "XX "
+            shown = "n/a" if verdict.value is None else f"{verdict.value:g}"
+            lines.append(f"{flag}{verdict.name:<22} {shown:>12}  {verdict.detail}")
+        return "\n".join(lines)
+
+
+def _prefix_total(deltas: dict, prefix: str) -> float:
+    """Sum of every delta whose key starts with ``prefix``.
+
+    Covers labelled variants (``df.evaluations{method=fft}``) and whole
+    families (``ladder.`` matches attempts/recoveries/exhausted alike).
+    """
+    return sum(value for key, value in deltas.items() if key.startswith(prefix))
+
+
+def _histogram_sum_deltas(before: dict, after: dict) -> dict:
+    """Per-histogram delta of the value sums (keys that moved only)."""
+    out = {}
+    for key, entry in after.items():
+        prior = before.get(key, {"sum": 0})
+        delta = entry["sum"] - prior.get("sum", 0)
+        if delta:
+            out[key] = delta
+    return out
+
+
+def evaluate_budgets(
+    counters: dict,
+    histogram_sums: dict,
+    span_counts: dict,
+    budgets: tuple[SpanBudget, ...] = SPAN_BUDGETS,
+) -> list[BudgetVerdict]:
+    """Check one replay's telemetry deltas against the declared budgets.
+
+    Pure over its inputs so tests can feed synthetic deltas — the gate's
+    verdict logic is exercised without a 7-second replay.
+    """
+    verdicts: list[BudgetVerdict] = []
+    for budget in budgets:
+        if budget.kind == "counter":
+            value = float(_prefix_total(counters, budget.selector))
+        elif budget.kind == "histogram_sum":
+            value = float(_prefix_total(histogram_sums, budget.selector))
+        elif budget.kind == "hit_rate":
+            hits = _prefix_total(counters, f"{budget.selector}.hits")
+            misses = _prefix_total(counters, f"{budget.selector}.misses")
+            lookups = hits + misses
+            if lookups <= 0:
+                verdicts.append(
+                    BudgetVerdict(
+                        budget.name, None, True, "no lookups in replay (skipped)"
+                    )
+                )
+                continue
+            value = hits / lookups
+        elif budget.kind == "span_count":
+            value = float(span_counts.get(budget.selector, 0))
+        else:
+            verdicts.append(
+                BudgetVerdict(
+                    budget.name, None, False, f"unknown budget kind {budget.kind!r}"
+                )
+            )
+            continue
+        problems = []
+        if budget.max is not None and value > budget.max:
+            problems.append(f"exceeds budget max {budget.max:g}")
+        if budget.min is not None and value < budget.min:
+            problems.append(f"below budget min {budget.min:g}")
+        bounds = []
+        if budget.max is not None:
+            bounds.append(f"<= {budget.max:g}")
+        if budget.min is not None:
+            bounds.append(f">= {budget.min:g}")
+        verdicts.append(
+            BudgetVerdict(
+                budget.name,
+                value,
+                not problems,
+                "; ".join(problems) if problems else f"within {' and '.join(bounds)}",
+            )
+        )
+    return verdicts
+
+
+def run_span_gate(
+    scenario_ids: tuple[str, ...] | None = None,
+    budgets: tuple[SpanBudget, ...] | None = None,
+    trace_out: str | pathlib.Path | None = None,
+) -> SpanGateResult:
+    """Replay the budget scenarios under tracing and evaluate the budgets.
+
+    When the process-wide tracer is already recording (the CLI's global
+    ``--trace``), its buffer is left alone and the replay's spans are
+    identified by position; otherwise tracing is enabled for the replay
+    and disabled afterwards.
+    """
+    from repro.verify.harness import run_matrix
+
+    ids = tuple(scenario_ids) if scenario_ids else BUDGET_SCENARIOS
+    owned_tracer = not tracer.recording
+    if owned_tracer:
+        tracer.enable()
+    spans_before = len(tracer.records())
+    snap_before = metrics.snapshot()
+    started = time.perf_counter()
+
+    # A fresh cache root makes the cache.* telemetry the deterministic
+    # cold-run profile regardless of ambient state.
+    saved = {
+        key: os.environ.pop(key, None)
+        for key in ("REPRO_CACHE_DIR", "REPRO_NO_CACHE")
+    }
+    try:
+        with tempfile.TemporaryDirectory(prefix="repro-span-gate-") as tmp:
+            os.environ["REPRO_CACHE_DIR"] = tmp
+            # Detach from any ambient CLI span so the replay's spans form
+            # self-contained trees (the written trace must validate on its
+            # own, without the caller's unfinished parents).
+            with tracer.detached():
+                report = run_matrix("quick", scenario_ids=ids)
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+    wall = time.perf_counter() - started
+    snap_after = metrics.snapshot()
+    replay_spans = tracer.records()[spans_before:]
+    result = SpanGateResult(
+        scenario_ids=ids,
+        replay_ok=report.ok,
+        trace_spans=len(replay_spans),
+        wall_s=wall,
+    )
+    if trace_out is not None:
+        result.trace_path = str(tracer.write(trace_out))
+    if owned_tracer:
+        tracer.disable()
+
+    counters = counter_deltas(snap_before["counters"], snap_after["counters"])
+    histogram_sums = _histogram_sum_deltas(
+        snap_before["histograms"], snap_after["histograms"]
+    )
+    span_counts = dict(Counter(span["name"] for span in replay_spans))
+    result.verdicts = evaluate_budgets(
+        counters, histogram_sums, span_counts, budgets or SPAN_BUDGETS
+    )
+    return result

@@ -1,0 +1,214 @@
+"""Golden surface manifest: pinned content hashes of the cached surfaces.
+
+The verify matrix already round-trips output fingerprints through a
+temporary cache (``surface-fingerprint/*``), which proves the *pipeline*
+preserves bytes.  What nothing pinned until now is the bytes themselves:
+a refactor of the FFT factorisation could shift every coefficient by
+1e-16 and the matrix would stay green because each method moved together.
+The manifest closes that hole by committing, for a declared set of
+(family, n, V_i, grid) cases, the
+:func:`~repro.perf.fingerprint.payload_fingerprint` of the surface the
+current code computes — plus its :func:`~repro.core.two_tone.surface_disk_key`,
+so a silent cache-key recipe change (which would cold-start every fleet
+cache) is caught by the same diff.
+
+``repro regress surfaces`` recomputes the cases and diffs against the
+committed golden (``tests/regress/golden/manifest.json``).  The two
+failure classes are reported distinctly:
+
+* **payload drift** — same key, different fingerprint: the numerics
+  changed.  Either a bug, or an intentional algorithm change that must be
+  re-golded with an explicit, reviewed ``repro regress surfaces --update``;
+* **key drift** — the disk-key recipe changed: every deployed cache
+  misses cold.  Also an ``--update``-reviewed event, never an accident.
+
+Fingerprints are bitwise content hashes, so the golden is pinned to the
+numeric environment that generated it (recorded in ``generated_with``).
+Upgrading numpy/BLAS in CI is an *intentional regen*, handled exactly
+like an algorithm change: rerun with ``--update`` and review the diff.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "MANIFEST_SCHEMA_VERSION",
+    "DEFAULT_MANIFEST_PATH",
+    "SurfaceCase",
+    "MANIFEST_CASES",
+    "compute_manifest",
+    "load_manifest",
+    "write_manifest",
+    "diff_manifest",
+    "check_surfaces",
+]
+
+#: Bump when the manifest file layout changes.
+MANIFEST_SCHEMA_VERSION = 1
+
+DEFAULT_MANIFEST_PATH = pathlib.Path("tests/regress/golden/manifest.json")
+
+
+@dataclass(frozen=True)
+class SurfaceCase:
+    """One pinned pre-characterisation: oscillator, order, injection, grid."""
+
+    case_id: str
+    family: str
+    n: int
+    v_i: float
+    a_lo: float
+    a_hi: float
+    n_a: int
+
+    def amplitudes(self) -> np.ndarray:
+        return np.linspace(self.a_lo, self.a_hi, self.n_a)
+
+
+def _case(family: str, n: int, v_i: float) -> SurfaceCase:
+    return SurfaceCase(
+        case_id=f"{family}-n{n}-vi{round(v_i * 1000):03d}m",
+        family=family,
+        n=n,
+        v_i=v_i,
+        a_lo=0.1,
+        a_hi=1.0,
+        n_a=31,
+    )
+
+
+#: The pinned case set: every oscillator family at the paper's n = 3
+#: operating point, plus the even-order (skewed) and FHIL (n = 1) ends of
+#: the order axis so all three DF coupling regimes are covered.  Grids are
+#: deliberately small — the gate pins *bytes*, not physics, and must stay
+#: cheap enough to run on every push.
+MANIFEST_CASES: tuple[SurfaceCase, ...] = (
+    _case("tanh", 3, 0.03),
+    _case("tanh", 1, 0.03),
+    _case("skewed", 2, 0.03),
+    _case("skewed", 3, 0.03),
+    _case("diffpair", 3, 0.03),
+    _case("tunnel", 3, 0.03),
+)
+
+
+def _compute_entry(case: SurfaceCase) -> dict:
+    from repro.core.two_tone import surface_disk_key, two_tone_surface
+    from repro.perf import payload_fingerprint
+    from repro.verify.scenarios import FAMILIES
+
+    nonlinearity, _tank = FAMILIES[case.family]()
+    amplitudes = case.amplitudes()
+    surface = two_tone_surface(nonlinearity, amplitudes, case.v_i, case.n)
+    arrays, _meta = surface.to_arrays()
+    return {
+        "family": case.family,
+        "n": case.n,
+        "v_i": case.v_i,
+        "grid": [case.a_lo, case.a_hi, case.n_a],
+        "disk_key": surface_disk_key(nonlinearity, amplitudes, case.v_i, case.n),
+        "fingerprint": payload_fingerprint(arrays),
+    }
+
+
+def compute_manifest(cases: tuple[SurfaceCase, ...] = MANIFEST_CASES) -> dict:
+    """Build the manifest payload from the current code's surfaces.
+
+    Surfaces are characterised directly (never through the ambient cache),
+    so the manifest reflects what the code *computes*, not what a possibly
+    stale cache record holds.
+    """
+    return {
+        "manifest": "SURFACES",
+        "schema": MANIFEST_SCHEMA_VERSION,
+        "generated_with": {
+            "numpy": np.__version__,
+            "python": platform.python_version(),
+        },
+        "entries": {case.case_id: _compute_entry(case) for case in cases},
+    }
+
+
+def load_manifest(path: str | pathlib.Path = DEFAULT_MANIFEST_PATH) -> dict:
+    path = pathlib.Path(path)
+    payload = json.loads(path.read_text())
+    if not isinstance(payload, dict) or payload.get("manifest") != "SURFACES":
+        raise ValueError(f"{path} is not a golden surface manifest")
+    return payload
+
+
+def write_manifest(
+    manifest: dict, path: str | pathlib.Path = DEFAULT_MANIFEST_PATH
+) -> pathlib.Path:
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def diff_manifest(current: dict, golden: dict) -> list[str]:
+    """Drift of the current computation against the committed golden.
+
+    Returns human-readable problem lines (empty = clean).  Key drift and
+    payload drift are reported separately so the reviewer of a failing
+    gate immediately knows whether caches alias (key) or numerics moved
+    (payload); both demand an explicit ``--update``.
+    """
+    problems: list[str] = []
+    if golden.get("schema") != MANIFEST_SCHEMA_VERSION:
+        problems.append(
+            f"golden manifest schema {golden.get('schema')!r} != "
+            f"{MANIFEST_SCHEMA_VERSION} (regenerate with --update)"
+        )
+        return problems
+    golden_entries = golden.get("entries", {})
+    current_entries = current.get("entries", {})
+    for case_id, pinned in sorted(golden_entries.items()):
+        now = current_entries.get(case_id)
+        if now is None:
+            problems.append(
+                f"{case_id}: pinned case no longer computed — removing a "
+                "case requires an explicit --update"
+            )
+            continue
+        if now.get("disk_key") != pinned.get("disk_key"):
+            problems.append(
+                f"{case_id}: cache KEY drift "
+                f"({pinned.get('disk_key', '')[:12]}... -> "
+                f"{now.get('disk_key', '')[:12]}...): the disk-key recipe "
+                "changed; every deployed surface cache will cold-start. "
+                "If intentional, regen with --update."
+            )
+        if now.get("fingerprint") != pinned.get("fingerprint"):
+            problems.append(
+                f"{case_id}: surface PAYLOAD drift "
+                f"({pinned.get('fingerprint', '')[:12]}... -> "
+                f"{now.get('fingerprint', '')[:12]}...): the computed "
+                "surface bytes changed. If this is an intentional "
+                "algorithm/environment change, regen with --update."
+            )
+    for case_id in sorted(set(current_entries) - set(golden_entries)):
+        problems.append(
+            f"{case_id}: case is computed but not pinned in the golden "
+            "manifest — pin it with --update"
+        )
+    return problems
+
+
+def check_surfaces(
+    manifest_path: str | pathlib.Path = DEFAULT_MANIFEST_PATH,
+) -> list[str]:
+    """The full gate: recompute, load the golden, diff."""
+    path = pathlib.Path(manifest_path)
+    if not path.exists():
+        return [
+            f"golden manifest missing at {path} — bootstrap it with "
+            "'repro regress surfaces --update'"
+        ]
+    return diff_manifest(compute_manifest(), load_manifest(path))

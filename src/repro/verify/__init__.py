@@ -27,7 +27,7 @@ from repro.verify.checks import (
     ScenarioArtifacts,
     build_artifacts,
 )
-from repro.verify.harness import run_matrix, run_scenario
+from repro.verify.harness import counter_deltas, run_matrix, run_scenario
 from repro.verify.report import (
     DEFAULT_GOLDEN_PATH,
     DEFAULT_REPORT_PATH,
@@ -50,6 +50,7 @@ __all__ = [
     "ScenarioArtifacts",
     "DEFAULT_TOLERANCES",
     "build_artifacts",
+    "counter_deltas",
     "run_matrix",
     "run_scenario",
     "Scenario",

@@ -35,11 +35,16 @@ from repro.verify.checks import (
 from repro.verify.report import ScenarioVerdict, VerifyReport
 from repro.verify.scenarios import Scenario, get_scenario, scenario_matrix
 
-__all__ = ["run_scenario", "run_matrix"]
+__all__ = ["counter_deltas", "run_scenario", "run_matrix"]
 
 
-def _counter_deltas(before: dict, after: dict) -> dict:
-    """Counters that moved during a block — the scenario's solve footprint."""
+def counter_deltas(before: dict, after: dict) -> dict:
+    """Counters that moved during a block — the block's solve footprint.
+
+    Shared with the span-budget regression gate
+    (:mod:`repro.regress.spans`), which diffs the registry around its
+    verify-matrix replay with exactly these semantics.
+    """
     return {
         key: value - before.get(key, 0)
         for key, value in after.items()
@@ -92,7 +97,7 @@ def run_scenario(scenario: Scenario, mode: str = "quick") -> ScenarioVerdict:
         verdict.metrics["locks_at_center"] = len(center.locks)
         verdict.metrics["stable_locks_at_center"] = len(center.stable_locks)
     verdict.metrics["obs"] = {
-        "counters": _counter_deltas(counters_before, metrics.snapshot()["counters"])
+        "counters": counter_deltas(counters_before, metrics.snapshot()["counters"])
     }
     verdict.wall_s = watch.elapsed
     return verdict

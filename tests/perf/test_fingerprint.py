@@ -1,10 +1,15 @@
 """Tier-1 tests for output fingerprinting of cached surface records."""
 
 import json
+import tempfile
 
 import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
 
 from repro.perf import payload_fingerprint
+from repro.perf.sharded_cache import ShardedSurfaceCache
 from repro.perf.surface_cache import SurfaceCache
 
 KEY = "ab" * 32
@@ -41,6 +46,59 @@ class TestPayloadFingerprint:
         assert payload_fingerprint(arrays) != payload_fingerprint(renamed)
 
 
+#: Arbitrary named-array payloads: what any surface serialises to.  Names
+#: exclude the reserved ``__meta__`` npz slot; values are small float64
+#: arrays (the hash is over raw bytes, so shape/size diversity is what
+#: matters, not magnitude).
+_payloads = st.dictionaries(
+    st.text(alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=10).filter(
+        lambda name: name != "__meta__"
+    ),
+    hnp.arrays(
+        dtype=np.float64,
+        shape=hnp.array_shapes(max_dims=2, max_side=8),
+        elements=st.floats(allow_nan=False, allow_infinity=False, width=64),
+    ),
+    min_size=1,
+    max_size=4,
+)
+
+
+class TestPayloadFingerprintProperties:
+    """Hypothesis laws for the content hash every regression gate trusts."""
+
+    @given(data=st.data())
+    def test_permutation_invariant(self, data):
+        arrays = data.draw(_payloads)
+        permuted = dict(data.draw(st.permutations(list(arrays.items()))))
+        assert payload_fingerprint(permuted) == payload_fingerprint(arrays)
+
+    @given(data=st.data())
+    def test_every_element_bit_is_load_bearing(self, data):
+        arrays = data.draw(_payloads)
+        name = data.draw(st.sampled_from(sorted(arrays)))
+        index = data.draw(st.integers(0, arrays[name].size - 1))
+        bit = data.draw(st.integers(0, 63))
+        mutated = {key: value.copy() for key, value in arrays.items()}
+        flat = mutated[name].reshape(-1).view(np.uint64)
+        flat[index] ^= np.uint64(1) << np.uint64(bit)
+        assert payload_fingerprint(mutated) != payload_fingerprint(arrays)
+
+    @given(arrays=_payloads)
+    @settings(max_examples=15, deadline=None)
+    def test_stable_across_sharded_cache_roundtrip(self, arrays):
+        fingerprint = payload_fingerprint(arrays)
+        with tempfile.TemporaryDirectory(prefix="repro-fp-prop-") as tmp:
+            ShardedSurfaceCache(tmp).put("prop", fingerprint, arrays)
+            # A fresh instance bypasses the in-process LRU, so the record
+            # round-trips through the npz disk tier.
+            record = ShardedSurfaceCache(tmp).get("prop", fingerprint)
+            assert record is not None
+            loaded, meta = record
+            assert meta["fingerprint"] == fingerprint
+            assert payload_fingerprint(loaded) == fingerprint
+
+
 class TestCacheStamping:
     def test_put_stamps_fingerprint(self, tmp_path):
         cache = SurfaceCache(tmp_path)
@@ -58,6 +116,7 @@ class TestCacheStamping:
         assert coverage == {
             "records": 2,
             "fingerprinted": 2,
+            "legacy": 0,
             "verified": 2,
             "mismatched": 0,
         }
@@ -81,7 +140,7 @@ class TestCacheStamping:
         assert coverage["mismatched"] == 1
         assert coverage["verified"] == 0
 
-    def test_prefingerprint_records_counted_unfingerprinted(self, tmp_path):
+    def test_prefingerprint_records_counted_as_legacy(self, tmp_path):
         cache = SurfaceCache(tmp_path)
         cache.put(KEY, _arrays())
         # Simulate a record written before the fingerprint field existed.
@@ -99,6 +158,7 @@ class TestCacheStamping:
         assert coverage == {
             "records": 1,
             "fingerprinted": 0,
+            "legacy": 1,
             "verified": 0,
             "mismatched": 0,
         }

@@ -1,0 +1,152 @@
+"""Tests for the BENCH history store and tolerance bands (``repro regress bench``)."""
+
+import json
+import pathlib
+
+from repro.cli import main
+from repro.regress import append_history, check_bench_file, load_history
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def _speed_snapshot(speedup: float = 6.0) -> dict:
+    return {
+        "bench": "SPEED",
+        "schema": 1,
+        "methods": {
+            "FIG10": {
+                "speedup_x": speedup,
+                "max_i1_deviation_A": 1e-18,
+                "edge_deviation_rel_width": 1e-10,
+                "t_warm_characterize_s": 0.003,
+            }
+        },
+    }
+
+
+def _sweep_snapshot(width_dev: float = 0.0) -> dict:
+    return {
+        "bench": "SWEEP",
+        "schema": 1,
+        "grids": {
+            "matrix-quick": {
+                "speedup_x": 3.0,
+                "max_width_deviation_rel": width_dev,
+                "status_mismatches": 0,
+            }
+        },
+    }
+
+
+def _write(tmp_path, name, payload) -> pathlib.Path:
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestHistoryStore:
+    def test_append_and_load_round_trip(self, tmp_path):
+        snap = _write(tmp_path, "BENCH_SPEED.json", _speed_snapshot())
+        hist = tmp_path / "history"
+        target = append_history(snap, history_dir=hist)
+        assert target == hist / "SPEED.jsonl"
+        entries = load_history("SPEED", hist)
+        assert len(entries) == 1
+        assert entries[0]["groups"]["FIG10"]["speedup_x"] == 6.0
+        assert entries[0]["source"] == "BENCH_SPEED.json"
+
+    def test_half_written_lines_are_skipped(self, tmp_path):
+        hist = tmp_path / "history"
+        snap = _write(tmp_path, "BENCH_SPEED.json", _speed_snapshot())
+        append_history(snap, history_dir=hist)
+        with (hist / "SPEED.jsonl").open("a") as handle:
+            handle.write('{"bench": "SPEED", "gro')  # crashed CI job
+        assert len(load_history("SPEED", hist)) == 1
+
+
+class TestToleranceBands:
+    def test_no_history_passes_on_absolute_bounds_alone(self, tmp_path):
+        snap = _write(tmp_path, "BENCH_SPEED.json", _speed_snapshot())
+        assert check_bench_file(snap, history_dir=tmp_path / "none") == []
+
+    def test_speedup_below_trailing_median_band_fails(self, tmp_path):
+        """Acceptance criterion: a metric outside its band is a violation."""
+        hist = tmp_path / "history"
+        for speedup in (6.0, 6.5, 5.8):
+            snap = _write(tmp_path, "BENCH_SPEED.json", _speed_snapshot(speedup))
+            append_history(snap, history_dir=hist)
+        slow = _write(tmp_path, "BENCH_SPEED.json", _speed_snapshot(2.0))
+        problems = check_bench_file(slow, history_dir=hist)
+        assert len(problems) == 1
+        assert "fell below 0.8x the trailing median" in problems[0]
+
+    def test_speedup_inside_band_passes(self, tmp_path):
+        hist = tmp_path / "history"
+        snap = _write(tmp_path, "BENCH_SPEED.json", _speed_snapshot(6.0))
+        append_history(snap, history_dir=hist)
+        ok = _write(tmp_path, "BENCH_SPEED.json", _speed_snapshot(5.5))
+        assert check_bench_file(ok, history_dir=hist) == []
+
+    def test_nonzero_width_deviation_fails_without_history(self, tmp_path):
+        """Exactness bounds gate the snapshot itself — no history needed."""
+        bad = _write(tmp_path, "BENCH_SWEEP.json", _sweep_snapshot(1e-9))
+        problems = check_bench_file(bad, history_dir=tmp_path / "none")
+        assert len(problems) == 1
+        assert "max_width_deviation_rel" in problems[0]
+        assert "absolute bound" in problems[0]
+
+    def test_missing_gated_metric_is_a_violation(self, tmp_path):
+        snap = _speed_snapshot()
+        del snap["methods"]["FIG10"]["speedup_x"]
+        path = _write(tmp_path, "BENCH_SPEED.json", snap)
+        problems = check_bench_file(path, history_dir=tmp_path / "none")
+        assert any("missing or non-numeric" in p for p in problems)
+
+    def test_unknown_bench_family_passes_ungated(self, tmp_path):
+        path = _write(
+            tmp_path, "BENCH_OTHER.json", {"bench": "OTHER", "things": {}}
+        )
+        assert check_bench_file(path, history_dir=tmp_path / "none") == []
+
+
+class TestBenchCli:
+    def test_out_of_band_snapshot_exits_nonzero(self, capsys, tmp_path):
+        hist = tmp_path / "history"
+        snap = _write(tmp_path, "BENCH_SPEED.json", _speed_snapshot(6.0))
+        append_history(snap, history_dir=hist)
+        slow = _write(tmp_path, "BENCH_SLOW.json", _speed_snapshot(2.0))
+        code = main(["regress", "bench", str(slow), "--history", str(hist)])
+        assert code == 1
+        assert "bench regression" in capsys.readouterr().err
+
+    def test_record_appends_to_history(self, capsys, tmp_path):
+        hist = tmp_path / "history"
+        snap = _write(tmp_path, "BENCH_SPEED.json", _speed_snapshot())
+        code = main(
+            ["regress", "bench", str(snap), "--history", str(hist), "--record"]
+        )
+        assert code == 0
+        assert len(load_history("SPEED", hist)) == 1
+        assert "appended" in capsys.readouterr().out
+
+    def test_missing_files_are_skipped_not_fatal(self, capsys, tmp_path):
+        code = main(
+            ["regress", "bench", str(tmp_path / "BENCH_NOPE.json"),
+             "--history", str(tmp_path)]
+        )
+        assert code == 0
+        assert "not found (skipped)" in capsys.readouterr().out
+
+    def test_committed_snapshots_pass_their_committed_history(self, capsys):
+        """THE gate CI runs on every push, against the committed files."""
+        files = [
+            str(REPO_ROOT / name)
+            for name in (
+                "BENCH_SPEED.json",
+                "BENCH_TRANSIENT.json",
+                "BENCH_SWEEP.json",
+            )
+        ]
+        history = str(REPO_ROOT / "benchmarks" / "results" / "history")
+        assert main(["regress", "bench", *files, "--history", history]) == 0
+        assert "inside every tolerance band" in capsys.readouterr().out

@@ -1,0 +1,112 @@
+"""Golden-string locks on the cross-PR stability contracts.
+
+Two kinds of name/byte contracts outlive any one PR: the surface cache's
+disk-key recipe (a silent change cold-starts every deployed cache) and
+the v1 trace schema's field names (a silent rename breaks every trace
+consumer).  These tests pin both against **literal** strings — not
+against the code that generates them — so the only way to change them is
+to edit the literals here, which makes the change a reviewed schema
+event.
+
+The disk-key literal uses :class:`~repro.nonlin.CubicNonlinearity`
+(``i(v) = -a v + b v^3``): its probe-grid samples are a handful of exact
+IEEE multiply/adds, bitwise identical on every platform/libm, unlike the
+``tanh`` families whose transcendental samples may vary in the last ulp
+across libm versions.
+"""
+
+import numpy as np
+
+from repro.core.two_tone import surface_disk_key
+from repro.nonlin import CubicNonlinearity
+from repro.obs.tracing import (
+    SPAN_RECORD_FIELDS,
+    TRACE_HEADER_FIELDS,
+    TRACE_SCHEMA_VERSION,
+    Tracer,
+)
+from repro.perf import payload_fingerprint
+
+
+class TestDiskKeyLock:
+    #: Computed once at PR time and frozen.  If this assertion fires, the
+    #: cache-key recipe changed: bump the literal only as a deliberate,
+    #: documented cache-format migration (every fleet cache cold-starts).
+    GOLDEN_KEY = "c6102befecc2523fa1bfbc36c561796b244e40a5a97356474a894fc1bf0fdc72"
+
+    def _key(self):
+        return surface_disk_key(
+            CubicNonlinearity(a=2.5e-3, b=1e-3),
+            np.linspace(0.1, 1.0, 7),
+            0.03,
+            3,
+        )
+
+    def test_disk_key_recipe_is_frozen(self):
+        assert self._key() == self.GOLDEN_KEY
+
+    def test_disk_key_is_pure(self):
+        assert self._key() == self._key()
+
+
+class TestPayloadFingerprintLock:
+    #: Frozen hash of an exact (integer-valued float64) payload: fires if
+    #: the fingerprint domain prefix, the name/hash framing, or the
+    #: per-array hashing ever changes — which would silently invalidate
+    #: every committed golden manifest.
+    GOLDEN_FINGERPRINT = (
+        "03fca141e3e349b41bc2dafae6d31a14ab1ab75b7a738bea7623f7289ef0c706"
+    )
+
+    def test_fingerprint_recipe_is_frozen(self):
+        payload = {
+            "coefficients": np.arange(12, dtype=np.float64).reshape(3, 4),
+            "amplitudes": np.arange(5, dtype=np.float64) / 4.0,
+        }
+        assert payload_fingerprint(payload) == self.GOLDEN_FINGERPRINT
+
+
+class TestTraceSchemaLock:
+    def test_schema_version_is_one(self):
+        assert TRACE_SCHEMA_VERSION == 1
+
+    def test_span_record_field_names(self):
+        assert SPAN_RECORD_FIELDS == (
+            "span_id",
+            "parent_id",
+            "name",
+            "kind",
+            "depth",
+            "t_start_s",
+            "dur_s",
+            "attrs",
+            "events",
+        )
+
+    def test_trace_header_field_names(self):
+        assert TRACE_HEADER_FIELDS == (
+            "trace",
+            "schema",
+            "epoch_unix_s",
+            "spans",
+            "dropped",
+        )
+
+    def test_emitted_records_match_the_lock(self):
+        """A real span/header emits exactly the locked names (no drift
+        between the constants and what ``to_record``/``header`` write)."""
+        own = Tracer()
+        own.enable()
+        with own.span("outer", attrs={"n": 3}) as span:
+            span.event("tick")
+            with own.span("inner"):
+                pass
+        own.disable()
+        records = own.records()
+        assert len(records) == 2
+        for record in records:
+            assert set(record) <= set(SPAN_RECORD_FIELDS)
+        # The outer span carries attrs and events, so it emits every field.
+        outer = records[-1]
+        assert set(outer) == set(SPAN_RECORD_FIELDS)
+        assert tuple(own.header()) == TRACE_HEADER_FIELDS

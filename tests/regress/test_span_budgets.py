@@ -1,0 +1,137 @@
+"""Tests for the span-budget gate (``repro regress spans``).
+
+The verdict logic (:func:`~repro.regress.spans.evaluate_budgets`) is pure
+over telemetry deltas, so most cases here feed synthetic deltas and cost
+nothing.  Two tests drive the real gate through the CLI with a single
+scenario — one with an impossible budget (the acceptance criterion: a
+span-budget overrun exits non-zero) and one with lenient budgets (the
+replay machinery itself works end to end, including the trace file).
+"""
+
+import pathlib
+
+import pytest
+
+from repro.cli import main
+from repro.obs import validate_trace
+from repro.regress import SPAN_BUDGETS, SpanBudget, evaluate_budgets
+
+
+def _verdict(verdicts, name):
+    matches = [v for v in verdicts if v.name == name]
+    assert len(matches) == 1, f"expected exactly one verdict named {name}"
+    return matches[0]
+
+
+class TestEvaluateBudgets:
+    def test_counter_overrun_is_a_violation(self):
+        budgets = (SpanBudget("df.evaluations", "counter", "df.evaluations",
+                              max=100), )
+        verdicts = evaluate_budgets(
+            {"df.evaluations{method=fft}": 80, "df.evaluations{method=dense}": 30},
+            {}, {}, budgets,
+        )
+        verdict = _verdict(verdicts, "df.evaluations")
+        assert verdict.value == 110  # labelled variants sum
+        assert not verdict.ok
+        assert "exceeds budget max" in verdict.detail
+
+    def test_counter_within_budget_passes(self):
+        budgets = (SpanBudget("hb.solves", "counter", "hb.solves", max=10),)
+        verdicts = evaluate_budgets({"hb.solves": 5}, {}, {}, budgets)
+        assert _verdict(verdicts, "hb.solves").ok
+
+    def test_histogram_sum_overrun(self):
+        budgets = (SpanBudget("hb.iterations", "histogram_sum",
+                              "hb.iterations", max=40), )
+        verdicts = evaluate_budgets(
+            {}, {"hb.iterations{kind=lock}": 35, "hb.iterations{kind=natural}": 10},
+            {}, budgets,
+        )
+        verdict = _verdict(verdicts, "hb.iterations")
+        assert verdict.value == 45
+        assert not verdict.ok
+
+    def test_ladder_family_budget_catches_any_escalation(self):
+        budgets = (SpanBudget("ladder.escalations", "counter", "ladder.",
+                              max=0), )
+        verdicts = evaluate_budgets(
+            {"ladder.attempts{op=lockrange}": 1}, {}, {}, budgets
+        )
+        assert not _verdict(verdicts, "ladder.escalations").ok
+
+    def test_hit_rate_below_min_is_a_violation(self):
+        budgets = (SpanBudget("cache.hit_rate", "hit_rate", "cache", min=0.5),)
+        verdicts = evaluate_budgets(
+            {"cache.hits": 1, "cache.misses": 9}, {}, {}, budgets
+        )
+        verdict = _verdict(verdicts, "cache.hit_rate")
+        assert verdict.value == pytest.approx(0.1)
+        assert not verdict.ok
+
+    def test_hit_rate_skips_when_no_lookups(self):
+        budgets = (SpanBudget("cache.hit_rate", "hit_rate", "cache", min=0.5),)
+        verdicts = evaluate_budgets({}, {}, {}, budgets)
+        verdict = _verdict(verdicts, "cache.hit_rate")
+        assert verdict.ok
+        assert verdict.value is None
+        assert "skipped" in verdict.detail
+
+    def test_span_count_overrun(self):
+        budgets = (SpanBudget("spans.characterize", "span_count",
+                              "characterize", max=3), )
+        verdicts = evaluate_budgets({}, {}, {"characterize": 5}, budgets)
+        assert not _verdict(verdicts, "spans.characterize").ok
+
+    def test_unknown_kind_fails_loudly(self):
+        budgets = (SpanBudget("x", "nonsense", "x", max=1),)
+        verdicts = evaluate_budgets({}, {}, {}, budgets)
+        verdict = _verdict(verdicts, "x")
+        assert not verdict.ok
+        assert "unknown budget kind" in verdict.detail
+
+    def test_declared_budgets_are_well_formed(self):
+        """Every shipped budget must have a bound and a known kind."""
+        kinds = {"counter", "histogram_sum", "hit_rate", "span_count"}
+        for budget in SPAN_BUDGETS:
+            assert budget.kind in kinds
+            assert budget.max is not None or budget.min is not None
+
+
+class TestSpanGateCli:
+    def test_budget_overrun_exits_nonzero(self, capsys, monkeypatch):
+        """Acceptance criterion: a span-budget overrun exits non-zero."""
+        import repro.regress.spans as spans_mod
+
+        impossible = (
+            SpanBudget("df.evaluations", "counter", "df.evaluations", max=0),
+        )
+        monkeypatch.setattr(spans_mod, "SPAN_BUDGETS", impossible)
+        code = main(["regress", "spans", "--scenario", "tanh-n3-vi030m"])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "span budgets violated" in captured.err
+        assert "exceeds budget max 0" in captured.out
+
+    def test_clean_replay_passes_and_writes_a_valid_trace(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        import repro.regress.spans as spans_mod
+
+        lenient = (
+            SpanBudget("df.evaluations", "counter", "df.evaluations",
+                       max=10_000_000),
+            SpanBudget("ladder.escalations", "counter", "ladder.", max=0),
+        )
+        monkeypatch.setattr(spans_mod, "SPAN_BUDGETS", lenient)
+        trace_out = tmp_path / "replay.jsonl"
+        code = main(
+            ["regress", "spans", "--scenario", "tanh-n3-vi030m",
+             "--trace-out", str(trace_out)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 scenario(s)" in out
+        assert "clean" in out
+        assert trace_out.exists()
+        assert validate_trace(trace_out) == []

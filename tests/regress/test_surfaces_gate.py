@@ -1,0 +1,110 @@
+"""Tests for the golden surface manifest gate (``repro regress surfaces``)."""
+
+import json
+import pathlib
+
+from repro.cli import main
+from repro.regress import (
+    MANIFEST_CASES,
+    compute_manifest,
+    diff_manifest,
+    load_manifest,
+    write_manifest,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+COMMITTED_MANIFEST = REPO_ROOT / "tests" / "regress" / "golden" / "manifest.json"
+
+
+class TestManifestComputation:
+    def test_every_declared_case_is_computed(self):
+        manifest = compute_manifest()
+        assert set(manifest["entries"]) == {c.case_id for c in MANIFEST_CASES}
+        for entry in manifest["entries"].values():
+            assert len(entry["disk_key"]) == 64
+            assert len(entry["fingerprint"]) == 64
+
+    def test_self_diff_is_clean(self):
+        manifest = compute_manifest()
+        assert diff_manifest(manifest, manifest) == []
+
+    def test_committed_manifest_matches_current_code(self):
+        """THE gate: the code computes exactly the pinned surfaces.
+
+        If this fails, the numerics (or the cache-key recipe) drifted:
+        either fix the regression or — for an intentional change — regen
+        with ``repro regress surfaces --update`` and have the new
+        fingerprints reviewed.
+        """
+        golden = load_manifest(COMMITTED_MANIFEST)
+        assert diff_manifest(compute_manifest(), golden) == []
+
+
+class TestDiffClassification:
+    def _golden(self):
+        return compute_manifest()
+
+    def test_payload_drift_is_reported_as_payload(self):
+        golden = self._golden()
+        current = json.loads(json.dumps(golden))
+        case = next(iter(current["entries"]))
+        current["entries"][case]["fingerprint"] = "0" * 64
+        problems = diff_manifest(current, golden)
+        assert len(problems) == 1
+        assert "PAYLOAD drift" in problems[0]
+        assert case in problems[0]
+
+    def test_key_drift_is_reported_as_key(self):
+        golden = self._golden()
+        current = json.loads(json.dumps(golden))
+        case = next(iter(current["entries"]))
+        current["entries"][case]["disk_key"] = "f" * 64
+        problems = diff_manifest(current, golden)
+        assert len(problems) == 1
+        assert "KEY drift" in problems[0]
+
+    def test_removed_case_requires_update(self):
+        golden = self._golden()
+        current = json.loads(json.dumps(golden))
+        case = next(iter(current["entries"]))
+        del current["entries"][case]
+        problems = diff_manifest(current, golden)
+        assert any("no longer computed" in p for p in problems)
+
+    def test_unpinned_case_requires_update(self):
+        golden = self._golden()
+        current = json.loads(json.dumps(golden))
+        current["entries"]["new-case"] = dict(
+            next(iter(current["entries"].values()))
+        )
+        problems = diff_manifest(current, golden)
+        assert any("not pinned" in p for p in problems)
+
+
+class TestSurfacesCli:
+    def test_mutated_golden_fails_the_gate(self, capsys, tmp_path):
+        """Acceptance criterion: a mutated fingerprint exits non-zero."""
+        golden = load_manifest(COMMITTED_MANIFEST)
+        case = next(iter(golden["entries"]))
+        golden["entries"][case]["fingerprint"] = "0" * 64
+        mutated = tmp_path / "manifest.json"
+        write_manifest(golden, mutated)
+
+        assert main(["regress", "surfaces", "--manifest", str(mutated)]) == 1
+        err = capsys.readouterr().err
+        assert "PAYLOAD drift" in err
+        assert "--update" in err
+
+    def test_update_then_check_round_trips(self, capsys, tmp_path):
+        target = tmp_path / "manifest.json"
+        assert main(["regress", "surfaces", "--manifest", str(target),
+                     "--update"]) == 0
+        assert target.exists()
+        assert main(["regress", "surfaces", "--manifest", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "match the golden manifest" in out
+
+    def test_missing_manifest_points_at_bootstrap(self, capsys, tmp_path):
+        missing = tmp_path / "nope.json"
+        assert main(["regress", "surfaces", "--manifest", str(missing)]) == 1
+        assert "--update" in capsys.readouterr().err

@@ -97,3 +97,35 @@ class TestMethodAndProfile:
         assert record["argv"] == ["--profile", "lockrange", "--oscillator", "tanh"]
         assert "characterize" in record["phases"]
         assert {"hits", "misses"} <= set(record["cache"])
+
+
+class TestCacheStats:
+    def test_stats_report_legacy_records_separately(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        """Pre-fingerprint records show as 'legacy', not as missing coverage."""
+        import numpy as np
+
+        from repro.perf.surface_cache import SurfaceCache
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        cache = SurfaceCache(tmp_path)
+        cache.put("ab" * 32, {"coefficients": np.arange(4.0)})
+        # Strip the fingerprint from a second record: a legacy store from
+        # before output fingerprints existed.
+        legacy_key = "cd" * 32
+        cache.put(legacy_key, {"coefficients": np.arange(3.0)})
+        path = cache.path_for(legacy_key)
+        with np.load(path, allow_pickle=False) as record:
+            meta = json.loads(str(record["__meta__"]))
+            arrays = {
+                name: record[name] for name in record.files if name != "__meta__"
+            }
+        meta.pop("fingerprint")
+        np.savez(path, __meta__=np.asarray(json.dumps(meta)), **arrays)
+
+        assert main(["cache", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "records with output fingerprint: 1/1" in out
+        assert "legacy pre-fingerprint 1" in out
