@@ -1,46 +1,59 @@
 #!/usr/bin/env python
-"""Validate observability artifacts against their schemas.
+"""Validate observability and service artifacts against their schemas.
 
 Usage::
 
-    python scripts/check_obs_schemas.py TRACE.jsonl [OBS_REPORT.json]
+    python scripts/check_obs_schemas.py ARTIFACT [ARTIFACT ...]
 
-Runs the same structural validators the ``repro obs --validate`` command
-uses (header magic + schema version, span record shapes, parent/depth
-referential integrity, report field types) and exits non-zero listing
-every problem found.  CI runs this against the artifacts of a traced
-smoke run so a schema drift fails the build instead of silently breaking
-downstream consumers.
+Each artifact is dispatched to its structural validator by shape:
+
+* ``*.jsonl`` files are span traces (header magic + schema version, span
+  record shapes, parent/depth referential integrity);
+* JSON documents with ``"report": "SERVE"`` are ``SERVE_REPORT.json``
+  run summaries (terminal tallies must add up, the dead-letter list must
+  match its tally);
+* any other JSON document is an ``OBS_REPORT.json`` metrics snapshot.
+
+These are the same validators ``repro obs --validate`` and the service
+report module use.  Exits non-zero listing every problem found, so a
+schema drift fails CI instead of silently breaking downstream consumers.
 """
 
 from __future__ import annotations
 
+import json
 import sys
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.obs import validate_obs_report, validate_trace  # noqa: E402
+from repro.serve import validate_serve_report  # noqa: E402
+
+
+def _validate_one(path: Path) -> list[str]:
+    if path.suffix == ".jsonl":
+        return list(validate_trace(path))
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"unreadable JSON: {exc}"]
+    if isinstance(doc, dict) and doc.get("report") == "SERVE":
+        return list(validate_serve_report(doc))
+    return list(validate_obs_report(path))
 
 
 def main(argv: list[str]) -> int:
-    if not argv or len(argv) > 2:
+    if not argv:
         print(__doc__, file=sys.stderr)
         return 2
     problems: list[str] = []
-    trace_path = Path(argv[0])
-    try:
-        problems += [f"{trace_path}: {p}" for p in validate_trace(trace_path)]
-    except (OSError, ValueError) as exc:
-        problems.append(f"{trace_path}: {exc}")
-    if len(argv) == 2:
-        report_path = Path(argv[1])
+    for arg in argv:
+        path = Path(arg)
         try:
-            problems += [
-                f"{report_path}: {p}" for p in validate_obs_report(report_path)
-            ]
+            problems += [f"{path}: {p}" for p in _validate_one(path)]
         except (OSError, ValueError) as exc:
-            problems.append(f"{report_path}: {exc}")
+            problems.append(f"{path}: {exc}")
     if problems:
         for problem in problems:
             print(f"invalid: {problem}", file=sys.stderr)

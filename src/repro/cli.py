@@ -12,7 +12,13 @@ Gives designers the paper's analyses without writing Python:
 * ``faults``     — the deterministic fault-injection matrix (DESIGN.md
   §8): break the pipeline on purpose, assert every scenario recovers via
   a documented escalation rung or fails typed; writes
-  ``FAULTS_REPORT.json``,
+  ``FAULTS_REPORT.json`` (``--serve`` runs the service-layer chaos suite
+  of DESIGN.md §13 against a live job service instead),
+* ``serve``      — the resilient HTTP job service (DESIGN.md §13):
+  lockrange/natural/tongue jobs with per-tenant admission control,
+  wall-clock deadlines, transient-fault retries, crash-isolated worker
+  subprocesses, and graceful degradation; writes ``SERVE_REPORT.json``
+  on shutdown,
 * ``obs``        — render a ``--trace`` file as a span tree with
   per-phase totals (or validate its schema with ``--validate``),
 * ``cache``      — inspect or clear the persistent surface cache.
@@ -215,15 +221,81 @@ def _cmd_faults(args) -> int:
         for scenario in fault_scenarios(quick=False):
             print(f"{scenario.scenario_id}: {scenario.description} "
                   f"[expect {scenario.expectation}: {scenario.expected_fault}]")
+        if args.serve:
+            from repro.serve.chaos import serve_scenarios
+
+            for scenario in serve_scenarios():
+                print(f"{scenario.scenario_id}: {scenario.description} "
+                      f"[expect {scenario.expectation}: {scenario.expected_fault}]"
+                      " [service]")
         return 0
-    quick = not args.full
-    report = run_fault_matrix(
-        quick=quick, progress=lambda line: print(f".. {line}", flush=True)
-    )
+    if args.serve:
+        from repro.serve.chaos import run_serve_fault_matrix
+
+        report = run_serve_fault_matrix(
+            progress=lambda line: print(f".. {line}", flush=True)
+        )
+    else:
+        quick = not args.full
+        report = run_fault_matrix(
+            quick=quick, progress=lambda line: print(f".. {line}", flush=True)
+        )
     print(report.format())
     path = report.write(args.report)
     print(f"report written to {path}")
     return 0 if report.passed else 1
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+    import signal
+
+    from repro.serve import JobService, ServeConfig, write_serve_report
+    from repro.serve.admission import load_tenant_config
+    from repro.serve.httpd import start_http_server
+    from repro.serve.retry import RetryPolicy
+
+    tenants = (
+        load_tenant_config(args.tenant_config) if args.tenant_config else {}
+    )
+    config = ServeConfig(
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        tenants=tenants,
+        retry=RetryPolicy(max_attempts=args.max_attempts),
+        default_deadline_s=parse_value(args.deadline),
+        allow_chaos=args.allow_chaos,
+    )
+
+    async def _serve_forever() -> int:
+        service = JobService(config)
+        await service.start()
+        server = await start_http_server(
+            service, host=args.host, port=args.port
+        )
+        port = server.sockets[0].getsockname()[1]
+        print(
+            f"repro serve listening on http://{args.host}:{port} "
+            f"({config.workers} workers, queue limit {config.queue_limit}"
+            f"{', chaos enabled' if config.allow_chaos else ''})",
+            flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, stop.set)
+        try:
+            await stop.wait()
+            print("shutting down ...", flush=True)
+        finally:
+            server.close()
+            await server.wait_closed()
+            await service.stop()
+            path = write_serve_report(service, args.report)
+            print(f"serve report written to {path}", flush=True)
+        return 1 if service.unhandled_errors else 0
+
+    return asyncio.run(_serve_forever())
 
 
 def _cmd_experiment(args) -> int:
@@ -588,7 +660,59 @@ def build_parser() -> argparse.ArgumentParser:
         default="FAULTS_REPORT.json",
         help="output path for the machine-readable report",
     )
+    p_faults.add_argument(
+        "--serve",
+        action="store_true",
+        help="run the service-layer chaos suite instead (worker kills, "
+        "stalls, queue floods, corrupt shards, malformed specs) against a "
+        "live repro-serve instance",
+    )
     p_faults.set_defaults(func=_cmd_faults)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="HTTP job service over the sweep engine (admission control, "
+        "deadlines, retries, graceful degradation)",
+        description="Serve lockrange/natural/tongue jobs over HTTP with "
+        "per-tenant rate limits and quotas, a bounded queue (typed 429/503 "
+        "with Retry-After), wall-clock deadlines enforced down into the "
+        "escalation ladder, crash-isolated worker subprocesses, and a "
+        "stale-cache / coarse-estimate degradation chain. Writes "
+        "SERVE_REPORT.json on shutdown.",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_serve.add_argument(
+        "--port", type=int, default=8321, help="bind port (0 picks a free one)"
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=2, help="solver worker subprocesses"
+    )
+    p_serve.add_argument(
+        "--queue-limit", type=int, default=16,
+        help="bounded job-queue size (beyond it submissions get 503)",
+    )
+    p_serve.add_argument(
+        "--tenant-config", default=None,
+        help="JSON file of per-tenant rate/quota policies "
+        '({"default": {...}, "tenants": {...}})',
+    )
+    p_serve.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="attempt cap per job for transient-fault retries",
+    )
+    p_serve.add_argument(
+        "--deadline", default="30",
+        help="default per-job wall-clock budget in seconds",
+    )
+    p_serve.add_argument(
+        "--allow-chaos", action="store_true",
+        help="honour chaos instrumentation in job specs (testing only)",
+    )
+    p_serve.add_argument(
+        "--report", default="SERVE_REPORT.json",
+        help="shutdown report path",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_exp = sub.add_parser("experiment", help="run a DESIGN.md experiment by id")
     p_exp.add_argument("id", help="experiment id, e.g. FIG10 or TAB1")

@@ -45,6 +45,13 @@ __all__ = ["ShardedSurfaceCache"]
 
 _DEFAULT_LRU_BYTES = 256 * 2**20  # 256 MiB of deserialised surfaces
 _DEFAULT_SHARD_ENTRIES = 128
+#: How long a waiter trusts another caller's single-flight latch before
+#: assuming the leader died without releasing it (a killed worker thread,
+#: an interpreter-level cancellation that skipped the ``finally``) and
+#: taking the build over itself.  Generous against real build times; the
+#: takeover only costs a duplicate build, never correctness (disk puts
+#: are atomic).
+_DEFAULT_FLIGHT_TIMEOUT_S = 30.0
 
 
 def _payload_nbytes(arrays: dict[str, np.ndarray]) -> int:
@@ -73,6 +80,7 @@ class ShardedSurfaceCache:
         *,
         max_entries_per_shard: int = _DEFAULT_SHARD_ENTRIES,
         lru_bytes: int = _DEFAULT_LRU_BYTES,
+        flight_timeout_s: float = _DEFAULT_FLIGHT_TIMEOUT_S,
     ):
         self.root = (
             pathlib.Path(root)
@@ -83,8 +91,11 @@ class ShardedSurfaceCache:
             raise ValueError("max_entries_per_shard must be >= 1")
         if lru_bytes < 0:
             raise ValueError("lru_bytes must be >= 0")
+        if flight_timeout_s <= 0:
+            raise ValueError("flight_timeout_s must be > 0")
         self.max_entries_per_shard = int(max_entries_per_shard)
         self.lru_bytes = int(lru_bytes)
+        self.flight_timeout_s = float(flight_timeout_s)
         self._shards: dict[str, SurfaceCache] = {}
         # In-process LRU: (shard, key) -> (arrays, meta, nbytes).
         self._lru: OrderedDict[tuple[str, str], tuple[dict, dict, int]] = (
@@ -164,6 +175,17 @@ class ShardedSurfaceCache:
         with self._mutex:
             return {"entries": len(self._lru), "bytes": self._lru_total}
 
+    @property
+    def inflight_count(self) -> int:
+        """Single-flight latches currently held (0 when the tier is idle).
+
+        A healthy cache returns to 0 after every batch — the concurrency
+        regression tests (and the serve readiness probe) assert on this to
+        catch leaked latches.
+        """
+        with self._mutex:
+            return len(self._flights)
+
     # -- record I/O -----------------------------------------------------------
 
     def get(self, shard: str, key: str):
@@ -211,6 +233,31 @@ class ShardedSurfaceCache:
         if event is not None:
             event.set()
 
+    def _await_flight(self, shard: str, key: str, event: threading.Event) -> None:
+        """Wait on another caller's flight, with a leaked-latch backstop.
+
+        Normally the leader's ``finally`` releases the flight even when its
+        build raises.  But a leader that dies *without* unwinding (a worker
+        thread killed by its host process, an interpreter shutdown racing
+        the build) would otherwise wedge every waiter forever on a latch
+        nobody will ever set.  After ``flight_timeout_s`` the waiter stops
+        trusting the latch: if it is still the registered flight, the
+        waiter evicts it (waking any other waiters parked on it) and
+        returns, at which point the caller's re-probe loop elects a new
+        leader.  The cost of a wrong guess — a slow-but-alive leader — is
+        one duplicate build against an atomic disk put, never corruption.
+        """
+        if event.wait(self.flight_timeout_s):
+            return
+        with self._mutex:
+            if self._flights.get((shard, key)) is event:
+                del self._flights[(shard, key)]
+                metrics.inc("cache.singleflight_takeovers")
+        # Wake any other waiters parked behind the same presumed-dead
+        # leader so they re-probe too instead of waiting out their own
+        # full timeouts.
+        event.set()
+
     def get_or_build(self, shard: str, key: str, builder):
         """Fetch a record, building it at most once across threads.
 
@@ -226,7 +273,7 @@ class ShardedSurfaceCache:
                 return record
             event = self._acquire_flight(shard, key)
             if event is not None:
-                event.wait()
+                self._await_flight(shard, key, event)
                 continue  # re-probe: leader stored it (or failed; we lead next)
             try:
                 record = self.get(shard, key)  # lost race: stored before our flight
@@ -295,7 +342,7 @@ class ShardedSurfaceCache:
                     if event is None:
                         held.append(key)
                         break
-                    event.wait()
+                    self._await_flight(shard, key, event)
                 # Another flight may have stored it while we waited.
                 record = self.get(shard, key)
                 if record is not None:

@@ -47,6 +47,11 @@ FAULT_KINDS: frozenset[str] = frozenset(
         "no-oscillation",  # start-up criterion / no stable T_f = 1 crossing
         "cache-corruption",  # quarantined persistent-cache record
         "suspicious-result",  # structurally implausible result worth a retry
+        "budget-exhausted",  # wall-clock deadline hit before/while escalating
+        "worker-crash",  # a serving worker subprocess died mid-solve
+        "worker-stall",  # a serving worker overran its deadline and was killed
+        "queue-saturated",  # admission rejected the job: queue/rate limits
+        "malformed-spec",  # a job specification failed validation
         "unexpected-error",  # anything not in this vocabulary
     }
 )

@@ -34,6 +34,7 @@ from repro.robust.diagnostics import SolveDiagnostics
 from repro.robust.faults import NumericalFaultError
 
 __all__ = [
+    "FAULTS_SCHEMA_VERSION",
     "patched",
     "failing_first",
     "FaultScenario",
@@ -42,6 +43,12 @@ __all__ = [
     "fault_scenarios",
     "run_fault_matrix",
 ]
+
+#: FAULTS_REPORT.json schema.  v2 adds the per-outcome ``layer`` field
+#: ("solver" for this module's scenarios, "service" for the serve-layer
+#: chaos suite) and the top-level ``layers`` tally; every v1 field is
+#: unchanged, so v1 consumers keep working.
+FAULTS_SCHEMA_VERSION = 2
 
 
 @contextlib.contextmanager
@@ -116,6 +123,7 @@ class FaultOutcome:
     fault_kinds: list[str] = field(default_factory=list)
     recovered_via: str | None = None
     diagnostics: dict | None = None
+    layer: str = "solver"
 
     def to_dict(self) -> dict:
         return {
@@ -127,6 +135,7 @@ class FaultOutcome:
             "fault_kinds": list(self.fault_kinds),
             "recovered_via": self.recovered_via,
             "diagnostics": self.diagnostics,
+            "layer": self.layer,
         }
 
 
@@ -533,9 +542,16 @@ class FaultReport:
         return all(o.ok for o in self.outcomes)
 
     def to_dict(self) -> dict:
+        layers: dict[str, dict[str, int]] = {}
+        for o in self.outcomes:
+            tally = layers.setdefault(o.layer, {"total": 0, "ok": 0})
+            tally["total"] += 1
+            tally["ok"] += int(o.ok)
         return {
             "mode": self.mode,
+            "schema": FAULTS_SCHEMA_VERSION,
             "passed": self.passed,
+            "layers": layers,
             "outcomes": [o.to_dict() for o in self.outcomes],
         }
 
@@ -545,8 +561,9 @@ class FaultReport:
         for o in self.outcomes:
             mark = "ok  " if o.ok else "FAIL"
             via = f" via {o.recovered_via}" if o.recovered_via else ""
+            layer = f" [{o.layer}]" if o.layer != "solver" else ""
             lines.append(
-                f"  [{mark}] {o.scenario} ({o.expectation}{via}): {o.detail}"
+                f"  [{mark}] {o.scenario}{layer} ({o.expectation}{via}): {o.detail}"
             )
         return "\n".join(lines)
 

@@ -133,6 +133,7 @@ def run_ladder(
     attempt: Callable[[dict], Any],
     *,
     retry_on_result: Callable[[Any], bool] | None = None,
+    deadline: float | None = None,
 ) -> RobustResult:
     """Execute an escalation ladder.
 
@@ -149,12 +150,22 @@ def run_ladder(
         suspicious (e.g. zero lock states at the tank centre); the ladder
         then escalates, keeping the suspicious result as the fallback
         answer should every later rung fail too.
+    deadline:
+        Optional wall-clock deadline as a ``time.monotonic()`` timestamp.
+        Every rung checks the remaining budget *before* starting: once the
+        deadline has passed, the ladder stops climbing and records a
+        ``budget-exhausted`` fault instead of overrunning — a slow
+        dense-referee rung can no longer run arbitrarily long past the
+        caller's budget.  A fallback result (or the typed exception of the
+        last attempted rung) still carries the full diagnostics.
 
     Raises
     ------
     The final rung's typed exception, with ``.diagnostics`` attached, when
     every attempted rung faulted (or a non-recoverable fault stopped the
-    climb early).
+    climb early).  When the deadline expires before any rung produced a
+    result or typed failure, a :class:`NumericalFaultError` carrying the
+    ``budget-exhausted`` fault is raised instead.
     """
     diagnostics = SolveDiagnostics(stage=policy.stage)
     recoverable = _recoverable_exceptions()
@@ -166,6 +177,19 @@ def run_ladder(
         "ladder", attrs={"stage": policy.stage, "budget": budget}
     ) as ladder_sp:
         for index, rung in enumerate(policy.rungs[:budget]):
+            if deadline is not None and time.monotonic() >= deadline:
+                diagnostics.record_fault(
+                    SolveFault(
+                        "budget-exhausted",
+                        policy.stage,
+                        f"wall-clock deadline reached before rung "
+                        f"'{rung.name}' ({index}/{budget} attempted)",
+                        recoverable=False,
+                    )
+                )
+                metrics.inc("ladder.budget_exhausted", stage=policy.stage)
+                ladder_sp.set(budget_exhausted=True)
+                break
             params = dict(rung.overrides)
             start = time.perf_counter()
             with trace(
@@ -250,7 +274,12 @@ def run_ladder(
             # suspicious answer is still the best (and a correct) one we have.
             ladder_sp.set(outcome="fallback")
             return RobustResult(fallback, diagnostics)
-        assert last_exc is not None
+        if last_exc is None:
+            # The deadline expired before the first rung could even start:
+            # there is no typed solver exception to re-raise, so surface
+            # the budget fault itself as the typed failure.
+            budget_fault = diagnostics.faults[-1]
+            last_exc = NumericalFaultError(budget_fault)
         ladder_sp.set(outcome="exhausted")
         metrics.inc("ladder.exhausted", stage=policy.stage)
         last_exc.diagnostics = diagnostics
@@ -372,7 +401,9 @@ def _widened_window(nonlinearity, tank, scale: float, n_samples: int):
     return (0.3 * natural.amplitude / scale, 1.4 * natural.amplitude * scale)
 
 
-def robust_natural(nonlinearity, tank, *, policy=None, **kwargs) -> RobustResult:
+def robust_natural(
+    nonlinearity, tank, *, policy=None, deadline=None, **kwargs
+) -> RobustResult:
     """Fault-tolerant :func:`repro.core.natural.predict_natural_oscillation`."""
     from repro.core.natural import predict_natural_oscillation
     from repro.robust.guards import guard_tank
@@ -383,11 +414,11 @@ def robust_natural(nonlinearity, tank, *, policy=None, **kwargs) -> RobustResult
     def attempt(overrides: dict):
         return predict_natural_oscillation(nonlinearity, tank, **{**kwargs, **overrides})
 
-    return run_ladder(policy, attempt)
+    return run_ladder(policy, attempt, deadline=deadline)
 
 
 def robust_solve_lock_states(
-    nonlinearity, tank, *, v_i, w_injection, n, policy=None, **kwargs
+    nonlinearity, tank, *, v_i, w_injection, n, policy=None, deadline=None, **kwargs
 ) -> RobustResult:
     """Fault-tolerant :func:`repro.core.shil.solve_lock_states`.
 
@@ -420,11 +451,13 @@ def robust_solve_lock_states(
     def suspicious(solution) -> bool:
         return not solution.locks and abs(solution.phi_d) < 0.02
 
-    return run_ladder(policy, attempt, retry_on_result=suspicious)
+    return run_ladder(
+        policy, attempt, retry_on_result=suspicious, deadline=deadline
+    )
 
 
 def robust_predict_lock_range(
-    nonlinearity, tank, *, v_i, n, policy=None, **kwargs
+    nonlinearity, tank, *, v_i, n, policy=None, deadline=None, **kwargs
 ) -> RobustResult:
     """Fault-tolerant :func:`repro.core.lockrange.predict_lock_range`."""
     from repro.core.lockrange import predict_lock_range
@@ -445,10 +478,12 @@ def robust_predict_lock_range(
             merged.pop("_widen_window", None)
         return predict_lock_range(nonlinearity, tank, v_i=v_i, n=n, **merged)
 
-    return run_ladder(policy, attempt)
+    return run_ladder(policy, attempt, deadline=deadline)
 
 
-def robust_hb_natural(nonlinearity, tank, *, policy=None, **kwargs) -> RobustResult:
+def robust_hb_natural(
+    nonlinearity, tank, *, policy=None, deadline=None, **kwargs
+) -> RobustResult:
     """Fault-tolerant :func:`repro.core.harmonic_balance.hb_natural_oscillation`."""
     from repro.core.harmonic_balance import hb_natural_oscillation
     from repro.robust.guards import guard_tank
@@ -459,7 +494,7 @@ def robust_hb_natural(nonlinearity, tank, *, policy=None, **kwargs) -> RobustRes
     def attempt(overrides: dict):
         return hb_natural_oscillation(nonlinearity, tank, **{**kwargs, **overrides})
 
-    return run_ladder(policy, attempt)
+    return run_ladder(policy, attempt, deadline=deadline)
 
 
 #: V_i fractions walked by the harmonic-balance continuation rung.  The
@@ -506,7 +541,7 @@ def _hb_lock_continuation(nonlinearity, tank, *, v_i, w_injection, n, **kwargs):
 
 
 def robust_hb_lock_state(
-    nonlinearity, tank, *, v_i, w_injection, n, policy=None, **kwargs
+    nonlinearity, tank, *, v_i, w_injection, n, policy=None, deadline=None, **kwargs
 ) -> RobustResult:
     """Fault-tolerant :func:`repro.core.harmonic_balance.hb_lock_state`."""
     from repro.core.harmonic_balance import hb_lock_state
@@ -525,4 +560,4 @@ def robust_hb_lock_state(
             nonlinearity, tank, v_i=v_i, w_injection=w_injection, n=n, **merged
         )
 
-    return run_ladder(policy, attempt)
+    return run_ladder(policy, attempt, deadline=deadline)

@@ -1,0 +1,84 @@
+"""Resilient HTTP job service over the sweep engine and robust solvers.
+
+The serving layer (DESIGN.md §13) turns the prediction pipeline into a
+long-running, multi-tenant service with production failure semantics:
+
+* :mod:`repro.serve.jobs` — the job model: validated specs, the
+  lifecycle state machine, the dead-letter log;
+* :mod:`repro.serve.admission` — token-bucket rate limits, per-tenant
+  quotas, bounded-queue backpressure (typed 429/503 + ``Retry-After``);
+* :mod:`repro.serve.retry` — capped exponential backoff with
+  deterministic jitter for transient faults;
+* :mod:`repro.serve.workers` — the crash-isolated subprocess pool with
+  deadline kills and self-healing health checks;
+* :mod:`repro.serve.service` — the orchestrator enforcing *every
+  admitted job terminates in exactly one of completed / degraded /
+  dead-lettered*, including the stale-cache / coarse-estimate
+  degradation chain;
+* :mod:`repro.serve.httpd` — the stdlib asyncio HTTP front
+  (``/v1/jobs``, ``/healthz``, ``/readyz``, ``/metricz``,
+  ``/v1/report``);
+* :mod:`repro.serve.client` — the blocking client helper;
+* :mod:`repro.serve.report` — the versioned SERVE_REPORT.json artifact;
+* :mod:`repro.serve.chaos` — the service-layer chaos suite
+  (``repro faults --serve``).
+"""
+
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    TenantPolicy,
+    TokenBucket,
+    load_tenant_config,
+)
+from repro.serve.client import ServeClient, ServeUnavailableError
+from repro.serve.jobs import (
+    JOB_KINDS,
+    JobRecord,
+    JobSpec,
+    JobStore,
+    MalformedJobError,
+    parse_job,
+)
+from repro.serve.report import (
+    SERVE_SCHEMA_VERSION,
+    build_serve_report,
+    validate_serve_report,
+    write_serve_report,
+)
+from repro.serve.retry import RetryPolicy
+from repro.serve.service import JobService, ServeConfig, ServiceThread
+from repro.serve.workers import (
+    WorkerCrashError,
+    WorkerPool,
+    WorkerStallError,
+    execute_job,
+)
+
+__all__ = [
+    "JOB_KINDS",
+    "SERVE_SCHEMA_VERSION",
+    "AdmissionController",
+    "AdmissionDecision",
+    "JobRecord",
+    "JobService",
+    "JobSpec",
+    "JobStore",
+    "MalformedJobError",
+    "RetryPolicy",
+    "ServeClient",
+    "ServeConfig",
+    "ServeUnavailableError",
+    "ServiceThread",
+    "TenantPolicy",
+    "TokenBucket",
+    "WorkerCrashError",
+    "WorkerPool",
+    "WorkerStallError",
+    "build_serve_report",
+    "execute_job",
+    "load_tenant_config",
+    "parse_job",
+    "validate_serve_report",
+    "write_serve_report",
+]

@@ -1,0 +1,214 @@
+"""Admission control: token buckets, per-tenant quotas, queue backpressure.
+
+Every submission passes three gates *before* any solve work is spent:
+
+1. **rate** — a per-tenant token bucket (``rate_per_s`` refill, ``burst``
+   capacity); an empty bucket rejects with 429 and the exact
+   ``Retry-After`` until the next token;
+2. **quota** — a per-tenant cap on concurrently admitted (non-terminal)
+   jobs, so one tenant cannot occupy the whole worker pool; 429;
+3. **queue** — the global bounded job queue; a full queue rejects with
+   503 and a heuristic ``Retry-After`` instead of buffering unboundedly.
+
+Rejections are *typed*: each carries the ``queue-saturated`` fault kind
+plus a machine-readable ``reason`` so clients (and the chaos suite) can
+distinguish per-tenant throttling from global saturation.  All timing is
+``time.monotonic()``; nothing here blocks.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from dataclasses import dataclass
+
+from repro.obs import metrics
+
+__all__ = [
+    "TokenBucket",
+    "TenantPolicy",
+    "AdmissionDecision",
+    "AdmissionController",
+    "load_tenant_config",
+]
+
+
+class TokenBucket:
+    """Classic token bucket on the monotonic clock.
+
+    ``rate_per_s`` tokens flow in continuously up to ``burst`` capacity;
+    :meth:`try_acquire` takes one or reports how long until one exists.
+    """
+
+    def __init__(self, rate_per_s: float, burst: float):
+        if rate_per_s <= 0 or burst <= 0:
+            raise ValueError("rate_per_s and burst must be > 0")
+        self.rate_per_s = float(rate_per_s)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._stamp = time.monotonic()
+
+    def _refill(self, now: float) -> None:
+        self._tokens = min(
+            self.burst, self._tokens + (now - self._stamp) * self.rate_per_s
+        )
+        self._stamp = now
+
+    def try_acquire(self) -> bool:
+        now = time.monotonic()
+        self._refill(now)
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    def retry_after_s(self) -> float:
+        """Seconds until one whole token exists (0 when one already does)."""
+        now = time.monotonic()
+        self._refill(now)
+        if self._tokens >= 1.0:
+            return 0.0
+        return (1.0 - self._tokens) / self.rate_per_s
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Rate/quota envelope of one tenant (or the default for unknowns)."""
+
+    rate_per_s: float = 20.0
+    burst: int = 10
+    max_in_flight: int = 8
+
+    def __post_init__(self) -> None:
+        if self.rate_per_s <= 0 or self.burst < 1 or self.max_in_flight < 1:
+            raise ValueError(
+                "tenant policy needs rate_per_s > 0, burst >= 1, "
+                "max_in_flight >= 1"
+            )
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The outcome of one admission check.
+
+    ``status`` is the HTTP status the gate maps to (0 when admitted);
+    ``reason`` is the machine-readable rejection family (``rate-limited``,
+    ``quota-exceeded``, ``queue-full``); ``retry_after_s`` is the typed
+    backoff hint carried to the ``Retry-After`` header.
+    """
+
+    admitted: bool
+    status: int = 0
+    reason: str = ""
+    retry_after_s: float = 0.0
+    detail: str = ""
+
+
+def load_tenant_config(path: str | pathlib.Path) -> dict[str, TenantPolicy]:
+    """Parse a tenant-config JSON file into named policies.
+
+    Shape::
+
+        {"default": {"rate_per_s": 20, "burst": 10, "max_in_flight": 8},
+         "tenants": {"ci": {"rate_per_s": 50, "burst": 25, "max_in_flight": 16}}}
+
+    The ``default`` entry (key ``"default"`` in the returned mapping)
+    covers every tenant not named explicitly.
+    """
+    doc = json.loads(pathlib.Path(path).read_text())
+    if not isinstance(doc, dict):
+        raise ValueError(f"{path}: tenant config must be a JSON object")
+
+    def policy(entry) -> TenantPolicy:
+        if not isinstance(entry, dict):
+            raise ValueError(f"{path}: each tenant entry must be an object")
+        known = {"rate_per_s", "burst", "max_in_flight"}
+        bad = set(entry) - known
+        if bad:
+            raise ValueError(f"{path}: unknown tenant key(s): {sorted(bad)}")
+        return TenantPolicy(**entry)
+
+    policies = {"default": policy(doc.get("default", {}))}
+    for name, entry in (doc.get("tenants") or {}).items():
+        policies[str(name)] = policy(entry)
+    return policies
+
+
+class AdmissionController:
+    """The three admission gates, evaluated in order: rate, quota, queue."""
+
+    def __init__(
+        self,
+        queue_limit: int,
+        policies: dict[str, TenantPolicy] | None = None,
+    ):
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        self.queue_limit = int(queue_limit)
+        self.policies = dict(policies or {})
+        self.policies.setdefault("default", TenantPolicy())
+        self._buckets: dict[str, TokenBucket] = {}
+
+    def policy_for(self, tenant: str) -> TenantPolicy:
+        return self.policies.get(tenant, self.policies["default"])
+
+    def _bucket_for(self, tenant: str) -> TokenBucket:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            policy = self.policy_for(tenant)
+            bucket = TokenBucket(policy.rate_per_s, policy.burst)
+            self._buckets[tenant] = bucket
+        return bucket
+
+    def decide(
+        self, tenant: str, *, queue_depth: int, tenant_in_flight: int
+    ) -> AdmissionDecision:
+        """Admit or reject one submission from ``tenant``.
+
+        ``queue_depth`` is the current bounded-queue occupancy and
+        ``tenant_in_flight`` the tenant's admitted non-terminal jobs; the
+        caller (the service) owns both counts.
+        """
+        policy = self.policy_for(tenant)
+        bucket = self._bucket_for(tenant)
+        if not bucket.try_acquire():
+            retry_after = max(bucket.retry_after_s(), 0.05)
+            metrics.inc("serve.rejected", reason="rate-limited")
+            return AdmissionDecision(
+                False,
+                status=429,
+                reason="rate-limited",
+                retry_after_s=retry_after,
+                detail=(
+                    f"tenant {tenant!r} exceeded {policy.rate_per_s:g} "
+                    f"submissions/s (burst {policy.burst:g})"
+                ),
+            )
+        if tenant_in_flight >= policy.max_in_flight:
+            metrics.inc("serve.rejected", reason="quota-exceeded")
+            return AdmissionDecision(
+                False,
+                status=429,
+                reason="quota-exceeded",
+                retry_after_s=0.5,
+                detail=(
+                    f"tenant {tenant!r} already has {tenant_in_flight} jobs "
+                    f"in flight (cap {policy.max_in_flight})"
+                ),
+            )
+        if queue_depth >= self.queue_limit:
+            metrics.inc("serve.rejected", reason="queue-full")
+            return AdmissionDecision(
+                False,
+                status=503,
+                reason="queue-full",
+                retry_after_s=1.0,
+                detail=(
+                    f"job queue is full ({queue_depth}/{self.queue_limit}); "
+                    "the service is shedding load"
+                ),
+            )
+        # serve.admitted is counted by the service once the job is actually
+        # enqueued — a spec can still fail validation after passing gates here.
+        return AdmissionDecision(True)

@@ -1,0 +1,112 @@
+"""Synchronous client helper for the job service (stdlib ``http.client``).
+
+One connection per call, mirroring the server's ``Connection: close``
+policy.  Every response is returned as ``(status, body_dict)`` — typed
+rejections (429/503 with ``retry_after_s``) come back as data, never as
+exceptions, because backpressure is an *expected* answer the caller is
+supposed to act on.  :meth:`ServeClient.submit_and_wait` adds the polite
+client loop: honour ``Retry-After`` on rejection, resubmit, and block on
+the ``wait=1`` form once admitted.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+
+__all__ = ["ServeClient", "ServeUnavailableError"]
+
+
+class ServeUnavailableError(RuntimeError):
+    """The service could not be reached (connection refused/reset)."""
+
+
+class ServeClient:
+    """Minimal blocking client against one service instance."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8321,
+        *,
+        tenant: str = "anonymous",
+        timeout_s: float = 120.0,
+    ):
+        self.host = host
+        self.port = int(port)
+        self.tenant = tenant
+        self.timeout_s = float(timeout_s)
+
+    # -- plumbing -------------------------------------------------------------
+
+    def request(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> tuple[int, dict]:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        try:
+            body = None
+            headers = {"X-Tenant": self.tenant}
+            if payload is not None:
+                body = json.dumps(payload)
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            try:
+                doc = json.loads(raw.decode() or "{}")
+            except json.JSONDecodeError:
+                doc = {"error": "non-json-response", "raw": raw.decode("latin-1")}
+            return response.status, doc
+        except (ConnectionError, OSError) as exc:
+            raise ServeUnavailableError(
+                f"service at {self.host}:{self.port} unreachable: {exc}"
+            ) from exc
+        finally:
+            connection.close()
+
+    # -- the API --------------------------------------------------------------
+
+    def submit(self, job: dict, *, wait: bool = False) -> tuple[int, dict]:
+        """Submit a job spec; ``wait=True`` blocks until it is terminal."""
+        path = "/v1/jobs?wait=1" if wait else "/v1/jobs"
+        return self.request("POST", path, job)
+
+    def status(self, job_id: str) -> tuple[int, dict]:
+        return self.request("GET", f"/v1/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> tuple[int, dict]:
+        return self.request("POST", f"/v1/jobs/{job_id}/cancel")
+
+    def health(self) -> tuple[int, dict]:
+        return self.request("GET", "/healthz")
+
+    def ready(self) -> tuple[int, dict]:
+        return self.request("GET", "/readyz")
+
+    def metrics(self) -> tuple[int, dict]:
+        return self.request("GET", "/metricz")
+
+    def report(self) -> tuple[int, dict]:
+        return self.request("GET", "/v1/report")
+
+    def submit_and_wait(
+        self, job: dict, *, max_wall_s: float = 300.0, max_resubmits: int = 20
+    ) -> tuple[int, dict]:
+        """The polite loop: back off on 429/503 per ``Retry-After``, retry.
+
+        Returns the terminal ``(status, record)`` once admitted, or the
+        last rejection when the service kept shedding for ``max_wall_s``
+        / ``max_resubmits``.
+        """
+        deadline = time.monotonic() + max_wall_s
+        status, body = self.submit(job, wait=True)
+        for _ in range(max_resubmits):
+            if status not in (429, 503) or time.monotonic() >= deadline:
+                return status, body
+            pause = float(body.get("retry_after_s", 0.5) or 0.5)
+            time.sleep(min(pause, max(deadline - time.monotonic(), 0.0)))
+            status, body = self.submit(job, wait=True)
+        return status, body

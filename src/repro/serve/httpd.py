@@ -1,0 +1,317 @@
+"""Minimal asyncio HTTP/1.1 front end of the job service (stdlib only).
+
+One connection, one request, ``Connection: close`` — a deliberate
+anti-feature: keep-alive parsing is where tiny HTTP servers grow bugs,
+and the client helper amortises nothing worth having here.  Routes:
+
+========  =====================  =======================================
+method    path                   meaning
+========  =====================  =======================================
+POST      /v1/jobs[?wait=1]      submit a job (``X-Tenant`` header or
+                                 ``tenant`` body field names the tenant);
+                                 with ``wait=1`` the response blocks
+                                 until the job is terminal, and a client
+                                 disconnect while waiting *cancels* the
+                                 job when no other waiter holds it
+GET       /v1/jobs/<id>          job record (works after completion too)
+POST      /v1/jobs/<id>/cancel   cancel a queued/running job
+GET       /healthz               liveness (always 200 while the loop runs)
+GET       /readyz                readiness (503 with reasons when not)
+GET       /metricz               the ``serve.*`` metrics slice
+GET       /v1/report             the live SERVE_REPORT document
+========  =====================  =======================================
+
+Status mapping: 202 admitted, 200 terminal record (``degraded: true``
+marks a stale/coarse answer), 502 dead-lettered (typed body, never a
+traceback), 400 malformed spec, 429/503 admission rejections with
+``Retry-After``, 413 oversized body, 404/405 the obvious.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+import urllib.parse
+
+from repro.obs import metrics, trace
+from repro.serve.service import JobService
+
+__all__ = ["start_http_server", "MAX_BODY_BYTES"]
+
+#: Request-body cap; a job spec is a few hundred bytes, so anything
+#: bigger is hostile or broken and bounces with 413 before being parsed.
+MAX_BODY_BYTES = 64 * 1024
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Content Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+}
+
+
+async def start_http_server(
+    service: JobService, *, host: str = "127.0.0.1", port: int = 0
+):
+    """Bind the service's HTTP front; returns the ``asyncio.Server``."""
+
+    async def handler(reader, writer):
+        await _handle_connection(service, reader, writer)
+
+    return await asyncio.start_server(handler, host=host, port=port)
+
+
+def _response_bytes(status: int, body: dict, extra_headers: dict | None = None) -> bytes:
+    payload = json.dumps(body).encode()
+    headers = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(payload)}",
+        "Connection: close",
+    ]
+    for name, value in (extra_headers or {}).items():
+        headers.append(f"{name}: {value}")
+    return ("\r\n".join(headers) + "\r\n\r\n").encode() + payload
+
+
+async def _send(writer, status: int, body: dict, extra_headers=None) -> int:
+    try:
+        writer.write(_response_bytes(status, body, extra_headers))
+        await writer.drain()
+    except (ConnectionResetError, BrokenPipeError):
+        pass  # the client left; nothing to tell them
+    return status
+
+
+async def _read_request(reader):
+    """Parse one request: ``(method, path, query, headers, body)`` or None."""
+    try:
+        request_line = await asyncio.wait_for(reader.readline(), timeout=10.0)
+    except asyncio.TimeoutError:
+        return None
+    if not request_line:
+        return None
+    try:
+        method, target, _version = request_line.decode("latin-1").split(None, 2)
+    except ValueError:
+        return None
+    headers: dict[str, str] = {}
+    while True:
+        line = await asyncio.wait_for(reader.readline(), timeout=10.0)
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    parsed = urllib.parse.urlsplit(target)
+    query = urllib.parse.parse_qs(parsed.query)
+    length = int(headers.get("content-length", "0") or 0)
+    if length > MAX_BODY_BYTES:
+        return (method, parsed.path, query, headers, _TOO_LARGE)
+    body = b""
+    if length:
+        body = await asyncio.wait_for(reader.readexactly(length), timeout=10.0)
+    return (method, parsed.path, query, headers, body)
+
+
+_TOO_LARGE = object()
+
+
+async def _handle_connection(service: JobService, reader, writer) -> None:
+    started = time.perf_counter()
+    status = 500
+    route = "?"
+    try:
+        request = await _read_request(reader)
+        if request is None:
+            return
+        method, path, query, headers, body = request
+        route = f"{method} {path}"
+        with trace("serve.request", attrs={"method": method, "path": path}) as span:
+            if body is _TOO_LARGE:
+                status = await _send(
+                    writer,
+                    413,
+                    {
+                        "error": "body-too-large",
+                        "fault_kind": "malformed-spec",
+                        "detail": f"request body exceeds {MAX_BODY_BYTES} bytes",
+                    },
+                )
+            else:
+                status = await _route(
+                    service, reader, writer, method, path, query, headers, body
+                )
+            span.set(status=status)
+    except asyncio.CancelledError:
+        raise
+    except (asyncio.IncompleteReadError, asyncio.TimeoutError):
+        status = await _send(
+            writer,
+            408,
+            {"error": "request-timeout", "detail": "incomplete request"},
+        )
+    except Exception as exc:  # noqa: BLE001 - a request must never kill the loop
+        service._note_unhandled(exc)
+        status = await _send(
+            writer,
+            500,
+            {"error": "internal-error", "detail": f"{type(exc).__name__}: {exc}"},
+        )
+    finally:
+        metrics.observe(
+            "serve.request_s", time.perf_counter() - started, status=status
+        )
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+
+async def _route(
+    service, reader, writer, method, path, query, headers, body
+) -> int:
+    if path == "/healthz":
+        if method != "GET":
+            return await _send(writer, 405, {"error": "method-not-allowed"})
+        return await _send(
+            writer, 200, {"ok": True, "uptime_s": time.time() - service.started_unix_s}
+        )
+    if path == "/readyz":
+        if method != "GET":
+            return await _send(writer, 405, {"error": "method-not-allowed"})
+        ready, verdict = service.readiness()
+        return await _send(writer, 200 if ready else 503, verdict)
+    if path == "/metricz":
+        if method != "GET":
+            return await _send(writer, 405, {"error": "method-not-allowed"})
+        return await _send(writer, 200, _serve_metrics())
+    if path == "/v1/report":
+        if method != "GET":
+            return await _send(writer, 405, {"error": "method-not-allowed"})
+        from repro.serve.report import build_serve_report
+
+        return await _send(writer, 200, build_serve_report(service))
+    if path == "/v1/jobs":
+        if method != "POST":
+            return await _send(writer, 405, {"error": "method-not-allowed"})
+        return await _submit(service, reader, writer, query, headers, body)
+    if path.startswith("/v1/jobs/"):
+        tail = path[len("/v1/jobs/") :]
+        if tail.endswith("/cancel"):
+            if method != "POST":
+                return await _send(writer, 405, {"error": "method-not-allowed"})
+            job_id = tail[: -len("/cancel")]
+            record = service.store.get(job_id)
+            if record is None:
+                return await _send(writer, 404, {"error": "unknown-job"})
+            cancelled = service.cancel(job_id)
+            return await _send(
+                writer,
+                200,
+                {"job_id": job_id, "cancelled": cancelled, "status": record.status},
+            )
+        if method != "GET":
+            return await _send(writer, 405, {"error": "method-not-allowed"})
+        record = service.store.get(tail)
+        if record is None:
+            return await _send(writer, 404, {"error": "unknown-job"})
+        return await _send(writer, _record_status(record), record.to_dict())
+    return await _send(writer, 404, {"error": "unknown-route", "path": path})
+
+
+def _record_status(record) -> int:
+    if record.status == "dead-lettered":
+        return 502
+    return 200
+
+
+async def _submit(service, reader, writer, query, headers, body) -> int:
+    try:
+        payload = json.loads(body.decode() or "{}")
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        metrics.inc("serve.rejected", reason="malformed-spec")
+        return await _send(
+            writer,
+            400,
+            {
+                "error": "malformed-spec",
+                "fault_kind": "malformed-spec",
+                "detail": f"body is not valid JSON: {exc}",
+            },
+        )
+    tenant = headers.get("x-tenant") or (
+        payload.pop("tenant", None) if isinstance(payload, dict) else None
+    )
+    tenant = str(tenant or "anonymous")
+    status, reply, record = service.submit(payload, tenant)
+    if record is None:
+        extra = None
+        retry_after = reply.get("retry_after_s")
+        if retry_after is not None:
+            extra = {"Retry-After": f"{max(retry_after, 0.05):.3f}"}
+        return await _send(writer, status, reply, extra)
+    wait = query.get("wait", ["0"])[0] not in ("0", "", "false")
+    if not wait:
+        return await _send(writer, status, reply)
+    await _wait_for_terminal(service, reader, record)
+    if not record.terminal:
+        # Disconnected while waiting; nothing left to answer.
+        return 499
+    return await _send(writer, _record_status(record), record.to_dict())
+
+
+async def _wait_for_terminal(service, reader, record) -> None:
+    """Block until the record is terminal or the client disconnects.
+
+    The disconnect probe is a read on the (already fully consumed)
+    request stream: with ``Connection: close`` semantics the client sends
+    nothing more, so EOF here means the socket died — the signal that
+    nobody is listening.  When the last waiter disconnects, the job is
+    cancelled (admitted work without an audience is load shed early).
+    """
+    record.waiters += 1
+    done_task = asyncio.create_task(record.done.wait())
+    eof_task = asyncio.create_task(reader.read(1))
+    try:
+        while True:
+            waited, _pending = await asyncio.wait(
+                {done_task, eof_task}, return_when=asyncio.FIRST_COMPLETED
+            )
+            if done_task in waited:
+                return
+            data = eof_task.result() if not eof_task.cancelled() else b"x"
+            if data == b"":
+                if record.waiters == 1 and not record.terminal:
+                    metrics.inc("serve.disconnect_cancels")
+                    service.cancel(record.job_id, reason="client-disconnect")
+                    await done_task  # settles as dead-lettered
+                return
+            # Stray bytes after the request: ignore and keep waiting.
+            eof_task = asyncio.create_task(reader.read(1))
+    finally:
+        record.waiters -= 1
+        for task in (done_task, eof_task):
+            if not task.done():
+                task.cancel()
+
+
+def _serve_metrics() -> dict:
+    """The ``serve.*`` (plus worker-restart) slice of the metrics snapshot."""
+    snapshot = metrics.snapshot()
+    keep = lambda key: key.startswith(("serve.", "ladder.", "cache.singleflight"))  # noqa: E731
+    return {
+        "counters": {k: v for k, v in snapshot["counters"].items() if keep(k)},
+        "gauges": {k: v for k, v in snapshot["gauges"].items() if keep(k)},
+        "histograms": {
+            k: v for k, v in snapshot["histograms"].items() if keep(k)
+        },
+    }

@@ -1,0 +1,410 @@
+"""Job model of the ``repro serve`` service: specs, records, the store.
+
+A *job* is one prediction request — a lock range, a natural-oscillation
+solve, or a small Arnol'd-tongue map — described entirely by plain data
+(:class:`JobSpec`), so it can cross the HTTP boundary and the worker
+subprocess boundary without pickling live objects.  Validation is strict
+and typed: anything malformed raises :class:`MalformedJobError` carrying
+the offending field, which the HTTP layer maps to a 400 with the
+``malformed-spec`` fault kind — a poisoned input must be rejected at the
+door, never crash a worker.
+
+:class:`JobRecord` is the service-side lifecycle of one admitted job.
+The state machine is deliberately small and *total*: every admitted job
+terminates in exactly one of ``completed`` / ``degraded`` /
+``dead-lettered`` (the acceptance invariant of the chaos suite), and
+every dead-lettered job leaves a :class:`DeadLetter` record in the store
+— nothing is silently dropped.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "JOB_KINDS",
+    "TERMINAL_STATUSES",
+    "MalformedJobError",
+    "JobSpec",
+    "JobRecord",
+    "DeadLetter",
+    "JobStore",
+    "parse_job",
+]
+
+#: The closed set of job kinds the service executes.
+JOB_KINDS = ("lockrange", "natural", "tongue")
+
+#: Every admitted job ends in exactly one of these.
+TERMINAL_STATUSES = ("completed", "degraded", "dead-lettered")
+
+#: Grid caps: a job spec is an untrusted input, so the work one admitted
+#: job may request is bounded up front (admission control bounds how many
+#: jobs run; these bound how big one job can be).
+_MAX_GRID = 401
+_MAX_SAMPLES = 4096
+_MAX_TONGUE_POINTS = 1024
+_MAX_DEADLINE_S = 300.0
+_MIN_DEADLINE_S = 0.05
+
+_FIELDS = {
+    "kind": str,
+    "family": str,
+    "n": int,
+    "v_i": float,
+    "q_scale": float,
+    "method": str,
+    "n_a": int,
+    "n_phi": int,
+    "n_samples": int,
+    "deadline_s": float,
+    "vi_count": int,
+    "freq_count": int,
+    "freq_rel_span": float,
+    "chaos": dict,
+}
+
+
+class MalformedJobError(ValueError):
+    """A job payload failed validation.  Maps to HTTP 400, fault kind
+    ``malformed-spec``; ``field`` names the offending key when known."""
+
+    def __init__(self, message: str, field: str | None = None):
+        super().__init__(message)
+        self.field = field
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One validated job description (plain data, JSON-round-trippable)."""
+
+    kind: str
+    family: str
+    n: int = 3
+    v_i: float = 0.03
+    q_scale: float = 1.0
+    method: str = "fft"
+    n_a: int = 61
+    n_phi: int = 121
+    n_samples: int = 256
+    deadline_s: float = 30.0
+    # Tongue-map grid (kind == "tongue" only).
+    vi_count: int = 4
+    freq_count: int = 5
+    freq_rel_span: float = 0.005
+    # Chaos instrumentation (only honoured when the service was started
+    # with allow_chaos; stripped at parse time otherwise).
+    chaos: tuple = ()
+
+    def to_payload(self) -> dict:
+        """The wire/worker form of this spec."""
+        payload = {
+            "kind": self.kind,
+            "family": self.family,
+            "n": self.n,
+            "v_i": self.v_i,
+            "q_scale": self.q_scale,
+            "method": self.method,
+            "n_a": self.n_a,
+            "n_phi": self.n_phi,
+            "n_samples": self.n_samples,
+            "deadline_s": self.deadline_s,
+        }
+        if self.kind == "tongue":
+            payload["vi_count"] = self.vi_count
+            payload["freq_count"] = self.freq_count
+            payload["freq_rel_span"] = self.freq_rel_span
+        if self.chaos:
+            payload["chaos"] = dict(self.chaos)
+        return payload
+
+    def fingerprint(self) -> str:
+        """Content address of the *solve*, for dedup and the result cache.
+
+        Excludes ``deadline_s`` (two tenants asking the same question with
+        different budgets want the same answer) but includes the chaos
+        block — an instrumented job must never dedup against a real one.
+        """
+        payload = self.to_payload()
+        payload.pop("deadline_s", None)
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()[:24]
+
+
+def _known_families() -> dict:
+    from repro.verify.scenarios import FAMILIES
+
+    return FAMILIES
+
+
+def parse_job(payload: Any, *, allow_chaos: bool = False) -> JobSpec:
+    """Validate an untrusted job payload into a :class:`JobSpec`.
+
+    Raises :class:`MalformedJobError` on any problem: wrong top-level
+    type, unknown keys (catches typos instead of silently ignoring them),
+    unknown kind/family/method, out-of-range numerics, oversized grids.
+    """
+    if not isinstance(payload, dict):
+        raise MalformedJobError(
+            f"job payload must be a JSON object, got {type(payload).__name__}"
+        )
+    unknown = set(payload) - set(_FIELDS) - {"tenant"}
+    if unknown:
+        raise MalformedJobError(
+            f"unknown job field(s): {', '.join(sorted(unknown))}",
+            field=sorted(unknown)[0],
+        )
+
+    def _get(name, default):
+        value = payload.get(name, default)
+        want = _FIELDS[name]
+        if want is float and isinstance(value, int) and not isinstance(value, bool):
+            value = float(value)
+        if not isinstance(value, want) or isinstance(value, bool):
+            raise MalformedJobError(
+                f"field {name!r} must be {want.__name__}, "
+                f"got {type(value).__name__}",
+                field=name,
+            )
+        return value
+
+    kind = _get("kind", None) if "kind" in payload else None
+    if kind not in JOB_KINDS:
+        raise MalformedJobError(
+            f"kind must be one of {', '.join(JOB_KINDS)}, got {kind!r}",
+            field="kind",
+        )
+    family = _get("family", None) if "family" in payload else None
+    families = _known_families()
+    if family not in families:
+        raise MalformedJobError(
+            f"unknown oscillator family {family!r}; "
+            f"known: {', '.join(sorted(families))}",
+            field="family",
+        )
+    n = _get("n", 3)
+    if not 1 <= n <= 16:
+        raise MalformedJobError(f"n must be in [1, 16], got {n}", field="n")
+    v_i = _get("v_i", 0.03)
+    if not 0.0 < v_i <= 10.0:
+        raise MalformedJobError(
+            f"v_i must be in (0, 10] volts, got {v_i}", field="v_i"
+        )
+    q_scale = _get("q_scale", 1.0)
+    if not 0.05 <= q_scale <= 20.0:
+        raise MalformedJobError(
+            f"q_scale must be in [0.05, 20], got {q_scale}", field="q_scale"
+        )
+    method = _get("method", "fft")
+    if method not in ("fft", "dense"):
+        raise MalformedJobError(
+            f"method must be 'fft' or 'dense', got {method!r}", field="method"
+        )
+    n_a = _get("n_a", 61)
+    n_phi = _get("n_phi", 121)
+    n_samples = _get("n_samples", 256)
+    for name, value in (("n_a", n_a), ("n_phi", n_phi)):
+        if not 11 <= value <= _MAX_GRID:
+            raise MalformedJobError(
+                f"{name} must be in [11, {_MAX_GRID}], got {value}", field=name
+            )
+    if not 64 <= n_samples <= _MAX_SAMPLES:
+        raise MalformedJobError(
+            f"n_samples must be in [64, {_MAX_SAMPLES}], got {n_samples}",
+            field="n_samples",
+        )
+    deadline_s = _get("deadline_s", 30.0)
+    if not _MIN_DEADLINE_S <= deadline_s <= _MAX_DEADLINE_S:
+        raise MalformedJobError(
+            f"deadline_s must be in [{_MIN_DEADLINE_S}, {_MAX_DEADLINE_S}] "
+            f"seconds, got {deadline_s}",
+            field="deadline_s",
+        )
+    vi_count = _get("vi_count", 4)
+    freq_count = _get("freq_count", 5)
+    freq_rel_span = _get("freq_rel_span", 0.005)
+    if kind == "tongue":
+        if vi_count < 1 or freq_count < 1:
+            raise MalformedJobError(
+                "tongue grids need vi_count >= 1 and freq_count >= 1",
+                field="vi_count" if vi_count < 1 else "freq_count",
+            )
+        if vi_count * freq_count > _MAX_TONGUE_POINTS:
+            raise MalformedJobError(
+                f"tongue grid {vi_count}x{freq_count} exceeds the "
+                f"{_MAX_TONGUE_POINTS}-point cap",
+                field="vi_count",
+            )
+        if not 0.0 < freq_rel_span <= 0.5:
+            raise MalformedJobError(
+                f"freq_rel_span must be in (0, 0.5], got {freq_rel_span}",
+                field="freq_rel_span",
+            )
+    chaos = payload.get("chaos") or {}
+    if chaos and not allow_chaos:
+        raise MalformedJobError(
+            "chaos instrumentation is disabled on this service "
+            "(start with --allow-chaos)",
+            field="chaos",
+        )
+    if not isinstance(chaos, dict):
+        raise MalformedJobError("chaos must be an object", field="chaos")
+    allowed_chaos = {"stall_s", "die_attempts"}
+    bad = set(chaos) - allowed_chaos
+    if bad:
+        raise MalformedJobError(
+            f"unknown chaos key(s): {', '.join(sorted(bad))}", field="chaos"
+        )
+    return JobSpec(
+        kind=kind,
+        family=family,
+        n=n,
+        v_i=v_i,
+        q_scale=q_scale,
+        method=method,
+        n_a=n_a,
+        n_phi=n_phi,
+        n_samples=n_samples,
+        deadline_s=deadline_s,
+        vi_count=vi_count,
+        freq_count=freq_count,
+        freq_rel_span=freq_rel_span,
+        chaos=tuple(sorted(chaos.items())),
+    )
+
+
+@dataclass
+class DeadLetter:
+    """The durable record of a job the service could not answer."""
+
+    job_id: str
+    tenant: str
+    fingerprint: str
+    reason: str
+    fault_kinds: list[str]
+    attempts: int
+    submitted_unix_s: float
+
+    def to_dict(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "tenant": self.tenant,
+            "fingerprint": self.fingerprint,
+            "reason": self.reason,
+            "fault_kinds": list(self.fault_kinds),
+            "attempts": self.attempts,
+            "submitted_unix_s": self.submitted_unix_s,
+        }
+
+
+@dataclass
+class JobRecord:
+    """Service-side lifecycle of one admitted job.
+
+    ``status`` walks ``queued -> running (-> retrying -> running ...)``
+    and terminates in exactly one of :data:`TERMINAL_STATUSES`.
+    ``done`` is set at the terminal transition; HTTP waiters block on it.
+    """
+
+    job_id: str
+    spec: JobSpec
+    tenant: str
+    status: str = "queued"
+    attempts: int = 0
+    result: dict | None = None
+    degraded: bool = False
+    degraded_mode: str | None = None
+    reason: str | None = None
+    fault_kinds: list[str] = field(default_factory=list)
+    submitted_unix_s: float = field(default_factory=time.time)
+    finished_unix_s: float | None = None
+    deadline_mono: float = 0.0
+    waiters: int = 0
+    cancel_requested: bool = False
+    done: Any = None  # asyncio.Event, attached by the service
+    task: Any = None  # the dispatcher's asyncio.Task while running
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in TERMINAL_STATUSES
+
+    def remaining_s(self) -> float:
+        return self.deadline_mono - time.monotonic()
+
+    def to_dict(self, *, include_result: bool = True) -> dict:
+        payload = {
+            "job_id": self.job_id,
+            "tenant": self.tenant,
+            "kind": self.spec.kind,
+            "fingerprint": self.spec.fingerprint(),
+            "status": self.status,
+            "attempts": self.attempts,
+            "degraded": self.degraded,
+            "degraded_mode": self.degraded_mode,
+            "reason": self.reason,
+            "fault_kinds": list(self.fault_kinds),
+            "submitted_unix_s": self.submitted_unix_s,
+            "finished_unix_s": self.finished_unix_s,
+        }
+        if include_result:
+            payload["result"] = self.result
+        return payload
+
+
+class JobStore:
+    """In-memory registry of job records plus the dead-letter log.
+
+    Terminal records are retained up to ``history_limit`` (oldest evicted
+    first) so ``GET /v1/jobs/<id>`` keeps answering after completion
+    without the store growing unboundedly under sustained traffic.
+    """
+
+    def __init__(self, history_limit: int = 1024):
+        self.history_limit = int(history_limit)
+        self._records: dict[str, JobRecord] = {}
+        self._terminal_order: list[str] = []
+        self.dead_letters: list[DeadLetter] = []
+        self._ids = itertools.count(1)
+
+    def new_id(self) -> str:
+        return f"job-{next(self._ids):06d}"
+
+    def add(self, record: JobRecord) -> None:
+        self._records[record.job_id] = record
+
+    def get(self, job_id: str) -> JobRecord | None:
+        return self._records.get(job_id)
+
+    def mark_terminal(self, record: JobRecord) -> None:
+        record.finished_unix_s = time.time()
+        self._terminal_order.append(record.job_id)
+        while len(self._terminal_order) > self.history_limit:
+            evicted = self._terminal_order.pop(0)
+            self._records.pop(evicted, None)
+
+    def add_dead_letter(self, record: JobRecord, reason: str) -> DeadLetter:
+        letter = DeadLetter(
+            job_id=record.job_id,
+            tenant=record.tenant,
+            fingerprint=record.spec.fingerprint(),
+            reason=reason,
+            fault_kinds=list(record.fault_kinds),
+            attempts=record.attempts,
+            submitted_unix_s=record.submitted_unix_s,
+        )
+        self.dead_letters.append(letter)
+        return letter
+
+    def counts(self) -> dict[str, int]:
+        tally: dict[str, int] = {}
+        for record in self._records.values():
+            tally[record.status] = tally.get(record.status, 0) + 1
+        return tally
+
+    def __len__(self) -> int:
+        return len(self._records)

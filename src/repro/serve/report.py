@@ -1,0 +1,168 @@
+"""SERVE_REPORT.json: the service's machine-checkable run summary.
+
+Schema v1 (validated by :func:`validate_serve_report`, wired into
+``scripts/check_obs_schemas.py`` and the CI ``serve-smoke`` job)::
+
+    {"report": "SERVE", "schema": 1,
+     "config": {workers, queue_limit, default_deadline_s, allow_chaos},
+     "jobs": {"total", "completed", "degraded", "dead-lettered",
+              "queued", "running", "retrying"},
+     "workers": {"size", "alive", "restarts"},
+     "tenants": {tenant: in_flight},
+     "counters": {... the serve.* metrics slice ...},
+     "dead_letters": [{job_id, tenant, fingerprint, reason,
+                       fault_kinds, attempts, submitted_unix_s}, ...],
+     "unhandled_errors": [...]}
+
+The report's core invariant mirrors the service's: every job the store
+has seen is either still in flight or in exactly one terminal tally, and
+the dead-letter list length matches the ``dead-lettered`` tally.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+from repro.obs import metrics
+
+__all__ = [
+    "SERVE_SCHEMA_VERSION",
+    "build_serve_report",
+    "validate_serve_report",
+    "write_serve_report",
+]
+
+SERVE_SCHEMA_VERSION = 1
+
+_TERMINAL = ("completed", "degraded", "dead-lettered")
+_IN_FLIGHT = ("queued", "running", "retrying")
+
+
+def build_serve_report(service) -> dict:
+    """The live report document of a :class:`~repro.serve.service.JobService`."""
+    counts = service.store.counts()
+    jobs = {status: int(counts.get(status, 0)) for status in _TERMINAL + _IN_FLIGHT}
+    jobs["total"] = sum(jobs.values())
+    snapshot = metrics.snapshot()
+    counters = {
+        key: value
+        for key, value in snapshot["counters"].items()
+        if key.startswith("serve.")
+    }
+    return {
+        "report": "SERVE",
+        "schema": SERVE_SCHEMA_VERSION,
+        "config": {
+            "workers": service.config.workers,
+            "queue_limit": service.config.queue_limit,
+            "default_deadline_s": service.config.default_deadline_s,
+            "allow_chaos": service.config.allow_chaos,
+        },
+        "jobs": jobs,
+        "workers": {
+            "size": service.config.workers,
+            "alive": service.pool.alive_count,
+            "restarts": service.pool.restarts,
+        },
+        "tenants": {
+            tenant: count
+            for tenant, count in sorted(service._tenant_inflight.items())
+            if count > 0
+        },
+        "counters": counters,
+        "dead_letters": [
+            letter.to_dict() for letter in service.store.dead_letters
+        ],
+        "unhandled_errors": list(service.unhandled_errors),
+    }
+
+
+def write_serve_report(service, path: str | os.PathLike) -> pathlib.Path:
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(build_serve_report(service), indent=2) + "\n")
+    return path
+
+
+_DEAD_LETTER_KEYS = {
+    "job_id",
+    "tenant",
+    "fingerprint",
+    "reason",
+    "fault_kinds",
+    "attempts",
+    "submitted_unix_s",
+}
+
+
+def validate_serve_report(doc_or_path) -> list[str]:
+    """Structural validation of a SERVE report; returns problem strings.
+
+    Accepts the document dict or a path to the JSON file.  An empty list
+    means the report is schema-clean *and* internally consistent (tallies
+    add up, the dead-letter list matches its tally, no job is unaccounted
+    for).
+    """
+    if isinstance(doc_or_path, (str, os.PathLike)):
+        try:
+            doc = json.loads(pathlib.Path(doc_or_path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            return [f"unreadable report: {exc}"]
+    else:
+        doc = doc_or_path
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return ["report must be a JSON object"]
+    if doc.get("report") != "SERVE":
+        problems.append(f"report field must be 'SERVE', got {doc.get('report')!r}")
+    if doc.get("schema") != SERVE_SCHEMA_VERSION:
+        problems.append(
+            f"schema must be {SERVE_SCHEMA_VERSION}, got {doc.get('schema')!r}"
+        )
+    jobs = doc.get("jobs")
+    if not isinstance(jobs, dict):
+        problems.append("jobs must be an object")
+        jobs = {}
+    for status in _TERMINAL + _IN_FLIGHT + ("total",):
+        value = jobs.get(status)
+        if not isinstance(value, int) or value < 0:
+            problems.append(f"jobs.{status} must be a non-negative integer")
+    if not problems:
+        accounted = sum(jobs[s] for s in _TERMINAL + _IN_FLIGHT)
+        if accounted != jobs["total"]:
+            problems.append(
+                f"job tallies sum to {accounted}, total says {jobs['total']}"
+            )
+    workers = doc.get("workers")
+    if not isinstance(workers, dict):
+        problems.append("workers must be an object")
+    else:
+        for key in ("size", "alive", "restarts"):
+            if not isinstance(workers.get(key), int):
+                problems.append(f"workers.{key} must be an integer")
+    dead_letters = doc.get("dead_letters")
+    if not isinstance(dead_letters, list):
+        problems.append("dead_letters must be a list")
+    else:
+        if isinstance(jobs.get("dead-lettered"), int) and len(
+            dead_letters
+        ) != jobs["dead-lettered"]:
+            problems.append(
+                f"{len(dead_letters)} dead letters recorded but the tally "
+                f"says {jobs['dead-lettered']}"
+            )
+        for index, letter in enumerate(dead_letters):
+            if not isinstance(letter, dict):
+                problems.append(f"dead_letters[{index}] must be an object")
+                continue
+            missing = _DEAD_LETTER_KEYS - set(letter)
+            if missing:
+                problems.append(
+                    f"dead_letters[{index}] missing {sorted(missing)}"
+                )
+    if not isinstance(doc.get("counters"), dict):
+        problems.append("counters must be an object")
+    if not isinstance(doc.get("unhandled_errors"), list):
+        problems.append("unhandled_errors must be a list")
+    return problems

@@ -1,0 +1,138 @@
+"""Wall-clock deadline propagation into the escalation ladder.
+
+The serving layer hands every job a budget; the ladder must honour it by
+checking the remaining budget *before* each rung and recording a typed
+``budget-exhausted`` fault instead of overrunning — never by running a
+slow dense-referee rung past the caller's deadline.
+"""
+
+import time
+
+import pytest
+
+from repro.core.lockrange import NoLockError
+from repro.robust import NumericalFaultError
+from repro.robust.ladder import (
+    EscalationPolicy,
+    Rung,
+    robust_predict_lock_range,
+    run_ladder,
+)
+
+
+def _policy(n_rungs=3):
+    return EscalationPolicy(
+        "lock-range",
+        tuple(Rung(f"rung-{i}", f"step {i}") for i in range(n_rungs)),
+    )
+
+
+class TestRunLadderDeadline:
+    def test_no_deadline_keeps_existing_behavior(self):
+        result = run_ladder(_policy(), lambda params: "answer")
+        assert result.value == "answer"
+        assert not result.diagnostics.faults
+
+    def test_expired_deadline_before_first_rung_raises_typed(self):
+        with pytest.raises(NumericalFaultError) as err:
+            run_ladder(
+                _policy(),
+                lambda params: "never-called",
+                deadline=time.monotonic() - 1.0,
+            )
+        assert err.value.fault.kind == "budget-exhausted"
+        assert not err.value.fault.recoverable
+        diagnostics = err.value.diagnostics
+        assert diagnostics.exhausted
+        assert [f.kind for f in diagnostics.faults] == ["budget-exhausted"]
+        assert diagnostics.attempts == []
+
+    def test_deadline_stops_escalation_between_rungs(self):
+        calls = []
+
+        def attempt(params):
+            calls.append(1)
+            time.sleep(0.05)
+            raise NoLockError("injected rung failure")
+
+        with pytest.raises(NoLockError) as err:
+            run_ladder(_policy(3), attempt, deadline=time.monotonic() + 0.01)
+        # Only the first rung ran; the deadline check stopped the climb and
+        # the typed solver exception still carries the full story.
+        assert len(calls) == 1
+        kinds = [f.kind for f in err.value.diagnostics.faults]
+        assert kinds == ["no-lock", "budget-exhausted"]
+
+    def test_generous_deadline_does_not_interfere(self):
+        attempts = {"n": 0}
+
+        def attempt(params):
+            attempts["n"] += 1
+            if attempts["n"] == 1:
+                raise NoLockError("first rung fails")
+            return "recovered"
+
+        result = run_ladder(_policy(3), attempt, deadline=time.monotonic() + 60)
+        assert result.value == "recovered"
+        assert result.diagnostics.recovered_via == "rung-1"
+
+    def test_suspicious_fallback_survives_budget_exhaustion(self):
+        attempts = {"n": 0}
+
+        def attempt(params):
+            attempts["n"] += 1
+            time.sleep(0.05)
+            return f"suspicious-{attempts['n']}"
+
+        result = run_ladder(
+            _policy(3),
+            attempt,
+            retry_on_result=lambda r: True,
+            deadline=time.monotonic() + 0.01,
+        )
+        # The suspicious first answer is kept as the fallback when the
+        # budget ran out before any refinement could confirm it.
+        assert result.value == "suspicious-1"
+        kinds = [f.kind for f in result.diagnostics.faults]
+        assert "suspicious-result" in kinds
+        assert "budget-exhausted" in kinds
+
+
+class TestWrapperDeadline:
+    def test_robust_lockrange_expired_deadline_is_typed(self, tanh_rig):
+        nonlinearity, tank = tanh_rig
+        with pytest.raises(NumericalFaultError) as err:
+            robust_predict_lock_range(
+                nonlinearity,
+                tank,
+                v_i=0.03,
+                n=3,
+                deadline=time.monotonic() - 0.1,
+            )
+        assert err.value.fault.kind == "budget-exhausted"
+
+    def test_robust_lockrange_with_budget_solves(self, tanh_rig):
+        nonlinearity, tank = tanh_rig
+        result = robust_predict_lock_range(
+            nonlinearity,
+            tank,
+            v_i=0.03,
+            n=3,
+            n_a=61,
+            n_phi=121,
+            n_samples=256,
+            deadline=time.monotonic() + 120.0,
+        )
+        assert result.width_hz > 0
+        assert not result.diagnostics.faults
+
+
+@pytest.fixture
+def tanh_rig():
+    from repro.nonlin.analytic import NegativeTanh
+    from repro.tank.rlc import ParallelRLC
+
+    return (
+        NegativeTanh(gm=2.5e-3, i_sat=1e-3),
+        ParallelRLC(r=1000.0, l=100e-6, c=10e-9),
+    )

@@ -96,3 +96,45 @@ class TestFaultFromException:
                      "singular-jacobian", "phase-inversion-out-of-range",
                      "unexpected-error"):
             assert kind in FAULT_KINDS
+
+    def test_service_layer_kinds_are_in_the_vocabulary(self):
+        for kind in ("budget-exhausted", "worker-crash", "worker-stall",
+                     "queue-saturated", "malformed-spec"):
+            assert kind in FAULT_KINDS
+
+
+class TestFaultReportSchemaV2:
+    def _outcome(self, layer):
+        from repro.robust.injection import FaultOutcome
+
+        return FaultOutcome(
+            scenario=f"{layer}-scenario", expectation="recover",
+            expected_fault="worker-crash", ok=True, detail="fine",
+            layer=layer,
+        )
+
+    def test_report_carries_schema_and_layer_tallies(self):
+        from repro.robust.injection import FAULTS_SCHEMA_VERSION, FaultReport
+
+        assert FAULTS_SCHEMA_VERSION == 2
+        report = FaultReport(
+            mode="quick",
+            outcomes=[self._outcome("solver"), self._outcome("service"),
+                      self._outcome("service")],
+        )
+        doc = report.to_dict()
+        assert doc["schema"] == FAULTS_SCHEMA_VERSION
+        assert doc["layers"] == {
+            "solver": {"total": 1, "ok": 1},
+            "service": {"total": 2, "ok": 2},
+        }
+        assert all(o["layer"] in ("solver", "service")
+                   for o in doc["outcomes"])
+
+    def test_format_tags_non_solver_layers(self):
+        from repro.robust.injection import FaultReport
+
+        text = FaultReport(
+            mode="serve", outcomes=[self._outcome("service")]
+        ).format()
+        assert "[service]" in text

@@ -1,0 +1,94 @@
+"""Unit tests for admission control: buckets, quotas, queue backpressure."""
+
+import json
+
+import pytest
+
+from repro.serve import (
+    AdmissionController,
+    TenantPolicy,
+    TokenBucket,
+    load_tenant_config,
+)
+
+
+class TestTokenBucket:
+    def test_burst_then_empty(self):
+        bucket = TokenBucket(rate_per_s=1.0, burst=3)
+        assert [bucket.try_acquire() for _ in range(3)] == [True] * 3
+        assert not bucket.try_acquire()
+        assert bucket.retry_after_s() > 0.0
+
+    def test_retry_after_is_bounded_by_the_rate(self):
+        bucket = TokenBucket(rate_per_s=10.0, burst=1)
+        assert bucket.try_acquire()
+        assert 0.0 < bucket.retry_after_s() <= 0.1 + 1e-6
+
+    def test_rejects_degenerate_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate_per_s=0.0, burst=1)
+
+
+class TestAdmissionController:
+    def _controller(self, **kw):
+        policy = TenantPolicy(rate_per_s=1000.0, burst=100, max_in_flight=2)
+        return AdmissionController(
+            kw.pop("queue_limit", 4), {"default": policy, **kw}
+        )
+
+    def test_admits_within_all_gates(self):
+        decision = self._controller().decide(
+            "t", queue_depth=0, tenant_in_flight=0
+        )
+        assert decision.admitted
+        assert decision.status == 0
+
+    def test_rate_gate_rejects_with_retry_after(self):
+        throttled = TenantPolicy(rate_per_s=0.1, burst=1, max_in_flight=8)
+        controller = AdmissionController(4, {"slow": throttled})
+        first = controller.decide("slow", queue_depth=0, tenant_in_flight=0)
+        assert first.admitted
+        second = controller.decide("slow", queue_depth=0, tenant_in_flight=0)
+        assert not second.admitted
+        assert second.status == 429
+        assert second.reason == "rate-limited"
+        assert second.retry_after_s > 0.0
+
+    def test_quota_gate_caps_in_flight(self):
+        decision = self._controller().decide(
+            "t", queue_depth=0, tenant_in_flight=2
+        )
+        assert not decision.admitted
+        assert decision.status == 429
+        assert decision.reason == "quota-exceeded"
+
+    def test_queue_gate_sheds_load(self):
+        decision = self._controller().decide(
+            "t", queue_depth=4, tenant_in_flight=0
+        )
+        assert not decision.admitted
+        assert decision.status == 503
+        assert decision.reason == "queue-full"
+
+    def test_unknown_tenant_falls_back_to_default(self):
+        controller = self._controller()
+        assert controller.policy_for("nobody").max_in_flight == 2
+
+
+class TestLoadTenantConfig:
+    def test_parses_default_and_named_tenants(self, tmp_path):
+        path = tmp_path / "tenants.json"
+        path.write_text(json.dumps({
+            "default": {"rate_per_s": 5, "burst": 2, "max_in_flight": 3},
+            "tenants": {"ci": {"rate_per_s": 50, "burst": 25,
+                               "max_in_flight": 16}},
+        }))
+        policies = load_tenant_config(path)
+        assert policies["default"].burst == 2
+        assert policies["ci"].max_in_flight == 16
+
+    def test_unknown_key_is_an_error(self, tmp_path):
+        path = tmp_path / "tenants.json"
+        path.write_text(json.dumps({"default": {"burts": 2}}))
+        with pytest.raises(ValueError, match="unknown tenant key"):
+            load_tenant_config(path)

@@ -1,0 +1,135 @@
+"""Unit tests for the job model: strict parsing, fingerprints, the store."""
+
+import pytest
+
+from repro.serve import JobStore, MalformedJobError, parse_job
+from repro.serve.jobs import JobRecord, TERMINAL_STATUSES
+
+
+def _spec(**overrides):
+    payload = {"kind": "lockrange", "family": "tanh"}
+    payload.update(overrides)
+    return payload
+
+
+class TestParseJob:
+    def test_minimal_payload_gets_defaults(self):
+        spec = parse_job(_spec())
+        assert spec.kind == "lockrange"
+        assert spec.family == "tanh"
+        assert spec.n == 3
+        assert spec.method == "fft"
+        assert spec.deadline_s == 30.0
+        assert spec.chaos == ()
+
+    def test_non_object_payload_is_rejected(self):
+        with pytest.raises(MalformedJobError, match="JSON object"):
+            parse_job(["not", "a", "dict"])
+
+    def test_unknown_field_names_the_offender(self):
+        with pytest.raises(MalformedJobError, match="bogus_knob") as info:
+            parse_job(_spec(bogus_knob=1))
+        assert info.value.field == "bogus_knob"
+
+    def test_unknown_kind_and_family_are_typed(self):
+        with pytest.raises(MalformedJobError) as info:
+            parse_job({"kind": "summon", "family": "tanh"})
+        assert info.value.field == "kind"
+        with pytest.raises(MalformedJobError) as info:
+            parse_job({"kind": "lockrange", "family": "colpitts"})
+        assert info.value.field == "family"
+
+    def test_bool_is_not_an_int(self):
+        with pytest.raises(MalformedJobError) as info:
+            parse_job(_spec(n=True))
+        assert info.value.field == "n"
+
+    def test_numeric_ranges_are_enforced(self):
+        for field_name, value in (
+            ("n", 0),
+            ("v_i", -0.1),
+            ("q_scale", 100.0),
+            ("n_a", 5),
+            ("n_phi", 10_000),
+            ("n_samples", 8),
+            ("deadline_s", 0.0),
+        ):
+            with pytest.raises(MalformedJobError) as info:
+                parse_job(_spec(**{field_name: value}))
+            assert info.value.field == field_name
+
+    def test_tongue_grid_cap(self):
+        with pytest.raises(MalformedJobError):
+            parse_job(_spec(kind="tongue", vi_count=64, freq_count=64))
+        spec = parse_job(_spec(kind="tongue", vi_count=4, freq_count=5))
+        assert spec.vi_count == 4
+
+    def test_chaos_requires_opt_in(self):
+        with pytest.raises(MalformedJobError) as info:
+            parse_job(_spec(chaos={"stall_s": 1.0}))
+        assert info.value.field == "chaos"
+        spec = parse_job(_spec(chaos={"stall_s": 1.0}), allow_chaos=True)
+        assert dict(spec.chaos) == {"stall_s": 1.0}
+
+    def test_unknown_chaos_key_is_rejected(self):
+        with pytest.raises(MalformedJobError, match="unknown chaos key"):
+            parse_job(_spec(chaos={"explode": True}), allow_chaos=True)
+
+
+class TestFingerprint:
+    def test_deadline_does_not_change_the_fingerprint(self):
+        a = parse_job(_spec(deadline_s=5.0))
+        b = parse_job(_spec(deadline_s=250.0))
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_solve_parameters_do_change_it(self):
+        a = parse_job(_spec(v_i=0.03))
+        b = parse_job(_spec(v_i=0.031))
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_chaos_block_changes_it(self):
+        plain = parse_job(_spec())
+        instrumented = parse_job(
+            _spec(chaos={"stall_s": 1.0}), allow_chaos=True
+        )
+        assert plain.fingerprint() != instrumented.fingerprint()
+
+
+class TestJobStore:
+    def _record(self, store):
+        record = JobRecord(
+            job_id=store.new_id(), spec=parse_job(_spec()), tenant="t"
+        )
+        store.add(record)
+        return record
+
+    def test_history_eviction_keeps_recent_terminals(self):
+        store = JobStore(history_limit=2)
+        records = [self._record(store) for _ in range(4)]
+        for record in records:
+            record.status = "completed"
+            store.mark_terminal(record)
+        assert store.get(records[0].job_id) is None
+        assert store.get(records[1].job_id) is None
+        assert store.get(records[3].job_id) is records[3]
+
+    def test_counts_and_dead_letters(self):
+        store = JobStore()
+        done = self._record(store)
+        done.status = "completed"
+        dead = self._record(store)
+        dead.status = "dead-lettered"
+        dead.fault_kinds.append("worker-crash")
+        letter = store.add_dead_letter(dead, "gave up")
+        counts = store.counts()
+        assert counts["completed"] == 1
+        assert counts["dead-lettered"] == 1
+        assert letter.to_dict()["fault_kinds"] == ["worker-crash"]
+        assert letter.reason == "gave up"
+
+    def test_terminal_statuses_are_the_closed_set(self):
+        record = JobRecord(job_id="job-1", spec=parse_job(_spec()), tenant="t")
+        assert not record.terminal
+        for status in TERMINAL_STATUSES:
+            record.status = status
+            assert record.terminal

@@ -1,0 +1,67 @@
+"""Unit tests for SERVE_REPORT validation (structure + internal tallies)."""
+
+import json
+
+from repro.serve import SERVE_SCHEMA_VERSION, validate_serve_report
+
+
+def _good_doc(**overrides):
+    doc = {
+        "report": "SERVE",
+        "schema": SERVE_SCHEMA_VERSION,
+        "config": {"workers": 2, "queue_limit": 16,
+                   "default_deadline_s": 30.0, "allow_chaos": False},
+        "jobs": {"completed": 2, "degraded": 1, "dead-lettered": 1,
+                 "queued": 0, "running": 0, "retrying": 0, "total": 4},
+        "workers": {"size": 2, "alive": 2, "restarts": 1},
+        "tenants": {},
+        "counters": {"serve.admitted": 4},
+        "dead_letters": [{
+            "job_id": "job-000003", "tenant": "t", "fingerprint": "ab" * 12,
+            "reason": "cancelled", "fault_kinds": [], "attempts": 1,
+            "submitted_unix_s": 0.0,
+        }],
+        "unhandled_errors": [],
+    }
+    doc.update(overrides)
+    return doc
+
+
+def test_clean_report_validates():
+    assert validate_serve_report(_good_doc()) == []
+
+
+def test_wrong_banner_and_schema_are_flagged():
+    problems = validate_serve_report(_good_doc(report="VERIFY", schema=99))
+    assert any("SERVE" in p for p in problems)
+    assert any("schema" in p for p in problems)
+
+
+def test_tallies_must_sum_to_total():
+    doc = _good_doc()
+    doc["jobs"]["total"] = 7
+    problems = validate_serve_report(doc)
+    assert any("sum to 4" in p for p in problems)
+
+
+def test_dead_letter_list_must_match_its_tally():
+    problems = validate_serve_report(_good_doc(dead_letters=[]))
+    assert any("dead letters" in p for p in problems)
+
+
+def test_dead_letters_need_the_full_key_set():
+    doc = _good_doc()
+    del doc["dead_letters"][0]["reason"]
+    problems = validate_serve_report(doc)
+    assert any("missing" in p and "reason" in p for p in problems)
+
+
+def test_path_form_and_unreadable_file(tmp_path):
+    path = tmp_path / "SERVE_REPORT.json"
+    path.write_text(json.dumps(_good_doc()))
+    assert validate_serve_report(path) == []
+    assert validate_serve_report(tmp_path / "missing.json")
+    path.write_text("{not json")
+    assert any(
+        "unreadable" in p for p in validate_serve_report(path)
+    )

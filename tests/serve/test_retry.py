@@ -1,0 +1,55 @@
+"""Unit tests for the retry policy: transient-only, deterministic jitter."""
+
+import pytest
+
+from repro.serve import RetryPolicy
+from repro.serve.retry import TRANSIENT_FAULTS
+
+
+class TestShouldRetry:
+    def test_only_transient_faults_retry(self):
+        policy = RetryPolicy(max_attempts=3)
+        for kind in TRANSIENT_FAULTS:
+            assert policy.should_retry(1, kind)
+        # A stall consumed the budget; a no-lock is a proof: neither retries.
+        assert not policy.should_retry(1, "worker-stall")
+        assert not policy.should_retry(1, "no-lock")
+        assert not policy.should_retry(1, "budget-exhausted")
+
+    def test_attempt_cap(self):
+        policy = RetryPolicy(max_attempts=2)
+        assert policy.should_retry(1, "worker-crash")
+        assert not policy.should_retry(2, "worker-crash")
+
+
+class TestDelay:
+    def test_deterministic_for_a_key(self):
+        policy = RetryPolicy()
+        assert policy.delay_s("fp", 1) == policy.delay_s("fp", 1)
+
+    def test_distinct_keys_decorrelate(self):
+        policy = RetryPolicy(jitter_frac=1.0)
+        delays = {policy.delay_s(f"fp-{i}", 1) for i in range(32)}
+        assert len(delays) > 1
+
+    def test_exponential_growth_with_cap(self):
+        policy = RetryPolicy(
+            base_delay_s=0.1, factor=2.0, max_delay_s=0.4, jitter_frac=0.0
+        )
+        assert policy.delay_s("k", 1) == pytest.approx(0.1)
+        assert policy.delay_s("k", 2) == pytest.approx(0.2)
+        assert policy.delay_s("k", 5) == pytest.approx(0.4)
+
+    def test_jitter_is_bounded(self):
+        policy = RetryPolicy(
+            base_delay_s=0.1, factor=1.0, max_delay_s=0.1, jitter_frac=0.25
+        )
+        for i in range(16):
+            delay = policy.delay_s(f"k{i}", 1)
+            assert 0.1 <= delay <= 0.125 + 1e-9
+
+    def test_degenerate_policies_are_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(factor=0.5)
