@@ -9,6 +9,9 @@ Each artifact is dispatched to its structural validator by shape:
 
 * ``*.jsonl`` files are span traces (header magic + schema version, span
   record shapes, parent/depth referential integrity);
+* ``*.prom`` / ``*.txt`` files are Prometheus text expositions (sample
+  grammar, ``# TYPE`` declarations, counter ``_total`` suffixes, no
+  duplicate samples) as scraped from ``/metricz?format=prometheus``;
 * JSON documents with ``"report": "SERVE"`` are ``SERVE_REPORT.json``
   run summaries (terminal tallies must add up, the dead-letter list must
   match its tally);
@@ -27,13 +30,19 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.obs import validate_obs_report, validate_trace  # noqa: E402
+from repro.obs import (  # noqa: E402
+    validate_obs_report,
+    validate_prometheus,
+    validate_trace,
+)
 from repro.serve import validate_serve_report  # noqa: E402
 
 
 def _validate_one(path: Path) -> list[str]:
     if path.suffix == ".jsonl":
         return list(validate_trace(path))
+    if path.suffix in (".prom", ".txt"):
+        return list(validate_prometheus(path.read_text()))
     try:
         doc = json.loads(path.read_text())
     except (OSError, json.JSONDecodeError) as exc:

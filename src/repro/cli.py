@@ -349,7 +349,12 @@ def _cmd_verify(args) -> int:
 
 
 def _cmd_obs(args) -> int:
-    from repro.obs import summarise_trace, validate_obs_report, validate_trace
+    from repro.obs import (
+        analyze_serve_trace,
+        summarise_trace,
+        validate_obs_report,
+        validate_trace,
+    )
 
     if args.validate:
         problems = validate_trace(args.trace_file)
@@ -363,7 +368,10 @@ def _cmd_obs(args) -> int:
         print(f"{checked} valid")
         return 0
     try:
-        print(summarise_trace(args.trace_file))
+        if args.serve:
+            print(analyze_serve_trace(args.trace_file, top=args.top))
+        else:
+            print(summarise_trace(args.trace_file))
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -424,12 +432,15 @@ def _cmd_regress(args) -> int:
         return 0
 
     # args.gate == "spans"
-    from repro.regress import run_span_gate
+    from repro.regress import run_serve_span_gate, run_span_gate
 
-    result = run_span_gate(
-        scenario_ids=tuple(args.scenario) if args.scenario else None,
-        trace_out=args.trace_out,
-    )
+    if args.serve:
+        result = run_serve_span_gate(trace_out=args.trace_out)
+    else:
+        result = run_span_gate(
+            scenario_ids=tuple(args.scenario) if args.scenario else None,
+            trace_out=args.trace_out,
+        )
     print(result.format())
     if result.trace_path:
         print(f"trace written to {result.trace_path}")
@@ -515,12 +526,14 @@ def _cmd_sweep(args) -> int:
     if args.no_batch:
         result = run_sweep_pointwise(spec)
     else:
-        result = run_sweep(
-            spec,
-            progress=lambda done, total: print(
-                f".. {done}/{total} points", flush=True
-            ),
-        )
+        # Progress ticks are per point now; throttle to ~10 lines per sweep.
+        def _tick(done, total, _last=[0]):
+            stride = max(1, total // 10)
+            if done == total or done - _last[0] >= stride:
+                _last[0] = done
+                print(f".. {done}/{total} points", flush=True)
+
+        result = run_sweep(spec, progress=_tick)
     print(render_table(result))
     tongue = render_tongue(result)
     if tongue:
@@ -868,6 +881,20 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="with --validate, also check this OBS_REPORT.json",
     )
+    p_obs.add_argument(
+        "--serve",
+        action="store_true",
+        help="analyze a stitched serve trace instead: per-job span trees "
+        "with queue-wait vs solve-time breakdowns and the slowest ladder "
+        "rungs across the fleet",
+    )
+    p_obs.add_argument(
+        "--top",
+        type=int,
+        default=5,
+        metavar="N",
+        help="with --serve, how many slowest rungs to list (default 5)",
+    )
     p_obs.set_defaults(func=_cmd_obs)
 
     p_regress = sub.add_parser(
@@ -953,6 +980,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out",
         metavar="PATH",
         help="also write the replay's span trace to this file",
+    )
+    p_spans.add_argument(
+        "--serve",
+        action="store_true",
+        help="run the serve-layer gate instead: a traced replay through a "
+        "live service whose stitched cross-process trace must validate and "
+        "stay inside the serve span budgets",
     )
     p_spans.set_defaults(func=_cmd_regress)
 

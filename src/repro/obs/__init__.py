@@ -29,10 +29,17 @@ from repro.obs.logs import (
     get_logger,
     json_logs_enabled,
 )
-from repro.obs.metrics import MetricsRegistry, metrics
+from repro.obs.metrics import (
+    MetricsRegistry,
+    metrics,
+    parse_prometheus,
+    to_prometheus,
+    validate_prometheus,
+)
 from repro.obs.report import (
     DEFAULT_OBS_REPORT_PATH,
     OBS_SCHEMA_VERSION,
+    analyze_serve_trace,
     phase_totals,
     render_totals,
     render_trace,
@@ -42,12 +49,15 @@ from repro.obs.report import (
     write_obs_report,
 )
 from repro.obs.tracing import (
+    ACCEPTED_TRACE_SCHEMAS,
     TRACE_SCHEMA_VERSION,
     Clock,
     Span,
     Tracer,
     current_span,
+    current_trace_id,
     load_trace,
+    new_trace_id,
     trace,
     tracer,
 )
@@ -59,10 +69,16 @@ __all__ = [
     "tracer",
     "trace",
     "current_span",
+    "current_trace_id",
+    "new_trace_id",
     "load_trace",
     "TRACE_SCHEMA_VERSION",
+    "ACCEPTED_TRACE_SCHEMAS",
     "MetricsRegistry",
     "metrics",
+    "to_prometheus",
+    "parse_prometheus",
+    "validate_prometheus",
     "convergence_event",
     "events_active",
     "StructuredLogger",
@@ -76,6 +92,7 @@ __all__ = [
     "render_trace",
     "render_totals",
     "summarise_trace",
+    "analyze_serve_trace",
     "write_obs_report",
     "validate_trace",
     "validate_obs_report",

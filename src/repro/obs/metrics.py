@@ -22,8 +22,15 @@ attach per-scenario work counts to ``VERIFY_REPORT.json``.
 from __future__ import annotations
 
 import math
+import re
 
-__all__ = ["MetricsRegistry", "metrics"]
+__all__ = [
+    "MetricsRegistry",
+    "metrics",
+    "to_prometheus",
+    "parse_prometheus",
+    "validate_prometheus",
+]
 
 
 def _flatten(name: str, labels: dict) -> str:
@@ -126,6 +133,28 @@ class MetricsRegistry:
             "histograms": histograms,
         }
 
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        The serve layer calls this with each worker job's metrics delta so
+        ``/metricz`` aggregates solver-side counters (``hb.*``, ``df.*``,
+        ``cache.*``, ``ladder.*``) across the whole fleet.  Counters add,
+        histogram summaries merge exactly (count/sum add, min/max extend);
+        gauges are skipped — a point-in-time reading from a dead moment in
+        another process has no meaningful merge.
+        """
+        for key, value in (snapshot.get("counters") or {}).items():
+            self._counters[key] = self._counters.get(key, 0) + value
+        for key, summary in (snapshot.get("histograms") or {}).items():
+            entry = self._histograms.get(key)
+            if entry is None:
+                entry = {"count": 0, "sum": 0.0, "min": math.inf, "max": -math.inf}
+                self._histograms[key] = entry
+            entry["count"] += int(summary.get("count", 0))
+            entry["sum"] += float(summary.get("sum", 0.0))
+            entry["min"] = min(entry["min"], float(summary.get("min", math.inf)))
+            entry["max"] = max(entry["max"], float(summary.get("max", -math.inf)))
+
     def reset(self) -> None:
         """Drop everything (tests and long-lived workers between batches)."""
         self._counters.clear()
@@ -135,3 +164,163 @@ class MetricsRegistry:
 
 #: The process-wide registry all subsystems report into.
 metrics = MetricsRegistry()
+
+
+# -- Prometheus text exposition ------------------------------------------------
+
+#: Splits a flat registry key back into (name, label-block).
+_KEY_RE = re.compile(r"^([^{]+)(?:\{(.*)\})?$")
+
+#: One exposition sample line: name, optional label block, value.
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(.*)\})?"
+    r" (-?(?:[0-9]*\.?[0-9]+(?:[eE][+-]?[0-9]+)?)|NaN|[+-]Inf)$"
+)
+
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _prom_name(name: str) -> str:
+    """A registry metric name as a Prometheus identifier (``repro_`` ns)."""
+    return "repro_" + re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+
+
+def _prom_labels(block: str | None) -> str:
+    """Reformat ``k1=v1,k2=v2`` from a flat key as quoted exposition labels."""
+    if not block:
+        return ""
+    pairs = []
+    for part in block.split(","):
+        key, _, value = part.partition("=")
+        key = re.sub(r"[^a-zA-Z0-9_]", "_", key)
+        value = value.replace("\\", r"\\").replace('"', r"\"")
+        pairs.append(f'{key}="{value}"')
+    return "{" + ",".join(pairs) + "}"
+
+
+def _prom_value(value) -> str:
+    value = float(value)
+    if value != value:
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if value.is_integer() and abs(value) < 2**53:
+        return str(int(value))
+    return repr(value)
+
+
+def to_prometheus(snapshot: dict) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` as Prometheus text format.
+
+    Counters become ``<name>_total`` counter samples, gauges stay gauges,
+    histogram summaries expand to ``_count``/``_sum``/``_min``/``_max``
+    samples under one ``summary``-typed family.  Output is sorted and
+    deterministic, so two scrapes of identical state are byte-identical —
+    the same diffability contract as the JSON snapshot.
+    """
+    families: dict[str, tuple[str, list[tuple[str, str]]]] = {}
+
+    def add(family: str, type_: str, labels: str, value) -> None:
+        entry = families.setdefault(family, (type_, []))
+        entry[1].append((labels, _prom_value(value)))
+
+    for key, value in (snapshot.get("counters") or {}).items():
+        match = _KEY_RE.match(key)
+        name, block = match.group(1), match.group(2)
+        add(_prom_name(name) + "_total", "counter", _prom_labels(block), value)
+    for key, value in (snapshot.get("gauges") or {}).items():
+        match = _KEY_RE.match(key)
+        name, block = match.group(1), match.group(2)
+        add(_prom_name(name), "gauge", _prom_labels(block), value)
+    for key, summary in (snapshot.get("histograms") or {}).items():
+        match = _KEY_RE.match(key)
+        name, block = _prom_name(match.group(1)), _prom_labels(match.group(2))
+        for stat in ("count", "sum", "min", "max"):
+            add(f"{name}_{stat}", "summary", block, summary.get(stat, 0))
+
+    lines: list[str] = []
+    for family in sorted(families):
+        type_, samples = families[family]
+        lines.append(f"# TYPE {family} {type_}")
+        for labels, value in sorted(samples):
+            lines.append(f"{family}{labels} {value}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_prometheus(text: str) -> dict[str, float]:
+    """Parse exposition text back into ``{sample_key: value}``.
+
+    Sample keys keep the exposed name and re-flatten labels the registry
+    way — ``repro_serve_completed_total{kind=lockrange}`` — so assertions
+    read naturally.  Raises ``ValueError`` on a malformed line; use
+    :func:`validate_prometheus` to collect problems instead.
+    """
+    samples: dict[str, float] = {}
+    for i, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {i}: not a Prometheus sample: {raw!r}")
+        name, block, value = match.group(1), match.group(2), match.group(3)
+        key = name
+        if block:
+            pairs = _LABEL_RE.findall(block)
+            joined = ",".join(f"{k}={v}" for k, v in sorted(pairs))
+            key = f"{name}{{{joined}}}"
+        samples[key] = float(value)
+    return samples
+
+
+def validate_prometheus(text: str) -> list[str]:
+    """Structural checks on exposition text; returns problems (empty = ok).
+
+    Every sample line must parse, every sample must belong to a family
+    declared by a preceding ``# TYPE`` line, counter samples must end in
+    a counter-family suffix, and no sample may repeat.  This is what CI
+    runs against the ``/metricz?format=prometheus`` scrape.
+    """
+    problems: list[str] = []
+    types: dict[str, str] = {}
+    seen: set[str] = set()
+    for i, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in (
+                "counter",
+                "gauge",
+                "summary",
+                "histogram",
+                "untyped",
+            ):
+                problems.append(f"line {i}: malformed TYPE comment")
+            else:
+                types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            problems.append(f"line {i}: not a Prometheus sample: {raw!r}")
+            continue
+        name, block = match.group(1), match.group(2)
+        if block and not re.fullmatch(f"(?:{_LABEL_RE.pattern})(?:,(?:{_LABEL_RE.pattern}))*", block):
+            problems.append(f"line {i}: malformed label block {block!r}")
+        if name not in types:
+            problems.append(f"line {i}: sample {name!r} has no TYPE declaration")
+        elif types[name] == "counter" and not name.endswith("_total"):
+            problems.append(f"line {i}: counter {name!r} missing _total suffix")
+        key = f"{name}{{{block}}}" if block else name
+        if key in seen:
+            problems.append(f"line {i}: duplicate sample {key!r}")
+        seen.add(key)
+    if not types and not problems:
+        problems.append("no TYPE declarations found (empty exposition?)")
+    return problems

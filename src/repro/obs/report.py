@@ -22,9 +22,9 @@ import pathlib
 
 from repro.obs.metrics import metrics
 from repro.obs.tracing import (
+    ACCEPTED_TRACE_SCHEMAS,
     SPAN_RECORD_FIELDS,
     TRACE_HEADER_FIELDS,
-    TRACE_SCHEMA_VERSION,
     load_trace,
 )
 
@@ -35,6 +35,7 @@ __all__ = [
     "render_trace",
     "render_totals",
     "summarise_trace",
+    "analyze_serve_trace",
     "write_obs_report",
     "validate_trace",
     "validate_obs_report",
@@ -160,6 +161,82 @@ def summarise_trace(path: str | pathlib.Path) -> str:
     return "\n".join(lines)
 
 
+def analyze_serve_trace(path: str | pathlib.Path, *, top: int = 5) -> str:
+    """Per-job breakdown of a stitched serve trace (``repro obs --serve``).
+
+    For every ``serve.job`` span: the job's trace id, status, queue wait
+    versus in-worker solve time (sum of ``serve.attempt`` child
+    durations), and the stitched subtree — parent spans and grafted
+    worker spans in one render.  Ends with the ``top`` slowest ladder
+    rungs across all jobs, the usual first suspects when a tongue sweep
+    is slow.
+    """
+    _, spans = load_trace(path)
+    by_id = {span["span_id"]: span for span in spans}
+    children: dict = {}
+    for span in spans:
+        children.setdefault(span.get("parent_id"), []).append(span)
+    for siblings in children.values():
+        siblings.sort(key=lambda s: s.get("t_start_s", 0.0))
+
+    def subtree(root: dict) -> list[dict]:
+        # Copy the root with its parent detached so render_trace treats it
+        # as the tree root even when it sits under e.g. a CLI span.
+        out = [{**root, "parent_id": None}]
+        stack = [root["span_id"]]
+        while stack:
+            for child in children.get(stack.pop(), ()):
+                out.append(child)
+                stack.append(child["span_id"])
+        return out
+
+    jobs = [s for s in spans if s.get("name") == "serve.job"]
+    jobs.sort(key=lambda s: s.get("t_start_s", 0.0))
+    lines: list[str] = [f"serve trace {path}: {len(jobs)} jobs, {len(spans)} spans"]
+    for job in jobs:
+        attrs = job.get("attrs") or {}
+        attempts = [
+            c for c in children.get(job["span_id"], ()) if c["name"] == "serve.attempt"
+        ]
+        solve_s = sum(float(a.get("dur_s", 0.0)) for a in attempts)
+        queue_wait = attrs.get("queue_wait_s")
+        if queue_wait is None:
+            queue_wait = max(0.0, float(job.get("dur_s", 0.0)) - solve_s)
+        worker_spans = sum(
+            1 for s in subtree(job) if s.get("process") == "worker"
+        )
+        lines += [
+            "",
+            f"job {attrs.get('job_id', '?')}  kind={attrs.get('kind', '?')}"
+            f"  tenant={attrs.get('tenant', '?')}"
+            f"  status={attrs.get('status', '?')}"
+            f"  trace_id={job.get('trace_id', '-')}",
+            f"  total {_format_duration(float(job.get('dur_s', 0.0)))}"
+            f" = queue-wait {_format_duration(float(queue_wait))}"
+            f" + solve {_format_duration(solve_s)}"
+            f"  ({len(attempts)} attempts, {worker_spans} worker spans)",
+            render_trace(subtree(job)),
+        ]
+
+    rungs = sorted(
+        (s for s in spans if s.get("name") == "rung"),
+        key=lambda s: -float(s.get("dur_s", 0.0)),
+    )[: max(0, top)]
+    if rungs:
+        lines += ["", f"top {len(rungs)} slowest rungs:"]
+        for rung in rungs:
+            attrs = rung.get("attrs") or {}
+            owner = by_id.get(rung.get("parent_id"))
+            lines.append(
+                f"  {_format_duration(float(rung.get('dur_s', 0.0))):>9}"
+                f"  stage={attrs.get('stage', '?')} rung={attrs.get('rung', '?')}"
+                f" outcome={attrs.get('outcome', '?')}"
+                f"  trace_id={rung.get('trace_id', '-')}"
+                + (f"  under {owner['name']}" if owner else "")
+            )
+    return "\n".join(lines)
+
+
 def write_obs_report(
     path: str | pathlib.Path = DEFAULT_OBS_REPORT_PATH,
     *,
@@ -202,6 +279,15 @@ _SPAN_FIELD_TYPES: dict[str, type | tuple[type, ...]] = {
 }
 assert set(_SPAN_FIELD_TYPES) <= set(SPAN_RECORD_FIELDS)
 
+#: Type per optional v1.1 stitching field, checked only when present so
+#: v1 traces (which never emit them) validate unchanged.
+_OPTIONAL_SPAN_FIELD_TYPES: dict[str, type | tuple[type, ...]] = {
+    "trace_id": str,
+    "parent_span_id": int,
+    "process": str,
+}
+assert set(_OPTIONAL_SPAN_FIELD_TYPES) <= set(SPAN_RECORD_FIELDS)
+
 
 def validate_trace(path: str | pathlib.Path) -> list[str]:
     """Structural checks on a trace file; returns problems (empty = valid).
@@ -216,9 +302,10 @@ def validate_trace(path: str | pathlib.Path) -> list[str]:
         header, spans = load_trace(path)
     except (OSError, ValueError, json.JSONDecodeError) as exc:
         return [f"unreadable trace: {exc}"]
-    if header.get("schema") != TRACE_SCHEMA_VERSION:
+    if header.get("schema") not in ACCEPTED_TRACE_SCHEMAS:
         problems.append(
-            f"header schema {header.get('schema')!r} != {TRACE_SCHEMA_VERSION}"
+            f"header schema {header.get('schema')!r} not in "
+            f"{ACCEPTED_TRACE_SCHEMAS}"
         )
     if header.get("spans") != len(spans):
         problems.append(
@@ -233,6 +320,9 @@ def validate_trace(path: str | pathlib.Path) -> list[str]:
         for key, types in _SPAN_FIELD_TYPES.items():
             if not isinstance(span.get(key), types):
                 problems.append(f"{where}: bad or missing {key!r}")
+        for key, types in _OPTIONAL_SPAN_FIELD_TYPES.items():
+            if key in span and not isinstance(span[key], types):
+                problems.append(f"{where}: bad optional {key!r}")
         unknown = set(span) - set(SPAN_RECORD_FIELDS)
         if unknown:
             problems.append(f"{where}: unknown fields {sorted(unknown)}")

@@ -41,9 +41,11 @@ import contextvars
 import json
 import pathlib
 import time
+import uuid
 
 __all__ = [
     "TRACE_SCHEMA_VERSION",
+    "ACCEPTED_TRACE_SCHEMAS",
     "SPAN_RECORD_FIELDS",
     "TRACE_HEADER_FIELDS",
     "Clock",
@@ -52,20 +54,29 @@ __all__ = [
     "tracer",
     "trace",
     "current_span",
+    "current_trace_id",
+    "new_trace_id",
     "load_trace",
 ]
 
-#: Bump when the trace-file record layout changes.
-TRACE_SCHEMA_VERSION = 1
+#: Bump when the trace-file record layout changes.  v1.1 is a strictly
+#: additive revision over v1: span records may carry ``trace_id`` /
+#: ``parent_span_id`` / ``process`` (the cross-process stitching fields);
+#: every v1 consumer that ignores unknown-to-it optional fields still
+#: parses a v1.1 trace, and the validators accept both versions.
+TRACE_SCHEMA_VERSION = "1.1"
 
-#: The exact v1 field names of one span record (``Span.to_record``) and of
+#: The exact field names of one span record (``Span.to_record``) and of
 #: the trace-file header, in emission order.  ``attrs``/``events`` are
-#: optional on a record; everything else is always present.  These names
-#: are part of the on-disk contract — every trace consumer (the renderer,
-#: the validators, external tooling) keys on them — so they are locked by
-#: a golden regression test (``tests/regress/test_schema_locks.py``):
-#: renaming one requires touching this constant, which makes the rename a
-#: reviewed schema event instead of a silent consumer break.
+#: optional on a record, as are the v1.1 stitching fields ``trace_id``
+#: (request-scoped correlation id), ``parent_span_id`` (remote parent at a
+#: process boundary) and ``process`` (which process emitted the span);
+#: everything else is always present.  These names are part of the
+#: on-disk contract — every trace consumer (the renderer, the validators,
+#: external tooling) keys on them — so they are locked by a golden
+#: regression test (``tests/regress/test_schema_locks.py``): renaming one
+#: requires touching this constant, which makes the rename a reviewed
+#: schema event instead of a silent consumer break.
 SPAN_RECORD_FIELDS = (
     "span_id",
     "parent_id",
@@ -74,16 +85,27 @@ SPAN_RECORD_FIELDS = (
     "depth",
     "t_start_s",
     "dur_s",
+    "trace_id",
+    "parent_span_id",
+    "process",
     "attrs",
     "events",
 )
 TRACE_HEADER_FIELDS = ("trace", "schema", "epoch_unix_s", "spans", "dropped")
+
+#: Schema versions ``validate_trace`` accepts (v1 files remain readable).
+ACCEPTED_TRACE_SCHEMAS = (1, "1.1")
 
 #: Buffered-span bound: a runaway sweep cannot exhaust memory; overflow is
 #: counted and reported in the trace header instead of silently dropped.
 _MAX_BUFFERED_SPANS = 200_000
 
 _now = time.perf_counter
+
+
+def new_trace_id() -> str:
+    """Mint a fresh 16-hex-char trace id (one per external request)."""
+    return uuid.uuid4().hex[:16]
 
 
 class Clock:
@@ -170,6 +192,8 @@ class Span:
         "span_id",
         "parent_id",
         "depth",
+        "trace_id",
+        "parent_span_id",
         "attrs",
         "events",
         "dur_s",
@@ -188,6 +212,8 @@ class Span:
         self.span_id = 0
         self.parent_id: int | None = None
         self.depth = 0
+        self.trace_id: str | None = None
+        self.parent_span_id: int | None = None
         self.dur_s = 0.0
         self._t0 = 0.0
         self._start_rel = 0.0
@@ -226,6 +252,19 @@ class Span:
         if parent is not None:
             self.parent_id = parent.span_id
             self.depth = parent.depth + 1
+            self.trace_id = parent.trace_id
+            if self.trace_id is None:
+                # An enclosing span opened before the ambient context (e.g.
+                # the CLI root around a serve session) has no trace_id; the
+                # request-scoped ambient id still applies to this subtree.
+                context = owner._ambient.get()
+                if context is not None:
+                    self.trace_id = context[0]
+        else:
+            context = owner._ambient.get()
+            if context is not None:
+                self.trace_id = context[0]
+                self.parent_span_id = context[1]
         owner._count += 1
         self.span_id = owner._count
         self._token = owner._current.set(self)
@@ -252,6 +291,13 @@ class Span:
             "t_start_s": round(self._start_rel, 6),
             "dur_s": round(self.dur_s, 6),
         }
+        if self.trace_id is not None:
+            record["trace_id"] = self.trace_id
+        if self.parent_span_id is not None:
+            record["parent_span_id"] = self.parent_span_id
+        process = self._tracer._process
+        if process is not None:
+            record["process"] = process
         if self.attrs:
             record["attrs"] = {k: _json_safe(v) for k, v in self.attrs.items()}
         if self.events:
@@ -279,8 +325,12 @@ class Tracer:
         self._count = 0
         self._epoch = _now()
         self._epoch_unix = time.time()
+        self._process: str | None = None
         self._current: contextvars.ContextVar[Span | None] = contextvars.ContextVar(
             "repro_current_span", default=None
+        )
+        self._ambient: contextvars.ContextVar[tuple[str, int | None] | None] = (
+            contextvars.ContextVar("repro_trace_context", default=None)
         )
 
     # -- state ----------------------------------------------------------------
@@ -314,6 +364,48 @@ class Tracer:
         self._records = []
         self._dropped = 0
         self._count = 0
+
+    def set_process(self, name: str | None) -> None:
+        """Stamp every subsequently emitted record with a ``process`` name.
+
+        The serve layer sets ``"serve"`` in the parent and ``"worker"`` in
+        forked workers so a stitched trace shows which side of the process
+        boundary each span ran on.  ``None`` (the default) omits the field,
+        keeping single-process CLI traces byte-identical to v1 output.
+        """
+        self._process = None if name is None else str(name)
+
+    @contextlib.contextmanager
+    def ambient(self, trace_id: str, remote_parent_id: int | None = None):
+        """Run a block under an inherited trace context.
+
+        Root spans opened inside the block adopt ``trace_id``, and — when
+        ``remote_parent_id`` is given — record it as ``parent_span_id``:
+        the id of the span *in another process* that logically contains
+        them.  Child spans inherit ``trace_id`` from their parent span as
+        usual.  This is the receiving half of trace-context propagation:
+        the HTTP ingress mints an id with :func:`new_trace_id` and enters
+        this context; the worker enters it with the (trace_id, span_id)
+        pair carried by the job envelope.
+        """
+        token = self._ambient.set((str(trace_id), remote_parent_id))
+        try:
+            yield
+        finally:
+            self._ambient.reset(token)
+
+    def reset_context(self) -> None:
+        """Forget any span / ambient context inherited by THIS context.
+
+        A forked worker process inherits the parent's contextvars wholesale
+        — including whatever span happened to be live in the service loop
+        at fork time (a mid-retry restart forks under the crashed
+        ``serve.attempt``).  Workers call this once at startup so their
+        spans root cleanly instead of adopting a stale parent id from
+        another process's id space.
+        """
+        self._current.set(None)
+        self._ambient.set(None)
 
     @contextlib.contextmanager
     def detached(self):
@@ -362,6 +454,72 @@ class Tracer:
         """A copy of the buffered span records (completion order)."""
         return list(self._records)
 
+    @property
+    def epoch_unix(self) -> float:
+        """Unix time corresponding to ``t_start_s == 0`` in this buffer."""
+        return self._epoch_unix
+
+    def graft(
+        self,
+        records: list[dict],
+        *,
+        parent: "Span",
+        process: str = "worker",
+        epoch_unix_s: float | None = None,
+    ) -> int:
+        """Stitch a finished span tree from another process under ``parent``.
+
+        ``records`` is another tracer's ``records()`` output (the worker's
+        whole buffer for one job).  Each record is renumbered into this
+        tracer's id space, re-rooted — records whose parent is absent from
+        the shipped set become children of ``parent`` (the live
+        ``serve.attempt`` span) — depth-shifted accordingly, stamped with
+        ``process`` and the parent's ``trace_id``, and time-shifted from
+        the remote epoch onto this tracer's epoch.  The shift is clamped
+        so no grafted span starts before ``parent`` does: clock skew
+        between ``time.time()`` readings in the two processes can never
+        produce a child-starts-before-parent trace that fails validation.
+
+        Returns the number of records grafted.  Records beyond the buffer
+        bound are counted as dropped, exactly like locally finished spans.
+        """
+        if not self._trace_on or not records:
+            return 0
+        shipped = {rec["span_id"] for rec in records}
+        offset = 0.0
+        if epoch_unix_s is not None:
+            offset = float(epoch_unix_s) - self._epoch_unix
+        min_start = min(float(rec.get("t_start_s", 0.0)) for rec in records)
+        floor = parent._start_rel
+        if min_start + offset < floor:
+            offset = floor - min_start
+        id_map: dict[int, int] = {}
+        for rec in records:
+            self._count += 1
+            id_map[rec["span_id"]] = self._count
+        grafted = 0
+        for rec in records:
+            out = dict(rec)
+            out["span_id"] = id_map[rec["span_id"]]
+            old_parent = rec.get("parent_id")
+            if old_parent in id_map:
+                out["parent_id"] = id_map[old_parent]
+                out["depth"] = rec["depth"] + parent.depth + 1
+            else:
+                out["parent_id"] = parent.span_id
+                out["depth"] = parent.depth + 1
+                out.setdefault("parent_span_id", parent.span_id)
+            out["t_start_s"] = round(float(rec.get("t_start_s", 0.0)) + offset, 6)
+            if parent.trace_id is not None:
+                out["trace_id"] = parent.trace_id
+            out["process"] = process
+            if len(self._records) < _MAX_BUFFERED_SPANS:
+                self._records.append(out)
+                grafted += 1
+            else:
+                self._dropped += 1
+        return grafted
+
     def header(self) -> dict:
         return {
             "trace": "repro",
@@ -401,6 +559,20 @@ def current_span():
     """The innermost live span, or the no-op singleton outside any."""
     span = tracer._current.get()
     return span if span is not None else NOOP_SPAN
+
+
+def current_trace_id() -> str | None:
+    """The trace id of the innermost live span or ambient context, if any.
+
+    Lets code far from the HTTP layer (e.g. job admission) correlate its
+    artifacts with the request that caused them without plumbing the id
+    through every call signature.
+    """
+    span = tracer._current.get()
+    if span is not None and span.trace_id is not None:
+        return span.trace_id
+    context = tracer._ambient.get()
+    return context[0] if context is not None else None
 
 
 def load_trace(path: str | pathlib.Path) -> tuple[dict, list[dict]]:

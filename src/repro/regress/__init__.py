@@ -16,7 +16,11 @@ enforced gate, run by CI on every push via ``repro regress``:
 * :mod:`repro.regress.spans` — the **span-budget gate**: a canonical
   quick verify-matrix replay under tracing whose recorded
   ``hb.iterations`` / ``df.evaluations`` / ``ladder.*`` / ``cache.*``
-  telemetry must stay inside declared budgets.
+  telemetry must stay inside declared budgets, plus the **serve span
+  gate** (``repro regress spans --serve``): a traced replay through a
+  live service whose stitched cross-process trace must validate, carry
+  grafted worker spans under ``serve.attempt``, stream live progress
+  events, and stay inside the serve-layer budgets.
 
 This is the guardrail that lets the hot paths keep being refactored
 aggressively: any silent slowdown, work blow-up, or bitwise surface
@@ -33,6 +37,7 @@ from repro.regress.bench import (
 from repro.regress.budgets import (
     BENCH_BANDS,
     BUDGET_SCENARIOS,
+    SERVE_SPAN_BUDGETS,
     SPAN_BUDGETS,
     Band,
     SpanBudget,
@@ -41,6 +46,7 @@ from repro.regress.spans import (
     BudgetVerdict,
     SpanGateResult,
     evaluate_budgets,
+    run_serve_span_gate,
     run_span_gate,
 )
 from repro.regress.surfaces import (
@@ -74,7 +80,9 @@ __all__ = [
     "load_manifest",
     "write_manifest",
     "BudgetVerdict",
+    "SERVE_SPAN_BUDGETS",
     "SpanGateResult",
     "evaluate_budgets",
+    "run_serve_span_gate",
     "run_span_gate",
 ]

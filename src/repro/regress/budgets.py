@@ -28,6 +28,7 @@ __all__ = [
     "SpanBudget",
     "BENCH_BANDS",
     "BENCH_GROUP_KEYS",
+    "SERVE_SPAN_BUDGETS",
     "SPAN_BUDGETS",
     "BUDGET_SCENARIOS",
     "TRAILING_WINDOW",
@@ -136,4 +137,22 @@ SPAN_BUDGETS: tuple[SpanBudget, ...] = (
     SpanBudget("spans.lockrange", "span_count", "lockrange", max=9),
     SpanBudget("spans.hb.natural", "span_count", "hb.natural", max=5),
     SpanBudget("spans.surface-build", "span_count", "surface-build", max=9),
+)
+
+#: Budgets for the **serve-layer** span gate: a live service replays one
+#: quick lock-range job plus one 2x3 tongue sweep (cold cache), with
+#: tracing on both sides of the worker boundary stitched into one trace.
+#: The span counts bound the shape of that stitched trace — exactly the
+#: jobs submitted, at most one attempt of headroom each, the worker's
+#: solver spans actually grafted in — while the counters pin the health
+#: contract: live progress must flow, and a clean replay must not burn
+#: worker restarts or dead-letter anything.
+SERVE_SPAN_BUDGETS: tuple[SpanBudget, ...] = (
+    SpanBudget("spans.serve.job", "span_count", "serve.job", min=2, max=4),
+    SpanBudget("spans.serve.attempt", "span_count", "serve.attempt", min=2, max=8),
+    SpanBudget("spans.worker.lockrange", "span_count", "lockrange", min=1, max=24),
+    SpanBudget("spans.worker.sweep", "span_count", "sweep", min=1, max=3),
+    SpanBudget("serve.progress_events", "counter", "serve.progress_events", min=1),
+    SpanBudget("serve.worker_restarts", "counter", "serve.worker_restarts", max=0),
+    SpanBudget("serve.dead_lettered", "counter", "serve.dead_lettered", max=0),
 )

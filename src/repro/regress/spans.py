@@ -29,13 +29,19 @@ from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.obs import metrics, tracer
-from repro.regress.budgets import BUDGET_SCENARIOS, SPAN_BUDGETS, SpanBudget
+from repro.regress.budgets import (
+    BUDGET_SCENARIOS,
+    SERVE_SPAN_BUDGETS,
+    SPAN_BUDGETS,
+    SpanBudget,
+)
 from repro.verify.harness import counter_deltas
 
 __all__ = [
     "BudgetVerdict",
     "SpanGateResult",
     "evaluate_budgets",
+    "run_serve_span_gate",
     "run_span_gate",
 ]
 
@@ -222,4 +228,222 @@ def run_span_gate(
     result.verdicts = evaluate_budgets(
         counters, histogram_sums, span_counts, budgets or SPAN_BUDGETS
     )
+    return result
+
+
+def _stitching_verdicts(replay_spans: list[dict]) -> list[BudgetVerdict]:
+    """Structural checks on a stitched serve trace.
+
+    Beyond the generic :func:`~repro.obs.report.validate_trace`
+    invariants, the serve gate asserts the *stitching-specific* shape:
+    worker-process spans exist, every one of them hangs off a
+    ``serve.attempt`` ancestor, and its ``trace_id`` matches that
+    ancestor's — one trace per job, no orphaned worker telemetry.
+    """
+    by_id = {span["span_id"]: span for span in replay_spans}
+    worker_spans = [s for s in replay_spans if s.get("process") == "worker"]
+    verdicts = [
+        BudgetVerdict(
+            "stitch.worker-spans",
+            float(len(worker_spans)),
+            bool(worker_spans),
+            "worker-side spans grafted into the parent trace"
+            if worker_spans
+            else "no worker-process spans were stitched in",
+        )
+    ]
+    orphans = 0
+    mismatched = 0
+    for span in worker_spans:
+        node = span
+        while node is not None and node["name"] != "serve.attempt":
+            node = by_id.get(node.get("parent_id"))
+        if node is None:
+            orphans += 1
+        elif span.get("trace_id") != node.get("trace_id"):
+            mismatched += 1
+    verdicts.append(
+        BudgetVerdict(
+            "stitch.rooted",
+            float(orphans),
+            orphans == 0,
+            "every worker span reaches a serve.attempt ancestor"
+            if orphans == 0
+            else f"{orphans} worker span(s) not under any serve.attempt",
+        )
+    )
+    verdicts.append(
+        BudgetVerdict(
+            "stitch.trace-id",
+            float(mismatched),
+            mismatched == 0,
+            "worker trace_ids agree with their attempt"
+            if mismatched == 0
+            else f"{mismatched} worker span(s) carry a foreign trace_id",
+        )
+    )
+    return verdicts
+
+
+def run_serve_span_gate(
+    trace_out: str | pathlib.Path | None = None,
+    budgets: tuple[SpanBudget, ...] | None = None,
+) -> SpanGateResult:
+    """The serve-layer span gate: a traced replay through a live service.
+
+    Boots a real :class:`~repro.serve.service.ServiceThread` (worker
+    subprocess, HTTP front) in an isolated cache sandbox, submits one
+    quick lock-range job and one small tongue sweep, and live-polls the
+    tongue job's ``/events`` ring while it runs.  The resulting stitched
+    trace — parent ``serve.*`` spans plus grafted worker solver spans
+    under one ``trace_id`` per job — is checked three ways: the generic
+    trace invariants, the stitching structure (:func:`_stitching_verdicts`),
+    and the declared :data:`~repro.regress.budgets.SERVE_SPAN_BUDGETS`.
+    """
+    from repro.obs.report import validate_trace
+    from repro.serve.admission import TenantPolicy
+    from repro.serve.client import ServeClient
+    from repro.serve.service import ServeConfig, ServiceThread
+
+    lock_job = {
+        "kind": "lockrange",
+        "family": "tanh",
+        "n": 3,
+        "v_i": 0.03,
+        "n_a": 61,
+        "n_phi": 121,
+        "n_samples": 256,
+        "deadline_s": 120.0,
+    }
+    tongue_job = {
+        "kind": "tongue",
+        "family": "tanh",
+        "n": 3,
+        "v_i": 0.03,
+        "vi_count": 2,
+        "freq_count": 3,
+        "n_a": 41,
+        "n_phi": 81,
+        "n_samples": 256,
+        "deadline_s": 120.0,
+    }
+    config = ServeConfig(
+        workers=1,
+        queue_limit=8,
+        tenants={
+            "default": TenantPolicy(rate_per_s=100.0, burst=50, max_in_flight=16)
+        },
+    )
+
+    owned_tracer = not tracer.recording
+    if owned_tracer:
+        tracer.enable()
+    spans_before = len(tracer.records())
+    snap_before = metrics.snapshot()
+    started = time.perf_counter()
+
+    saved = {
+        key: os.environ.pop(key, None)
+        for key in ("REPRO_CACHE_DIR", "REPRO_NO_CACHE")
+    }
+    replay_problems: list[str] = []
+    progress_seen = 0
+    try:
+        with tempfile.TemporaryDirectory(prefix="repro-serve-gate-") as tmp:
+            os.environ["REPRO_CACHE_DIR"] = tmp
+            with tracer.detached(), ServiceThread(config) as host:
+                client = ServeClient(port=host.port, timeout_s=180.0)
+                status, lock = client.submit(lock_job, wait=True)
+                if status != 200 or lock.get("status") != "completed":
+                    replay_problems.append(
+                        f"lockrange job did not complete: {status} {lock}"
+                    )
+                status, admitted = client.submit(tongue_job)
+                if status != 202:
+                    replay_problems.append(
+                        f"tongue job not admitted: {status} {admitted}"
+                    )
+                else:
+                    job_id = admitted["job_id"]
+                    cursor = 0
+                    deadline = time.monotonic() + 150.0
+                    while time.monotonic() < deadline:
+                        status, batch = client.job_events(
+                            job_id, since=cursor, wait=True, timeout_s=5.0
+                        )
+                        if status != 200:
+                            replay_problems.append(
+                                f"events poll failed: {status} {batch}"
+                            )
+                            break
+                        cursor = batch.get("next_since", cursor)
+                        progress_seen += sum(
+                            1
+                            for event in batch.get("events", [])
+                            if event.get("type")
+                            in ("point", "rung-start", "rung-done")
+                        )
+                        if batch.get("terminal"):
+                            break
+                    else:
+                        replay_problems.append("tongue job never went terminal")
+                    _, final = client.status(job_id)
+                    if final.get("status") != "completed":
+                        replay_problems.append(
+                            f"tongue job ended {final.get('status')!r}"
+                        )
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+    wall = time.perf_counter() - started
+    snap_after = metrics.snapshot()
+    replay_spans = tracer.records()[spans_before:]
+    result = SpanGateResult(
+        scenario_ids=("serve-lockrange", "serve-tongue-2x3"),
+        replay_ok=not replay_problems,
+        trace_spans=len(replay_spans),
+        wall_s=wall,
+    )
+    if trace_out is not None:
+        result.trace_path = str(tracer.write(trace_out))
+    if owned_tracer:
+        tracer.disable()
+
+    counters = counter_deltas(snap_before["counters"], snap_after["counters"])
+    histogram_sums = _histogram_sum_deltas(
+        snap_before["histograms"], snap_after["histograms"]
+    )
+    span_counts = dict(Counter(span["name"] for span in replay_spans))
+    result.verdicts = evaluate_budgets(
+        counters, histogram_sums, span_counts, budgets or SERVE_SPAN_BUDGETS
+    )
+    result.verdicts.append(
+        BudgetVerdict(
+            "events.progress",
+            float(progress_seen),
+            progress_seen >= 1,
+            "live progress events observed over /events"
+            if progress_seen
+            else "no progress events arrived before the job finished",
+        )
+    )
+    result.verdicts.extend(_stitching_verdicts(replay_spans))
+    if result.trace_path is not None:
+        trace_problems = validate_trace(result.trace_path)
+        result.verdicts.append(
+            BudgetVerdict(
+                "trace.validates",
+                float(len(trace_problems)),
+                not trace_problems,
+                "stitched trace passes validate_trace"
+                if not trace_problems
+                else "; ".join(trace_problems[:3]),
+            )
+        )
+    for problem in replay_problems:
+        result.verdicts.append(BudgetVerdict("replay", None, False, problem))
     return result

@@ -30,6 +30,8 @@ history to the CLI.
 
 from __future__ import annotations
 
+import contextlib
+import contextvars
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
@@ -45,6 +47,7 @@ __all__ = [
     "EscalationPolicy",
     "RobustResult",
     "run_ladder",
+    "ladder_progress",
     "natural_policy",
     "lock_state_policy",
     "lock_range_policy",
@@ -111,6 +114,44 @@ class RobustResult:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"RobustResult({self.value!r}, {self.diagnostics.summary()!r})"
+
+
+#: Ambient per-job progress callback (see :func:`ladder_progress`).  A
+#: contextvar rather than a parameter so the serve worker can observe rung
+#: transitions without threading a callback through every stage wrapper's
+#: signature — and without perturbing any in-process caller.
+_progress_cb: contextvars.ContextVar[Callable[[dict], None] | None] = (
+    contextvars.ContextVar("repro_ladder_progress", default=None)
+)
+
+
+@contextlib.contextmanager
+def ladder_progress(callback: Callable[[dict], None] | None):
+    """Subscribe ``callback`` to rung transitions inside the block.
+
+    The callback receives one dict per event — ``{"event": "rung-start" |
+    "rung-done", "stage": ..., "rung": ...}`` plus ``outcome`` on done
+    events — and must never raise (exceptions are swallowed so a broken
+    progress channel cannot fail a solve).  The serve worker uses this to
+    stream live escalation progress back to the parent process.
+    """
+    token = _progress_cb.set(callback)
+    try:
+        yield
+    finally:
+        _progress_cb.reset(token)
+
+
+def _emit_progress(event: str, stage: str, rung: str, **fields) -> None:
+    callback = _progress_cb.get()
+    if callback is None:
+        return
+    record = {"event": event, "stage": stage, "rung": rung}
+    record.update(fields)
+    try:
+        callback(record)
+    except Exception:
+        pass
 
 
 def _recoverable_exceptions() -> tuple:
@@ -192,6 +233,7 @@ def run_ladder(
                 break
             params = dict(rung.overrides)
             start = time.perf_counter()
+            _emit_progress("rung-start", policy.stage, rung.name)
             with trace(
                 "rung", attrs={"stage": policy.stage, "rung": rung.name}
             ) as rung_sp:
@@ -207,6 +249,13 @@ def run_ladder(
                         RungAttempt(rung.name, params, "fault", fault, wall)
                     )
                     last_exc = exc
+                    _emit_progress(
+                        "rung-done",
+                        policy.stage,
+                        rung.name,
+                        outcome="fault",
+                        fault=fault.kind,
+                    )
                     rung_sp.set(outcome="fault", fault=fault.kind)
                     metrics.inc(
                         "ladder.attempts",
@@ -242,6 +291,9 @@ def run_ladder(
                     diagnostics.attempts.append(
                         RungAttempt(rung.name, params, "retry", fault, wall)
                     )
+                    _emit_progress(
+                        "rung-done", policy.stage, rung.name, outcome="retry"
+                    )
                     rung_sp.set(outcome="retry")
                     metrics.inc(
                         "ladder.attempts",
@@ -254,6 +306,7 @@ def run_ladder(
                 diagnostics.attempts.append(
                     RungAttempt(rung.name, params, "ok", None, wall)
                 )
+                _emit_progress("rung-done", policy.stage, rung.name, outcome="ok")
                 rung_sp.set(outcome="ok")
                 metrics.inc(
                     "ladder.attempts",

@@ -9,6 +9,8 @@ long-running, multi-tenant service with production failure semantics:
   quotas, bounded-queue backpressure (typed 429/503 + ``Retry-After``);
 * :mod:`repro.serve.retry` — capped exponential backoff with
   deterministic jitter for transient faults;
+* :mod:`repro.serve.events` — bounded per-job progress event rings
+  behind ``GET /v1/jobs/<id>/events`` (long-poll and SSE);
 * :mod:`repro.serve.workers` — the crash-isolated subprocess pool with
   deadline kills and self-healing health checks;
 * :mod:`repro.serve.service` — the orchestrator enforcing *every
@@ -32,6 +34,7 @@ from repro.serve.admission import (
     load_tenant_config,
 )
 from repro.serve.client import ServeClient, ServeUnavailableError
+from repro.serve.events import DEFAULT_RING_LIMIT, EventRing
 from repro.serve.jobs import (
     JOB_KINDS,
     JobRecord,
@@ -56,10 +59,12 @@ from repro.serve.workers import (
 )
 
 __all__ = [
+    "DEFAULT_RING_LIMIT",
     "JOB_KINDS",
     "SERVE_SCHEMA_VERSION",
     "AdmissionController",
     "AdmissionDecision",
+    "EventRing",
     "JobRecord",
     "JobService",
     "JobSpec",

@@ -38,7 +38,7 @@ from typing import Callable
 
 from repro.robust.injection import FaultOutcome, FaultReport
 from repro.serve.admission import TenantPolicy
-from repro.serve.client import ServeClient
+from repro.serve.client import ServeClient, ServeUnavailableError
 from repro.serve.service import ServeConfig, ServiceThread
 
 __all__ = ["ServeScenario", "serve_scenarios", "run_serve_fault_matrix"]
@@ -96,6 +96,13 @@ def _recovery_problems(host, client) -> list[str]:
         problems.append(
             f"unhandled exceptions escaped: {host.service.unhandled_errors}"
         )
+    try:
+        fleet = client.parsed_metrics()
+    except (ValueError, ServeUnavailableError) as exc:
+        problems.append(f"/metricz prometheus scrape broken after chaos: {exc}")
+    else:
+        if not any(key.startswith("repro_serve_") for key in fleet):
+            problems.append("prometheus exposition lost its serve.* samples")
     return problems
 
 
@@ -131,6 +138,22 @@ def _run_worker_kill(scenario: ServeScenario) -> FaultOutcome:
         job = dict(_QUICK_JOB, chaos={"die_attempts": [1]})
         status, record = client.submit(job, wait=True)
         problems = _recovery_problems(host, client)
+        # The restart must also be visible on the wire, not just white-box:
+        # the Prometheus scrape carries the restart counter and the merged
+        # worker-side solver metrics from the completing attempt.
+        try:
+            fleet = client.parsed_metrics()
+        except (ValueError, ServeUnavailableError):
+            fleet = {}
+        restarts_scraped = sum(
+            value
+            for key, value in fleet.items()
+            if key.startswith("repro_serve_worker_restarts_total")
+        )
+        if restarts_scraped < 1:
+            problems.append("worker restart not visible in /metricz scrape")
+        if not any(key.startswith("repro_df_evaluations_") for key in fleet):
+            problems.append("worker-side solver metrics missing from scrape")
         ok = (
             status == 200
             and record.get("status") == "completed"

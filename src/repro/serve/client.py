@@ -67,6 +67,23 @@ class ServeClient:
         finally:
             connection.close()
 
+    def request_text(self, method: str, path: str) -> tuple[int, str]:
+        """Like :meth:`request` but returns the raw response body as text
+        (for non-JSON endpoints such as the Prometheus exposition)."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        try:
+            connection.request(method, path, headers={"X-Tenant": self.tenant})
+            response = connection.getresponse()
+            return response.status, response.read().decode()
+        except (ConnectionError, OSError) as exc:
+            raise ServeUnavailableError(
+                f"service at {self.host}:{self.port} unreachable: {exc}"
+            ) from exc
+        finally:
+            connection.close()
+
     # -- the API --------------------------------------------------------------
 
     def submit(self, job: dict, *, wait: bool = False) -> tuple[int, dict]:
@@ -88,6 +105,33 @@ class ServeClient:
 
     def metrics(self) -> tuple[int, dict]:
         return self.request("GET", "/metricz")
+
+    def parsed_metrics(self) -> dict[str, float]:
+        """Scrape ``/metricz?format=prometheus`` and parse it to a flat
+        ``{sample_key: value}`` dict (e.g.
+        ``repro_serve_completed_total{kind=lockrange}``).  Raises
+        ``ValueError`` when the exposition fails validation — a scrape
+        that does not parse is a bug, not a value."""
+        from repro.obs import parse_prometheus, validate_prometheus
+
+        status, text = self.request_text("GET", "/metricz?format=prometheus")
+        if status != 200:
+            raise ServeUnavailableError(f"/metricz returned {status}")
+        problems = validate_prometheus(text)
+        if problems:
+            raise ValueError(f"invalid prometheus exposition: {problems}")
+        return parse_prometheus(text)
+
+    def job_events(
+        self, job_id: str, *, since: int = 0, wait: bool = False,
+        timeout_s: float = 10.0,
+    ) -> tuple[int, dict]:
+        """One cursor poll of the job's event ring; pass back
+        ``body["next_since"]`` as ``since`` to resume."""
+        path = f"/v1/jobs/{job_id}/events?since={int(since)}"
+        if wait:
+            path += f"&wait=1&timeout_s={float(timeout_s):g}"
+        return self.request("GET", path)
 
     def report(self) -> tuple[int, dict]:
         return self.request("GET", "/v1/report")

@@ -1,0 +1,105 @@
+"""Bounded per-job progress event rings for live job streaming.
+
+Every admitted job owns one :class:`EventRing`: a fixed-capacity buffer of
+monotonically sequenced progress events — queue transitions, attempt
+starts, ladder rung transitions, sweep per-point ticks, the terminal
+outcome — fed by the service loop as the worker relays them over the job
+pipe.  ``GET /v1/jobs/<id>/events`` reads the ring with a cursor
+(``since=<seq>``), either immediately or long-polling via :meth:`wait`.
+
+The ring is *bounded* so a chatty tongue sweep cannot grow service memory
+without limit: old events are evicted and counted in ``dropped``, and a
+reader whose cursor has fallen off the ring learns how many events it
+missed instead of silently skipping them.  Rings are strictly per-job —
+two tenants' jobs never share a ring, so their event streams cannot
+interleave (covered by a dedicated concurrency test).
+
+All mutation happens on the service's event loop (pushes come from the
+dispatch task, reads from request handlers on the same loop), so no lock
+is needed; :meth:`wait` hands out loop futures resolved by the next push.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+
+__all__ = ["EventRing", "DEFAULT_RING_LIMIT"]
+
+#: Default per-job capacity.  A 32x32 tongue sweep emits ~1k point ticks;
+#: keeping the most recent 256 bounds memory at a few tens of KB per job
+#: while a live poller at any sane interval misses nothing.
+DEFAULT_RING_LIMIT = 256
+
+
+class EventRing:
+    """Fixed-capacity, monotonically sequenced event buffer for one job."""
+
+    __slots__ = ("_events", "_seq", "_dropped", "_waiters", "limit")
+
+    def __init__(self, limit: int = DEFAULT_RING_LIMIT):
+        self.limit = max(1, int(limit))
+        self._events: deque[dict] = deque()
+        self._seq = 0
+        self._dropped = 0
+        self._waiters: list[asyncio.Future] = []
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the newest event (0 when none yet)."""
+        return self._seq
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted from the ring so far."""
+        return self._dropped
+
+    def push(self, type_: str, **fields) -> dict:
+        """Append one event, evicting the oldest past capacity, and wake
+        every pending :meth:`wait`."""
+        self._seq += 1
+        event = {"seq": self._seq, "type": str(type_), "t_unix_s": round(time.time(), 3)}
+        event.update(fields)
+        self._events.append(event)
+        while len(self._events) > self.limit:
+            self._events.popleft()
+            self._dropped += 1
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            if not waiter.done():
+                waiter.set_result(True)
+        return event
+
+    def since(self, seq: int = 0) -> tuple[list[dict], int, int]:
+        """Events newer than cursor ``seq``: ``(events, next_since, missed)``.
+
+        ``next_since`` is the cursor for the follow-up call; ``missed``
+        counts events that were already evicted past the cursor (0 for a
+        reader keeping up).
+        """
+        seq = max(0, int(seq))
+        events = [e for e in self._events if e["seq"] > seq]
+        missed = max(0, self._seq - seq - len(events))
+        return events, max(seq, self._seq), missed
+
+    async def wait(self, seq: int, timeout_s: float) -> bool:
+        """Block until an event newer than ``seq`` exists (or timeout).
+
+        Returns True when new events are available.  Must be awaited on
+        the loop that pushes into this ring.
+        """
+        if self._seq > seq:
+            return True
+        if timeout_s <= 0:
+            return False
+        waiter: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._waiters.append(waiter)
+        try:
+            await asyncio.wait_for(waiter, timeout=timeout_s)
+            return True
+        except asyncio.TimeoutError:
+            return False
+        finally:
+            if waiter in self._waiters:
+                self._waiters.remove(waiter)

@@ -15,11 +15,19 @@ POST      /v1/jobs[?wait=1]      submit a job (``X-Tenant`` header or
                                  job when no other waiter holds it
 GET       /v1/jobs/<id>          job record (works after completion too)
 POST      /v1/jobs/<id>/cancel   cancel a queued/running job
+GET       /v1/jobs/<id>/events   live progress events: cursor long-poll
+                                 (``since=<seq>&wait=1``) or a Server-Sent
+                                 Events stream (``sse=1``)
 GET       /healthz               liveness (always 200 while the loop runs)
 GET       /readyz                readiness (503 with reasons when not)
-GET       /metricz               the ``serve.*`` metrics slice
+GET       /metricz               the full fleet metrics snapshot (JSON, or
+                                 Prometheus text with ``format=prometheus``)
 GET       /v1/report             the live SERVE_REPORT document
 ========  =====================  =======================================
+
+Every request is assigned a fresh ``trace_id`` at ingress and handled
+under that ambient trace context, so spans on both sides of the worker
+boundary — and the job record itself — correlate back to the request.
 
 Status mapping: 202 admitted, 200 terminal record (``degraded: true``
 marks a stale/coarse answer), 502 dead-lettered (typed body, never a
@@ -34,7 +42,7 @@ import json
 import time
 import urllib.parse
 
-from repro.obs import metrics, trace
+from repro.obs import metrics, new_trace_id, to_prometheus, trace, tracer
 from repro.serve.service import JobService
 
 __all__ = ["start_http_server", "MAX_BODY_BYTES"]
@@ -134,7 +142,10 @@ async def _handle_connection(service: JobService, reader, writer) -> None:
             return
         method, path, query, headers, body = request
         route = f"{method} {path}"
-        with trace("serve.request", attrs={"method": method, "path": path}) as span:
+        trace_id = new_trace_id()
+        with tracer.ambient(trace_id), trace(
+            "serve.request", attrs={"method": method, "path": path}
+        ) as span:
             if body is _TOO_LARGE:
                 status = await _send(
                     writer,
@@ -193,6 +204,13 @@ async def _route(
     if path == "/metricz":
         if method != "GET":
             return await _send(writer, 405, {"error": "method-not-allowed"})
+        if query.get("format", ["json"])[0] == "prometheus":
+            return await _send_text(
+                writer,
+                200,
+                to_prometheus(_serve_metrics()),
+                "text/plain; version=0.0.4",
+            )
         return await _send(writer, 200, _serve_metrics())
     if path == "/v1/report":
         if method != "GET":
@@ -206,6 +224,15 @@ async def _route(
         return await _submit(service, reader, writer, query, headers, body)
     if path.startswith("/v1/jobs/"):
         tail = path[len("/v1/jobs/") :]
+        if tail.endswith("/events"):
+            if method != "GET":
+                return await _send(writer, 405, {"error": "method-not-allowed"})
+            record = service.store.get(tail[: -len("/events")])
+            if record is None:
+                return await _send(writer, 404, {"error": "unknown-job"})
+            if query.get("sse", ["0"])[0] not in ("0", "", "false"):
+                return await _job_events_sse(writer, record, query)
+            return await _job_events(writer, record, query)
         if tail.endswith("/cancel"):
             if method != "POST":
                 return await _send(writer, 405, {"error": "method-not-allowed"})
@@ -304,14 +331,120 @@ async def _wait_for_terminal(service, reader, record) -> None:
                 task.cancel()
 
 
-def _serve_metrics() -> dict:
-    """The ``serve.*`` (plus worker-restart) slice of the metrics snapshot."""
-    snapshot = metrics.snapshot()
-    keep = lambda key: key.startswith(("serve.", "ladder.", "cache.singleflight"))  # noqa: E731
-    return {
-        "counters": {k: v for k, v in snapshot["counters"].items() if keep(k)},
-        "gauges": {k: v for k, v in snapshot["gauges"].items() if keep(k)},
-        "histograms": {
-            k: v for k, v in snapshot["histograms"].items() if keep(k)
+async def _send_text(writer, status: int, text: str, content_type: str) -> int:
+    payload = text.encode()
+    headers = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(payload)}",
+        "Connection: close",
+    ]
+    try:
+        writer.write(("\r\n".join(headers) + "\r\n\r\n").encode() + payload)
+        await writer.drain()
+    except (ConnectionResetError, BrokenPipeError):
+        pass
+    return status
+
+
+#: Long-poll hold cap: clients re-poll with their cursor; holding a socket
+#: longer than this just ties up a connection for no fresher an answer.
+_EVENTS_MAX_WAIT_S = 30.0
+
+
+async def _job_events(writer, record, query) -> int:
+    """Cursor long-poll over one job's event ring.
+
+    ``since=<seq>`` resumes after the last seen event; with ``wait=1`` the
+    request blocks (up to ``timeout_s``, capped) until something newer
+    arrives or the job goes terminal.  The reply carries ``next_since``
+    for the follow-up call and ``missed`` when the cursor fell off the
+    bounded ring.
+    """
+    ring = record.events
+    try:
+        since = int(query.get("since", ["0"])[0] or 0)
+    except ValueError:
+        return await _send(writer, 400, {"error": "bad-cursor"})
+    wait = query.get("wait", ["0"])[0] not in ("0", "", "false")
+    try:
+        timeout_s = float(query.get("timeout_s", ["10"])[0] or 10.0)
+    except ValueError:
+        timeout_s = 10.0
+    timeout_s = min(max(timeout_s, 0.0), _EVENTS_MAX_WAIT_S)
+    events, next_since, missed = ([], since, 0) if ring is None else ring.since(since)
+    if ring is not None and wait and not events and not record.terminal:
+        await ring.wait(since, timeout_s)
+        events, next_since, missed = ring.since(since)
+    return await _send(
+        writer,
+        200,
+        {
+            "job_id": record.job_id,
+            "status": record.status,
+            "terminal": record.terminal,
+            "progress": record.progress,
+            "next_since": next_since,
+            "missed": missed,
+            "dropped": 0 if ring is None else ring.dropped,
+            "events": events,
         },
-    }
+    )
+
+
+async def _job_events_sse(writer, record, query) -> int:
+    """Server-Sent Events stream of one job's ring, closed at terminal.
+
+    Each event goes out as ``event:``/``id:``/``data:`` frames (the seq is
+    the SSE id, so ``Last-Event-ID`` reconnects map onto ``since=``).
+    Idle gaps emit comment keep-alives so a dead client is detected.
+    """
+    ring = record.events
+    try:
+        since = int(query.get("since", ["0"])[0] or 0)
+    except ValueError:
+        return await _send(writer, 400, {"error": "bad-cursor"})
+    headers = [
+        "HTTP/1.1 200 OK",
+        "Content-Type: text/event-stream",
+        "Cache-Control: no-cache",
+        "Connection: close",
+    ]
+    try:
+        writer.write(("\r\n".join(headers) + "\r\n\r\n").encode())
+        await writer.drain()
+        while True:
+            events, since, _missed = ([], since, 0) if ring is None else ring.since(since)
+            for event in events:
+                frame = (
+                    f"event: {event['type']}\n"
+                    f"id: {event['seq']}\n"
+                    f"data: {json.dumps(event, sort_keys=True)}\n\n"
+                )
+                writer.write(frame.encode())
+            if events:
+                await writer.drain()
+            if record.terminal:
+                if ring is None or not ring.since(since)[0]:
+                    break
+                continue
+            if ring is None:
+                break
+            if not await ring.wait(since, 10.0):
+                writer.write(b": keepalive\n\n")
+                await writer.drain()
+    except (ConnectionResetError, BrokenPipeError):
+        pass  # the client left mid-stream
+    return 200
+
+
+def _serve_metrics() -> dict:
+    """The full fleet metrics snapshot.
+
+    Parent-side ``serve.*`` metrics plus every worker-side solver delta
+    (``hb.*``, ``df.*``, ``cache.*``, ``ladder.*``) the service has merged
+    from job replies.  ``MetricsRegistry.snapshot`` sorts keys and
+    normalises numbers, so two scrapes of identical state are
+    byte-identical — diffable by construction.
+    """
+    return metrics.snapshot()

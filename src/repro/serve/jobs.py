@@ -326,6 +326,11 @@ class JobRecord:
     deadline_mono: float = 0.0
     waiters: int = 0
     cancel_requested: bool = False
+    trace_id: str | None = None  # request-scoped id for stitched tracing
+    enqueued_mono: float = 0.0  # queue-wait measurement anchor
+    queue_wait_s: float | None = None  # set when the dispatcher picks it up
+    progress: dict | None = None  # latest worker progress summary
+    events: Any = None  # per-job EventRing, attached by the service
     done: Any = None  # asyncio.Event, attached by the service
     task: Any = None  # the dispatcher's asyncio.Task while running
 
@@ -351,6 +356,12 @@ class JobRecord:
             "submitted_unix_s": self.submitted_unix_s,
             "finished_unix_s": self.finished_unix_s,
         }
+        if self.trace_id is not None:
+            payload["trace_id"] = self.trace_id
+        if self.queue_wait_s is not None:
+            payload["queue_wait_s"] = round(self.queue_wait_s, 6)
+        if self.progress is not None:
+            payload["progress"] = dict(self.progress)
         if include_result:
             payload["result"] = self.result
         return payload

@@ -10,6 +10,8 @@ Schema v1 (validated by :func:`validate_serve_report`, wired into
      "workers": {"size", "alive", "restarts"},
      "tenants": {tenant: in_flight},
      "counters": {... the serve.* metrics slice ...},
+     "slo": {tenant: {queue_wait, e2e, outcomes, deadline_hits,
+                      degraded_ratio, dead_letter_ratio}},  # additive
      "dead_letters": [{job_id, tenant, fingerprint, reason,
                        fault_kinds, attempts, submitted_unix_s}, ...],
      "unhandled_errors": [...]}
@@ -38,6 +40,63 @@ SERVE_SCHEMA_VERSION = 1
 
 _TERMINAL = ("completed", "degraded", "dead-lettered")
 _IN_FLIGHT = ("queued", "running", "retrying")
+
+
+def _split_key(key: str) -> tuple[str, dict[str, str]]:
+    """``"name{k1=v1,k2=v2}"`` → ``("name", {"k1": "v1", "k2": "v2"})``."""
+    if "{" not in key:
+        return key, {}
+    name, _, rest = key.partition("{")
+    labels = dict(
+        pair.split("=", 1) for pair in rest.rstrip("}").split(",") if "=" in pair
+    )
+    return name, labels
+
+
+def _slo_section(snapshot: dict) -> dict:
+    """Per-tenant SLO accounting from the metrics snapshot.
+
+    For each tenant seen in ``serve.outcomes``: queue-wait and e2e latency
+    summaries, the outcome tally, deadline-hit count, and the degraded /
+    dead-letter ratios over terminal jobs.
+    """
+    tenants: dict[str, dict] = {}
+
+    def slot(tenant: str) -> dict:
+        return tenants.setdefault(
+            tenant,
+            {
+                "queue_wait": None,
+                "e2e": None,
+                "outcomes": {},
+                "deadline_hits": 0,
+                "degraded_ratio": 0.0,
+                "dead_letter_ratio": 0.0,
+            },
+        )
+
+    for key, value in snapshot["counters"].items():
+        name, labels = _split_key(key)
+        if name == "serve.outcomes" and "tenant" in labels:
+            slot(labels["tenant"])["outcomes"][labels.get("status", "?")] = value
+        elif name == "serve.deadline_hits" and "tenant" in labels:
+            slot(labels["tenant"])["deadline_hits"] = value
+    for key, summary in snapshot["histograms"].items():
+        name, labels = _split_key(key)
+        if name == "serve.queue_wait_s" and "tenant" in labels:
+            slot(labels["tenant"])["queue_wait"] = summary
+        elif name == "serve.e2e_s" and "tenant" in labels:
+            slot(labels["tenant"])["e2e"] = summary
+    for entry in tenants.values():
+        total = sum(entry["outcomes"].values())
+        if total:
+            entry["degraded_ratio"] = round(
+                entry["outcomes"].get("degraded", 0) / total, 6
+            )
+            entry["dead_letter_ratio"] = round(
+                entry["outcomes"].get("dead-lettered", 0) / total, 6
+            )
+    return {tenant: tenants[tenant] for tenant in sorted(tenants)}
 
 
 def build_serve_report(service) -> dict:
@@ -72,6 +131,7 @@ def build_serve_report(service) -> dict:
             if count > 0
         },
         "counters": counters,
+        "slo": _slo_section(snapshot),
         "dead_letters": [
             letter.to_dict() for letter in service.store.dead_letters
         ],

@@ -32,12 +32,21 @@ caller that wants the sync client against an in-process service.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import threading
 import time
 from dataclasses import dataclass, field
 
-from repro.obs import get_logger, metrics, trace
+from repro.obs import (
+    current_trace_id,
+    get_logger,
+    metrics,
+    new_trace_id,
+    trace,
+    tracer,
+)
 from repro.serve.admission import AdmissionController, TenantPolicy
+from repro.serve.events import EventRing
 from repro.serve.jobs import JobRecord, JobStore, MalformedJobError, parse_job
 from repro.serve.retry import RetryPolicy
 from repro.serve.workers import WorkerCrashError, WorkerPool, WorkerStallError
@@ -114,6 +123,8 @@ class JobService:
             self._health_loop(), name="serve-health"
         )
         metrics.gauge("serve.workers_alive", self.pool.alive_count)
+        metrics.gauge("serve.workers_healthy", self.pool.alive_count)
+        metrics.gauge("serve.queue_depth", self._queue.qsize())
         log.info(
             "serve-start",
             workers=self.config.workers,
@@ -207,6 +218,13 @@ class JobService:
             tenant=tenant,
             deadline_mono=time.monotonic() + spec.deadline_s,
         )
+        # Adopt the ingress-minted trace id (or mint one for direct
+        # submitters) so everything the job produces — spans on both sides
+        # of the worker boundary, events, the status document — correlates
+        # back to the originating request.
+        record.trace_id = current_trace_id() or new_trace_id()
+        record.enqueued_mono = time.monotonic()
+        record.events = EventRing()
         record.done = asyncio.Event()
         try:
             self._queue.put_nowait(record)
@@ -223,6 +241,10 @@ class JobService:
         self._tenant_inflight[tenant] = self._tenant_inflight.get(tenant, 0) + 1
         metrics.inc("serve.admitted")
         metrics.gauge("serve.queue_depth", self._queue.qsize())
+        metrics.gauge(
+            "serve.tenant_inflight", self._tenant_inflight[tenant], tenant=tenant
+        )
+        record.events.push("queued", job_id=record.job_id, tenant=tenant)
         return (
             202,
             {
@@ -290,13 +312,23 @@ class JobService:
     async def _run_one(self, record: JobRecord) -> None:
         """Attempt loop of one job: worker dispatch, retry, degradation."""
         record.status = "running"
+        record.queue_wait_s = max(0.0, time.monotonic() - record.enqueued_mono)
+        metrics.observe(
+            "serve.queue_wait_s", record.queue_wait_s, tenant=record.tenant
+        )
         fingerprint = record.spec.fingerprint()
-        with trace(
+        ambient = (
+            tracer.ambient(record.trace_id)
+            if record.trace_id is not None
+            else contextlib.nullcontext()
+        )
+        with ambient, trace(
             "serve.job",
             attrs={
                 "job_id": record.job_id,
                 "kind": record.spec.kind,
                 "tenant": record.tenant,
+                "queue_wait_s": round(record.queue_wait_s, 6),
             },
         ) as span:
             try:
@@ -315,23 +347,53 @@ class JobService:
                     payload = record.spec.to_payload()
                     payload["attempt"] = record.attempts
                     payload["budget_s"] = remaining
-                    try:
-                        reply = await self.pool.run_job(
-                            payload, timeout_s=remaining + _STALL_GRACE_S
-                        )
-                    except WorkerCrashError as exc:
-                        _note_fault(record, "worker-crash")
-                        if await self._maybe_retry(
-                            record, fingerprint, "worker-crash"
+                    record.events.push("attempt-start", attempt=record.attempts)
+                    reply: dict | None = None
+                    failure: tuple[str, str] | None = None
+                    with trace(
+                        "serve.attempt", attrs={"attempt": record.attempts}
+                    ) as attempt_sp:
+                        if attempt_sp.recording and record.trace_id is not None:
+                            # The propagation envelope: the worker roots its
+                            # own span tree at this (trace_id, span_id) pair.
+                            payload["trace"] = {
+                                "trace_id": record.trace_id,
+                                "span_id": attempt_sp.span_id,
+                                "process": "serve",
+                            }
+                        try:
+                            reply = await self.pool.run_job(
+                                payload,
+                                timeout_s=remaining + _STALL_GRACE_S,
+                                progress=lambda event: self._on_progress(
+                                    record, event
+                                ),
+                            )
+                        except WorkerCrashError as exc:
+                            # The worker died mid-span: its subtree is lost,
+                            # but the attempt span closes cleanly with the
+                            # outcome, so the stitched trace stays valid
+                            # with no orphan spans.
+                            failure = ("worker-crash", str(exc))
+                            attempt_sp.set(outcome="crashed")
+                        except WorkerStallError as exc:
+                            failure = ("worker-stall", str(exc))
+                            attempt_sp.set(outcome="stalled")
+                        if reply is not None:
+                            self._absorb_telemetry(record, reply, attempt_sp)
+                            attempt_sp.set(
+                                outcome="ok" if reply.get("ok") else "fault"
+                            )
+                    if failure is not None:
+                        fault_kind, message = failure
+                        _note_fault(record, fault_kind)
+                        if fault_kind == "worker-crash" and await self._maybe_retry(
+                            record, fingerprint, fault_kind
                         ):
                             continue
-                        await self._degrade(record, "worker-crash", str(exc))
-                        break
-                    except WorkerStallError as exc:
-                        # The stalled attempt consumed the budget; retrying
+                        # A stalled attempt consumed the budget; retrying
                         # would just burn a second worker. Degrade.
-                        _note_fault(record, "worker-stall")
-                        await self._degrade(record, "worker-stall", str(exc))
+                        await self._degrade(record, fault_kind, message)
                         break
                     for kind in reply.get("fault_kinds", ()):
                         _note_fault(record, kind)
@@ -354,6 +416,50 @@ class JobService:
                 self._dead_letter(record, record.reason or "cancelled")
                 span.set(status="cancelled", attempts=record.attempts)
                 raise
+
+    def _on_progress(self, record: JobRecord, event: dict) -> None:
+        """Relay one worker progress event into the job's ring + status."""
+        metrics.inc("serve.progress_events")
+        kind = event.get("event") or "progress"
+        fields = {k: v for k, v in event.items() if k != "event"}
+        if kind == "point":
+            record.progress = {
+                "phase": "sweep",
+                "done": fields.get("done"),
+                "total": fields.get("total"),
+            }
+        elif kind in ("rung-start", "rung-done"):
+            record.progress = {
+                "phase": "ladder",
+                "stage": fields.get("stage"),
+                "rung": fields.get("rung"),
+                "outcome": fields.get("outcome"),
+            }
+        if record.events is not None:
+            record.events.push(kind, **fields)
+
+    def _absorb_telemetry(self, record: JobRecord, reply: dict, attempt_sp) -> None:
+        """Merge a worker reply's shipped telemetry into the parent's view.
+
+        Metrics deltas always merge (the fleet aggregate on ``/metricz``
+        includes worker-side solver counters); the span tree grafts under
+        the live attempt span only while a trace is being recorded.
+        """
+        telemetry = reply.pop("telemetry", None)
+        if not isinstance(telemetry, dict):
+            return
+        snapshot = telemetry.get("metrics")
+        if isinstance(snapshot, dict):
+            metrics.merge_snapshot(snapshot)
+        spans = telemetry.get("spans")
+        if spans and attempt_sp.recording:
+            grafted = tracer.graft(
+                spans,
+                parent=attempt_sp,
+                process="worker",
+                epoch_unix_s=telemetry.get("epoch_unix_s"),
+            )
+            attempt_sp.set(worker_spans=grafted)
 
     async def _maybe_retry(
         self, record: JobRecord, fingerprint: str, fault_kind: str
@@ -440,6 +546,32 @@ class JobService:
         fingerprint = record.spec.fingerprint()
         if self._inflight_by_fp.get(fingerprint) == record.job_id:
             del self._inflight_by_fp[fingerprint]
+        # Per-tenant SLO accounting: end-to-end latency, outcome tallies,
+        # and deadline hits (jobs pushed off the happy path by their own
+        # wall-clock budget rather than by a solver fault).
+        metrics.observe(
+            "serve.e2e_s",
+            max(0.0, (record.finished_unix_s or time.time()) - record.submitted_unix_s),
+            tenant=record.tenant,
+        )
+        metrics.inc("serve.outcomes", tenant=record.tenant, status=record.status)
+        if any(
+            kind in ("budget-exhausted", "worker-stall")
+            for kind in record.fault_kinds
+        ):
+            metrics.inc("serve.deadline_hits", tenant=record.tenant)
+        metrics.gauge(
+            "serve.tenant_inflight",
+            self._tenant_inflight[record.tenant],
+            tenant=record.tenant,
+        )
+        if record.events is not None:
+            record.events.push(
+                "terminal",
+                status=record.status,
+                attempts=record.attempts,
+                degraded=record.degraded,
+            )
         if record.done is not None:
             record.done.set()
 
@@ -450,6 +582,9 @@ class JobService:
             await asyncio.sleep(self.config.health_interval_s)
             try:
                 replaced = await self.pool.health_check()
+                # After the sweep every pool slot holds a live, ping-clean
+                # worker — alive_count *is* the healthy count here.
+                metrics.gauge("serve.workers_healthy", self.pool.alive_count)
                 if replaced:
                     log.warning("serve-health-replace", workers=replaced)
             except asyncio.CancelledError:

@@ -91,7 +91,7 @@ def _apply_chaos(chaos: dict, attempt: int) -> None:
         time.sleep(float(stall_s))
 
 
-def execute_job(payload: dict) -> dict:
+def execute_job(payload: dict, progress=None) -> dict:
     """Run one job payload to a reply dict (runs inside the worker).
 
     Replies are always one of:
@@ -103,11 +103,20 @@ def execute_job(payload: dict) -> dict:
     * ``{"ok": False, "fault_kind": ..., "message": ..., "fault_kinds":
       [...]}`` — a typed fault the service maps onto its retry /
       degradation machinery.
+
+    ``progress``, when given, receives one dict per progress event —
+    ladder rung transitions (``{"event": "rung-start"/"rung-done", ...}``)
+    and sweep point ticks (``{"event": "point", "done": d, "total": t}``)
+    — which the worker loop relays over the pipe as interim messages.
     """
     from repro.core.lockrange import NoLockError
     from repro.core.natural import NoOscillationError
     from repro.robust import NumericalFaultError
-    from repro.robust.ladder import robust_natural, robust_predict_lock_range
+    from repro.robust.ladder import (
+        ladder_progress,
+        robust_natural,
+        robust_predict_lock_range,
+    )
 
     chaos = payload.get("chaos") or {}
     if chaos:
@@ -118,61 +127,62 @@ def execute_job(payload: dict) -> dict:
     budget_s = payload.get("budget_s")
     deadline = time.monotonic() + float(budget_s) if budget_s else None
     nonlinearity, tank = _materialise(family, float(payload.get("q_scale", 1.0)))
-    try:
-        if kind == "lockrange":
-            robust = robust_predict_lock_range(
-                nonlinearity,
-                tank,
-                v_i=float(payload["v_i"]),
-                n=int(payload["n"]),
-                n_a=int(payload["n_a"]),
-                n_phi=int(payload["n_phi"]),
-                n_samples=int(payload["n_samples"]),
-                method=payload.get("method", "fft"),
-                deadline=deadline,
-            )
-            result = lockrange_to_dict(robust.value)
-            diagnostics = robust.diagnostics
-        elif kind == "natural":
-            robust = robust_natural(
-                nonlinearity,
-                tank,
-                n_samples=int(payload["n_samples"]),
-                deadline=deadline,
-            )
-            natural = robust.value
-            result = {
-                "outcome": "oscillates",
-                "amplitude": float(natural.amplitude),
-                "frequency_hz": float(natural.frequency_hz),
+    with ladder_progress(progress):
+        try:
+            if kind == "lockrange":
+                robust = robust_predict_lock_range(
+                    nonlinearity,
+                    tank,
+                    v_i=float(payload["v_i"]),
+                    n=int(payload["n"]),
+                    n_a=int(payload["n_a"]),
+                    n_phi=int(payload["n_phi"]),
+                    n_samples=int(payload["n_samples"]),
+                    method=payload.get("method", "fft"),
+                    deadline=deadline,
+                )
+                result = lockrange_to_dict(robust.value)
+                diagnostics = robust.diagnostics
+            elif kind == "natural":
+                robust = robust_natural(
+                    nonlinearity,
+                    tank,
+                    n_samples=int(payload["n_samples"]),
+                    deadline=deadline,
+                )
+                natural = robust.value
+                result = {
+                    "outcome": "oscillates",
+                    "amplitude": float(natural.amplitude),
+                    "frequency_hz": float(natural.frequency_hz),
+                }
+                diagnostics = robust.diagnostics
+            elif kind == "tongue":
+                result = _run_tongue(payload, progress)
+                diagnostics = None
+            else:  # pragma: no cover - parse_job rejects unknown kinds
+                raise ValueError(f"unknown job kind {kind!r}")
+        except NoLockError as exc:
+            return {
+                "ok": True,
+                "result": {"outcome": "no-lock", "message": str(exc)},
+                "fault_kinds": _exc_fault_kinds(exc, "no-lock"),
+                "recovered_via": None,
             }
-            diagnostics = robust.diagnostics
-        elif kind == "tongue":
-            result = _run_tongue(payload)
-            diagnostics = None
-        else:  # pragma: no cover - parse_job rejects unknown kinds
-            raise ValueError(f"unknown job kind {kind!r}")
-    except NoLockError as exc:
-        return {
-            "ok": True,
-            "result": {"outcome": "no-lock", "message": str(exc)},
-            "fault_kinds": _exc_fault_kinds(exc, "no-lock"),
-            "recovered_via": None,
-        }
-    except NoOscillationError as exc:
-        return {
-            "ok": True,
-            "result": {"outcome": "no-oscillation", "message": str(exc)},
-            "fault_kinds": _exc_fault_kinds(exc, "no-oscillation"),
-            "recovered_via": None,
-        }
-    except NumericalFaultError as exc:
-        return {
-            "ok": False,
-            "fault_kind": exc.fault.kind,
-            "message": str(exc),
-            "fault_kinds": _exc_fault_kinds(exc, exc.fault.kind),
-        }
+        except NoOscillationError as exc:
+            return {
+                "ok": True,
+                "result": {"outcome": "no-oscillation", "message": str(exc)},
+                "fault_kinds": _exc_fault_kinds(exc, "no-oscillation"),
+                "recovered_via": None,
+            }
+        except NumericalFaultError as exc:
+            return {
+                "ok": False,
+                "fault_kind": exc.fault.kind,
+                "message": str(exc),
+                "fault_kinds": _exc_fault_kinds(exc, exc.fault.kind),
+            }
     return {
         "ok": True,
         "result": result,
@@ -191,7 +201,7 @@ def _exc_fault_kinds(exc: BaseException, primary: str) -> list[str]:
     return kinds
 
 
-def _run_tongue(payload: dict) -> dict:
+def _run_tongue(payload: dict, progress=None) -> dict:
     """A bounded tongue-map sweep through the batched engine + shard cache."""
     import numpy as np
 
@@ -212,7 +222,12 @@ def _run_tongue(payload: dict) -> dict:
         n_phi=int(payload["n_phi"]),
         n_samples=int(payload["n_samples"]),
     )
-    result = run_sweep(spec)
+    on_point = None
+    if progress is not None:
+        on_point = lambda done, total: progress(  # noqa: E731
+            {"event": "point", "done": int(done), "total": int(total)}
+        )
+    result = run_sweep(spec, progress=on_point)
     return {
         "outcome": "tongue",
         "spec": spec.name,
@@ -224,14 +239,73 @@ def _run_tongue(payload: dict) -> dict:
     }
 
 
+def _run_one_job(conn, payload: dict) -> dict:
+    """Execute one job with full telemetry capture (inside the worker).
+
+    Each job starts from a clean registry, so the post-job snapshot *is*
+    the exact per-job metrics delta the parent merges into its own
+    registry.  When the payload carries a ``trace`` envelope the worker's
+    tracer records a span tree rooted at the inherited
+    ``(trace_id, span_id)`` context, shipped back in the reply under
+    ``telemetry`` together with the worker's unix epoch so the parent can
+    stitch it onto its own timeline.  Progress events stream out as
+    interim ``{"progress": ...}`` pipe messages while the job runs.
+    """
+    from repro.obs import metrics as worker_metrics
+    from repro.obs import tracer
+
+    def relay(event: dict) -> None:
+        try:
+            conn.send({"progress": event})
+        except (BrokenPipeError, OSError):
+            pass
+
+    context = payload.get("trace") or None
+    worker_metrics.reset()
+    if context:
+        tracer.enable()
+    try:
+        try:
+            if context:
+                with tracer.ambient(
+                    context["trace_id"], context.get("span_id")
+                ):
+                    reply = execute_job(payload, progress=relay)
+            else:
+                reply = execute_job(payload, progress=relay)
+        except BaseException as exc:  # noqa: BLE001 - the loop must survive
+            reply = {
+                "ok": False,
+                "fault_kind": "unexpected-error",
+                "message": f"{type(exc).__name__}: {exc}",
+                "fault_kinds": ["unexpected-error"],
+            }
+        telemetry: dict = {"metrics": worker_metrics.snapshot()}
+        if context:
+            tracer.disable()
+            telemetry["spans"] = tracer.records()
+            telemetry["epoch_unix_s"] = tracer.epoch_unix
+        reply["telemetry"] = telemetry
+        return reply
+    finally:
+        tracer.clear()
+        worker_metrics.reset()
+
+
 def _worker_main(conn) -> None:
     """The worker loop: recv an op, do it, send the reply, repeat."""
-    # The fork inherits the parent's tracer; worker spans would interleave
-    # into the service's trace file mid-line, so tracing stays parent-side.
+    # The fork inherits the parent's tracer and metrics mid-flight: drop
+    # both and re-badge the process, so worker telemetry is collected per
+    # job and shipped back explicitly instead of interleaving into the
+    # service's own buffers.
     try:
+        from repro.obs import metrics as worker_metrics
         from repro.obs import tracer
 
-        tracer.disable()
+        tracer.clear()
+        tracer.reset_context()
+        tracer.set_process("worker")
+        worker_metrics.reset()
     except Exception:
         pass
     while True:
@@ -246,15 +320,7 @@ def _worker_main(conn) -> None:
             conn.send({"ok": True, "pong": True})
             continue
         if op == "job":
-            try:
-                reply = execute_job(message.get("payload") or {})
-            except BaseException as exc:  # noqa: BLE001 - the loop must survive
-                reply = {
-                    "ok": False,
-                    "fault_kind": "unexpected-error",
-                    "message": f"{type(exc).__name__}: {exc}",
-                    "fault_kinds": ["unexpected-error"],
-                }
+            reply = _run_one_job(conn, message.get("payload") or {})
             try:
                 conn.send(reply)
             except (BrokenPipeError, OSError):
@@ -330,7 +396,7 @@ class WorkerPool:
     def alive_count(self) -> int:
         return sum(1 for w in self._workers if w.process.is_alive())
 
-    async def run_job(self, payload: dict, timeout_s: float) -> dict:
+    async def run_job(self, payload: dict, timeout_s: float, progress=None) -> dict:
         """Dispatch one job to an idle worker, enforcing ``timeout_s``.
 
         Raises :class:`WorkerCrashError` when the worker dies mid-job and
@@ -338,6 +404,12 @@ class WorkerPool:
         killed and replaced in both cases).  Cancellation also kills the
         worker — there is no way to abort a solve in flight short of that
         — and re-raises.
+
+        ``progress`` receives each interim ``{"progress": ...}`` event the
+        worker streams over the pipe before its final reply; callback
+        exceptions are swallowed (progress is best-effort).  Interim
+        messages do not extend the deadline — only the final reply stops
+        the clock.
         """
         worker = await self._idle.get()
         loop = asyncio.get_running_loop()
@@ -366,13 +438,22 @@ class WorkerPool:
                     )
                     if ready:
                         try:
-                            return worker.conn.recv()
+                            message = worker.conn.recv()
                         except (EOFError, OSError) as exc:
                             code = worker.process.exitcode
                             worker = self._replace(worker, "crash")
                             raise WorkerCrashError(
                                 f"worker died mid-job (exit code {code})"
                             ) from exc
+                        if isinstance(message, dict) and "ok" not in message:
+                            # Interim progress event, not the final reply.
+                            if progress is not None and "progress" in message:
+                                try:
+                                    progress(message["progress"])
+                                except Exception:
+                                    pass
+                            continue
+                        return message
                     if not worker.process.is_alive():
                         code = worker.process.exitcode
                         worker = self._replace(worker, "crash")

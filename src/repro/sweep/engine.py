@@ -234,7 +234,10 @@ def run_sweep(
         a default-rooted one is created when omitted.
     progress:
         Optional callable ``(done_points, total_points)`` invoked after
-        each group.
+        every finished point, so long sweeps can stream live progress
+        (the serve layer relays these to ``GET /v1/jobs/<id>/events``).
+        Exceptions from the callback are swallowed: a broken progress
+        channel must not fail the sweep.
     """
     plan = build_plan(spec)
     if cache is None:
@@ -330,6 +333,12 @@ def run_sweep(
                         referee_width_hz=referee_width,
                     )
                     metrics.inc("sweep.points", status=status)
+                    done += 1
+                    if progress is not None:
+                        try:
+                            progress(done, plan.n_points)
+                        except Exception:
+                            pass
                 group_sp.set(
                     solves=len(group.v_is),
                     faults=sum(
@@ -338,9 +347,6 @@ def run_sweep(
                         if outcomes[i].status != "ok"
                     ),
                 )
-            done += len(group.points)
-            if progress is not None:
-                progress(done, plan.n_points)
         wall = time.perf_counter() - started
         result = SweepResult(
             spec_name=spec.name,

@@ -89,3 +89,90 @@ class TestSnapshot:
         reg.observe("c", 1)
         reg.reset()
         assert reg.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestMergeSnapshot:
+    def test_counters_add_and_histograms_merge(self):
+        parent = MetricsRegistry()
+        parent.inc("df.evaluations", 10, method="fft")
+        parent.observe("solve_s", 1.0)
+        worker = MetricsRegistry()
+        worker.inc("df.evaluations", 5, method="fft")
+        worker.inc("hb.solves", 2)
+        worker.observe("solve_s", 3.0)
+        worker.observe("solve_s", 5.0)
+        parent.merge_snapshot(worker.snapshot())
+        snapshot = parent.snapshot()
+        assert snapshot["counters"]["df.evaluations{method=fft}"] == 15
+        assert snapshot["counters"]["hb.solves"] == 2
+        summary = snapshot["histograms"]["solve_s"]
+        assert summary["count"] == 3
+        assert summary["sum"] == 9
+        assert summary["min"] == 1 and summary["max"] == 5
+
+    def test_gauges_are_skipped(self):
+        parent = MetricsRegistry()
+        parent.gauge("workers", 2)
+        worker = MetricsRegistry()
+        worker.gauge("workers", 99)
+        parent.merge_snapshot(worker.snapshot())
+        assert parent.snapshot()["gauges"]["workers"] == 2
+
+    def test_merge_is_associative_over_workers(self):
+        fleet = MetricsRegistry()
+        for count in (1, 2, 3):
+            worker = MetricsRegistry()
+            worker.inc("jobs", count)
+            fleet.merge_snapshot(worker.snapshot())
+        assert fleet.counter("jobs") == 6
+
+
+class TestPrometheus:
+    def _registry(self):
+        reg = MetricsRegistry()
+        reg.inc("serve.completed", 3, kind="lockrange")
+        reg.inc("df.evaluations", 1200, method="fft")
+        reg.gauge("serve.queue_depth", 2)
+        reg.observe("serve.e2e_s", 0.5, tenant="ci")
+        reg.observe("serve.e2e_s", 1.5, tenant="ci")
+        return reg
+
+    def test_exposition_round_trips_through_parse(self):
+        from repro.obs import parse_prometheus, to_prometheus, validate_prometheus
+
+        text = to_prometheus(self._registry().snapshot())
+        assert validate_prometheus(text) == []
+        parsed = parse_prometheus(text)
+        assert parsed["repro_serve_completed_total{kind=lockrange}"] == 3
+        assert parsed["repro_df_evaluations_total{method=fft}"] == 1200
+        assert parsed["repro_serve_queue_depth"] == 2
+        assert parsed["repro_serve_e2e_s_count{tenant=ci}"] == 2
+        assert parsed["repro_serve_e2e_s_sum{tenant=ci}"] == 2.0
+
+    def test_exposition_is_deterministic(self):
+        from repro.obs import to_prometheus
+
+        snapshot = self._registry().snapshot()
+        assert to_prometheus(snapshot) == to_prometheus(snapshot)
+        assert to_prometheus(snapshot).endswith("\n")
+
+    def test_type_lines_and_counter_suffix(self):
+        from repro.obs import to_prometheus
+
+        text = to_prometheus(self._registry().snapshot())
+        lines = text.splitlines()
+        assert "# TYPE repro_serve_completed_total counter" in lines
+        assert "# TYPE repro_serve_queue_depth gauge" in lines
+        assert "# TYPE repro_serve_e2e_s_count summary" in lines
+        assert "# TYPE repro_serve_e2e_s_sum summary" in lines
+        # Counters must carry the _total suffix on every sample.
+        samples = [l for l in lines if l.startswith("repro_serve_completed")]
+        assert samples and all("_total" in l for l in samples)
+
+    def test_validator_rejects_garbage(self):
+        from repro.obs import validate_prometheus
+
+        assert validate_prometheus("") != []
+        assert validate_prometheus("not a metric line\n") != []
+        # A counter sample without a TYPE declaration is a problem.
+        assert validate_prometheus("repro_x_total 1\n") != []

@@ -204,3 +204,108 @@ class TestSinks:
             tracer.remove_sink(sink)
         assert finished == [("observed", "span")]
         assert tracer.records() == []  # sink-only mode buffers nothing
+
+
+class TestStitching:
+    """Trace-context propagation and cross-process grafting (schema v1.1)."""
+
+    def test_ambient_context_roots_adopt_it(self, clean_obs):
+        tracer.enable()
+        with tracer.ambient("feedfacefeedface", 9):
+            with trace("root") as root:
+                assert root.trace_id == "feedfacefeedface"
+                assert root.parent_span_id == 9
+                with trace("child") as child:
+                    # Children inherit trace_id from the parent span, not
+                    # the remote parent pointer.
+                    assert child.trace_id == "feedfacefeedface"
+                    assert child.parent_span_id is None
+        records = {r["name"]: r for r in tracer.records()}
+        assert records["root"]["trace_id"] == "feedfacefeedface"
+        assert records["root"]["parent_span_id"] == 9
+        assert "parent_span_id" not in records["child"]
+
+    def test_ambient_applies_under_an_idless_enclosing_span(self, clean_obs):
+        # A serve session booted via the CLI runs inside a cli.* root span
+        # opened before any request exists; request subtrees must still
+        # pick up the ambient trace_id minted at ingress.
+        tracer.enable()
+        with trace("cli.serve") as root:
+            assert root.trace_id is None
+            with tracer.ambient("cafecafecafecafe"):
+                with trace("serve.request") as request:
+                    assert request.trace_id == "cafecafecafecafe"
+                    assert request.parent_id == root.span_id
+                    assert request.parent_span_id is None
+
+    def test_current_trace_id_reads_span_then_ambient(self, clean_obs):
+        from repro.obs import current_trace_id
+
+        assert current_trace_id() is None
+        tracer.enable()
+        with tracer.ambient("00000000aaaaaaaa"):
+            assert current_trace_id() == "00000000aaaaaaaa"
+
+    def test_graft_renumbers_reroots_and_stamps(self, clean_obs, tmp_path):
+        from repro.obs import validate_trace
+
+        tracer.enable()
+        worker = [
+            {"span_id": 2, "parent_id": 1, "name": "inner", "kind": "span",
+             "depth": 1, "t_start_s": 0.002, "dur_s": 0.01},
+            {"span_id": 1, "parent_id": None, "name": "outer", "kind": "span",
+             "depth": 0, "t_start_s": 0.001, "dur_s": 0.02,
+             "parent_span_id": 77},
+        ]
+        with tracer.ambient("beefbeefbeefbeef"):
+            with trace("attempt") as attempt:
+                grafted = tracer.graft(
+                    worker, parent=attempt,
+                    epoch_unix_s=tracer.epoch_unix,
+                )
+        assert grafted == 2
+        path = tmp_path / "stitched.jsonl"
+        tracer.write(path)
+        assert validate_trace(path) == []
+        records = {r["name"]: r for r in tracer.records()}
+        outer, inner = records["outer"], records["inner"]
+        assert outer["parent_id"] == records["attempt"]["span_id"]
+        assert outer["depth"] == records["attempt"]["depth"] + 1
+        assert outer["process"] == "worker"
+        assert outer["trace_id"] == "beefbeefbeefbeef"
+        assert outer["parent_span_id"] == 77  # preserved, not overwritten
+        assert inner["parent_id"] == outer["span_id"]
+        assert inner["depth"] == outer["depth"] + 1
+        assert inner["trace_id"] == "beefbeefbeefbeef"
+
+    def test_graft_clamps_clock_skew(self, clean_obs):
+        tracer.enable()
+        worker = [
+            {"span_id": 1, "parent_id": None, "name": "w", "kind": "span",
+             "depth": 0, "t_start_s": 0.0, "dur_s": 0.01},
+        ]
+        with trace("attempt") as attempt:
+            # A remote epoch far in the past would place the child before
+            # its parent; the offset must clamp to the parent's start.
+            tracer.graft(worker, parent=attempt,
+                         epoch_unix_s=tracer.epoch_unix - 3600.0)
+            parent_start = attempt._start_rel
+        record = next(r for r in tracer.records() if r["name"] == "w")
+        assert record["t_start_s"] + 1e-9 >= round(parent_start, 6)
+
+    def test_reset_context_forgets_inherited_parents(self, clean_obs):
+        tracer.enable()
+        with tracer.ambient("1234123412341234", 5):
+            # Simulate the forked-worker situation: a live span leaks into
+            # the context, then the worker resets before its first span.
+            span = trace("leaked").__enter__()
+            tracer.reset_context()
+            with trace("fresh") as fresh:
+                assert fresh.parent_id is None
+                assert fresh.depth == 0
+                assert fresh.trace_id is None
+            # The leaked span's token is now foreign; close it defensively.
+            try:
+                span.__exit__(None, None, None)
+            except ValueError:
+                pass

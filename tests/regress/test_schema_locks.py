@@ -20,6 +20,7 @@ import numpy as np
 from repro.core.two_tone import surface_disk_key
 from repro.nonlin import CubicNonlinearity
 from repro.obs.tracing import (
+    ACCEPTED_TRACE_SCHEMAS,
     SPAN_RECORD_FIELDS,
     TRACE_HEADER_FIELDS,
     TRACE_SCHEMA_VERSION,
@@ -67,8 +68,13 @@ class TestPayloadFingerprintLock:
 
 
 class TestTraceSchemaLock:
-    def test_schema_version_is_one(self):
-        assert TRACE_SCHEMA_VERSION == 1
+    def test_schema_version_is_one_point_one(self):
+        # v1.1 is the additive stitching revision: trace_id /
+        # parent_span_id / process joined the record as optional fields.
+        assert TRACE_SCHEMA_VERSION == "1.1"
+
+    def test_v1_traces_still_accepted(self):
+        assert ACCEPTED_TRACE_SCHEMAS == (1, "1.1")
 
     def test_span_record_field_names(self):
         assert SPAN_RECORD_FIELDS == (
@@ -79,6 +85,9 @@ class TestTraceSchemaLock:
             "depth",
             "t_start_s",
             "dur_s",
+            "trace_id",
+            "parent_span_id",
+            "process",
             "attrs",
             "events",
         )
@@ -96,17 +105,46 @@ class TestTraceSchemaLock:
         """A real span/header emits exactly the locked names (no drift
         between the constants and what ``to_record``/``header`` write)."""
         own = Tracer()
+        own.set_process("serve")
         own.enable()
-        with own.span("outer", attrs={"n": 3}) as span:
-            span.event("tick")
-            with own.span("inner"):
-                pass
+        with own.ambient("deadbeefdeadbeef", 7):
+            with own.span("outer", attrs={"n": 3}) as span:
+                span.event("tick")
+                with own.span("inner"):
+                    pass
         own.disable()
         records = own.records()
         assert len(records) == 2
         for record in records:
             assert set(record) <= set(SPAN_RECORD_FIELDS)
-        # The outer span carries attrs and events, so it emits every field.
+        # The outer span is a root inside an ambient trace context with a
+        # remote parent, carries attrs and events, and the tracer has a
+        # process name — so it emits every locked field.
         outer = records[-1]
         assert set(outer) == set(SPAN_RECORD_FIELDS)
+        assert outer["trace_id"] == "deadbeefdeadbeef"
+        assert outer["parent_span_id"] == 7
+        assert outer["process"] == "serve"
+        # The child inherits the trace id but not the remote parent link.
+        inner = records[0]
+        assert inner["trace_id"] == "deadbeefdeadbeef"
+        assert "parent_span_id" not in inner
         assert tuple(own.header()) == TRACE_HEADER_FIELDS
+
+    def test_plain_spans_emit_no_stitching_fields(self):
+        """Without a trace context or process name, records stay v1-shaped
+        byte for byte — CLI traces do not grow fields."""
+        own = Tracer()
+        own.enable()
+        with own.span("solo"):
+            pass
+        (record,) = own.records()
+        assert set(record) == {
+            "span_id",
+            "parent_id",
+            "name",
+            "kind",
+            "depth",
+            "t_start_s",
+            "dur_s",
+        }

@@ -1,0 +1,73 @@
+"""Unit tests for the bounded per-job progress event ring."""
+
+import asyncio
+
+from repro.serve import EventRing
+
+
+def test_push_assigns_monotonic_seqs():
+    ring = EventRing(limit=10)
+    first = ring.push("queued", job_id="j1")
+    second = ring.push("point", done=1, total=6)
+    assert first["seq"] == 1
+    assert second["seq"] == 2
+    assert ring.last_seq == 2
+    assert first["type"] == "queued"
+    assert first["job_id"] == "j1"
+    assert "t_unix_s" in first
+
+
+def test_since_cursor_semantics():
+    ring = EventRing(limit=10)
+    for index in range(5):
+        ring.push("point", done=index + 1, total=5)
+    events, next_since, missed = ring.since(0)
+    assert [e["seq"] for e in events] == [1, 2, 3, 4, 5]
+    assert next_since == 5
+    assert missed == 0
+    events, next_since, missed = ring.since(3)
+    assert [e["seq"] for e in events] == [4, 5]
+    assert missed == 0
+    # A fully caught-up reader gets nothing and keeps its cursor.
+    events, next_since, missed = ring.since(5)
+    assert events == [] and next_since == 5 and missed == 0
+
+
+def test_eviction_counts_dropped_and_missed():
+    ring = EventRing(limit=3)
+    for index in range(8):
+        ring.push("point", done=index + 1, total=8)
+    assert ring.dropped == 5
+    # A reader starting from scratch sees only the tail and learns how
+    # many events it can never get back.
+    events, next_since, missed = ring.since(0)
+    assert [e["seq"] for e in events] == [6, 7, 8]
+    assert next_since == 8
+    assert missed == 5
+    # A reader whose cursor is inside the retained tail misses nothing.
+    events, _, missed = ring.since(6)
+    assert [e["seq"] for e in events] == [7, 8]
+    assert missed == 0
+
+
+def test_wait_wakes_on_push_and_times_out_otherwise():
+    async def scenario():
+        ring = EventRing()
+        # Already-new events resolve immediately.
+        ring.push("queued")
+        assert await ring.wait(0, timeout_s=0.01) is True
+        # Nothing newer than the cursor: a short wait times out...
+        assert await ring.wait(1, timeout_s=0.05) is False
+
+        # ...but a concurrent push wakes a pending waiter.
+        async def pusher():
+            await asyncio.sleep(0.02)
+            ring.push("point", done=1, total=1)
+
+        task = asyncio.ensure_future(pusher())
+        woke = await ring.wait(1, timeout_s=5.0)
+        await task
+        assert woke is True
+        assert ring.last_seq == 2
+
+    asyncio.run(scenario())
